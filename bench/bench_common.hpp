@@ -1,0 +1,75 @@
+// Shared helpers for the figure/table reproduction benches.
+#pragma once
+
+#include <cstdlib>
+#include <string>
+
+#include "common/rng.hpp"
+#include "core/sim.hpp"
+#include "kernels/csrmm.hpp"
+#include "kernels/csrmv.hpp"
+#include "kernels/spvv.hpp"
+#include "sparse/generate.hpp"
+#include "sparse/reference.hpp"
+#include "sparse/suite.hpp"
+
+namespace issr::bench {
+
+/// True when the full (large) workload set is requested; default runs a
+/// representative subset so `for b in build/bench/*; do $b; done` stays
+/// fast. Set ISSR_BENCH_FULL=1 for the complete paper suite.
+inline bool full_run() {
+  const char* v = std::getenv("ISSR_BENCH_FULL");
+  return v != nullptr && v[0] == '1';
+}
+
+struct CcRun {
+  core::CcSimResult sim;
+  sparse::DenseVector y;
+};
+
+/// Run single-CC SpVV; returns the simulation result (validated).
+inline core::CcSimResult run_spvv_cc(kernels::Variant variant,
+                                     sparse::IndexWidth width,
+                                     const sparse::SparseFiber& a,
+                                     const sparse::DenseVector& b) {
+  core::CcSim sim;
+  kernels::SpvvArgs args;
+  args.a_vals = sim.stage(a.vals());
+  args.a_idcs = sim.stage_indices(a.idcs(), width);
+  args.nnz = a.nnz();
+  args.b = sim.stage(b);
+  args.result = sim.alloc(8);
+  args.width = width;
+  sim.set_program(kernels::build_spvv(variant, args));
+  return sim.run();
+}
+
+/// Run single-CC CsrMV over a full matrix; validates against the golden
+/// reference (aborts on mismatch — benches double as integration checks).
+inline CcRun run_csrmv_cc(kernels::Variant variant, sparse::IndexWidth width,
+                          const sparse::CsrMatrix& a,
+                          const sparse::DenseVector& x) {
+  core::CcSim sim;
+  kernels::CsrmvArgs args;
+  args.ptr = sim.stage_u32(a.ptr());
+  args.idcs = sim.stage_indices(a.idcs(), width);
+  args.vals = sim.stage(a.vals());
+  args.nrows = a.rows();
+  args.nnz = a.nnz();
+  args.x = sim.stage(x);
+  args.y = sim.alloc(8ull * a.rows());
+  args.width = width;
+  sim.set_program(kernels::build_csrmv(variant, args));
+  CcRun out;
+  out.sim = sim.run();
+  out.y = sparse::DenseVector(sim.read_f64s(args.y, a.rows()));
+  const auto ref = sparse::ref_csrmv(a, x);
+  if (!sparse::allclose(out.y, ref, 1e-9, 1e-9)) {
+    std::fprintf(stderr, "FATAL: CsrMV result mismatch\n");
+    std::abort();
+  }
+  return out;
+}
+
+}  // namespace issr::bench

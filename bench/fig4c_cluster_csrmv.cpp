@@ -1,0 +1,102 @@
+// Reproduces Fig. 4c: 8-core cluster CsrMV speedup of the 16-bit ISSR
+// kernel over BASE, with the full double-buffered DMA data-movement
+// scheme, on a controlled nnz/row sweep and on the (synthetic)
+// SuiteSparse suite.
+//
+// Expected shape (paper): speedups from 1.9x at nnz/row = 1 up to 5.8x,
+// sustaining over 5x for nnz/row > 50, following the single-CC trend with
+// reduced magnitude and larger variation (TCDM bank conflicts lower the
+// peak in-compute FPU utilization from 0.80 toward ~0.71; the x transfer
+// is not overlapped; row distribution causes imbalance).
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "cluster/csrmv_mc.hpp"
+#include "common/table.hpp"
+
+using namespace issr;
+
+namespace {
+
+cluster::McCsrmvResult run_mc(kernels::Variant variant,
+                              sparse::IndexWidth width,
+                              const sparse::CsrMatrix& a,
+                              const sparse::DenseVector& x) {
+  cluster::McCsrmvConfig cfg;
+  cfg.variant = variant;
+  cfg.width = width;
+  auto result = cluster::run_csrmv_multicore(a, x, cfg);
+  const auto ref = sparse::ref_csrmv(a, x);
+  if (!sparse::allclose(result.y, ref, 1e-9, 1e-9)) {
+    std::fprintf(stderr, "FATAL: cluster CsrMV result mismatch\n");
+    std::abort();
+  }
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Fig. 4c reproduction: cluster CsrMV speedup "
+              "(ISSR 16-bit over BASE, 8 workers)\n\n");
+
+  Table t("Cluster CsrMV speedup vs avg nnz/row (uniform rows)");
+  t.set_header({"nnz/row", "BASE cyc", "ISSR cyc", "speedup", "ISSR util",
+                "conflict rate"});
+  const std::uint32_t rows = bench::full_run() ? 1024 : 400;
+  for (const std::uint32_t rn :
+       {1u, 2u, 4u, 8u, 16u, 32u, 64u, 96u, 128u}) {
+    Rng rng(3000 + rn);
+    const std::uint32_t cols = std::max<std::uint32_t>(2 * rn, 512);
+    const auto a = sparse::random_fixed_row_nnz_matrix(rng, rows, cols, rn);
+    const auto x = sparse::random_dense_vector(rng, cols);
+
+    const auto base = run_mc(kernels::Variant::kBase,
+                             sparse::IndexWidth::kU16, a, x);
+    const auto issr = run_mc(kernels::Variant::kIssr,
+                             sparse::IndexWidth::kU16, a, x);
+    t.add_row({fmt_u(rn), fmt_u(base.cluster.cycles),
+               fmt_u(issr.cluster.cycles),
+               fmt_speedup(static_cast<double>(base.cluster.cycles) /
+                           static_cast<double>(issr.cluster.cycles)),
+               fmt_f(issr.cluster.fpu_util()),
+               fmt_f(issr.cluster.tcdm.conflict_rate())});
+  }
+  t.print();
+  t.write_csv("fig4c_cluster_sweep.csv");
+
+  Table ts("Cluster CsrMV on the (synthetic) SuiteSparse suite");
+  ts.set_header({"matrix", "nnz", "nnz/row", "speedup", "ISSR util",
+                 "tiles"});
+  const auto names =
+      bench::full_run()
+          ? [] {
+              std::vector<std::string> all;
+              for (const auto& e : sparse::suite_entries()) {
+                all.push_back(e.name);
+              }
+              return all;
+            }()
+          : sparse::quick_suite_names();
+  for (const auto& name : names) {
+    const auto a = sparse::build_suite_matrix(name);
+    if (!a.fits_u16()) continue;
+    Rng rng(42);
+    const auto x = sparse::random_dense_vector(rng, a.cols());
+    const auto base = run_mc(kernels::Variant::kBase,
+                             sparse::IndexWidth::kU16, a, x);
+    const auto issr = run_mc(kernels::Variant::kIssr,
+                             sparse::IndexWidth::kU16, a, x);
+    ts.add_row({name, fmt_u(a.nnz()), fmt_f(a.avg_row_nnz(), 1),
+                fmt_speedup(static_cast<double>(base.cluster.cycles) /
+                            static_cast<double>(issr.cluster.cycles)),
+                fmt_f(issr.cluster.fpu_util()),
+                fmt_u(issr.plan.tiles.size())});
+  }
+  ts.print();
+  ts.write_csv("fig4c_cluster_suite.csv");
+
+  std::printf("paper anchors: 1.9x at nnz/row=1, up to 5.8x, >5x for "
+              "nnz/row>50; eight ISSR cores match ~46 BASE cores\n");
+  return 0;
+}

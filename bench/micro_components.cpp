@@ -1,0 +1,88 @@
+// google-benchmark microbenchmarks: host-side reference kernels (the
+// functional baselines), format conversions, generator throughput, and
+// simulator speed (cycles simulated per wall-second), so regressions in
+// the infrastructure itself are visible.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "isa/encoding.hpp"
+#include "sparse/csc.hpp"
+
+using namespace issr;
+
+namespace {
+
+void BM_RefCsrMv(benchmark::State& state) {
+  Rng rng(1);
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const auto a = sparse::random_fixed_row_nnz_matrix(rng, n, n, 16);
+  const auto x = sparse::random_dense_vector(rng, n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sparse::ref_csrmv(a, x));
+  }
+  state.SetItemsProcessed(state.iterations() * a.nnz());
+}
+BENCHMARK(BM_RefCsrMv)->Arg(256)->Arg(1024);
+
+void BM_CsrFromCoo(benchmark::State& state) {
+  Rng rng(2);
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const auto csr = sparse::random_fixed_row_nnz_matrix(rng, n, n, 8);
+  const auto coo = csr.to_coo();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sparse::CsrMatrix::from_coo(coo));
+  }
+}
+BENCHMARK(BM_CsrFromCoo)->Arg(1024);
+
+void BM_CsrTranspose(benchmark::State& state) {
+  Rng rng(3);
+  const auto a = sparse::random_fixed_row_nnz_matrix(rng, 1024, 1024, 8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.transposed());
+  }
+}
+BENCHMARK(BM_CsrTranspose);
+
+void BM_EncodeDecodeRoundtrip(benchmark::State& state) {
+  using namespace issr::isa;
+  Inst inst;
+  inst.op = Op::kFmaddD;
+  inst.rd = 2;
+  inst.rs1 = 0;
+  inst.rs2 = 1;
+  inst.rs3 = 2;
+  for (auto _ : state) {
+    const auto word = encode(inst);
+    benchmark::DoNotOptimize(decode(word));
+  }
+}
+BENCHMARK(BM_EncodeDecodeRoundtrip);
+
+void BM_SimulatorCyclesPerSecond(benchmark::State& state) {
+  Rng rng(4);
+  const auto a = sparse::random_sparse_vector(rng, 4096, 2048);
+  const auto b = sparse::random_dense_vector(rng, 4096);
+  std::uint64_t cycles = 0;
+  for (auto _ : state) {
+    const auto r = bench::run_spvv_cc(kernels::Variant::kIssr,
+                                      sparse::IndexWidth::kU16, a, b);
+    cycles += r.cycles;
+  }
+  state.counters["sim_cycles/s"] = benchmark::Counter(
+      static_cast<double>(cycles), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SimulatorCyclesPerSecond);
+
+void BM_GeneratorPowerlaw(benchmark::State& state) {
+  Rng rng(5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sparse::powerlaw_matrix(rng, 1024, 1024, 8.0, 0.8));
+  }
+}
+BENCHMARK(BM_GeneratorPowerlaw);
+
+}  // namespace
+
+BENCHMARK_MAIN();

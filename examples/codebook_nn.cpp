@@ -1,0 +1,59 @@
+// Codebook-compressed inference layer (§III-C "codebook decoding"):
+// weight matrices of quantized neural networks store a small codebook of
+// unique values plus per-weight indices (Han et al.'s deep-compression
+// scheme). The ISSR streams the *decoded* weights directly from the
+// codebook, so a dense dot product against compressed weights costs the
+// same as against raw weights — while shrinking the weight footprint by
+// 4-8x.
+//
+//   $ ./examples/codebook_nn
+#include <cstdio>
+
+#include "common/rng.hpp"
+#include "core/sim.hpp"
+#include "kernels/codebook.hpp"
+#include "sparse/generate.hpp"
+#include "sparse/reference.hpp"
+
+using namespace issr;
+
+int main() {
+  std::printf("Codebook-compressed dot product on the ISSR\n\n");
+
+  Rng rng(7);
+  const std::size_t n = 1024;        // one output neuron's weight row
+  const std::uint32_t codebook = 16;  // 4-bit quantized weights
+
+  const auto weights = sparse::random_codebook_vector(rng, n, codebook);
+  const auto activations = sparse::random_dense_vector(rng, n);
+
+  // Uncompressed footprint: n doubles. Compressed: codebook + 16-bit codes.
+  const double raw_kib = n * 8.0 / 1024.0;
+  const double comp_kib = (codebook * 8.0 + n * 2.0) / 1024.0;
+  std::printf("weights: %zu values, %u-entry codebook\n", n, codebook);
+  std::printf("footprint: %.1f KiB raw -> %.1f KiB compressed (%.1fx)\n\n",
+              raw_kib, comp_kib, raw_kib / comp_kib);
+
+  core::CcSim sim;
+  kernels::CodebookDotArgs args;
+  args.codebook = sim.stage(weights.codebook);
+  args.codes = sim.stage_indices(weights.indices, sparse::IndexWidth::kU16);
+  args.count = static_cast<std::uint32_t>(n);
+  args.b = sim.stage(activations);
+  args.result = sim.alloc(8);
+  args.width = sparse::IndexWidth::kU16;
+  sim.set_program(kernels::build_codebook_dot(args));
+  const auto run = sim.run();
+
+  const double got = sim.read_f64(args.result);
+  const double expect = sparse::ref_codebook_dot(weights, activations);
+  std::printf("dot product: %.6f (reference %.6f)\n", got, expect);
+  std::printf("cycles: %llu (%.2f per weight), FPU utilization %.3f\n",
+              static_cast<unsigned long long>(run.cycles),
+              static_cast<double>(run.cycles) / n, run.fpu_util());
+  std::printf("\nThe decode is free: the ISSR's index stream reads the\n"
+              "codes while its data stream fetches codebook entries —\n"
+              "near-identical code and performance to an uncompressed\n"
+              "SpVV (paper §III-C).\n");
+  return std::abs(got - expect) < 1e-9 ? 0 : 1;
+}

@@ -1,0 +1,72 @@
+// CSF tensor-times-vector (§III-A): fiber-based formats generalize beyond
+// matrices. A third-order CSF tensor is a tree of sparse fibers; its
+// mode-2 tensor-times-vector product runs each leaf fiber through exactly
+// the ISSR SpVV kernel. This example walks the CSF tree on the host (the
+// role the paper assigns to high-level iterators on the Snitch core) and
+// dispatches each leaf fiber to the simulated CC.
+//
+//   $ ./examples/csf_tensor
+#include <cstdio>
+
+#include "common/rng.hpp"
+#include "core/sim.hpp"
+#include "kernels/spvv.hpp"
+#include "sparse/csf.hpp"
+#include "sparse/generate.hpp"
+
+using namespace issr;
+
+int main() {
+  std::printf("CSF tensor-times-vector via ISSR SpVV per leaf fiber\n\n");
+
+  Rng rng(5);
+  const std::uint32_t di = 12, dj = 16, dk = 512, nnz = 900;
+  const auto tensor = sparse::random_csf_tensor(rng, di, dj, dk, nnz);
+  const auto v = sparse::random_dense_vector(rng, dk);
+  std::printf("tensor: %u x %u x %u, %u nonzeros in %u fibers "
+              "(%u nonempty slices)\n",
+              di, dj, dk, tensor.nnz(), tensor.num_fibers(),
+              tensor.num_slices());
+
+  // One simulator instance; the dense vector stays resident (TCDM
+  // stationarity) while fibers stream through per-fiber SpVV programs.
+  core::CcSim sim;
+  const addr_t v_addr = sim.stage(v);
+  const addr_t result_addr = sim.alloc(8);
+
+  sparse::DenseMatrix y(di, dj);
+  cycle_t total_cycles = 0;
+  std::uint64_t total_fmadd = 0;
+  for (std::uint32_t s = 0; s < tensor.num_slices(); ++s) {
+    for (std::uint32_t f = tensor.fiber_ptr()[s]; f < tensor.fiber_ptr()[s + 1];
+         ++f) {
+      const auto fiber = tensor.leaf_fiber(f);
+      kernels::SpvvArgs args;
+      args.a_vals = sim.stage(fiber.vals());
+      args.a_idcs = sim.stage_indices(fiber.idcs(), sparse::IndexWidth::kU16);
+      args.nnz = fiber.nnz();
+      args.b = v_addr;
+      args.result = result_addr;
+      args.width = sparse::IndexWidth::kU16;
+      sim.set_program(kernels::build_spvv(kernels::Variant::kIssr, args));
+      const auto run = sim.run();
+      total_cycles += run.cycles;
+      total_fmadd += run.fpss.fmadd;
+      y.at(tensor.slice_idcs()[s], tensor.fiber_idcs()[f]) =
+          sim.read_f64(result_addr);
+    }
+  }
+
+  const auto expect = tensor.ttv_mode2(v);
+  const double diff = sparse::max_abs_diff(y, expect);
+  std::printf("result: max |diff| vs reference = %.2e  %s\n", diff,
+              diff < 1e-9 ? "OK" : "FAIL");
+  std::printf("cycles: %llu total (%.2f per nonzero, incl. per-fiber "
+              "setup)\n",
+              static_cast<unsigned long long>(total_cycles),
+              static_cast<double>(total_cycles) / tensor.nnz());
+  std::printf("\nShort fibers pay the SpVV setup cost — the same effect\n"
+              "that motivates the paper's row-unrolled CsrMV; a production\n"
+              "CSF kernel would batch fibers exactly the same way.\n");
+  return diff < 1e-9 ? 0 : 1;
+}

@@ -1,0 +1,70 @@
+// CsrMM with strided operands (§III-B): multiply a CSR matrix with a
+// power-of-two-strided dense matrix, writing a strided result — the
+// layout flexibility that lets the same kernels serve row-/column-major
+// operands and CSC matrices from either side.
+//
+//   $ ./examples/csrmm_tiles
+#include <cstdio>
+
+#include "common/bitutil.hpp"
+#include "common/rng.hpp"
+#include "core/sim.hpp"
+#include "kernels/csrmm.hpp"
+#include "sparse/generate.hpp"
+#include "sparse/reference.hpp"
+
+using namespace issr;
+
+int main() {
+  std::printf("CsrMM: CSR x dense matrix with strided layouts\n\n");
+
+  Rng rng(3);
+  const std::uint32_t rows = 96, cols = 160, row_nnz = 24, b_cols = 8;
+  const auto a = sparse::random_fixed_row_nnz_matrix(rng, rows, cols, row_nnz);
+  // Dense operand padded to a power-of-two leading dimension, as the
+  // paper's index shifter requires; DMA 2-D transfers provide this tiling
+  // for free on the real cluster.
+  const std::uint32_t ldb = 1u << log2_ceil(b_cols);
+  const auto b = sparse::random_dense_matrix(rng, cols, b_cols, ldb);
+  std::printf("A: %ux%u (%u nnz/row), B: %ux%u (ld %u)\n", rows, cols,
+              row_nnz, cols, b_cols, ldb);
+
+  core::CcSim sim;
+  kernels::CsrmmArgs args;
+  args.ptr = sim.stage_u32(a.ptr());
+  args.idcs = sim.stage_indices(a.idcs(), sparse::IndexWidth::kU16);
+  args.vals = sim.stage(a.vals());
+  args.nrows = a.rows();
+  args.nnz = a.nnz();
+  args.b = sim.alloc(8ull * b.storage_elems());
+  sim.mem().write_doubles(args.b, b.data(), b.storage_elems());
+  args.b_cols = b_cols;
+  args.ldb_log2 = log2_exact(ldb);
+  args.y = sim.alloc(8ull * rows * b_cols);
+  args.ldy = b_cols;
+  args.width = sparse::IndexWidth::kU16;
+
+  sim.set_program(kernels::build_csrmm(kernels::Variant::kIssr, args));
+  const auto run = sim.run();
+
+  const auto expect = sparse::ref_csrmm(a, b);
+  double maxdiff = 0;
+  for (std::uint32_t r = 0; r < rows; ++r) {
+    for (std::uint32_t c = 0; c < b_cols; ++c) {
+      const double got = sim.read_f64(args.y + 8ull * (r * b_cols + c));
+      maxdiff = std::max(maxdiff, std::abs(got - expect.at(r, c)));
+    }
+  }
+  std::printf("result: max |diff| = %.2e  %s\n", maxdiff,
+              maxdiff < 1e-9 ? "OK" : "FAIL");
+  std::printf("cycles: %llu for %llu MACs -> %.3f FPU utilization\n",
+              static_cast<unsigned long long>(run.cycles),
+              static_cast<unsigned long long>(
+                  static_cast<std::uint64_t>(a.nnz()) * b_cols),
+              run.fpu_util());
+  std::printf("\nEach dense column re-runs the CsrMV body with the ISSR's\n"
+              "data base at &B[0][c] and index shift log2(ldb): per-column\n"
+              "overhead is a handful of configuration writes (paper: CsrMM\n"
+              "utilization within ~0.1%% of CsrMV).\n");
+  return maxdiff < 1e-9 ? 0 : 1;
+}

@@ -1,0 +1,85 @@
+// Quickstart: build a sparse matrix, run the paper's ISSR-accelerated
+// CsrMV on the simulated Snitch core complex, and compare against both the
+// golden reference and the scalar BASE kernel.
+//
+//   $ ./examples/quickstart
+//
+// Walks through the full public API: workload generation, data staging,
+// kernel construction, simulation, and statistics.
+#include <cstdio>
+
+#include "common/rng.hpp"
+#include "core/sim.hpp"
+#include "kernels/csrmv.hpp"
+#include "sparse/generate.hpp"
+#include "sparse/reference.hpp"
+
+using namespace issr;
+
+int main() {
+  std::printf("ISSR quickstart: CsrMV on one simulated Snitch core complex\n\n");
+
+  // 1. Generate a workload: a 200x256 sparse matrix with ~16 nonzeros per
+  //    row and a dense vector, following the paper's methodology
+  //    (normal values, uniform indices).
+  Rng rng(42);
+  const auto a = sparse::random_fixed_row_nnz_matrix(rng, 200, 256, 16);
+  const auto x = sparse::random_dense_vector(rng, 256);
+  std::printf("matrix: %u x %u, %u nonzeros (%.1f per row)\n", a.rows(),
+              a.cols(), a.nnz(), a.avg_row_nnz());
+
+  // 2. Run each kernel variant on the simulator.
+  struct Outcome {
+    const char* name;
+    cycle_t cycles;
+    double util;
+  };
+  std::vector<Outcome> outcomes;
+  const auto y_ref = sparse::ref_csrmv(a, x);
+
+  for (const auto variant :
+       {kernels::Variant::kBase, kernels::Variant::kSsr,
+        kernels::Variant::kIssr}) {
+    core::CcSim sim;  // ideal 2-port data memory, as in the paper's §IV-A
+
+    // Stage the operands into the simulated memory.
+    kernels::CsrmvArgs args;
+    args.ptr = sim.stage_u32(a.ptr());
+    args.idcs = sim.stage_indices(a.idcs(), sparse::IndexWidth::kU16);
+    args.vals = sim.stage(a.vals());
+    args.nrows = a.rows();
+    args.nnz = a.nnz();
+    args.x = sim.stage(x);
+    args.y = sim.alloc(8ull * a.rows());
+    args.width = sparse::IndexWidth::kU16;
+
+    // Build the kernel program (hand-scheduled assembly, baked addresses)
+    // and run to completion.
+    sim.set_program(kernels::build_csrmv(variant, args));
+    const auto result = sim.run();
+
+    // Validate against the golden reference.
+    const sparse::DenseVector y(sim.read_f64s(args.y, a.rows()));
+    if (!sparse::allclose(y, y_ref)) {
+      std::printf("FAIL: %s result mismatch!\n", kernels::to_string(variant));
+      return 1;
+    }
+    outcomes.push_back(
+        {kernels::to_string(variant), result.cycles, result.fpu_util()});
+  }
+
+  // 3. Report.
+  std::printf("\n%-6s  %10s  %9s  %8s\n", "kernel", "cycles", "FPU util",
+              "speedup");
+  for (const auto& o : outcomes) {
+    std::printf("%-6s  %10llu  %9.3f  %7.2fx\n", o.name,
+                static_cast<unsigned long long>(o.cycles), o.util,
+                static_cast<double>(outcomes.front().cycles) /
+                    static_cast<double>(o.cycles));
+  }
+  std::printf("\nAll three kernels produced the reference result. The ISSR\n"
+              "kernel runs the inner loop as a single fmadd.d under FREP,\n"
+              "with the SSR streaming matrix values and the ISSR resolving\n"
+              "x[A_idcs[j]] in hardware (paper Listing 1).\n");
+  return 0;
+}

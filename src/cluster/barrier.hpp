@@ -1,0 +1,46 @@
+// Hardware barrier for the cluster's worker cores, exposed to programs as
+// a blocking CSR read (csr_map.hpp kCsrBarrier). Sense-reversing via
+// generation counters so it can be reused any number of times.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace issr::cluster {
+
+class HwBarrier {
+ public:
+  explicit HwBarrier(unsigned n) : n_(n), target_(n, 0), arrived_(0), gen_(0) {}
+
+  /// Called once per stalled cycle by core `hart`; returns true once all
+  /// cores of the current generation have arrived. A core's first poll
+  /// registers its arrival; subsequent polls wait for the release.
+  bool poll(std::uint32_t hart) {
+    if (target_[hart] == 0) {
+      // Arrival: wait for the generation counter to reach gen_ + 1.
+      target_[hart] = gen_ + 1;
+      if (++arrived_ == n_) {
+        arrived_ = 0;
+        ++gen_;
+        target_[hart] = 0;  // the releasing core passes immediately
+        return true;
+      }
+      return false;
+    }
+    if (gen_ >= target_[hart]) {
+      target_[hart] = 0;  // passed; next poll is a fresh arrival
+      return true;
+    }
+    return false;
+  }
+
+  std::uint64_t generation() const { return gen_; }
+
+ private:
+  unsigned n_;
+  std::vector<std::uint64_t> target_;  ///< 0 = not arrived; else gen awaited
+  unsigned arrived_;
+  std::uint64_t gen_;
+};
+
+}  // namespace issr::cluster

@@ -1,0 +1,81 @@
+#include "cluster/cluster.hpp"
+
+#include <cassert>
+
+#include "common/log.hpp"
+
+namespace issr::cluster {
+
+Cluster::Cluster(const ClusterConfig& config,
+                 std::vector<isa::Program> worker_programs)
+    : config_(config),
+      programs_(std::move(worker_programs)),
+      barrier_(config.num_workers) {
+  assert(programs_.size() == config_.num_workers);
+  // Two TCDM master ports per worker CC: shared (core+FPU+SSR) and ISSR.
+  tcdm_ = std::make_unique<mem::Tcdm>(config_.tcdm, 2 * config_.num_workers);
+  dma_ = std::make_unique<mem::Dma>(*tcdm_, main_);
+
+  for (unsigned w = 0; w < config_.num_workers; ++w) {
+    core::CcParams cc = config_.cc;
+    cc.core.hartid = w;
+    assert(!cc.streamer.issr_lane.dedicated_idx_port &&
+           "cluster model provides two TCDM ports per CC");
+    workers_.push_back(std::make_unique<core::CoreComplex>(
+        cc, programs_[w], tcdm_->port(2 * w), tcdm_->port(2 * w + 1)));
+    workers_.back()->core().set_barrier_hook(
+        [this](std::uint32_t hart) { return barrier_.poll(hart); });
+  }
+}
+
+bool Cluster::done(cycle_t now) const {
+  if (!controller_done_) return false;
+  for (const auto& w : workers_) {
+    if (!w->quiescent(now)) return false;
+  }
+  return !dma_->busy();
+}
+
+ClusterResult Cluster::run(cycle_t max_cycles) {
+  cycle_t now = 0;
+  while (now < max_cycles) {
+    // Order: DMA claims banks for this cycle, TCDM arbitrates (skipping
+    // claimed banks), then the controller and workers issue new traffic.
+    dma_->tick(now);
+    tcdm_->tick(now);
+    if (controller_) controller_(*this, now);
+    for (auto& w : workers_) w->tick(now);
+    ++now;
+    if (done(now)) break;
+  }
+  if (now >= max_cycles) {
+    ISSR_ERROR("Cluster::run hit the cycle limit (%llu)",
+               static_cast<unsigned long long>(max_cycles));
+    for (unsigned w = 0; w < num_workers(); ++w) {
+      ISSR_ERROR("  worker %u: pc=0x%llx halted=%d", w,
+                 static_cast<unsigned long long>(workers_[w]->core().pc()),
+                 workers_[w]->halted() ? 1 : 0);
+    }
+    assert(false && "cluster simulation did not terminate");
+  }
+
+  // Drain pending stores at the TCDM ports and any final DMA beats.
+  for (cycle_t d = 0; d < 8; ++d) {
+    dma_->tick(now + d);
+    tcdm_->tick(now + d);
+  }
+
+  ClusterResult result;
+  result.cycles = now;
+  for (const auto& w : workers_) {
+    result.core.push_back(w->core().stats());
+    result.fpss.push_back(w->fpss().stats());
+  }
+  result.tcdm = tcdm_->stats();
+  result.dma = dma_->stats();
+  result.main_mem_read = main_.bytes_read();
+  result.main_mem_written = main_.bytes_written();
+  return result;
+}
+
+}  // namespace issr::cluster

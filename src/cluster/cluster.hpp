@@ -1,0 +1,106 @@
+// The Snitch cluster (Fig. 3): eight worker core complexes on a 32-bank
+// 256 KiB TCDM, a duplex 512-bit DMA engine to an ideal main memory, and a
+// data-movement core (DMCC) coordinating transfers. Worker instruction
+// fetch is ideal (shared L1 I$ modeled as always hitting). The DMCC runs
+// as a cycle-stepped C++ controller issuing the same DMA commands and TCDM
+// flag writes its software would (DESIGN.md §5, substitution 4).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "cluster/barrier.hpp"
+#include "core/cc.hpp"
+#include "isa/program.hpp"
+#include "mem/dma.hpp"
+#include "mem/main_mem.hpp"
+#include "mem/tcdm.hpp"
+
+namespace issr::cluster {
+
+struct ClusterConfig {
+  unsigned num_workers = 8;
+  mem::TcdmConfig tcdm;
+  core::CcParams cc;
+};
+
+/// Per-run cluster statistics.
+struct ClusterResult {
+  cycle_t cycles = 0;
+  std::vector<core::SnitchStats> core;
+  std::vector<core::FpssStats> fpss;
+  mem::TcdmStats tcdm;
+  mem::DmaStats dma;
+  std::uint64_t main_mem_read = 0;
+  std::uint64_t main_mem_written = 0;
+
+  /// Aggregate FPU utilization over all worker FPUs (Fig. 4c/4d input).
+  double fpu_util() const {
+    if (cycles == 0 || fpss.empty()) return 0.0;
+    std::uint64_t compute = 0;
+    for (const auto& f : fpss) compute += f.fp_compute;
+    return static_cast<double>(compute) /
+           (static_cast<double>(cycles) * static_cast<double>(fpss.size()));
+  }
+  std::uint64_t total_fmadd() const {
+    std::uint64_t n = 0;
+    for (const auto& f : fpss) n += f.fmadd;
+    return n;
+  }
+  /// Multiply-accumulate count: fmadds plus the fmul products the CsrMV
+  /// kernels use for the first elements of each row (one MAC per nonzero).
+  std::uint64_t total_macs() const {
+    std::uint64_t n = 0;
+    for (const auto& f : fpss) n += f.fmadd + f.fmul;
+    return n;
+  }
+};
+
+class Cluster {
+ public:
+  /// A controller is ticked once per cycle after the memories; it models
+  /// the DMCC. It may inspect/drive the DMA and read/write TCDM words.
+  using Controller = std::function<void(Cluster&, cycle_t)>;
+
+  Cluster(const ClusterConfig& config,
+          std::vector<isa::Program> worker_programs);
+
+  unsigned num_workers() const {
+    return static_cast<unsigned>(workers_.size());
+  }
+  core::CoreComplex& worker(unsigned i) { return *workers_.at(i); }
+
+  mem::Tcdm& tcdm() { return *tcdm_; }
+  mem::MainMemory& main_mem() { return main_; }
+  mem::Dma& dma() { return *dma_; }
+  HwBarrier& barrier() { return barrier_; }
+
+  void set_controller(Controller c) { controller_ = std::move(c); }
+
+  /// The controller must mark itself finished (all transfers issued and
+  /// completed) before the run can end. Defaults to true when no
+  /// controller is installed.
+  void set_controller_done(bool done) { controller_done_ = done; }
+  bool controller_done() const { return controller_done_; }
+
+  /// True iff all workers are quiescent, the DMA is drained, and the
+  /// controller has finished.
+  bool done(cycle_t now) const;
+
+  /// Run to completion; asserts if `max_cycles` elapse first.
+  ClusterResult run(cycle_t max_cycles = 2'000'000'000);
+
+ private:
+  ClusterConfig config_;
+  std::vector<isa::Program> programs_;
+  std::unique_ptr<mem::Tcdm> tcdm_;
+  mem::MainMemory main_;
+  std::unique_ptr<mem::Dma> dma_;
+  HwBarrier barrier_;
+  std::vector<std::unique_ptr<core::CoreComplex>> workers_;
+  Controller controller_;
+  bool controller_done_ = true;
+};
+
+}  // namespace issr::cluster

@@ -1,0 +1,70 @@
+// Multicore CsrMV on the Snitch cluster (§IV-B): rows are distributed
+// among the eight worker cores, and the matrix streams through the TCDM in
+// row tiles using a double-buffered DMA scheme. All operands initially
+// reside in main memory; the dense vector x is loaded once up front (its
+// transfer cannot be fully overlapped — a paper-noted overhead), tile t+1
+// loads while tile t computes, and each tile's result slice writes back on
+// the DMA's outbound channel.
+//
+// Synchronization uses TCDM flag words: the DMCC controller publishes a
+// per-buffer "tile generation" flag once a tile's arrays have landed, and
+// each worker publishes its own generation counter once its row share is
+// complete (after a store fence that orders its FP-side result stores).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "kernels/csrmv.hpp"
+#include "sparse/csr.hpp"
+#include "sparse/dense.hpp"
+
+namespace issr::cluster {
+
+struct McCsrmvConfig {
+  kernels::Variant variant = kernels::Variant::kIssr;
+  sparse::IndexWidth width = sparse::IndexWidth::kU16;
+  ClusterConfig cluster;
+  /// Upper bound on rows per tile (bounds the ptr/y buffer regions).
+  std::uint32_t max_tile_rows = 2048;
+};
+
+/// The static tile plan (exposed for tests and benches).
+struct McTilePlan {
+  struct Tile {
+    std::uint32_t row_begin;
+    std::uint32_t row_end;
+    std::uint64_t nnz_begin;  ///< ptr[row_begin]
+    std::uint64_t nnz_end;    ///< ptr[row_end]
+  };
+  std::vector<Tile> tiles;
+  std::uint64_t tile_nnz_capacity = 0;
+  // TCDM layout.
+  addr_t x_addr = 0;
+  addr_t flags_addr = 0;  ///< tile_ready[2] then done[num_workers], 8 B each
+  struct Buffer {
+    addr_t ptr_addr;
+    addr_t idcs_addr;
+    addr_t vals_addr;
+    addr_t y_addr;
+  };
+  Buffer buf[2];
+};
+
+struct McCsrmvResult {
+  ClusterResult cluster;
+  sparse::DenseVector y;
+  McTilePlan plan;
+};
+
+/// Plan the tiling for a matrix under a configuration (pure function;
+/// asserts if a single row exceeds the tile nnz capacity).
+McTilePlan plan_tiles(const sparse::CsrMatrix& a, const McCsrmvConfig& cfg);
+
+/// Run y = A*x on the simulated cluster.
+McCsrmvResult run_csrmv_multicore(const sparse::CsrMatrix& a,
+                                  const sparse::DenseVector& x,
+                                  const McCsrmvConfig& cfg);
+
+}  // namespace issr::cluster

@@ -1,0 +1,99 @@
+// Bit-manipulation helpers used by the ISA encoder/decoder and the
+// streamer address datapath.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <type_traits>
+
+namespace issr {
+
+/// Extract bits [hi:lo] (inclusive, RISC-V manual style) from `value`.
+constexpr std::uint64_t bits(std::uint64_t value, unsigned hi, unsigned lo) {
+  assert(hi >= lo && hi < 64);
+  const unsigned width = hi - lo + 1;
+  const std::uint64_t mask = width >= 64 ? ~0ull : ((1ull << width) - 1);
+  return (value >> lo) & mask;
+}
+
+/// Extract a single bit.
+constexpr std::uint64_t bit(std::uint64_t value, unsigned pos) {
+  assert(pos < 64);
+  return (value >> pos) & 1u;
+}
+
+/// Sign-extend the low `width` bits of `value` to 64 bits.
+constexpr std::int64_t sign_extend(std::uint64_t value, unsigned width) {
+  assert(width >= 1 && width <= 64);
+  if (width == 64) return static_cast<std::int64_t>(value);
+  const std::uint64_t sign = 1ull << (width - 1);
+  const std::uint64_t mask = (1ull << width) - 1;
+  value &= mask;
+  return static_cast<std::int64_t>((value ^ sign) - sign);
+}
+
+/// True iff `value` fits in a signed `width`-bit immediate.
+constexpr bool fits_signed(std::int64_t value, unsigned width) {
+  assert(width >= 1 && width <= 64);
+  if (width == 64) return true;
+  const std::int64_t lo = -(1ll << (width - 1));
+  const std::int64_t hi = (1ll << (width - 1)) - 1;
+  return value >= lo && value <= hi;
+}
+
+/// True iff `value` fits in an unsigned `width`-bit field.
+constexpr bool fits_unsigned(std::uint64_t value, unsigned width) {
+  assert(width >= 1 && width <= 64);
+  if (width >= 64) return true;
+  return value < (1ull << width);
+}
+
+/// True iff `value` is a power of two (zero is not).
+constexpr bool is_pow2(std::uint64_t value) {
+  return value != 0 && (value & (value - 1)) == 0;
+}
+
+/// log2 of a power-of-two value.
+constexpr unsigned log2_exact(std::uint64_t value) {
+  assert(is_pow2(value));
+  unsigned result = 0;
+  while (value > 1) {
+    value >>= 1;
+    ++result;
+  }
+  return result;
+}
+
+/// Ceiling log2 (log2_ceil(1) == 0).
+constexpr unsigned log2_ceil(std::uint64_t value) {
+  assert(value != 0);
+  unsigned result = 0;
+  std::uint64_t acc = 1;
+  while (acc < value) {
+    acc <<= 1;
+    ++result;
+  }
+  return result;
+}
+
+/// Round `value` up to the next multiple of `align` (power of two).
+constexpr std::uint64_t align_up(std::uint64_t value, std::uint64_t align) {
+  assert(is_pow2(align));
+  return (value + align - 1) & ~(align - 1);
+}
+
+/// Round `value` down to a multiple of `align` (power of two).
+constexpr std::uint64_t align_down(std::uint64_t value, std::uint64_t align) {
+  assert(is_pow2(align));
+  return value & ~(align - 1);
+}
+
+/// Ceiling division for unsigned integers.
+template <typename T>
+constexpr T div_ceil(T num, T den) {
+  static_assert(std::is_unsigned_v<T>);
+  assert(den != 0);
+  return (num + den - 1) / den;
+}
+
+}  // namespace issr

@@ -1,0 +1,43 @@
+// Minimal leveled logger. Simulation components log through this so that
+// verbose tracing can be switched on per-run without recompiling.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace issr {
+
+enum class LogLevel : int {
+  kError = 0,
+  kWarn = 1,
+  kInfo = 2,
+  kDebug = 3,
+  kTrace = 4,
+};
+
+/// Global log verbosity; defaults to kWarn. Not thread-safe by design:
+/// the simulator is single-threaded and tests set it up-front.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// True iff a message at `level` would currently be emitted.
+bool log_enabled(LogLevel level);
+
+/// printf-style logging; prepends the level tag. Writes to stderr.
+void log_printf(LogLevel level, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+}  // namespace issr
+
+#define ISSR_LOG_AT(level, ...)                             \
+  do {                                                      \
+    if (::issr::log_enabled(level)) {                       \
+      ::issr::log_printf(level, __VA_ARGS__);               \
+    }                                                       \
+  } while (0)
+
+#define ISSR_ERROR(...) ISSR_LOG_AT(::issr::LogLevel::kError, __VA_ARGS__)
+#define ISSR_WARN(...) ISSR_LOG_AT(::issr::LogLevel::kWarn, __VA_ARGS__)
+#define ISSR_INFO(...) ISSR_LOG_AT(::issr::LogLevel::kInfo, __VA_ARGS__)
+#define ISSR_DEBUG(...) ISSR_LOG_AT(::issr::LogLevel::kDebug, __VA_ARGS__)
+#define ISSR_TRACE(...) ISSR_LOG_AT(::issr::LogLevel::kTrace, __VA_ARGS__)

@@ -1,0 +1,81 @@
+// Deterministic pseudo-random number generation for workload synthesis.
+//
+// All experiment inputs (dense tensors, sparse vectors, synthetic matrices)
+// are generated from a seeded xoshiro256** engine so every test and bench
+// run is exactly reproducible across platforms and standard libraries
+// (std::normal_distribution is implementation-defined, so we ship our own
+// Box-Muller transform).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace issr {
+
+/// xoshiro256** 1.0 by Blackman & Vigna, seeded via splitmix64.
+/// Satisfies UniformRandomBitGenerator.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256(std::uint64_t seed = 0x1d52'5dbe'ef15'ca45ull);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ull; }
+
+  result_type operator()();
+
+  /// Advance the state by 2^128 steps; used to derive independent streams.
+  void jump();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+/// Convenience wrapper bundling the engine with common distributions.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x1d52'5dbe'ef15'ca45ull) : eng_(seed) {}
+
+  /// Uniform in [0, 1).
+  double uniform();
+
+  /// Uniform real in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::uint64_t uniform_int(std::uint64_t lo, std::uint64_t hi);
+
+  /// Standard normal via Box-Muller (deterministic across platforms).
+  double normal();
+
+  /// Normal with the given mean / standard deviation.
+  double normal(double mean, double stddev);
+
+  /// `count` draws from normal(0,1); the paper's dense test tensors.
+  std::vector<double> normal_vector(std::size_t count);
+
+  /// Sample `count` distinct values from [0, universe) in increasing order.
+  /// Used for sparse-vector index generation (uniform index distribution).
+  /// Requires count <= universe.
+  std::vector<std::uint32_t> distinct_sorted(std::uint32_t count,
+                                             std::uint32_t universe);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(uniform_int(0, i - 1));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  Xoshiro256& engine() { return eng_; }
+
+ private:
+  Xoshiro256 eng_;
+  bool have_spare_ = false;
+  double spare_ = 0.0;
+};
+
+}  // namespace issr

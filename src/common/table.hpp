@@ -1,0 +1,52 @@
+// Console table and CSV emission for the benchmark harnesses. Every
+// figure/table bench prints one of these so outputs are uniform and
+// machine-parseable.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace issr {
+
+/// A simple column-aligned text table with an optional title, printed to
+/// stdout, plus CSV export. Cells are strings; helpers format numerics.
+class Table {
+ public:
+  explicit Table(std::string title = {}) : title_(std::move(title)) {}
+
+  /// Set header row; must be called before adding rows.
+  void set_header(std::vector<std::string> header);
+
+  /// Append a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  std::size_t rows() const { return rows_.size(); }
+  std::size_t cols() const { return header_.size(); }
+  const std::vector<std::string>& header() const { return header_; }
+  const std::vector<std::string>& row(std::size_t i) const {
+    return rows_.at(i);
+  }
+
+  /// Render aligned text to `out` (defaults to stdout).
+  void print(std::FILE* out = stdout) const;
+
+  /// Render as CSV (RFC-4180-style quoting when needed).
+  std::string to_csv() const;
+
+  /// Write CSV to a file; returns false on I/O failure.
+  bool write_csv(const std::string& path) const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format helpers for table cells.
+std::string fmt_f(double v, int precision = 3);
+std::string fmt_pct(double fraction, int precision = 1);
+std::string fmt_u(std::uint64_t v);
+std::string fmt_speedup(double v, int precision = 2);
+
+}  // namespace issr

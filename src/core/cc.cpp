@@ -1,0 +1,45 @@
+#include "core/cc.hpp"
+
+#include <cassert>
+
+namespace issr::core {
+
+CoreComplex::CoreComplex(const CcParams& params, const isa::Program& program,
+                         mem::MemPort& shared_port, mem::MemPort& issr_port,
+                         mem::MemPort* issr_idx_port)
+    : shared_hub_(shared_port), issr_hub_(issr_port) {
+  // Shared-port clients, in service order: SSR lane, FP LSU, core LSU.
+  ssr::PortClient ssr_client = shared_hub_.add_client();
+  ssr::PortClient fp_lsu_client = shared_hub_.add_client();
+  ssr::PortClient core_lsu_client = shared_hub_.add_client();
+  ssr::PortClient issr_client = issr_hub_.add_client();
+
+  ssr::PortClient issr_idx_client;
+  if (params.streamer.issr_lane.dedicated_idx_port) {
+    assert(issr_idx_port != nullptr &&
+           "dedicated index port requested but no port supplied");
+    issr_idx_hub_ = std::make_unique<ssr::PortHub>(*issr_idx_port);
+    issr_idx_client = issr_idx_hub_->add_client();
+  }
+
+  streamer_ = std::make_unique<ssr::Streamer>(params.streamer, ssr_client,
+                                              issr_client, issr_idx_client);
+  fpss_ = std::make_unique<Fpss>(params.fpss, *streamer_, fp_lsu_client);
+  core_ = std::make_unique<SnitchCore>(params.core, program, *fpss_,
+                                       *streamer_, core_lsu_client);
+}
+
+void CoreComplex::tick(cycle_t now) {
+  shared_hub_.tick();
+  issr_hub_.tick();
+  if (issr_idx_hub_) issr_idx_hub_->tick();
+  // Tick order realizes the shared-port arbitration priority: the core's
+  // sporadic, latency-critical requests win over the FP LSU, which wins
+  // over the SSR data mover's continuous (FIFO-buffered, latency-tolerant)
+  // stream traffic.
+  core_->tick(now);
+  fpss_->tick(now);
+  streamer_->tick(now);
+}
+
+}  // namespace issr::core

@@ -1,0 +1,60 @@
+// Snitch core complex (CC, Fig. 3): integer core + FPU subsystem + ISSR
+// streamer, wired to two memory ports with the paper's topology (§II-C):
+//  - port 0 (shared): core LSU + FP LSU + SSR data mover — the SSR lane
+//    is served first each cycle, then the FP LSU, then the core;
+//  - port 1 (exclusive): the ISSR lane's multiplexed index/data traffic.
+// An optional third port serves the dedicated-index-port ablation.
+#pragma once
+
+#include <memory>
+
+#include "core/fpss.hpp"
+#include "core/snitch.hpp"
+#include "isa/program.hpp"
+#include "mem/port.hpp"
+#include "ssr/port_hub.hpp"
+#include "ssr/streamer.hpp"
+
+namespace issr::core {
+
+struct CcParams {
+  SnitchParams core;
+  FpssParams fpss;
+  ssr::StreamerParams streamer;
+};
+
+class CoreComplex {
+ public:
+  /// `issr_idx_port` must be non-null iff the streamer params request a
+  /// dedicated index port.
+  CoreComplex(const CcParams& params, const isa::Program& program,
+              mem::MemPort& shared_port, mem::MemPort& issr_port,
+              mem::MemPort* issr_idx_port = nullptr);
+
+  SnitchCore& core() { return *core_; }
+  const SnitchCore& core() const { return *core_; }
+  Fpss& fpss() { return *fpss_; }
+  const Fpss& fpss() const { return *fpss_; }
+  ssr::Streamer& streamer() { return *streamer_; }
+  const ssr::Streamer& streamer() const { return *streamer_; }
+
+  bool halted() const { return core_->halted(); }
+  /// True iff the CC has fully finished: core halted, FPU subsystem
+  /// drained, and no streamer job still active.
+  bool quiescent(cycle_t now) const {
+    return halted() && fpss_->idle(now) && !streamer_->busy();
+  }
+
+  void tick(cycle_t now);
+
+ private:
+  ssr::PortHub shared_hub_;
+  ssr::PortHub issr_hub_;
+  std::unique_ptr<ssr::PortHub> issr_idx_hub_;
+
+  std::unique_ptr<ssr::Streamer> streamer_;
+  std::unique_ptr<Fpss> fpss_;
+  std::unique_ptr<SnitchCore> core_;
+};
+
+}  // namespace issr::core

@@ -1,0 +1,140 @@
+// Snitch FPU subsystem (Fig. 3 "FPU Subsystem"): receives offloaded FP
+// instructions from the integer core through a queue (the decoupling that
+// gives Snitch its pseudo-dual-issue behaviour, [6]), sequences them —
+// including FREP hardware loops with register staggering — and executes
+// them on a pipelined FPU, an FP load/store unit sharing the core's TCDM
+// port, and the SSR/ISSR stream register file.
+//
+// Issue rules (one instruction per cycle):
+//  - FP source registers with stream semantics pop their lane FIFO; the
+//    instruction stalls until every stream source has data and a stream
+//    destination has FIFO space (this stall is what transfers the ISSR
+//    port-multiplexing ceiling onto FPU utilization);
+//  - non-stream FP sources/destinations respect a scoreboard tracking
+//    pipeline writebacks (RAW/WAW);
+//  - fld/fsd issue through the FP LSU when the shared port is free;
+//  - fdiv/fsqrt block the single iterative unit.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "core/fpu.hpp"
+#include "isa/inst.hpp"
+#include "ssr/port_hub.hpp"
+#include "ssr/streamer.hpp"
+
+namespace issr::core {
+
+struct FpssParams {
+  FpuParams fpu;
+  std::size_t offload_queue_depth = 8;
+  unsigned lsu_max_outstanding = 4;
+};
+
+struct FpssStats {
+  std::uint64_t issued = 0;       ///< FP-subsystem instructions issued
+  std::uint64_t fp_compute = 0;   ///< FPU arithmetic issues
+  std::uint64_t fmadd = 0;        ///< FMA-class issues (paper's useful work)
+  std::uint64_t fmul = 0;         ///< multiplies (the CsrMV row-head MACs)
+  std::uint64_t flops = 0;        ///< double-precision flop count
+  std::uint64_t loads = 0;
+  std::uint64_t stores = 0;
+  std::uint64_t stall_stream = 0;  ///< cycles stalled on stream FIFOs
+  std::uint64_t stall_raw = 0;     ///< cycles stalled on FP scoreboard
+  std::uint64_t stall_mem = 0;     ///< cycles stalled on LSU/port
+  std::uint64_t idle_cycles = 0;   ///< nothing to issue
+};
+
+/// One offloaded instruction plus the integer operand captured at the
+/// core's issue stage (effective address for fld/fsd, rs1 value for
+/// int->FP converts, iteration count for FREP).
+struct OffloadEntry {
+  isa::Inst inst;
+  std::uint64_t int_operand = 0;
+};
+
+class Fpss {
+ public:
+  Fpss(const FpssParams& params, ssr::Streamer& streamer,
+       ssr::PortClient lsu_port);
+
+  // --- Core-side interface -------------------------------------------------
+  bool can_offload() const { return queue_.size() < params_.offload_queue_depth; }
+  void offload(const OffloadEntry& entry);
+
+  /// True iff every offloaded instruction has fully completed (queue and
+  /// FREP drained, pipeline writebacks done, no outstanding FP loads).
+  bool idle(cycle_t now) const;
+
+  /// Pop a matured FP->int writeback destined for the integer regfile.
+  struct IntWriteback {
+    std::uint8_t rd;
+    std::uint64_t value;
+  };
+  std::optional<IntWriteback> pop_int_writeback(cycle_t now);
+
+  // --- Simulation ----------------------------------------------------------
+  void tick(cycle_t now);
+
+  // --- State access (tests, result extraction) -----------------------------
+  double freg(unsigned idx) const { return fregs_[idx]; }
+  void set_freg(unsigned idx, double v) { fregs_[idx] = v; }
+
+  const FpssStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = {}; }
+
+ private:
+  struct FrepState {
+    bool active = false;
+    bool capturing = false;
+    std::vector<isa::Inst> buffer;
+    unsigned n_insts = 0;
+    std::uint64_t total_iters = 0;
+    std::uint64_t iter = 0;  ///< current iteration (0-based)
+    unsigned pos = 0;        ///< position within the buffer
+    unsigned stagger_max = 0;
+    unsigned stagger_mask = 0;
+  };
+
+  /// Apply FREP register staggering for the given iteration.
+  isa::Inst staggered(const isa::Inst& inst, std::uint64_t iter) const;
+
+  /// Gather the FP source register fields of an instruction.
+  static unsigned fp_src_regs(const isa::Inst& inst, std::uint8_t out[3]);
+
+  bool scoreboard_busy(unsigned reg, cycle_t now) const {
+    return load_pending_[reg] || busy_until_[reg] > now;
+  }
+
+  /// Try to issue `inst` this cycle; returns true on success.
+  bool try_issue(const isa::Inst& inst, std::uint64_t int_operand,
+                 cycle_t now);
+
+  FpssParams params_;
+  ssr::Streamer& streamer_;
+  ssr::PortClient lsu_;
+
+  double fregs_[32] = {};
+  cycle_t busy_until_[32] = {};
+  bool load_pending_[32] = {};
+  cycle_t iterative_busy_until_ = 0;
+  cycle_t last_completion_ = 0;  ///< max over scheduled writebacks
+
+  std::deque<OffloadEntry> queue_;
+  FrepState frep_;
+  unsigned lsu_outstanding_ = 0;
+
+  struct PendingIntWb {
+    cycle_t ready_at;
+    std::uint8_t rd;
+    std::uint64_t value;
+  };
+  std::deque<PendingIntWb> int_wb_;
+
+  FpssStats stats_;
+};
+
+}  // namespace issr::core

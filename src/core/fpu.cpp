@@ -1,0 +1,94 @@
+#include "core/fpu.hpp"
+
+#include <bit>
+#include <cassert>
+#include <cmath>
+
+namespace issr::core {
+
+using isa::Op;
+
+unsigned fpu_latency(const FpuParams& p, Op op) {
+  switch (op) {
+    case Op::kFmaddD: case Op::kFmsubD: case Op::kFnmsubD: case Op::kFnmaddD:
+    case Op::kFaddD: case Op::kFsubD: case Op::kFmulD:
+      return p.fma_latency;
+    case Op::kFdivD:
+      return p.div_latency;
+    case Op::kFsqrtD:
+      return p.sqrt_latency;
+    default:
+      return p.misc_latency;
+  }
+}
+
+bool fpu_is_iterative(Op op) {
+  return op == Op::kFdivD || op == Op::kFsqrtD;
+}
+
+double fpu_compute(Op op, double a, double b, double c) {
+  switch (op) {
+    case Op::kFmaddD: return std::fma(a, b, c);
+    case Op::kFmsubD: return std::fma(a, b, -c);
+    case Op::kFnmsubD: return std::fma(-a, b, c);
+    case Op::kFnmaddD: return -std::fma(a, b, c);
+    case Op::kFaddD: return a + b;
+    case Op::kFsubD: return a - b;
+    case Op::kFmulD: return a * b;
+    case Op::kFdivD: return a / b;
+    case Op::kFsqrtD: return std::sqrt(a);
+    case Op::kFsgnjD: return std::copysign(a, b);
+    case Op::kFsgnjnD: return std::copysign(a, -b);
+    case Op::kFsgnjxD: {
+      const auto sa = std::bit_cast<std::uint64_t>(a);
+      const auto sb = std::bit_cast<std::uint64_t>(b);
+      return std::bit_cast<double>(sa ^ (sb & 0x8000'0000'0000'0000ull));
+    }
+    case Op::kFminD:
+      // RISC-V fmin: -0.0 < +0.0; NaN handling simplified to std::fmin.
+      return std::fmin(a, b);
+    case Op::kFmaxD: return std::fmax(a, b);
+    default:
+      assert(false && "not an FP->FP op");
+      return 0.0;
+  }
+}
+
+std::uint64_t fpu_compute_to_int(Op op, double a, double b) {
+  switch (op) {
+    case Op::kFeqD: return a == b ? 1 : 0;
+    case Op::kFltD: return a < b ? 1 : 0;
+    case Op::kFleD: return a <= b ? 1 : 0;
+    case Op::kFcvtWD: {
+      const auto v = static_cast<std::int32_t>(a);
+      return static_cast<std::uint64_t>(static_cast<std::int64_t>(v));
+    }
+    case Op::kFcvtWuD: {
+      const auto v = static_cast<std::uint32_t>(a);
+      // RV64: fcvt.wu.d sign-extends the 32-bit result.
+      return static_cast<std::uint64_t>(
+          static_cast<std::int64_t>(static_cast<std::int32_t>(v)));
+    }
+    case Op::kFmvXD: return std::bit_cast<std::uint64_t>(a);
+    default:
+      assert(false && "not an FP->int op");
+      return 0;
+  }
+}
+
+double fpu_compute_from_int(Op op, std::uint64_t value) {
+  switch (op) {
+    case Op::kFcvtDW:
+      return static_cast<double>(
+          static_cast<std::int32_t>(static_cast<std::uint32_t>(value)));
+    case Op::kFcvtDWu:
+      return static_cast<double>(static_cast<std::uint32_t>(value));
+    case Op::kFmvDX:
+      return std::bit_cast<double>(value);
+    default:
+      assert(false && "not an int->FP op");
+      return 0.0;
+  }
+}
+
+}  // namespace issr::core

@@ -1,0 +1,39 @@
+// Double-precision FPU datapath semantics and latency model. The Snitch
+// FPU (FPnew) is fully pipelined for FMA-class operations; divide/sqrt are
+// iterative. Latencies are configurable; the defaults make the paper's
+// accumulator staggering arithmetic work out: at FMA latency 4, the 0.80
+// issue rate of the 16-bit ISSR kernel needs 4 staggered accumulators
+// (reuse distance 4/0.8 = 5 cycles >= 4) while the 0.67 rate of the
+// 32-bit kernel needs only 3 (3/0.67 = 4.5 >= 4), matching §III-B.
+#pragma once
+
+#include <cstdint>
+
+#include "isa/inst.hpp"
+
+namespace issr::core {
+
+struct FpuParams {
+  unsigned fma_latency = 4;    ///< fmadd/fadd/fmul and variants
+  unsigned misc_latency = 2;   ///< sign-injection, min/max, moves, cvt, cmp
+  unsigned div_latency = 14;   ///< fdiv.d (iterative, unpipelined)
+  unsigned sqrt_latency = 18;  ///< fsqrt.d (iterative, unpipelined)
+};
+
+/// Cycles from issue to result availability for `op`.
+unsigned fpu_latency(const FpuParams& params, isa::Op op);
+
+/// True iff the op blocks the (single) iterative divide/sqrt unit.
+bool fpu_is_iterative(isa::Op op);
+
+/// Execute an FP->FP operation. Operands map to rs1/rs2/rs3.
+double fpu_compute(isa::Op op, double a, double b, double c);
+
+/// Execute an FP op producing an integer result (compare, fcvt.w.d,
+/// fmv.x.d), sign-extended to 64 bits where the ISA says so.
+std::uint64_t fpu_compute_to_int(isa::Op op, double a, double b);
+
+/// Execute an integer->FP operation (fcvt.d.w/.wu, fmv.d.x).
+double fpu_compute_from_int(isa::Op op, std::uint64_t value);
+
+}  // namespace issr::core

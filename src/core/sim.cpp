@@ -1,0 +1,96 @@
+#include "core/sim.hpp"
+
+#include <cassert>
+
+#include "common/bitutil.hpp"
+#include "common/log.hpp"
+
+namespace issr::core {
+
+CcSim::CcSim(const CcSimConfig& config)
+    : config_(config), alloc_cursor_(config.data_base) {
+  const unsigned num_ports =
+      config_.cc.streamer.issr_lane.dedicated_idx_port ? 3 : 2;
+  memory_ =
+      std::make_unique<mem::IdealMemory>(num_ports, config_.mem_latency);
+}
+
+void CcSim::set_program(isa::Program program) {
+  program_ = std::move(program);
+  mem::MemPort* idx_port =
+      config_.cc.streamer.issr_lane.dedicated_idx_port ? &memory_->port(2)
+                                                       : nullptr;
+  cc_ = std::make_unique<CoreComplex>(config_.cc, program_, memory_->port(0),
+                                      memory_->port(1), idx_port);
+}
+
+addr_t CcSim::alloc(std::size_t bytes, std::size_t align) {
+  alloc_cursor_ = align_up(alloc_cursor_, align);
+  const addr_t base = alloc_cursor_;
+  alloc_cursor_ += bytes;
+  return base;
+}
+
+addr_t CcSim::stage(const std::vector<double>& values) {
+  const addr_t base = alloc(values.size() * sizeof(double));
+  memory_->store().write_doubles(base, values.data(), values.size());
+  return base;
+}
+
+addr_t CcSim::stage_indices(const std::vector<std::uint32_t>& idcs,
+                            sparse::IndexWidth width,
+                            unsigned misalign_bytes) {
+  const auto packed = sparse::pack_indices(idcs, width);
+  const addr_t base = alloc(packed.size() + misalign_bytes) + misalign_bytes;
+  if (!packed.empty()) {
+    memory_->store().write_block(base, packed.data(), packed.size());
+  }
+  return base;
+}
+
+addr_t CcSim::stage_u32(const std::vector<std::uint32_t>& words) {
+  const addr_t base = alloc(words.size() * sizeof(std::uint32_t), 4);
+  if (!words.empty()) {
+    memory_->store().write_u32s(base, words.data(), words.size());
+  }
+  return base;
+}
+
+std::vector<double> CcSim::read_f64s(addr_t addr, std::size_t count) const {
+  std::vector<double> out(count);
+  memory_->store().read_doubles(addr, out.data(), count);
+  return out;
+}
+
+CcSimResult CcSim::run(cycle_t max_cycles) {
+  assert(cc_ && "set_program() must be called before run()");
+  cycle_t now = 0;
+  while (now < max_cycles) {
+    memory_->tick(now);
+    cc_->tick(now);
+    ++now;
+    if (cc_->quiescent(now)) break;
+  }
+  if (now >= max_cycles) {
+    ISSR_ERROR("CcSim::run hit the cycle limit (%llu) at pc=0x%llx",
+               static_cast<unsigned long long>(max_cycles),
+               static_cast<unsigned long long>(cc_->core().pc()));
+    assert(false && "simulation did not terminate");
+  }
+
+  // Drain: grant any store still pending at the memory ports (a write
+  // issued on the final cycle has not been serviced yet).
+  for (cycle_t d = 0; d < config_.mem_latency + 4; ++d) {
+    memory_->tick(now + d);
+  }
+
+  CcSimResult result;
+  result.cycles = now;
+  result.core = cc_->core().stats();
+  result.fpss = cc_->fpss().stats();
+  result.ssr_lane = cc_->streamer().lane(ssr::Streamer::kSsrLane).stats();
+  result.issr_lane = cc_->streamer().lane(ssr::Streamer::kIssrLane).stats();
+  return result;
+}
+
+}  // namespace issr::core

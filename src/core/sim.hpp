@@ -1,0 +1,92 @@
+// Single-CC simulation harness reproducing the paper's §IV-A setup: one
+// core complex coupled to ideal single-cycle instruction memory and a
+// two-port ideal data memory (which behaves like the cluster TCDM minus
+// bank conflicts and misses). Provides data staging helpers and run-to-
+// completion with statistics extraction.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/types.hpp"
+#include "core/cc.hpp"
+#include "isa/program.hpp"
+#include "mem/ideal_mem.hpp"
+#include "sparse/dense.hpp"
+#include "sparse/fiber.hpp"
+
+namespace issr::core {
+
+struct CcSimConfig {
+  CcParams cc;
+  cycle_t mem_latency = 1;  ///< ideal data memory response latency
+  /// Base of the staged-data region (mirrors the cluster TCDM window).
+  addr_t data_base = 0x1000'0000;
+};
+
+/// Result of a completed run.
+struct CcSimResult {
+  cycle_t cycles = 0;
+  SnitchStats core;
+  FpssStats fpss;
+  ssr::LaneStats ssr_lane;
+  ssr::LaneStats issr_lane;
+
+  /// Paper Fig. 4a metric: FPU arithmetic issues per cycle (including
+  /// accumulator reductions).
+  double fpu_util() const {
+    return cycles ? static_cast<double>(fpss.fp_compute) /
+                        static_cast<double>(cycles)
+                  : 0.0;
+  }
+  /// Reduction-free variant (only FMA-class issues counted).
+  double fpu_util_fmadd_only() const {
+    return cycles ? static_cast<double>(fpss.fmadd) /
+                        static_cast<double>(cycles)
+                  : 0.0;
+  }
+};
+
+class CcSim {
+ public:
+  explicit CcSim(const CcSimConfig& config = {});
+
+  /// Load the program image (must be called before run()).
+  void set_program(isa::Program program);
+
+  mem::BackingStore& mem() { return memory_->store(); }
+  const CcSimConfig& config() const { return config_; }
+
+  // --- Data staging --------------------------------------------------------
+  /// Bump-allocate a block in the data region (8-byte aligned by default).
+  addr_t alloc(std::size_t bytes, std::size_t align = 8);
+  /// Stage a vector of doubles; returns its base address.
+  addr_t stage(const std::vector<double>& values);
+  addr_t stage(const sparse::DenseVector& v) { return stage(v.vec()); }
+  /// Stage an index array packed at the given width (arbitrary alignment
+  /// can be forced with `misalign_bytes` to exercise the serializer).
+  addr_t stage_indices(const std::vector<std::uint32_t>& idcs,
+                       sparse::IndexWidth width, unsigned misalign_bytes = 0);
+  /// Stage 32-bit words (row pointers).
+  addr_t stage_u32(const std::vector<std::uint32_t>& words);
+
+  /// Read back a staged double / block of doubles.
+  double read_f64(addr_t addr) const { return memory_->store().load_f64(addr); }
+  std::vector<double> read_f64s(addr_t addr, std::size_t count) const;
+
+  // --- Execution -----------------------------------------------------------
+  /// Run until the CC is quiescent; aborts after `max_cycles`.
+  CcSimResult run(cycle_t max_cycles = 1'000'000'000);
+
+  CoreComplex& cc() { return *cc_; }
+
+ private:
+  CcSimConfig config_;
+  std::unique_ptr<mem::IdealMemory> memory_;
+  isa::Program program_;
+  std::unique_ptr<CoreComplex> cc_;
+  addr_t alloc_cursor_;
+};
+
+}  // namespace issr::core

@@ -1,0 +1,388 @@
+#include "core/snitch.hpp"
+
+#include <cassert>
+
+#include "common/bitutil.hpp"
+
+namespace issr::core {
+
+using isa::Inst;
+using isa::Op;
+
+namespace {
+
+/// Load-response extension kinds, packed into the request tag next to rd.
+enum ExtKind : std::uint32_t {
+  kExtS8 = 0, kExtU8, kExtS16, kExtU16, kExtS32, kExtU32, kExt64,
+};
+
+std::uint32_t load_tag(unsigned rd, ExtKind ext) {
+  return static_cast<std::uint32_t>(rd) | (static_cast<std::uint32_t>(ext) << 5);
+}
+
+std::uint64_t extend_load(std::uint64_t raw, ExtKind ext) {
+  switch (ext) {
+    case kExtS8: return static_cast<std::uint64_t>(sign_extend(raw, 8));
+    case kExtU8: return raw & 0xffull;
+    case kExtS16: return static_cast<std::uint64_t>(sign_extend(raw, 16));
+    case kExtU16: return raw & 0xffffull;
+    case kExtS32: return static_cast<std::uint64_t>(sign_extend(raw, 32));
+    case kExtU32: return raw & 0xffffffffull;
+    case kExt64: return raw;
+  }
+  return raw;
+}
+
+}  // namespace
+
+SnitchCore::SnitchCore(const SnitchParams& params,
+                       const isa::Program& program, Fpss& fpss,
+                       ssr::Streamer& streamer, ssr::PortClient lsu_port)
+    : params_(params),
+      program_(program),
+      fpss_(fpss),
+      streamer_(streamer),
+      lsu_(lsu_port),
+      pc_(isa::Program::kBaseAddr) {}
+
+void SnitchCore::tick(cycle_t now) {
+  if (halted_) return;
+  ++stats_.cycles;
+
+  // 1. Load writebacks.
+  while (auto rsp = lsu_.pop_response()) {
+    const unsigned rd = rsp->id & 31;
+    const auto ext = static_cast<ExtKind>(rsp->id >> 5);
+    assert(load_pending_[rd]);
+    load_pending_[rd] = false;
+    if (rd != 0) xregs_[rd] = extend_load(rsp->rdata, ext);
+    assert(loads_outstanding_ > 0);
+    --loads_outstanding_;
+  }
+
+  // 2. FPU-subsystem integer writebacks (fmv.x.d, comparisons, ...).
+  while (auto wb = fpss_.pop_int_writeback(now)) {
+    assert(fpss_pending_[wb->rd]);
+    fpss_pending_[wb->rd] = false;
+    if (wb->rd != 0) xregs_[wb->rd] = wb->value;
+  }
+
+  // 3. Issue.
+  if (stall_until_ > now) return;  // branch/jump redirect bubbles
+  const Inst& inst = program_.fetch(pc_);
+  if (issue(inst, now)) {
+    ++stats_.issued;
+  }
+}
+
+bool SnitchCore::issue(const Inst& inst, cycle_t now) {
+  const Op op = inst.op;
+
+  // --- FPU-subsystem instructions: capture int operands and offload. -----
+  if (op_is_fpss(op)) {
+    // Integer operand dependencies.
+    std::uint64_t int_operand = 0;
+    switch (op) {
+      case Op::kFld: case Op::kFsd: {
+        if (xreg_busy(inst.rs1, now)) {
+          ++stats_.stall_raw;
+          return false;
+        }
+        int_operand = xregs_[inst.rs1] + static_cast<std::uint64_t>(
+                                             static_cast<std::int64_t>(inst.imm));
+        break;
+      }
+      case Op::kFrep: case Op::kFcvtDW: case Op::kFcvtDWu: case Op::kFmvDX: {
+        if (xreg_busy(inst.rs1, now)) {
+          ++stats_.stall_raw;
+          return false;
+        }
+        int_operand = xregs_[inst.rs1];
+        break;
+      }
+      default:
+        break;
+    }
+    // FP->int results write an integer register; reserve it.
+    if (op_fp_to_int(op) && xreg_busy(inst.rd, now)) {
+      ++stats_.stall_raw;
+      return false;
+    }
+    if (!fpss_.can_offload()) {
+      ++stats_.stall_offload;
+      return false;
+    }
+    if (op_fp_to_int(op) && inst.rd != 0) fpss_pending_[inst.rd] = true;
+    fpss_.offload({inst, int_operand});
+    ++stats_.offloads;
+    pc_ += 4;
+    return true;
+  }
+
+  // --- Integer pipeline. ---------------------------------------------------
+  // Source hazards.
+  const bool uses_rs1 =
+      !(op == Op::kLui || op == Op::kAuipc || op == Op::kJal ||
+        op == Op::kEcall || op == Op::kEbreak || op == Op::kFence ||
+        op == Op::kCsrrwi || op == Op::kCsrrsi || op == Op::kCsrrci);
+  const bool uses_rs2 =
+      op_is_branch(op) || (op_is_store(op) && op != Op::kFsd) ||
+      (op >= Op::kAdd && op <= Op::kAnd) || (op >= Op::kMul && op <= Op::kRemu);
+  if (uses_rs1 && xreg_busy(inst.rs1, now)) {
+    ++stats_.stall_raw;
+    return false;
+  }
+  if (uses_rs2 && xreg_busy(inst.rs2, now)) {
+    ++stats_.stall_raw;
+    return false;
+  }
+
+  const std::uint64_t a = xregs_[inst.rs1];
+  const std::uint64_t b = xregs_[inst.rs2];
+  const auto imm = static_cast<std::int64_t>(inst.imm);
+  auto write_rd = [&](std::uint64_t v) { set_xreg(inst.rd, v); };
+
+  switch (op) {
+    case Op::kLui:
+      write_rd(static_cast<std::uint64_t>(imm));
+      break;
+    case Op::kAuipc:
+      write_rd(pc_ + static_cast<std::uint64_t>(imm));
+      break;
+    case Op::kJal: {
+      write_rd(pc_ + 4);
+      pc_ += static_cast<std::uint64_t>(imm);
+      stall_until_ = now + 1 + params_.branch_penalty;
+      ++stats_.branches;
+      ++stats_.taken_branches;
+      return true;
+    }
+    case Op::kJalr: {
+      const addr_t target = (a + static_cast<std::uint64_t>(imm)) & ~1ull;
+      write_rd(pc_ + 4);
+      pc_ = target;
+      stall_until_ = now + 1 + params_.branch_penalty;
+      ++stats_.branches;
+      ++stats_.taken_branches;
+      return true;
+    }
+    case Op::kBeq: case Op::kBne: case Op::kBlt: case Op::kBge:
+    case Op::kBltu: case Op::kBgeu: {
+      bool taken = false;
+      switch (op) {
+        case Op::kBeq: taken = a == b; break;
+        case Op::kBne: taken = a != b; break;
+        case Op::kBlt:
+          taken = static_cast<std::int64_t>(a) < static_cast<std::int64_t>(b);
+          break;
+        case Op::kBge:
+          taken = static_cast<std::int64_t>(a) >= static_cast<std::int64_t>(b);
+          break;
+        case Op::kBltu: taken = a < b; break;
+        case Op::kBgeu: taken = a >= b; break;
+        default: break;
+      }
+      ++stats_.branches;
+      if (taken) {
+        ++stats_.taken_branches;
+        pc_ += static_cast<std::uint64_t>(imm);
+        if (params_.branch_penalty > 0) {
+          stall_until_ = now + 1 + params_.branch_penalty;
+        }
+      } else {
+        pc_ += 4;
+      }
+      return true;
+    }
+    case Op::kLb: case Op::kLh: case Op::kLw: case Op::kLd:
+    case Op::kLbu: case Op::kLhu: case Op::kLwu: {
+      if (loads_outstanding_ >= params_.max_outstanding_loads ||
+          xreg_busy(inst.rd, now) || !lsu_.can_request()) {
+        ++stats_.stall_mem;
+        return false;
+      }
+      mem::MemReq req;
+      req.addr = a + static_cast<std::uint64_t>(imm);
+      ExtKind ext = kExt64;
+      switch (op) {
+        case Op::kLb: req.bytes = 1; ext = kExtS8; break;
+        case Op::kLbu: req.bytes = 1; ext = kExtU8; break;
+        case Op::kLh: req.bytes = 2; ext = kExtS16; break;
+        case Op::kLhu: req.bytes = 2; ext = kExtU16; break;
+        case Op::kLw: req.bytes = 4; ext = kExtS32; break;
+        case Op::kLwu: req.bytes = 4; ext = kExtU32; break;
+        default: req.bytes = 8; ext = kExt64; break;
+      }
+      lsu_.request(req, load_tag(inst.rd, ext));
+      if (inst.rd != 0) load_pending_[inst.rd] = true;
+      ++loads_outstanding_;
+      ++stats_.loads;
+      break;
+    }
+    case Op::kSb: case Op::kSh: case Op::kSw: case Op::kSd: {
+      if (!lsu_.can_request()) {
+        ++stats_.stall_mem;
+        return false;
+      }
+      mem::MemReq req;
+      req.addr = a + static_cast<std::uint64_t>(imm);
+      req.is_write = true;
+      req.wdata = b;
+      req.bytes = op == Op::kSb ? 1 : op == Op::kSh ? 2 : op == Op::kSw ? 4 : 8;
+      lsu_.request(req, 0);
+      ++stats_.stores;
+      break;
+    }
+    case Op::kAddi: write_rd(a + static_cast<std::uint64_t>(imm)); break;
+    case Op::kSlti:
+      write_rd(static_cast<std::int64_t>(a) < imm ? 1 : 0);
+      break;
+    case Op::kSltiu:
+      write_rd(a < static_cast<std::uint64_t>(imm) ? 1 : 0);
+      break;
+    case Op::kXori: write_rd(a ^ static_cast<std::uint64_t>(imm)); break;
+    case Op::kOri: write_rd(a | static_cast<std::uint64_t>(imm)); break;
+    case Op::kAndi: write_rd(a & static_cast<std::uint64_t>(imm)); break;
+    case Op::kSlli: write_rd(a << (inst.imm & 63)); break;
+    case Op::kSrli: write_rd(a >> (inst.imm & 63)); break;
+    case Op::kSrai:
+      write_rd(static_cast<std::uint64_t>(static_cast<std::int64_t>(a) >>
+                                          (inst.imm & 63)));
+      break;
+    case Op::kAdd: write_rd(a + b); break;
+    case Op::kSub: write_rd(a - b); break;
+    case Op::kSll: write_rd(a << (b & 63)); break;
+    case Op::kSlt:
+      write_rd(static_cast<std::int64_t>(a) < static_cast<std::int64_t>(b)
+                   ? 1 : 0);
+      break;
+    case Op::kSltu: write_rd(a < b ? 1 : 0); break;
+    case Op::kXor: write_rd(a ^ b); break;
+    case Op::kSrl: write_rd(a >> (b & 63)); break;
+    case Op::kSra:
+      write_rd(static_cast<std::uint64_t>(static_cast<std::int64_t>(a) >>
+                                          (b & 63)));
+      break;
+    case Op::kOr: write_rd(a | b); break;
+    case Op::kAnd: write_rd(a & b); break;
+    case Op::kMul:
+      write_rd(a * b);
+      if (inst.rd != 0) busy_until_[inst.rd] = now + params_.mul_latency;
+      break;
+    case Op::kMulh: {
+      const auto result = static_cast<std::uint64_t>(
+          (static_cast<__int128>(static_cast<std::int64_t>(a)) *
+           static_cast<__int128>(static_cast<std::int64_t>(b))) >>
+          64);
+      write_rd(result);
+      if (inst.rd != 0) busy_until_[inst.rd] = now + params_.mul_latency;
+      break;
+    }
+    case Op::kDiv:
+      write_rd(b == 0 ? ~0ull
+                      : static_cast<std::uint64_t>(
+                            static_cast<std::int64_t>(a) /
+                            static_cast<std::int64_t>(b)));
+      if (inst.rd != 0) busy_until_[inst.rd] = now + params_.div_latency;
+      break;
+    case Op::kDivu:
+      write_rd(b == 0 ? ~0ull : a / b);
+      if (inst.rd != 0) busy_until_[inst.rd] = now + params_.div_latency;
+      break;
+    case Op::kRem:
+      write_rd(b == 0 ? a
+                      : static_cast<std::uint64_t>(
+                            static_cast<std::int64_t>(a) %
+                            static_cast<std::int64_t>(b)));
+      if (inst.rd != 0) busy_until_[inst.rd] = now + params_.div_latency;
+      break;
+    case Op::kRemu:
+      write_rd(b == 0 ? a : a % b);
+      if (inst.rd != 0) busy_until_[inst.rd] = now + params_.div_latency;
+      break;
+    case Op::kFence:
+      break;  // single memory system: no-op
+    case Op::kEcall:
+      halted_ = true;
+      pc_ += 4;
+      return true;
+    case Op::kEbreak:
+      halted_ = true;
+      pc_ += 4;
+      return true;
+    case Op::kCsrrw: case Op::kCsrrs: case Op::kCsrrc:
+    case Op::kCsrrwi: case Op::kCsrrsi: case Op::kCsrrci:
+      return exec_csr(inst, now);
+    default:
+      assert(false && "unhandled opcode in integer pipeline");
+      return false;
+  }
+  pc_ += 4;
+  return true;
+}
+
+bool SnitchCore::exec_csr(const Inst& inst, cycle_t now) {
+  const bool imm_form = inst.op == Op::kCsrrwi || inst.op == Op::kCsrrsi ||
+                        inst.op == Op::kCsrrci;
+  if (!imm_form && xreg_busy(inst.rs1, now)) {
+    ++stats_.stall_raw;
+    return false;
+  }
+  const std::uint64_t operand =
+      imm_form ? static_cast<std::uint64_t>(inst.imm) : xregs_[inst.rs1];
+  const bool is_write_op = inst.op == Op::kCsrrw || inst.op == Op::kCsrrwi;
+  const bool is_set_op = inst.op == Op::kCsrrs || inst.op == Op::kCsrrsi;
+  const std::uint16_t csr = inst.csr;
+  std::uint64_t old_value = 0;
+
+  if (csr == isa::kCsrCycle) {
+    old_value = now;
+  } else if (csr == isa::kCsrMhartid) {
+    old_value = params_.hartid;
+  } else if (csr == isa::kCsrSsrEnable) {
+    old_value = ssr_enable_csr_;
+    std::uint64_t next = old_value;
+    if (is_write_op) next = operand;
+    else if (is_set_op) next |= operand;
+    else next &= ~operand;
+    ssr_enable_csr_ = next;
+    streamer_.set_enabled((next & 1) != 0);
+  } else if (isa::is_ssr_cfg_csr(csr, ssr::Streamer::kNumLanes)) {
+    const unsigned lane = isa::ssr_csr_lane(csr);
+    const isa::SsrCfgReg reg = isa::ssr_csr_reg(csr);
+    old_value = streamer_.read_cfg(lane, reg);
+    if (is_write_op || operand != 0) {
+      // Set/clear forms on config registers are modeled as full writes of
+      // the combined value (kernels use csrrw for configuration).
+      std::uint64_t next = operand;
+      if (is_set_op) next = old_value | operand;
+      else if (!is_write_op) next = old_value & ~operand;
+      if (!streamer_.write_cfg(lane, reg, next)) {
+        ++stats_.stall_cfg;
+        return false;  // shadow config occupied: retry next cycle
+      }
+    }
+  } else if (csr == isa::kCsrFpssSync) {
+    if (!fpss_.idle(now)) {
+      ++stats_.stall_sync;
+      return false;
+    }
+    old_value = 0;
+  } else if (csr == isa::kCsrBarrier) {
+    if (barrier_) {
+      if (!barrier_(params_.hartid)) {
+        ++stats_.stall_sync;
+        return false;
+      }
+    }
+    old_value = 0;
+  } else {
+    old_value = 0;  // unimplemented CSRs read as zero, writes ignored
+  }
+
+  set_xreg(inst.rd, old_value);
+  pc_ += 4;
+  return true;
+}
+
+}  // namespace issr::core

@@ -1,0 +1,106 @@
+// Snitch integer core: tiny single-issue, in-order RV64 core ([6]). One
+// instruction issues per cycle unless blocked by a scoreboard hazard, a
+// full FPU-subsystem offload queue, a busy memory port, or a blocking CSR
+// (FPU-subsystem sync, cluster barrier). FP instructions are offloaded
+// with their integer operands captured at issue, so the core runs ahead of
+// the FPU — the pseudo-dual-issue execution mode the kernels exploit.
+//
+// Instruction fetch is ideal (the L0/L1 caches of the cluster are modeled
+// as hitting always; the paper notes only minor icache stall effects).
+// Taken branches incur `branch_penalty` bubbles (default 0, matching the
+// paper's 9-instructions = 9-cycles baseline inner loop; an ablation bench
+// explores nonzero penalties).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "core/fpss.hpp"
+#include "isa/csr_map.hpp"
+#include "isa/program.hpp"
+#include "ssr/port_hub.hpp"
+#include "ssr/streamer.hpp"
+
+namespace issr::core {
+
+struct SnitchParams {
+  std::uint32_t hartid = 0;
+  unsigned branch_penalty = 0;
+  unsigned mul_latency = 3;
+  unsigned div_latency = 20;
+  unsigned max_outstanding_loads = 2;
+};
+
+struct SnitchStats {
+  std::uint64_t cycles = 0;
+  std::uint64_t issued = 0;
+  std::uint64_t loads = 0;
+  std::uint64_t stores = 0;
+  std::uint64_t branches = 0;
+  std::uint64_t taken_branches = 0;
+  std::uint64_t offloads = 0;
+  std::uint64_t stall_raw = 0;      ///< integer scoreboard hazard
+  std::uint64_t stall_offload = 0;  ///< FPU-subsystem queue full
+  std::uint64_t stall_mem = 0;      ///< LSU port busy / outstanding limit
+  std::uint64_t stall_sync = 0;     ///< blocking CSR (fpss sync, barrier)
+  std::uint64_t stall_cfg = 0;      ///< streamer shadow config full
+};
+
+class SnitchCore {
+ public:
+  /// The barrier hook is called each cycle the core sits at a barrier CSR
+  /// read; it returns true once the core may proceed.
+  using BarrierHook = std::function<bool(std::uint32_t hartid)>;
+
+  SnitchCore(const SnitchParams& params, const isa::Program& program,
+             Fpss& fpss, ssr::Streamer& streamer, ssr::PortClient lsu_port);
+
+  void set_barrier_hook(BarrierHook hook) { barrier_ = std::move(hook); }
+
+  bool halted() const { return halted_; }
+  addr_t pc() const { return pc_; }
+
+  std::uint64_t xreg(unsigned idx) const { return xregs_[idx]; }
+  void set_xreg(unsigned idx, std::uint64_t v) {
+    if (idx != 0) xregs_[idx] = v;
+  }
+
+  void tick(cycle_t now);
+
+  const SnitchStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = {}; }
+
+ private:
+  bool xreg_busy(unsigned r, cycle_t now) const {
+    return r != 0 && (load_pending_[r] || fpss_pending_[r] ||
+                      busy_until_[r] > now);
+  }
+
+  /// Execute the instruction at pc_ if all hazards clear; returns true if
+  /// it issued (pc advanced).
+  bool issue(const isa::Inst& inst, cycle_t now);
+
+  bool exec_csr(const isa::Inst& inst, cycle_t now);
+
+  SnitchParams params_;
+  const isa::Program& program_;
+  Fpss& fpss_;
+  ssr::Streamer& streamer_;
+  ssr::PortClient lsu_;
+
+  std::uint64_t xregs_[32] = {};
+  cycle_t busy_until_[32] = {};
+  bool load_pending_[32] = {};
+  bool fpss_pending_[32] = {};
+
+  addr_t pc_;
+  bool halted_ = false;
+  cycle_t stall_until_ = 0;  ///< branch penalty bubbles
+  unsigned loads_outstanding_ = 0;
+  std::uint64_t ssr_enable_csr_ = 0;
+
+  BarrierHook barrier_;
+  SnitchStats stats_;
+};
+
+}  // namespace issr::core

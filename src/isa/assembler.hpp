@@ -1,0 +1,163 @@
+// Programmatic assembler: the kernel library builds instruction streams
+// through this fluent API. Labels resolve forward/backward branch and jump
+// offsets at assemble() time; pseudo-instructions (li, mv, j, nop, call)
+// expand to base instructions with standard RISC-V semantics.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/csr_map.hpp"
+#include "isa/inst.hpp"
+#include "isa/program.hpp"
+
+namespace issr::isa {
+
+/// Opaque label handle.
+struct Label {
+  std::uint32_t id = ~0u;
+  bool valid() const { return id != ~0u; }
+};
+
+class Assembler {
+ public:
+  /// Create an unbound label.
+  Label make_label();
+  /// Bind `label` to the current position. Each label binds exactly once.
+  void bind(Label label);
+  /// Create and bind in one step.
+  Label here();
+
+  /// Current instruction count (offset of the next instruction).
+  std::size_t position() const { return insts_.size(); }
+
+  // --- RV64I -------------------------------------------------------------
+  void lui(Xreg rd, std::int32_t imm20_shifted);
+  void auipc(Xreg rd, std::int32_t imm20_shifted);
+  void jal(Xreg rd, Label target);
+  void jalr(Xreg rd, Xreg rs1, std::int32_t imm = 0);
+  void beq(Xreg rs1, Xreg rs2, Label target);
+  void bne(Xreg rs1, Xreg rs2, Label target);
+  void blt(Xreg rs1, Xreg rs2, Label target);
+  void bge(Xreg rs1, Xreg rs2, Label target);
+  void bltu(Xreg rs1, Xreg rs2, Label target);
+  void bgeu(Xreg rs1, Xreg rs2, Label target);
+  void lb(Xreg rd, Xreg rs1, std::int32_t imm);
+  void lh(Xreg rd, Xreg rs1, std::int32_t imm);
+  void lw(Xreg rd, Xreg rs1, std::int32_t imm);
+  void ld(Xreg rd, Xreg rs1, std::int32_t imm);
+  void lbu(Xreg rd, Xreg rs1, std::int32_t imm);
+  void lhu(Xreg rd, Xreg rs1, std::int32_t imm);
+  void lwu(Xreg rd, Xreg rs1, std::int32_t imm);
+  void sb(Xreg rs2, Xreg rs1, std::int32_t imm);
+  void sh(Xreg rs2, Xreg rs1, std::int32_t imm);
+  void sw(Xreg rs2, Xreg rs1, std::int32_t imm);
+  void sd(Xreg rs2, Xreg rs1, std::int32_t imm);
+  void addi(Xreg rd, Xreg rs1, std::int32_t imm);
+  void slti(Xreg rd, Xreg rs1, std::int32_t imm);
+  void sltiu(Xreg rd, Xreg rs1, std::int32_t imm);
+  void xori(Xreg rd, Xreg rs1, std::int32_t imm);
+  void ori(Xreg rd, Xreg rs1, std::int32_t imm);
+  void andi(Xreg rd, Xreg rs1, std::int32_t imm);
+  void slli(Xreg rd, Xreg rs1, unsigned shamt);
+  void srli(Xreg rd, Xreg rs1, unsigned shamt);
+  void srai(Xreg rd, Xreg rs1, unsigned shamt);
+  void add(Xreg rd, Xreg rs1, Xreg rs2);
+  void sub(Xreg rd, Xreg rs1, Xreg rs2);
+  void sll(Xreg rd, Xreg rs1, Xreg rs2);
+  void slt(Xreg rd, Xreg rs1, Xreg rs2);
+  void sltu(Xreg rd, Xreg rs1, Xreg rs2);
+  void xor_(Xreg rd, Xreg rs1, Xreg rs2);
+  void srl(Xreg rd, Xreg rs1, Xreg rs2);
+  void sra(Xreg rd, Xreg rs1, Xreg rs2);
+  void or_(Xreg rd, Xreg rs1, Xreg rs2);
+  void and_(Xreg rd, Xreg rs1, Xreg rs2);
+  void fence();
+  void ecall();
+  void ebreak();
+
+  // --- M subset ----------------------------------------------------------
+  void mul(Xreg rd, Xreg rs1, Xreg rs2);
+  void mulh(Xreg rd, Xreg rs1, Xreg rs2);
+  void div(Xreg rd, Xreg rs1, Xreg rs2);
+  void divu(Xreg rd, Xreg rs1, Xreg rs2);
+  void rem(Xreg rd, Xreg rs1, Xreg rs2);
+  void remu(Xreg rd, Xreg rs1, Xreg rs2);
+
+  // --- Zicsr -------------------------------------------------------------
+  void csrrw(Xreg rd, std::uint16_t csr, Xreg rs1);
+  void csrrs(Xreg rd, std::uint16_t csr, Xreg rs1);
+  void csrrc(Xreg rd, std::uint16_t csr, Xreg rs1);
+  void csrrwi(Xreg rd, std::uint16_t csr, std::uint8_t zimm);
+  void csrrsi(Xreg rd, std::uint16_t csr, std::uint8_t zimm);
+  void csrrci(Xreg rd, std::uint16_t csr, std::uint8_t zimm);
+
+  // --- D subset ----------------------------------------------------------
+  void fld(Freg rd, Xreg rs1, std::int32_t imm);
+  void fsd(Freg rs2, Xreg rs1, std::int32_t imm);
+  void fmadd_d(Freg rd, Freg rs1, Freg rs2, Freg rs3);
+  void fmsub_d(Freg rd, Freg rs1, Freg rs2, Freg rs3);
+  void fnmsub_d(Freg rd, Freg rs1, Freg rs2, Freg rs3);
+  void fnmadd_d(Freg rd, Freg rs1, Freg rs2, Freg rs3);
+  void fadd_d(Freg rd, Freg rs1, Freg rs2);
+  void fsub_d(Freg rd, Freg rs1, Freg rs2);
+  void fmul_d(Freg rd, Freg rs1, Freg rs2);
+  void fdiv_d(Freg rd, Freg rs1, Freg rs2);
+  void fsqrt_d(Freg rd, Freg rs1);
+  void fsgnj_d(Freg rd, Freg rs1, Freg rs2);
+  void fsgnjn_d(Freg rd, Freg rs1, Freg rs2);
+  void fsgnjx_d(Freg rd, Freg rs1, Freg rs2);
+  void fmin_d(Freg rd, Freg rs1, Freg rs2);
+  void fmax_d(Freg rd, Freg rs1, Freg rs2);
+  void fcvt_d_w(Freg rd, Xreg rs1);
+  void fcvt_d_wu(Freg rd, Xreg rs1);
+  void fcvt_w_d(Xreg rd, Freg rs1);
+  void fcvt_wu_d(Xreg rd, Freg rs1);
+  void fmv_x_d(Xreg rd, Freg rs1);
+  void fmv_d_x(Freg rd, Xreg rs1);
+  void feq_d(Xreg rd, Freg rs1, Freg rs2);
+  void flt_d(Xreg rd, Freg rs1, Freg rs2);
+  void fle_d(Xreg rd, Freg rs1, Freg rs2);
+
+  // --- Snitch FREP -------------------------------------------------------
+  /// Repeat the next `insts` FP instructions (rs1 + 1) times. Operand
+  /// fields selected by `stagger_mask` (bit0 rd, bit1 rs1, bit2 rs2,
+  /// bit3 rs3) are incremented by (iteration % (stagger_max + 1)).
+  void frep(Xreg rs1, unsigned insts, unsigned stagger_max = 0,
+            unsigned stagger_mask = 0);
+
+  // --- Pseudo-instructions -------------------------------------------------
+  void nop();
+  void mv(Xreg rd, Xreg rs1);
+  void fmv_d(Freg rd, Freg rs1);  ///< fsgnj.d rd, rs1, rs1
+  void j(Label target);
+  void ret();
+  /// Load an arbitrary 64-bit constant (expands to the shortest lui/addi/
+  /// slli sequence; worst case 8 instructions).
+  void li(Xreg rd, std::int64_t value);
+  /// Zero an FP register via fcvt.d.w rd, zero.
+  void fzero(Freg rd);
+
+  /// Raw instruction append (used by tests for edge encodings).
+  void emit(const Inst& inst);
+
+  /// Resolve labels and encode. Aborts on unbound labels or out-of-range
+  /// branch offsets.
+  Program assemble() const;
+
+  /// Disassembly listing of the current (unresolved) stream.
+  std::string listing() const;
+
+ private:
+  void branch(Op op, Xreg rs1, Xreg rs2, Label target);
+
+  struct PendingInst {
+    Inst inst;
+    std::uint32_t label_id = ~0u;  ///< branch/jump target (if any)
+  };
+  std::vector<PendingInst> insts_;
+  std::vector<std::int64_t> label_pos_;  ///< -1 while unbound
+};
+
+}  // namespace issr::isa

@@ -1,0 +1,81 @@
+// CSR address map, including the streamer configuration space.
+//
+// The paper configures SSR/ISSR jobs through a shadowed, memory-mapped
+// register interface (§II-A, §III). We expose that interface through the
+// CSR space (as the original SSR work does for its enable/config bits):
+// writes land in the shadow configuration of the addressed lane; writing
+// the read- or write-pointer register commits the shadow and arms a job,
+// enabling few-cycle setups while a previous job drains.
+#pragma once
+
+#include <cstdint>
+
+namespace issr::isa {
+
+// --- Standard CSRs -------------------------------------------------------
+inline constexpr std::uint16_t kCsrCycle = 0xC00;    ///< cycle counter (RO)
+inline constexpr std::uint16_t kCsrMhartid = 0xF14;  ///< core id (RO)
+
+// --- Snitch FPU-subsystem control ----------------------------------------
+/// Bit 0 enables SSR register redirection (ft0/ft1 become streams).
+inline constexpr std::uint16_t kCsrSsrEnable = 0x7C0;
+/// Reading blocks until the FPU subsystem has drained (offload queue empty,
+/// pipeline idle, no FREP in flight); returns 0. Used to synchronize the
+/// integer core with FP-side completion ("dummy register move" in §III-B).
+inline constexpr std::uint16_t kCsrFpssSync = 0x7C1;
+/// Reading blocks until all cluster cores have arrived (hardware barrier);
+/// returns 0. Single-CC simulations treat it as a no-op.
+inline constexpr std::uint16_t kCsrBarrier = 0x7C2;
+
+// --- Streamer lane configuration -----------------------------------------
+// Lane L's registers live at kCsrSsrCfgBase + L*kCsrSsrLaneStride + offset.
+inline constexpr std::uint16_t kCsrSsrCfgBase = 0x7D0;
+inline constexpr std::uint16_t kCsrSsrLaneStride = 0x10;
+
+/// Per-lane register offsets (shadow config unless noted).
+enum class SsrCfgReg : std::uint16_t {
+  kReps = 0x0,     ///< repetitions per datum (0 = emit once)
+  kBound0 = 0x1,   ///< loop 0 iterations - 1 (innermost)
+  kBound1 = 0x2,
+  kBound2 = 0x3,
+  kBound3 = 0x4,
+  kStride0 = 0x5,  ///< byte stride of loop 0
+  kStride1 = 0x6,
+  kStride2 = 0x7,
+  kStride3 = 0x8,
+  kIdxCfg = 0x9,   ///< indirection config, see IdxCfg bits below
+  kIdxBase = 0xA,  ///< index array base byte address
+  kRptr = 0xB,     ///< data/base pointer; write commits shadow, arms READ job
+  kWptr = 0xC,     ///< data/base pointer; write commits shadow, arms WRITE job
+  kStatus = 0xD,   ///< RO: bit0 job active, bit1 shadow full
+};
+
+/// IdxCfg bit layout.
+///   [1:0] index size: 0 = affine (no indirection), 1 = 16-bit, 2 = 32-bit
+///   [7:4] extra left-shift applied to indices beyond the 8-byte word
+///         shift (the "programmable offset" for power-of-two strides)
+inline constexpr std::uint64_t kIdxCfgAffine = 0;
+inline constexpr std::uint64_t kIdxCfgIdx16 = 1;
+inline constexpr std::uint64_t kIdxCfgIdx32 = 2;
+inline constexpr unsigned kIdxCfgShiftLsb = 4;
+
+/// CSR address for a lane's config register.
+constexpr std::uint16_t ssr_csr(unsigned lane, SsrCfgReg reg) {
+  return static_cast<std::uint16_t>(kCsrSsrCfgBase +
+                                    lane * kCsrSsrLaneStride +
+                                    static_cast<std::uint16_t>(reg));
+}
+
+/// Inverse mapping helpers used by the core's CSR dispatch.
+constexpr bool is_ssr_cfg_csr(std::uint16_t csr, unsigned num_lanes) {
+  return csr >= kCsrSsrCfgBase &&
+         csr < kCsrSsrCfgBase + num_lanes * kCsrSsrLaneStride;
+}
+constexpr unsigned ssr_csr_lane(std::uint16_t csr) {
+  return (csr - kCsrSsrCfgBase) / kCsrSsrLaneStride;
+}
+constexpr SsrCfgReg ssr_csr_reg(std::uint16_t csr) {
+  return static_cast<SsrCfgReg>((csr - kCsrSsrCfgBase) % kCsrSsrLaneStride);
+}
+
+}  // namespace issr::isa

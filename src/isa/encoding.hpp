@@ -1,0 +1,24 @@
+// Binary encoding/decoding between `Inst` and 32-bit RISC-V instruction
+// words. Standard RV64IMD/Zicsr encodings are used; FREP occupies the
+// custom-1 opcode (0x2B) with the layout documented at encode_frep().
+#pragma once
+
+#include <optional>
+
+#include "common/types.hpp"
+#include "isa/inst.hpp"
+
+namespace issr::isa {
+
+/// Encode a decoded instruction. Aborts (assert) on malformed fields such
+/// as out-of-range immediates; the assembler validates before encoding.
+insn_word_t encode(const Inst& inst);
+
+/// Decode one instruction word; returns std::nullopt for words outside
+/// the implemented subset.
+std::optional<Inst> decode(insn_word_t word);
+
+/// Render one instruction as assembly text (for traces and tests).
+std::string disassemble(const Inst& inst);
+
+}  // namespace issr::isa

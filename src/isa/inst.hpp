@@ -1,0 +1,107 @@
+// Decoded-instruction model for the RV64 subset + Snitch extensions used
+// by the ISSR kernels: RV64I integer base, M multiply/divide, D
+// double-precision float, Zicsr, plus the FREP hardware-loop instruction
+// (custom-1 opcode). SSR/ISSR configuration uses the CSR space (csr_map.hpp).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace issr::isa {
+
+/// Integer register indices with RISC-V ABI aliases.
+enum Xreg : std::uint8_t {
+  kZero = 0, kRa = 1, kSp = 2, kGp = 3, kTp = 4,
+  kT0 = 5, kT1 = 6, kT2 = 7,
+  kS0 = 8, kS1 = 9,
+  kA0 = 10, kA1 = 11, kA2 = 12, kA3 = 13, kA4 = 14, kA5 = 15, kA6 = 16,
+  kA7 = 17,
+  kS2 = 18, kS3 = 19, kS4 = 20, kS5 = 21, kS6 = 22, kS7 = 23, kS8 = 24,
+  kS9 = 25, kS10 = 26, kS11 = 27,
+  kT3 = 28, kT4 = 29, kT5 = 30, kT6 = 31,
+};
+
+/// Floating-point register indices with ABI aliases. ft0/ft1 are the
+/// stream-semantic registers when SSR redirection is enabled.
+enum Freg : std::uint8_t {
+  kFt0 = 0, kFt1 = 1, kFt2 = 2, kFt3 = 3, kFt4 = 4, kFt5 = 5, kFt6 = 6,
+  kFt7 = 7,
+  kFs0 = 8, kFs1 = 9,
+  kFa0 = 10, kFa1 = 11, kFa2 = 12, kFa3 = 13, kFa4 = 14, kFa5 = 15,
+  kFa6 = 16, kFa7 = 17,
+  kFs2 = 18, kFs3 = 19, kFs4 = 20, kFs5 = 21, kFs6 = 22, kFs7 = 23,
+  kFs8 = 24, kFs9 = 25, kFs10 = 26, kFs11 = 27,
+  kFt8 = 28, kFt9 = 29, kFt10 = 30, kFt11 = 31,
+};
+
+const char* xreg_name(unsigned idx);
+const char* freg_name(unsigned idx);
+
+enum class Op : std::uint8_t {
+  kInvalid = 0,
+  // RV64I.
+  kLui, kAuipc, kJal, kJalr,
+  kBeq, kBne, kBlt, kBge, kBltu, kBgeu,
+  kLb, kLh, kLw, kLd, kLbu, kLhu, kLwu,
+  kSb, kSh, kSw, kSd,
+  kAddi, kSlti, kSltiu, kXori, kOri, kAndi, kSlli, kSrli, kSrai,
+  kAdd, kSub, kSll, kSlt, kSltu, kXor, kSrl, kSra, kOr, kAnd,
+  kFence, kEcall, kEbreak,
+  // M extension (subset).
+  kMul, kMulh, kDiv, kDivu, kRem, kRemu,
+  // Zicsr.
+  kCsrrw, kCsrrs, kCsrrc, kCsrrwi, kCsrrsi, kCsrrci,
+  // D extension (subset; double precision only).
+  kFld, kFsd,
+  kFmaddD, kFmsubD, kFnmsubD, kFnmaddD,
+  kFaddD, kFsubD, kFmulD, kFdivD, kFsqrtD,
+  kFsgnjD, kFsgnjnD, kFsgnjxD, kFminD, kFmaxD,
+  kFcvtDW, kFcvtDWu, kFcvtWD, kFcvtWuD,
+  kFmvXD, kFmvDX,
+  kFeqD, kFltD, kFleD,
+  // Snitch FREP hardware loop (custom-1 opcode space).
+  kFrep,
+};
+
+const char* op_name(Op op);
+
+/// Instruction classes used by the issue logic.
+bool op_is_branch(Op op);
+bool op_is_int_load(Op op);
+bool op_is_store(Op op);
+/// True iff the instruction executes in the FPU subsystem (offloaded).
+bool op_is_fpss(Op op);
+/// FP comparisons / moves that produce an *integer* result from FP state.
+bool op_fp_to_int(Op op);
+/// FP ops consuming an integer operand (fcvt.d.w, fmv.d.x).
+bool op_int_to_fp(Op op);
+/// Number of FP source operands read via fp regs (0-3).
+unsigned op_fp_srcs(Op op);
+/// True iff the op writes an FP destination register.
+bool op_writes_fp_rd(Op op);
+/// True iff the op counts as useful FP compute (FPU datapath arithmetic);
+/// the numerator of the paper's FPU-utilization metric.
+bool op_is_fp_compute(Op op);
+/// Flops performed by one instance (fmadd counts 2).
+unsigned op_flops(Op op);
+
+/// A decoded instruction. Fields not used by an opcode are zero.
+struct Inst {
+  Op op = Op::kInvalid;
+  std::uint8_t rd = 0;
+  std::uint8_t rs1 = 0;
+  std::uint8_t rs2 = 0;
+  std::uint8_t rs3 = 0;
+  std::int32_t imm = 0;     ///< sign-extended immediate / shift amount
+  std::uint16_t csr = 0;    ///< CSR address for Zicsr ops
+  // FREP fields (packed into the custom encoding).
+  std::uint8_t frep_insts = 0;     ///< number of FP instructions in the block
+  std::uint8_t frep_stagger_max = 0;   ///< stagger wraps after max+1 iters
+  std::uint8_t frep_stagger_mask = 0;  ///< bit0 rd, bit1 rs1, bit2 rs2, bit3 rs3
+
+  bool operator==(const Inst&) const = default;
+};
+
+}  // namespace issr::isa

@@ -1,0 +1,20 @@
+#include "isa/program.hpp"
+
+#include "common/log.hpp"
+
+namespace issr::isa {
+
+Program::Program(std::vector<insn_word_t> words) : words_(std::move(words)) {
+  insts_.reserve(words_.size());
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    const auto inst = decode(words_[i]);
+    if (!inst.has_value()) {
+      ISSR_ERROR("undecodable instruction word 0x%08x at offset %zu",
+                 words_[i], i * 4);
+      assert(false && "undecodable instruction in program image");
+    }
+    insts_.push_back(inst.value_or(Inst{}));
+  }
+}
+
+}  // namespace issr::isa

@@ -1,0 +1,57 @@
+#include "kernels/codebook.hpp"
+
+#include <cassert>
+
+#include "isa/assembler.hpp"
+
+namespace issr::kernels {
+
+using namespace issr::isa;
+
+isa::Program build_codebook_dot(const CodebookDotArgs& args) {
+  Assembler a;
+  if (args.count == 0) {
+    a.li(kS5, static_cast<std::int64_t>(args.result));
+    a.sd(kZero, kS5, 0);
+    emit_halt(a);
+    return a.assemble();
+  }
+  const unsigned n_acc = accumulators_for(args.width);
+  emit_affine_job(a, 0, args.b, args.count);  // ft0: dense operand
+  emit_indirect_job(a, 1, args.codebook, args.codes, args.count,
+                    args.width);              // ft1: codebook[codes[i]]
+  emit_ssr_enable(a);
+  emit_zero_accs(a, kFt2, n_acc);
+  a.li(kT0, static_cast<std::int64_t>(args.count) - 1);
+  a.frep(kT0, 1, n_acc - 1, kStaggerRdRs3);
+  a.fmadd_d(kFt2, kFt0, kFt1, kFt2);
+  const Freg sum =
+      emit_reduction(a, kFt2, n_acc, static_cast<Freg>(kFt2 + n_acc));
+  a.li(kS5, static_cast<std::int64_t>(args.result));
+  emit_sync_and_disable(a);
+  a.fsd(sum, kS5, 0);
+  emit_fpss_sync(a);
+  emit_halt(a);
+  return a.assemble();
+}
+
+isa::Program build_codebook_expand(const CodebookExpandArgs& args) {
+  Assembler a;
+  if (args.count == 0) {
+    emit_halt(a);
+    return a.assemble();
+  }
+  // ft1: ISSR read stream decoding the codebook; ft0: SSR write stream
+  // over the contiguous output. One register move per element under FREP.
+  emit_affine_job(a, 0, args.out, args.count, 8, /*write=*/true);
+  emit_indirect_job(a, 1, args.codebook, args.codes, args.count, args.width);
+  emit_ssr_enable(a);
+  a.li(kT0, static_cast<std::int64_t>(args.count) - 1);
+  a.frep(kT0, 1);
+  a.fsgnj_d(kFt0, kFt1, kFt1);  // fmv.d ft0, ft1: stream-to-stream copy
+  emit_sync_and_disable(a);
+  emit_halt(a);
+  return a.assemble();
+}
+
+}  // namespace issr::kernels

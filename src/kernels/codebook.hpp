@@ -1,0 +1,40 @@
+// Codebook-decoding kernels (§III-C): a codebook-compressed vector is a
+// compact value array plus a per-element index stream; the ISSR streams
+// the decoded values directly (data base = codebook, index stream = the
+// codes), so a codebook-compressed dot product has near-identical code and
+// performance to SpVV.
+#pragma once
+
+#include "common/types.hpp"
+#include "isa/program.hpp"
+#include "kernels/kargs.hpp"
+#include "sparse/fiber.hpp"
+
+namespace issr::kernels {
+
+struct CodebookDotArgs {
+  addr_t codebook = 0;   ///< compact value array (f64)
+  addr_t codes = 0;      ///< per-element indices (packed at `width`)
+  std::uint32_t count = 0;  ///< logical vector length
+  addr_t b = 0;          ///< dense operand (contiguous f64)
+  addr_t result = 0;
+  sparse::IndexWidth width = sparse::IndexWidth::kU32;
+};
+
+/// z = sum_i codebook[codes[i]] * b[i]; ISSR decodes the compressed
+/// vector, SSR streams the dense operand.
+isa::Program build_codebook_dot(const CodebookDotArgs& args);
+
+struct CodebookExpandArgs {
+  addr_t codebook = 0;
+  addr_t codes = 0;
+  std::uint32_t count = 0;
+  addr_t out = 0;  ///< decoded dense output (contiguous f64)
+  sparse::IndexWidth width = sparse::IndexWidth::kU32;
+};
+
+/// out[i] = codebook[codes[i]]: pure decode; ISSR read stream copied to
+/// an SSR write stream under FREP.
+isa::Program build_codebook_expand(const CodebookExpandArgs& args);
+
+}  // namespace issr::kernels

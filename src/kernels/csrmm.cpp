@@ -1,0 +1,35 @@
+#include "kernels/csrmm.hpp"
+
+#include <cassert>
+
+#include "isa/assembler.hpp"
+
+namespace issr::kernels {
+
+using namespace issr::isa;
+
+isa::Program build_csrmm(Variant variant, const CsrmmArgs& args) {
+  assert(args.b_cols >= 1);
+  Assembler a;
+  for (std::uint32_t c = 0; c < args.b_cols; ++c) {
+    CsrmvRange r;
+    r.ptr_addr = args.ptr;
+    r.row_count = args.nrows;
+    r.range_nnz = args.nnz;
+    r.vals_addr = args.vals;
+    r.idcs_addr = args.idcs;
+    r.x_addr = args.b + 8ull * c;     // &B[0][c]
+    r.x_shift = args.ldb_log2;        // index k -> B + c*8 + (k << (3+log2 ldb))
+    r.y_addr = args.y + 8ull * c;     // &Y[0][c]
+    r.y_stride = 8ll * args.ldy;      // walk down the result column
+    r.width = args.width;
+    emit_csrmv_range(a, variant, r);
+  }
+  if (variant != Variant::kBase) {
+    emit_sync_and_disable(a);
+  }
+  emit_halt(a);
+  return a.assemble();
+}
+
+}  // namespace issr::kernels

@@ -1,0 +1,38 @@
+// CSR matrix times dense matrix (CsrMM), §III-B: the CsrMV body is
+// iterated along the columns of a power-of-two-leading-dimension,
+// row-major dense operand. Column k of B is addressed by pointing the
+// ISSR's data base at &B[0][k] and shifting indices by log2(ldb), i.e. the
+// "programmable offset" of the index shifter; the result column uses an
+// arbitrary stride, enabling row- and column-major outputs.
+#pragma once
+
+#include "common/types.hpp"
+#include "isa/program.hpp"
+#include "kernels/csrmv.hpp"
+#include "kernels/kargs.hpp"
+
+namespace issr::kernels {
+
+struct CsrmmArgs {
+  // Sparse operand (CSR).
+  addr_t ptr = 0;
+  addr_t idcs = 0;
+  addr_t vals = 0;
+  std::uint32_t nrows = 0;
+  std::uint64_t nnz = 0;
+  // Dense operand B: row-major, ldb a power of two (elements).
+  addr_t b = 0;
+  std::uint32_t b_cols = 0;
+  std::uint32_t ldb_log2 = 0;  ///< log2(leading dimension in elements)
+  // Result Y: row-major with leading dimension ldy (elements).
+  addr_t y = 0;
+  std::uint32_t ldy = 0;
+  sparse::IndexWidth width = sparse::IndexWidth::kU32;
+};
+
+/// Build a complete single-core CsrMM program. Columns are laid out at
+/// build time (one CsrMV body per dense column), mirroring the paper's
+/// third-order loop around the CsrMV kernels.
+isa::Program build_csrmm(Variant variant, const CsrmmArgs& args);
+
+}  // namespace issr::kernels

@@ -1,0 +1,256 @@
+#include "kernels/csrmv.hpp"
+
+#include <cassert>
+
+#include "common/bitutil.hpp"
+
+namespace issr::kernels {
+
+using namespace issr::isa;
+
+namespace {
+
+// Register conventions inside a range body:
+//   s1: ptr cursor            s3: ptr end sentinel
+//   s2: y cursor              s8: y stride
+//   s4: x base (BASE/SSR)     s7: idcs cursor (BASE/SSR)
+//   s9: vals cursor (BASE)    t1: ptr[i]  t2: ptr[i+1]  t3: row nnz
+//   t0/t4/t5: scratch         t6: clobbered by emit_*_job helpers
+
+/// Emit the "store 0.0 for every row" loop for an all-empty range.
+void emit_zero_rows(Assembler& a, const CsrmvRange& r) {
+  if (r.row_count == 0) return;
+  a.li(kS2, static_cast<std::int64_t>(r.y_addr));
+  a.li(kS8, r.y_stride);
+  a.li(kT0, r.row_count);
+  Label loop = a.here();
+  a.sd(kZero, kS2, 0);
+  a.add(kS2, kS2, kS8);
+  a.addi(kT0, kT0, -1);
+  a.bne(kT0, kZero, loop);
+}
+
+void emit_row_header(Assembler& a, const CsrmvRange& r) {
+  a.li(kS1, static_cast<std::int64_t>(r.ptr_addr));
+  a.li(kS3, static_cast<std::int64_t>(r.ptr_addr + 4ull * r.row_count));
+  a.li(kS2, static_cast<std::int64_t>(r.y_addr));
+  a.li(kS8, r.y_stride);
+  a.lw(kT1, kS1, 0);  // ptr[first]
+}
+
+void emit_base_range(Assembler& a, const CsrmvRange& r) {
+  const unsigned iw = sparse::index_bytes(r.width);
+  emit_row_header(a, r);
+  a.li(kS4, static_cast<std::int64_t>(r.x_addr));
+  a.li(kS7, static_cast<std::int64_t>(r.idcs_addr));
+  a.li(kS9, static_cast<std::int64_t>(r.vals_addr));
+
+  Label row_loop = a.here();
+  Label next = a.make_label();
+  Label zero_row = a.make_label();
+  a.lw(kT2, kS1, 4);
+  a.addi(kS1, kS1, 4);
+  a.sub(kT3, kT2, kT1);
+  a.mv(kT1, kT2);
+  a.beq(kT3, kZero, zero_row);
+
+  a.fzero(kFa0);
+  a.slli(kT4, kT3, 3);
+  a.add(kT4, kT4, kS9);  // vals end for this row
+  Label inner = a.here();
+  if (r.width == sparse::IndexWidth::kU16) {
+    a.lhu(kT0, kS7, 0);
+  } else {
+    a.lw(kT0, kS7, 0);
+  }
+  a.slli(kT0, kT0, 3 + static_cast<int>(r.x_shift));
+  a.add(kT0, kT0, kS4);
+  a.fld(kFt0, kS9, 0);
+  a.fld(kFt1, kT0, 0);
+  a.addi(kS7, kS7, static_cast<std::int32_t>(iw));
+  a.addi(kS9, kS9, 8);
+  a.fmadd_d(kFa0, kFt0, kFt1, kFa0);
+  a.bne(kS9, kT4, inner);
+
+  a.fsd(kFa0, kS2, 0);
+  a.j(next);
+
+  a.bind(zero_row);
+  a.sd(kZero, kS2, 0);
+
+  a.bind(next);
+  a.add(kS2, kS2, kS8);
+  a.bne(kS1, kS3, row_loop);
+  emit_fpss_sync(a);
+}
+
+void emit_ssr_range(Assembler& a, const CsrmvRange& r) {
+  const unsigned iw = sparse::index_bytes(r.width);
+  const unsigned iw_log2 = iw == 2 ? 1 : 2;
+  emit_affine_job(a, 0, r.vals_addr, r.range_nnz);  // ft0: matrix values
+  emit_ssr_enable(a);
+  emit_row_header(a, r);
+  a.li(kS4, static_cast<std::int64_t>(r.x_addr));
+  a.li(kS7, static_cast<std::int64_t>(r.idcs_addr));
+
+  Label row_loop = a.here();
+  Label next = a.make_label();
+  Label zero_row = a.make_label();
+  a.lw(kT2, kS1, 4);
+  a.addi(kS1, kS1, 4);
+  a.sub(kT3, kT2, kT1);
+  a.mv(kT1, kT2);
+  a.beq(kT3, kZero, zero_row);
+
+  a.fzero(kFa0);
+  a.slli(kT4, kT3, iw_log2);
+  a.add(kT4, kT4, kS7);  // idcs end for this row
+  Label inner = a.here();
+  if (r.width == sparse::IndexWidth::kU16) {
+    a.lhu(kT0, kS7, 0);
+  } else {
+    a.lw(kT0, kS7, 0);
+  }
+  a.slli(kT0, kT0, 3 + static_cast<int>(r.x_shift));
+  a.add(kT0, kT0, kS4);
+  a.fld(kFt3, kT0, 0);
+  a.addi(kS7, kS7, static_cast<std::int32_t>(iw));
+  a.fmadd_d(kFa0, kFt0, kFt3, kFa0);
+  a.bne(kS7, kT4, inner);
+
+  a.fsd(kFa0, kS2, 0);
+  a.j(next);
+
+  a.bind(zero_row);
+  a.sd(kZero, kS2, 0);
+
+  a.bind(next);
+  a.add(kS2, kS2, kS8);
+  a.bne(kS1, kS3, row_loop);
+  emit_fpss_sync(a);
+}
+
+void emit_issr_range(Assembler& a, const CsrmvRange& r) {
+  const unsigned n_acc = accumulators_for(r.width);
+  emit_affine_job(a, 0, r.vals_addr, r.range_nnz);  // ft0: matrix values
+  emit_indirect_job(a, 1, r.x_addr, r.idcs_addr, r.range_nnz, r.width,
+                    r.x_shift);                     // ft1: x[idcs]
+  emit_ssr_enable(a);
+  emit_row_header(a, r);
+
+  Label row_loop = a.here();
+  Label next = a.make_label();
+  Label zero_row = a.make_label();
+  Label red1 = a.make_label();
+  Label red2 = a.make_label();
+  Label red3 = a.make_label();  // used only with 4 accumulators
+
+  a.lw(kT2, kS1, 4);
+  a.addi(kS1, kS1, 4);
+  a.sub(kT3, kT2, kT1);
+  a.mv(kT1, kT2);
+  a.beq(kT3, kZero, zero_row);
+
+  // Unroll the first n_acc products as plain multiplies: this both avoids
+  // per-row accumulator zero-initialization and gives short rows a fast
+  // path with a shorter reduction (§III-B).
+  a.fmul_d(kFt2, kFt0, kFt1);
+  a.addi(kT4, kT3, -1);
+  a.beq(kT4, kZero, red1);
+  a.fmul_d(kFt3, kFt0, kFt1);
+  a.addi(kT4, kT4, -1);
+  a.beq(kT4, kZero, red2);
+  a.fmul_d(kFt4, kFt0, kFt1);
+  a.addi(kT4, kT4, -1);
+  if (n_acc == 4) {
+    a.beq(kT4, kZero, red3);
+    a.fmul_d(kFt5, kFt0, kFt1);
+    a.addi(kT4, kT4, -1);
+  }
+  {
+    // Remaining elements under FREP with rd/rs3 staggering.
+    Label no_frep = a.make_label();
+    a.beq(kT4, kZero, no_frep);
+    a.addi(kT4, kT4, -1);  // iterations - 1
+    a.frep(kT4, 1, n_acc - 1, kStaggerRdRs3);
+    a.fmadd_d(kFt2, kFt0, kFt1, kFt2);
+    a.bind(no_frep);
+  }
+  // Full reduction over n_acc accumulators.
+  {
+    const Freg sum = emit_reduction(a, kFt2, n_acc,
+                                    static_cast<Freg>(kFt2 + n_acc));
+    a.fsd(sum, kS2, 0);
+    a.j(next);
+  }
+
+  if (n_acc == 4) {
+    a.bind(red3);  // exactly 3 products live in ft2..ft4
+    a.fadd_d(kFt6, kFt2, kFt3);
+    a.fadd_d(kFt7, kFt6, kFt4);
+    a.fsd(kFt7, kS2, 0);
+    a.j(next);
+  }
+
+  a.bind(red2);  // two products
+  a.fadd_d(kFt6, kFt2, kFt3);
+  a.fsd(kFt6, kS2, 0);
+  a.j(next);
+
+  a.bind(red1);  // one product
+  a.fsd(kFt2, kS2, 0);
+  a.j(next);
+
+  a.bind(zero_row);
+  a.sd(kZero, kS2, 0);
+
+  a.bind(next);
+  a.add(kS2, kS2, kS8);
+  a.bne(kS1, kS3, row_loop);
+  emit_fpss_sync(a);
+}
+
+}  // namespace
+
+void emit_csrmv_range(Assembler& a, Variant variant, const CsrmvRange& r) {
+  if (r.row_count == 0) return;
+  if (r.range_nnz == 0) {
+    emit_zero_rows(a, r);
+    return;
+  }
+  switch (variant) {
+    case Variant::kBase:
+      emit_base_range(a, r);
+      break;
+    case Variant::kSsr:
+      emit_ssr_range(a, r);
+      break;
+    case Variant::kIssr:
+      emit_issr_range(a, r);
+      break;
+  }
+}
+
+isa::Program build_csrmv(Variant variant, const CsrmvArgs& args) {
+  CsrmvRange r;
+  r.ptr_addr = args.ptr;
+  r.row_count = args.nrows;
+  r.range_nnz = args.nnz;
+  r.vals_addr = args.vals;
+  r.idcs_addr = args.idcs;
+  r.x_addr = args.x;
+  r.y_addr = args.y;
+  r.y_stride = 8;
+  r.x_shift = 0;
+  r.width = args.width;
+
+  Assembler a;
+  emit_csrmv_range(a, variant, r);
+  if (variant != Variant::kBase) {
+    emit_sync_and_disable(a);
+  }
+  emit_halt(a);
+  return a.assemble();
+}
+
+}  // namespace issr::kernels

@@ -1,0 +1,55 @@
+// CSR matrix-vector product (CsrMV) kernels, §III-B. The ISSR variant
+// streams the *entire* matrix fiber (values + indirected dense-vector
+// elements) in single SSR/ISSR jobs to amortize setup, unrolls the first
+// few products of each row into per-accumulator multiplies with branches
+// to shorter reductions, and issues an FREP loop plus a full reduction
+// only for rows long enough to need them. 32-bit row pointers allow broad
+// scaling in rows; a power-of-two stride on the indirected dense axis and
+// an arbitrary result stride let the same body serve CsrMM columns and
+// CSC-from-the-other-side products.
+#pragma once
+
+#include "common/types.hpp"
+#include "isa/assembler.hpp"
+#include "isa/program.hpp"
+#include "kernels/kargs.hpp"
+#include "sparse/fiber.hpp"
+
+namespace issr::kernels {
+
+/// One contiguous row range of a CSR matrix with staged addresses. Used
+/// both for whole-matrix single-core kernels and for per-core tile slices
+/// in the cluster implementation.
+struct CsrmvRange {
+  addr_t ptr_addr = 0;   ///< &ptr[first_row]; row_count+1 u32 entries
+  std::uint32_t row_count = 0;
+  std::uint64_t range_nnz = 0;  ///< ptr[first+row_count] - ptr[first]
+  addr_t vals_addr = 0;  ///< first value of the range
+  addr_t idcs_addr = 0;  ///< first packed index of the range
+  addr_t x_addr = 0;     ///< dense operand base (indirection data base)
+  addr_t y_addr = 0;     ///< first result element
+  std::int64_t y_stride = 8;  ///< byte stride between result elements
+  unsigned x_shift = 0;  ///< extra index shift (power-of-two dense stride)
+  sparse::IndexWidth width = sparse::IndexWidth::kU32;
+};
+
+/// Emit the kernel body for one row range (streamer jobs + row loop).
+/// Does not enable/disable redirection or halt; the caller brackets it.
+void emit_csrmv_range(isa::Assembler& a, Variant variant,
+                      const CsrmvRange& range);
+
+struct CsrmvArgs {
+  addr_t ptr = 0;   ///< row pointers (u32, nrows+1)
+  addr_t idcs = 0;  ///< packed column indices
+  addr_t vals = 0;  ///< values (f64)
+  std::uint32_t nrows = 0;
+  std::uint64_t nnz = 0;
+  addr_t x = 0;
+  addr_t y = 0;
+  sparse::IndexWidth width = sparse::IndexWidth::kU32;
+};
+
+/// Build a complete single-core CsrMV program (ends with ecall).
+isa::Program build_csrmv(Variant variant, const CsrmvArgs& args);
+
+}  // namespace issr::kernels

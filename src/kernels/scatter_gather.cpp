@@ -1,0 +1,85 @@
+#include "kernels/scatter_gather.hpp"
+
+#include "isa/assembler.hpp"
+
+namespace issr::kernels {
+
+using namespace issr::isa;
+
+isa::Program build_gather(const GatherArgs& args) {
+  Assembler a;
+  if (args.count == 0) {
+    emit_halt(a);
+    return a.assemble();
+  }
+  emit_affine_job(a, 0, args.out, args.count, 8, /*write=*/true);  // ft0 out
+  emit_indirect_job(a, 1, args.src, args.idcs, args.count, args.width);
+  emit_ssr_enable(a);
+  a.li(kT0, static_cast<std::int64_t>(args.count) - 1);
+  a.frep(kT0, 1);
+  a.fsgnj_d(kFt0, kFt1, kFt1);  // out stream <- gathered stream
+  emit_sync_and_disable(a);
+  emit_halt(a);
+  return a.assemble();
+}
+
+isa::Program build_scatter(const ScatterArgs& args) {
+  Assembler a;
+  if (args.count == 0) {
+    emit_halt(a);
+    return a.assemble();
+  }
+  emit_affine_job(a, 0, args.src, args.count);  // ft0: contiguous source
+  emit_indirect_job(a, 1, args.dst, args.idcs, args.count, args.width, 0,
+                    /*write=*/true);            // ft1: scattered stores
+  emit_ssr_enable(a);
+  a.li(kT0, static_cast<std::int64_t>(args.count) - 1);
+  a.frep(kT0, 1);
+  a.fsgnj_d(kFt1, kFt0, kFt0);  // scatter stream <- source stream
+  emit_sync_and_disable(a);
+  emit_halt(a);
+  return a.assemble();
+}
+
+isa::Program build_sparse_axpy(const SparseAxpyArgs& args) {
+  Assembler a;
+  if (args.count == 0) {
+    emit_halt(a);
+    return a.assemble();
+  }
+  // Two passes, since each lane supports one direction per job:
+  //   pass 1: scratch[i] = vals[i] + y[idcs[i]]   (lane 0 reads vals,
+  //           lane 1 gathers y, the sums leave through the FP LSU)
+  //   pass 2: y[idcs[i]] = scratch[i]             (lane 0 reads scratch,
+  //           lane 1 scatters)
+  // Pass 1's fsd shares the lane-0 port, bounding throughput at about one
+  // element per three cycles — sufficient for this §III-C application demo.
+  emit_affine_job(a, 0, args.vals, args.count);  // ft0: vals
+  emit_indirect_job(a, 1, args.y, args.idcs, args.count, args.width);
+  emit_ssr_enable(a);
+  a.li(kS1, static_cast<std::int64_t>(args.scratch));
+  a.li(kS2, args.count);
+  {
+    Label loop = a.here();
+    a.fadd_d(kFt2, kFt0, kFt1);
+    a.fsd(kFt2, kS1, 0);
+    a.addi(kS1, kS1, 8);
+    a.addi(kS2, kS2, -1);
+    a.bne(kS2, kZero, loop);
+  }
+  emit_sync_and_disable(a);
+
+  // Pass 2: scatter scratch back to y at idcs.
+  emit_affine_job(a, 0, args.scratch, args.count);
+  emit_indirect_job(a, 1, args.y, args.idcs, args.count, args.width, 0,
+                    /*write=*/true);
+  emit_ssr_enable(a);
+  a.li(kT0, static_cast<std::int64_t>(args.count) - 1);
+  a.frep(kT0, 1);
+  a.fsgnj_d(kFt1, kFt0, kFt0);
+  emit_sync_and_disable(a);
+  emit_halt(a);
+  return a.assemble();
+}
+
+}  // namespace issr::kernels

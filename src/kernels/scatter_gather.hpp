@@ -1,0 +1,52 @@
+// Scatter-gather streaming kernels (§III-C): "ISSRs are, in effect,
+// streaming scatter-gather units as found in vector processors". Gather
+// uses an ISSR read stream (indirect loads) feeding an SSR write stream;
+// scatter uses an SSR read stream feeding an ISSR *write* stream, whose
+// serialized indices provide the store addresses. Densification of a
+// sparse fiber is a scatter of its values at its indices.
+#pragma once
+
+#include "common/types.hpp"
+#include "isa/program.hpp"
+#include "kernels/kargs.hpp"
+#include "sparse/fiber.hpp"
+
+namespace issr::kernels {
+
+struct GatherArgs {
+  addr_t src = 0;    ///< gather source (f64 array)
+  addr_t idcs = 0;   ///< packed indices into src
+  std::uint32_t count = 0;
+  addr_t out = 0;    ///< contiguous output, `count` elements
+  sparse::IndexWidth width = sparse::IndexWidth::kU32;
+};
+
+/// out[i] = src[idcs[i]].
+isa::Program build_gather(const GatherArgs& args);
+
+struct ScatterArgs {
+  addr_t src = 0;    ///< contiguous source, `count` elements
+  addr_t idcs = 0;   ///< packed indices into dst
+  std::uint32_t count = 0;
+  addr_t dst = 0;    ///< scatter destination base
+  sparse::IndexWidth width = sparse::IndexWidth::kU32;
+};
+
+/// dst[idcs[i]] = src[i].
+isa::Program build_scatter(const ScatterArgs& args);
+
+/// Sparse accumulate-onto-dense: y[idcs[i]] += vals[i]. Gathers the
+/// current y values through the ISSR, adds the sparse values streamed by
+/// the SSR, and scatters the sums back through a second ISSR write job.
+/// Requires the index set to be duplicate-free (true for sparse fibers).
+struct SparseAxpyArgs {
+  addr_t vals = 0;
+  addr_t idcs = 0;
+  std::uint32_t count = 0;
+  addr_t y = 0;
+  addr_t scratch = 0;  ///< `count` f64 of scratch storage
+  sparse::IndexWidth width = sparse::IndexWidth::kU32;
+};
+isa::Program build_sparse_axpy(const SparseAxpyArgs& args);
+
+}  // namespace issr::kernels

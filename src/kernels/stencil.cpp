@@ -1,0 +1,109 @@
+#include "kernels/stencil.hpp"
+
+#include <cassert>
+
+#include "isa/assembler.hpp"
+
+namespace issr::kernels {
+
+using namespace issr::isa;
+
+bool SparseStencil::valid() const {
+  if (offsets.size() != weights.size() || offsets.empty()) return false;
+  for (std::size_t s = 1; s < offsets.size(); ++s) {
+    if (offsets[s] <= offsets[s - 1]) return false;
+  }
+  return true;
+}
+
+sparse::DenseVector ref_sparse_stencil(const sparse::DenseVector& in,
+                                       const SparseStencil& st) {
+  assert(st.valid());
+  assert(in.size() >= st.reach());
+  const std::size_t m = in.size() - st.reach() + 1;
+  sparse::DenseVector out(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    double acc = 0.0;
+    for (std::size_t s = 0; s < st.offsets.size(); ++s) {
+      acc += st.weights[s] * in[i + st.offsets[s]];
+    }
+    out[i] = acc;
+  }
+  return out;
+}
+
+isa::Program build_sparse_stencil(const StencilArgs& args) {
+  assert(args.taps >= 1 && args.n >= args.reach);
+  const std::uint32_t m = args.n - args.reach + 1;  // output length
+  const unsigned n_acc = accumulators_for(args.width);
+
+  Assembler a;
+
+  // Lane 0 (SSR): a single two-level affine job replays the weight array
+  // once per output element (outer loop stride 0) — no re-arming needed.
+  {
+    a.csrrw(kZero, ssr_csr(0, SsrCfgReg::kReps), kZero);
+    a.li(kT6, args.taps - 1);
+    a.csrrw(kZero, ssr_csr(0, SsrCfgReg::kBound0), kT6);
+    a.li(kT6, 8);
+    a.csrrw(kZero, ssr_csr(0, SsrCfgReg::kStride0), kT6);
+    a.li(kT6, m - 1);
+    a.csrrw(kZero, ssr_csr(0, SsrCfgReg::kBound1), kT6);
+    a.csrrw(kZero, ssr_csr(0, SsrCfgReg::kStride1), kZero);
+    a.csrrw(kZero, ssr_csr(0, SsrCfgReg::kIdxCfg), kZero);
+    a.li(kT6, static_cast<std::int64_t>(args.weights));
+    a.csrrw(kZero, ssr_csr(0, SsrCfgReg::kRptr), kT6);
+    // Restore the outer bounds to zero for any job armed later in the
+    // same program (none here, but keeps the shadow regs canonical).
+  }
+
+  // Lane 1 (ISSR): static configuration once; the per-output arming only
+  // rewrites the data base pointer (single-cycle shadowed setup, §III).
+  {
+    const std::uint64_t idx_cfg =
+        args.width == sparse::IndexWidth::kU16 ? kIdxCfgIdx16 : kIdxCfgIdx32;
+    a.csrrw(kZero, ssr_csr(1, SsrCfgReg::kReps), kZero);
+    a.li(kT6, args.taps - 1);
+    a.csrrw(kZero, ssr_csr(1, SsrCfgReg::kBound0), kT6);
+    a.li(kT6, static_cast<std::int64_t>(idx_cfg));
+    a.csrrw(kZero, ssr_csr(1, SsrCfgReg::kIdxCfg), kT6);
+    a.li(kT6, static_cast<std::int64_t>(args.offsets));
+    a.csrrw(kZero, ssr_csr(1, SsrCfgReg::kIdxBase), kT6);
+  }
+  emit_ssr_enable(a);
+
+  a.li(kS4, static_cast<std::int64_t>(args.in));   // advancing data base
+  a.li(kS5, static_cast<std::int64_t>(args.out));  // output cursor
+  a.li(kS6, m);                                    // output counter
+
+  Label loop = a.here();
+  // Arm this output's gather; the core stalls here if the previous job
+  // still occupies the shadow config.
+  a.csrrw(kZero, ssr_csr(1, SsrCfgReg::kRptr), kS4);
+
+  // taps MACs over up to n_acc staggered accumulators (taps is a
+  // build-time constant, so the unroll and reduction are specialized).
+  const unsigned unrolled = std::min(args.taps, n_acc);
+  for (unsigned u = 0; u < unrolled; ++u) {
+    a.fmul_d(static_cast<Freg>(kFt2 + u), kFt0, kFt1);
+  }
+  if (args.taps > n_acc) {
+    a.li(kT0, static_cast<std::int64_t>(args.taps - n_acc) - 1);
+    a.frep(kT0, 1, n_acc - 1, kStaggerRdRs3);
+    a.fmadd_d(kFt2, kFt0, kFt1, kFt2);
+  }
+  const Freg sum = emit_reduction(a, kFt2, unrolled,
+                                  static_cast<Freg>(kFt2 + n_acc));
+  a.fsd(sum, kS5, 0);
+
+  a.addi(kS4, kS4, 8);
+  a.addi(kS5, kS5, 8);
+  a.addi(kS6, kS6, -1);
+  a.bne(kS6, kZero, loop);
+
+  emit_sync_and_disable(a);
+  emit_halt(a);
+  return a.assemble();
+}
+
+}  // namespace issr::kernels

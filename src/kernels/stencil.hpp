@@ -1,0 +1,62 @@
+// Sparse-stencil convolution (§III-C "improved convolutions"): SSRs
+// accelerate rectangular stencils; ISSRs extend this to arbitrarily-
+// shaped sparse stencils by streaming an offset index array that encodes
+// the stencil's shape while the core increments the data base address per
+// output element.
+//
+// For a 1-D signal `in` of length n and a stencil of S taps with
+// non-negative element offsets off[s] and weights w[s]:
+//   out[i] = sum_s w[s] * in[i + off[s]],   i in [0, n - reach)
+// where reach = max(off) + 1. 2-D stencils flatten to 1-D offsets over a
+// power-of-two-strided image (the ISSR index shifter handles the row
+// stride), so the same kernel serves both.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+#include "isa/program.hpp"
+#include "kernels/kargs.hpp"
+#include "sparse/dense.hpp"
+#include "sparse/fiber.hpp"
+
+namespace issr::kernels {
+
+/// A sparse stencil: strictly increasing non-negative element offsets and
+/// one weight per tap.
+struct SparseStencil {
+  std::vector<std::uint32_t> offsets;
+  std::vector<double> weights;
+
+  std::uint32_t taps() const {
+    return static_cast<std::uint32_t>(offsets.size());
+  }
+  std::uint32_t reach() const {
+    return offsets.empty() ? 0 : offsets.back() + 1;
+  }
+  bool valid() const;
+};
+
+struct StencilArgs {
+  addr_t in = 0;         ///< input signal (f64, contiguous)
+  std::uint32_t n = 0;   ///< input length (elements)
+  addr_t offsets = 0;    ///< stencil offsets (packed at `width`)
+  addr_t weights = 0;    ///< stencil weights (f64)
+  std::uint32_t taps = 0;
+  std::uint32_t reach = 0;
+  addr_t out = 0;        ///< output, n - reach + 1 elements
+  sparse::IndexWidth width = sparse::IndexWidth::kU32;
+};
+
+/// Build the ISSR sparse-stencil kernel: per output element, the core
+/// re-arms the ISSR with the stencil's offset stream at an advanced data
+/// base (one shadowed job per output), the SSR replays the weights using
+/// a chained job, and an FREP loop accumulates the taps.
+isa::Program build_sparse_stencil(const StencilArgs& args);
+
+/// Golden reference.
+sparse::DenseVector ref_sparse_stencil(const sparse::DenseVector& in,
+                                       const SparseStencil& stencil);
+
+}  // namespace issr::kernels

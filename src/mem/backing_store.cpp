@@ -1,0 +1,121 @@
+#include "mem/backing_store.hpp"
+
+#include <cassert>
+#include <cstring>
+
+namespace issr::mem {
+
+const std::uint8_t* BackingStore::page_for_read(addr_t addr) const {
+  const auto it = pages_.find(addr / kPageBytes);
+  return it == pages_.end() ? nullptr : it->second.data();
+}
+
+std::uint8_t* BackingStore::page_for_write(addr_t addr) {
+  auto& page = pages_[addr / kPageBytes];
+  if (page.empty()) page.assign(kPageBytes, 0);
+  return page.data();
+}
+
+std::uint64_t BackingStore::load(addr_t addr, unsigned bytes) const {
+  assert(bytes == 1 || bytes == 2 || bytes == 4 || bytes == 8);
+  std::uint64_t v = 0;
+  for (unsigned i = 0; i < bytes; ++i) {
+    const addr_t a = addr + i;
+    const std::uint8_t* page = page_for_read(a);
+    const std::uint8_t byte = page ? page[a % kPageBytes] : 0;
+    v |= static_cast<std::uint64_t>(byte) << (8 * i);
+  }
+  return v;
+}
+
+void BackingStore::store(addr_t addr, std::uint64_t v, unsigned bytes) {
+  assert(bytes == 1 || bytes == 2 || bytes == 4 || bytes == 8);
+  for (unsigned i = 0; i < bytes; ++i) {
+    const addr_t a = addr + i;
+    page_for_write(a)[a % kPageBytes] =
+        static_cast<std::uint8_t>((v >> (8 * i)) & 0xffu);
+  }
+}
+
+std::uint8_t BackingStore::load_u8(addr_t addr) const {
+  return static_cast<std::uint8_t>(load(addr, 1));
+}
+std::uint16_t BackingStore::load_u16(addr_t addr) const {
+  return static_cast<std::uint16_t>(load(addr, 2));
+}
+std::uint32_t BackingStore::load_u32(addr_t addr) const {
+  return static_cast<std::uint32_t>(load(addr, 4));
+}
+std::uint64_t BackingStore::load_u64(addr_t addr) const {
+  return load(addr, 8);
+}
+double BackingStore::load_f64(addr_t addr) const {
+  const std::uint64_t raw = load_u64(addr);
+  double d;
+  std::memcpy(&d, &raw, sizeof d);
+  return d;
+}
+
+void BackingStore::store_u8(addr_t addr, std::uint8_t v) { store(addr, v, 1); }
+void BackingStore::store_u16(addr_t addr, std::uint16_t v) {
+  store(addr, v, 2);
+}
+void BackingStore::store_u32(addr_t addr, std::uint32_t v) {
+  store(addr, v, 4);
+}
+void BackingStore::store_u64(addr_t addr, std::uint64_t v) {
+  store(addr, v, 8);
+}
+void BackingStore::store_f64(addr_t addr, double v) {
+  std::uint64_t raw;
+  std::memcpy(&raw, &v, sizeof raw);
+  store_u64(addr, raw);
+}
+
+void BackingStore::write_block(addr_t addr, const void* src,
+                               std::size_t bytes) {
+  const auto* p = static_cast<const std::uint8_t*>(src);
+  std::size_t done = 0;
+  while (done < bytes) {
+    const addr_t a = addr + done;
+    const std::size_t in_page = kPageBytes - (a % kPageBytes);
+    const std::size_t chunk = std::min(in_page, bytes - done);
+    std::memcpy(page_for_write(a) + (a % kPageBytes), p + done, chunk);
+    done += chunk;
+  }
+}
+
+void BackingStore::read_block(addr_t addr, void* dst,
+                              std::size_t bytes) const {
+  auto* p = static_cast<std::uint8_t*>(dst);
+  std::size_t done = 0;
+  while (done < bytes) {
+    const addr_t a = addr + done;
+    const std::size_t in_page = kPageBytes - (a % kPageBytes);
+    const std::size_t chunk = std::min(in_page, bytes - done);
+    const std::uint8_t* page = page_for_read(a);
+    if (page) {
+      std::memcpy(p + done, page + (a % kPageBytes), chunk);
+    } else {
+      std::memset(p + done, 0, chunk);
+    }
+    done += chunk;
+  }
+}
+
+void BackingStore::write_doubles(addr_t addr, const double* src,
+                                 std::size_t count) {
+  write_block(addr, src, count * sizeof(double));
+}
+
+void BackingStore::read_doubles(addr_t addr, double* dst,
+                                std::size_t count) const {
+  read_block(addr, dst, count * sizeof(double));
+}
+
+void BackingStore::write_u32s(addr_t addr, const std::uint32_t* src,
+                              std::size_t count) {
+  write_block(addr, src, count * sizeof(std::uint32_t));
+}
+
+}  // namespace issr::mem

@@ -1,0 +1,54 @@
+// Functional byte-addressable storage backing every simulated memory.
+// Timing lives in the port/bank models (ideal_mem, tcdm, main_mem); this
+// class only holds bytes. Pages are allocated lazily so a sparse 4 GiB
+// address space costs only what is touched.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace issr::mem {
+
+class BackingStore {
+ public:
+  static constexpr std::size_t kPageBytes = 4096;
+
+  std::uint8_t load_u8(addr_t addr) const;
+  std::uint16_t load_u16(addr_t addr) const;
+  std::uint32_t load_u32(addr_t addr) const;
+  std::uint64_t load_u64(addr_t addr) const;
+  double load_f64(addr_t addr) const;
+
+  void store_u8(addr_t addr, std::uint8_t v);
+  void store_u16(addr_t addr, std::uint16_t v);
+  void store_u32(addr_t addr, std::uint32_t v);
+  void store_u64(addr_t addr, std::uint64_t v);
+  void store_f64(addr_t addr, double v);
+
+  /// Generic little-endian load/store of 1, 2, 4 or 8 bytes.
+  std::uint64_t load(addr_t addr, unsigned bytes) const;
+  void store(addr_t addr, std::uint64_t v, unsigned bytes);
+
+  void write_block(addr_t addr, const void* src, std::size_t bytes);
+  void read_block(addr_t addr, void* dst, std::size_t bytes) const;
+
+  /// Convenience bulk writers for kernel data staging.
+  void write_doubles(addr_t addr, const double* src, std::size_t count);
+  void read_doubles(addr_t addr, double* dst, std::size_t count) const;
+  void write_u32s(addr_t addr, const std::uint32_t* src, std::size_t count);
+
+  /// Number of lazily-allocated pages (test/diagnostic hook).
+  std::size_t allocated_pages() const { return pages_.size(); }
+
+ private:
+  const std::uint8_t* page_for_read(addr_t addr) const;
+  std::uint8_t* page_for_write(addr_t addr);
+
+  // Page index -> page bytes. Unallocated reads return zero.
+  std::unordered_map<addr_t, std::vector<std::uint8_t>> pages_;
+};
+
+}  // namespace issr::mem

@@ -1,0 +1,95 @@
+#include "mem/dma.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace issr::mem {
+
+void Dma::start_1d(addr_t dst, addr_t src, std::uint64_t bytes) {
+  start_2d(dst, src, bytes, 1, 0, 0);
+}
+
+void Dma::start_2d(addr_t dst, addr_t src, std::uint64_t row_bytes,
+                   std::uint64_t rows, std::int64_t dst_stride,
+                   std::int64_t src_stride) {
+  DmaJob job;
+  job.dst = dst;
+  job.src = src;
+  job.row_bytes = row_bytes;
+  job.rows = rows;
+  job.dst_stride = dst_stride;
+  job.src_stride = src_stride;
+  Channel& ch = main_.contains(dst) ? out_ : in_;
+  ch.jobs.push_back(job);
+  ++stats_.jobs;
+}
+
+unsigned Dma::move_beat(Channel& ch, std::uint64_t& completed_counter) {
+  DmaJob& job = ch.jobs.front();
+  const addr_t src_row =
+      job.src + static_cast<addr_t>(
+                    static_cast<std::int64_t>(ch.rows_done) * job.src_stride);
+  const addr_t dst_row =
+      job.dst + static_cast<addr_t>(
+                    static_cast<std::int64_t>(ch.rows_done) * job.dst_stride);
+  const addr_t src = src_row + ch.row_done;
+  const addr_t dst = dst_row + ch.row_done;
+  const std::uint64_t left = job.row_bytes - ch.row_done;
+  const auto chunk = static_cast<unsigned>(
+      std::min<std::uint64_t>(left, MainMemory::kBeatBytes));
+
+  // Resolve endpoints; claim TCDM banks touched by this beat.
+  auto resolve = [&](addr_t a) -> BackingStore& {
+    if (tcdm_.contains(a)) {
+      const std::uint32_t first = tcdm_.bank_of(a);
+      const auto nbanks = static_cast<std::uint32_t>(
+          (chunk + kWordBytes - 1) / kWordBytes);
+      tcdm_.claim_for_dma(first,
+                          std::min(nbanks, tcdm_.config().num_banks));
+      return tcdm_.store();
+    }
+    assert(main_.contains(a));
+    return main_.store();
+  };
+  BackingStore& src_store = resolve(src);
+  BackingStore& dst_store = resolve(dst);
+
+  std::uint8_t buf[MainMemory::kBeatBytes];
+  src_store.read_block(src, buf, chunk);
+  dst_store.write_block(dst, buf, chunk);
+  if (main_.contains(src)) main_.note_read(chunk);
+  if (main_.contains(dst)) main_.note_written(chunk);
+
+  ch.row_done += chunk;
+  if (ch.row_done == job.row_bytes) {
+    ch.row_done = 0;
+    ++ch.rows_done;
+    if (ch.rows_done == job.rows) {
+      ch.rows_done = 0;
+      ch.jobs.pop_front();
+      ++completed_;
+      ++completed_counter;
+    }
+  }
+  return chunk;
+}
+
+bool Dma::tick_channel(Channel& ch, std::uint64_t& completed_counter) {
+  // Retire degenerate zero-byte jobs without consuming bandwidth.
+  while (!ch.jobs.empty() && ch.jobs.front().total_bytes() == 0) {
+    ch.jobs.pop_front();
+    ++completed_;
+    ++completed_counter;
+  }
+  if (ch.jobs.empty()) return false;
+  stats_.bytes += move_beat(ch, completed_counter);
+  return true;
+}
+
+void Dma::tick(cycle_t) {
+  const bool in_active = tick_channel(in_, completed_in_);
+  const bool out_active = tick_channel(out_, completed_out_);
+  if (in_active || out_active) ++stats_.busy_cycles;
+}
+
+}  // namespace issr::mem

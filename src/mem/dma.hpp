@@ -1,0 +1,96 @@
+// Cluster DMA engine: moves blocks between TCDM and main memory,
+// supporting the 1-D and 2-D transfers the CsrMV double-buffering scheme
+// relies on (§II-C, [7]). The engine is duplex, matching the 512-bit
+// duplex main-memory link of the paper's cluster evaluation (§IV-B):
+// transfers toward the TCDM (inbound) and toward main memory (outbound)
+// progress concurrently at one 64-byte beat per direction per cycle, so
+// result write-back overlaps with the next tile's load. While a beat
+// touches the TCDM it claims the covered banks, contending with core
+// traffic exactly like the real wide port.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "common/types.hpp"
+#include "mem/main_mem.hpp"
+#include "mem/tcdm.hpp"
+
+namespace issr::mem {
+
+/// One queued transfer descriptor (2-D; 1-D is rows == 1).
+struct DmaJob {
+  addr_t src = 0;
+  addr_t dst = 0;
+  std::uint64_t row_bytes = 0;  ///< contiguous bytes per row
+  std::uint64_t rows = 1;
+  std::int64_t src_stride = 0;  ///< byte stride between row starts
+  std::int64_t dst_stride = 0;
+
+  std::uint64_t total_bytes() const { return row_bytes * rows; }
+};
+
+struct DmaStats {
+  std::uint64_t jobs = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t busy_cycles = 0;  ///< cycles with >= 1 channel transferring
+};
+
+class Dma {
+ public:
+  Dma(Tcdm& tcdm, MainMemory& main) : tcdm_(tcdm), main_(main) {}
+
+  /// Queue a 1-D copy. Transfers with a main-memory destination use the
+  /// outbound channel; everything else (including TCDM->TCDM) inbound.
+  void start_1d(addr_t dst, addr_t src, std::uint64_t bytes);
+
+  /// Queue a 2-D copy of `rows` rows of `row_bytes` each.
+  void start_2d(addr_t dst, addr_t src, std::uint64_t row_bytes,
+                std::uint64_t rows, std::int64_t dst_stride,
+                std::int64_t src_stride);
+
+  bool busy() const { return !in_.jobs.empty() || !out_.jobs.empty(); }
+  std::size_t queued_jobs() const {
+    return in_.jobs.size() + out_.jobs.size();
+  }
+
+  /// Number of transfers fully completed since construction; lets
+  /// controllers detect completion of a specific queued job.
+  std::uint64_t completed_jobs() const { return completed_; }
+
+  /// Per-channel completion counters. Each channel is FIFO, so a
+  /// controller can record `completed_in() + n` when queueing its n-th
+  /// pending inbound job and poll for that watermark.
+  std::uint64_t completed_in() const { return completed_in_; }
+  std::uint64_t completed_out() const { return completed_out_; }
+
+  /// Advance one cycle: move up to one beat per channel. Must tick after
+  /// the previous TCDM tick and before the next (its bank claims apply to
+  /// the upcoming arbitration cycle).
+  void tick(cycle_t now);
+
+  const DmaStats& stats() const { return stats_; }
+
+ private:
+  struct Channel {
+    std::deque<DmaJob> jobs;
+    std::uint64_t row_done = 0;   ///< bytes moved in the current row
+    std::uint64_t rows_done = 0;  ///< completed rows of the current job
+  };
+
+  /// Move up to kBeatBytes of the channel's current job; returns bytes.
+  unsigned move_beat(Channel& ch, std::uint64_t& completed_counter);
+  /// Returns true if the channel transferred this cycle.
+  bool tick_channel(Channel& ch, std::uint64_t& completed_counter);
+
+  Tcdm& tcdm_;
+  MainMemory& main_;
+  Channel in_;   ///< destination inside the TCDM
+  Channel out_;  ///< destination in main memory
+  std::uint64_t completed_ = 0;
+  std::uint64_t completed_in_ = 0;
+  std::uint64_t completed_out_ = 0;
+  DmaStats stats_;
+};
+
+}  // namespace issr::mem

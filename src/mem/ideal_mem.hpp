@@ -1,0 +1,68 @@
+// Ideal pipelined memory: every port accepts one request per cycle and
+// answers loads with a fixed latency — the "ideal single-cycle instruction
+// and two-port data memories" of the paper's single-CC experiments
+// (§IV-A), which behave like the TCDM minus bank conflicts.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "mem/backing_store.hpp"
+#include "mem/port.hpp"
+
+namespace issr::mem {
+
+class IdealMemory;
+
+/// One port of an IdealMemory. Accepts <=1 request/cycle; loads mature
+/// `latency` cycles after acceptance; throughput is one access per cycle.
+class IdealPort final : public MemPort {
+ public:
+  bool can_accept() const override { return !pending_.has_value(); }
+  void push_request(const MemReq& req) override;
+  std::optional<MemRsp> pop_response() override;
+  unsigned inflight() const override {
+    return static_cast<unsigned>(matured_.size() + inflight_.size());
+  }
+
+  const PortStats& stats() const { return stats_; }
+
+ private:
+  friend class IdealMemory;
+  void tick(cycle_t now, BackingStore& store, cycle_t latency);
+
+  std::optional<MemReq> pending_;
+  struct Flight {
+    cycle_t ready_at;
+    MemRsp rsp;
+  };
+  std::deque<Flight> inflight_;
+  std::deque<MemRsp> matured_;
+  PortStats stats_;
+};
+
+/// A backing store with N independent ideal ports.
+class IdealMemory {
+ public:
+  /// `latency`: cycles from acceptance to response availability (>= 1).
+  explicit IdealMemory(unsigned num_ports, cycle_t latency = 1);
+
+  IdealPort& port(unsigned i) { return *ports_.at(i); }
+  unsigned num_ports() const { return static_cast<unsigned>(ports_.size()); }
+  cycle_t latency() const { return latency_; }
+
+  BackingStore& store() { return store_; }
+  const BackingStore& store() const { return store_; }
+
+  /// Advance one cycle: grant each port's pending request and mature
+  /// responses. Must run before requesters tick.
+  void tick(cycle_t now);
+
+ private:
+  BackingStore store_;
+  std::vector<std::unique_ptr<IdealPort>> ports_;
+  cycle_t latency_;
+};
+
+}  // namespace issr::mem

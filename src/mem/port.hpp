@@ -1,0 +1,61 @@
+// Memory request/response protocol between requesters (core LSU, FPU LSU,
+// SSR/ISSR data movers, DMA) and timing models (ideal memory, TCDM banks).
+//
+// Protocol per cycle, in simulator tick order (memory ticks before
+// requesters):
+//   1. the memory's tick() grants pending requests and matures responses;
+//   2. a requester polls pop_response() for matured loads, then pushes at
+//      most one new request if can_accept().
+// A port holds at most one not-yet-granted request; granted loads mature
+// `latency` cycles after acceptance. Stores produce no response.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/types.hpp"
+
+namespace issr::mem {
+
+struct MemReq {
+  addr_t addr = 0;
+  bool is_write = false;
+  std::uint8_t bytes = 8;  ///< access size: 1, 2, 4 or 8
+  std::uint64_t wdata = 0;
+  std::uint32_t id = 0;  ///< requester-private tag, echoed in the response
+};
+
+struct MemRsp {
+  std::uint64_t rdata = 0;
+  std::uint32_t id = 0;
+};
+
+/// Requester-side view of one memory port.
+class MemPort {
+ public:
+  virtual ~MemPort() = default;
+
+  /// True iff a request pushed this cycle will be queued (pending slot
+  /// free). Under bank conflicts this goes false until the grant.
+  virtual bool can_accept() const = 0;
+
+  /// Queue a request. Precondition: can_accept().
+  virtual void push_request(const MemReq& req) = 0;
+
+  /// Pop the next matured load response in grant order, if any.
+  virtual std::optional<MemRsp> pop_response() = 0;
+
+  /// Loads granted but not yet delivered (diagnostic/test hook).
+  virtual unsigned inflight() const = 0;
+};
+
+/// Per-port traffic statistics.
+struct PortStats {
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t stall_cycles = 0;  ///< cycles a request waited ungranted
+
+  std::uint64_t accesses() const { return reads + writes; }
+};
+
+}  // namespace issr::mem

@@ -1,0 +1,116 @@
+#include "mem/tcdm.hpp"
+
+#include <cassert>
+
+namespace issr::mem {
+
+void TcdmPort::push_request(const MemReq& req) {
+  assert(can_accept());
+  pending_ = req;
+}
+
+std::optional<MemRsp> TcdmPort::pop_response() {
+  if (matured_.empty()) return std::nullopt;
+  const MemRsp rsp = matured_.front();
+  matured_.pop_front();
+  return rsp;
+}
+
+Tcdm::Tcdm(const TcdmConfig& cfg, unsigned num_masters)
+    : cfg_(cfg),
+      dma_claimed_(cfg.num_banks, false),
+      rr_next_(cfg.num_banks, 0) {
+  ports_.reserve(num_masters);
+  for (unsigned i = 0; i < num_masters; ++i) {
+    ports_.push_back(std::make_unique<TcdmPort>());
+  }
+}
+
+unsigned Tcdm::claim_for_dma(std::uint32_t first_bank, std::uint32_t count) {
+  unsigned claimed = 0;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::uint32_t b = (first_bank + i) % cfg_.num_banks;
+    if (!dma_claimed_[b]) {
+      dma_claimed_[b] = true;
+      ++claimed;
+      ++stats_.dma_bank_claims;
+    }
+  }
+  return claimed;
+}
+
+void Tcdm::tick(cycle_t now) {
+  // Mature in-flight responses on every port.
+  for (auto& p : ports_) {
+    while (!p->inflight_.empty() && p->inflight_.front().ready_at <= now) {
+      p->matured_.push_back(p->inflight_.front().rsp);
+      p->inflight_.pop_front();
+    }
+  }
+
+  // Per-bank arbitration: one grant per bank per cycle, selected by a
+  // per-bank round-robin pointer so no master is statically prioritized.
+  const unsigned n_ports = static_cast<unsigned>(ports_.size());
+  const std::vector<bool> bank_busy(dma_claimed_);
+  for (std::uint32_t b = 0; b < cfg_.num_banks; ++b) {
+    if (bank_busy[b]) {
+      // Bank taken by DMA this cycle: all masters targeting it stall.
+      for (auto& p : ports_) {
+        if (p->pending_ && contains(p->pending_->addr) &&
+            bank_of(p->pending_->addr) == b) {
+          ++p->stats_.stall_cycles;
+          ++stats_.conflicts;
+        }
+      }
+      continue;
+    }
+    // Find the first requesting master starting from the rr pointer.
+    int granted = -1;
+    for (unsigned k = 0; k < n_ports; ++k) {
+      const unsigned m = (rr_next_[b] + k) % n_ports;
+      auto& p = *ports_[m];
+      if (p.pending_ && contains(p.pending_->addr) &&
+          bank_of(p.pending_->addr) == b) {
+        if (granted < 0) {
+          granted = static_cast<int>(m);
+        } else {
+          ++p.stats_.stall_cycles;
+          ++stats_.conflicts;
+        }
+      }
+    }
+    if (granted >= 0) {
+      auto& p = *ports_[static_cast<unsigned>(granted)];
+      const MemReq req = *p.pending_;
+      p.pending_.reset();
+      rr_next_[b] = (static_cast<unsigned>(granted) + 1) % n_ports;
+      ++stats_.grants;
+      if (req.is_write) {
+        store_.store(req.addr, req.wdata, req.bytes);
+        ++p.stats_.writes;
+      } else {
+        MemRsp rsp;
+        rsp.rdata = store_.load(req.addr, req.bytes);
+        rsp.id = req.id;
+        ++p.stats_.reads;
+        if (cfg_.latency <= 1) {
+          p.matured_.push_back(rsp);
+        } else {
+          p.inflight_.push_back({now + cfg_.latency - 1, rsp});
+        }
+      }
+    }
+  }
+
+#ifndef NDEBUG
+  // Requests outside the TCDM window are a wiring error in this model.
+  for (auto& p : ports_) {
+    assert(!p->pending_ || contains(p->pending_->addr));
+  }
+#endif
+
+  // DMA claims are per-cycle.
+  std::fill(dma_claimed_.begin(), dma_claimed_.end(), false);
+}
+
+}  // namespace issr::mem

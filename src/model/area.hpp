@@ -1,0 +1,85 @@
+// Area and timing model (§IV-C, Fig. 2).
+//
+// SUBSTITUTION (DESIGN.md §5): the paper synthesizes the streamer in
+// GlobalFoundries 22FDX (SSG corner, -40C, 0.72 V, 1 GHz target) with
+// Synopsys Design Compiler. Re-synthesis is impossible here, so this
+// module encodes the paper's published anchor numbers in a parametric
+// kGE model: per-block complexity as a function of the design-time
+// parameters (FIFO depths, index/address widths, number of affine loops),
+// calibrated so the default configuration (five FIFO stages, 18-bit
+// indices and addresses, four loops) reproduces the published values:
+// ISSR = SSR + 4.4 kGE (+43%), cluster overhead 0.8%, critical path
+// 301 ps (SSR) -> 425 ps (ISSR).
+#pragma once
+
+#include <cstdint>
+
+#include "ssr/lane.hpp"
+
+namespace issr::model {
+
+/// Gate-equivalents of one block, in kGE.
+struct AreaBreakdown {
+  double addrgen_affine = 0;   ///< four nested affine iterators + cfg regs
+  double indirection = 0;      ///< index FIFO, serializer, shifter, mux
+  double data_mover = 0;       ///< request/response datapath
+  double data_fifo = 0;        ///< decoupling FIFO stages
+  double config_iface = 0;     ///< shadowed config registers + CSR decode
+
+  double total() const {
+    return addrgen_affine + indirection + data_mover + data_fifo +
+           config_iface;
+  }
+};
+
+struct StreamerArea {
+  AreaBreakdown ssr;    ///< lane 0 (plain SSR)
+  AreaBreakdown issr;   ///< lane 1 (ISSR)
+  double switch_kge;    ///< register switch + streamer glue
+  double total() const { return ssr.total() + issr.total() + switch_kge; }
+
+  /// The paper's headline deltas.
+  double issr_minus_ssr() const { return issr.total() - ssr.total(); }
+  double issr_overhead_frac() const {
+    return issr_minus_ssr() / ssr.total();
+  }
+};
+
+/// Design-time parameters affecting area (paper defaults shown).
+struct AreaParams {
+  unsigned data_fifo_depth = 5;
+  unsigned idx_fifo_depth = 4;
+  unsigned index_bits = 18;  ///< 16..32 supported, default covers 256 KiB
+  unsigned addr_bits = 18;
+  unsigned num_loops = 4;
+  bool dedicated_idx_port = false;  ///< 3-port variant: ~1.5x interconnect
+};
+
+/// Evaluate the streamer area model.
+StreamerArea streamer_area(const AreaParams& params = {});
+
+/// Snitch cluster area summary (kGE), calibrated to [6]: a ~10 kGE core
+/// with a ~100 kGE double-precision FPU subsystem per CC.
+struct ClusterArea {
+  double core_kge;          ///< integer core
+  double fpu_kge;           ///< FPU + sequencer
+  double streamer_kge;      ///< per-CC streamer
+  double cc_kge;            ///< one core complex
+  double tcdm_periph_kge;   ///< interconnect + DMA + icache logic
+  double cluster_kge;       ///< eight CCs + shared logic
+  double issr_overhead_frac;  ///< cluster growth from adding indirection
+};
+
+ClusterArea cluster_area(const AreaParams& params = {});
+
+/// Critical-path model (ps) for the SSG corner at 0.72 V.
+struct TimingReport {
+  double ssr_path_ps;   ///< paper: 301 ps
+  double issr_path_ps;  ///< paper: 425 ps
+  double clock_target_ps = 1000.0;  ///< 1 GHz
+  bool meets_timing() const { return issr_path_ps < clock_target_ps; }
+};
+
+TimingReport streamer_timing(const AreaParams& params = {});
+
+}  // namespace issr::model

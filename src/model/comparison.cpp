@@ -1,0 +1,22 @@
+#include "model/comparison.hpp"
+
+namespace issr::model {
+
+double gtx1080ti_fp64_util() { return 0.17; }
+double xeonphi_cvr_util() { return 0.007; }
+double jetson_fp32_util() { return 0.021; }
+
+std::vector<ComparisonPoint> reference_points() {
+  return {
+      {"Intel Xeon Phi 7250 (CVR [4])", "SpMV, custom format", "FP64",
+       xeonphi_cvr_util(), 0.0, false},
+      {"GTX 1080 Ti (cuSPARSE CsrMV)", "CsrMV", "FP32", 0.0075, 0.87,
+       false},
+      {"GTX 1080 Ti (cuSPARSE CsrMV)", "CsrMV", "FP64",
+       gtx1080ti_fp64_util(), 0.87, false},
+      {"Jetson AGX Xavier (cuSPARSE)", "CsrMV", "FP32", jetson_fp32_util(),
+       0.96, false},
+  };
+}
+
+}  // namespace issr::model

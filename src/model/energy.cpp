@@ -1,0 +1,55 @@
+#include "model/energy.hpp"
+
+namespace issr::model {
+
+EnergyReport estimate_energy(const cluster::ClusterResult& run,
+                             const PowerParams& p, double clock_ghz) {
+  EnergyReport out;
+  out.cycles = run.cycles;
+  out.fmadds = run.total_macs();
+  if (run.cycles == 0) return out;
+
+  const auto cyc = static_cast<double>(run.cycles);
+  double dynamic_mw = 0.0;
+
+  // Worker cores and FPUs, scaled by their issue-slot utilizations.
+  for (std::size_t w = 0; w < run.core.size(); ++w) {
+    const double core_util =
+        static_cast<double>(run.core[w].issued) / cyc;
+    const double fpu_util =
+        static_cast<double>(run.fpss[w].fp_compute) / cyc;
+    dynamic_mw += p.core_mw * core_util;
+    dynamic_mw += p.fpu_mw * fpu_util + p.fpu_idle_mw * (1.0 - fpu_util);
+    dynamic_mw += p.icache_mw * core_util;
+  }
+
+  // TCDM activity: grants per cycle across all banks.
+  const double tcdm_grants_per_cycle =
+      static_cast<double>(run.tcdm.grants) / cyc;
+  dynamic_mw += p.tcdm_access_mw * tcdm_grants_per_cycle;
+
+  // Streamer datapaths: approximate lane activity from memory traffic of
+  // the two per-CC ports (already reflected in grants); add the lane
+  // control cost proportional to FPU streaming (one element per fmadd
+  // operand pair).
+  double stream_elems_per_cycle = 0.0;
+  for (const auto& f : run.fpss) {
+    stream_elems_per_cycle += static_cast<double>(f.fmadd + f.fmul) / cyc;
+  }
+  dynamic_mw += (p.ssr_mw + p.issr_mw) * stream_elems_per_cycle;
+
+  // DMA engine.
+  dynamic_mw +=
+      p.dma_mw * static_cast<double>(run.dma.busy_cycles) / cyc;
+
+  out.avg_power_mw = p.static_mw + dynamic_mw;
+  const double seconds = cyc / (clock_ghz * 1e9);
+  out.energy_uj = out.avg_power_mw * 1e-3 * seconds * 1e6;
+  if (out.fmadds > 0) {
+    out.pj_per_fmadd = out.avg_power_mw * 1e-3 * seconds * 1e12 /
+                       static_cast<double>(out.fmadds);
+  }
+  return out;
+}
+
+}  // namespace issr::model

@@ -1,0 +1,62 @@
+#include "sparse/coo.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace issr::sparse {
+
+void CooMatrix::add(std::uint32_t row, std::uint32_t col, double val) {
+  assert(row < rows_ && col < cols_);
+  entries_.push_back({row, col, val});
+}
+
+void CooMatrix::canonicalize(bool drop_zeros) {
+  std::sort(entries_.begin(), entries_.end(),
+            [](const CooEntry& a, const CooEntry& b) {
+              if (a.row != b.row) return a.row < b.row;
+              return a.col < b.col;
+            });
+  std::vector<CooEntry> merged;
+  merged.reserve(entries_.size());
+  for (const auto& e : entries_) {
+    if (!merged.empty() && merged.back().row == e.row &&
+        merged.back().col == e.col) {
+      merged.back().val += e.val;
+    } else {
+      merged.push_back(e);
+    }
+  }
+  if (drop_zeros) {
+    std::erase_if(merged, [](const CooEntry& e) { return e.val == 0.0; });
+  }
+  entries_ = std::move(merged);
+}
+
+bool CooMatrix::canonical() const {
+  for (std::size_t i = 1; i < entries_.size(); ++i) {
+    const auto& a = entries_[i - 1];
+    const auto& b = entries_[i];
+    if (a.row > b.row) return false;
+    if (a.row == b.row && a.col >= b.col) return false;
+  }
+  return true;
+}
+
+DenseMatrix CooMatrix::densify() const {
+  DenseMatrix out(rows_, cols_);
+  for (const auto& e : entries_) out.at(e.row, e.col) += e.val;
+  return out;
+}
+
+CooMatrix CooMatrix::from_dense(const DenseMatrix& m) {
+  CooMatrix out(static_cast<std::uint32_t>(m.rows()),
+                static_cast<std::uint32_t>(m.cols()));
+  for (std::size_t r = 0; r < m.rows(); ++r)
+    for (std::size_t c = 0; c < m.cols(); ++c)
+      if (m.at(r, c) != 0.0)
+        out.add(static_cast<std::uint32_t>(r), static_cast<std::uint32_t>(c),
+                m.at(r, c));
+  return out;
+}
+
+}  // namespace issr::sparse

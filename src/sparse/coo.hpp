@@ -1,0 +1,54 @@
+// Coordinate-list sparse matrix: the interchange format. Generators and
+// the MatrixMarket reader produce COO; CSR/CSC are built from it.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sparse/dense.hpp"
+
+namespace issr::sparse {
+
+struct CooEntry {
+  std::uint32_t row;
+  std::uint32_t col;
+  double val;
+
+  bool operator==(const CooEntry&) const = default;
+};
+
+/// Unordered triplet matrix. Duplicate coordinates are summed on
+/// canonicalization (the usual assembly semantics).
+class CooMatrix {
+ public:
+  CooMatrix() = default;
+  CooMatrix(std::uint32_t rows, std::uint32_t cols)
+      : rows_(rows), cols_(cols) {}
+
+  std::uint32_t rows() const { return rows_; }
+  std::uint32_t cols() const { return cols_; }
+  std::size_t nnz() const { return entries_.size(); }
+
+  const std::vector<CooEntry>& entries() const { return entries_; }
+
+  /// Append a triplet; bounds-checked with assert.
+  void add(std::uint32_t row, std::uint32_t col, double val);
+
+  /// Sort row-major and sum duplicates; drops explicit zeros produced by
+  /// cancellation only if `drop_zeros` is set (MatrixMarket keeps them).
+  void canonicalize(bool drop_zeros = false);
+
+  /// True iff entries are row-major sorted with no duplicate coordinates.
+  bool canonical() const;
+
+  DenseMatrix densify() const;
+
+  static CooMatrix from_dense(const DenseMatrix& m);
+
+ private:
+  std::uint32_t rows_ = 0;
+  std::uint32_t cols_ = 0;
+  std::vector<CooEntry> entries_;
+};
+
+}  // namespace issr::sparse

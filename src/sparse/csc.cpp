@@ -1,0 +1,74 @@
+#include "sparse/csc.hpp"
+
+#include <cassert>
+
+namespace issr::sparse {
+
+CscMatrix::CscMatrix(std::uint32_t rows, std::uint32_t cols,
+                     std::vector<std::uint32_t> ptr,
+                     std::vector<std::uint32_t> idcs,
+                     std::vector<double> vals)
+    : rows_(rows),
+      cols_(cols),
+      ptr_(std::move(ptr)),
+      idcs_(std::move(idcs)),
+      vals_(std::move(vals)) {
+  assert(valid());
+}
+
+CscMatrix CscMatrix::from_coo(const CooMatrix& coo) {
+  return from_csr(CsrMatrix::from_coo(coo));
+}
+
+CscMatrix CscMatrix::from_csr(const CsrMatrix& csr) {
+  // CSC(A) has the same arrays as CSR(A^T).
+  const CsrMatrix t = csr.transposed();
+  CscMatrix out;
+  out.rows_ = csr.rows();
+  out.cols_ = csr.cols();
+  out.ptr_ = t.ptr();
+  out.idcs_ = t.idcs();
+  out.vals_ = t.vals();
+  assert(out.valid());
+  return out;
+}
+
+SparseFiber CscMatrix::col_fiber(std::uint32_t c) const {
+  assert(c < cols_);
+  return SparseFiber(
+      rows_,
+      std::vector<double>(vals_.begin() + ptr_[c], vals_.begin() + ptr_[c + 1]),
+      std::vector<std::uint32_t>(idcs_.begin() + ptr_[c],
+                                 idcs_.begin() + ptr_[c + 1]));
+}
+
+CsrMatrix CscMatrix::transpose_as_csr() const {
+  return CsrMatrix(cols_, rows_, ptr_, idcs_, vals_);
+}
+
+CsrMatrix CscMatrix::to_csr() const { return transpose_as_csr().transposed(); }
+
+DenseMatrix CscMatrix::densify() const {
+  DenseMatrix out(rows_, cols_);
+  for (std::uint32_t c = 0; c < cols_; ++c)
+    for (std::uint32_t k = ptr_[c]; k < ptr_[c + 1]; ++k)
+      out.at(idcs_[k], c) = vals_[k];
+  return out;
+}
+
+bool CscMatrix::valid() const {
+  if (ptr_.size() != static_cast<std::size_t>(cols_) + 1) return false;
+  if (ptr_.empty() || ptr_.front() != 0) return false;
+  if (ptr_.back() != vals_.size()) return false;
+  if (idcs_.size() != vals_.size()) return false;
+  for (std::uint32_t c = 0; c < cols_; ++c) {
+    if (ptr_[c] > ptr_[c + 1]) return false;
+    for (std::uint32_t k = ptr_[c]; k < ptr_[c + 1]; ++k) {
+      if (idcs_[k] >= rows_) return false;
+      if (k > ptr_[c] && idcs_[k] <= idcs_[k - 1]) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace issr::sparse

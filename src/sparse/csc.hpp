@@ -1,0 +1,61 @@
+// Compressed sparse columns: the column-fiber dual of CSR (§III-A). The
+// ISSR kernels handle CSC by multiplying from the opposite side, so this
+// class is a thin adapter around a CSR of the transpose.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sparse/coo.hpp"
+#include "sparse/csr.hpp"
+#include "sparse/dense.hpp"
+#include "sparse/fiber.hpp"
+
+namespace issr::sparse {
+
+class CscMatrix {
+ public:
+  CscMatrix() = default;
+
+  /// Construct from raw CSC arrays: `ptr` has cols+1 entries; row indices
+  /// within each column must be strictly increasing.
+  CscMatrix(std::uint32_t rows, std::uint32_t cols,
+            std::vector<std::uint32_t> ptr, std::vector<std::uint32_t> idcs,
+            std::vector<double> vals);
+
+  static CscMatrix from_coo(const CooMatrix& coo);
+  static CscMatrix from_csr(const CsrMatrix& csr);
+
+  std::uint32_t rows() const { return rows_; }
+  std::uint32_t cols() const { return cols_; }
+  std::uint32_t nnz() const { return static_cast<std::uint32_t>(vals_.size()); }
+
+  const std::vector<std::uint32_t>& ptr() const { return ptr_; }
+  const std::vector<std::uint32_t>& idcs() const { return idcs_; }
+  const std::vector<double>& vals() const { return vals_; }
+
+  std::uint32_t col_nnz(std::uint32_t c) const { return ptr_[c + 1] - ptr_[c]; }
+
+  /// Column `c` as a fiber over the row axis.
+  SparseFiber col_fiber(std::uint32_t c) const;
+
+  /// Reinterpret as the CSR representation of the transposed matrix
+  /// (identical arrays; this is a zero-copy semantic view made explicit).
+  CsrMatrix transpose_as_csr() const;
+
+  /// Convert to CSR of the *same* matrix.
+  CsrMatrix to_csr() const;
+
+  DenseMatrix densify() const;
+
+  bool valid() const;
+
+ private:
+  std::uint32_t rows_ = 0;
+  std::uint32_t cols_ = 0;
+  std::vector<std::uint32_t> ptr_;
+  std::vector<std::uint32_t> idcs_;
+  std::vector<double> vals_;
+};
+
+}  // namespace issr::sparse

@@ -1,0 +1,125 @@
+#include "sparse/csf.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace issr::sparse {
+
+CsfTensor CsfTensor::from_entries(std::uint32_t dim_i, std::uint32_t dim_j,
+                                  std::uint32_t dim_k,
+                                  std::vector<TensorEntry> entries) {
+  std::sort(entries.begin(), entries.end(),
+            [](const TensorEntry& a, const TensorEntry& b) {
+              if (a.i != b.i) return a.i < b.i;
+              if (a.j != b.j) return a.j < b.j;
+              return a.k < b.k;
+            });
+  // Sum duplicates.
+  std::vector<TensorEntry> merged;
+  merged.reserve(entries.size());
+  for (const auto& e : entries) {
+    assert(e.i < dim_i && e.j < dim_j && e.k < dim_k);
+    if (!merged.empty() && merged.back().i == e.i && merged.back().j == e.j &&
+        merged.back().k == e.k) {
+      merged.back().val += e.val;
+    } else {
+      merged.push_back(e);
+    }
+  }
+
+  CsfTensor out;
+  out.dims_[0] = dim_i;
+  out.dims_[1] = dim_j;
+  out.dims_[2] = dim_k;
+  out.fiber_ptr_.push_back(0);
+  out.nnz_ptr_.push_back(0);
+  for (const auto& e : merged) {
+    const bool new_slice =
+        out.slice_idcs_.empty() || out.slice_idcs_.back() != e.i;
+    const bool new_fiber = new_slice || out.fiber_idcs_.empty() ||
+                           out.fiber_idcs_.back() != e.j;
+    if (new_slice) {
+      out.slice_idcs_.push_back(e.i);
+      out.fiber_ptr_.push_back(out.fiber_ptr_.back());
+    }
+    if (new_fiber) {
+      out.fiber_idcs_.push_back(e.j);
+      out.nnz_ptr_.push_back(out.nnz_ptr_.back());
+      ++out.fiber_ptr_.back();
+    }
+    out.k_idcs_.push_back(e.k);
+    out.vals_.push_back(e.val);
+    ++out.nnz_ptr_.back();
+  }
+  assert(out.valid());
+  return out;
+}
+
+SparseFiber CsfTensor::leaf_fiber(std::uint32_t f) const {
+  assert(f < num_fibers());
+  return SparseFiber(
+      dims_[2],
+      std::vector<double>(vals_.begin() + nnz_ptr_[f],
+                          vals_.begin() + nnz_ptr_[f + 1]),
+      std::vector<std::uint32_t>(k_idcs_.begin() + nnz_ptr_[f],
+                                 k_idcs_.begin() + nnz_ptr_[f + 1]));
+}
+
+std::vector<TensorEntry> CsfTensor::to_entries() const {
+  std::vector<TensorEntry> out;
+  out.reserve(vals_.size());
+  for (std::uint32_t s = 0; s < num_slices(); ++s) {
+    for (std::uint32_t f = fiber_ptr_[s]; f < fiber_ptr_[s + 1]; ++f) {
+      for (std::uint32_t n = nnz_ptr_[f]; n < nnz_ptr_[f + 1]; ++n) {
+        out.push_back({slice_idcs_[s], fiber_idcs_[f], k_idcs_[n], vals_[n]});
+      }
+    }
+  }
+  return out;
+}
+
+DenseMatrix CsfTensor::ttv_mode2(const DenseVector& v) const {
+  assert(v.size() == dims_[2]);
+  DenseMatrix out(dims_[0], dims_[1]);
+  for (std::uint32_t s = 0; s < num_slices(); ++s) {
+    for (std::uint32_t f = fiber_ptr_[s]; f < fiber_ptr_[s + 1]; ++f) {
+      double acc = 0.0;
+      for (std::uint32_t n = nnz_ptr_[f]; n < nnz_ptr_[f + 1]; ++n) {
+        acc += vals_[n] * v[k_idcs_[n]];
+      }
+      out.at(slice_idcs_[s], fiber_idcs_[f]) = acc;
+    }
+  }
+  return out;
+}
+
+bool CsfTensor::valid() const {
+  if (fiber_ptr_.size() != slice_idcs_.size() + 1) return false;
+  if (nnz_ptr_.size() != fiber_idcs_.size() + 1) return false;
+  if (fiber_ptr_.front() != 0 || fiber_ptr_.back() != fiber_idcs_.size())
+    return false;
+  if (nnz_ptr_.front() != 0 || nnz_ptr_.back() != vals_.size()) return false;
+  if (k_idcs_.size() != vals_.size()) return false;
+  for (std::size_t s = 1; s < slice_idcs_.size(); ++s)
+    if (slice_idcs_[s] <= slice_idcs_[s - 1]) return false;
+  for (const auto i : slice_idcs_)
+    if (i >= dims_[0]) return false;
+  for (std::uint32_t s = 0; s < num_slices(); ++s) {
+    if (fiber_ptr_[s] > fiber_ptr_[s + 1]) return false;
+    for (std::uint32_t f = fiber_ptr_[s]; f < fiber_ptr_[s + 1]; ++f) {
+      if (fiber_idcs_[f] >= dims_[1]) return false;
+      if (f > fiber_ptr_[s] && fiber_idcs_[f] <= fiber_idcs_[f - 1])
+        return false;
+    }
+  }
+  for (std::uint32_t f = 0; f < num_fibers(); ++f) {
+    if (nnz_ptr_[f] > nnz_ptr_[f + 1]) return false;
+    for (std::uint32_t n = nnz_ptr_[f]; n < nnz_ptr_[f + 1]; ++n) {
+      if (k_idcs_[n] >= dims_[2]) return false;
+      if (n > nnz_ptr_[f] && k_idcs_[n] <= k_idcs_[n - 1]) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace issr::sparse

@@ -1,0 +1,81 @@
+// Compressed sparse fiber (CSF) tensor format (Smith & Karypis, IA3'15),
+// the fiber-based generalization of CSR to higher-order tensors the paper
+// cites as an acceleration target (§III-A). We implement the third-order
+// case: a tensor is a tree of slices -> fibers -> nonzeros, with pointer
+// arrays delimiting each level. The leaf level is exactly the (vals, idcs)
+// fiber pair that ISSRs stream.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sparse/dense.hpp"
+#include "sparse/fiber.hpp"
+
+namespace issr::sparse {
+
+/// One nonzero of a third-order tensor.
+struct TensorEntry {
+  std::uint32_t i;  ///< mode-0 coordinate (slice)
+  std::uint32_t j;  ///< mode-1 coordinate (fiber within slice)
+  std::uint32_t k;  ///< mode-2 coordinate (position within fiber)
+  double val;
+
+  bool operator==(const TensorEntry&) const = default;
+};
+
+/// Third-order CSF tensor with mode order (0, 1, 2):
+///   slice_idcs[s]            — the i-coordinate of slice s
+///   fiber_ptr[s .. s+1]      — fibers belonging to slice s
+///   fiber_idcs[f]            — the j-coordinate of fiber f
+///   nnz_ptr[f .. f+1]        — nonzeros belonging to fiber f
+///   (vals, k_idcs)           — leaf fiber pair
+class CsfTensor {
+ public:
+  CsfTensor() = default;
+
+  static CsfTensor from_entries(std::uint32_t dim_i, std::uint32_t dim_j,
+                                std::uint32_t dim_k,
+                                std::vector<TensorEntry> entries);
+
+  std::uint32_t dim_i() const { return dims_[0]; }
+  std::uint32_t dim_j() const { return dims_[1]; }
+  std::uint32_t dim_k() const { return dims_[2]; }
+  std::uint32_t num_slices() const {
+    return static_cast<std::uint32_t>(slice_idcs_.size());
+  }
+  std::uint32_t num_fibers() const {
+    return static_cast<std::uint32_t>(fiber_idcs_.size());
+  }
+  std::uint32_t nnz() const { return static_cast<std::uint32_t>(vals_.size()); }
+
+  const std::vector<std::uint32_t>& slice_idcs() const { return slice_idcs_; }
+  const std::vector<std::uint32_t>& fiber_ptr() const { return fiber_ptr_; }
+  const std::vector<std::uint32_t>& fiber_idcs() const { return fiber_idcs_; }
+  const std::vector<std::uint32_t>& nnz_ptr() const { return nnz_ptr_; }
+  const std::vector<std::uint32_t>& k_idcs() const { return k_idcs_; }
+  const std::vector<double>& vals() const { return vals_; }
+
+  /// Leaf fiber `f` as a standalone SparseFiber over the mode-2 axis.
+  SparseFiber leaf_fiber(std::uint32_t f) const;
+
+  /// Expand to a list of canonical entries (sorted by (i, j, k)).
+  std::vector<TensorEntry> to_entries() const;
+
+  /// Tensor-times-vector along mode 2: Y(i,j) = sum_k X(i,j,k) * v(k).
+  /// The inner loop over each leaf fiber is exactly an ISSR SpVV.
+  DenseMatrix ttv_mode2(const DenseVector& v) const;
+
+  bool valid() const;
+
+ private:
+  std::uint32_t dims_[3] = {0, 0, 0};
+  std::vector<std::uint32_t> slice_idcs_;
+  std::vector<std::uint32_t> fiber_ptr_;
+  std::vector<std::uint32_t> fiber_idcs_;
+  std::vector<std::uint32_t> nnz_ptr_;
+  std::vector<std::uint32_t> k_idcs_;
+  std::vector<double> vals_;
+};
+
+}  // namespace issr::sparse

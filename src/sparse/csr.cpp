@@ -1,0 +1,127 @@
+#include "sparse/csr.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace issr::sparse {
+
+CsrMatrix::CsrMatrix(std::uint32_t rows, std::uint32_t cols,
+                     std::vector<std::uint32_t> ptr,
+                     std::vector<std::uint32_t> idcs,
+                     std::vector<double> vals)
+    : rows_(rows),
+      cols_(cols),
+      ptr_(std::move(ptr)),
+      idcs_(std::move(idcs)),
+      vals_(std::move(vals)) {
+  assert(valid());
+}
+
+CsrMatrix CsrMatrix::from_coo(CooMatrix coo) {
+  coo.canonicalize();
+  CsrMatrix out;
+  out.rows_ = coo.rows();
+  out.cols_ = coo.cols();
+  out.ptr_.assign(out.rows_ + 1, 0);
+  out.idcs_.reserve(coo.nnz());
+  out.vals_.reserve(coo.nnz());
+  for (const auto& e : coo.entries()) {
+    ++out.ptr_[e.row + 1];
+    out.idcs_.push_back(e.col);
+    out.vals_.push_back(e.val);
+  }
+  for (std::uint32_t r = 0; r < out.rows_; ++r) out.ptr_[r + 1] += out.ptr_[r];
+  assert(out.valid());
+  return out;
+}
+
+CsrMatrix CsrMatrix::from_dense(const DenseMatrix& m) {
+  return from_coo(CooMatrix::from_dense(m));
+}
+
+double CsrMatrix::avg_row_nnz() const {
+  if (rows_ == 0) return 0.0;
+  return static_cast<double>(nnz()) / static_cast<double>(rows_);
+}
+
+std::uint32_t CsrMatrix::max_row_nnz() const {
+  std::uint32_t m = 0;
+  for (std::uint32_t r = 0; r < rows_; ++r) m = std::max(m, row_nnz(r));
+  return m;
+}
+
+SparseFiber CsrMatrix::row_fiber(std::uint32_t r) const {
+  assert(r < rows_);
+  return SparseFiber(
+      cols_,
+      std::vector<double>(vals_.begin() + ptr_[r], vals_.begin() + ptr_[r + 1]),
+      std::vector<std::uint32_t>(idcs_.begin() + ptr_[r],
+                                 idcs_.begin() + ptr_[r + 1]));
+}
+
+DenseMatrix CsrMatrix::densify() const {
+  DenseMatrix out(rows_, cols_);
+  for (std::uint32_t r = 0; r < rows_; ++r)
+    for (std::uint32_t k = ptr_[r]; k < ptr_[r + 1]; ++k)
+      out.at(r, idcs_[k]) = vals_[k];
+  return out;
+}
+
+CooMatrix CsrMatrix::to_coo() const {
+  CooMatrix out(rows_, cols_);
+  for (std::uint32_t r = 0; r < rows_; ++r)
+    for (std::uint32_t k = ptr_[r]; k < ptr_[r + 1]; ++k)
+      out.add(r, idcs_[k], vals_[k]);
+  return out;
+}
+
+CsrMatrix CsrMatrix::transposed() const {
+  CsrMatrix out;
+  out.rows_ = cols_;
+  out.cols_ = rows_;
+  out.ptr_.assign(cols_ + 1, 0);
+  out.idcs_.resize(nnz());
+  out.vals_.resize(nnz());
+  // Count entries per column.
+  for (const auto c : idcs_) ++out.ptr_[c + 1];
+  for (std::uint32_t c = 0; c < cols_; ++c) out.ptr_[c + 1] += out.ptr_[c];
+  // Scatter; a working copy of the pointers tracks the insert cursor.
+  std::vector<std::uint32_t> cursor(out.ptr_.begin(), out.ptr_.end() - 1);
+  for (std::uint32_t r = 0; r < rows_; ++r) {
+    for (std::uint32_t k = ptr_[r]; k < ptr_[r + 1]; ++k) {
+      const std::uint32_t c = idcs_[k];
+      const std::uint32_t dst = cursor[c]++;
+      out.idcs_[dst] = r;
+      out.vals_[dst] = vals_[k];
+    }
+  }
+  assert(out.valid());
+  return out;
+}
+
+bool CsrMatrix::valid() const {
+  if (ptr_.size() != static_cast<std::size_t>(rows_) + 1) return false;
+  if (ptr_.empty() || ptr_.front() != 0) return false;
+  if (ptr_.back() != vals_.size()) return false;
+  if (idcs_.size() != vals_.size()) return false;
+  for (std::uint32_t r = 0; r < rows_; ++r) {
+    if (ptr_[r] > ptr_[r + 1]) return false;
+    for (std::uint32_t k = ptr_[r]; k < ptr_[r + 1]; ++k) {
+      if (idcs_[k] >= cols_) return false;
+      if (k > ptr_[r] && idcs_[k] <= idcs_[k - 1]) return false;
+    }
+  }
+  return true;
+}
+
+bool CsrMatrix::fits_u16() const {
+  return std::all_of(idcs_.begin(), idcs_.end(),
+                     [](std::uint32_t c) { return c <= 0xffffu; });
+}
+
+std::size_t CsrMatrix::storage_bytes(IndexWidth w) const {
+  return vals_.size() * sizeof(double) + idcs_.size() * index_bytes(w) +
+         ptr_.size() * sizeof(std::uint32_t);
+}
+
+}  // namespace issr::sparse

@@ -1,0 +1,82 @@
+// Compressed sparse rows, the paper's primary matrix format: the rows of
+// the matrix are concatenated as sparse fibers (vals + column indices)
+// delimited by a row-pointer array (32-bit in the kernels, enabling broad
+// scaling in rows, §III-B).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sparse/coo.hpp"
+#include "sparse/dense.hpp"
+#include "sparse/fiber.hpp"
+
+namespace issr::sparse {
+
+class CscMatrix;  // forward; defined in csc.hpp
+
+class CsrMatrix {
+ public:
+  CsrMatrix() = default;
+
+  /// Construct from raw arrays. `ptr` has rows+1 entries, monotonically
+  /// non-decreasing, ptr[0] == 0, ptr[rows] == vals.size(). Column indices
+  /// within each row must be strictly increasing.
+  CsrMatrix(std::uint32_t rows, std::uint32_t cols,
+            std::vector<std::uint32_t> ptr, std::vector<std::uint32_t> idcs,
+            std::vector<double> vals);
+
+  static CsrMatrix from_coo(CooMatrix coo);
+  static CsrMatrix from_dense(const DenseMatrix& m);
+
+  std::uint32_t rows() const { return rows_; }
+  std::uint32_t cols() const { return cols_; }
+  std::uint32_t nnz() const { return static_cast<std::uint32_t>(vals_.size()); }
+
+  const std::vector<std::uint32_t>& ptr() const { return ptr_; }
+  const std::vector<std::uint32_t>& idcs() const { return idcs_; }
+  const std::vector<double>& vals() const { return vals_; }
+
+  std::uint32_t row_begin(std::uint32_t r) const { return ptr_[r]; }
+  std::uint32_t row_end(std::uint32_t r) const { return ptr_[r + 1]; }
+  std::uint32_t row_nnz(std::uint32_t r) const {
+    return ptr_[r + 1] - ptr_[r];
+  }
+
+  /// Average nonzeros per row — the x-axis of the paper's Fig. 4b/4c.
+  double avg_row_nnz() const;
+
+  /// Longest row; bounds kernel unrolling decisions.
+  std::uint32_t max_row_nnz() const;
+
+  /// Extract row `r` as a standalone fiber over the column axis.
+  SparseFiber row_fiber(std::uint32_t r) const;
+
+  DenseMatrix densify() const;
+  CooMatrix to_coo() const;
+
+  /// Transpose; equivalently reinterpret as CSC of the same matrix.
+  CsrMatrix transposed() const;
+
+  /// Structural/value equality.
+  bool operator==(const CsrMatrix&) const = default;
+
+  /// Invariant check (ptr shape, sorted in-row indices, bounds).
+  bool valid() const;
+
+  /// True iff all column indices fit 16 bits.
+  bool fits_u16() const;
+
+  /// Storage footprint in bytes with the given index width (vals 8 B each,
+  /// 32-bit row pointers) — used for TCDM tiling decisions.
+  std::size_t storage_bytes(IndexWidth w) const;
+
+ private:
+  std::uint32_t rows_ = 0;
+  std::uint32_t cols_ = 0;
+  std::vector<std::uint32_t> ptr_;
+  std::vector<std::uint32_t> idcs_;
+  std::vector<double> vals_;
+};
+
+}  // namespace issr::sparse

@@ -1,0 +1,82 @@
+#include "sparse/dense.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace issr::sparse {
+
+void DenseVector::fill(double v) { std::fill(data_.begin(), data_.end(), v); }
+
+DenseMatrix::DenseMatrix(std::size_t rows, std::size_t cols, double fill)
+    : DenseMatrix(rows, cols, cols, fill) {}
+
+DenseMatrix::DenseMatrix(std::size_t rows, std::size_t cols, std::size_t ld,
+                         double fill)
+    : rows_(rows), cols_(cols), ld_(ld), data_(rows * ld, fill) {
+  assert(ld_ >= cols_);
+}
+
+void DenseMatrix::fill(double v) {
+  std::fill(data_.begin(), data_.end(), v);
+}
+
+DenseVector DenseMatrix::column(std::size_t c) const {
+  assert(c < cols_);
+  DenseVector out(rows_);
+  for (std::size_t r = 0; r < rows_; ++r) out[r] = at(r, c);
+  return out;
+}
+
+DenseMatrix DenseMatrix::transposed() const {
+  DenseMatrix out(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = 0; c < cols_; ++c) out.at(c, r) = at(r, c);
+  return out;
+}
+
+double max_abs_diff(const DenseVector& a, const DenseVector& b) {
+  assert(a.size() == b.size());
+  double m = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    m = std::max(m, std::fabs(a[i] - b[i]));
+  return m;
+}
+
+double max_abs_diff(const DenseMatrix& a, const DenseMatrix& b) {
+  assert(a.rows() == b.rows() && a.cols() == b.cols());
+  double m = 0.0;
+  for (std::size_t r = 0; r < a.rows(); ++r)
+    for (std::size_t c = 0; c < a.cols(); ++c)
+      m = std::max(m, std::fabs(a.at(r, c) - b.at(r, c)));
+  return m;
+}
+
+namespace {
+
+bool close(double x, double y, double tol, double rel_tol) {
+  const double diff = std::fabs(x - y);
+  const double mag = std::max(std::fabs(x), std::fabs(y));
+  return diff <= tol || diff <= rel_tol * mag;
+}
+
+}  // namespace
+
+bool allclose(const DenseVector& a, const DenseVector& b, double tol,
+              double rel_tol) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if (!close(a[i], b[i], tol, rel_tol)) return false;
+  return true;
+}
+
+bool allclose(const DenseMatrix& a, const DenseMatrix& b, double tol,
+              double rel_tol) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) return false;
+  for (std::size_t r = 0; r < a.rows(); ++r)
+    for (std::size_t c = 0; c < a.cols(); ++c)
+      if (!close(a.at(r, c), b.at(r, c), tol, rel_tol)) return false;
+  return true;
+}
+
+}  // namespace issr::sparse

@@ -1,0 +1,87 @@
+// Dense vector/matrix containers used as kernel operands and golden
+// results. Matrices are row-major with an explicit leading dimension so
+// strided layouts (the ISSR CsrMM kernels support power-of-two strides)
+// can be expressed directly.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace issr::sparse {
+
+/// Dense column vector of doubles.
+class DenseVector {
+ public:
+  DenseVector() = default;
+  explicit DenseVector(std::size_t size, double fill = 0.0)
+      : data_(size, fill) {}
+  explicit DenseVector(std::vector<double> data) : data_(std::move(data)) {}
+
+  std::size_t size() const { return data_.size(); }
+  double& operator[](std::size_t i) { return data_[i]; }
+  double operator[](std::size_t i) const { return data_[i]; }
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+  const std::vector<double>& vec() const { return data_; }
+
+  void fill(double v);
+
+  bool operator==(const DenseVector&) const = default;
+
+ private:
+  std::vector<double> data_;
+};
+
+/// Row-major dense matrix with explicit leading dimension (row stride in
+/// elements). `ld >= cols`; extra elements are padding.
+class DenseMatrix {
+ public:
+  DenseMatrix() = default;
+  DenseMatrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+  DenseMatrix(std::size_t rows, std::size_t cols, std::size_t ld,
+              double fill = 0.0);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t ld() const { return ld_; }
+
+  double& at(std::size_t r, std::size_t c) { return data_[r * ld_ + c]; }
+  double at(std::size_t r, std::size_t c) const { return data_[r * ld_ + c]; }
+
+  double* row_ptr(std::size_t r) { return data_.data() + r * ld_; }
+  const double* row_ptr(std::size_t r) const { return data_.data() + r * ld_; }
+
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+  std::size_t storage_elems() const { return data_.size(); }
+
+  void fill(double v);
+
+  /// Extract column `c` as a vector.
+  DenseVector column(std::size_t c) const;
+
+  /// Transposed copy (result has ld == rows()).
+  DenseMatrix transposed() const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::size_t ld_ = 0;
+  std::vector<double> data_;
+};
+
+/// Max-absolute elementwise difference between two vectors of equal size.
+double max_abs_diff(const DenseVector& a, const DenseVector& b);
+
+/// Max-absolute elementwise difference between the logical (non-padding)
+/// elements of two matrices of equal shape.
+double max_abs_diff(const DenseMatrix& a, const DenseMatrix& b);
+
+/// True iff all elements differ by at most `tol` (absolute) or `rel_tol`
+/// relative to the max magnitude of the pair.
+bool allclose(const DenseVector& a, const DenseVector& b, double tol = 1e-9,
+              double rel_tol = 1e-12);
+bool allclose(const DenseMatrix& a, const DenseMatrix& b, double tol = 1e-9,
+              double rel_tol = 1e-12);
+
+}  // namespace issr::sparse

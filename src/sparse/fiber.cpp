@@ -1,0 +1,79 @@
+#include "sparse/fiber.hpp"
+
+#include <cassert>
+
+namespace issr::sparse {
+
+SparseFiber::SparseFiber(std::uint32_t dim, std::vector<double> vals,
+                         std::vector<std::uint32_t> idcs)
+    : dim_(dim), vals_(std::move(vals)), idcs_(std::move(idcs)) {
+  assert(vals_.size() == idcs_.size());
+  assert(valid());
+}
+
+DenseVector SparseFiber::densify() const {
+  DenseVector out(dim_);
+  for (std::size_t i = 0; i < vals_.size(); ++i) out[idcs_[i]] = vals_[i];
+  return out;
+}
+
+SparseFiber SparseFiber::from_dense(const DenseVector& v) {
+  std::vector<double> vals;
+  std::vector<std::uint32_t> idcs;
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (v[i] != 0.0) {
+      vals.push_back(v[i]);
+      idcs.push_back(static_cast<std::uint32_t>(i));
+    }
+  }
+  return SparseFiber(static_cast<std::uint32_t>(v.size()), std::move(vals),
+                     std::move(idcs));
+}
+
+bool SparseFiber::valid() const {
+  if (vals_.size() != idcs_.size()) return false;
+  for (std::size_t i = 0; i < idcs_.size(); ++i) {
+    if (idcs_[i] >= dim_) return false;
+    if (i > 0 && idcs_[i] <= idcs_[i - 1]) return false;
+  }
+  return true;
+}
+
+bool SparseFiber::fits_u16() const {
+  for (const auto idx : idcs_)
+    if (idx > 0xffffu) return false;
+  return true;
+}
+
+std::vector<std::uint8_t> pack_indices(const std::vector<std::uint32_t>& idcs,
+                                       IndexWidth width) {
+  const unsigned nbytes = index_bytes(width);
+  std::vector<std::uint8_t> out;
+  out.reserve(idcs.size() * nbytes);
+  for (const auto idx : idcs) {
+    assert(nbytes == 4 || idx <= 0xffffu);
+    for (unsigned b = 0; b < nbytes; ++b) {
+      out.push_back(static_cast<std::uint8_t>((idx >> (8 * b)) & 0xffu));
+    }
+  }
+  return out;
+}
+
+std::vector<std::uint32_t> unpack_indices(const std::vector<std::uint8_t>& raw,
+                                          IndexWidth width,
+                                          std::size_t count) {
+  const unsigned nbytes = index_bytes(width);
+  assert(raw.size() >= count * nbytes);
+  std::vector<std::uint32_t> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    std::uint32_t v = 0;
+    for (unsigned b = 0; b < nbytes; ++b) {
+      v |= static_cast<std::uint32_t>(raw[i * nbytes + b]) << (8 * b);
+    }
+    out.push_back(v);
+  }
+  return out;
+}
+
+}  // namespace issr::sparse

@@ -1,0 +1,82 @@
+// Sparse fiber: the paper's fundamental sparse structure (§III-A).
+//
+// A fiber is a pair of parallel arrays — nonzero values and their positions
+// along one axis. Sparse vectors *are* fibers; CSR/CSC/CSF concatenate
+// fibers and delimit them with pointer arrays. The ISSR hardware streams a
+// fiber's index array and indirects into a dense operand.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sparse/dense.hpp"
+
+namespace issr::sparse {
+
+/// Index width the simulated kernels use when serializing a fiber's index
+/// array into TCDM. The hardware supports 16- and 32-bit index arrays.
+enum class IndexWidth : std::uint8_t {
+  kU16 = 2,  ///< two bytes per index; four indices per 64-bit word
+  kU32 = 4,  ///< four bytes per index; two indices per 64-bit word
+};
+
+/// Number of bytes per index.
+constexpr unsigned index_bytes(IndexWidth w) {
+  return static_cast<unsigned>(w);
+}
+
+/// Indices packed into one 64-bit TCDM word.
+constexpr unsigned indices_per_word(IndexWidth w) {
+  return 8 / index_bytes(w);
+}
+
+/// A sparse fiber over a `dim`-element axis. Invariants: `vals` and `idcs`
+/// have equal length; indices are strictly increasing and < dim.
+class SparseFiber {
+ public:
+  SparseFiber() = default;
+  SparseFiber(std::uint32_t dim, std::vector<double> vals,
+              std::vector<std::uint32_t> idcs);
+
+  std::uint32_t dim() const { return dim_; }
+  std::uint32_t nnz() const { return static_cast<std::uint32_t>(vals_.size()); }
+
+  const std::vector<double>& vals() const { return vals_; }
+  const std::vector<std::uint32_t>& idcs() const { return idcs_; }
+
+  double val(std::size_t i) const { return vals_[i]; }
+  std::uint32_t idx(std::size_t i) const { return idcs_[i]; }
+
+  /// Expand to a dense vector of length dim().
+  DenseVector densify() const;
+
+  /// Build a fiber from the nonzeros of a dense vector (exact-zero test).
+  static SparseFiber from_dense(const DenseVector& v);
+
+  /// Check invariants (sorted unique indices within range); used by tests
+  /// and by generator post-conditions.
+  bool valid() const;
+
+  /// True iff all indices fit in 16 bits (required for kU16 streaming).
+  bool fits_u16() const;
+
+  bool operator==(const SparseFiber&) const = default;
+
+ private:
+  std::uint32_t dim_ = 0;
+  std::vector<double> vals_;
+  std::vector<std::uint32_t> idcs_;
+};
+
+/// Pack an index array into little-endian bytes at the given width.
+/// Indices must fit the width. The ISSR index serializer consumes exactly
+/// this layout from TCDM (arbitrary alignment supported in hardware).
+std::vector<std::uint8_t> pack_indices(const std::vector<std::uint32_t>& idcs,
+                                       IndexWidth width);
+
+/// Inverse of pack_indices.
+std::vector<std::uint32_t> unpack_indices(const std::vector<std::uint8_t>& raw,
+                                          IndexWidth width,
+                                          std::size_t count);
+
+}  // namespace issr::sparse

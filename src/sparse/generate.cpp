@@ -1,0 +1,194 @@
+#include "sparse/generate.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace issr::sparse {
+
+DenseVector random_dense_vector(Rng& rng, std::size_t size) {
+  return DenseVector(rng.normal_vector(size));
+}
+
+DenseMatrix random_dense_matrix(Rng& rng, std::size_t rows, std::size_t cols,
+                                std::size_t ld) {
+  if (ld == 0) ld = cols;
+  DenseMatrix out(rows, cols, ld);
+  for (std::size_t r = 0; r < rows; ++r)
+    for (std::size_t c = 0; c < cols; ++c) out.at(r, c) = rng.normal();
+  return out;
+}
+
+SparseFiber random_sparse_vector(Rng& rng, std::uint32_t dim,
+                                 std::uint32_t nnz) {
+  assert(nnz <= dim);
+  auto idcs = rng.distinct_sorted(nnz, dim);
+  return SparseFiber(dim, rng.normal_vector(nnz), std::move(idcs));
+}
+
+CsrMatrix random_uniform_matrix(Rng& rng, std::uint32_t rows,
+                                std::uint32_t cols, std::uint64_t nnz) {
+  const std::uint64_t cells = static_cast<std::uint64_t>(rows) * cols;
+  assert(nnz <= cells);
+  CooMatrix coo(rows, cols);
+  if (nnz * 4 >= cells) {
+    // Dense-ish: select distinct flat cells by selection sampling.
+    std::uint64_t remaining = nnz;
+    for (std::uint64_t cell = 0; cell < cells && remaining > 0; ++cell) {
+      if (rng.uniform_int(0, cells - cell - 1) < remaining) {
+        coo.add(static_cast<std::uint32_t>(cell / cols),
+                static_cast<std::uint32_t>(cell % cols), rng.normal());
+        --remaining;
+      }
+    }
+  } else {
+    // Sparse: rejection-sample distinct cells via per-row tracking.
+    std::vector<std::vector<std::uint32_t>> row_cols(rows);
+    std::uint64_t placed = 0;
+    while (placed < nnz) {
+      const auto r = static_cast<std::uint32_t>(rng.uniform_int(0, rows - 1));
+      const auto c = static_cast<std::uint32_t>(rng.uniform_int(0, cols - 1));
+      auto& rc = row_cols[r];
+      if (std::find(rc.begin(), rc.end(), c) != rc.end()) continue;
+      rc.push_back(c);
+      coo.add(r, c, rng.normal());
+      ++placed;
+    }
+  }
+  return CsrMatrix::from_coo(std::move(coo));
+}
+
+CsrMatrix random_fixed_row_nnz_matrix(Rng& rng, std::uint32_t rows,
+                                      std::uint32_t cols,
+                                      std::uint32_t row_nnz) {
+  assert(row_nnz <= cols);
+  std::vector<std::uint32_t> ptr(rows + 1);
+  std::vector<std::uint32_t> idcs;
+  std::vector<double> vals;
+  idcs.reserve(static_cast<std::size_t>(rows) * row_nnz);
+  vals.reserve(static_cast<std::size_t>(rows) * row_nnz);
+  for (std::uint32_t r = 0; r < rows; ++r) {
+    ptr[r + 1] = ptr[r] + row_nnz;
+    auto row_idcs = rng.distinct_sorted(row_nnz, cols);
+    idcs.insert(idcs.end(), row_idcs.begin(), row_idcs.end());
+    for (std::uint32_t k = 0; k < row_nnz; ++k) vals.push_back(rng.normal());
+  }
+  return CsrMatrix(rows, cols, std::move(ptr), std::move(idcs),
+                   std::move(vals));
+}
+
+CsrMatrix banded_matrix(Rng& rng, std::uint32_t n, std::uint32_t bandwidth,
+                        double fill_prob) {
+  CooMatrix coo(n, n);
+  for (std::uint32_t r = 0; r < n; ++r) {
+    const std::uint32_t lo = r >= bandwidth ? r - bandwidth : 0;
+    const std::uint32_t hi = std::min(n - 1, r + bandwidth);
+    for (std::uint32_t c = lo; c <= hi; ++c) {
+      if (fill_prob >= 1.0 || rng.uniform() < fill_prob) {
+        coo.add(r, c, rng.normal());
+      }
+    }
+  }
+  return CsrMatrix::from_coo(std::move(coo));
+}
+
+CsrMatrix powerlaw_matrix(Rng& rng, std::uint32_t rows, std::uint32_t cols,
+                          double avg_row_nnz, double alpha) {
+  assert(alpha > 0.0);
+  // Zipf-shaped degrees: deg(r) proportional to rank^-alpha over a random
+  // permutation of rows, normalized to hit the requested average.
+  std::vector<double> weight(rows);
+  double total_weight = 0.0;
+  for (std::uint32_t r = 0; r < rows; ++r) {
+    weight[r] = std::pow(static_cast<double>(r + 1), -alpha);
+    total_weight += weight[r];
+  }
+  std::vector<std::uint32_t> perm(rows);
+  for (std::uint32_t r = 0; r < rows; ++r) perm[r] = r;
+  rng.shuffle(perm);
+
+  const double target_total = avg_row_nnz * static_cast<double>(rows);
+  std::vector<std::uint32_t> degree(rows, 0);
+  for (std::uint32_t rank = 0; rank < rows; ++rank) {
+    const double want = target_total * weight[rank] / total_weight;
+    auto deg = static_cast<std::uint32_t>(std::lround(want));
+    deg = std::min(deg, cols);
+    degree[perm[rank]] = deg;
+  }
+  std::vector<std::uint32_t> ptr(rows + 1, 0);
+  std::vector<std::uint32_t> idcs;
+  std::vector<double> vals;
+  for (std::uint32_t r = 0; r < rows; ++r) {
+    ptr[r + 1] = ptr[r] + degree[r];
+    auto row_idcs = rng.distinct_sorted(degree[r], cols);
+    idcs.insert(idcs.end(), row_idcs.begin(), row_idcs.end());
+    for (std::uint32_t k = 0; k < degree[r]; ++k) vals.push_back(rng.normal());
+  }
+  return CsrMatrix(rows, cols, std::move(ptr), std::move(idcs),
+                   std::move(vals));
+}
+
+CsrMatrix torus2d_matrix(Rng& rng, std::uint32_t grid_x, std::uint32_t grid_y,
+                         bool with_diagonal) {
+  const std::uint32_t n = grid_x * grid_y;
+  CooMatrix coo(n, n);
+  auto node = [&](std::uint32_t x, std::uint32_t y) {
+    return y * grid_x + x;
+  };
+  for (std::uint32_t y = 0; y < grid_y; ++y) {
+    for (std::uint32_t x = 0; x < grid_x; ++x) {
+      const std::uint32_t r = node(x, y);
+      if (with_diagonal) coo.add(r, r, rng.normal());
+      const std::uint32_t neighbors[4] = {
+          node((x + 1) % grid_x, y), node((x + grid_x - 1) % grid_x, y),
+          node(x, (y + 1) % grid_y), node(x, (y + grid_y - 1) % grid_y)};
+      for (const auto c : neighbors) {
+        if (c != r) coo.add(r, c, rng.normal());
+      }
+    }
+  }
+  coo.canonicalize();
+  return CsrMatrix::from_coo(std::move(coo));
+}
+
+CsfTensor random_csf_tensor(Rng& rng, std::uint32_t dim_i, std::uint32_t dim_j,
+                            std::uint32_t dim_k, std::uint32_t nnz) {
+  std::vector<TensorEntry> entries;
+  entries.reserve(nnz);
+  // Duplicate coordinates merge in from_entries; oversample slightly and
+  // trim to the requested count after dedup.
+  while (true) {
+    entries.clear();
+    for (std::uint32_t n = 0; n < nnz; ++n) {
+      entries.push_back(
+          {static_cast<std::uint32_t>(rng.uniform_int(0, dim_i - 1)),
+           static_cast<std::uint32_t>(rng.uniform_int(0, dim_j - 1)),
+           static_cast<std::uint32_t>(rng.uniform_int(0, dim_k - 1)),
+           rng.normal()});
+    }
+    CsfTensor t = CsfTensor::from_entries(dim_i, dim_j, dim_k, entries);
+    if (t.nnz() == nnz) return t;
+    // Rare duplicate collision: retry with fresh draws.
+  }
+}
+
+DenseVector CodebookVector::densify() const {
+  DenseVector out(indices.size());
+  for (std::size_t i = 0; i < indices.size(); ++i)
+    out[i] = codebook[indices[i]];
+  return out;
+}
+
+CodebookVector random_codebook_vector(Rng& rng, std::size_t count,
+                                      std::uint32_t codebook_size) {
+  CodebookVector out;
+  out.codebook = rng.normal_vector(codebook_size);
+  out.indices.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    out.indices.push_back(
+        static_cast<std::uint32_t>(rng.uniform_int(0, codebook_size - 1)));
+  }
+  return out;
+}
+
+}  // namespace issr::sparse

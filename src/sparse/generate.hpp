@@ -1,0 +1,74 @@
+// Workload generators matching the paper's methodology (§IV): dense test
+// tensors sample normal(0,1); sparse vectors have normally-distributed
+// values and uniformly-distributed indices at a fixed nonzero count; the
+// matrix generators synthesize the structural families found in the
+// SuiteSparse collection (see suite.hpp for the substitution rationale).
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "sparse/coo.hpp"
+#include "sparse/csf.hpp"
+#include "sparse/csr.hpp"
+#include "sparse/dense.hpp"
+#include "sparse/fiber.hpp"
+
+namespace issr::sparse {
+
+/// Dense vector with normal(0,1) entries.
+DenseVector random_dense_vector(Rng& rng, std::size_t size);
+
+/// Dense matrix with normal(0,1) entries and optional leading dimension.
+DenseMatrix random_dense_matrix(Rng& rng, std::size_t rows, std::size_t cols,
+                                std::size_t ld = 0);
+
+/// Sparse vector: `nnz` distinct uniformly-distributed indices in [0, dim),
+/// normal(0,1) values. Requires nnz <= dim.
+SparseFiber random_sparse_vector(Rng& rng, std::uint32_t dim,
+                                 std::uint32_t nnz);
+
+/// Matrix with exactly `nnz` nonzeros scattered uniformly at random.
+CsrMatrix random_uniform_matrix(Rng& rng, std::uint32_t rows,
+                                std::uint32_t cols, std::uint64_t nnz);
+
+/// Matrix where every row has exactly `row_nnz` uniformly-placed nonzeros
+/// (the controlled nnz/row sweep behind Fig. 4a/4b).
+CsrMatrix random_fixed_row_nnz_matrix(Rng& rng, std::uint32_t rows,
+                                      std::uint32_t cols,
+                                      std::uint32_t row_nnz);
+
+/// Banded matrix: nonzeros within `bandwidth` of the diagonal; a classic
+/// physical-simulation (FEM stencil) structure.
+CsrMatrix banded_matrix(Rng& rng, std::uint32_t n, std::uint32_t bandwidth,
+                        double fill_prob = 1.0);
+
+/// Power-law row degrees (Zipf-like with exponent `alpha`), uniform column
+/// placement; models web/social graph adjacency structure.
+CsrMatrix powerlaw_matrix(Rng& rng, std::uint32_t rows, std::uint32_t cols,
+                          double avg_row_nnz, double alpha);
+
+/// 2-D torus-graph Laplacian-like pattern (4 off-diagonal neighbors plus
+/// diagonal, random weights): the structure of the Gset G11-style graphs
+/// used as the paper's power-analysis anchors.
+CsrMatrix torus2d_matrix(Rng& rng, std::uint32_t grid_x, std::uint32_t grid_y,
+                         bool with_diagonal = true);
+
+/// Random third-order tensor with `nnz` uniformly-placed nonzeros.
+CsfTensor random_csf_tensor(Rng& rng, std::uint32_t dim_i, std::uint32_t dim_j,
+                            std::uint32_t dim_k, std::uint32_t nnz);
+
+/// Codebook-compressed vector: `count` entries drawn from `codebook_size`
+/// distinct normal(0,1) values; returns (codebook, indices). Models the
+/// §III-C codebook-decoding application.
+struct CodebookVector {
+  std::vector<double> codebook;
+  std::vector<std::uint32_t> indices;  ///< one per logical element
+
+  /// Expand to the logical dense vector.
+  DenseVector densify() const;
+};
+CodebookVector random_codebook_vector(Rng& rng, std::size_t count,
+                                      std::uint32_t codebook_size);
+
+}  // namespace issr::sparse

@@ -1,0 +1,121 @@
+#include "sparse/io.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+namespace issr::sparse {
+namespace {
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+
+enum class Field { kReal, kInteger, kPattern };
+enum class Symmetry { kGeneral, kSymmetric, kSkewSymmetric };
+
+}  // namespace
+
+CooMatrix read_mtx(std::istream& in) {
+  std::string line;
+  if (!std::getline(in, line)) throw MtxFormatError("empty stream");
+  std::istringstream banner(line);
+  std::string tag, object, format, field_s, symmetry_s;
+  banner >> tag >> object >> format >> field_s >> symmetry_s;
+  if (tag != "%%MatrixMarket") throw MtxFormatError("missing banner");
+  if (lower(object) != "matrix" || lower(format) != "coordinate")
+    throw MtxFormatError("only coordinate matrices are supported");
+
+  Field field;
+  const std::string f = lower(field_s);
+  if (f == "real") field = Field::kReal;
+  else if (f == "integer") field = Field::kInteger;
+  else if (f == "pattern") field = Field::kPattern;
+  else throw MtxFormatError("unsupported field: " + field_s);
+
+  Symmetry sym;
+  const std::string s = lower(symmetry_s);
+  if (s == "general") sym = Symmetry::kGeneral;
+  else if (s == "symmetric") sym = Symmetry::kSymmetric;
+  else if (s == "skew-symmetric") sym = Symmetry::kSkewSymmetric;
+  else throw MtxFormatError("unsupported symmetry: " + symmetry_s);
+
+  // Skip comments and blank lines to the size line.
+  std::uint64_t rows = 0, cols = 0, entries = 0;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '%') continue;
+    std::istringstream sz(line);
+    if (!(sz >> rows >> cols >> entries))
+      throw MtxFormatError("malformed size line: " + line);
+    break;
+  }
+  if (rows == 0 || cols == 0)
+    throw MtxFormatError("missing or zero-dimension size line");
+
+  CooMatrix coo(static_cast<std::uint32_t>(rows),
+                static_cast<std::uint32_t>(cols));
+  std::uint64_t seen = 0;
+  while (seen < entries && std::getline(in, line)) {
+    if (line.empty() || line[0] == '%') continue;
+    std::istringstream ls(line);
+    std::uint64_t r1 = 0, c1 = 0;
+    double v = 1.0;
+    if (!(ls >> r1 >> c1)) throw MtxFormatError("malformed entry: " + line);
+    if (field != Field::kPattern) {
+      if (!(ls >> v)) throw MtxFormatError("missing value: " + line);
+    }
+    if (r1 == 0 || c1 == 0 || r1 > rows || c1 > cols)
+      throw MtxFormatError("entry out of bounds: " + line);
+    const auto r = static_cast<std::uint32_t>(r1 - 1);
+    const auto c = static_cast<std::uint32_t>(c1 - 1);
+    coo.add(r, c, v);
+    if (sym != Symmetry::kGeneral && r != c) {
+      coo.add(c, r, sym == Symmetry::kSkewSymmetric ? -v : v);
+    }
+    ++seen;
+  }
+  if (seen != entries)
+    throw MtxFormatError("truncated file: expected " +
+                         std::to_string(entries) + " entries, got " +
+                         std::to_string(seen));
+  coo.canonicalize();
+  return coo;
+}
+
+CooMatrix read_mtx_file(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw std::runtime_error("cannot open " + path);
+  return read_mtx(f);
+}
+
+CsrMatrix read_mtx_csr(const std::string& path) {
+  return CsrMatrix::from_coo(read_mtx_file(path));
+}
+
+void write_mtx(std::ostream& out, const CooMatrix& m,
+               const std::string& comment) {
+  out << "%%MatrixMarket matrix coordinate real general\n";
+  if (!comment.empty()) {
+    std::istringstream lines(comment);
+    std::string line;
+    while (std::getline(lines, line)) out << "% " << line << "\n";
+  }
+  out << m.rows() << ' ' << m.cols() << ' ' << m.nnz() << "\n";
+  out.precision(17);
+  for (const auto& e : m.entries()) {
+    out << (e.row + 1) << ' ' << (e.col + 1) << ' ' << e.val << "\n";
+  }
+}
+
+void write_mtx_file(const std::string& path, const CooMatrix& m,
+                    const std::string& comment) {
+  std::ofstream f(path);
+  if (!f) throw std::runtime_error("cannot open " + path + " for writing");
+  write_mtx(f, m, comment);
+  if (!f) throw std::runtime_error("write failed: " + path);
+}
+
+}  // namespace issr::sparse

@@ -1,0 +1,44 @@
+// MatrixMarket (.mtx) coordinate-format I/O. This is the SuiteSparse
+// interchange format: dropping real collection files next to the binaries
+// lets every bench run on the authors' actual matrices instead of the
+// synthetic suite (DESIGN.md §5, substitution 2).
+//
+// Supported: `matrix coordinate (real|integer|pattern) (general|symmetric|
+// skew-symmetric)`. Pattern entries get value 1.0; symmetric halves are
+// mirrored on load.
+#pragma once
+
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+
+#include "sparse/coo.hpp"
+#include "sparse/csr.hpp"
+
+namespace issr::sparse {
+
+/// Error thrown on malformed MatrixMarket input.
+class MtxFormatError : public std::runtime_error {
+ public:
+  explicit MtxFormatError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// Parse a MatrixMarket coordinate stream into COO (1-based -> 0-based).
+CooMatrix read_mtx(std::istream& in);
+
+/// Read a .mtx file from disk. Throws MtxFormatError / std::runtime_error.
+CooMatrix read_mtx_file(const std::string& path);
+
+/// Convenience: straight to CSR.
+CsrMatrix read_mtx_csr(const std::string& path);
+
+/// Write COO as `matrix coordinate real general` (0-based -> 1-based).
+void write_mtx(std::ostream& out, const CooMatrix& m,
+               const std::string& comment = {});
+
+/// Write a .mtx file; throws std::runtime_error on I/O failure.
+void write_mtx_file(const std::string& path, const CooMatrix& m,
+                    const std::string& comment = {});
+
+}  // namespace issr::sparse

@@ -1,0 +1,126 @@
+#include "sparse/suite.hpp"
+
+#include <cassert>
+#include <cstdlib>
+
+#include "common/log.hpp"
+#include "sparse/generate.hpp"
+
+namespace issr::sparse {
+
+const char* to_string(MatrixFamily family) {
+  switch (family) {
+    case MatrixFamily::kUniform:
+      return "uniform";
+    case MatrixFamily::kBanded:
+      return "banded";
+    case MatrixFamily::kPowerLaw:
+      return "powerlaw";
+    case MatrixFamily::kTorus:
+      return "torus";
+    case MatrixFamily::kDiagonal:
+      return "diagonal";
+  }
+  return "?";
+}
+
+const std::vector<SuiteEntry>& suite_entries() {
+  // Shapes follow real SuiteSparse matrices of the same name where one
+  // exists (ragusa18, g11, g7, west2021, plat1919, bcsstk13, nasa2146,
+  // orani678, psmigr_1, heart2); families approximate their structure.
+  static const std::vector<SuiteEntry> kEntries = {
+      {"ragusa18", "economics", MatrixFamily::kPowerLaw, 23, 23, 64, 1.0},
+      {"diag1300", "lp-basis", MatrixFamily::kDiagonal, 2600, 2600, 1300, 0.0},
+      {"g11", "graph", MatrixFamily::kTorus, 800, 800, 3200, 40.0},
+      {"west2021", "chem-process", MatrixFamily::kPowerLaw, 2021, 2021, 7310,
+       0.8},
+      {"plat1919", "oceanography", MatrixFamily::kBanded, 1919, 1919, 32399,
+       9.0},
+      {"g7", "graph", MatrixFamily::kUniform, 800, 800, 38352, 0.0},
+      {"bcsstk13", "structural", MatrixFamily::kBanded, 2003, 2003, 83883,
+       21.0},
+      {"nasa2146", "structural", MatrixFamily::kBanded, 2146, 2146, 72250,
+       17.0},
+      {"orani678", "economics", MatrixFamily::kPowerLaw, 2529, 2529, 90158,
+       0.6},
+      {"psmigr1", "migration", MatrixFamily::kUniform, 3140, 3140, 543160,
+       0.0},
+      {"heart2", "bioengineering", MatrixFamily::kUniform, 2339, 2339, 680341,
+       0.0},
+  };
+  return kEntries;
+}
+
+const SuiteEntry& suite_entry(const std::string& name) {
+  for (const auto& e : suite_entries()) {
+    if (e.name == name) return e;
+  }
+  ISSR_ERROR("unknown suite matrix '%s'", name.c_str());
+  std::abort();
+}
+
+namespace {
+
+std::uint64_t name_seed(const std::string& name) {
+  // FNV-1a, stable across platforms.
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const char ch : name) {
+    h ^= static_cast<unsigned char>(ch);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+CsrMatrix build_suite_matrix(const SuiteEntry& entry) {
+  Rng rng(name_seed(entry.name));
+  switch (entry.family) {
+    case MatrixFamily::kUniform:
+      return random_uniform_matrix(rng, entry.rows, entry.cols, entry.nnz);
+    case MatrixFamily::kBanded: {
+      // Choose fill probability to land near the target nnz for the given
+      // bandwidth (band holds ~ (2*bw+1)*n cells, minus corner truncation).
+      const auto bw = static_cast<std::uint32_t>(entry.param);
+      const double band_cells =
+          static_cast<double>(entry.rows) * (2.0 * bw + 1.0) -
+          static_cast<double>(bw) * (bw + 1);
+      const double fill =
+          std::min(1.0, static_cast<double>(entry.nnz) / band_cells);
+      return banded_matrix(rng, entry.rows, bw, fill);
+    }
+    case MatrixFamily::kPowerLaw: {
+      const double avg =
+          static_cast<double>(entry.nnz) / static_cast<double>(entry.rows);
+      return powerlaw_matrix(rng, entry.rows, entry.cols, avg, entry.param);
+    }
+    case MatrixFamily::kTorus: {
+      const auto gx = static_cast<std::uint32_t>(entry.param);
+      const std::uint32_t gy = entry.rows / gx;
+      assert(gx * gy == entry.rows);
+      return torus2d_matrix(rng, gx, gy, /*with_diagonal=*/false);
+    }
+    case MatrixFamily::kDiagonal: {
+      // nnz entries on the diagonal of an otherwise empty matrix, placed
+      // in the first `nnz` rows of each half; exercises empty-row paths.
+      CooMatrix coo(entry.rows, entry.cols);
+      const auto n = static_cast<std::uint32_t>(entry.nnz);
+      for (std::uint32_t i = 0; i < n; ++i) {
+        const std::uint32_t r = (i * 2) % entry.rows;  // every other row
+        coo.add(r, r, rng.normal());
+      }
+      return CsrMatrix::from_coo(std::move(coo));
+    }
+  }
+  std::abort();
+}
+
+CsrMatrix build_suite_matrix(const std::string& name) {
+  return build_suite_matrix(suite_entry(name));
+}
+
+std::vector<std::string> quick_suite_names() {
+  return {"ragusa18", "g11", "g7", "plat1919", "west2021"};
+}
+
+}  // namespace issr::sparse

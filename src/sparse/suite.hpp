@@ -1,0 +1,65 @@
+// Synthetic stand-in for the paper's SuiteSparse matrix set (§IV).
+//
+// SUBSTITUTION (documented in DESIGN.md §5): the paper evaluates on
+// real-world matrices from the SuiteSparse collection with 2k-3.2k
+// columns, 1.3k-680.3k nonzeros, varying aspect ratios and domains, and
+// names three anchors (Ragusa18, G11, G7). The collection is not
+// available offline, so this module synthesizes matrices of matching
+// dimension, nonzero count, and structural family (uniform random, banded,
+// power-law degree, torus graph). Kernel timing depends on the row-length
+// distribution and index spread — exactly what the generators control —
+// so speedup/utilization trends are preserved. Real .mtx files can be
+// substituted via sparse/io.hpp without further code changes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sparse/csr.hpp"
+
+namespace issr::sparse {
+
+/// Structural family of a synthetic suite matrix.
+enum class MatrixFamily {
+  kUniform,   ///< uniformly scattered nonzeros
+  kBanded,    ///< nonzeros near the diagonal (FEM/structural)
+  kPowerLaw,  ///< power-law row degrees (economic/graph)
+  kTorus,     ///< 2-D torus graph adjacency (Gset G11 family)
+  kDiagonal,  ///< sparse diagonal-ish; many empty rows (LP bases)
+};
+
+const char* to_string(MatrixFamily family);
+
+/// Descriptor of one suite entry; mirrors a real SuiteSparse matrix of the
+/// same name/shape where one exists.
+struct SuiteEntry {
+  std::string name;
+  std::string domain;  ///< paper-style problem domain tag
+  MatrixFamily family;
+  std::uint32_t rows;
+  std::uint32_t cols;
+  std::uint64_t nnz;   ///< target nonzero count (exact for most families)
+  double param;        ///< family parameter (bandwidth / alpha / grid x)
+};
+
+/// The full experiment suite in deterministic order. Includes the three
+/// named anchors: ragusa18 (tiny, 64 nnz), g11 (torus, low nnz/row; the
+/// paper's low-efficiency power anchor), g7 (random, high nnz/row; the
+/// high-efficiency anchor).
+const std::vector<SuiteEntry>& suite_entries();
+
+/// Find an entry by name; aborts if absent.
+const SuiteEntry& suite_entry(const std::string& name);
+
+/// Materialize an entry deterministically (seed derived from the name).
+CsrMatrix build_suite_matrix(const SuiteEntry& entry);
+
+/// Convenience: build by name.
+CsrMatrix build_suite_matrix(const std::string& name);
+
+/// A reduced suite for quick tests (the three anchors plus one banded and
+/// one power-law mid-size matrix).
+std::vector<std::string> quick_suite_names();
+
+}  // namespace issr::sparse

@@ -1,0 +1,69 @@
+// Streamer lane job configuration (the contents of the shadowed config
+// register file, Fig. 1 "cfg_shadow"/"cfg_runtime").
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+#include "sparse/fiber.hpp"
+
+namespace issr::ssr {
+
+/// Number of nested affine loops (hardware parameter; the paper's default
+/// configuration has four).
+inline constexpr unsigned kNumLoops = 4;
+
+/// Stream addressing mode of a job.
+enum class StreamMode : std::uint8_t {
+  kAffine,      ///< plain SSR: 4-deep affine address iteration
+  kIndirect16,  ///< ISSR: indices are 16-bit, four per index word
+  kIndirect32,  ///< ISSR: indices are 32-bit, two per index word
+};
+
+constexpr bool is_indirect(StreamMode m) { return m != StreamMode::kAffine; }
+
+constexpr unsigned mode_index_bytes(StreamMode m) {
+  return m == StreamMode::kIndirect16 ? 2 : 4;
+}
+
+/// One lane job. In affine mode the data address sequence is
+///   data_base + sum_l i_l * stride[l],  i_l in [0, bound[l]]
+/// iterated innermost-first, each datum emitted (reps+1) times. In
+/// indirection mode the hardware fixes the affine iterators to a 1-D
+/// 8-byte-stride walk over the index array (bound[0] = #indices - 1) and
+/// emits data addresses
+///   data_base + (idx << (3 + idx_shift)).
+struct LaneJob {
+  StreamMode mode = StreamMode::kAffine;
+  bool write = false;           ///< read stream (rptr) or write stream (wptr)
+  std::uint64_t reps = 0;       ///< repetitions per datum (reads only)
+  std::uint64_t bound[kNumLoops] = {0, 0, 0, 0};  ///< iterations - 1
+  std::int64_t stride[kNumLoops] = {0, 0, 0, 0};  ///< byte strides
+  unsigned idx_shift = 0;       ///< extra power-of-two data stride shift
+  addr_t idx_base = 0;          ///< index array base (any alignment)
+  addr_t data_base = 0;         ///< affine base / indirection data base
+
+  /// Total data elements the job emits (reads) or absorbs (writes).
+  std::uint64_t total_elems() const {
+    std::uint64_t n = 1;
+    for (unsigned l = 0; l < kNumLoops; ++l) n *= bound[l] + 1;
+    return n * (write ? 1 : reps + 1);
+  }
+
+  /// Number of distinct addresses/indices iterated (before repetition).
+  std::uint64_t total_addrs() const {
+    std::uint64_t n = 1;
+    for (unsigned l = 0; l < kNumLoops; ++l) n *= bound[l] + 1;
+    return n;
+  }
+};
+
+/// Convenience constructors for the common shapes.
+LaneJob make_affine_1d(addr_t base, std::uint64_t count,
+                       std::int64_t stride_bytes = 8, bool write = false,
+                       std::uint64_t reps = 0);
+LaneJob make_indirect(addr_t data_base, addr_t idx_base, std::uint64_t count,
+                      sparse::IndexWidth width, unsigned idx_shift = 0,
+                      bool write = false);
+
+}  // namespace issr::ssr

@@ -1,0 +1,48 @@
+// Fixed-capacity FIFO modeling the streamer's decoupling queues (the
+// paper's default configuration uses five data FIFO stages per lane).
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <deque>
+
+namespace issr::ssr {
+
+template <typename T>
+class Fifo {
+ public:
+  explicit Fifo(std::size_t capacity) : capacity_(capacity) {
+    assert(capacity > 0);
+  }
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t size() const { return q_.size(); }
+  std::size_t free_slots() const { return capacity_ - q_.size(); }
+  bool empty() const { return q_.empty(); }
+  bool full() const { return q_.size() >= capacity_; }
+
+  void push(const T& v) {
+    assert(!full());
+    q_.push_back(v);
+  }
+
+  const T& front() const {
+    assert(!empty());
+    return q_.front();
+  }
+
+  T pop() {
+    assert(!empty());
+    T v = q_.front();
+    q_.pop_front();
+    return v;
+  }
+
+  void clear() { q_.clear(); }
+
+ private:
+  std::size_t capacity_;
+  std::deque<T> q_;
+};
+
+}  // namespace issr::ssr

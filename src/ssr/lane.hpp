@@ -1,0 +1,155 @@
+// One streamer lane: either a plain SSR (affine address generation, [5])
+// or an ISSR with the indirection extension of this paper (§II-A/B).
+//
+// Architecture mirrored from Fig. 1/2:
+//  - four nested affine iterators feeding either the data mover (affine
+//    mode) or the index fetcher (indirection mode);
+//  - an index word FIFO decoupling index fetches, guarded by an
+//    outstanding-request credit counter;
+//  - an index serializer with a two-bit short-offset counter extracting
+//    16/32-bit indices from 64-bit words at arbitrary alignment;
+//  - static word shift (<<3) plus a programmable extra shift, added to the
+//    data base address;
+//  - a data FIFO (default five stages) decoupling the register file from
+//    memory, reused for read and write streams;
+//  - a round-robin multiplexer combining index and data traffic onto the
+//    lane's single memory port (peak data utilization 4/5 at 16-bit and
+//    2/3 at 32-bit indices — the Fig. 4a ceilings).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/types.hpp"
+#include "ssr/config.hpp"
+#include "ssr/fifo.hpp"
+#include "ssr/port_hub.hpp"
+
+namespace issr::ssr {
+
+struct LaneStats {
+  std::uint64_t jobs_started = 0;
+  std::uint64_t data_reqs = 0;
+  std::uint64_t idx_word_reqs = 0;
+  std::uint64_t elems_read = 0;     ///< register-file pops served
+  std::uint64_t elems_written = 0;  ///< register-file pushes absorbed
+  std::uint64_t port_mux_conflicts = 0;  ///< idx & data wanted same cycle
+  std::uint64_t reg_starved_cycles = 0;  ///< read attempted, FIFO empty
+};
+
+struct LaneParams {
+  std::size_t data_fifo_depth = 5;  ///< paper default: five stages
+  std::size_t idx_fifo_depth = 4;   ///< index word buffer
+  std::size_t addr_queue_depth = 4; ///< serialized data-address queue
+  bool has_indirection = false;     ///< ISSR (true) or plain SSR (false)
+  /// Ablation of §II-B: give the index fetcher its own memory port instead
+  /// of round-robin multiplexing it with the data mover (the "three ports
+  /// per core" alternative trading ~1.5x interconnect area for the removal
+  /// of the 4/5 and 2/3 utilization ceilings).
+  bool dedicated_idx_port = false;
+};
+
+class Lane {
+ public:
+  Lane(LaneParams params, PortClient port);
+  /// Constructor for the dedicated-index-port ablation.
+  Lane(LaneParams params, PortClient data_port, PortClient idx_port);
+
+  const LaneParams& params() const { return params_; }
+
+  // --- Job control (from the config interface) ---------------------------
+  /// True iff a new job can be accepted (shadow register free).
+  bool can_accept_job() const { return !shadow_.has_value(); }
+  /// Submit a job: starts immediately if idle, otherwise parks in the
+  /// shadow config until the running job completes.
+  void submit(const LaneJob& job);
+  bool active() const { return active_; }
+  /// Runtime job (valid only while active).
+  const LaneJob& job() const { return job_; }
+
+  // --- Register-file interface (from the FPU subsystem) -------------------
+  /// Read stream: a datum is available to pop this cycle.
+  bool can_pop() const { return active_ && !job_.write && !data_fifo_.empty(); }
+  double pop();
+  /// Peek without consuming (repetition handling peeks then pops).
+  double peek() const;
+
+  /// Write stream: the FIFO can absorb a datum this cycle. False once the
+  /// job has received all its elements (further writes belong to the next
+  /// job and must wait for its start).
+  bool can_push() const {
+    return active_ && job_.write && !data_fifo_.full() && pushes_left_ > 0;
+  }
+  void push(double value);
+
+  /// Called by the FPU subsystem when it wanted to pop but could not;
+  /// feeds the starvation statistic.
+  void note_starved() { ++stats_.reg_starved_cycles; }
+
+  // --- Simulation ---------------------------------------------------------
+  /// Advance one cycle: collect memory responses, run the serializer,
+  /// issue at most one memory request through the port mux.
+  void tick(cycle_t now);
+
+  const LaneStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = {}; }
+
+ private:
+  // Request tags distinguishing index and data responses on the port.
+  static constexpr std::uint32_t kTagData = 0;
+  static constexpr std::uint32_t kTagIdx = 1;
+
+  void start(const LaneJob& job);
+  void finish_if_done();
+
+  /// Next affine address; advances the iterators. Pre: affine_left_ > 0.
+  addr_t affine_next();
+
+  /// Serializer: move up to one index per cycle from the index-word FIFO
+  /// into the data address queue.
+  void serialize_one();
+
+  /// True iff the index fetcher wants the port this cycle.
+  bool idx_wants_port() const;
+  /// True iff the data mover wants the port this cycle.
+  bool data_wants_port() const;
+
+  void issue_idx_fetch();
+  void issue_data_access();
+
+  LaneParams params_;
+  PortClient port_;
+  PortClient idx_port_;  ///< valid only with dedicated_idx_port
+
+  // Job state.
+  bool active_ = false;
+  LaneJob job_;
+  std::optional<LaneJob> shadow_;
+
+  // Affine iterator state (also drives the index fetch in indirect mode).
+  std::uint64_t affine_idx_[kNumLoops] = {0, 0, 0, 0};
+  addr_t affine_addr_ = 0;
+  std::uint64_t affine_left_ = 0;  ///< addresses not yet generated
+
+  // Indirection state.
+  std::uint64_t idx_words_left_ = 0;   ///< index words not yet requested
+  addr_t idx_word_addr_ = 0;           ///< next index word address
+  unsigned idx_outstanding_ = 0;       ///< in-flight index word fetches
+  Fifo<std::uint64_t> idx_fifo_;       ///< fetched index words
+  unsigned serial_offset_ = 0;         ///< index slot within head word
+  std::uint64_t idcs_left_ = 0;        ///< indices not yet serialized
+  Fifo<addr_t> addr_queue_;            ///< serialized data addresses
+  bool rr_idx_turn_ = false;           ///< round-robin pointer of the mux
+
+  // Data stream state.
+  unsigned data_outstanding_ = 0;  ///< in-flight data reads
+  Fifo<double> data_fifo_;
+  std::uint64_t head_reps_served_ = 0;
+  std::uint64_t elems_left_ = 0;   ///< register-side elements remaining
+  std::uint64_t stores_left_ = 0;  ///< write stream: stores not yet issued
+  std::uint64_t pushes_left_ = 0;  ///< write stream: register pushes due
+
+  LaneStats stats_;
+};
+
+}  // namespace issr::ssr

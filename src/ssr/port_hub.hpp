@@ -1,0 +1,105 @@
+// Request multiplexing of several client engines onto one memory port,
+// with response routing by request tag. Used for the paper's core-complex
+// memory topology (§II-C): the core LSU, FP LSU, and SSR data mover share
+// one TCDM port (clients are served in tick order, giving the core
+// priority for its sporadic requests), while the ISSR owns the second
+// port exclusively (its internal index/data round-robin lives in the
+// lane, §II-B).
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "mem/port.hpp"
+
+namespace issr::ssr {
+
+class PortHub;
+
+/// A client's handle onto the shared port.
+class PortClient {
+ public:
+  PortClient() = default;
+
+  /// True iff the underlying port can take a request right now (it may
+  /// already have been claimed by an earlier-ticking client this cycle).
+  bool can_request() const;
+
+  /// Issue a request; `tag` is private to this client and echoed back.
+  void request(mem::MemReq req, std::uint32_t tag = 0);
+
+  /// Pop the next response destined for this client, if any.
+  std::optional<mem::MemRsp> pop_response();
+
+  bool valid() const { return hub_ != nullptr; }
+
+ private:
+  friend class PortHub;
+  PortHub* hub_ = nullptr;
+  unsigned id_ = 0;
+};
+
+class PortHub {
+ public:
+  explicit PortHub(mem::MemPort& port) : port_(&port) {}
+
+  /// Register a client; at most 16 per hub (4-bit route tag).
+  PortClient add_client();
+
+  /// Route matured responses to per-client queues. Tick after the memory
+  /// and before any client.
+  void tick();
+
+  mem::MemPort& port() { return *port_; }
+
+ private:
+  friend class PortClient;
+  static constexpr unsigned kTagBits = 28;
+
+  mem::MemPort* port_;
+  std::vector<std::deque<mem::MemRsp>> queues_;
+};
+
+inline PortClient PortHub::add_client() {
+  assert(queues_.size() < 16);
+  PortClient c;
+  c.hub_ = this;
+  c.id_ = static_cast<unsigned>(queues_.size());
+  queues_.emplace_back();
+  return c;
+}
+
+inline void PortHub::tick() {
+  while (auto rsp = port_->pop_response()) {
+    const unsigned client = rsp->id >> kTagBits;
+    assert(client < queues_.size());
+    rsp->id &= (1u << kTagBits) - 1;
+    queues_[client].push_back(*rsp);
+  }
+}
+
+inline bool PortClient::can_request() const {
+  assert(valid());
+  return hub_->port_->can_accept();
+}
+
+inline void PortClient::request(mem::MemReq req, std::uint32_t tag) {
+  assert(valid() && can_request());
+  assert(tag < (1u << PortHub::kTagBits));
+  req.id = (id_ << PortHub::kTagBits) | tag;
+  hub_->port_->push_request(req);
+}
+
+inline std::optional<mem::MemRsp> PortClient::pop_response() {
+  assert(valid());
+  auto& q = hub_->queues_[id_];
+  if (q.empty()) return std::nullopt;
+  const mem::MemRsp rsp = q.front();
+  q.pop_front();
+  return rsp;
+}
+
+}  // namespace issr::ssr

@@ -1,0 +1,137 @@
+#include "ssr/streamer.hpp"
+
+#include <cassert>
+
+namespace issr::ssr {
+
+Streamer::Streamer(const StreamerParams& params, PortClient ssr_port,
+                   PortClient issr_port, PortClient issr_idx_port) {
+  lanes_.push_back(std::make_unique<Lane>(params.ssr_lane, ssr_port));
+  if (params.issr_lane.dedicated_idx_port) {
+    lanes_.push_back(
+        std::make_unique<Lane>(params.issr_lane, issr_port, issr_idx_port));
+  } else {
+    lanes_.push_back(std::make_unique<Lane>(params.issr_lane, issr_port));
+  }
+}
+
+LaneJob Streamer::job_from_cfg(const CfgRegs& cfg, std::uint64_t ptr,
+                               bool write) const {
+  LaneJob job;
+  const std::uint64_t mode_bits = cfg.idx_cfg & 0x3;
+  job.mode = mode_bits == isa::kIdxCfgIdx16   ? StreamMode::kIndirect16
+             : mode_bits == isa::kIdxCfgIdx32 ? StreamMode::kIndirect32
+                                              : StreamMode::kAffine;
+  job.write = write;
+  job.reps = write ? 0 : cfg.reps;
+  for (unsigned l = 0; l < kNumLoops; ++l) {
+    job.bound[l] = cfg.bound[l];
+    job.stride[l] = cfg.stride[l];
+  }
+  if (is_indirect(job.mode)) {
+    // Hardware fixes the affine walk to 1-D over the index array.
+    job.stride[0] = 8;
+    for (unsigned l = 1; l < kNumLoops; ++l) {
+      job.bound[l] = 0;
+      job.stride[l] = 0;
+    }
+    job.idx_shift =
+        static_cast<unsigned>((cfg.idx_cfg >> isa::kIdxCfgShiftLsb) & 0xf);
+    job.idx_base = cfg.idx_base;
+  }
+  job.data_base = ptr;
+  return job;
+}
+
+bool Streamer::write_cfg(unsigned lane_idx, isa::SsrCfgReg reg,
+                         std::uint64_t value) {
+  assert(lane_idx < kNumLanes);
+  CfgRegs& cfg = cfg_[lane_idx];
+  using isa::SsrCfgReg;
+  switch (reg) {
+    case SsrCfgReg::kReps:
+      cfg.reps = value;
+      return true;
+    case SsrCfgReg::kBound0:
+    case SsrCfgReg::kBound1:
+    case SsrCfgReg::kBound2:
+    case SsrCfgReg::kBound3:
+      cfg.bound[static_cast<unsigned>(reg) -
+                static_cast<unsigned>(SsrCfgReg::kBound0)] = value;
+      return true;
+    case SsrCfgReg::kStride0:
+    case SsrCfgReg::kStride1:
+    case SsrCfgReg::kStride2:
+    case SsrCfgReg::kStride3:
+      cfg.stride[static_cast<unsigned>(reg) -
+                 static_cast<unsigned>(SsrCfgReg::kStride0)] =
+          static_cast<std::int64_t>(value);
+      return true;
+    case SsrCfgReg::kIdxCfg:
+      cfg.idx_cfg = value;
+      return true;
+    case SsrCfgReg::kIdxBase:
+      cfg.idx_base = value;
+      return true;
+    case SsrCfgReg::kRptr:
+    case SsrCfgReg::kWptr: {
+      Lane& l = *lanes_[lane_idx];
+      if (!l.can_accept_job()) return false;  // shadow occupied: retry
+      l.submit(job_from_cfg(cfg, value, reg == SsrCfgReg::kWptr));
+      return true;
+    }
+    case SsrCfgReg::kStatus:
+      return true;  // read-only: write ignored
+  }
+  return true;
+}
+
+std::uint64_t Streamer::read_cfg(unsigned lane_idx,
+                                 isa::SsrCfgReg reg) const {
+  assert(lane_idx < kNumLanes);
+  const CfgRegs& cfg = cfg_[lane_idx];
+  using isa::SsrCfgReg;
+  switch (reg) {
+    case SsrCfgReg::kReps:
+      return cfg.reps;
+    case SsrCfgReg::kBound0:
+    case SsrCfgReg::kBound1:
+    case SsrCfgReg::kBound2:
+    case SsrCfgReg::kBound3:
+      return cfg.bound[static_cast<unsigned>(reg) -
+                       static_cast<unsigned>(SsrCfgReg::kBound0)];
+    case SsrCfgReg::kStride0:
+    case SsrCfgReg::kStride1:
+    case SsrCfgReg::kStride2:
+    case SsrCfgReg::kStride3:
+      return static_cast<std::uint64_t>(
+          cfg.stride[static_cast<unsigned>(reg) -
+                     static_cast<unsigned>(SsrCfgReg::kStride0)]);
+    case SsrCfgReg::kIdxCfg:
+      return cfg.idx_cfg;
+    case SsrCfgReg::kIdxBase:
+      return cfg.idx_base;
+    case SsrCfgReg::kRptr:
+    case SsrCfgReg::kWptr:
+      return lanes_[lane_idx]->active() ? lanes_[lane_idx]->job().data_base
+                                        : 0;
+    case SsrCfgReg::kStatus: {
+      const Lane& l = *lanes_[lane_idx];
+      return (l.active() ? 1u : 0u) | (l.can_accept_job() ? 0u : 2u);
+    }
+  }
+  return 0;
+}
+
+bool Streamer::busy() const {
+  for (const auto& l : lanes_) {
+    if (l->active() || !l->can_accept_job()) return true;
+  }
+  return false;
+}
+
+void Streamer::tick(cycle_t now) {
+  for (auto& l : lanes_) l->tick(now);
+}
+
+}  // namespace issr::ssr

@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/bitutil.hpp"
+
+namespace issr {
+namespace {
+
+TEST(BitUtil, BitsExtractsInclusiveRanges) {
+  EXPECT_EQ(bits(0xdeadbeefULL, 31, 0), 0xdeadbeefULL);
+  EXPECT_EQ(bits(0xdeadbeefULL, 15, 8), 0xbeULL);
+  EXPECT_EQ(bits(0xdeadbeefULL, 3, 0), 0xfULL);
+  EXPECT_EQ(bits(~0ULL, 63, 0), ~0ULL);
+  EXPECT_EQ(bits(0x80000000'00000000ULL, 63, 63), 1ULL);
+}
+
+TEST(BitUtil, BitExtractsSingleBits) {
+  EXPECT_EQ(bit(0b1010, 1), 1u);
+  EXPECT_EQ(bit(0b1010, 0), 0u);
+  EXPECT_EQ(bit(1ULL << 63, 63), 1u);
+}
+
+TEST(BitUtil, SignExtend) {
+  EXPECT_EQ(sign_extend(0xff, 8), -1);
+  EXPECT_EQ(sign_extend(0x7f, 8), 127);
+  EXPECT_EQ(sign_extend(0x800, 12), -2048);
+  EXPECT_EQ(sign_extend(0x7ff, 12), 2047);
+  EXPECT_EQ(sign_extend(0xffffffff, 32), -1);
+  EXPECT_EQ(sign_extend(5, 64), 5);
+  EXPECT_EQ(sign_extend(~0ULL, 64), -1);
+}
+
+TEST(BitUtil, FitsSigned) {
+  EXPECT_TRUE(fits_signed(2047, 12));
+  EXPECT_FALSE(fits_signed(2048, 12));
+  EXPECT_TRUE(fits_signed(-2048, 12));
+  EXPECT_FALSE(fits_signed(-2049, 12));
+  EXPECT_TRUE(fits_signed(0, 1));
+  EXPECT_TRUE(fits_signed(-1, 1));
+  EXPECT_FALSE(fits_signed(1, 1));
+}
+
+TEST(BitUtil, FitsUnsigned) {
+  EXPECT_TRUE(fits_unsigned(255, 8));
+  EXPECT_FALSE(fits_unsigned(256, 8));
+  EXPECT_TRUE(fits_unsigned(~0ULL, 64));
+}
+
+TEST(BitUtil, Pow2Helpers) {
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(64));
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_FALSE(is_pow2(48));
+  EXPECT_EQ(log2_exact(1), 0u);
+  EXPECT_EQ(log2_exact(4096), 12u);
+  EXPECT_EQ(log2_ceil(1), 0u);
+  EXPECT_EQ(log2_ceil(5), 3u);
+  EXPECT_EQ(log2_ceil(8), 3u);
+}
+
+TEST(BitUtil, Alignment) {
+  EXPECT_EQ(align_up(0, 8), 0u);
+  EXPECT_EQ(align_up(1, 8), 8u);
+  EXPECT_EQ(align_up(8, 8), 8u);
+  EXPECT_EQ(align_down(15, 8), 8u);
+  EXPECT_EQ(align_down(16, 8), 16u);
+}
+
+TEST(BitUtil, DivCeil) {
+  EXPECT_EQ(div_ceil(0u, 4u), 0u);
+  EXPECT_EQ(div_ceil(1u, 4u), 1u);
+  EXPECT_EQ(div_ceil(4u, 4u), 1u);
+  EXPECT_EQ(div_ceil(5u, 4u), 2u);
+}
+
+class SignExtendRoundTrip : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(SignExtendRoundTrip, MaskThenExtendPreservesValue) {
+  const unsigned width = GetParam();
+  const std::int64_t lo = -(1ll << (width - 1));
+  const std::int64_t hi = (1ll << (width - 1)) - 1;
+  for (const std::int64_t v :
+       std::vector<std::int64_t>{lo, lo + 1, -1, 0, 1, hi - 1, hi}) {
+    const auto masked = static_cast<std::uint64_t>(v) & ((1ull << width) - 1);
+    EXPECT_EQ(sign_extend(masked, width), v) << "width=" << width;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, SignExtendRoundTrip,
+                         ::testing::Values(2u, 8u, 12u, 13u, 16u, 21u, 32u));
+
+}  // namespace
+}  // namespace issr

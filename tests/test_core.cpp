@@ -1,0 +1,368 @@
+// Core tests: FPU semantics, Snitch program execution (ALU, memory,
+// branches, CSRs, mul/div), FPU-subsystem offloading (pseudo-dual-issue),
+// FREP loops with register staggering, and streamer CSR configuration.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/fpu.hpp"
+#include "core/sim.hpp"
+#include "isa/assembler.hpp"
+#include "kernels/kargs.hpp"
+
+namespace issr::core {
+namespace {
+
+using namespace issr::isa;
+
+TEST(Fpu, ComputeSemantics) {
+  EXPECT_EQ(fpu_compute(Op::kFmaddD, 2, 3, 4), 10.0);
+  EXPECT_EQ(fpu_compute(Op::kFmsubD, 2, 3, 4), 2.0);
+  EXPECT_EQ(fpu_compute(Op::kFnmsubD, 2, 3, 4), -2.0);
+  EXPECT_EQ(fpu_compute(Op::kFnmaddD, 2, 3, 4), -10.0);
+  EXPECT_EQ(fpu_compute(Op::kFaddD, 1.5, 2.5, 0), 4.0);
+  EXPECT_EQ(fpu_compute(Op::kFsubD, 1.5, 2.5, 0), -1.0);
+  EXPECT_EQ(fpu_compute(Op::kFmulD, 3, -2, 0), -6.0);
+  EXPECT_EQ(fpu_compute(Op::kFdivD, 7, 2, 0), 3.5);
+  EXPECT_EQ(fpu_compute(Op::kFsqrtD, 9, 0, 0), 3.0);
+  EXPECT_EQ(fpu_compute(Op::kFsgnjD, 3, -1, 0), -3.0);
+  EXPECT_EQ(fpu_compute(Op::kFsgnjnD, 3, -1, 0), 3.0);
+  EXPECT_EQ(fpu_compute(Op::kFsgnjxD, -3, -1, 0), 3.0);
+  EXPECT_EQ(fpu_compute(Op::kFminD, 2, 5, 0), 2.0);
+  EXPECT_EQ(fpu_compute(Op::kFmaxD, 2, 5, 0), 5.0);
+}
+
+TEST(Fpu, IntConversions) {
+  EXPECT_EQ(fpu_compute_to_int(Op::kFeqD, 2, 2), 1u);
+  EXPECT_EQ(fpu_compute_to_int(Op::kFltD, 2, 2), 0u);
+  EXPECT_EQ(fpu_compute_to_int(Op::kFleD, 2, 2), 1u);
+  EXPECT_EQ(fpu_compute_to_int(Op::kFcvtWD, -3.7, 0), static_cast<std::uint64_t>(-3));
+  EXPECT_EQ(fpu_compute_from_int(Op::kFcvtDW, static_cast<std::uint64_t>(-5)),
+            -5.0);
+  const double pi = 3.14159;
+  EXPECT_EQ(fpu_compute_from_int(
+                Op::kFmvDX, fpu_compute_to_int(Op::kFmvXD, pi, 0)),
+            pi);
+}
+
+TEST(Fpu, LatencyTable) {
+  FpuParams p;
+  EXPECT_EQ(fpu_latency(p, Op::kFmaddD), p.fma_latency);
+  EXPECT_EQ(fpu_latency(p, Op::kFdivD), p.div_latency);
+  EXPECT_EQ(fpu_latency(p, Op::kFsqrtD), p.sqrt_latency);
+  EXPECT_EQ(fpu_latency(p, Op::kFsgnjD), p.misc_latency);
+  EXPECT_TRUE(fpu_is_iterative(Op::kFdivD));
+  EXPECT_FALSE(fpu_is_iterative(Op::kFmaddD));
+}
+
+/// Run an assembled program to completion and return the sim.
+CcSimResult run_program(CcSim& sim, Assembler& a) {
+  sim.set_program(a.assemble());
+  return sim.run(1'000'000);
+}
+
+TEST(Snitch, AluAndBranches) {
+  CcSim sim;
+  Assembler a;
+  // Compute sum 1..10 with a loop; store at kResult.
+  const addr_t result = sim.alloc(8);
+  a.li(kT0, 10);
+  a.li(kT1, 0);
+  Label loop = a.here();
+  a.add(kT1, kT1, kT0);
+  a.addi(kT0, kT0, -1);
+  a.bne(kT0, kZero, loop);
+  a.li(kT2, static_cast<std::int64_t>(result));
+  a.sd(kT1, kT2, 0);
+  kernels::emit_halt(a);
+  run_program(sim, a);
+  EXPECT_EQ(sim.mem().load_u64(result), 55u);
+}
+
+TEST(Snitch, LoadStoreAllWidths) {
+  CcSim sim;
+  const addr_t src = sim.alloc(16);
+  const addr_t dst = sim.alloc(64);
+  sim.mem().store_u64(src, 0xfedc'ba98'7654'3210ull);
+  Assembler a;
+  a.li(kS1, static_cast<std::int64_t>(src));
+  a.li(kS2, static_cast<std::int64_t>(dst));
+  a.lb(kT0, kS1, 0);
+  a.sd(kT0, kS2, 0);
+  a.lbu(kT0, kS1, 0);
+  a.sd(kT0, kS2, 8);
+  a.lh(kT0, kS1, 0);
+  a.sd(kT0, kS2, 16);
+  a.lhu(kT0, kS1, 0);
+  a.sd(kT0, kS2, 24);
+  a.lw(kT0, kS1, 4);
+  a.sd(kT0, kS2, 32);
+  a.lwu(kT0, kS1, 4);
+  a.sd(kT0, kS2, 40);
+  a.ld(kT0, kS1, 0);
+  a.sd(kT0, kS2, 48);
+  kernels::emit_halt(a);
+  run_program(sim, a);
+  EXPECT_EQ(sim.mem().load_u64(dst + 0), 0x10u);  // lb 0x10 positive
+  EXPECT_EQ(sim.mem().load_u64(dst + 8), 0x10u);
+  EXPECT_EQ(sim.mem().load_u64(dst + 16), 0x3210u);
+  EXPECT_EQ(sim.mem().load_u64(dst + 24), 0x3210u);
+  EXPECT_EQ(sim.mem().load_u64(dst + 32), 0xffff'ffff'fedc'ba98ull);  // lw sx
+  EXPECT_EQ(sim.mem().load_u64(dst + 40), 0xfedc'ba98ull);            // lwu
+  EXPECT_EQ(sim.mem().load_u64(dst + 48), 0xfedc'ba98'7654'3210ull);
+}
+
+TEST(Snitch, MulDivRem) {
+  CcSim sim;
+  const addr_t out = sim.alloc(32);
+  Assembler a;
+  a.li(kT0, -7);
+  a.li(kT1, 3);
+  a.li(kS2, static_cast<std::int64_t>(out));
+  a.mul(kT2, kT0, kT1);
+  a.sd(kT2, kS2, 0);
+  a.div(kT2, kT0, kT1);
+  a.sd(kT2, kS2, 8);
+  a.rem(kT2, kT0, kT1);
+  a.sd(kT2, kS2, 16);
+  a.remu(kT2, kT1, kT1);
+  a.sd(kT2, kS2, 24);
+  kernels::emit_halt(a);
+  run_program(sim, a);
+  EXPECT_EQ(static_cast<std::int64_t>(sim.mem().load_u64(out)), -21);
+  EXPECT_EQ(static_cast<std::int64_t>(sim.mem().load_u64(out + 8)), -2);
+  EXPECT_EQ(static_cast<std::int64_t>(sim.mem().load_u64(out + 16)), -1);
+  EXPECT_EQ(sim.mem().load_u64(out + 24), 0u);
+}
+
+TEST(Snitch, CsrCycleAndHartid) {
+  CcSim sim;
+  const addr_t out = sim.alloc(16);
+  Assembler a;
+  a.li(kS2, static_cast<std::int64_t>(out));
+  a.csrrs(kT0, kCsrMhartid, kZero);
+  a.sd(kT0, kS2, 0);
+  a.csrrs(kT1, kCsrCycle, kZero);
+  a.sd(kT1, kS2, 8);
+  kernels::emit_halt(a);
+  run_program(sim, a);
+  EXPECT_EQ(sim.mem().load_u64(out), 0u);
+  EXPECT_GT(sim.mem().load_u64(out + 8), 0u);
+}
+
+TEST(Snitch, JalAndRet) {
+  CcSim sim;
+  const addr_t out = sim.alloc(8);
+  Assembler a;
+  Label func = a.make_label();
+  Label done = a.make_label();
+  a.li(kA0, 5);
+  a.jal(kRa, func);
+  a.li(kS2, static_cast<std::int64_t>(out));
+  a.sd(kA0, kS2, 0);
+  a.j(done);
+  a.bind(func);  // doubles its argument
+  a.add(kA0, kA0, kA0);
+  a.ret();
+  a.bind(done);
+  kernels::emit_halt(a);
+  run_program(sim, a);
+  EXPECT_EQ(sim.mem().load_u64(out), 10u);
+}
+
+TEST(Fpss, FpArithmeticThroughOffload) {
+  CcSim sim;
+  const addr_t in = sim.alloc(16);
+  const addr_t out = sim.alloc(8);
+  sim.mem().store_f64(in, 2.5);
+  sim.mem().store_f64(in + 8, 4.0);
+  Assembler a;
+  a.li(kS1, static_cast<std::int64_t>(in));
+  a.li(kS2, static_cast<std::int64_t>(out));
+  a.fld(kFa0, kS1, 0);
+  a.fld(kFa1, kS1, 8);
+  a.fmul_d(kFa2, kFa0, kFa1);
+  a.fadd_d(kFa2, kFa2, kFa0);
+  a.fsd(kFa2, kS2, 0);
+  kernels::emit_fpss_sync(a);
+  kernels::emit_halt(a);
+  run_program(sim, a);
+  EXPECT_EQ(sim.read_f64(out), 2.5 * 4.0 + 2.5);
+}
+
+TEST(Fpss, FpToIntWritebackAndCompare) {
+  CcSim sim;
+  const addr_t out = sim.alloc(16);
+  Assembler a;
+  a.li(kT0, 7);
+  a.fcvt_d_w(kFa0, kT0);
+  a.li(kT1, 3);
+  a.fcvt_d_w(kFa1, kT1);
+  a.flt_d(kT2, kFa1, kFa0);  // 3 < 7 -> 1
+  a.fcvt_w_d(kT3, kFa0);     // 7
+  a.li(kS2, static_cast<std::int64_t>(out));
+  a.sd(kT2, kS2, 0);
+  a.sd(kT3, kS2, 8);
+  kernels::emit_halt(a);
+  run_program(sim, a);
+  EXPECT_EQ(sim.mem().load_u64(out), 1u);
+  EXPECT_EQ(sim.mem().load_u64(out + 8), 7u);
+}
+
+TEST(Fpss, PseudoDualIssueOverlapsIntegerWork) {
+  // A long fdiv chain should not block independent integer instructions:
+  // the core keeps issuing while the FPU subsystem grinds.
+  CcSimConfig cfg;
+  CcSim sim(cfg);
+  const addr_t out = sim.alloc(16);
+  Assembler a;
+  a.li(kT0, 9);
+  a.fcvt_d_w(kFa0, kT0);
+  a.fdiv_d(kFa1, kFa0, kFa0);
+  a.fdiv_d(kFa1, kFa1, kFa0);  // dependent, iterative
+  // Independent integer work the core can run under the divides.
+  a.li(kT1, 0);
+  for (int i = 0; i < 10; ++i) a.addi(kT1, kT1, 1);
+  a.li(kS2, static_cast<std::int64_t>(out));
+  a.sd(kT1, kS2, 0);
+  a.csrrs(kT2, kCsrCycle, kZero);  // after int work, before fpu sync
+  kernels::emit_fpss_sync(a);
+  a.csrrs(kT3, kCsrCycle, kZero);  // after sync
+  a.sub(kT3, kT3, kT2);
+  a.sd(kT3, kS2, 8);
+  kernels::emit_halt(a);
+  run_program(sim, a);
+  EXPECT_EQ(sim.mem().load_u64(out), 10u);
+  // The sync had to wait for the divide chain: a nonzero gap proves the
+  // core ran ahead of the FPU subsystem.
+  EXPECT_GT(sim.mem().load_u64(out + 8), 3u);
+}
+
+TEST(Fpss, FrepRepeatsBlock) {
+  // FREP over two instructions, 5 iterations: fa0 += 1.0 twice per iter.
+  CcSim sim;
+  const addr_t out = sim.alloc(8);
+  Assembler a;
+  a.li(kT0, 1);
+  a.fcvt_d_w(kFa1, kT0);  // fa1 = 1.0
+  a.fzero(kFa0);
+  a.li(kT1, 4);           // 5 iterations
+  a.frep(kT1, 2);
+  a.fadd_d(kFa0, kFa0, kFa1);
+  a.fadd_d(kFa0, kFa0, kFa1);
+  a.li(kS2, static_cast<std::int64_t>(out));
+  kernels::emit_fpss_sync(a);
+  a.fsd(kFa0, kS2, 0);
+  kernels::emit_fpss_sync(a);
+  kernels::emit_halt(a);
+  run_program(sim, a);
+  EXPECT_EQ(sim.read_f64(out), 10.0);
+}
+
+TEST(Fpss, FrepStaggersDestination) {
+  // Stagger rd over 4 registers: 8 iterations of "fadd ft2, fa1, fa2"
+  // write ft2..ft5 twice each with fa1+fa2.
+  CcSim sim;
+  const addr_t out = sim.alloc(32);
+  Assembler a;
+  a.li(kT0, 3);
+  a.fcvt_d_w(kFa1, kT0);
+  a.li(kT0, 4);
+  a.fcvt_d_w(kFa2, kT0);
+  kernels::emit_zero_accs(a, kFt2, 4);
+  a.li(kT1, 7);  // 8 iterations
+  a.frep(kT1, 1, /*stagger_max=*/3, /*stagger_mask=*/0b0001);
+  a.fadd_d(kFt2, kFa1, kFa2);
+  a.li(kS2, static_cast<std::int64_t>(out));
+  kernels::emit_fpss_sync(a);
+  a.fsd(kFt2, kS2, 0);
+  a.fsd(kFt3, kS2, 8);
+  a.fsd(kFt4, kS2, 16);
+  a.fsd(kFt5, kS2, 24);
+  kernels::emit_fpss_sync(a);
+  kernels::emit_halt(a);
+  run_program(sim, a);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(sim.read_f64(out + 8 * i), 7.0);
+}
+
+TEST(Fpss, FrepSingleIteration) {
+  CcSim sim;
+  const addr_t out = sim.alloc(8);
+  Assembler a;
+  a.li(kT0, 2);
+  a.fcvt_d_w(kFa1, kT0);
+  a.fzero(kFa0);
+  a.li(kT1, 0);  // exactly one iteration
+  a.frep(kT1, 1);
+  a.fadd_d(kFa0, kFa0, kFa1);
+  a.li(kS2, static_cast<std::int64_t>(out));
+  kernels::emit_fpss_sync(a);
+  a.fsd(kFa0, kS2, 0);
+  kernels::emit_fpss_sync(a);
+  kernels::emit_halt(a);
+  run_program(sim, a);
+  EXPECT_EQ(sim.read_f64(out), 2.0);
+}
+
+TEST(Streamer, CsrConfigurationArmsJobs) {
+  CcSim sim;
+  const addr_t data = sim.alloc(64);
+  for (int i = 0; i < 8; ++i) sim.mem().store_f64(data + 8 * i, i + 0.5);
+  const addr_t out = sim.alloc(8);
+  Assembler a;
+  kernels::emit_affine_job(a, 0, data, 8);
+  kernels::emit_ssr_enable(a);
+  a.fzero(kFa0);
+  a.li(kT0, 7);
+  a.frep(kT0, 1);
+  a.fadd_d(kFa0, kFa0, kFt0);
+  a.li(kS2, static_cast<std::int64_t>(out));
+  kernels::emit_sync_and_disable(a);
+  a.fsd(kFa0, kS2, 0);
+  kernels::emit_fpss_sync(a);
+  kernels::emit_halt(a);
+  run_program(sim, a);
+  EXPECT_EQ(sim.read_f64(out), 8 * 0.5 + (0 + 1 + 2 + 3 + 4 + 5 + 6 + 7));
+}
+
+TEST(Streamer, StatusCsrReflectsActivity) {
+  CcSim sim;
+  const addr_t data = sim.alloc(8192);
+  const addr_t out = sim.alloc(8);
+  Assembler a;
+  kernels::emit_affine_job(a, 0, data, 1000);  // long-running job
+  a.csrrs(kT0, ssr_csr(0, SsrCfgReg::kStatus), kZero);
+  a.li(kS2, static_cast<std::int64_t>(out));
+  a.sd(kT0, kS2, 0);
+  kernels::emit_ssr_enable(a);
+  // Drain the stream so the run can finish.
+  a.li(kT1, 999);
+  a.frep(kT1, 1);
+  a.fsgnj_d(kFa0, kFt0, kFt0);
+  kernels::emit_sync_and_disable(a);
+  kernels::emit_halt(a);
+  run_program(sim, a);
+  EXPECT_EQ(sim.mem().load_u64(out) & 1u, 1u);  // job active bit
+}
+
+TEST(Snitch, BranchPenaltyConfigurable) {
+  for (const unsigned pen : {0u, 2u}) {
+    CcSimConfig cfg;
+    cfg.cc.core.branch_penalty = pen;
+    CcSim sim(cfg);
+    Assembler a;
+    a.li(kT0, 100);
+    Label loop = a.here();
+    a.addi(kT0, kT0, -1);
+    a.bne(kT0, kZero, loop);
+    kernels::emit_halt(a);
+    const auto r = run_program(sim, a);
+    // Loop body: 2 instructions + penalty per taken branch.
+    const cycle_t expect = 100 * (2 + pen);
+    EXPECT_NEAR(static_cast<double>(r.cycles), static_cast<double>(expect),
+                8.0);
+  }
+}
+
+}  // namespace
+}  // namespace issr::core

@@ -1,0 +1,74 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "sparse/csf.hpp"
+#include "sparse/generate.hpp"
+
+namespace issr::sparse {
+namespace {
+
+TEST(Csf, BuildsTreeFromEntries) {
+  std::vector<TensorEntry> entries = {
+      {1, 0, 2, 1.0}, {0, 1, 1, 2.0}, {0, 1, 3, 3.0}, {0, 0, 0, 4.0},
+  };
+  const auto t = CsfTensor::from_entries(2, 2, 4, entries);
+  EXPECT_TRUE(t.valid());
+  EXPECT_EQ(t.num_slices(), 2u);
+  EXPECT_EQ(t.num_fibers(), 3u);
+  EXPECT_EQ(t.nnz(), 4u);
+  // Slice 0 has fibers (0,0) and (0,1); slice 1 has fiber (1,0).
+  EXPECT_EQ(t.slice_idcs()[0], 0u);
+  EXPECT_EQ(t.fiber_ptr()[1] - t.fiber_ptr()[0], 2u);
+}
+
+TEST(Csf, MergesDuplicateCoordinates) {
+  std::vector<TensorEntry> entries = {{0, 0, 0, 1.0}, {0, 0, 0, 2.5}};
+  const auto t = CsfTensor::from_entries(1, 1, 1, entries);
+  EXPECT_EQ(t.nnz(), 1u);
+  EXPECT_EQ(t.vals()[0], 3.5);
+}
+
+TEST(Csf, EntriesRoundTripCanonical) {
+  Rng rng(21);
+  const auto t = random_csf_tensor(rng, 6, 7, 8, 64);
+  const auto entries = t.to_entries();
+  const auto t2 = CsfTensor::from_entries(6, 7, 8, entries);
+  EXPECT_EQ(t2.to_entries(), entries);
+  EXPECT_EQ(t2.nnz(), t.nnz());
+}
+
+TEST(Csf, LeafFibersAreValidSparseFibers) {
+  Rng rng(22);
+  const auto t = random_csf_tensor(rng, 4, 5, 32, 50);
+  for (std::uint32_t f = 0; f < t.num_fibers(); ++f) {
+    const auto fiber = t.leaf_fiber(f);
+    EXPECT_TRUE(fiber.valid());
+    EXPECT_EQ(fiber.dim(), 32u);
+    EXPECT_GE(fiber.nnz(), 1u);
+  }
+}
+
+TEST(Csf, TtvMatchesDenseComputation) {
+  Rng rng(23);
+  const auto t = random_csf_tensor(rng, 5, 6, 16, 80);
+  const auto v = random_dense_vector(rng, 16);
+  const auto y = t.ttv_mode2(v);
+
+  DenseMatrix expected(5, 6);
+  for (const auto& e : t.to_entries()) {
+    expected.at(e.i, e.j) += e.val * v[e.k];
+  }
+  EXPECT_LT(max_abs_diff(y, expected), 1e-12);
+}
+
+TEST(Csf, EmptyTensor) {
+  const auto t = CsfTensor::from_entries(3, 3, 3, {});
+  EXPECT_TRUE(t.valid());
+  EXPECT_EQ(t.nnz(), 0u);
+  EXPECT_EQ(t.num_slices(), 0u);
+  const auto y = t.ttv_mode2(DenseVector(3));
+  EXPECT_EQ(max_abs_diff(y, DenseMatrix(3, 3)), 0.0);
+}
+
+}  // namespace
+}  // namespace issr::sparse

@@ -1,0 +1,277 @@
+// CsrMM, codebook, and scatter/gather kernel validation (§III-B, §III-C).
+#include <gtest/gtest.h>
+
+#include "common/bitutil.hpp"
+#include "common/rng.hpp"
+#include "core/sim.hpp"
+#include "kernels/codebook.hpp"
+#include "kernels/csrmm.hpp"
+#include "kernels/scatter_gather.hpp"
+#include "sparse/generate.hpp"
+#include "sparse/reference.hpp"
+
+namespace issr {
+namespace {
+
+using kernels::Variant;
+using sparse::IndexWidth;
+
+void check_csrmm(Variant variant, IndexWidth width,
+                 const sparse::CsrMatrix& a, std::uint32_t b_cols,
+                 std::uint32_t ldy_extra, std::uint64_t seed) {
+  Rng rng(seed);
+  const std::uint32_t ldb = std::max<std::uint32_t>(
+      1u << log2_ceil(std::max<std::uint32_t>(b_cols, 1)), 1);
+  const auto b = sparse::random_dense_matrix(rng, a.cols(), b_cols, ldb);
+  const std::uint32_t ldy = b_cols + ldy_extra;
+
+  core::CcSim sim;
+  kernels::CsrmmArgs args;
+  args.ptr = sim.stage_u32(a.ptr());
+  args.idcs = sim.stage_indices(a.idcs(), width);
+  args.vals = sim.stage(a.vals());
+  args.nrows = a.rows();
+  args.nnz = a.nnz();
+  args.b = sim.alloc(8ull * std::max<std::size_t>(b.storage_elems(), 1));
+  if (b.storage_elems() > 0) {
+    sim.mem().write_doubles(args.b, b.data(), b.storage_elems());
+  }
+  args.b_cols = b_cols;
+  args.ldb_log2 = log2_exact(ldb);
+  args.y = sim.alloc(8ull * std::max<std::uint64_t>(
+                                1, static_cast<std::uint64_t>(a.rows()) * ldy));
+  args.ldy = ldy;
+  args.width = width;
+  sim.set_program(kernels::build_csrmm(variant, args));
+  sim.run();
+
+  const auto expect = sparse::ref_csrmm(a, b);
+  for (std::uint32_t r = 0; r < a.rows(); ++r) {
+    for (std::uint32_t c = 0; c < b_cols; ++c) {
+      const double got =
+          sim.read_f64(args.y + 8ull * (static_cast<std::uint64_t>(r) * ldy + c));
+      EXPECT_NEAR(got, expect.at(r, c), 1e-9 + 1e-9 * std::abs(expect.at(r, c)))
+          << kernels::to_string(variant) << " r=" << r << " c=" << c;
+    }
+  }
+}
+
+class CsrmmVariants : public ::testing::TestWithParam<Variant> {};
+
+TEST_P(CsrmmVariants, SmallDenseOperand) {
+  Rng rng(800);
+  const auto a = sparse::random_uniform_matrix(rng, 13, 16, 60);
+  check_csrmm(GetParam(), IndexWidth::kU32, a, 4, 0, 801);
+}
+
+TEST_P(CsrmmVariants, StridedResultMatrix) {
+  Rng rng(802);
+  const auto a = sparse::random_uniform_matrix(rng, 9, 8, 30);
+  check_csrmm(GetParam(), IndexWidth::kU16, a, 3, 5, 803);
+}
+
+TEST_P(CsrmmVariants, SingleColumnReducesToCsrmv) {
+  Rng rng(804);
+  const auto a = sparse::random_fixed_row_nnz_matrix(rng, 20, 16, 4);
+  check_csrmm(GetParam(), IndexWidth::kU16, a, 1, 0, 805);
+}
+
+INSTANTIATE_TEST_SUITE_P(Variants, CsrmmVariants,
+                         ::testing::Values(Variant::kBase, Variant::kSsr,
+                                           Variant::kIssr),
+                         [](const auto& info) {
+                           return std::string(kernels::to_string(info.param));
+                         });
+
+TEST(CsrmmUtilization, TracksCsrmvOnTinyMatrix) {
+  // §IV-A: CsrMM utilization within a fraction of a percent of CsrMV even
+  // for a 64-nonzero matrix with a 2-column dense operand.
+  Rng rng(806);
+  const auto a = sparse::random_uniform_matrix(rng, 23, 23, 64);
+  const auto x = sparse::random_dense_vector(rng, 23);
+
+  core::CcSim mv_sim;
+  kernels::CsrmvArgs mv;
+  mv.ptr = mv_sim.stage_u32(a.ptr());
+  mv.idcs = mv_sim.stage_indices(a.idcs(), IndexWidth::kU16);
+  mv.vals = mv_sim.stage(a.vals());
+  mv.nrows = a.rows();
+  mv.nnz = a.nnz();
+  mv.x = mv_sim.stage(x);
+  mv.y = mv_sim.alloc(8ull * a.rows());
+  mv.width = IndexWidth::kU16;
+  mv_sim.set_program(kernels::build_csrmv(Variant::kIssr, mv));
+  const auto mv_run = mv_sim.run();
+
+  core::CcSim mm_sim;
+  kernels::CsrmmArgs mm;
+  mm.ptr = mm_sim.stage_u32(a.ptr());
+  mm.idcs = mm_sim.stage_indices(a.idcs(), IndexWidth::kU16);
+  mm.vals = mm_sim.stage(a.vals());
+  mm.nrows = a.rows();
+  mm.nnz = a.nnz();
+  const std::uint32_t ldb = 32;
+  Rng rng2(807);
+  const auto b = sparse::random_dense_matrix(rng2, a.cols(), 2, ldb);
+  mm.b = mm_sim.alloc(8ull * b.storage_elems());
+  mm_sim.mem().write_doubles(mm.b, b.data(), b.storage_elems());
+  mm.b_cols = 2;
+  mm.ldb_log2 = 5;
+  mm.y = mm_sim.alloc(8ull * a.rows() * 2);
+  mm.ldy = 2;
+  mm.width = IndexWidth::kU16;
+  mm_sim.set_program(kernels::build_csrmm(Variant::kIssr, mm));
+  const auto mm_run = mm_sim.run();
+
+  EXPECT_NEAR(mm_run.fpu_util(), mv_run.fpu_util(),
+              0.02 * mv_run.fpu_util() + 0.005);
+}
+
+class CodebookWidths : public ::testing::TestWithParam<IndexWidth> {};
+
+TEST_P(CodebookWidths, DotProductMatchesReference) {
+  const auto width = GetParam();
+  Rng rng(900);
+  for (const std::uint32_t count : {0u, 1u, 5u, 64u, 300u}) {
+    const auto cb = sparse::random_codebook_vector(rng, count, 16);
+    const auto b = sparse::random_dense_vector(rng, count);
+    core::CcSim sim;
+    kernels::CodebookDotArgs args;
+    args.codebook = sim.stage(cb.codebook);
+    args.codes = sim.stage_indices(cb.indices, width);
+    args.count = count;
+    args.b = sim.stage(b);
+    args.result = sim.alloc(8);
+    args.width = width;
+    sim.set_program(kernels::build_codebook_dot(args));
+    sim.run();
+    const double expect = sparse::ref_codebook_dot(cb, b);
+    EXPECT_NEAR(sim.read_f64(args.result), expect,
+                1e-9 * (1 + std::abs(expect)))
+        << "count " << count;
+  }
+}
+
+TEST_P(CodebookWidths, ExpandDecodesInPlaceOrder) {
+  const auto width = GetParam();
+  Rng rng(901);
+  const auto cb = sparse::random_codebook_vector(rng, 129, 8);
+  core::CcSim sim;
+  kernels::CodebookExpandArgs args;
+  args.codebook = sim.stage(cb.codebook);
+  args.codes = sim.stage_indices(cb.indices, width);
+  args.count = 129;
+  args.out = sim.alloc(8ull * 129);
+  args.width = width;
+  sim.set_program(kernels::build_codebook_expand(args));
+  sim.run();
+  const auto expect = cb.densify();
+  const auto got = sparse::DenseVector(sim.read_f64s(args.out, 129));
+  EXPECT_EQ(sparse::max_abs_diff(got, expect), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, CodebookWidths,
+                         ::testing::Values(IndexWidth::kU16,
+                                           IndexWidth::kU32),
+                         [](const auto& info) {
+                           return info.param == IndexWidth::kU16 ? "u16"
+                                                                 : "u32";
+                         });
+
+TEST(ScatterGather, GatherMatchesReference) {
+  Rng rng(902);
+  const auto src = sparse::random_dense_vector(rng, 200);
+  std::vector<std::uint32_t> idcs;
+  for (int i = 0; i < 77; ++i) {
+    idcs.push_back(static_cast<std::uint32_t>(rng.uniform_int(0, 199)));
+  }
+  core::CcSim sim;
+  kernels::GatherArgs args;
+  args.src = sim.stage(src);
+  args.idcs = sim.stage_indices(idcs, IndexWidth::kU32);
+  args.count = 77;
+  args.out = sim.alloc(8ull * 77);
+  args.width = IndexWidth::kU32;
+  sim.set_program(kernels::build_gather(args));
+  sim.run();
+  const auto expect = sparse::ref_gather(src, idcs);
+  const auto got = sparse::DenseVector(sim.read_f64s(args.out, 77));
+  EXPECT_EQ(sparse::max_abs_diff(got, expect), 0.0);
+}
+
+TEST(ScatterGather, ScatterDensifiesSparseFiber) {
+  Rng rng(903);
+  const auto fiber = sparse::random_sparse_vector(rng, 128, 40);
+  core::CcSim sim;
+  kernels::ScatterArgs args;
+  args.src = sim.stage(fiber.vals());
+  args.idcs = sim.stage_indices(fiber.idcs(), IndexWidth::kU16);
+  args.count = fiber.nnz();
+  args.dst = sim.alloc(8ull * 128);
+  args.width = IndexWidth::kU16;
+  sim.set_program(kernels::build_scatter(args));
+  sim.run();
+  const auto expect = fiber.densify();
+  const auto got = sparse::DenseVector(sim.read_f64s(args.dst, 128));
+  EXPECT_EQ(sparse::max_abs_diff(got, expect), 0.0);
+}
+
+TEST(ScatterGather, SparseAxpyAccumulatesOntoDense) {
+  Rng rng(904);
+  const auto fiber = sparse::random_sparse_vector(rng, 96, 30);
+  const auto y0 = sparse::random_dense_vector(rng, 96);
+  core::CcSim sim;
+  kernels::SparseAxpyArgs args;
+  args.vals = sim.stage(fiber.vals());
+  args.idcs = sim.stage_indices(fiber.idcs(), IndexWidth::kU32);
+  args.count = fiber.nnz();
+  args.y = sim.stage(y0);
+  args.scratch = sim.alloc(8ull * fiber.nnz());
+  args.width = IndexWidth::kU32;
+  sim.set_program(kernels::build_sparse_axpy(args));
+  sim.run();
+  auto expect = y0;
+  sparse::ref_axpy_sparse_onto_dense(fiber, expect);
+  const auto got = sparse::DenseVector(sim.read_f64s(args.y, 96));
+  EXPECT_LT(sparse::max_abs_diff(got, expect), 1e-12);
+}
+
+TEST(ScatterGather, GatherThenScatterRestoresPermutation) {
+  Rng rng(905);
+  std::vector<std::uint32_t> perm(64);
+  for (std::uint32_t i = 0; i < 64; ++i) perm[i] = i;
+  rng.shuffle(perm);
+  const auto src = sparse::random_dense_vector(rng, 64);
+
+  core::CcSim sim;
+  const addr_t src_a = sim.stage(src);
+  const addr_t idcs_a = sim.stage_indices(perm, IndexWidth::kU16);
+  const addr_t mid_a = sim.alloc(8ull * 64);
+  const addr_t dst_a = sim.alloc(8ull * 64);
+
+  kernels::GatherArgs g;
+  g.src = src_a;
+  g.idcs = idcs_a;
+  g.count = 64;
+  g.out = mid_a;
+  g.width = IndexWidth::kU16;
+  sim.set_program(kernels::build_gather(g));
+  sim.run();
+
+  // Scatter back with the same permutation in a fresh program on the same
+  // memory image.
+  kernels::ScatterArgs s;
+  s.src = mid_a;
+  s.idcs = idcs_a;
+  s.count = 64;
+  s.dst = dst_a;
+  s.width = IndexWidth::kU16;
+  sim.set_program(kernels::build_scatter(s));
+  sim.run();
+
+  const auto got = sparse::DenseVector(sim.read_f64s(dst_a, 64));
+  EXPECT_EQ(sparse::max_abs_diff(got, src), 0.0);
+}
+
+}  // namespace
+}  // namespace issr

@@ -1,0 +1,182 @@
+// CsrMV kernel validation on the single-CC simulator: every variant and
+// index width against the golden reference, over randomized matrix
+// families and edge cases (empty rows, empty matrices, single-element
+// rows, rows longer than the accumulator unroll), plus the paper's
+// throughput limits (7.2x / 6.0x over BASE at large nnz/row).
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "core/sim.hpp"
+#include "kernels/csrmv.hpp"
+#include "sparse/generate.hpp"
+#include "sparse/reference.hpp"
+#include "sparse/suite.hpp"
+
+namespace issr {
+namespace {
+
+using kernels::Variant;
+using sparse::IndexWidth;
+
+struct CsrmvRun {
+  sparse::DenseVector y;
+  core::CcSimResult sim;
+};
+
+CsrmvRun run_csrmv(Variant variant, IndexWidth width,
+                   const sparse::CsrMatrix& a, const sparse::DenseVector& x) {
+  core::CcSim sim;
+  kernels::CsrmvArgs args;
+  args.ptr = sim.stage_u32(a.ptr());
+  args.idcs = sim.stage_indices(a.idcs(), width);
+  args.vals = sim.stage(a.vals());
+  args.nrows = a.rows();
+  args.nnz = a.nnz();
+  args.x = sim.stage(x);
+  args.y = sim.alloc(8ull * std::max<std::uint32_t>(a.rows(), 1));
+  args.width = width;
+  sim.set_program(kernels::build_csrmv(variant, args));
+  CsrmvRun out;
+  out.sim = sim.run();
+  out.y = sparse::DenseVector(sim.read_f64s(args.y, a.rows()));
+  return out;
+}
+
+void check(Variant variant, IndexWidth width, const sparse::CsrMatrix& a,
+           std::uint64_t seed) {
+  Rng rng(seed);
+  const auto x = sparse::random_dense_vector(rng, a.cols());
+  const auto run = run_csrmv(variant, width, a, x);
+  const auto ref = sparse::ref_csrmv(a, x);
+  EXPECT_TRUE(sparse::allclose(run.y, ref, 1e-9, 1e-9))
+      << kernels::to_string(variant) << " width "
+      << (width == IndexWidth::kU16 ? 16 : 32) << " rows " << a.rows()
+      << " nnz " << a.nnz()
+      << " maxdiff " << sparse::max_abs_diff(run.y, ref);
+}
+
+struct Case {
+  Variant variant;
+  IndexWidth width;
+};
+
+class CsrmvAllVariants : public ::testing::TestWithParam<Case> {};
+
+TEST_P(CsrmvAllVariants, RandomUniformMatrices) {
+  const auto [v, w] = GetParam();
+  Rng rng(100);
+  for (int trial = 0; trial < 4; ++trial) {
+    const auto rows = static_cast<std::uint32_t>(rng.uniform_int(1, 60));
+    const auto cols = static_cast<std::uint32_t>(rng.uniform_int(1, 80));
+    const auto nnz = rng.uniform_int(0, static_cast<std::uint64_t>(rows) *
+                                            cols / 2);
+    check(v, w, sparse::random_uniform_matrix(rng, rows, cols, nnz),
+          200 + trial);
+  }
+}
+
+TEST_P(CsrmvAllVariants, RowLengthsAroundTheUnrollBoundary) {
+  // Rows of exactly 0..6 nonzeros hit every branch of the ISSR row
+  // dispatch (fmul unroll, short reductions, FREP tail).
+  const auto [v, w] = GetParam();
+  Rng rng(101);
+  for (std::uint32_t rn = 0; rn <= 6; ++rn) {
+    if (rn == 0) {
+      sparse::CooMatrix coo(5, 16);
+      check(v, w, sparse::CsrMatrix::from_coo(coo), 300);
+    } else {
+      check(v, w, sparse::random_fixed_row_nnz_matrix(rng, 7, 32, rn),
+            300 + rn);
+    }
+  }
+}
+
+TEST_P(CsrmvAllVariants, MixedEmptyAndLongRows) {
+  const auto [v, w] = GetParam();
+  Rng rng(102);
+  sparse::CooMatrix coo(9, 64);
+  // Rows 0,2,4,6,8 empty; row 1 has 1, row 3 has 40, row 5 has 3, row 7
+  // has 64 (full) nonzeros.
+  auto fill_row = [&](std::uint32_t r, std::uint32_t n) {
+    const auto idcs = rng.distinct_sorted(n, 64);
+    for (const auto c : idcs) coo.add(r, c, rng.normal());
+  };
+  fill_row(1, 1);
+  fill_row(3, 40);
+  fill_row(5, 3);
+  fill_row(7, 64);
+  check(v, w, sparse::CsrMatrix::from_coo(coo), 400);
+}
+
+TEST_P(CsrmvAllVariants, BandedAndPowerlawFamilies) {
+  const auto [v, w] = GetParam();
+  Rng rng(103);
+  check(v, w, sparse::banded_matrix(rng, 48, 2), 500);
+  check(v, w, sparse::powerlaw_matrix(rng, 64, 64, 5.0, 0.9), 501);
+}
+
+TEST_P(CsrmvAllVariants, SingleRowAndSingleColumn) {
+  const auto [v, w] = GetParam();
+  Rng rng(104);
+  check(v, w, sparse::random_uniform_matrix(rng, 1, 50, 20), 600);
+  check(v, w, sparse::random_uniform_matrix(rng, 50, 1, 25), 601);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Variants, CsrmvAllVariants,
+    ::testing::Values(Case{Variant::kBase, IndexWidth::kU16},
+                      Case{Variant::kBase, IndexWidth::kU32},
+                      Case{Variant::kSsr, IndexWidth::kU16},
+                      Case{Variant::kSsr, IndexWidth::kU32},
+                      Case{Variant::kIssr, IndexWidth::kU16},
+                      Case{Variant::kIssr, IndexWidth::kU32}),
+    [](const auto& info) {
+      std::string name = kernels::to_string(info.param.variant);
+      name += info.param.width == IndexWidth::kU16 ? "_u16" : "_u32";
+      return name;
+    });
+
+TEST(CsrmvSpeedup, ApproachesPaperLimits) {
+  Rng rng(105);
+  const auto a = sparse::random_fixed_row_nnz_matrix(rng, 128, 512, 128);
+  const auto x = sparse::random_dense_vector(rng, 512);
+  const auto base = run_csrmv(Variant::kBase, IndexWidth::kU32, a, x);
+  const auto i16 = run_csrmv(Variant::kIssr, IndexWidth::kU16, a, x);
+  const auto i32 = run_csrmv(Variant::kIssr, IndexWidth::kU32, a, x);
+  const double s16 = static_cast<double>(base.sim.cycles) /
+                     static_cast<double>(i16.sim.cycles);
+  const double s32 = static_cast<double>(base.sim.cycles) /
+                     static_cast<double>(i32.sim.cycles);
+  EXPECT_GT(s16, 6.5);   // paper limit 7.2x
+  EXPECT_LE(s16, 7.25);
+  EXPECT_GT(s32, 5.4);   // paper limit 6.0x
+  EXPECT_LE(s32, 6.05);
+}
+
+TEST(CsrmvSpeedup, SixteenBitWinsOnlyPastCrossover) {
+  // Paper: the 16-bit kernel outperforms the 32-bit variant only past
+  // nnz/row ~ 20 (longer reduction).
+  Rng rng(106);
+  const auto few = sparse::random_fixed_row_nnz_matrix(rng, 96, 256, 6);
+  const auto many = sparse::random_fixed_row_nnz_matrix(rng, 96, 256, 64);
+  const auto xf = sparse::random_dense_vector(rng, 256);
+  const auto few16 = run_csrmv(Variant::kIssr, IndexWidth::kU16, few, xf);
+  const auto few32 = run_csrmv(Variant::kIssr, IndexWidth::kU32, few, xf);
+  const auto many16 = run_csrmv(Variant::kIssr, IndexWidth::kU16, many, xf);
+  const auto many32 = run_csrmv(Variant::kIssr, IndexWidth::kU32, many, xf);
+  EXPECT_LE(few16.sim.cycles * 0 + few32.sim.cycles, few16.sim.cycles)
+      << "32-bit should win at low nnz/row";
+  EXPECT_LT(many16.sim.cycles, many32.sim.cycles)
+      << "16-bit should win at high nnz/row";
+}
+
+TEST(CsrmvSuite, QuickSuiteMatchesReference) {
+  for (const auto& name : sparse::quick_suite_names()) {
+    const auto a = sparse::build_suite_matrix(name);
+    if (a.nnz() > 50000) continue;  // keep unit tests fast
+    check(Variant::kIssr, IndexWidth::kU16, a, 700);
+  }
+}
+
+}  // namespace
+}  // namespace issr

@@ -1,0 +1,208 @@
+// Generator invariants and the synthetic SuiteSparse suite.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "sparse/generate.hpp"
+#include "sparse/reference.hpp"
+#include "sparse/suite.hpp"
+
+namespace issr::sparse {
+namespace {
+
+TEST(Generate, SparseVectorHasRequestedShape) {
+  Rng rng(31);
+  const auto f = random_sparse_vector(rng, 1000, 137);
+  EXPECT_TRUE(f.valid());
+  EXPECT_EQ(f.dim(), 1000u);
+  EXPECT_EQ(f.nnz(), 137u);
+}
+
+TEST(Generate, UniformMatrixExactNnz) {
+  Rng rng(32);
+  for (const std::uint64_t nnz : {0ull, 1ull, 50ull, 500ull}) {
+    const auto a = random_uniform_matrix(rng, 40, 40, nnz);
+    EXPECT_TRUE(a.valid());
+    EXPECT_EQ(a.nnz(), nnz);
+  }
+}
+
+TEST(Generate, UniformMatrixDensePath) {
+  Rng rng(33);
+  // nnz*4 >= cells triggers the selection-sampling path.
+  const auto a = random_uniform_matrix(rng, 16, 16, 200);
+  EXPECT_TRUE(a.valid());
+  EXPECT_EQ(a.nnz(), 200u);
+}
+
+TEST(Generate, FixedRowNnz) {
+  Rng rng(34);
+  const auto a = random_fixed_row_nnz_matrix(rng, 33, 64, 7);
+  EXPECT_TRUE(a.valid());
+  for (std::uint32_t r = 0; r < a.rows(); ++r) EXPECT_EQ(a.row_nnz(r), 7u);
+  EXPECT_DOUBLE_EQ(a.avg_row_nnz(), 7.0);
+  EXPECT_EQ(a.max_row_nnz(), 7u);
+}
+
+TEST(Generate, BandedStructure) {
+  Rng rng(35);
+  const std::uint32_t bw = 3;
+  const auto a = banded_matrix(rng, 32, bw);
+  EXPECT_TRUE(a.valid());
+  for (std::uint32_t r = 0; r < a.rows(); ++r) {
+    for (std::uint32_t k = a.row_begin(r); k < a.row_end(r); ++k) {
+      const std::int64_t d = static_cast<std::int64_t>(a.idcs()[k]) -
+                             static_cast<std::int64_t>(r);
+      EXPECT_LE(std::abs(d), static_cast<std::int64_t>(bw));
+    }
+  }
+  // Full band: interior rows have 2*bw+1 entries.
+  EXPECT_EQ(a.row_nnz(16), 2 * bw + 1);
+}
+
+TEST(Generate, PowerlawApproximatesTargetAverage) {
+  Rng rng(36);
+  const auto a = powerlaw_matrix(rng, 500, 500, 8.0, 0.8);
+  EXPECT_TRUE(a.valid());
+  EXPECT_NEAR(a.avg_row_nnz(), 8.0, 1.5);
+  // Power-law: the max row must far exceed the mean.
+  EXPECT_GT(a.max_row_nnz(), 3 * 8);
+}
+
+TEST(Generate, Torus2dDegreeFour) {
+  Rng rng(37);
+  const auto a = torus2d_matrix(rng, 8, 4, /*with_diagonal=*/false);
+  EXPECT_TRUE(a.valid());
+  EXPECT_EQ(a.rows(), 32u);
+  for (std::uint32_t r = 0; r < a.rows(); ++r) EXPECT_EQ(a.row_nnz(r), 4u);
+}
+
+TEST(Generate, Torus2dWithDiagonal) {
+  Rng rng(38);
+  const auto a = torus2d_matrix(rng, 4, 4, /*with_diagonal=*/true);
+  for (std::uint32_t r = 0; r < a.rows(); ++r) EXPECT_EQ(a.row_nnz(r), 5u);
+}
+
+TEST(Generate, CodebookVectorDecodes) {
+  Rng rng(39);
+  const auto cb = random_codebook_vector(rng, 100, 16);
+  EXPECT_EQ(cb.codebook.size(), 16u);
+  EXPECT_EQ(cb.indices.size(), 100u);
+  const auto dense = cb.densify();
+  for (std::size_t i = 0; i < 100; ++i) {
+    EXPECT_LT(cb.indices[i], 16u);
+    EXPECT_EQ(dense[i], cb.codebook[cb.indices[i]]);
+  }
+}
+
+TEST(Suite, EntriesHavePaperScale) {
+  const auto& entries = suite_entries();
+  ASSERT_GE(entries.size(), 10u);
+  std::uint64_t min_nnz = ~0ull, max_nnz = 0;
+  for (const auto& e : entries) {
+    min_nnz = std::min(min_nnz, e.nnz);
+    max_nnz = std::max(max_nnz, e.nnz);
+  }
+  // Paper: 1.3k to 680.3k nonzeros (ragusa18 is the named tiny outlier).
+  EXPECT_LE(min_nnz, 1300u);
+  EXPECT_GE(max_nnz, 680000u);
+}
+
+TEST(Suite, AnchorsArePresent) {
+  EXPECT_EQ(suite_entry("g11").family, MatrixFamily::kTorus);
+  EXPECT_EQ(suite_entry("g7").family, MatrixFamily::kUniform);
+  EXPECT_EQ(suite_entry("ragusa18").nnz, 64u);
+}
+
+TEST(Suite, BuildIsDeterministic) {
+  const auto a = build_suite_matrix("g11");
+  const auto b = build_suite_matrix("g11");
+  EXPECT_EQ(a, b);
+}
+
+class SuiteBuild : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(SuiteBuild, MatchesDescriptorShape) {
+  const auto& e = suite_entry(GetParam());
+  const auto a = build_suite_matrix(e);
+  EXPECT_TRUE(a.valid());
+  EXPECT_EQ(a.rows(), e.rows);
+  EXPECT_EQ(a.cols(), e.cols);
+  // Exact for most families; banded/powerlaw land near the target.
+  EXPECT_NEAR(static_cast<double>(a.nnz()), static_cast<double>(e.nnz),
+              0.15 * static_cast<double>(e.nnz) + 8.0);
+  EXPECT_TRUE(a.fits_u16());  // all suite matrices have < 64k columns
+}
+
+INSTANTIATE_TEST_SUITE_P(QuickSet, SuiteBuild,
+                         ::testing::Values("ragusa18", "diag1300", "g11",
+                                           "west2021", "plat1919", "g7",
+                                           "orani678", "nasa2146"));
+
+TEST(Suite, DiagonalFamilyHasEmptyRows) {
+  const auto a = build_suite_matrix("diag1300");
+  std::uint32_t empty = 0;
+  for (std::uint32_t r = 0; r < a.rows(); ++r) {
+    if (a.row_nnz(r) == 0) ++empty;
+  }
+  EXPECT_GT(empty, a.rows() / 3);
+}
+
+TEST(Reference, SpvvMatchesDensifiedDot) {
+  Rng rng(40);
+  const auto a = random_sparse_vector(rng, 128, 40);
+  const auto b = random_dense_vector(rng, 128);
+  const auto ad = a.densify();
+  double expect = 0;
+  for (std::size_t i = 0; i < 128; ++i) expect += ad[i] * b[i];
+  EXPECT_NEAR(ref_spvv(a, b), expect, 1e-12);
+}
+
+TEST(Reference, CsrmvMatchesDenseProduct) {
+  Rng rng(41);
+  const auto a = random_uniform_matrix(rng, 17, 23, 90);
+  const auto x = random_dense_vector(rng, 23);
+  const auto y = ref_csrmv(a, x);
+  const auto d = a.densify();
+  for (std::uint32_t r = 0; r < 17; ++r) {
+    double expect = 0;
+    for (std::uint32_t c = 0; c < 23; ++c) expect += d.at(r, c) * x[c];
+    EXPECT_NEAR(y[r], expect, 1e-12);
+  }
+}
+
+TEST(Reference, CsrmmMatchesRepeatedCsrmv) {
+  Rng rng(42);
+  const auto a = random_uniform_matrix(rng, 11, 13, 50);
+  const auto b = random_dense_matrix(rng, 13, 4);
+  const auto y = ref_csrmm(a, b);
+  for (std::size_t c = 0; c < 4; ++c) {
+    const auto yc = ref_csrmv(a, b.column(c));
+    for (std::uint32_t r = 0; r < 11; ++r) EXPECT_NEAR(y.at(r, c), yc[r], 1e-12);
+  }
+}
+
+TEST(Reference, GatherScatterInverseOnPermutation) {
+  Rng rng(43);
+  std::vector<std::uint32_t> perm(64);
+  for (std::uint32_t i = 0; i < 64; ++i) perm[i] = i;
+  rng.shuffle(perm);
+  const auto src = random_dense_vector(rng, 64);
+  const auto gathered = ref_gather(src, perm);
+  const auto scattered = ref_scatter(gathered, perm, 64);
+  EXPECT_EQ(max_abs_diff(src, scattered), 0.0);
+}
+
+TEST(Reference, AxpySparseOntoDense) {
+  Rng rng(44);
+  const auto a = random_sparse_vector(rng, 32, 10);
+  DenseVector y = random_dense_vector(rng, 32);
+  const DenseVector y0 = y;
+  ref_axpy_sparse_onto_dense(a, y);
+  const auto ad = a.densify();
+  for (std::size_t i = 0; i < 32; ++i) {
+    EXPECT_NEAR(y[i], y0[i] + ad[i], 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace issr::sparse

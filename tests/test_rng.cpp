@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+
+namespace issr {
+namespace {
+
+TEST(Xoshiro, DeterministicForSeed) {
+  Xoshiro256 a(42), b(42), c(43);
+  for (int i = 0; i < 100; ++i) {
+    const auto va = a();
+    EXPECT_EQ(va, b());
+    (void)c();
+  }
+  Xoshiro256 a2(42), c2(43);
+  EXPECT_NE(a2(), c2());
+}
+
+TEST(Xoshiro, JumpDecorrelatesStreams) {
+  Xoshiro256 a(7);
+  Xoshiro256 b(7);
+  b.jump();
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive) {
+  Rng rng(2);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.uniform_int(3, 10));
+  EXPECT_EQ(*seen.begin(), 3u);
+  EXPECT_EQ(*seen.rbegin(), 10u);
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, UniformIntSingleton) {
+  Rng rng(3);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.uniform_int(5, 5), 5u);
+}
+
+TEST(Rng, NormalMomentsApproximatelyStandard) {
+  Rng rng(4);
+  RunningStats s;
+  for (int i = 0; i < 50000; ++i) s.add(rng.normal());
+  EXPECT_NEAR(s.mean(), 0.0, 0.02);
+  EXPECT_NEAR(s.stddev(), 1.0, 0.02);
+}
+
+TEST(Rng, NormalScalesMeanAndStddev) {
+  Rng rng(5);
+  RunningStats s;
+  for (int i = 0; i < 50000; ++i) s.add(rng.normal(10.0, 3.0));
+  EXPECT_NEAR(s.mean(), 10.0, 0.1);
+  EXPECT_NEAR(s.stddev(), 3.0, 0.1);
+}
+
+class DistinctSorted
+    : public ::testing::TestWithParam<std::pair<std::uint32_t, std::uint32_t>> {
+};
+
+TEST_P(DistinctSorted, ProducesSortedUniqueInRange) {
+  const auto [count, universe] = GetParam();
+  Rng rng(6 + count);
+  const auto v = rng.distinct_sorted(count, universe);
+  ASSERT_EQ(v.size(), count);
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    EXPECT_LT(v[i], universe);
+    if (i > 0) {
+      EXPECT_LT(v[i - 1], v[i]);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, DistinctSorted,
+    ::testing::Values(std::pair{0u, 10u}, std::pair{1u, 1u},
+                      std::pair{10u, 10u}, std::pair{5u, 100u},
+                      std::pair{99u, 100u}, std::pair{500u, 4096u}));
+
+TEST(Rng, ShufflePermutes) {
+  Rng rng(7);
+  std::vector<int> v(100);
+  for (int i = 0; i < 100; ++i) v[i] = i;
+  auto w = v;
+  rng.shuffle(w);
+  EXPECT_NE(v, w);  // astronomically unlikely to be identity
+  std::sort(w.begin(), w.end());
+  EXPECT_EQ(v, w);
+}
+
+}  // namespace
+}  // namespace issr

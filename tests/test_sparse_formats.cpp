@@ -1,0 +1,197 @@
+// Format library tests: fibers, COO/CSR/CSC conversions, invariants, and
+// round-trip properties on randomized matrices.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "sparse/csc.hpp"
+#include "sparse/csr.hpp"
+#include "sparse/fiber.hpp"
+#include "sparse/generate.hpp"
+
+namespace issr::sparse {
+namespace {
+
+TEST(Fiber, DensifyRoundTrip) {
+  SparseFiber f(8, {1.5, -2.0, 3.0}, {1, 4, 7});
+  const DenseVector d = f.densify();
+  EXPECT_EQ(d.size(), 8u);
+  EXPECT_EQ(d[1], 1.5);
+  EXPECT_EQ(d[4], -2.0);
+  EXPECT_EQ(d[7], 3.0);
+  EXPECT_EQ(d[0], 0.0);
+  EXPECT_EQ(SparseFiber::from_dense(d), f);
+}
+
+TEST(Fiber, ValidityChecks) {
+  EXPECT_TRUE(SparseFiber(4, {}, {}).valid());
+  EXPECT_TRUE(SparseFiber(4, {1.0}, {3}).valid());
+  SparseFiber f;
+  EXPECT_TRUE(f.valid());
+}
+
+TEST(Fiber, Fits16Bit) {
+  SparseFiber small(100, {1.0}, {99});
+  EXPECT_TRUE(small.fits_u16());
+  SparseFiber big(70000, {1.0, 2.0}, {5, 65536});
+  EXPECT_FALSE(big.fits_u16());
+}
+
+class IndexPacking : public ::testing::TestWithParam<IndexWidth> {};
+
+TEST_P(IndexPacking, RoundTripsThroughBytes) {
+  const IndexWidth w = GetParam();
+  Rng rng(11);
+  const std::uint32_t limit = w == IndexWidth::kU16 ? 0xffffu : 0xffffffu;
+  std::vector<std::uint32_t> idcs;
+  for (int i = 0; i < 257; ++i) {
+    idcs.push_back(static_cast<std::uint32_t>(rng.uniform_int(0, limit)));
+  }
+  const auto packed = pack_indices(idcs, w);
+  EXPECT_EQ(packed.size(), idcs.size() * index_bytes(w));
+  EXPECT_EQ(unpack_indices(packed, w, idcs.size()), idcs);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, IndexPacking,
+                         ::testing::Values(IndexWidth::kU16,
+                                           IndexWidth::kU32));
+
+TEST(Coo, CanonicalizeSortsAndMerges) {
+  CooMatrix m(4, 4);
+  m.add(2, 1, 1.0);
+  m.add(0, 3, 2.0);
+  m.add(2, 1, 0.5);
+  m.add(0, 0, -1.0);
+  m.canonicalize();
+  ASSERT_EQ(m.nnz(), 3u);
+  EXPECT_TRUE(m.canonical());
+  EXPECT_EQ(m.entries()[0], (CooEntry{0, 0, -1.0}));
+  EXPECT_EQ(m.entries()[1], (CooEntry{0, 3, 2.0}));
+  EXPECT_EQ(m.entries()[2], (CooEntry{2, 1, 1.5}));
+}
+
+TEST(Coo, CanonicalizeDropsCancellationsOnRequest) {
+  CooMatrix m(2, 2);
+  m.add(1, 1, 2.0);
+  m.add(1, 1, -2.0);
+  m.canonicalize(/*drop_zeros=*/true);
+  EXPECT_EQ(m.nnz(), 0u);
+}
+
+TEST(Csr, FromCooAndBack) {
+  CooMatrix coo(3, 4);
+  coo.add(0, 1, 1.0);
+  coo.add(0, 3, 2.0);
+  coo.add(2, 0, 3.0);
+  const CsrMatrix csr = CsrMatrix::from_coo(coo);
+  EXPECT_TRUE(csr.valid());
+  EXPECT_EQ(csr.rows(), 3u);
+  EXPECT_EQ(csr.cols(), 4u);
+  EXPECT_EQ(csr.nnz(), 3u);
+  EXPECT_EQ(csr.row_nnz(0), 2u);
+  EXPECT_EQ(csr.row_nnz(1), 0u);  // empty row
+  EXPECT_EQ(csr.row_nnz(2), 1u);
+
+  CooMatrix back = csr.to_coo();
+  back.canonicalize();
+  CooMatrix canon = coo;
+  canon.canonicalize();
+  EXPECT_EQ(back.entries(), canon.entries());
+}
+
+TEST(Csr, RowFiberExtraction) {
+  Rng rng(12);
+  const auto a = random_fixed_row_nnz_matrix(rng, 10, 64, 5);
+  for (std::uint32_t r = 0; r < a.rows(); ++r) {
+    const auto f = a.row_fiber(r);
+    EXPECT_TRUE(f.valid());
+    EXPECT_EQ(f.nnz(), 5u);
+    EXPECT_EQ(f.dim(), 64u);
+  }
+}
+
+TEST(Csr, TransposeIsInvolution) {
+  Rng rng(13);
+  const auto a = random_uniform_matrix(rng, 37, 53, 200);
+  const auto att = a.transposed().transposed();
+  EXPECT_EQ(a, att);
+}
+
+TEST(Csr, TransposeMatchesDense) {
+  Rng rng(14);
+  const auto a = random_uniform_matrix(rng, 13, 17, 60);
+  const auto t = a.transposed();
+  const auto ad = a.densify();
+  const auto td = t.densify();
+  for (std::uint32_t r = 0; r < a.rows(); ++r)
+    for (std::uint32_t c = 0; c < a.cols(); ++c)
+      EXPECT_EQ(ad.at(r, c), td.at(c, r));
+}
+
+TEST(Csr, StorageBytes) {
+  Rng rng(15);
+  const auto a = random_uniform_matrix(rng, 10, 10, 20);
+  EXPECT_EQ(a.storage_bytes(IndexWidth::kU32), 20u * 8 + 20u * 4 + 11u * 4);
+  EXPECT_EQ(a.storage_bytes(IndexWidth::kU16), 20u * 8 + 20u * 2 + 11u * 4);
+}
+
+TEST(Csc, MatchesCsrSemantics) {
+  Rng rng(16);
+  const auto csr = random_uniform_matrix(rng, 23, 31, 150);
+  const auto csc = CscMatrix::from_csr(csr);
+  EXPECT_TRUE(csc.valid());
+  EXPECT_EQ(csc.nnz(), csr.nnz());
+  EXPECT_TRUE(allclose(DenseVector(std::vector<double>{}),
+                       DenseVector(std::vector<double>{})));
+  const auto a = csr.densify();
+  const auto b = csc.densify();
+  EXPECT_EQ(max_abs_diff(a, b), 0.0);
+}
+
+TEST(Csc, ColumnFiberMatchesDenseColumn) {
+  Rng rng(17);
+  const auto csr = random_uniform_matrix(rng, 20, 12, 80);
+  const auto csc = CscMatrix::from_csr(csr);
+  const auto d = csr.densify();
+  for (std::uint32_t c = 0; c < csc.cols(); ++c) {
+    const auto fiber = csc.col_fiber(c);
+    const auto col = fiber.densify();
+    for (std::uint32_t r = 0; r < csc.rows(); ++r) {
+      EXPECT_EQ(col[r], d.at(r, c));
+    }
+  }
+}
+
+TEST(Csc, TransposeAsCsrSharesArrays) {
+  Rng rng(18);
+  const auto csr = random_uniform_matrix(rng, 9, 11, 30);
+  const auto csc = CscMatrix::from_csr(csr);
+  const auto t_csr = csc.transpose_as_csr();
+  EXPECT_EQ(t_csr.densify().at(0, 0), csr.densify().at(0, 0));
+  EXPECT_EQ(csc.to_csr(), csr);
+}
+
+TEST(Dense, MatrixStridesAndTranspose) {
+  DenseMatrix m(2, 3, std::size_t{8});
+  EXPECT_EQ(m.ld(), 8u);
+  m.at(0, 0) = 1;
+  m.at(1, 2) = 5;
+  EXPECT_EQ(m.storage_elems(), 16u);
+  const auto t = m.transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.at(2, 1), 5.0);
+  const auto col = m.column(2);
+  EXPECT_EQ(col[1], 5.0);
+}
+
+TEST(Dense, AllcloseToleratesSmallDifferences) {
+  DenseVector a(std::vector<double>{1.0, 2.0});
+  DenseVector b(std::vector<double>{1.0 + 1e-12, 2.0});
+  EXPECT_TRUE(allclose(a, b));
+  DenseVector c(std::vector<double>{1.5, 2.0});
+  EXPECT_FALSE(allclose(a, c));
+  DenseVector d(std::vector<double>{1.0});
+  EXPECT_FALSE(allclose(a, d));
+}
+
+}  // namespace
+}  // namespace issr::sparse

@@ -1,0 +1,292 @@
+// Streamer lane tests: affine address sequences, repetition, the
+// indirection datapath (index serialization at both widths and arbitrary
+// alignment, shift datapath), write streams, shadowed job chaining, and
+// the round-robin port mux's bandwidth split.
+#include <gtest/gtest.h>
+
+#include <bit>
+
+#include "mem/ideal_mem.hpp"
+#include "ssr/lane.hpp"
+#include "ssr/port_hub.hpp"
+
+namespace issr::ssr {
+namespace {
+
+constexpr addr_t kBase = 0x1000'0000;
+
+class LaneHarness {
+ public:
+  explicit LaneHarness(LaneParams params, cycle_t latency = 1)
+      : mem_(1, latency), hub_(mem_.port(0)) {
+    lane_ = std::make_unique<Lane>(params, hub_.add_client());
+  }
+
+  mem::BackingStore& store() { return mem_.store(); }
+  Lane& lane() { return *lane_; }
+
+  /// Run one cycle; pop at most `max_pops` ready data elements.
+  std::vector<double> step(unsigned max_pops = 1) {
+    mem_.tick(now_);
+    hub_.tick();
+    std::vector<double> popped;
+    for (unsigned i = 0; i < max_pops && lane_->can_pop(); ++i) {
+      popped.push_back(lane_->pop());
+    }
+    lane_->tick(now_);
+    ++now_;
+    return popped;
+  }
+
+  /// Drain `count` elements, failing the test on non-termination.
+  std::vector<double> drain(std::size_t count, unsigned max_pops = 1) {
+    std::vector<double> out;
+    cycle_t guard = 0;
+    while (out.size() < count) {
+      const auto p = step(max_pops);
+      out.insert(out.end(), p.begin(), p.end());
+      if (++guard >= 100000u) {
+        ADD_FAILURE() << "lane did not deliver " << count << " elements";
+        return out;
+      }
+    }
+    return out;
+  }
+
+  cycle_t now() const { return now_; }
+
+ private:
+  mem::IdealMemory mem_;
+  PortHub hub_;
+  std::unique_ptr<Lane> lane_;
+  cycle_t now_ = 0;
+};
+
+LaneParams ssr_params() {
+  LaneParams p;
+  p.has_indirection = false;
+  return p;
+}
+
+LaneParams issr_params() {
+  LaneParams p;
+  p.has_indirection = true;
+  return p;
+}
+
+TEST(Lane, Affine1dStreamsInOrder) {
+  LaneHarness h(ssr_params());
+  for (int i = 0; i < 16; ++i) h.store().store_f64(kBase + 8 * i, i * 1.5);
+  h.lane().submit(make_affine_1d(kBase, 16));
+  std::vector<double> out;
+  ASSERT_NO_FATAL_FAILURE(out = h.drain(16));
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(out[i], i * 1.5);
+  EXPECT_FALSE(h.lane().active());
+}
+
+TEST(Lane, AffineNegativeStride) {
+  LaneHarness h(ssr_params());
+  for (int i = 0; i < 8; ++i) h.store().store_f64(kBase + 8 * i, i);
+  h.lane().submit(make_affine_1d(kBase + 8 * 7, 8, -8));
+  std::vector<double> out;
+  ASSERT_NO_FATAL_FAILURE(out = h.drain(8));
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(out[i], 7 - i);
+}
+
+TEST(Lane, AffineNestedLoops) {
+  // 2-D job: 3 rows of 4 elements with a row gap.
+  LaneHarness h(ssr_params());
+  for (int r = 0; r < 3; ++r)
+    for (int c = 0; c < 4; ++c)
+      h.store().store_f64(kBase + r * 64 + c * 8, r * 10 + c);
+  LaneJob job;
+  job.bound[0] = 3;
+  job.stride[0] = 8;
+  job.bound[1] = 2;
+  job.stride[1] = 64;
+  job.data_base = kBase;
+  h.lane().submit(job);
+  std::vector<double> out;
+  ASSERT_NO_FATAL_FAILURE(out = h.drain(12));
+  std::vector<double> expect;
+  for (int r = 0; r < 3; ++r)
+    for (int c = 0; c < 4; ++c) expect.push_back(r * 10 + c);
+  EXPECT_EQ(out, expect);
+}
+
+TEST(Lane, RepetitionEmitsEachDatumMultipleTimes) {
+  LaneHarness h(ssr_params());
+  h.store().store_f64(kBase, 5.0);
+  h.store().store_f64(kBase + 8, 6.0);
+  h.lane().submit(make_affine_1d(kBase, 2, 8, false, /*reps=*/2));
+  std::vector<double> out;
+  ASSERT_NO_FATAL_FAILURE(out = h.drain(6));
+  EXPECT_EQ(out, (std::vector<double>{5, 5, 5, 6, 6, 6}));
+}
+
+class LaneIndirect : public ::testing::TestWithParam<sparse::IndexWidth> {};
+
+TEST_P(LaneIndirect, GathersAtIndices) {
+  const auto width = GetParam();
+  LaneHarness h(issr_params());
+  for (int i = 0; i < 64; ++i) h.store().store_f64(kBase + 8 * i, 100.0 + i);
+  const std::vector<std::uint32_t> idcs = {5, 0, 63, 7, 7, 1, 33, 12, 2};
+  const addr_t idx_base = kBase + 0x4000;
+  const auto packed = sparse::pack_indices(idcs, width);
+  h.store().write_block(idx_base, packed.data(), packed.size());
+  h.lane().submit(make_indirect(kBase, idx_base, idcs.size(), width));
+  std::vector<double> out;
+  ASSERT_NO_FATAL_FAILURE(out = h.drain(idcs.size()));
+  for (std::size_t i = 0; i < idcs.size(); ++i) {
+    EXPECT_EQ(out[i], 100.0 + idcs[i]);
+  }
+}
+
+TEST_P(LaneIndirect, SupportsArbitraryIndexAlignment) {
+  const auto width = GetParam();
+  const unsigned ib = sparse::index_bytes(width);
+  for (unsigned mis = ib; mis < 8; mis += ib) {
+    LaneHarness h(issr_params());
+    for (int i = 0; i < 32; ++i) h.store().store_f64(kBase + 8 * i, i);
+    const std::vector<std::uint32_t> idcs = {3, 1, 4, 1, 5, 9, 2, 6};
+    const addr_t idx_base = kBase + 0x4000 + mis;
+    const auto packed = sparse::pack_indices(idcs, width);
+    h.store().write_block(idx_base, packed.data(), packed.size());
+    h.lane().submit(make_indirect(kBase, idx_base, idcs.size(), width));
+    std::vector<double> out;
+    ASSERT_NO_FATAL_FAILURE(out = h.drain(idcs.size()));
+    for (std::size_t i = 0; i < idcs.size(); ++i) {
+      EXPECT_EQ(out[i], idcs[i]) << "misalignment " << mis;
+    }
+  }
+}
+
+TEST_P(LaneIndirect, ExtraShiftAddressesStridedTensors) {
+  const auto width = GetParam();
+  LaneHarness h(issr_params());
+  // Data at stride 32 bytes (ld = 4 elements): element k at kBase + k*32.
+  for (int k = 0; k < 16; ++k) h.store().store_f64(kBase + 32 * k, k * 2.0);
+  const std::vector<std::uint32_t> idcs = {0, 3, 15, 8};
+  const addr_t idx_base = kBase + 0x4000;
+  const auto packed = sparse::pack_indices(idcs, width);
+  h.store().write_block(idx_base, packed.data(), packed.size());
+  h.lane().submit(
+      make_indirect(kBase, idx_base, idcs.size(), width, /*idx_shift=*/2));
+  std::vector<double> out;
+  ASSERT_NO_FATAL_FAILURE(out = h.drain(idcs.size()));
+  for (std::size_t i = 0; i < idcs.size(); ++i) {
+    EXPECT_EQ(out[i], idcs[i] * 2.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, LaneIndirect,
+                         ::testing::Values(sparse::IndexWidth::kU16,
+                                           sparse::IndexWidth::kU32),
+                         [](const auto& info) {
+                           return info.param == sparse::IndexWidth::kU16
+                                      ? "u16"
+                                      : "u32";
+                         });
+
+TEST(Lane, PortMuxCeilings) {
+  // Steady-state data delivery of an indirect read stream is capped by
+  // the index/data round-robin mux: 4/5 at 16-bit, 2/3 at 32-bit.
+  for (const auto width :
+       {sparse::IndexWidth::kU16, sparse::IndexWidth::kU32}) {
+    LaneHarness h(issr_params());
+    const std::uint32_t n = 4000;
+    std::vector<std::uint32_t> idcs(n);
+    for (std::uint32_t i = 0; i < n; ++i) idcs[i] = i % 64;
+    for (int i = 0; i < 64; ++i) h.store().store_f64(kBase + 8 * i, i);
+    const addr_t idx_base = kBase + 0x8000;
+    const auto packed = sparse::pack_indices(idcs, width);
+    h.store().write_block(idx_base, packed.data(), packed.size());
+    h.lane().submit(make_indirect(kBase, idx_base, n, width));
+    std::size_t delivered = 0;
+    const cycle_t start = h.now();
+    while (delivered < n) {
+      delivered += h.step(/*max_pops=*/4).size();
+      ASSERT_LT(h.now(), start + 3 * n);
+    }
+    const double rate = static_cast<double>(n) /
+                        static_cast<double>(h.now() - start);
+    const double ceiling = width == sparse::IndexWidth::kU16 ? 0.8 : 2.0 / 3;
+    EXPECT_NEAR(rate, ceiling, 0.02);
+  }
+}
+
+TEST(Lane, WriteStreamStoresAffine) {
+  LaneHarness h(ssr_params());
+  h.lane().submit(make_affine_1d(kBase, 4, 8, /*write=*/true));
+  double next = 1.25;
+  cycle_t guard = 0;
+  while (h.lane().active()) {
+    if (h.lane().can_push()) {
+      h.lane().push(next);
+      next += 1.0;
+    }
+    h.step(0);
+    ASSERT_LT(++guard, 1000u);
+  }
+  // Let the final store land.
+  h.step(0);
+  h.step(0);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(h.store().load_f64(kBase + 8 * i), 1.25 + i);
+  }
+}
+
+TEST(Lane, WriteStreamScattersIndirect) {
+  LaneHarness h(issr_params());
+  const std::vector<std::uint32_t> idcs = {9, 2, 31, 5};
+  const addr_t idx_base = kBase + 0x4000;
+  const auto packed = sparse::pack_indices(idcs, sparse::IndexWidth::kU32);
+  h.store().write_block(idx_base, packed.data(), packed.size());
+  h.lane().submit(make_indirect(kBase, idx_base, idcs.size(),
+                                sparse::IndexWidth::kU32, 0, /*write=*/true));
+  double next = 10.0;
+  cycle_t guard = 0;
+  while (h.lane().active()) {
+    if (h.lane().can_push()) h.lane().push(next++);
+    h.step(0);
+    ASSERT_LT(++guard, 1000u);
+  }
+  h.step(0);
+  h.step(0);
+  for (std::size_t i = 0; i < idcs.size(); ++i) {
+    EXPECT_EQ(h.store().load_f64(kBase + 8 * idcs[i]), 10.0 + i);
+  }
+}
+
+TEST(Lane, ShadowJobStartsAfterCurrent) {
+  LaneHarness h(ssr_params());
+  for (int i = 0; i < 8; ++i) {
+    h.store().store_f64(kBase + 8 * i, i);
+    h.store().store_f64(kBase + 0x100 + 8 * i, 50.0 + i);
+  }
+  h.lane().submit(make_affine_1d(kBase, 4));
+  EXPECT_TRUE(h.lane().can_accept_job());  // shadow free while job runs
+  h.lane().submit(make_affine_1d(kBase + 0x100, 4));
+  EXPECT_FALSE(h.lane().can_accept_job());  // shadow now occupied
+  std::vector<double> out;
+  ASSERT_NO_FATAL_FAILURE(out = h.drain(8));
+  EXPECT_EQ(out, (std::vector<double>{0, 1, 2, 3, 50, 51, 52, 53}));
+}
+
+TEST(Lane, StatsCountTraffic) {
+  LaneHarness h(issr_params());
+  const std::vector<std::uint32_t> idcs = {0, 1, 2, 3, 4, 5, 6, 7};
+  const addr_t idx_base = kBase + 0x4000;
+  const auto packed = sparse::pack_indices(idcs, sparse::IndexWidth::kU32);
+  h.store().write_block(idx_base, packed.data(), packed.size());
+  h.lane().submit(
+      make_indirect(kBase, idx_base, idcs.size(), sparse::IndexWidth::kU32));
+  ASSERT_NO_FATAL_FAILURE(h.drain(8));
+  EXPECT_EQ(h.lane().stats().elems_read, 8u);
+  EXPECT_EQ(h.lane().stats().data_reqs, 8u);
+  EXPECT_EQ(h.lane().stats().idx_word_reqs, 4u);  // 2 indices per word
+  EXPECT_EQ(h.lane().stats().jobs_started, 1u);
+}
+
+}  // namespace
+}  // namespace issr::ssr

@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "common/stats.hpp"
+#include "common/table.hpp"
+
+namespace issr {
+namespace {
+
+TEST(RunningStats, BasicMoments) {
+  RunningStats s;
+  for (const double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, EmptyAndSingle) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  s.add(3.0);
+  EXPECT_EQ(s.mean(), 3.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(Histogram, BinsAndClamping) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(0.0);    // bin 0
+  h.add(1.99);   // bin 0
+  h.add(2.0);    // bin 1
+  h.add(9.99);   // bin 4
+  h.add(10.0);   // clamps to bin 4
+  h.add(-5.0);   // clamps to bin 0
+  h.add(100.0);  // clamps to bin 4
+  EXPECT_EQ(h.total(), 7u);
+  EXPECT_EQ(h.bin_count(0), 3u);
+  EXPECT_EQ(h.bin_count(1), 1u);
+  EXPECT_EQ(h.bin_count(4), 3u);
+  EXPECT_DOUBLE_EQ(h.bin_lo(1), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(1), 4.0);
+}
+
+TEST(Percentile, InterpolatesLinearly) {
+  std::vector<double> v = {1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(percentile(v, 0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 25), 2.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 12.5), 1.5);
+}
+
+TEST(Table, CsvEscapesSpecialCharacters) {
+  Table t;
+  t.set_header({"a", "b"});
+  t.add_row({"plain", "with,comma"});
+  t.add_row({"with\"quote", "multi\nline"});
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("a,b\n"), std::string::npos);
+  EXPECT_NE(csv.find("\"with,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"with\"\"quote\""), std::string::npos);
+  EXPECT_NE(csv.find("\"multi\nline\""), std::string::npos);
+}
+
+TEST(Table, Formatters) {
+  EXPECT_EQ(fmt_f(1.23456, 2), "1.23");
+  EXPECT_EQ(fmt_pct(0.5, 1), "50.0%");
+  EXPECT_EQ(fmt_u(1234), "1234");
+  EXPECT_EQ(fmt_speedup(7.2, 1), "7.2x");
+}
+
+TEST(Table, RowAccessors) {
+  Table t("title");
+  t.set_header({"x", "y", "z"});
+  t.add_row({"1", "2", "3"});
+  EXPECT_EQ(t.rows(), 1u);
+  EXPECT_EQ(t.cols(), 3u);
+  EXPECT_EQ(t.row(0)[2], "3");
+}
+
+}  // namespace
+}  // namespace issr
