@@ -1,11 +1,17 @@
-// Shared helpers for the figure/table reproduction benches.
+// Shared helpers for the figure/table reproduction benches. The staging
+// and validation logic lives in the simulator library (driver/runs.hpp)
+// so benches, the issr_run experiment driver, and tests share one
+// implementation; these thin wrappers keep the bench call sites terse and
+// abort on validation mismatch (benches double as integration checks).
 #pragma once
 
+#include <cstdio>
 #include <cstdlib>
 #include <string>
 
 #include "common/rng.hpp"
 #include "core/sim.hpp"
+#include "driver/runs.hpp"
 #include "kernels/csrmm.hpp"
 #include "kernels/csrmv.hpp"
 #include "kernels/spvv.hpp"
@@ -23,26 +29,19 @@ inline bool full_run() {
   return v != nullptr && v[0] == '1';
 }
 
-struct CcRun {
-  core::CcSimResult sim;
-  sparse::DenseVector y;
-};
+using CcRun = driver::CcRun;
 
 /// Run single-CC SpVV; returns the simulation result (validated).
 inline core::CcSimResult run_spvv_cc(kernels::Variant variant,
                                      sparse::IndexWidth width,
                                      const sparse::SparseFiber& a,
                                      const sparse::DenseVector& b) {
-  core::CcSim sim;
-  kernels::SpvvArgs args;
-  args.a_vals = sim.stage(a.vals());
-  args.a_idcs = sim.stage_indices(a.idcs(), width);
-  args.nnz = a.nnz();
-  args.b = sim.stage(b);
-  args.result = sim.alloc(8);
-  args.width = width;
-  sim.set_program(kernels::build_spvv(variant, args));
-  return sim.run();
+  auto r = driver::run_spvv_cc(variant, width, a, b);
+  if (!r.ok) {
+    std::fprintf(stderr, "FATAL: SpVV result mismatch\n");
+    std::abort();
+  }
+  return r.sim;
 }
 
 /// Run single-CC CsrMV over a full matrix; validates against the golden
@@ -50,26 +49,26 @@ inline core::CcSimResult run_spvv_cc(kernels::Variant variant,
 inline CcRun run_csrmv_cc(kernels::Variant variant, sparse::IndexWidth width,
                           const sparse::CsrMatrix& a,
                           const sparse::DenseVector& x) {
-  core::CcSim sim;
-  kernels::CsrmvArgs args;
-  args.ptr = sim.stage_u32(a.ptr());
-  args.idcs = sim.stage_indices(a.idcs(), width);
-  args.vals = sim.stage(a.vals());
-  args.nrows = a.rows();
-  args.nnz = a.nnz();
-  args.x = sim.stage(x);
-  args.y = sim.alloc(8ull * a.rows());
-  args.width = width;
-  sim.set_program(kernels::build_csrmv(variant, args));
-  CcRun out;
-  out.sim = sim.run();
-  out.y = sparse::DenseVector(sim.read_f64s(args.y, a.rows()));
-  const auto ref = sparse::ref_csrmv(a, x);
-  if (!sparse::allclose(out.y, ref, 1e-9, 1e-9)) {
+  auto r = driver::run_csrmv_cc(variant, width, a, x);
+  if (!r.ok) {
     std::fprintf(stderr, "FATAL: CsrMV result mismatch\n");
     std::abort();
   }
-  return out;
+  return r;
+}
+
+/// Run multicore CsrMV on the simulated cluster (validated).
+inline cluster::McCsrmvResult run_csrmv_mc(kernels::Variant variant,
+                                           sparse::IndexWidth width,
+                                           unsigned cores,
+                                           const sparse::CsrMatrix& a,
+                                           const sparse::DenseVector& x) {
+  auto r = driver::run_csrmv_mc(variant, width, cores, a, x);
+  if (!r.ok) {
+    std::fprintf(stderr, "FATAL: multicore CsrMV result mismatch\n");
+    std::abort();
+  }
+  return std::move(r.mc);
 }
 
 }  // namespace issr::bench

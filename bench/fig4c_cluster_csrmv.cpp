@@ -22,16 +22,8 @@ cluster::McCsrmvResult run_mc(kernels::Variant variant,
                               sparse::IndexWidth width,
                               const sparse::CsrMatrix& a,
                               const sparse::DenseVector& x) {
-  cluster::McCsrmvConfig cfg;
-  cfg.variant = variant;
-  cfg.width = width;
-  auto result = cluster::run_csrmv_multicore(a, x, cfg);
-  const auto ref = sparse::ref_csrmv(a, x);
-  if (!sparse::allclose(result.y, ref, 1e-9, 1e-9)) {
-    std::fprintf(stderr, "FATAL: cluster CsrMV result mismatch\n");
-    std::abort();
-  }
-  return result;
+  // cores = 0: the library's cluster default (the paper's 8 workers).
+  return bench::run_csrmv_mc(variant, width, /*cores=*/0, a, x);
 }
 
 }  // namespace

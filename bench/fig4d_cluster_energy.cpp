@@ -20,10 +20,10 @@ namespace {
 model::EnergyReport run_energy(kernels::Variant variant,
                                const sparse::CsrMatrix& a,
                                const sparse::DenseVector& x) {
-  cluster::McCsrmvConfig cfg;
-  cfg.variant = variant;
-  cfg.width = sparse::IndexWidth::kU16;
-  const auto result = cluster::run_csrmv_multicore(a, x, cfg);
+  // cores = 0: the library's cluster default (the paper's 8 workers).
+  const auto result =
+      bench::run_csrmv_mc(variant, sparse::IndexWidth::kU16, /*cores=*/0,
+                          a, x);
   return model::estimate_energy(result.cluster);
 }
 

@@ -64,10 +64,14 @@ void BM_SimulatorCyclesPerSecond(benchmark::State& state) {
   const auto a = sparse::random_sparse_vector(rng, 4096, 2048);
   const auto b = sparse::random_dense_vector(rng, 4096);
   std::uint64_t cycles = 0;
+  // validate=false: measure raw stage+simulate throughput without the
+  // host-reference comparison in the timed loop.
   for (auto _ : state) {
-    const auto r = bench::run_spvv_cc(kernels::Variant::kIssr,
-                                      sparse::IndexWidth::kU16, a, b);
-    cycles += r.cycles;
+    const auto r =
+        driver::run_spvv_cc(kernels::Variant::kIssr,
+                            sparse::IndexWidth::kU16, a, b,
+                            /*validate=*/false);
+    cycles += r.sim.cycles;
   }
   state.counters["sim_cycles/s"] = benchmark::Counter(
       static_cast<double>(cycles), benchmark::Counter::kIsRate);

@@ -1,11 +1,12 @@
 #include "common/log.hpp"
 
+#include <atomic>
 #include <cstdarg>
 
 namespace issr {
 namespace {
 
-LogLevel g_level = LogLevel::kWarn;
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
 
 const char* level_tag(LogLevel level) {
   switch (level) {
@@ -25,21 +26,48 @@ const char* level_tag(LogLevel level) {
 
 }  // namespace
 
-void set_log_level(LogLevel level) { g_level = level; }
+void set_log_level(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
 
-LogLevel log_level() { return g_level; }
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
 
 bool log_enabled(LogLevel level) {
-  return static_cast<int>(level) <= static_cast<int>(g_level);
+  return static_cast<int>(level) <=
+         static_cast<int>(g_level.load(std::memory_order_relaxed));
 }
 
 void log_printf(LogLevel level, const char* fmt, ...) {
-  std::fprintf(stderr, "[%s] ", level_tag(level));
+  // Assemble the whole line first and emit it with one fwrite, so lines
+  // from concurrent driver workers never interleave mid-message. Bodies
+  // that outgrow the stack buffer take a heap detour rather than being
+  // truncated (vsnprintf reports the full length it wanted).
+  char buf[1024];
+  const int tag = std::snprintf(buf, sizeof buf, "[%s] ", level_tag(level));
   va_list args;
   va_start(args, fmt);
-  std::vfprintf(stderr, fmt, args);
+  va_list args2;
+  va_copy(args2, args);
+  const int body = std::vsnprintf(buf + tag, sizeof buf - tag - 1,
+                                  fmt, args);
   va_end(args);
-  std::fputc('\n', stderr);
+  if (body < 0) {
+    va_end(args2);
+    return;
+  }
+  if (static_cast<std::size_t>(tag + body) <= sizeof buf - 2) {
+    const int n = tag + body;
+    buf[n] = '\n';
+    std::fwrite(buf, 1, static_cast<std::size_t>(n) + 1, stderr);
+  } else {
+    std::string line(buf, static_cast<std::size_t>(tag));
+    line.resize(static_cast<std::size_t>(tag + body) + 1);
+    std::vsnprintf(line.data() + tag, static_cast<std::size_t>(body) + 1,
+                   fmt, args2);
+    line.back() = '\n';
+    std::fwrite(line.data(), 1, line.size(), stderr);
+  }
+  va_end(args2);
 }
 
 }  // namespace issr

@@ -15,8 +15,10 @@ enum class LogLevel : int {
   kTrace = 4,
 };
 
-/// Global log verbosity; defaults to kWarn. Not thread-safe by design:
-/// the simulator is single-threaded and tests set it up-front.
+/// Global log verbosity; defaults to kWarn. The level is atomic so the
+/// experiment driver's worker threads can run simulations concurrently,
+/// and each line is assembled in full (tag + body + newline, any length)
+/// before a single fwrite, so concurrent lines never interleave.
 void set_log_level(LogLevel level);
 LogLevel log_level();
 

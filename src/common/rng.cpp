@@ -6,13 +6,7 @@
 namespace issr {
 namespace {
 
-std::uint64_t splitmix64(std::uint64_t& x) {
-  x += 0x9e37'79b9'7f4a'7c15ull;
-  std::uint64_t z = x;
-  z = (z ^ (z >> 30)) * 0xbf58'476d'1ce4'e5b9ull;
-  z = (z ^ (z >> 27)) * 0x94d0'49bb'1331'11ebull;
-  return z ^ (z >> 31);
-}
+constexpr std::uint64_t kGoldenGamma = 0x9e37'79b9'7f4a'7c15ull;
 
 std::uint64_t rotl(std::uint64_t x, int k) {
   return (x << k) | (x >> (64 - k));
@@ -20,9 +14,19 @@ std::uint64_t rotl(std::uint64_t x, int k) {
 
 }  // namespace
 
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += kGoldenGamma;
+  x = (x ^ (x >> 30)) * 0xbf58'476d'1ce4'e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d0'49bb'1331'11ebull;
+  return x ^ (x >> 31);
+}
+
 Xoshiro256::Xoshiro256(std::uint64_t seed) {
   std::uint64_t sm = seed;
-  for (auto& s : s_) s = splitmix64(sm);
+  for (auto& s : s_) {
+    s = splitmix64(sm);
+    sm += kGoldenGamma;
+  }
   // Avoid the all-zero state (cannot occur from splitmix64, but be safe).
   if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
 }

@@ -12,6 +12,12 @@
 
 namespace issr {
 
+/// One splitmix64 step as a pure function: mixes `x` advanced by the
+/// golden gamma. Used for engine seeding and for deriving independent,
+/// order-free seeds (e.g. driver scenario seeds) — the single home of
+/// the splitmix64 mixing constants.
+std::uint64_t splitmix64(std::uint64_t x);
+
 /// xoshiro256** 1.0 by Blackman & Vigna, seeded via splitmix64.
 /// Satisfies UniformRandomBitGenerator.
 class Xoshiro256 {

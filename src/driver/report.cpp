@@ -1,0 +1,116 @@
+#include "driver/report.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+
+namespace issr::driver {
+
+namespace {
+
+/// Shortest round-trip decimal rendering of a double (JSON number):
+/// the fewest significant digits whose strtod recovers the exact value,
+/// so 0.05 emits as "0.05", not "0.050000000000000003".
+std::string fmt_double(double v) {
+  char buf[64];
+  for (const int prec : {15, 16, 17}) {
+    std::snprintf(buf, sizeof buf, "%.*g", prec, v);
+    if (std::strtod(buf, nullptr) == v) break;
+  }
+  return buf;
+}
+
+/// Seeds render as fixed-width hex strings: full 64-bit values exceed
+/// 2^53, and both JSON double parsers and CSV column type inference
+/// (pandas, spreadsheets) would round a bare decimal — hex text stays a
+/// string everywhere, so reproduce-from-results-file is exact.
+std::string fmt_seed(std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "0x%016" PRIx64, v);
+  return buf;
+}
+
+void append_fields(std::string& out, const ScenarioResult& r,
+                   const char* sep, const char* quote, const char* kv,
+                   bool keyed) {
+  const Scenario& s = r.scenario;
+  const auto field = [&](const char* key, const std::string& value,
+                         bool is_string, bool first = false) {
+    if (!first) out += sep;
+    if (keyed) {
+      out += quote;
+      out += key;
+      out += quote;
+      out += kv;
+    }
+    if (is_string) out += quote;
+    out += value;
+    if (is_string) out += quote;
+  };
+  field("kernel", to_string(s.kernel), true, true);
+  field("variant", to_token(s.variant), true);
+  field("index_bits", s.width == sparse::IndexWidth::kU16 ? "16" : "32",
+        false);
+  field("family", sparse::to_string(s.family), true);
+  field("density", fmt_double(s.density), false);
+  // Actual generated dimensions (torus/banded differ from the request).
+  field("rows", fmt_u(r.rows), false);
+  field("cols", fmt_u(r.cols), false);
+  field("cores", fmt_u(s.cores), false);
+  field("seed", fmt_seed(s.seed), true);
+  field("nnz", fmt_u(r.nnz), false);
+  field("ok", r.ok ? "true" : "false", false);
+  field("cycles", fmt_u(r.cycles), false);
+  field("fpu_util", fmt_double(r.fpu_util), false);
+  field("macs", fmt_u(r.macs), false);
+  field("macs_per_cycle", fmt_double(r.macs_per_cycle), false);
+}
+
+}  // namespace
+
+std::string results_to_json(const std::vector<ScenarioResult>& results) {
+  std::string out;
+  out += "{\n  \"schema\": \"issr_run.results.v1\",\n  \"results\": [";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    out += i ? ",\n    {" : "\n    {";
+    append_fields(out, results[i], ", ", "\"", ": ", /*keyed=*/true);
+    out += "}";
+  }
+  out += results.empty() ? "]\n}\n" : "\n  ]\n}\n";
+  return out;
+}
+
+std::string results_to_csv(const std::vector<ScenarioResult>& results) {
+  std::string out =
+      "kernel,variant,index_bits,family,density,rows,cols,cores,seed,nnz,"
+      "ok,cycles,fpu_util,macs,macs_per_cycle\n";
+  for (const auto& r : results) {
+    append_fields(out, r, ",", "", "", /*keyed=*/false);
+    out += "\n";
+  }
+  return out;
+}
+
+Table results_table(const std::vector<ScenarioResult>& results) {
+  Table t("issr_run sweep results");
+  t.set_header({"scenario", "rows", "cols", "nnz", "cycles", "FPU util",
+                "MACs/cycle", "ok"});
+  for (const auto& r : results) {
+    t.add_row({r.scenario.name(), fmt_u(r.rows),
+               fmt_u(r.cols), fmt_u(r.nnz), fmt_u(r.cycles),
+               fmt_f(r.fpu_util), fmt_f(r.macs_per_cycle),
+               r.ok ? "yes" : "NO"});
+  }
+  return t;
+}
+
+bool write_text_file(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (!f) return false;
+  const bool wrote =
+      std::fwrite(content.data(), 1, content.size(), f) == content.size();
+  const bool closed = std::fclose(f) == 0;
+  return wrote && closed;
+}
+
+}  // namespace issr::driver

@@ -1,0 +1,29 @@
+// Machine-readable result emission for experiment sweeps: a stable JSON
+// document (schema `issr_run.results.v1`), an RFC-4180-style CSV with the
+// same columns, and a console summary table. All numeric formatting is
+// deterministic (doubles render via %.17g round-trip notation), so two
+// runs of the same scenario list — at any worker count — emit bytewise
+// identical documents.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/table.hpp"
+#include "driver/runner.hpp"
+
+namespace issr::driver {
+
+/// Render results as a JSON document (trailing newline included).
+std::string results_to_json(const std::vector<ScenarioResult>& results);
+
+/// Render results as CSV with a header row.
+std::string results_to_csv(const std::vector<ScenarioResult>& results);
+
+/// Build the aligned console summary table.
+Table results_table(const std::vector<ScenarioResult>& results);
+
+/// Write `content` to `path`; returns false on I/O failure.
+bool write_text_file(const std::string& path, const std::string& content);
+
+}  // namespace issr::driver

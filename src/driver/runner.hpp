@@ -1,0 +1,46 @@
+// Scenario execution and the parallel sweep engine: run_scenario()
+// materializes a scenario's workload from its derived seed, dispatches to
+// the right simulator (single CC or cluster), and collects a uniform
+// metrics record; run_scenarios() fans a scenario list across a
+// std::thread worker pool. Results land at their scenario's index, so the
+// output is identical for any job count.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+#include "driver/scenario.hpp"
+
+namespace issr::driver {
+
+/// Uniform per-scenario metrics record (the JSON/CSV row).
+struct ScenarioResult {
+  Scenario scenario;
+  bool ok = false;          ///< simulated result matched the host reference
+  /// Actual generated workload dimensions. These can differ from the
+  /// scenario's requested rows/cols (the torus family is a fixed 5-point
+  /// grid; banded matrices are square), and they are what density/per-row
+  /// analyses of the results file must use.
+  std::uint32_t rows = 0;
+  std::uint32_t cols = 0;
+  std::uint64_t nnz = 0;    ///< nonzeros in the generated workload
+  cycle_t cycles = 0;       ///< end-to-end simulated cycles
+  double fpu_util = 0.0;    ///< FP arithmetic issues per core-cycle
+  std::uint64_t macs = 0;   ///< multiply-accumulate count (fmadd + fmul)
+  double macs_per_cycle = 0.0;
+};
+
+/// Generate the workload for `s` (from s.seed) and simulate it. The
+/// returned record describes what actually ran: a hand-built SpVV
+/// scenario with cores > 1 executes on one core complex (there is no
+/// multicore SpVV kernel) and is recorded with cores = 1.
+ScenarioResult run_scenario(const Scenario& s);
+
+/// Run every scenario, fanning across `jobs` worker threads (jobs <= 1
+/// runs inline on the calling thread). Results are positionally aligned
+/// with `scenarios` and bitwise independent of `jobs`.
+std::vector<ScenarioResult> run_scenarios(const std::vector<Scenario>& scenarios,
+                                          unsigned jobs);
+
+}  // namespace issr::driver

@@ -1,0 +1,68 @@
+#include "driver/runs.hpp"
+
+#include <cmath>
+
+#include "kernels/csrmv.hpp"
+#include "kernels/spvv.hpp"
+#include "sparse/reference.hpp"
+
+namespace issr::driver {
+
+SpvvRun run_spvv_cc(kernels::Variant variant, sparse::IndexWidth width,
+                    const sparse::SparseFiber& a,
+                    const sparse::DenseVector& b, bool validate) {
+  core::CcSim sim;
+  kernels::SpvvArgs args;
+  args.a_vals = sim.stage(a.vals());
+  args.a_idcs = sim.stage_indices(a.idcs(), width);
+  args.nnz = a.nnz();
+  args.b = sim.stage(b);
+  args.result = sim.alloc(8);
+  args.width = width;
+  sim.set_program(kernels::build_spvv(variant, args));
+
+  SpvvRun out;
+  out.sim = sim.run();
+  out.result = sim.read_f64(args.result);
+  if (validate) {
+    const double want = sparse::ref_spvv(a, b);
+    out.ok = std::abs(out.result - want) <= 1e-9 + 1e-9 * std::abs(want);
+  }
+  return out;
+}
+
+CcRun run_csrmv_cc(kernels::Variant variant, sparse::IndexWidth width,
+                   const sparse::CsrMatrix& a, const sparse::DenseVector& x) {
+  core::CcSim sim;
+  kernels::CsrmvArgs args;
+  args.ptr = sim.stage_u32(a.ptr());
+  args.idcs = sim.stage_indices(a.idcs(), width);
+  args.vals = sim.stage(a.vals());
+  args.nrows = a.rows();
+  args.nnz = a.nnz();
+  args.x = sim.stage(x);
+  args.y = sim.alloc(8ull * a.rows());
+  args.width = width;
+  sim.set_program(kernels::build_csrmv(variant, args));
+
+  CcRun out;
+  out.sim = sim.run();
+  out.y = sparse::DenseVector(sim.read_f64s(args.y, a.rows()));
+  out.ok = sparse::allclose(out.y, sparse::ref_csrmv(a, x), 1e-9, 1e-9);
+  return out;
+}
+
+McRun run_csrmv_mc(kernels::Variant variant, sparse::IndexWidth width,
+                   unsigned cores, const sparse::CsrMatrix& a,
+                   const sparse::DenseVector& x) {
+  cluster::McCsrmvConfig cfg;
+  cfg.variant = variant;
+  cfg.width = width;
+  if (cores != 0) cfg.cluster.num_workers = cores;
+  McRun out;
+  out.mc = cluster::run_csrmv_multicore(a, x, cfg);
+  out.ok = sparse::allclose(out.mc.y, sparse::ref_csrmv(a, x), 1e-9, 1e-9);
+  return out;
+}
+
+}  // namespace issr::driver

@@ -1,0 +1,52 @@
+// Composable single-simulation entry points: stage a workload, build the
+// requested kernel variant, run to completion, and validate against the
+// golden host reference. These are the building blocks shared by the
+// figure/table benches (bench/), the experiment driver (driver/runner.hpp),
+// and the examples — one staging path instead of a copy per binary. Each
+// returns a validation flag; callers decide whether a mismatch is fatal.
+#pragma once
+
+#include "cluster/csrmv_mc.hpp"
+#include "core/sim.hpp"
+#include "kernels/kargs.hpp"
+#include "sparse/csr.hpp"
+#include "sparse/dense.hpp"
+#include "sparse/fiber.hpp"
+
+namespace issr::driver {
+
+/// Result of a single-CC SpVV (sparse-dense dot product) run.
+struct SpvvRun {
+  core::CcSimResult sim;
+  double result = 0.0;
+  bool ok = false;  ///< result matched ref_spvv within tolerance
+};
+
+/// Result of a single-CC CsrMV run.
+struct CcRun {
+  core::CcSimResult sim;
+  sparse::DenseVector y;
+  bool ok = false;  ///< y matched ref_csrmv within tolerance
+};
+
+/// Result of a multicore (cluster) CsrMV run.
+struct McRun {
+  cluster::McCsrmvResult mc;
+  bool ok = false;  ///< y matched ref_csrmv within tolerance
+};
+
+/// `validate = false` skips the host-reference comparison (and leaves
+/// `ok` false) — for throughput measurements of the simulator itself.
+SpvvRun run_spvv_cc(kernels::Variant variant, sparse::IndexWidth width,
+                    const sparse::SparseFiber& a,
+                    const sparse::DenseVector& b, bool validate = true);
+
+CcRun run_csrmv_cc(kernels::Variant variant, sparse::IndexWidth width,
+                   const sparse::CsrMatrix& a, const sparse::DenseVector& x);
+
+/// `cores == 0` selects the library's ClusterConfig default worker count.
+McRun run_csrmv_mc(kernels::Variant variant, sparse::IndexWidth width,
+                   unsigned cores, const sparse::CsrMatrix& a,
+                   const sparse::DenseVector& x);
+
+}  // namespace issr::driver

@@ -1,0 +1,181 @@
+#include "driver/scenario.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+#include "common/rng.hpp"
+
+namespace issr::driver {
+
+const char* to_string(Kernel k) {
+  switch (k) {
+    case Kernel::kSpvv:
+      return "spvv";
+    case Kernel::kCsrmv:
+      return "csrmv";
+  }
+  return "?";
+}
+
+const char* to_token(kernels::Variant v) {
+  switch (v) {
+    case kernels::Variant::kBase:
+      return "base";
+    case kernels::Variant::kSsr:
+      return "ssr";
+    case kernels::Variant::kIssr:
+      return "issr";
+  }
+  return "?";
+}
+
+bool parse_kernel(const std::string& s, Kernel& out) {
+  if (s == "spvv") {
+    out = Kernel::kSpvv;
+  } else if (s == "csrmv") {
+    out = Kernel::kCsrmv;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+bool parse_variant(const std::string& s, kernels::Variant& out) {
+  if (s == "base") {
+    out = kernels::Variant::kBase;
+  } else if (s == "ssr") {
+    out = kernels::Variant::kSsr;
+  } else if (s == "issr") {
+    out = kernels::Variant::kIssr;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+bool parse_width(const std::string& s, sparse::IndexWidth& out) {
+  if (s == "16" || s == "u16") {
+    out = sparse::IndexWidth::kU16;
+  } else if (s == "32" || s == "u32") {
+    out = sparse::IndexWidth::kU32;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+bool parse_family(const std::string& s, sparse::MatrixFamily& out) {
+  if (s == "uniform") {
+    out = sparse::MatrixFamily::kUniform;
+  } else if (s == "banded") {
+    out = sparse::MatrixFamily::kBanded;
+  } else if (s == "powerlaw") {
+    out = sparse::MatrixFamily::kPowerLaw;
+  } else if (s == "torus") {
+    out = sparse::MatrixFamily::kTorus;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+std::uint32_t Scenario::row_nnz() const {
+  const double target = density * static_cast<double>(cols);
+  const auto n = static_cast<std::uint32_t>(std::lround(target));
+  // max() keeps clamp's hi >= lo even for a degenerate cols == 0.
+  return std::clamp<std::uint32_t>(n, 1, std::max<std::uint32_t>(1, cols));
+}
+
+std::string Scenario::name() const {
+  char buf[128];
+  std::snprintf(buf, sizeof buf, "%s/%s/%s/%s/d%g/c%u", to_string(kernel),
+                to_token(variant),
+                width == sparse::IndexWidth::kU16 ? "u16" : "u32",
+                sparse::to_string(family), density, cores);
+  return buf;
+}
+
+std::uint32_t torus_side(std::uint32_t rows) {
+  const auto side = static_cast<std::uint32_t>(
+      std::floor(std::sqrt(static_cast<double>(rows))));
+  return std::max<std::uint32_t>(2, side);
+}
+
+std::uint64_t derive_seed(std::uint64_t base_seed, Kernel kernel,
+                          sparse::MatrixFamily family, double density,
+                          std::uint32_t rows, std::uint32_t cols) {
+  // Only the dimensions that shape the *workload* enter the mix: variant,
+  // width, and core count must all see the same operands so that their
+  // cycle counts are directly comparable within one sweep.
+  std::uint64_t h = splitmix64(base_seed);
+  h = splitmix64(h ^ static_cast<std::uint64_t>(kernel));
+  h = splitmix64(h ^ (static_cast<std::uint64_t>(family) << 8));
+  std::uint64_t dbits = 0;
+  static_assert(sizeof dbits == sizeof density);
+  std::memcpy(&dbits, &density, sizeof dbits);
+  h = splitmix64(h ^ dbits);
+  h = splitmix64(h ^ (static_cast<std::uint64_t>(rows) << 32 | cols));
+  return h;
+}
+
+std::vector<Scenario> ScenarioMatrix::expand() const {
+  std::vector<Scenario> out;
+  for (const Kernel k : kernels) {
+    // SpVV's workload is a single sparse-dense dot product of length
+    // `cols`: the family and rows axes do not apply, so they are pinned
+    // (one pass, canonical values) rather than crossed — otherwise the
+    // sweep would emit N mislabeled copies of the same uniform workload.
+    const bool is_spvv = k == Kernel::kSpvv;
+    for (const sparse::MatrixFamily f : families) {
+      if (is_spvv && f != families.front()) continue;
+      const auto family = is_spvv ? sparse::MatrixFamily::kUniform : f;
+      const std::uint32_t srows = is_spvv ? 1 : rows;
+      // The torus structure is fixed (5-point stencil on a side^2 grid
+      // derived from the requested rows), so the density axis does not
+      // apply and the shape is known up front: pin density, rows, and
+      // cols to the actual structure so the scenario describes exactly
+      // what runs (same rationale as the SpVV pinning above).
+      const bool is_torus =
+          !is_spvv && family == sparse::MatrixFamily::kTorus;
+      // Banded matrices are square: pin the shape to min(rows, cols) so
+      // row_nnz() (density * cols) targets the generated column count.
+      const bool is_banded =
+          !is_spvv && family == sparse::MatrixFamily::kBanded;
+      const std::uint32_t side = torus_side(srows);
+      const std::uint32_t bn = std::min(srows, cols);
+      const std::uint32_t frows =
+          is_torus ? side * side : (is_banded ? bn : srows);
+      const std::uint32_t fcols =
+          is_torus ? side * side : (is_banded ? bn : cols);
+      const double torus_density =
+          5.0 / (static_cast<double>(side) * static_cast<double>(side));
+      for (const double dens : densities) {
+        if (is_torus && dens != densities.front()) continue;
+        const double d = is_torus ? torus_density : dens;
+        for (const unsigned c : cores) {
+          if (is_spvv && c > 1) continue;  // no multicore SpVV
+          for (const sparse::IndexWidth w : widths) {
+            for (const kernels::Variant v : variants) {
+              Scenario s;
+              s.kernel = k;
+              s.variant = v;
+              s.width = w;
+              s.family = family;
+              s.density = d;
+              s.rows = frows;
+              s.cols = fcols;
+              s.cores = c;
+              s.seed = derive_seed(base_seed, k, family, d, frows, fcols);
+              out.push_back(s);
+            }
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace issr::driver

@@ -1,0 +1,94 @@
+// Experiment scenario matrix: the cartesian product of kernel × variant
+// (ISSR on/off) × index width × matrix structure family × density × core
+// count, expanded into a deterministic, self-describing list of scenarios.
+// Each scenario carries its own derived RNG seed, so a run's results are a
+// pure function of the scenario — independent of expansion order, worker
+// count, and scheduling.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "kernels/kargs.hpp"
+#include "sparse/fiber.hpp"
+#include "sparse/suite.hpp"
+
+namespace issr::driver {
+
+/// Kernels the driver can sweep. SpVV is single-CC only; CsrMV runs on one
+/// core complex (cores == 1) or on the simulated cluster (cores > 1).
+enum class Kernel {
+  kSpvv,
+  kCsrmv,
+};
+
+const char* to_string(Kernel k);
+/// Lowercase CLI/report token for a variant ("base"/"ssr"/"issr"); the
+/// library's kernels::to_string uses the paper's uppercase names.
+const char* to_token(kernels::Variant v);
+/// Parse "spvv" / "csrmv"; returns false on unknown names.
+bool parse_kernel(const std::string& s, Kernel& out);
+bool parse_variant(const std::string& s, kernels::Variant& out);
+/// Parse "16"/"u16"/"32"/"u32".
+bool parse_width(const std::string& s, sparse::IndexWidth& out);
+/// Parse "uniform"/"banded"/"powerlaw"/"torus".
+bool parse_family(const std::string& s, sparse::MatrixFamily& out);
+
+/// One fully-specified experiment point.
+struct Scenario {
+  Kernel kernel = Kernel::kCsrmv;
+  kernels::Variant variant = kernels::Variant::kIssr;
+  sparse::IndexWidth width = sparse::IndexWidth::kU16;
+  sparse::MatrixFamily family = sparse::MatrixFamily::kUniform;
+  double density = 0.05;  ///< nonzero fraction per row (nnz/row = density*cols)
+  std::uint32_t rows = 0;
+  std::uint32_t cols = 0;
+  unsigned cores = 1;  ///< 1 = single CC; >1 = cluster worker count
+  std::uint64_t seed = 0;  ///< derived workload seed (see derive_seed)
+
+  /// Nonzeros per generated matrix row (>= 1, <= cols).
+  std::uint32_t row_nnz() const;
+  /// Compact human-readable tag, e.g. "csrmv/issr/u16/uniform/d0.05/c8".
+  std::string name() const;
+
+  bool operator==(const Scenario&) const = default;
+};
+
+/// Grid side length for a torus-family scenario requesting `rows` rows:
+/// the generated matrix is side^2 x side^2 (5-point stencil).
+std::uint32_t torus_side(std::uint32_t rows);
+
+/// Mix the scenario's dimensions with a base seed into a workload seed.
+/// Pure function of the scenario's parameters (not of its position in the
+/// expansion), which is what makes parallel and serial sweeps identical.
+std::uint64_t derive_seed(std::uint64_t base_seed, Kernel kernel,
+                          sparse::MatrixFamily family, double density,
+                          std::uint32_t rows, std::uint32_t cols);
+
+/// Axes of the sweep; expand() produces the filtered cartesian product.
+struct ScenarioMatrix {
+  std::vector<Kernel> kernels = {Kernel::kCsrmv};
+  std::vector<kernels::Variant> variants = {kernels::Variant::kBase,
+                                            kernels::Variant::kSsr,
+                                            kernels::Variant::kIssr};
+  std::vector<sparse::IndexWidth> widths = {sparse::IndexWidth::kU16,
+                                            sparse::IndexWidth::kU32};
+  std::vector<sparse::MatrixFamily> families = {
+      sparse::MatrixFamily::kUniform};
+  std::vector<double> densities = {0.05};
+  std::vector<unsigned> cores = {1};
+  std::uint32_t rows = 192;
+  std::uint32_t cols = 256;
+  std::uint64_t base_seed = 42;
+
+  /// Expand to the ordered scenario list. Combinations that do not map to
+  /// an implemented kernel are skipped (SpVV with cores > 1 — there is no
+  /// multicore SpVV kernel), and axes a kernel ignores are pinned instead
+  /// of crossed (SpVV: family -> uniform, rows -> 1) so every emitted
+  /// scenario describes its actual workload. Duplicate axis values are
+  /// kept; callers control the axes.
+  std::vector<Scenario> expand() const;
+};
+
+}  // namespace issr::driver

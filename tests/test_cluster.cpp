@@ -93,7 +93,9 @@ TEST(TilePlan, CoversAllRowsWithoutOverlap) {
     EXPECT_LE(tile.nnz_end - tile.nnz_begin, plan.tile_nnz_capacity);
     EXPECT_EQ(tile.nnz_begin, a.ptr()[tile.row_begin]);
     EXPECT_EQ(tile.nnz_end, a.ptr()[tile.row_end]);
-    if (t > 0) EXPECT_EQ(plan.tiles[t - 1].row_end, tile.row_begin);
+    if (t > 0) {
+      EXPECT_EQ(plan.tiles[t - 1].row_end, tile.row_begin);
+    }
   }
 }
 
@@ -217,7 +219,9 @@ TEST(ClusterCsrmvPerf, ScalesWithWorkerCount) {
     const auto r = run_csrmv_multicore(a, x, cfg);
     EXPECT_TRUE(sparse::allclose(r.y, sparse::ref_csrmv(a, x), 1e-9, 1e-9))
         << workers << " workers";
-    if (prev != 0) EXPECT_LT(r.cluster.cycles, prev);
+    if (prev != 0) {
+      EXPECT_LT(r.cluster.cycles, prev);
+    }
     prev = r.cluster.cycles;
   }
 }
