@@ -2,19 +2,21 @@
 //
 // Expands a scenario matrix (kernel × variant × index width × matrix
 // family × density × core count), fans the simulations across a worker
-// pool, and writes machine-readable JSON + CSV results. Results are a
-// pure function of the scenario matrix: any --jobs value produces
+// pool, and writes machine-readable JSON + CSV results with exact
+// per-cycle stall attribution. Results are a pure function of the
+// scenario matrix: any --jobs value — traced or untraced — produces
 // bytewise identical output files.
 //
 //   $ issr_run --kernel csrmv --densities 0.01,0.1 --cores 1,8 --jobs 4
+//   $ issr_run --kernel csrmv --cores 8 --trace traces/ --stall-report
 //
-#include <cerrno>
 #include <cstdint>
 #include <cstdio>
-#include <cstdlib>
+#include <filesystem>
 #include <string>
 #include <vector>
 
+#include "common/cli.hpp"
 #include "driver/report.hpp"
 #include "driver/runner.hpp"
 #include "driver/scenario.hpp"
@@ -44,146 +46,136 @@ Workload shape:
 Execution and output:
   --jobs N           worker threads                       [1]
   --out PREFIX       write PREFIX.json and PREFIX.csv     [issr_run_results]
+  --trace DIR        write DIR/<scenario>.trace.json per scenario
+                     (Chrome trace-event format; open in chrome://tracing
+                     or https://ui.perfetto.dev)
+  --trace-events N   retained-event window per trace      [1048576]
+                     (32 B/event per running scenario; max 67108864)
+  --stall-report     print per-scenario stall attribution (fractions of
+                     core-cycles; buckets sum to 1 exactly)
   --list             print the expanded scenarios and exit
   --help             this text
 
 Combinations with no implemented kernel (SpVV with cores > 1) are skipped
-during expansion. Exit status is nonzero if any scenario's simulated
-result fails validation against the golden host reference.
+during expansion. Every record carries stall-attribution columns whose
+buckets sum exactly to cycles x cores. Exit status is nonzero if any
+scenario's simulated result fails validation against the golden host
+reference.
 )";
 
-[[noreturn]] void die(const std::string& msg) {
-  std::fprintf(stderr, "issr_run: %s (try --help)\n", msg.c_str());
-  std::exit(2);
-}
-
-std::vector<std::string> split_list(const std::string& s) {
-  std::vector<std::string> out;
-  std::size_t begin = 0;
-  while (begin <= s.size()) {
-    const std::size_t comma = s.find(',', begin);
-    const std::size_t end = comma == std::string::npos ? s.size() : comma;
-    if (end > begin) out.push_back(s.substr(begin, end - begin));
-    if (comma == std::string::npos) break;
-    begin = comma + 1;
-  }
-  return out;
-}
-
-/// Parse each comma-separated element of `list` with `parse`, or die
-/// naming the offending element.
+/// Parse each comma-separated element of `list` with `parse` into `out`.
+/// Returns false (leaving the error report to FlagParser, which names the
+/// flag exactly as the user typed it) on a bad element or an empty list.
 template <typename T, typename Parse>
-std::vector<T> parse_list(const std::string& flag, const std::string& list,
-                          Parse parse) {
-  std::vector<T> out;
-  for (const auto& item : split_list(list)) {
+bool parse_axis(const std::string& list, std::vector<T>& out, Parse parse) {
+  out.clear();
+  for (const auto& item : cli::split_list(list)) {
     T value;
-    if (!parse(item, value)) die("bad " + flag + " value '" + item + "'");
+    if (!parse(item, value)) return false;
     out.push_back(value);
   }
-  if (out.empty()) die(flag + " list is empty");
-  return out;
-}
-
-std::uint64_t parse_u64(const std::string& flag, const std::string& s,
-                        std::uint64_t max = UINT64_MAX) {
-  // strtoull silently wraps negatives, so reject anything but digits.
-  if (s.empty() || s.find_first_not_of("0123456789") != std::string::npos) {
-    die("bad " + flag + " value '" + s + "'");
-  }
-  errno = 0;
-  char* end = nullptr;
-  const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
-  if (end == s.c_str() || *end != '\0' || errno == ERANGE || v > max) {
-    die("bad " + flag + " value '" + s + "'");
-  }
-  return v;
+  return !out.empty();
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   driver::ScenarioMatrix matrix;
+  driver::RunOptions run_opts;
   unsigned jobs = 1;
   bool list_only = false;
+  bool stall_report = false;
   std::string out_prefix = "issr_run_results";
 
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg == "--help" || arg == "-h") {
-      std::fputs(kUsage, stdout);
-      return 0;
-    }
-    if (arg == "--list") {
-      list_only = true;
-      continue;
-    }
-    // Every remaining flag takes one value; fetching it inside each
-    // branch keeps the dispatch chain the single source of truth (an
-    // unknown flag reaches the final else instead of being misreported
-    // as missing its value).
-    const auto val = [&]() -> std::string {
-      if (i + 1 >= argc) die("missing value for " + arg);
-      return argv[++i];
-    };
+  cli::FlagParser parser("issr_run", kUsage);
+  parser.add_switch("--list", [&] { list_only = true; });
+  parser.add_switch("--stall-report", [&] { stall_report = true; });
+  parser.add_value("--kernels", [&](const std::string& v) {
+    return parse_axis(v, matrix.kernels,
+                      [](const std::string& s, driver::Kernel& k) {
+                        return driver::parse_kernel(s, k);
+                      });
+  });
+  parser.add_alias("--kernel", "--kernels");
+  parser.add_value("--variants", [&](const std::string& v) {
+    return parse_axis(v, matrix.variants,
+                      [](const std::string& s, kernels::Variant& k) {
+                        return driver::parse_variant(s, k);
+                      });
+  });
+  parser.add_value("--widths", [&](const std::string& v) {
+    return parse_axis(v, matrix.widths,
+                      [](const std::string& s, sparse::IndexWidth& w) {
+                        return driver::parse_width(s, w);
+                      });
+  });
+  parser.add_value("--families", [&](const std::string& v) {
+    return parse_axis(v, matrix.families,
+                      [](const std::string& s, sparse::MatrixFamily& f) {
+                        return driver::parse_family(s, f);
+                      });
+  });
+  parser.add_value("--densities", [&](const std::string& v) {
+    return parse_axis(v, matrix.densities,
+                      [](const std::string& s, double& d) {
+                        return cli::parse_double(s, d) && d > 0.0 && d <= 1.0;
+                      });
+  });
+  parser.add_value("--cores", [&](const std::string& v) {
+    return parse_axis(v, matrix.cores,
+                      [](const std::string& s, unsigned& c) {
+                        std::uint64_t n = 0;
+                        if (!cli::parse_u64(s, n, 64) || n == 0) return false;
+                        c = static_cast<unsigned>(n);
+                        return true;
+                      });
+  });
+  parser.add_value("--rows", [&](const std::string& v) {
+    std::uint64_t n = 0;
+    if (!cli::parse_u64(v, n, 1u << 20)) return false;
+    matrix.rows = static_cast<std::uint32_t>(n);
+    return true;
+  });
+  parser.add_value("--cols", [&](const std::string& v) {
+    std::uint64_t n = 0;
+    if (!cli::parse_u64(v, n, 1u << 20)) return false;
+    matrix.cols = static_cast<std::uint32_t>(n);
+    return true;
+  });
+  parser.add_value("--seed", [&](const std::string& v) {
+    return cli::parse_u64(v, matrix.base_seed);
+  });
+  parser.add_value("--jobs", [&](const std::string& v) {
+    std::uint64_t n = 0;
+    if (!cli::parse_u64(v, n, 1024) || n == 0) return false;
+    jobs = static_cast<unsigned>(n);
+    return true;
+  });
+  parser.add_value("--out", [&](const std::string& v) {
+    out_prefix = v;
+    return !v.empty();
+  });
+  parser.add_value("--trace", [&](const std::string& v) {
+    run_opts.trace_dir = v;
+    return !v.empty();
+  });
+  parser.add_value("--trace-events", [&](const std::string& v) {
+    // Each retained event costs 32 B per concurrently-running scenario;
+    // cap the window at 64 Mi events (2 GiB) so a typo cannot request an
+    // unallocatable ring and crash with bad_alloc instead of this error.
+    std::uint64_t n = 0;
+    if (!cli::parse_u64(v, n, std::uint64_t{1} << 26) || n == 0) return false;
+    run_opts.trace_events = static_cast<std::size_t>(n);
+    return true;
+  });
+  parser.parse(argc, argv);
 
-    if (arg == "--kernel" || arg == "--kernels") {
-      matrix.kernels = parse_list<driver::Kernel>(
-          arg, val(), [](const std::string& s, driver::Kernel& k) {
-            return driver::parse_kernel(s, k);
-          });
-    } else if (arg == "--variants") {
-      matrix.variants = parse_list<kernels::Variant>(
-          arg, val(), [](const std::string& s, kernels::Variant& v) {
-            return driver::parse_variant(s, v);
-          });
-    } else if (arg == "--widths") {
-      matrix.widths = parse_list<sparse::IndexWidth>(
-          arg, val(), [](const std::string& s, sparse::IndexWidth& w) {
-            return driver::parse_width(s, w);
-          });
-    } else if (arg == "--families") {
-      matrix.families = parse_list<sparse::MatrixFamily>(
-          arg, val(), [](const std::string& s, sparse::MatrixFamily& f) {
-            return driver::parse_family(s, f);
-          });
-    } else if (arg == "--densities") {
-      matrix.densities = parse_list<double>(
-          arg, val(), [](const std::string& s, double& d) {
-            char* end = nullptr;
-            d = std::strtod(s.c_str(), &end);
-            return end != s.c_str() && *end == '\0' && d > 0.0 && d <= 1.0;
-          });
-    } else if (arg == "--cores") {
-      matrix.cores = parse_list<unsigned>(
-          arg, val(), [](const std::string& s, unsigned& c) {
-            char* end = nullptr;
-            const unsigned long v = std::strtoul(s.c_str(), &end, 10);
-            if (end == s.c_str() || *end != '\0' || v == 0 || v > 64) {
-              return false;
-            }
-            c = static_cast<unsigned>(v);
-            return true;
-          });
-    } else if (arg == "--rows") {
-      matrix.rows = static_cast<std::uint32_t>(parse_u64(arg, val(), 1u << 20));
-    } else if (arg == "--cols") {
-      matrix.cols = static_cast<std::uint32_t>(parse_u64(arg, val(), 1u << 20));
-    } else if (arg == "--seed") {
-      matrix.base_seed = parse_u64(arg, val());
-    } else if (arg == "--jobs") {
-      jobs = static_cast<unsigned>(parse_u64(arg, val(), 1024));
-      if (jobs == 0) die("--jobs must be >= 1");
-    } else if (arg == "--out") {
-      out_prefix = val();
-    } else {
-      die("unknown option '" + arg + "'");
-    }
+  if (matrix.rows == 0 || matrix.cols == 0) {
+    parser.fail("--rows/--cols must be >= 1");
   }
-  if (matrix.rows == 0 || matrix.cols == 0) die("--rows/--cols must be >= 1");
 
   const auto scenarios = matrix.expand();
-  if (scenarios.empty()) die("scenario matrix expanded to zero scenarios");
+  if (scenarios.empty()) parser.fail("scenario matrix expanded to zero scenarios");
 
   if (list_only) {
     bool derived_shape = false;
@@ -208,11 +200,23 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  std::printf("issr_run: %zu scenarios, %u worker thread%s\n",
-              scenarios.size(), jobs, jobs == 1 ? "" : "s");
-  const auto results = driver::run_scenarios(scenarios, jobs);
+  if (!run_opts.trace_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(run_opts.trace_dir, ec);
+    if (ec) {
+      std::fprintf(stderr, "issr_run: cannot create trace directory %s: %s\n",
+                   run_opts.trace_dir.c_str(), ec.message().c_str());
+      return 1;
+    }
+  }
+
+  std::printf("issr_run: %zu scenarios, %u worker thread%s%s\n",
+              scenarios.size(), jobs, jobs == 1 ? "" : "s",
+              run_opts.trace_dir.empty() ? "" : ", tracing enabled");
+  const auto results = driver::run_scenarios(scenarios, jobs, run_opts);
 
   driver::results_table(results).print();
+  if (stall_report) driver::stall_table(results).print();
 
   const std::string json_path = out_prefix + ".json";
   const std::string csv_path = out_prefix + ".csv";
@@ -225,6 +229,20 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::printf("wrote %s and %s\n", json_path.c_str(), csv_path.c_str());
+
+  unsigned trace_failures = 0;
+  if (!run_opts.trace_dir.empty()) {
+    for (const auto& r : results) {
+      if (r.trace_write_failed) {
+        std::fprintf(stderr, "issr_run: failed to write trace for %s\n",
+                     r.scenario.name().c_str());
+        ++trace_failures;
+      }
+    }
+    std::printf("wrote %zu trace files under %s (open in chrome://tracing "
+                "or https://ui.perfetto.dev)\n",
+                results.size() - trace_failures, run_opts.trace_dir.c_str());
+  }
 
   unsigned failures = 0;
   for (const auto& r : results) {
@@ -239,5 +257,5 @@ int main(int argc, char** argv) {
                  failures, results.size());
     return 1;
   }
-  return 0;
+  return trace_failures ? 1 : 0;
 }

@@ -64,7 +64,8 @@ core::CcSimResult run_spvv_cfg(const core::CcSimConfig& cfg,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parse_args(argc, argv, "ISSR design ablations");
   std::printf("ISSR design ablations\n\n");
   const std::uint32_t nnz = bench::full_run() ? 4096 : 2048;
 

@@ -9,6 +9,7 @@
 #include <cstdlib>
 #include <string>
 
+#include "common/cli.hpp"
 #include "common/rng.hpp"
 #include "core/sim.hpp"
 #include "driver/runs.hpp"
@@ -21,12 +22,33 @@
 
 namespace issr::bench {
 
+/// Set by parse_args(--full); ISSR_BENCH_FULL=1 is the env equivalent.
+inline bool g_full_forced = false;
+
 /// True when the full (large) workload set is requested; default runs a
 /// representative subset so `for b in build/bench/*; do $b; done` stays
-/// fast. Set ISSR_BENCH_FULL=1 for the complete paper suite.
+/// fast. Request the complete paper suite with --full or ISSR_BENCH_FULL=1.
 inline bool full_run() {
+  if (g_full_forced) return true;
   const char* v = std::getenv("ISSR_BENCH_FULL");
   return v != nullptr && v[0] == '1';
+}
+
+/// Shared bench command line (the one flag dispatch for every figure/table
+/// binary): --full selects the complete paper sweep, --help describes the
+/// bench. Call first thing in main.
+inline void parse_args(int argc, char** argv, const char* what) {
+  const std::string prog =
+      argc > 0 && argv[0] != nullptr ? argv[0] : "bench";
+  std::string usage = prog + " — " + what +
+                      "\n\nOptions:\n"
+                      "  --full    run the complete paper sweep (default: a "
+                      "fast representative subset;\n"
+                      "            ISSR_BENCH_FULL=1 is equivalent)\n"
+                      "  --help    this text\n";
+  cli::FlagParser parser(prog, usage);
+  parser.add_switch("--full", [] { g_full_forced = true; });
+  parser.parse(argc, argv);
 }
 
 using CcRun = driver::CcRun;

@@ -15,7 +15,9 @@
 
 using namespace issr;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parse_args(argc, argv,
+                    "Fig. 4a reproduction: CC SpVV FPU utilization vs nnz");
   std::printf("Fig. 4a reproduction: CC SpVV FPU utilizations\n");
   std::printf("(runtime is independent of the dense vector size; the dense "
               "operand fits the TCDM)\n\n");

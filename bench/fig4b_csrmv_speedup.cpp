@@ -16,7 +16,9 @@
 
 using namespace issr;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parse_args(argc, argv,
+                    "Fig. 4b reproduction: CC CsrMV speedups over BASE");
   std::printf("Fig. 4b reproduction: CC CsrMV speedups over BASE\n\n");
 
   const std::uint32_t rows = bench::full_run() ? 512 : 192;

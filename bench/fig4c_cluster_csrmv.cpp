@@ -28,7 +28,9 @@ cluster::McCsrmvResult run_mc(kernels::Variant variant,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parse_args(argc, argv,
+                    "Fig. 4c reproduction: cluster CsrMV speedups");
   std::printf("Fig. 4c reproduction: cluster CsrMV speedup "
               "(ISSR 16-bit over BASE, 8 workers)\n\n");
 

@@ -29,7 +29,9 @@ model::EnergyReport run_energy(kernels::Variant variant,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parse_args(argc, argv,
+                    "Fig. 4d reproduction: cluster CsrMV energy model");
   std::printf("Fig. 4d reproduction: cluster CsrMV energy "
               "(BASE vs ISSR 16-bit)\n\n");
 

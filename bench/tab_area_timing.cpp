@@ -5,12 +5,15 @@
 // 1 GHz / GF22FDX SSG constraints).
 #include <cstdio>
 
+#include "bench_common.hpp"
 #include "common/table.hpp"
 #include "model/area.hpp"
 
 using namespace issr;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parse_args(argc, argv,
+                    "§IV-C reproduction: streamer area and timing model");
   std::printf("§IV-C reproduction: streamer area and timing model\n\n");
 
   const model::AreaParams params;  // paper defaults: 5-stage FIFO, 18-bit

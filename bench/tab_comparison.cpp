@@ -16,7 +16,9 @@
 
 using namespace issr;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parse_args(argc, argv,
+                    "§V reproduction: peak FP utilization comparison");
   std::printf("§V reproduction: peak FP utilization comparison\n\n");
 
   // Measure our cluster's best in-compute utilization over favorable

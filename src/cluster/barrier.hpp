@@ -6,11 +6,19 @@
 #include <cstdint>
 #include <vector>
 
+#include "trace/trace.hpp"
+
 namespace issr::cluster {
 
 class HwBarrier {
  public:
   explicit HwBarrier(unsigned n) : n_(n), target_(n, 0), arrived_(0), gen_(0) {}
+
+  /// Timeline hook: one "release" instant per completed generation. The
+  /// caller latches the cycle each tick (the barrier itself is polled
+  /// without a timestamp through the core's CSR hook).
+  trace::Tracer& tracer() { return trace_; }
+  void begin_cycle(cycle_t now) { now_ = now; }
 
   /// Called once per stalled cycle by core `hart`; returns true once all
   /// cores of the current generation have arrived. A core's first poll
@@ -23,6 +31,7 @@ class HwBarrier {
         arrived_ = 0;
         ++gen_;
         target_[hart] = 0;  // the releasing core passes immediately
+        trace_.instant(now_, "release", gen_);
         return true;
       }
       return false;
@@ -41,6 +50,8 @@ class HwBarrier {
   std::vector<std::uint64_t> target_;  ///< 0 = not arrived; else gen awaited
   unsigned arrived_;
   std::uint64_t gen_;
+  trace::Tracer trace_;
+  cycle_t now_ = 0;
 };
 
 }  // namespace issr::cluster

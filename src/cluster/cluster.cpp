@@ -1,6 +1,7 @@
 #include "cluster/cluster.hpp"
 
 #include <cassert>
+#include <string>
 
 #include "common/log.hpp"
 
@@ -36,11 +37,21 @@ bool Cluster::done(cycle_t now) const {
   return !dma_->busy();
 }
 
+void Cluster::attach_trace(trace::TraceSink& sink) {
+  for (unsigned w = 0; w < num_workers(); ++w) {
+    workers_[w]->attach_trace(sink, "cc" + std::to_string(w));
+  }
+  tcdm_->attach_trace(sink);
+  dma_->attach_trace(sink);
+  barrier_.tracer().attach(sink, sink.add_track("cluster", "barrier"));
+}
+
 ClusterResult Cluster::run(cycle_t max_cycles) {
   cycle_t now = 0;
   while (now < max_cycles) {
     // Order: DMA claims banks for this cycle, TCDM arbitrates (skipping
     // claimed banks), then the controller and workers issue new traffic.
+    barrier_.begin_cycle(now);
     dma_->tick(now);
     tcdm_->tick(now);
     if (controller_) controller_(*this, now);
@@ -48,7 +59,8 @@ ClusterResult Cluster::run(cycle_t max_cycles) {
     ++now;
     if (done(now)) break;
   }
-  if (now >= max_cycles) {
+  ClusterResult result;
+  if (now >= max_cycles && !done(now)) {
     ISSR_ERROR("Cluster::run hit the cycle limit (%llu)",
                static_cast<unsigned long long>(max_cycles));
     for (unsigned w = 0; w < num_workers(); ++w) {
@@ -56,8 +68,9 @@ ClusterResult Cluster::run(cycle_t max_cycles) {
                  static_cast<unsigned long long>(workers_[w]->core().pc()),
                  workers_[w]->halted() ? 1 : 0);
     }
-    assert(false && "cluster simulation did not terminate");
+    result.aborted = true;
   }
+  for (auto& w : workers_) w->close_trace(now);
 
   // Drain pending stores at the TCDM ports and any final DMA beats.
   for (cycle_t d = 0; d < 8; ++d) {
@@ -65,11 +78,13 @@ ClusterResult Cluster::run(cycle_t max_cycles) {
     tcdm_->tick(now + d);
   }
 
-  ClusterResult result;
   result.cycles = now;
   for (const auto& w : workers_) {
     result.core.push_back(w->core().stats());
     result.fpss.push_back(w->fpss().stats());
+    result.stalls.push_back(w->stall_buckets());
+    assert(result.stalls.back().total() == result.cycles &&
+           "each worker's stall buckets must decompose the cycle count");
   }
   result.tcdm = tcdm_->stats();
   result.dma = dma_->stats();

@@ -16,6 +16,8 @@
 #include "mem/dma.hpp"
 #include "mem/main_mem.hpp"
 #include "mem/tcdm.hpp"
+#include "trace/stall.hpp"
+#include "trace/trace.hpp"
 
 namespace issr::cluster {
 
@@ -28,12 +30,24 @@ struct ClusterConfig {
 /// Per-run cluster statistics.
 struct ClusterResult {
   cycle_t cycles = 0;
+  /// True iff the run hit max_cycles before the cluster was done; the
+  /// statistics then describe a truncated run (the driver asserts on it).
+  bool aborted = false;
   std::vector<core::SnitchStats> core;
   std::vector<core::FpssStats> fpss;
+  /// Per-worker stall attribution; each worker's buckets sum to `cycles`.
+  std::vector<trace::StallBuckets> stalls;
   mem::TcdmStats tcdm;
   mem::DmaStats dma;
   std::uint64_t main_mem_read = 0;
   std::uint64_t main_mem_written = 0;
+
+  /// Cluster-wide attribution: sums to cycles x worker count.
+  trace::StallBuckets total_stalls() const {
+    trace::StallBuckets t;
+    for (const auto& s : stalls) t += s;
+    return t;
+  }
 
   /// Aggregate FPU utilization over all worker FPUs (Fig. 4c/4d input).
   double fpu_util() const {
@@ -88,7 +102,13 @@ class Cluster {
   /// controller has finished.
   bool done(cycle_t now) const;
 
-  /// Run to completion; asserts if `max_cycles` elapse first.
+  /// Attach cycle-resolved tracing: per-worker tracks ("cc<N>"), one TCDM
+  /// track per bank, DMA channel tracks, and the barrier release track.
+  /// Zero overhead when never called.
+  void attach_trace(trace::TraceSink& sink);
+
+  /// Run to completion. If `max_cycles` elapse first, the result comes
+  /// back with `aborted` set instead of looking like a normal finish.
   ClusterResult run(cycle_t max_cycles = 2'000'000'000);
 
  private:

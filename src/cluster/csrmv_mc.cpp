@@ -312,6 +312,8 @@ McCsrmvResult run_csrmv_multicore(const sparse::CsrMatrix& a,
   cluster.set_controller(
       [controller](Cluster& cl, cycle_t now) { (*controller)(cl, now); });
 
+  if (cfg.trace_sink) cluster.attach_trace(*cfg.trace_sink);
+
   McCsrmvResult result;
   result.plan = plan;
   result.cluster = cluster.run();

@@ -28,6 +28,9 @@ struct McCsrmvConfig {
   ClusterConfig cluster;
   /// Upper bound on rows per tile (bounds the ptr/y buffer regions).
   std::uint32_t max_tile_rows = 2048;
+  /// When non-null, the run records cycle-resolved telemetry here
+  /// (Cluster::attach_trace); simulated behaviour is unaffected.
+  trace::TraceSink* trace_sink = nullptr;
 };
 
 /// The static tile plan (exposed for tests and benches).

@@ -1,0 +1,102 @@
+#include "common/cli.hpp"
+
+#include <cassert>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+
+namespace issr::cli {
+
+std::vector<std::string> split_list(const std::string& s) {
+  std::vector<std::string> out;
+  std::size_t begin = 0;
+  while (begin <= s.size()) {
+    const std::size_t comma = s.find(',', begin);
+    const std::size_t end = comma == std::string::npos ? s.size() : comma;
+    if (end > begin) out.push_back(s.substr(begin, end - begin));
+    if (comma == std::string::npos) break;
+    begin = comma + 1;
+  }
+  return out;
+}
+
+bool parse_u64(const std::string& s, std::uint64_t& out, std::uint64_t max) {
+  // strtoull silently wraps negatives, so accept digits only.
+  if (s.empty() || s.find_first_not_of("0123456789") != std::string::npos) {
+    return false;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+  if (end == s.c_str() || *end != '\0' || errno == ERANGE || v > max) {
+    return false;
+  }
+  out = v;
+  return true;
+}
+
+bool parse_double(const std::string& s, double& out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (end != s.c_str() + s.size()) return false;
+  out = v;
+  return true;
+}
+
+FlagParser::FlagParser(std::string prog, std::string usage)
+    : prog_(std::move(prog)), usage_(std::move(usage)) {}
+
+void FlagParser::add_switch(const std::string& name,
+                            std::function<void()> handler) {
+  assert(!entries_.count(name));
+  Entry e;
+  e.takes_value = false;
+  e.on_switch = std::move(handler);
+  entries_.emplace(name, std::move(e));
+}
+
+void FlagParser::add_value(const std::string& name,
+                           std::function<bool(const std::string&)> handler) {
+  assert(!entries_.count(name));
+  Entry e;
+  e.takes_value = true;
+  e.on_value = std::move(handler);
+  entries_.emplace(name, std::move(e));
+}
+
+void FlagParser::add_alias(const std::string& alias, const std::string& name) {
+  assert(entries_.count(name) && "alias target must be registered first");
+  aliases_.emplace(alias, name);
+}
+
+void FlagParser::fail(const std::string& msg) const {
+  std::fprintf(stderr, "%s: %s (try --help)\n", prog_.c_str(), msg.c_str());
+  std::exit(2);
+}
+
+void FlagParser::parse(int argc, char** argv) const {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(usage_.c_str(), stdout);
+      std::exit(0);
+    }
+    const auto alias = aliases_.find(arg);
+    const std::string& name = alias == aliases_.end() ? arg : alias->second;
+    const auto it = entries_.find(name);
+    if (it == entries_.end()) fail("unknown option '" + arg + "'");
+    const Entry& e = it->second;
+    if (!e.takes_value) {
+      e.on_switch();
+      continue;
+    }
+    if (i + 1 >= argc) fail("missing value for " + arg);
+    const std::string value = argv[++i];
+    if (!e.on_value(value)) {
+      fail("bad value '" + value + "' for " + arg);
+    }
+  }
+}
+
+}  // namespace issr::cli

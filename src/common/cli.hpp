@@ -1,0 +1,68 @@
+// Minimal shared command-line flag parser for the repo's binaries
+// (apps/issr_run, the bench reproductions). One dispatch/usage/error
+// implementation instead of a hand-rolled argv loop per binary: flags are
+// registered with handlers, --help prints the binary's usage text and
+// exits 0, and unknown flags / missing or rejected values exit 2 with a
+// message naming the offender. Also hosts the small parsing helpers
+// (strict integer/double parses, comma-list splitting) the binaries share.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace issr::cli {
+
+/// Split a comma-separated list into its non-empty elements.
+std::vector<std::string> split_list(const std::string& s);
+
+/// Strict unsigned decimal parse: digits only (no sign, no whitespace),
+/// no overflow, result <= max. Returns false on any violation.
+bool parse_u64(const std::string& s, std::uint64_t& out,
+               std::uint64_t max = UINT64_MAX);
+
+/// Strict double parse: the whole string must be consumed.
+bool parse_double(const std::string& s, double& out);
+
+class FlagParser {
+ public:
+  /// `prog` prefixes error messages; `usage` is the full --help text
+  /// (printed verbatim).
+  FlagParser(std::string prog, std::string usage);
+
+  /// Register a value-less switch, e.g. --list.
+  void add_switch(const std::string& name, std::function<void()> handler);
+
+  /// Register a flag taking one value (--name VALUE). The handler returns
+  /// false to reject the value (reported as "bad value '...' for name");
+  /// for a more specific message it can call fail() itself.
+  void add_value(const std::string& name,
+                 std::function<bool(const std::string&)> handler);
+
+  /// Register another spelling for an existing flag (--kernel for
+  /// --kernels).
+  void add_alias(const std::string& alias, const std::string& name);
+
+  /// Process argv. Handles --help/-h (print usage, exit 0); exits 2 on
+  /// unknown flags, missing values, or handler rejection.
+  void parse(int argc, char** argv) const;
+
+  /// Print "<prog>: <msg> (try --help)" to stderr and exit 2.
+  [[noreturn]] void fail(const std::string& msg) const;
+
+ private:
+  struct Entry {
+    bool takes_value = false;
+    std::function<void()> on_switch;
+    std::function<bool(const std::string&)> on_value;
+  };
+
+  std::string prog_;
+  std::string usage_;
+  std::map<std::string, Entry> entries_;
+  std::map<std::string, std::string> aliases_;
+};
+
+}  // namespace issr::cli

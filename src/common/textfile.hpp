@@ -1,0 +1,14 @@
+// Whole-file text output shared by the result emitters (driver reports,
+// trace exports): one write-and-close implementation so error handling
+// improves in one place.
+#pragma once
+
+#include <string>
+
+namespace issr {
+
+/// Write `content` to `path` (binary mode, full replace); returns false
+/// on any I/O failure including close.
+bool write_text_file(const std::string& path, const std::string& content);
+
+}  // namespace issr

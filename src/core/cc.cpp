@@ -33,6 +33,7 @@ void CoreComplex::tick(cycle_t now) {
   shared_hub_.tick();
   issr_hub_.tick();
   if (issr_idx_hub_) issr_idx_hub_->tick();
+  streamer_->begin_cycle(now);
   // Tick order realizes the shared-port arbitration priority: the core's
   // sporadic, latency-critical requests win over the FP LSU, which wins
   // over the SSR data mover's continuous (FIFO-buffered, latency-tolerant)
@@ -40,6 +41,83 @@ void CoreComplex::tick(cycle_t now) {
   core_->tick(now);
   fpss_->tick(now);
   streamer_->tick(now);
+  account(now);
+}
+
+void CoreComplex::account(cycle_t now) {
+  StatSnap s;
+  s.fp_compute = fpss_->stats().fp_compute;
+  s.fpss_issued = fpss_->stats().issued;
+  s.core_issued = core_->stats().issued;
+  s.stall_stream = fpss_->stats().stall_stream;
+  s.stall_sync = core_->stats().stall_sync;
+  s.stall_barrier = core_->stats().stall_barrier;
+  s.port_stalls = shared_hub_.port().stats().stall_cycles +
+                  issr_hub_.port().stats().stall_cycles +
+                  (issr_idx_hub_ ? issr_idx_hub_->port().stats().stall_cycles
+                                 : 0);
+  s.ssr_starved =
+      streamer_->lane(ssr::Streamer::kSsrLane).stats().reg_starved_cycles;
+  s.issr_starved =
+      streamer_->lane(ssr::Streamer::kIssrLane).stats().reg_starved_cycles;
+
+  trace::CycleObservation o;
+  o.fp_compute = s.fp_compute != snap_.fp_compute;
+  o.issued = s.fpss_issued != snap_.fpss_issued ||
+             s.core_issued != snap_.core_issued;
+  o.barrier_stall = s.stall_barrier != snap_.stall_barrier;
+  o.stream_stall = s.stall_stream != snap_.stall_stream;
+  o.port_conflict = s.port_stalls != snap_.port_stalls;
+  o.sync_stall = s.stall_sync != snap_.stall_sync;
+  o.halted = core_->halted();
+  if (o.stream_stall) {
+    // Attribute the starvation to the lane the FPU failed to pop from,
+    // using the cause it latched at that moment (the streamer has ticked
+    // since, so its live state no longer explains the empty FIFO).
+    // Write-side stream stalls (FIFO full) leave both starvation counters
+    // untouched and classify as plain stream backpressure.
+    const ssr::Lane* lane = nullptr;
+    if (s.ssr_starved != snap_.ssr_starved) {
+      lane = &streamer_->lane(ssr::Streamer::kSsrLane);
+    } else if (s.issr_starved != snap_.issr_starved) {
+      lane = &streamer_->lane(ssr::Streamer::kIssrLane);
+    }
+    o.idx_serializer =
+        lane &&
+        lane->last_starve_cause() == ssr::Lane::StarveCause::kSerializer;
+  }
+  snap_ = s;
+
+  const trace::Bucket b = trace::classify(o);
+  ++stalls_[b];
+
+  if (stall_trace_.attached() &&
+      (b != cur_bucket_ || !stall_slice_open_)) {
+    if (stall_slice_open_) stall_trace_.end(now, trace::to_string(cur_bucket_));
+    stall_trace_.begin(now, trace::to_string(b));
+    cur_bucket_ = b;
+    stall_slice_open_ = true;
+  }
+}
+
+void CoreComplex::attach_trace(trace::TraceSink& sink,
+                               const std::string& name) {
+  core_->tracer().attach(sink, sink.add_track(name, "core"));
+  fpss_->tracer().attach(sink, sink.add_track(name, "fpss"));
+  streamer_->lane(ssr::Streamer::kSsrLane)
+      .tracer()
+      .attach(sink, sink.add_track(name, "ssr"));
+  streamer_->lane(ssr::Streamer::kIssrLane)
+      .tracer()
+      .attach(sink, sink.add_track(name, "issr"));
+  stall_trace_.attach(sink, sink.add_track(name, "stall"));
+}
+
+void CoreComplex::close_trace(cycle_t now) {
+  if (stall_slice_open_) {
+    stall_trace_.end(now, trace::to_string(cur_bucket_));
+    stall_slice_open_ = false;
+  }
 }
 
 }  // namespace issr::core

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <memory>
+#include <string>
 
 #include "core/fpss.hpp"
 #include "core/snitch.hpp"
@@ -14,6 +15,8 @@
 #include "mem/port.hpp"
 #include "ssr/port_hub.hpp"
 #include "ssr/streamer.hpp"
+#include "trace/stall.hpp"
+#include "trace/trace.hpp"
 
 namespace issr::core {
 
@@ -47,7 +50,22 @@ class CoreComplex {
 
   void tick(cycle_t now);
 
+  // --- Telemetry -----------------------------------------------------------
+  /// Per-cycle stall attribution (always accounted; exactly one bucket per
+  /// tick, so stall_buckets().total() equals the tick count).
+  const trace::StallBuckets& stall_buckets() const { return stalls_; }
+
+  /// Register this CC's timeline tracks ("core", "fpss", "ssr", "issr",
+  /// "stall") under process `name` and attach all component tracers.
+  void attach_trace(trace::TraceSink& sink, const std::string& name);
+
+  /// Close the stall timeline's open slice (call once after the last tick).
+  void close_trace(cycle_t now);
+
  private:
+  /// Classify the cycle that just ticked and update buckets + timeline.
+  void account(cycle_t now);
+
   ssr::PortHub shared_hub_;
   ssr::PortHub issr_hub_;
   std::unique_ptr<ssr::PortHub> issr_idx_hub_;
@@ -55,6 +73,25 @@ class CoreComplex {
   std::unique_ptr<ssr::Streamer> streamer_;
   std::unique_ptr<Fpss> fpss_;
   std::unique_ptr<SnitchCore> core_;
+
+  /// Statistic counters sampled after the previous tick; the per-cycle
+  /// deltas are what account() classifies.
+  struct StatSnap {
+    std::uint64_t fp_compute = 0;
+    std::uint64_t fpss_issued = 0;
+    std::uint64_t core_issued = 0;
+    std::uint64_t stall_stream = 0;
+    std::uint64_t stall_sync = 0;
+    std::uint64_t stall_barrier = 0;
+    std::uint64_t port_stalls = 0;
+    std::uint64_t ssr_starved = 0;
+    std::uint64_t issr_starved = 0;
+  };
+  StatSnap snap_;
+  trace::StallBuckets stalls_;
+  trace::Tracer stall_trace_;
+  trace::Bucket cur_bucket_ = trace::Bucket::kOther;
+  bool stall_slice_open_ = false;
 };
 
 }  // namespace issr::core

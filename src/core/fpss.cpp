@@ -243,6 +243,7 @@ void Fpss::tick(cycle_t now) {
         if (frep_.iter == frep_.total_iters) {
           frep_.active = false;
           frep_.buffer.clear();
+          trace_.end(now, "frep");
         }
       }
     }
@@ -268,6 +269,7 @@ void Fpss::tick(cycle_t now) {
     frep_.stagger_mask = front.inst.frep_stagger_mask;
     queue_.pop_front();
     ++stats_.issued;
+    trace_.begin(now, "frep", frep_.total_iters);
     return;  // FREP setup occupies the issue slot this cycle
   }
 
@@ -286,6 +288,7 @@ void Fpss::tick(cycle_t now) {
         if (frep_.total_iters == 1) {
           frep_.active = false;
           frep_.buffer.clear();
+          trace_.end(now, "frep");
         }
       }
     }

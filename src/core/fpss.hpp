@@ -25,6 +25,7 @@
 #include "isa/inst.hpp"
 #include "ssr/port_hub.hpp"
 #include "ssr/streamer.hpp"
+#include "trace/trace.hpp"
 
 namespace issr::core {
 
@@ -86,6 +87,9 @@ class Fpss {
   const FpssStats& stats() const { return stats_; }
   void reset_stats() { stats_ = {}; }
 
+  /// Timeline hook: FREP hardware-loop slices (trace/).
+  trace::Tracer& tracer() { return trace_; }
+
  private:
   struct FrepState {
     bool active = false;
@@ -135,6 +139,7 @@ class Fpss {
   std::deque<PendingIntWb> int_wb_;
 
   FpssStats stats_;
+  trace::Tracer trace_;
 };
 
 }  // namespace issr::core

@@ -62,6 +62,11 @@ std::vector<double> CcSim::read_f64s(addr_t addr, std::size_t count) const {
   return out;
 }
 
+void CcSim::attach_trace(trace::TraceSink& sink) {
+  assert(cc_ && "set_program() must be called before attach_trace()");
+  cc_->attach_trace(sink, "cc0");
+}
+
 CcSimResult CcSim::run(cycle_t max_cycles) {
   assert(cc_ && "set_program() must be called before run()");
   cycle_t now = 0;
@@ -71,12 +76,14 @@ CcSimResult CcSim::run(cycle_t max_cycles) {
     ++now;
     if (cc_->quiescent(now)) break;
   }
-  if (now >= max_cycles) {
+  CcSimResult result;
+  if (now >= max_cycles && !cc_->quiescent(now)) {
     ISSR_ERROR("CcSim::run hit the cycle limit (%llu) at pc=0x%llx",
                static_cast<unsigned long long>(max_cycles),
                static_cast<unsigned long long>(cc_->core().pc()));
-    assert(false && "simulation did not terminate");
+    result.aborted = true;
   }
+  cc_->close_trace(now);
 
   // Drain: grant any store still pending at the memory ports (a write
   // issued on the final cycle has not been serviced yet).
@@ -84,12 +91,15 @@ CcSimResult CcSim::run(cycle_t max_cycles) {
     memory_->tick(now + d);
   }
 
-  CcSimResult result;
   result.cycles = now;
+  result.last_pc = cc_->core().pc();
   result.core = cc_->core().stats();
   result.fpss = cc_->fpss().stats();
   result.ssr_lane = cc_->streamer().lane(ssr::Streamer::kSsrLane).stats();
   result.issr_lane = cc_->streamer().lane(ssr::Streamer::kIssrLane).stats();
+  result.stalls = cc_->stall_buckets();
+  assert(result.stalls.total() == result.cycles &&
+         "stall buckets must decompose the cycle count exactly");
   return result;
 }
 

@@ -28,10 +28,17 @@ struct CcSimConfig {
 /// Result of a completed run.
 struct CcSimResult {
   cycle_t cycles = 0;
+  /// True iff the run hit max_cycles before the CC went quiescent; the
+  /// counters then describe a truncated run. Callers that require
+  /// completion must check this (the driver asserts on it).
+  bool aborted = false;
+  addr_t last_pc = 0;  ///< core PC when the run ended (abort diagnosis)
   SnitchStats core;
   FpssStats fpss;
   ssr::LaneStats ssr_lane;
   ssr::LaneStats issr_lane;
+  /// Exact per-cycle attribution: stalls.total() == cycles always holds.
+  trace::StallBuckets stalls;
 
   /// Paper Fig. 4a metric: FPU arithmetic issues per cycle (including
   /// accumulator reductions).
@@ -76,8 +83,14 @@ class CcSim {
   std::vector<double> read_f64s(addr_t addr, std::size_t count) const;
 
   // --- Execution -----------------------------------------------------------
-  /// Run until the CC is quiescent; aborts after `max_cycles`.
+  /// Run until the CC is quiescent. If `max_cycles` elapse first the
+  /// result comes back with `aborted` set (and `last_pc` naming the stuck
+  /// program counter) instead of looking like a normal finish.
   CcSimResult run(cycle_t max_cycles = 1'000'000'000);
+
+  /// Attach cycle-resolved tracing (must follow set_program; zero overhead
+  /// when never called). Tracks register under process name "cc0".
+  void attach_trace(trace::TraceSink& sink);
 
   CoreComplex& cc() { return *cc_; }
 

@@ -304,10 +304,12 @@ bool SnitchCore::issue(const Inst& inst, cycle_t now) {
       break;  // single memory system: no-op
     case Op::kEcall:
       halted_ = true;
+      trace_.instant(now, "halt", pc_);
       pc_ += 4;
       return true;
     case Op::kEbreak:
       halted_ = true;
+      trace_.instant(now, "halt", pc_);
       pc_ += 4;
       return true;
     case Op::kCsrrw: case Op::kCsrrs: case Op::kCsrrc:
@@ -371,8 +373,16 @@ bool SnitchCore::exec_csr(const Inst& inst, cycle_t now) {
   } else if (csr == isa::kCsrBarrier) {
     if (barrier_) {
       if (!barrier_(params_.hartid)) {
-        ++stats_.stall_sync;
+        if (!in_barrier_wait_) {
+          in_barrier_wait_ = true;
+          trace_.begin(now, "barrier");
+        }
+        ++stats_.stall_barrier;
         return false;
+      }
+      if (in_barrier_wait_) {
+        in_barrier_wait_ = false;
+        trace_.end(now, "barrier");
       }
     }
     old_value = 0;

@@ -20,6 +20,7 @@
 #include "isa/program.hpp"
 #include "ssr/port_hub.hpp"
 #include "ssr/streamer.hpp"
+#include "trace/trace.hpp"
 
 namespace issr::core {
 
@@ -42,7 +43,8 @@ struct SnitchStats {
   std::uint64_t stall_raw = 0;      ///< integer scoreboard hazard
   std::uint64_t stall_offload = 0;  ///< FPU-subsystem queue full
   std::uint64_t stall_mem = 0;      ///< LSU port busy / outstanding limit
-  std::uint64_t stall_sync = 0;     ///< blocking CSR (fpss sync, barrier)
+  std::uint64_t stall_sync = 0;     ///< blocking FPU-subsystem sync CSR
+  std::uint64_t stall_barrier = 0;  ///< blocking cluster barrier CSR
   std::uint64_t stall_cfg = 0;      ///< streamer shadow config full
 };
 
@@ -69,6 +71,9 @@ class SnitchCore {
 
   const SnitchStats& stats() const { return stats_; }
   void reset_stats() { stats_ = {}; }
+
+  /// Timeline hook: barrier-wait slices and a halt marker (trace/).
+  trace::Tracer& tracer() { return trace_; }
 
  private:
   bool xreg_busy(unsigned r, cycle_t now) const {
@@ -101,6 +106,8 @@ class SnitchCore {
 
   BarrierHook barrier_;
   SnitchStats stats_;
+  trace::Tracer trace_;
+  bool in_barrier_wait_ = false;  ///< an open "barrier" trace slice
 };
 
 }  // namespace issr::core

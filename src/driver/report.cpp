@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "common/textfile.hpp"
+
 namespace issr::driver {
 
 namespace {
@@ -64,13 +66,30 @@ void append_fields(std::string& out, const ScenarioResult& r,
   field("fpu_util", fmt_double(r.fpu_util), false);
   field("macs", fmt_u(r.macs), false);
   field("macs_per_cycle", fmt_double(r.macs_per_cycle), false);
+  // Stall attribution: the bucket columns sum to core_cycles exactly.
+  field("core_cycles", fmt_u(r.core_cycles), false);
+  for (unsigned b = 0; b < trace::kNumBuckets; ++b) {
+    const auto bucket = static_cast<trace::Bucket>(b);
+    const std::string key = std::string("stall_") + trace::to_string(bucket);
+    field(key.c_str(), fmt_u(r.stalls[bucket]), false);
+  }
+}
+
+/// The stall column names, joined for the CSV header.
+std::string stall_csv_columns() {
+  std::string out = "core_cycles";
+  for (unsigned b = 0; b < trace::kNumBuckets; ++b) {
+    out += ",stall_";
+    out += trace::to_string(static_cast<trace::Bucket>(b));
+  }
+  return out;
 }
 
 }  // namespace
 
 std::string results_to_json(const std::vector<ScenarioResult>& results) {
   std::string out;
-  out += "{\n  \"schema\": \"issr_run.results.v1\",\n  \"results\": [";
+  out += "{\n  \"schema\": \"issr_run.results.v2\",\n  \"results\": [";
   for (std::size_t i = 0; i < results.size(); ++i) {
     out += i ? ",\n    {" : "\n    {";
     append_fields(out, results[i], ", ", "\"", ": ", /*keyed=*/true);
@@ -83,7 +102,8 @@ std::string results_to_json(const std::vector<ScenarioResult>& results) {
 std::string results_to_csv(const std::vector<ScenarioResult>& results) {
   std::string out =
       "kernel,variant,index_bits,family,density,rows,cols,cores,seed,nnz,"
-      "ok,cycles,fpu_util,macs,macs_per_cycle\n";
+      "ok,cycles,fpu_util,macs,macs_per_cycle," +
+      stall_csv_columns() + "\n";
   for (const auto& r : results) {
     append_fields(out, r, ",", "", "", /*keyed=*/false);
     out += "\n";
@@ -104,13 +124,26 @@ Table results_table(const std::vector<ScenarioResult>& results) {
   return t;
 }
 
+Table stall_table(const std::vector<ScenarioResult>& results) {
+  Table t("stall attribution (fraction of core-cycles)");
+  std::vector<std::string> header = {"scenario", "core_cycles"};
+  for (unsigned b = 0; b < trace::kNumBuckets; ++b) {
+    header.push_back(trace::to_string(static_cast<trace::Bucket>(b)));
+  }
+  t.set_header(header);
+  for (const auto& r : results) {
+    std::vector<std::string> row = {r.scenario.name(), fmt_u(r.core_cycles)};
+    for (unsigned b = 0; b < trace::kNumBuckets; ++b) {
+      row.push_back(
+          fmt_f(r.stalls.fraction(static_cast<trace::Bucket>(b))));
+    }
+    t.add_row(row);
+  }
+  return t;
+}
+
 bool write_text_file(const std::string& path, const std::string& content) {
-  std::FILE* f = std::fopen(path.c_str(), "wb");
-  if (!f) return false;
-  const bool wrote =
-      std::fwrite(content.data(), 1, content.size(), f) == content.size();
-  const bool closed = std::fclose(f) == 0;
-  return wrote && closed;
+  return issr::write_text_file(path, content);
 }
 
 }  // namespace issr::driver

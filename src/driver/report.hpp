@@ -1,9 +1,12 @@
 // Machine-readable result emission for experiment sweeps: a stable JSON
-// document (schema `issr_run.results.v1`), an RFC-4180-style CSV with the
-// same columns, and a console summary table. All numeric formatting is
+// document (schema `issr_run.results.v2`), an RFC-4180-style CSV with the
+// same columns, and console summary tables. All numeric formatting is
 // deterministic (doubles render via %.17g round-trip notation), so two
-// runs of the same scenario list — at any worker count — emit bytewise
-// identical documents.
+// runs of the same scenario list — at any worker count, traced or not —
+// emit bytewise identical documents. v2 adds the stall-attribution
+// columns: `core_cycles` (cycles x cores, the attribution denominator)
+// and one `stall_<bucket>` count per trace/stall.hpp bucket; the bucket
+// columns sum to core_cycles for every row.
 #pragma once
 
 #include <string>
@@ -22,6 +25,10 @@ std::string results_to_csv(const std::vector<ScenarioResult>& results);
 
 /// Build the aligned console summary table.
 Table results_table(const std::vector<ScenarioResult>& results);
+
+/// Build the stall-attribution table (--stall-report): one row per
+/// scenario, one column per bucket, as fractions of core_cycles.
+Table stall_table(const std::vector<ScenarioResult>& results);
 
 /// Write `content` to `path`; returns false on I/O failure.
 bool write_text_file(const std::string& path, const std::string& content);

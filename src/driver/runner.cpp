@@ -2,12 +2,17 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cassert>
 #include <cmath>
+#include <memory>
 #include <thread>
 
+#include "common/log.hpp"
 #include "common/rng.hpp"
 #include "driver/runs.hpp"
 #include "sparse/generate.hpp"
+#include "trace/chrome.hpp"
+#include "trace/ring.hpp"
 
 namespace issr::driver {
 
@@ -43,7 +48,23 @@ sparse::CsrMatrix make_matrix(const Scenario& s, Rng& rng) {
 
 }  // namespace
 
-ScenarioResult run_scenario(const Scenario& s) {
+std::string trace_file_path(const std::string& trace_dir, const Scenario& s) {
+  std::string name = s.name();
+  for (auto& c : name) {
+    if (c == '/') c = '_';
+  }
+  return trace_dir + "/" + name + ".trace.json";
+}
+
+ScenarioResult run_scenario(const Scenario& s, const RunOptions& opts) {
+  // The sink is created only when a trace is requested; a null sink means
+  // every instrumentation hook is a single skipped null check, so traced
+  // and untraced sweeps produce identical simulation results.
+  std::unique_ptr<trace::RingBufferSink> sink;
+  if (!opts.trace_dir.empty()) {
+    sink = std::make_unique<trace::RingBufferSink>(opts.trace_events);
+  }
+
   ScenarioResult out;
   out.scenario = s;
   Rng rng(s.seed);
@@ -58,7 +79,8 @@ ScenarioResult run_scenario(const Scenario& s) {
     out.scenario.family = sparse::MatrixFamily::kUniform;
     const auto a = sparse::random_sparse_vector(rng, s.cols, s.row_nnz());
     const auto b = sparse::random_dense_vector(rng, s.cols);
-    const auto r = run_spvv_cc(s.variant, s.width, a, b);
+    const auto r = run_spvv_cc(s.variant, s.width, a, b, /*validate=*/true,
+                               sink.get());
     out.ok = r.ok;
     out.rows = 1;
     out.cols = s.cols;
@@ -66,6 +88,8 @@ ScenarioResult run_scenario(const Scenario& s) {
     out.cycles = r.sim.cycles;
     out.fpu_util = r.sim.fpu_util();
     out.macs = r.sim.fpss.fmadd + r.sim.fpss.fmul;
+    out.core_cycles = r.sim.cycles;
+    out.stalls = r.sim.stalls;
   } else {
     // Hand-built-scenario normalization (expand() never emits these):
     // kDiagonal has no driver generator (make_matrix falls back to
@@ -82,27 +106,47 @@ ScenarioResult run_scenario(const Scenario& s) {
     out.cols = a.cols();
     out.nnz = a.nnz();
     if (cores == 1) {
-      const auto r = run_csrmv_cc(s.variant, s.width, a, x);
+      const auto r = run_csrmv_cc(s.variant, s.width, a, x, sink.get());
       out.ok = r.ok;
       out.cycles = r.sim.cycles;
       out.fpu_util = r.sim.fpu_util();
       out.macs = r.sim.fpss.fmadd + r.sim.fpss.fmul;
+      out.core_cycles = r.sim.cycles;
+      out.stalls = r.sim.stalls;
     } else {
-      const auto r = run_csrmv_mc(s.variant, s.width, cores, a, x);
+      const auto r = run_csrmv_mc(s.variant, s.width, cores, a, x, sink.get());
       out.ok = r.ok;
       out.cycles = r.mc.cluster.cycles;
       out.fpu_util = r.mc.cluster.fpu_util();
       out.macs = r.mc.cluster.total_macs();
+      out.core_cycles =
+          r.mc.cluster.cycles * static_cast<std::uint64_t>(cores);
+      out.stalls = r.mc.cluster.total_stalls();
     }
   }
   out.macs_per_cycle = out.cycles ? static_cast<double>(out.macs) /
                                         static_cast<double>(out.cycles)
                                   : 0.0;
+
+  // The attribution invariant the subsystem promises: the exclusive
+  // buckets decompose every simulated core-cycle exactly.
+  assert(out.stalls.total() == out.core_cycles &&
+         "stall buckets must sum to the simulated core-cycles");
+  if (out.stalls.total() != out.core_cycles) out.ok = false;
+
+  if (sink) {
+    const std::string path = trace_file_path(opts.trace_dir, out.scenario);
+    if (!trace::write_chrome_trace(path, *sink)) {
+      ISSR_ERROR("failed to write trace file %s", path.c_str());
+      out.trace_write_failed = true;
+    }
+  }
   return out;
 }
 
 std::vector<ScenarioResult> run_scenarios(
-    const std::vector<Scenario>& scenarios, unsigned jobs) {
+    const std::vector<Scenario>& scenarios, unsigned jobs,
+    const RunOptions& opts) {
   std::vector<ScenarioResult> results(scenarios.size());
   if (scenarios.empty()) return results;
 
@@ -110,14 +154,15 @@ std::vector<ScenarioResult> run_scenarios(
       std::max(1u, jobs), static_cast<unsigned>(scenarios.size()));
   if (workers == 1) {
     for (std::size_t i = 0; i < scenarios.size(); ++i) {
-      results[i] = run_scenario(scenarios[i]);
+      results[i] = run_scenario(scenarios[i], opts);
     }
     return results;
   }
 
   // Each simulation is self-contained (own CcSim / Cluster, own Rng seeded
-  // from the scenario), so scenarios are embarrassingly parallel; workers
-  // pull the next index from a shared counter and write to their slot.
+  // from the scenario, own trace sink and output file), so scenarios are
+  // embarrassingly parallel; workers pull the next index from a shared
+  // counter and write to their slot.
   std::atomic<std::size_t> next{0};
   std::vector<std::thread> pool;
   pool.reserve(workers);
@@ -126,7 +171,7 @@ std::vector<ScenarioResult> run_scenarios(
       for (;;) {
         const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
         if (i >= scenarios.size()) return;
-        results[i] = run_scenario(scenarios[i]);
+        results[i] = run_scenario(scenarios[i], opts);
       }
     });
   }

@@ -6,11 +6,14 @@
 // output is identical for any job count.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/types.hpp"
 #include "driver/scenario.hpp"
+#include "trace/stall.hpp"
 
 namespace issr::driver {
 
@@ -29,18 +32,42 @@ struct ScenarioResult {
   double fpu_util = 0.0;    ///< FP arithmetic issues per core-cycle
   std::uint64_t macs = 0;   ///< multiply-accumulate count (fmadd + fmul)
   double macs_per_cycle = 0.0;
+  /// Attribution denominator: one entry per core per cycle, i.e.
+  /// cycles x cores. stalls.total() == core_cycles is asserted per run.
+  std::uint64_t core_cycles = 0;
+  trace::StallBuckets stalls;  ///< exact per-cycle stall attribution
+  /// The scenario's trace file could not be written (I/O failure only —
+  /// independent of `ok`, which reports simulation validity). Not a
+  /// report column: it describes this invocation, not the simulation.
+  bool trace_write_failed = false;
 };
+
+/// Per-sweep execution options (everything here is observational: the
+/// simulated results are identical for any combination of options).
+struct RunOptions {
+  /// When non-empty, each scenario writes a Chrome trace-event file
+  /// `<trace_dir>/<scenario>.trace.json` (the directory must exist;
+  /// scenario name '/' separators become '_').
+  std::string trace_dir;
+  /// Retained-event window per scenario trace (ring buffer capacity).
+  std::size_t trace_events = std::size_t{1} << 20;
+};
+
+/// The trace file a scenario writes under `trace_dir` (filename logic
+/// shared with reporting/tests).
+std::string trace_file_path(const std::string& trace_dir, const Scenario& s);
 
 /// Generate the workload for `s` (from s.seed) and simulate it. The
 /// returned record describes what actually ran: a hand-built SpVV
 /// scenario with cores > 1 executes on one core complex (there is no
 /// multicore SpVV kernel) and is recorded with cores = 1.
-ScenarioResult run_scenario(const Scenario& s);
+ScenarioResult run_scenario(const Scenario& s, const RunOptions& opts = {});
 
 /// Run every scenario, fanning across `jobs` worker threads (jobs <= 1
 /// runs inline on the calling thread). Results are positionally aligned
 /// with `scenarios` and bitwise independent of `jobs`.
-std::vector<ScenarioResult> run_scenarios(const std::vector<Scenario>& scenarios,
-                                          unsigned jobs);
+std::vector<ScenarioResult> run_scenarios(
+    const std::vector<Scenario>& scenarios, unsigned jobs,
+    const RunOptions& opts = {});
 
 }  // namespace issr::driver

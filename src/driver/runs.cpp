@@ -1,5 +1,6 @@
 #include "driver/runs.hpp"
 
+#include <cassert>
 #include <cmath>
 
 #include "kernels/csrmv.hpp"
@@ -10,7 +11,8 @@ namespace issr::driver {
 
 SpvvRun run_spvv_cc(kernels::Variant variant, sparse::IndexWidth width,
                     const sparse::SparseFiber& a,
-                    const sparse::DenseVector& b, bool validate) {
+                    const sparse::DenseVector& b, bool validate,
+                    trace::TraceSink* trace) {
   core::CcSim sim;
   kernels::SpvvArgs args;
   args.a_vals = sim.stage(a.vals());
@@ -20,9 +22,11 @@ SpvvRun run_spvv_cc(kernels::Variant variant, sparse::IndexWidth width,
   args.result = sim.alloc(8);
   args.width = width;
   sim.set_program(kernels::build_spvv(variant, args));
+  if (trace) sim.attach_trace(*trace);
 
   SpvvRun out;
   out.sim = sim.run();
+  assert(!out.sim.aborted && "SpVV simulation aborted at the cycle limit");
   out.result = sim.read_f64(args.result);
   if (validate) {
     const double want = sparse::ref_spvv(a, b);
@@ -32,7 +36,8 @@ SpvvRun run_spvv_cc(kernels::Variant variant, sparse::IndexWidth width,
 }
 
 CcRun run_csrmv_cc(kernels::Variant variant, sparse::IndexWidth width,
-                   const sparse::CsrMatrix& a, const sparse::DenseVector& x) {
+                   const sparse::CsrMatrix& a, const sparse::DenseVector& x,
+                   trace::TraceSink* trace) {
   core::CcSim sim;
   kernels::CsrmvArgs args;
   args.ptr = sim.stage_u32(a.ptr());
@@ -44,9 +49,11 @@ CcRun run_csrmv_cc(kernels::Variant variant, sparse::IndexWidth width,
   args.y = sim.alloc(8ull * a.rows());
   args.width = width;
   sim.set_program(kernels::build_csrmv(variant, args));
+  if (trace) sim.attach_trace(*trace);
 
   CcRun out;
   out.sim = sim.run();
+  assert(!out.sim.aborted && "CsrMV simulation aborted at the cycle limit");
   out.y = sparse::DenseVector(sim.read_f64s(args.y, a.rows()));
   out.ok = sparse::allclose(out.y, sparse::ref_csrmv(a, x), 1e-9, 1e-9);
   return out;
@@ -54,13 +61,16 @@ CcRun run_csrmv_cc(kernels::Variant variant, sparse::IndexWidth width,
 
 McRun run_csrmv_mc(kernels::Variant variant, sparse::IndexWidth width,
                    unsigned cores, const sparse::CsrMatrix& a,
-                   const sparse::DenseVector& x) {
+                   const sparse::DenseVector& x, trace::TraceSink* trace) {
   cluster::McCsrmvConfig cfg;
   cfg.variant = variant;
   cfg.width = width;
+  cfg.trace_sink = trace;
   if (cores != 0) cfg.cluster.num_workers = cores;
   McRun out;
   out.mc = cluster::run_csrmv_multicore(a, x, cfg);
+  assert(!out.mc.cluster.aborted &&
+         "cluster simulation aborted at the cycle limit");
   out.ok = sparse::allclose(out.mc.y, sparse::ref_csrmv(a, x), 1e-9, 1e-9);
   return out;
 }

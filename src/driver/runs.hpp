@@ -12,6 +12,7 @@
 #include "sparse/csr.hpp"
 #include "sparse/dense.hpp"
 #include "sparse/fiber.hpp"
+#include "trace/trace.hpp"
 
 namespace issr::driver {
 
@@ -37,16 +38,22 @@ struct McRun {
 
 /// `validate = false` skips the host-reference comparison (and leaves
 /// `ok` false) — for throughput measurements of the simulator itself.
+/// A non-null `trace` records cycle-resolved telemetry for the run
+/// without affecting any simulated result. All helpers assert that the
+/// simulation ran to completion (did not abort at the cycle limit).
 SpvvRun run_spvv_cc(kernels::Variant variant, sparse::IndexWidth width,
                     const sparse::SparseFiber& a,
-                    const sparse::DenseVector& b, bool validate = true);
+                    const sparse::DenseVector& b, bool validate = true,
+                    trace::TraceSink* trace = nullptr);
 
 CcRun run_csrmv_cc(kernels::Variant variant, sparse::IndexWidth width,
-                   const sparse::CsrMatrix& a, const sparse::DenseVector& x);
+                   const sparse::CsrMatrix& a, const sparse::DenseVector& x,
+                   trace::TraceSink* trace = nullptr);
 
 /// `cores == 0` selects the library's ClusterConfig default worker count.
 McRun run_csrmv_mc(kernels::Variant variant, sparse::IndexWidth width,
                    unsigned cores, const sparse::CsrMatrix& a,
-                   const sparse::DenseVector& x);
+                   const sparse::DenseVector& x,
+                   trace::TraceSink* trace = nullptr);
 
 }  // namespace issr::driver

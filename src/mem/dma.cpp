@@ -86,10 +86,27 @@ bool Dma::tick_channel(Channel& ch, std::uint64_t& completed_counter) {
   return true;
 }
 
-void Dma::tick(cycle_t) {
+void Dma::attach_trace(trace::TraceSink& sink) {
+  in_.trace.attach(sink, sink.add_track("dma", "inbound"));
+  out_.trace.attach(sink, sink.add_track("dma", "outbound"));
+}
+
+void Dma::tick(cycle_t now) {
   const bool in_active = tick_channel(in_, completed_in_);
   const bool out_active = tick_channel(out_, completed_out_);
   if (in_active || out_active) ++stats_.busy_cycles;
+
+  for (auto* ch : {&in_, &out_}) {
+    const bool busy = ch == &in_ ? in_active : out_active;
+    if (busy != ch->was_busy) {
+      if (busy) {
+        ch->trace.begin(now, "xfer");
+      } else {
+        ch->trace.end(now, "xfer");
+      }
+      ch->was_busy = busy;
+    }
+  }
 }
 
 }  // namespace issr::mem

@@ -15,6 +15,7 @@
 #include "common/types.hpp"
 #include "mem/main_mem.hpp"
 #include "mem/tcdm.hpp"
+#include "trace/trace.hpp"
 
 namespace issr::mem {
 
@@ -71,11 +72,17 @@ class Dma {
 
   const DmaStats& stats() const { return stats_; }
 
+  /// Register "inbound"/"outbound" timeline tracks; each channel then
+  /// traces one slice per busy interval (back-to-back jobs merge).
+  void attach_trace(trace::TraceSink& sink);
+
  private:
   struct Channel {
     std::deque<DmaJob> jobs;
     std::uint64_t row_done = 0;   ///< bytes moved in the current row
     std::uint64_t rows_done = 0;  ///< completed rows of the current job
+    trace::Tracer trace;
+    bool was_busy = false;  ///< an open "xfer" trace slice
   };
 
   /// Move up to kBeatBytes of the channel's current job; returns bytes.

@@ -26,7 +26,7 @@ class IdealPort final : public MemPort {
     return static_cast<unsigned>(matured_.size() + inflight_.size());
   }
 
-  const PortStats& stats() const { return stats_; }
+  const PortStats& stats() const override { return stats_; }
 
  private:
   friend class IdealMemory;

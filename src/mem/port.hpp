@@ -30,6 +30,15 @@ struct MemRsp {
   std::uint32_t id = 0;
 };
 
+/// Per-port traffic statistics.
+struct PortStats {
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t stall_cycles = 0;  ///< cycles a request waited ungranted
+
+  std::uint64_t accesses() const { return reads + writes; }
+};
+
 /// Requester-side view of one memory port.
 class MemPort {
  public:
@@ -47,15 +56,10 @@ class MemPort {
 
   /// Loads granted but not yet delivered (diagnostic/test hook).
   virtual unsigned inflight() const = 0;
-};
 
-/// Per-port traffic statistics.
-struct PortStats {
-  std::uint64_t reads = 0;
-  std::uint64_t writes = 0;
-  std::uint64_t stall_cycles = 0;  ///< cycles a request waited ungranted
-
-  std::uint64_t accesses() const { return reads + writes; }
+  /// Traffic statistics, observable through the requester-side interface
+  /// so the stall accountant can attribute arbitration losses per port.
+  virtual const PortStats& stats() const = 0;
 };
 
 }  // namespace issr::mem

@@ -26,6 +26,15 @@ Tcdm::Tcdm(const TcdmConfig& cfg, unsigned num_masters)
   }
 }
 
+void Tcdm::attach_trace(trace::TraceSink& sink) {
+  trace_ = &sink;
+  bank_tracks_.clear();
+  bank_tracks_.reserve(cfg_.num_banks);
+  for (std::uint32_t b = 0; b < cfg_.num_banks; ++b) {
+    bank_tracks_.push_back(sink.add_track("tcdm", "bank" + std::to_string(b)));
+  }
+}
+
 unsigned Tcdm::claim_for_dma(std::uint32_t first_bank, std::uint32_t count) {
   unsigned claimed = 0;
   for (std::uint32_t i = 0; i < count; ++i) {
@@ -53,6 +62,7 @@ void Tcdm::tick(cycle_t now) {
   const unsigned n_ports = static_cast<unsigned>(ports_.size());
   const std::vector<bool> bank_busy(dma_claimed_);
   for (std::uint32_t b = 0; b < cfg_.num_banks; ++b) {
+    unsigned losers = 0;
     if (bank_busy[b]) {
       // Bank taken by DMA this cycle: all masters targeting it stall.
       for (auto& p : ports_) {
@@ -60,7 +70,12 @@ void Tcdm::tick(cycle_t now) {
             bank_of(p->pending_->addr) == b) {
           ++p->stats_.stall_cycles;
           ++stats_.conflicts;
+          ++losers;
         }
+      }
+      if (trace_ && losers > 0) {
+        trace_->record({now, bank_tracks_[b], trace::Phase::kInstant,
+                        "dma-claim-conflict", losers});
       }
       continue;
     }
@@ -76,8 +91,13 @@ void Tcdm::tick(cycle_t now) {
         } else {
           ++p.stats_.stall_cycles;
           ++stats_.conflicts;
+          ++losers;
         }
       }
+    }
+    if (trace_ && losers > 0) {
+      trace_->record({now, bank_tracks_[b], trace::Phase::kInstant,
+                      "conflict", losers});
     }
     if (granted >= 0) {
       auto& p = *ports_[static_cast<unsigned>(granted)];

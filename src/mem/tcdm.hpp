@@ -18,6 +18,7 @@
 
 #include "mem/backing_store.hpp"
 #include "mem/port.hpp"
+#include "trace/trace.hpp"
 
 namespace issr::mem {
 
@@ -44,7 +45,7 @@ class TcdmPort final : public MemPort {
     return static_cast<unsigned>(matured_.size() + inflight_.size());
   }
 
-  const PortStats& stats() const { return stats_; }
+  const PortStats& stats() const override { return stats_; }
 
  private:
   friend class Tcdm;
@@ -104,6 +105,10 @@ class Tcdm {
   const TcdmStats& stats() const { return stats_; }
   void reset_stats() { stats_ = {}; }
 
+  /// Register one timeline track per bank on `sink`; conflicted cycles
+  /// then emit an instant per bank (value = masters that lost).
+  void attach_trace(trace::TraceSink& sink);
+
  private:
   TcdmConfig cfg_;
   BackingStore store_;
@@ -111,6 +116,8 @@ class Tcdm {
   std::vector<bool> dma_claimed_;
   std::vector<unsigned> rr_next_;  ///< per-bank round-robin pointer
   TcdmStats stats_;
+  trace::TraceSink* trace_ = nullptr;
+  std::vector<std::uint32_t> bank_tracks_;
 };
 
 }  // namespace issr::mem

@@ -57,6 +57,20 @@ Lane::Lane(LaneParams params, PortClient data_port, PortClient idx_port)
   assert(params_.dedicated_idx_port);
 }
 
+namespace {
+
+/// Static-lifetime slice label for a job (trace events keep the pointer).
+const char* job_label(const LaneJob& job) {
+  if (is_indirect(job.mode)) {
+    const bool u16 = job.mode == StreamMode::kIndirect16;
+    if (job.write) return u16 ? "indirect16-write" : "indirect32-write";
+    return u16 ? "indirect16-read" : "indirect32-read";
+  }
+  return job.write ? "affine-write" : "affine-read";
+}
+
+}  // namespace
+
 void Lane::submit(const LaneJob& job) {
   assert(can_accept_job());
   assert(params_.has_indirection || !is_indirect(job.mode));
@@ -73,6 +87,7 @@ void Lane::start(const LaneJob& job) {
   job_ = job;
   active_ = true;
   ++stats_.jobs_started;
+  trace_.begin(now_, job_label(job_), job_.total_elems());
 
   for (unsigned l = 0; l < kNumLoops; ++l) affine_idx_[l] = 0;
   affine_addr_ = job_.data_base;
@@ -230,6 +245,7 @@ void Lane::finish_if_done() {
   if (!done) return;
   assert(!job_.write || idcs_left_ == 0 || !is_indirect(job_.mode));
   active_ = false;
+  trace_.end(now_, job_label(job_));
   if (shadow_.has_value()) {
     const LaneJob next = *shadow_;
     shadow_.reset();
@@ -237,7 +253,8 @@ void Lane::finish_if_done() {
   }
 }
 
-void Lane::tick(cycle_t) {
+void Lane::tick(cycle_t now) {
+  now_ = now;
   // 1. Collect memory responses.
   while (auto rsp = port_.pop_response()) {
     if (rsp->id == kTagIdx) {

@@ -24,6 +24,7 @@
 #include "ssr/config.hpp"
 #include "ssr/fifo.hpp"
 #include "ssr/port_hub.hpp"
+#include "trace/trace.hpp"
 
 namespace issr::ssr {
 
@@ -82,9 +83,30 @@ class Lane {
   }
   void push(double value);
 
+  /// Why a read stream's FIFO was empty when the FPU last failed to pop —
+  /// the stall accountant uses this to attribute starved cycles
+  /// (trace/stall.hpp).
+  enum class StarveCause {
+    kNone,            ///< not an active read stream
+    kMemLatency,      ///< data fetches are in flight, responses pending
+    kSerializer,      ///< the index fetch/serializer path has produced no
+                      ///< data address yet (the ISSR indirection gate)
+    kPortContention,  ///< an address is ready but the data mover did not
+                      ///< get the memory port (mux turn / arbitration)
+  };
+
   /// Called by the FPU subsystem when it wanted to pop but could not;
-  /// feeds the starvation statistic.
-  void note_starved() { ++stats_.reg_starved_cycles; }
+  /// feeds the starvation statistic and latches the cause. The latch
+  /// matters: the FPU ticks before the streamer, so the cause must be
+  /// sampled here — after the lane's own tick the serializer/data mover
+  /// have already advanced past the state that explains the empty FIFO.
+  void note_starved() {
+    ++stats_.reg_starved_cycles;
+    last_starve_cause_ = current_starve_cause();
+  }
+
+  /// The cause latched by the most recent note_starved().
+  StarveCause last_starve_cause() const { return last_starve_cause_; }
 
   // --- Simulation ---------------------------------------------------------
   /// Advance one cycle: collect memory responses, run the serializer,
@@ -94,10 +116,26 @@ class Lane {
   const LaneStats& stats() const { return stats_; }
   void reset_stats() { stats_ = {}; }
 
+  /// Timeline hook: one slice per stream job (trace/).
+  trace::Tracer& tracer() { return trace_; }
+
+  /// Latch the current cycle for trace timestamps of job events raised
+  /// outside tick() (submit from a CSR write, finish from a pop).
+  void begin_cycle(cycle_t now) { now_ = now; }
+
  private:
   // Request tags distinguishing index and data responses on the port.
   static constexpr std::uint32_t kTagData = 0;
   static constexpr std::uint32_t kTagIdx = 1;
+
+  StarveCause current_starve_cause() const {
+    if (!active_ || job_.write) return StarveCause::kNone;
+    if (data_outstanding_ > 0) return StarveCause::kMemLatency;
+    if (is_indirect(job_.mode) && addr_queue_.empty()) {
+      return StarveCause::kSerializer;
+    }
+    return StarveCause::kPortContention;
+  }
 
   void start(const LaneJob& job);
   void finish_if_done();
@@ -150,6 +188,9 @@ class Lane {
   std::uint64_t pushes_left_ = 0;  ///< write stream: register pushes due
 
   LaneStats stats_;
+  trace::Tracer trace_;
+  cycle_t now_ = 0;  ///< current cycle, latched by tick() for job slices
+  StarveCause last_starve_cause_ = StarveCause::kNone;
 };
 
 }  // namespace issr::ssr

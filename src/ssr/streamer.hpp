@@ -58,6 +58,13 @@ class Streamer {
   /// True iff any lane still has an active or parked job.
   bool busy() const;
 
+  /// Latch the cycle number into every lane before the core/FPSS phases
+  /// run, so job start/finish trace slices triggered from those phases
+  /// (CSR submit, register-file pop) carry the current cycle.
+  void begin_cycle(cycle_t now) {
+    for (auto& l : lanes_) l->begin_cycle(now);
+  }
+
   void tick(cycle_t now);
 
  private:

@@ -1,0 +1,137 @@
+#include "trace/chrome.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <map>
+
+#include "common/textfile.hpp"
+
+namespace issr::trace {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default: {
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%" PRIu64, v);
+  out += buf;
+}
+
+/// Common row prefix: {"pid":P,"tid":T .
+void append_ids(std::string& out, unsigned pid, unsigned tid) {
+  out += "{\"pid\":";
+  append_u64(out, pid);
+  out += ",\"tid\":";
+  append_u64(out, tid);
+}
+
+}  // namespace
+
+std::string to_chrome_json(const RingBufferSink& sink) {
+  const auto& tracks = sink.tracks();
+
+  // One pid per distinct process name, in first-appearance order.
+  std::map<std::string, unsigned> pid_of;
+  std::vector<std::string> processes;
+  for (const auto& t : tracks) {
+    if (pid_of.emplace(t.process, processes.size()).second) {
+      processes.push_back(t.process);
+    }
+  }
+
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  const auto sep = [&] {
+    if (!first) out += ",";
+    first = false;
+    out += "\n";
+  };
+
+  // Metadata: name every pid and tid so timeline rows read as hardware
+  // units rather than bare numbers.
+  for (unsigned p = 0; p < processes.size(); ++p) {
+    sep();
+    append_ids(out, p, 0);
+    out += ",\"ph\":\"M\",\"name\":\"process_name\",\"args\":{\"name\":\"";
+    out += json_escape(processes[p]);
+    out += "\"}}";
+  }
+  for (unsigned t = 0; t < tracks.size(); ++t) {
+    sep();
+    append_ids(out, pid_of.at(tracks[t].process), t);
+    out += ",\"ph\":\"M\",\"name\":\"thread_name\",\"args\":{\"name\":\"";
+    out += json_escape(tracks[t].name);
+    out += "\"}}";
+  }
+
+  for (const Event& e : sink.events()) {
+    if (e.track >= tracks.size()) continue;  // event from a foreign sink
+    sep();
+    append_ids(out, pid_of.at(tracks[e.track].process), e.track);
+    out += ",\"ts\":";
+    append_u64(out, e.ts);
+    out += ",\"name\":\"";
+    out += json_escape(e.name);
+    out += "\"";
+    switch (e.phase) {
+      case Phase::kBegin:
+        out += ",\"ph\":\"B\",\"args\":{\"value\":";
+        append_u64(out, e.value);
+        out += "}";
+        break;
+      case Phase::kEnd:
+        out += ",\"ph\":\"E\"";
+        break;
+      case Phase::kInstant:
+        out += ",\"ph\":\"i\",\"s\":\"t\",\"args\":{\"value\":";
+        append_u64(out, e.value);
+        out += "}";
+        break;
+      case Phase::kCounter:
+        out += ",\"ph\":\"C\",\"args\":{\"value\":";
+        append_u64(out, e.value);
+        out += "}";
+        break;
+    }
+    out += "}";
+  }
+
+  out += "\n],\"displayTimeUnit\":\"ms\",\"otherData\":{\"recorded\":";
+  append_u64(out, sink.recorded());
+  out += ",\"overwritten\":";
+  append_u64(out, sink.overwritten());
+  out += "}}\n";
+  return out;
+}
+
+bool write_chrome_trace(const std::string& path, const RingBufferSink& sink) {
+  return issr::write_text_file(path, to_chrome_json(sink));
+}
+
+}  // namespace issr::trace

@@ -1,0 +1,30 @@
+// Chrome trace-event JSON exporter: renders a RingBufferSink's events in
+// the format chrome://tracing and https://ui.perfetto.dev load directly.
+// Each registered process becomes a pid, each track a tid (named through
+// metadata records), and events map onto the B/E/i/C phases. Timestamps
+// are simulation cycles emitted in the format's microsecond field, so one
+// timeline microsecond reads as one core cycle.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "trace/ring.hpp"
+
+namespace issr::trace {
+
+/// Escape `s` for embedding inside a JSON string literal: quotes and
+/// backslashes are backslash-escaped, control characters below 0x20 emit
+/// as \uNNNN (with the \b \f \n \r \t short forms); everything else —
+/// including non-ASCII UTF-8 bytes — passes through untouched.
+std::string json_escape(std::string_view s);
+
+/// Render the sink's retained events as a complete Chrome trace document
+/// ({"traceEvents": [...]}, trailing newline included). Deterministic:
+/// the same events and tracks produce bytewise-identical output.
+std::string to_chrome_json(const RingBufferSink& sink);
+
+/// Write to_chrome_json(sink) to `path`; returns false on I/O failure.
+bool write_chrome_trace(const std::string& path, const RingBufferSink& sink);
+
+}  // namespace issr::trace

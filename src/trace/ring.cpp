@@ -1,0 +1,41 @@
+#include "trace/ring.hpp"
+
+#include <cassert>
+
+namespace issr::trace {
+
+RingBufferSink::RingBufferSink(std::size_t capacity) : buf_(capacity) {
+  assert(capacity > 0);
+}
+
+std::uint32_t RingBufferSink::add_track(const std::string& process,
+                                        const std::string& track) {
+  tracks_.push_back({process, track});
+  return static_cast<std::uint32_t>(tracks_.size() - 1);
+}
+
+void RingBufferSink::record(const Event& event) {
+  buf_[next_] = event;
+  next_ = (next_ + 1) % buf_.size();
+  if (count_ < buf_.size()) ++count_;
+  ++recorded_;
+}
+
+std::vector<Event> RingBufferSink::events() const {
+  std::vector<Event> out;
+  out.reserve(count_);
+  // Oldest event: `next_` once wrapped, slot 0 before that.
+  const std::size_t first = count_ == buf_.size() ? next_ : 0;
+  for (std::size_t i = 0; i < count_; ++i) {
+    out.push_back(buf_[(first + i) % buf_.size()]);
+  }
+  return out;
+}
+
+void RingBufferSink::clear() {
+  next_ = 0;
+  count_ = 0;
+  recorded_ = 0;
+}
+
+}  // namespace issr::trace

@@ -1,0 +1,52 @@
+// Flight-recorder trace collector: a fixed-capacity ring of Event records.
+// When the buffer fills, the oldest events are overwritten (and counted),
+// so a bounded amount of memory always holds the most recent window of the
+// run — the part that explains how it ended. Export with chrome.hpp.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace issr::trace {
+
+class RingBufferSink final : public TraceSink {
+ public:
+  /// `capacity` is the maximum retained event count (32 B each; the
+  /// default window of 1 Mi events costs 32 MiB).
+  explicit RingBufferSink(std::size_t capacity = std::size_t{1} << 20);
+
+  std::uint32_t add_track(const std::string& process,
+                          const std::string& track) override;
+  void record(const Event& event) override;
+
+  struct Track {
+    std::string process;
+    std::string name;
+  };
+  const std::vector<Track>& tracks() const { return tracks_; }
+
+  /// Retained events, oldest first.
+  std::vector<Event> events() const;
+
+  std::size_t size() const { return count_; }
+  std::size_t capacity() const { return buf_.size(); }
+  /// Total events ever recorded (size() + overwritten()).
+  std::uint64_t recorded() const { return recorded_; }
+  /// Events lost to ring wrap-around.
+  std::uint64_t overwritten() const {
+    return recorded_ - static_cast<std::uint64_t>(count_);
+  }
+
+  void clear();
+
+ private:
+  std::vector<Event> buf_;
+  std::size_t next_ = 0;   ///< slot the next event lands in
+  std::size_t count_ = 0;  ///< valid events in the ring
+  std::uint64_t recorded_ = 0;
+  std::vector<Track> tracks_;
+};
+
+}  // namespace issr::trace

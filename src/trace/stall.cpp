@@ -1,0 +1,36 @@
+#include "trace/stall.hpp"
+
+namespace issr::trace {
+
+const char* to_string(Bucket b) {
+  switch (b) {
+    case Bucket::kFpCompute: return "fp_compute";
+    case Bucket::kIssue: return "issue";
+    case Bucket::kBarrier: return "barrier";
+    case Bucket::kIdxSerializer: return "idx_serializer";
+    case Bucket::kTcdmConflict: return "tcdm_conflict";
+    case Bucket::kStreamStarved: return "stream_starved";
+    case Bucket::kDrain: return "drain";
+    case Bucket::kOther: return "other";
+    case Bucket::kNumBuckets: break;
+  }
+  return "?";
+}
+
+Bucket classify(const CycleObservation& o) {
+  // Forward progress dominates: a cycle that issues is not a stall, even
+  // if some other engine lost arbitration the same cycle.
+  if (o.fp_compute) return Bucket::kFpCompute;
+  if (o.issued) return Bucket::kIssue;
+  if (o.barrier_stall) return Bucket::kBarrier;
+  if (o.stream_stall) {
+    if (o.idx_serializer) return Bucket::kIdxSerializer;
+    if (o.port_conflict) return Bucket::kTcdmConflict;
+    return Bucket::kStreamStarved;
+  }
+  if (o.port_conflict) return Bucket::kTcdmConflict;
+  if (o.sync_stall || o.halted) return Bucket::kDrain;
+  return Bucket::kOther;
+}
+
+}  // namespace issr::trace

@@ -1,0 +1,88 @@
+// Per-cycle stall attribution: every simulated cycle of a core complex is
+// classified into exactly one bucket, so the buckets form an exact
+// decomposition of the run (sum == cycles, asserted by the driver). This
+// is the accounting the paper's Fig. 4 discussion does by hand — issue
+// overhead vs FP compute vs the stream/index/bank bottlenecks — made a
+// first-class, machine-checkable output of every run.
+//
+// Classification is observational: the accountant diffs a handful of
+// existing statistics counters after each core-complex tick and never
+// feeds back into simulated state, so accounting on/off cannot change any
+// simulated result.
+#pragma once
+
+#include <cstdint>
+
+namespace issr::trace {
+
+/// Exclusive cycle buckets, in classification priority order (a cycle
+/// that both issues an integer instruction and loses TCDM arbitration
+/// counts toward the earlier bucket).
+enum class Bucket : unsigned {
+  kFpCompute = 0,   ///< the FPU issued an arithmetic op (useful work)
+  kIssue,           ///< a non-FP-compute instruction issued (core or FPSS)
+  kBarrier,         ///< core blocked at the cluster barrier CSR
+  kIdxSerializer,   ///< stream starved behind the index fetch/serializer
+  kTcdmConflict,    ///< blocked on TCDM bank-conflict / port arbitration
+  kStreamStarved,   ///< stream FIFO empty/full for any other reason
+  kDrain,           ///< halted or waiting for the FP subsystem to drain
+  kOther,           ///< residual: scoreboard hazards, queue backpressure
+  kNumBuckets,
+};
+
+inline constexpr unsigned kNumBuckets =
+    static_cast<unsigned>(Bucket::kNumBuckets);
+
+/// Human-readable bucket name ("fp_compute", "issue", ...) — also the
+/// JSON/CSV column suffix and the trace slice label.
+const char* to_string(Bucket b);
+
+/// Exact per-bucket cycle counts. total() equals the classified cycle
+/// count by construction; the driver asserts it against the simulator's
+/// own cycle counter (x core count for cluster runs).
+struct StallBuckets {
+  std::uint64_t counts[kNumBuckets] = {};
+
+  std::uint64_t& operator[](Bucket b) {
+    return counts[static_cast<unsigned>(b)];
+  }
+  std::uint64_t operator[](Bucket b) const {
+    return counts[static_cast<unsigned>(b)];
+  }
+
+  std::uint64_t total() const {
+    std::uint64_t t = 0;
+    for (const auto c : counts) t += c;
+    return t;
+  }
+
+  double fraction(Bucket b) const {
+    const std::uint64_t t = total();
+    return t ? static_cast<double>((*this)[b]) / static_cast<double>(t) : 0.0;
+  }
+
+  StallBuckets& operator+=(const StallBuckets& o) {
+    for (unsigned i = 0; i < kNumBuckets; ++i) counts[i] += o.counts[i];
+    return *this;
+  }
+
+  bool operator==(const StallBuckets&) const = default;
+};
+
+/// What the core complex observed over one cycle, as statistic deltas and
+/// component state sampled after its tick (see CoreComplex::account).
+struct CycleObservation {
+  bool fp_compute = false;      ///< FPU arithmetic issue this cycle
+  bool issued = false;          ///< any core/FPSS instruction issued
+  bool barrier_stall = false;   ///< core polled the barrier and blocked
+  bool stream_stall = false;    ///< FPSS blocked on a stream FIFO
+  bool idx_serializer = false;  ///< starving lane gated by its index path
+  bool port_conflict = false;   ///< a CC memory port lost arbitration
+  bool sync_stall = false;      ///< core blocked on the FPSS-sync CSR
+  bool halted = false;          ///< integer core has halted
+};
+
+/// Map one cycle's observation to its (single) bucket.
+Bucket classify(const CycleObservation& o);
+
+}  // namespace issr::trace

@@ -1,0 +1,91 @@
+// Cycle-resolved trace telemetry: the event model and the sink/handle pair
+// every simulation component records through.
+//
+// Design constraints (they shape the whole subsystem):
+//  - Zero cost when detached. A component holds a `Tracer` (a sink pointer
+//    plus a track id); every emit helper is a single null check when no
+//    sink is attached, and nothing else in the simulation reads trace
+//    state, so enabling or disabling tracing cannot perturb simulated
+//    behaviour — traced and untraced runs are bytewise identical.
+//  - Events are small PODs (32 B) with static-lifetime name strings, so a
+//    ring-buffer collector records them with one copy and no allocation.
+//  - Tracks mirror the hardware: one per core, FPU subsystem, streamer
+//    lane, TCDM bank, DMA channel, and the cluster barrier. Exporters
+//    (chrome.hpp) turn tracks into timeline rows.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace issr::trace {
+
+/// Chrome-trace-style event phases: slices (begin/end pairs on a track),
+/// point events, and sampled counters.
+enum class Phase : std::uint8_t {
+  kBegin,    ///< open a slice on the track
+  kEnd,      ///< close the innermost open slice
+  kInstant,  ///< point-in-time marker
+  kCounter,  ///< sampled value (renders as a counter track)
+};
+
+/// One recorded event. `name` must point at a string with static lifetime
+/// (string literals); sinks store the pointer, not a copy.
+struct Event {
+  cycle_t ts = 0;           ///< simulation cycle
+  std::uint32_t track = 0;  ///< track id from TraceSink::add_track
+  Phase phase = Phase::kInstant;
+  const char* name = "";
+  std::uint64_t value = 0;  ///< counter value / instant argument
+};
+
+/// Destination for trace events. Implementations must tolerate being
+/// called once per simulated cycle on hot paths: record() should be O(1)
+/// and must not throw.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+
+  /// Register a timeline track, e.g. ("cc3", "issr"). `process` groups
+  /// related tracks (one per core complex / memory subsystem); `track` is
+  /// the row label. Returns the id events carry.
+  virtual std::uint32_t add_track(const std::string& process,
+                                  const std::string& track) = 0;
+
+  virtual void record(const Event& event) = 0;
+};
+
+/// A component's recording handle: sink pointer + pre-registered track.
+/// Default-constructed handles are detached and every emit is a no-op
+/// costing one pointer compare.
+class Tracer {
+ public:
+  Tracer() = default;
+
+  void attach(TraceSink& sink, std::uint32_t track) {
+    sink_ = &sink;
+    track_ = track;
+  }
+  void detach() { sink_ = nullptr; }
+  bool attached() const { return sink_ != nullptr; }
+
+  void begin(cycle_t ts, const char* name, std::uint64_t value = 0) {
+    if (sink_) sink_->record({ts, track_, Phase::kBegin, name, value});
+  }
+  void end(cycle_t ts, const char* name, std::uint64_t value = 0) {
+    if (sink_) sink_->record({ts, track_, Phase::kEnd, name, value});
+  }
+  void instant(cycle_t ts, const char* name, std::uint64_t value = 0) {
+    if (sink_) sink_->record({ts, track_, Phase::kInstant, name, value});
+  }
+  void counter(cycle_t ts, const char* name, std::uint64_t value) {
+    if (sink_) sink_->record({ts, track_, Phase::kCounter, name, value});
+  }
+
+ private:
+  TraceSink* sink_ = nullptr;
+  std::uint32_t track_ = 0;
+};
+
+}  // namespace issr::trace

@@ -314,12 +314,16 @@ std::vector<ScenarioResult> fake_results() {
   r.fpu_util = 0.5;
   r.macs = 30;
   r.macs_per_cycle = 0.075;
+  r.core_cycles = 3200;
+  r.stalls[trace::Bucket::kFpCompute] = 200;
+  r.stalls[trace::Bucket::kIssue] = 2800;
+  r.stalls[trace::Bucket::kTcdmConflict] = 200;
   return {r};
 }
 
 TEST(Report, JsonContainsSchemaAndFields) {
   const auto json = results_to_json(fake_results());
-  EXPECT_NE(json.find("\"schema\": \"issr_run.results.v1\""),
+  EXPECT_NE(json.find("\"schema\": \"issr_run.results.v2\""),
             std::string::npos);
   EXPECT_NE(json.find("\"kernel\": \"csrmv\""), std::string::npos);
   EXPECT_NE(json.find("\"variant\": \"issr\""), std::string::npos);
@@ -332,6 +336,11 @@ TEST(Report, JsonContainsSchemaAndFields) {
   EXPECT_NE(json.find("\"ok\": true"), std::string::npos);
   EXPECT_NE(json.find("\"cycles\": 400"), std::string::npos);
   EXPECT_NE(json.find("\"fpu_util\": 0.5"), std::string::npos);
+  // v2 stall-attribution columns.
+  EXPECT_NE(json.find("\"core_cycles\": 3200"), std::string::npos);
+  EXPECT_NE(json.find("\"stall_fp_compute\": 200"), std::string::npos);
+  EXPECT_NE(json.find("\"stall_issue\": 2800"), std::string::npos);
+  EXPECT_NE(json.find("\"stall_other\": 0"), std::string::npos);
   // Balanced braces/brackets and a trailing newline.
   EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
             std::count(json.begin(), json.end(), '}'));
