@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "common/cli.hpp"
+#include "core/engine.hpp"
 #include "driver/report.hpp"
 #include "driver/runner.hpp"
 #include "driver/scenario.hpp"
@@ -53,6 +54,9 @@ Execution and output:
                      (32 B/event per running scenario; max 67108864)
   --stall-report     print per-scenario stall attribution (fractions of
                      core-cycles; buckets sum to 1 exactly)
+  --no-fast-forward  tick every cycle instead of skipping provably idle
+                     stretches (results are identical either way; use to
+                     bisect a suspected engine discrepancy)
   --list             print the expanded scenarios and exit
   --help             this text
 
@@ -88,6 +92,7 @@ int main(int argc, char** argv) {
   std::string out_prefix = "issr_run_results";
 
   cli::FlagParser parser("issr_run", kUsage);
+  core::register_engine_cli(parser);
   parser.add_switch("--list", [&] { list_only = true; });
   parser.add_switch("--stall-report", [&] { stall_report = true; });
   parser.add_value("--kernels", [&](const std::string& v) {

@@ -11,6 +11,7 @@
 
 #include "common/cli.hpp"
 #include "common/rng.hpp"
+#include "core/engine.hpp"
 #include "core/sim.hpp"
 #include "driver/runs.hpp"
 #include "kernels/csrmm.hpp"
@@ -35,8 +36,9 @@ inline bool full_run() {
 }
 
 /// Shared bench command line (the one flag dispatch for every figure/table
-/// binary): --full selects the complete paper sweep, --help describes the
-/// bench. Call first thing in main.
+/// binary): --full selects the complete paper sweep, --no-fast-forward
+/// disables the engine's idle-cycle skip, --help describes the bench.
+/// Call first thing in main.
 inline void parse_args(int argc, char** argv, const char* what) {
   const std::string prog =
       argc > 0 && argv[0] != nullptr ? argv[0] : "bench";
@@ -45,8 +47,13 @@ inline void parse_args(int argc, char** argv, const char* what) {
                       "  --full    run the complete paper sweep (default: a "
                       "fast representative subset;\n"
                       "            ISSR_BENCH_FULL=1 is equivalent)\n"
+                      "  --no-fast-forward  tick every cycle instead of "
+                      "skipping provably idle stretches\n"
+                      "            (simulated results are identical either "
+                      "way)\n"
                       "  --help    this text\n";
   cli::FlagParser parser(prog, usage);
+  core::register_engine_cli(parser);
   parser.add_switch("--full", [] { g_full_forced = true; });
   parser.parse(argc, argv);
 }

@@ -70,7 +70,7 @@ void BM_SimulatorCyclesPerSecond(benchmark::State& state) {
     const auto r =
         driver::run_spvv_cc(kernels::Variant::kIssr,
                             sparse::IndexWidth::kU16, a, b,
-                            /*validate=*/false);
+                            /*trace=*/nullptr, /*validate=*/false);
     cycles += r.sim.cycles;
   }
   state.counters["sim_cycles/s"] = benchmark::Counter(

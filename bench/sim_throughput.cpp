@@ -1,0 +1,217 @@
+// sim_throughput — simulator wall-clock baseline: measures MCPS (million
+// simulated cycles per second) over a fixed scenario matrix mirroring the
+// paper-figure workloads (fig4a single-CC SpVV, fig4b single-CC CsrMV,
+// fig4c cluster CsrMV) and writes BENCH_simspeed.json. This file seeds the
+// repo's performance trajectory: CI runs it on every push, uploads the
+// JSON, and fails when a scenario regresses >25% below the committed
+// baseline (bench/baseline_simspeed.json).
+//
+// Simulated cycle counts are printed alongside: they are workload
+// invariants (independent of host speed, --jobs, tracing, and
+// --no-fast-forward), so a cycles/run change flags a modelling change
+// even when the MCPS noise band hides it.
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "core/engine.hpp"
+#include "driver/report.hpp"
+#include "driver/runs.hpp"
+#include "sparse/generate.hpp"
+
+using namespace issr;
+
+namespace {
+
+constexpr const char* kUsage = R"(sim_throughput — simulated-cycles/sec baseline
+
+Usage: sim_throughput [options]
+
+Options:
+  --out FILE         output JSON path            [BENCH_simspeed.json]
+  --min-seconds S    per-scenario wall budget    [0.5]
+  --no-fast-forward  tick every cycle instead of skipping provably idle
+                     stretches (simulated cycle counts are identical)
+  --help             this text
+
+Writes one record per scenario: {scenario, cycles, reps, seconds, mcps}
+plus the git describe of the measured tree. Cluster scenarios report
+core-cycles (cycles x workers), the denominator the stall accountant and
+the fig4c utilization metric use.
+)";
+
+struct Measurement {
+  std::string name;
+  std::uint64_t cycles = 0;  ///< simulated (core-)cycles of one run
+  unsigned reps = 0;
+  double seconds = 0.0;
+  double mcps = 0.0;
+};
+
+using Clock = std::chrono::steady_clock;
+
+/// Repeat `run` (returning simulated cycles) until `min_seconds` of wall
+/// clock elapsed; one untimed warm-up run absorbs cold caches and page
+/// allocation.
+template <typename F>
+Measurement measure(const std::string& name, double min_seconds, F&& run) {
+  Measurement m;
+  m.name = name;
+  m.cycles = run();
+  const auto t0 = Clock::now();
+  do {
+    const std::uint64_t c = run();
+    if (c != m.cycles) {
+      std::fprintf(stderr,
+                   "FATAL: %s: nondeterministic cycle count (%llu vs %llu)\n",
+                   name.c_str(), static_cast<unsigned long long>(c),
+                   static_cast<unsigned long long>(m.cycles));
+      std::abort();
+    }
+    ++m.reps;
+    m.seconds = std::chrono::duration<double>(Clock::now() - t0).count();
+  } while (m.seconds < min_seconds);
+  m.mcps = static_cast<double>(m.cycles) * m.reps / m.seconds / 1e6;
+  return m;
+}
+
+std::string git_describe() {
+  if (const char* env = std::getenv("ISSR_GIT_DESCRIBE")) return env;
+  std::string out;
+  if (FILE* p = popen("git describe --always --dirty 2>/dev/null", "r")) {
+    char buf[128];
+    if (std::fgets(buf, sizeof buf, p)) out = buf;
+    pclose(p);
+  }
+  while (!out.empty() && (out.back() == '\n' || out.back() == '\r')) {
+    out.pop_back();
+  }
+  return out.empty() ? "unknown" : out;
+}
+
+std::string fmt_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.4f", v);
+  return buf;
+}
+
+std::string to_json(const std::vector<Measurement>& ms) {
+  std::string j = "{\n  \"schema\": \"issr-simspeed-v1\",\n  \"git\": \"" +
+                  git_describe() + "\",\n  \"fast_forward\": " +
+                  (core::engine_fast_forward_default() ? "true" : "false") +
+                  ",\n  \"scenarios\": [\n";
+  for (std::size_t i = 0; i < ms.size(); ++i) {
+    const Measurement& m = ms[i];
+    j += "    {\"scenario\": \"" + m.name +
+         "\", \"cycles\": " + std::to_string(m.cycles) +
+         ", \"reps\": " + std::to_string(m.reps) +
+         ", \"seconds\": " + fmt_double(m.seconds) +
+         ", \"mcps\": " + fmt_double(m.mcps) + "}";
+    j += i + 1 < ms.size() ? ",\n" : "\n";
+  }
+  j += "  ]\n}\n";
+  return j;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_simspeed.json";
+  double min_seconds = 0.5;
+
+  cli::FlagParser parser("sim_throughput", kUsage);
+  core::register_engine_cli(parser);
+  parser.add_value("--out", [&](const std::string& v) {
+    out_path = v;
+    return !v.empty();
+  });
+  parser.add_value("--min-seconds", [&](const std::string& v) {
+    return cli::parse_double(v, min_seconds) && min_seconds > 0.0;
+  });
+  parser.parse(argc, argv);
+
+  std::vector<Measurement> ms;
+
+  // fig4a shape: single-CC SpVV, streaming-dominated (one FPU issue per
+  // cycle at steady state), both index widths.
+  {
+    Rng rng(1);
+    const auto a = sparse::random_sparse_vector(rng, 32768, 16384);
+    const auto b = sparse::random_dense_vector(rng, 32768);
+    for (const auto width :
+         {sparse::IndexWidth::kU16, sparse::IndexWidth::kU32}) {
+      const std::string name =
+          width == sparse::IndexWidth::kU16 ? "fig4a_spvv_issr16"
+                                            : "fig4a_spvv_issr32";
+      ms.push_back(measure(name, min_seconds, [&] {
+        return driver::run_spvv_cc(kernels::Variant::kIssr, width, a, b,
+                                   /*trace=*/nullptr, /*validate=*/false)
+            .sim.cycles;
+      }));
+    }
+  }
+
+  // fig4b shape: single-CC CsrMV across kernel variants (base exercises
+  // the scalar load path, issr the full indirection datapath).
+  {
+    Rng rng(2);
+    const auto a = sparse::random_fixed_row_nnz_matrix(rng, 384, 512, 26);
+    const auto x = sparse::random_dense_vector(rng, 512);
+    const struct {
+      const char* name;
+      kernels::Variant variant;
+      sparse::IndexWidth width;
+    } points[] = {
+        {"fig4b_csrmv_base", kernels::Variant::kBase,
+         sparse::IndexWidth::kU32},
+        {"fig4b_csrmv_ssr", kernels::Variant::kSsr, sparse::IndexWidth::kU32},
+        {"fig4b_csrmv_issr16", kernels::Variant::kIssr,
+         sparse::IndexWidth::kU16},
+        {"fig4b_csrmv_issr32", kernels::Variant::kIssr,
+         sparse::IndexWidth::kU32},
+    };
+    for (const auto& p : points) {
+      ms.push_back(measure(p.name, min_seconds, [&] {
+        return driver::run_csrmv_cc(p.variant, p.width, a, x,
+                                    /*trace=*/nullptr, /*validate=*/false)
+            .sim.cycles;
+      }));
+    }
+  }
+
+  // fig4c shape: 8-worker cluster CsrMV with DMA double-buffering and
+  // TCDM arbitration; reports core-cycles (cycles x workers).
+  {
+    Rng rng(3);
+    const auto a = sparse::random_fixed_row_nnz_matrix(rng, 512, 1024, 51);
+    const auto x = sparse::random_dense_vector(rng, 1024);
+    ms.push_back(measure("fig4c_cluster_issr16", min_seconds, [&] {
+      const auto r = driver::run_csrmv_mc(
+          kernels::Variant::kIssr, sparse::IndexWidth::kU16, 8, a, x,
+          /*trace=*/nullptr, /*validate=*/false);
+      return r.mc.cluster.cycles * 8;
+    }));
+  }
+
+  Table t("Simulator throughput (million simulated cycles / second)");
+  t.set_header({"scenario", "cycles/run", "reps", "seconds", "MCPS"});
+  for (const auto& m : ms) {
+    t.add_row({m.name, fmt_u(m.cycles), fmt_u(m.reps), fmt_double(m.seconds),
+               fmt_double(m.mcps)});
+  }
+  t.print();
+
+  if (!driver::write_text_file(out_path, to_json(ms))) {
+    std::fprintf(stderr, "sim_throughput: failed to write %s\n",
+                 out_path.c_str());
+    return 1;
+  }
+  std::printf("wrote %s (git %s)\n", out_path.c_str(), git_describe().c_str());
+  return 0;
+}

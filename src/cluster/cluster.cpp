@@ -47,19 +47,45 @@ void Cluster::attach_trace(trace::TraceSink& sink) {
 }
 
 ClusterResult Cluster::run(cycle_t max_cycles) {
-  cycle_t now = 0;
-  while (now < max_cycles) {
-    // Order: DMA claims banks for this cycle, TCDM arbitrates (skipping
-    // claimed banks), then the controller and workers issue new traffic.
-    barrier_.begin_cycle(now);
-    dma_->tick(now);
-    tcdm_->tick(now);
-    if (controller_) controller_(*this, now);
-    for (auto& w : workers_) w->tick(now);
-    ++now;
-    if (done(now)) break;
-  }
+  // Idle-cycle fast-forward (run_engine in core/engine.hpp): only
+  // engages when the DMA is drained and the controller is done, i.e.
+  // every remaining per-cycle effect lives in the worker CCs.
+  struct Units {
+    Cluster& c;
+    void tick(cycle_t now) {
+      // Order: DMA claims banks for this cycle, TCDM arbitrates (skipping
+      // claimed banks), then the controller and workers issue new traffic.
+      c.barrier_.begin_cycle(now);
+      c.dma_->tick(now);
+      c.tcdm_->tick(now);
+      if (c.controller_) c.controller_(c, now);
+      for (auto& w : c.workers_) w->tick(now);
+    }
+    bool done(cycle_t now) const { return c.done(now); }
+    cycle_t next_event(cycle_t now) const {
+      if (c.dma_->busy() || (c.controller_ && !c.controller_done_)) {
+        return now;
+      }
+      cycle_t horizon = c.tcdm_->next_event();
+      for (const auto& w : c.workers_) {
+        const cycle_t we = w->next_event(now);
+        if (we < horizon) horizon = we;
+        if (horizon <= now) break;
+      }
+      return horizon;
+    }
+    void visit_counters(const core::CounterVisitor& f) {
+      for (auto& w : c.workers_) w->visit_wait_counters(f);
+    }
+    void after_replay() {
+      for (auto& w : c.workers_) w->resync_account();
+    }
+  };
+  cycle_t skipped = 0;
+  const cycle_t now = core::run_engine(Units{*this}, max_cycles,
+                                       config_.fast_forward, skipped);
   ClusterResult result;
+  result.ff_skipped = skipped;
   if (now >= max_cycles && !done(now)) {
     ISSR_ERROR("Cluster::run hit the cycle limit (%llu)",
                static_cast<unsigned long long>(max_cycles));

@@ -12,6 +12,7 @@
 
 #include "cluster/barrier.hpp"
 #include "core/cc.hpp"
+#include "core/engine.hpp"
 #include "isa/program.hpp"
 #include "mem/dma.hpp"
 #include "mem/main_mem.hpp"
@@ -25,11 +26,18 @@ struct ClusterConfig {
   unsigned num_workers = 8;
   mem::TcdmConfig tcdm;
   core::CcParams cc;
+  /// Skip provably idle cycle stretches in run() (exact; see
+  /// core/engine.hpp). Never engages while the DMA or a not-yet-done
+  /// controller is active. Defaults from the process-wide engine option.
+  bool fast_forward = core::engine_fast_forward_default();
 };
 
 /// Per-run cluster statistics.
 struct ClusterResult {
   cycle_t cycles = 0;
+  /// Simulated cycles the engine fast-forwarded instead of ticking
+  /// (diagnostic; 0 when fast_forward is off or never engaged).
+  cycle_t ff_skipped = 0;
   /// True iff the run hit max_cycles before the cluster was done; the
   /// statistics then describe a truncated run (the driver asserts on it).
   bool aborted = false;
@@ -75,6 +83,9 @@ class Cluster {
  public:
   /// A controller is ticked once per cycle after the memories; it models
   /// the DMCC. It may inspect/drive the DMA and read/write TCDM words.
+  /// Fast-forward contract: once a controller has called
+  /// set_controller_done(true) its invocations must be inert no-ops (the
+  /// engine skips them during fast-forwarded idle stretches).
   using Controller = std::function<void(Cluster&, cycle_t)>;
 
   Cluster(const ClusterConfig& config,

@@ -1,0 +1,74 @@
+// Flat FIFO queue over a power-of-two ring buffer. The simulator's
+// per-cycle queues (memory port flight/response queues, port-hub routing
+// queues, FPU-subsystem offload and writeback queues) previously used
+// std::deque, whose chunked storage costs an indirection plus allocator
+// traffic on the hottest paths; this queue keeps elements contiguous,
+// indexes with a mask, and only allocates when it grows past its current
+// capacity (amortized: steady-state simulation never allocates).
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+namespace issr {
+
+template <typename T>
+class RingQueue {
+ public:
+  RingQueue() = default;
+
+  bool empty() const { return size_ == 0; }
+  std::size_t size() const { return size_; }
+
+  T& front() {
+    assert(!empty());
+    return buf_[head_];
+  }
+  const T& front() const {
+    assert(!empty());
+    return buf_[head_];
+  }
+
+  void push_back(const T& v) {
+    if (size_ == buf_.size()) grow();
+    buf_[(head_ + size_) & mask_] = v;
+    ++size_;
+  }
+
+  void pop_front() {
+    assert(!empty());
+    head_ = (head_ + 1) & mask_;
+    --size_;
+  }
+
+  T take_front() {
+    T v = front();
+    pop_front();
+    return v;
+  }
+
+  void clear() {
+    head_ = 0;
+    size_ = 0;
+  }
+
+ private:
+  void grow() {
+    const std::size_t cap = buf_.empty() ? 8 : buf_.size() * 2;
+    std::vector<T> next(cap);
+    for (std::size_t i = 0; i < size_; ++i) {
+      next[i] = buf_[(head_ + i) & mask_];
+    }
+    buf_ = std::move(next);
+    head_ = 0;
+    mask_ = cap - 1;
+  }
+
+  std::vector<T> buf_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+  std::size_t mask_ = 0;
+};
+
+}  // namespace issr

@@ -24,4 +24,9 @@ inline constexpr unsigned kWordBytes = 8;
 /// log2 of the TCDM word width.
 inline constexpr unsigned kWordBytesLog2 = 3;
 
+/// Sentinel cycle meaning "no scheduled event": a unit reporting this from
+/// its next_event() hook is idle until some other unit acts on it. Used by
+/// the idle-cycle fast-forward in CcSim::run / Cluster::run.
+inline constexpr cycle_t kCycleNever = ~cycle_t{0};
+
 }  // namespace issr

@@ -27,6 +27,8 @@ CoreComplex::CoreComplex(const CcParams& params, const isa::Program& program,
   fpss_ = std::make_unique<Fpss>(params.fpss, *streamer_, fp_lsu_client);
   core_ = std::make_unique<SnitchCore>(params.core, program, *fpss_,
                                        *streamer_, core_lsu_client);
+  ssr_lane_ = &streamer_->lane(ssr::Streamer::kSsrLane);
+  issr_lane_ = &streamer_->lane(ssr::Streamer::kIssrLane);
 }
 
 void CoreComplex::tick(cycle_t now) {
@@ -44,22 +46,27 @@ void CoreComplex::tick(cycle_t now) {
   account(now);
 }
 
-void CoreComplex::account(cycle_t now) {
+CoreComplex::StatSnap CoreComplex::sample() const {
+  const FpssStats& fs = fpss_->stats();
+  const SnitchStats& cs = core_->stats();
   StatSnap s;
-  s.fp_compute = fpss_->stats().fp_compute;
-  s.fpss_issued = fpss_->stats().issued;
-  s.core_issued = core_->stats().issued;
-  s.stall_stream = fpss_->stats().stall_stream;
-  s.stall_sync = core_->stats().stall_sync;
-  s.stall_barrier = core_->stats().stall_barrier;
+  s.fp_compute = fs.fp_compute;
+  s.fpss_issued = fs.issued;
+  s.core_issued = cs.issued;
+  s.stall_stream = fs.stall_stream;
+  s.stall_sync = cs.stall_sync;
+  s.stall_barrier = cs.stall_barrier;
   s.port_stalls = shared_hub_.port().stats().stall_cycles +
                   issr_hub_.port().stats().stall_cycles +
                   (issr_idx_hub_ ? issr_idx_hub_->port().stats().stall_cycles
                                  : 0);
-  s.ssr_starved =
-      streamer_->lane(ssr::Streamer::kSsrLane).stats().reg_starved_cycles;
-  s.issr_starved =
-      streamer_->lane(ssr::Streamer::kIssrLane).stats().reg_starved_cycles;
+  s.ssr_starved = ssr_lane_->stats().reg_starved_cycles;
+  s.issr_starved = issr_lane_->stats().reg_starved_cycles;
+  return s;
+}
+
+void CoreComplex::account(cycle_t now) {
+  const StatSnap s = sample();
 
   trace::CycleObservation o;
   o.fp_compute = s.fp_compute != snap_.fp_compute;
@@ -78,9 +85,9 @@ void CoreComplex::account(cycle_t now) {
     // untouched and classify as plain stream backpressure.
     const ssr::Lane* lane = nullptr;
     if (s.ssr_starved != snap_.ssr_starved) {
-      lane = &streamer_->lane(ssr::Streamer::kSsrLane);
+      lane = ssr_lane_;
     } else if (s.issr_starved != snap_.issr_starved) {
-      lane = &streamer_->lane(ssr::Streamer::kIssrLane);
+      lane = issr_lane_;
     }
     o.idx_serializer =
         lane &&

@@ -50,6 +50,46 @@ class CoreComplex {
 
   void tick(cycle_t now);
 
+  // --- Fast-forward hooks --------------------------------------------------
+  /// Earliest future cycle at which any unit of this CC can behave
+  /// differently than it did in the tick just performed (core, FPU
+  /// subsystem, streamer lanes, undrained hub responses). `now` means the
+  /// CC is actively progressing; kCycleNever means it is blocked on an
+  /// external event (memory response, barrier release).
+  cycle_t next_event(cycle_t now) const {
+    if (shared_hub_.has_queued() || issr_hub_.has_queued() ||
+        (issr_idx_hub_ && issr_idx_hub_->has_queued())) {
+      return now;
+    }
+    cycle_t e = core_->next_event(now);
+    const cycle_t fe = fpss_->next_event(now);
+    if (fe < e) e = fe;
+    const cycle_t se = streamer_->next_event(now);
+    if (se < e) e = se;
+    return e;
+  }
+
+  /// Apply `f` to every counter that can advance during a pure-wait
+  /// stretch (the engine snapshots these around one wait tick and replays
+  /// the delta over the skipped span). Port/TCDM/DMA counters are absent
+  /// by design: they only move in cycles the horizon already refuses to
+  /// skip.
+  template <typename F>
+  void visit_wait_counters(F&& f) {
+    core_->mutable_stats().for_each_counter(f);
+    fpss_->mutable_stats().for_each_counter(f);
+    streamer_->lane(ssr::Streamer::kSsrLane).mutable_stats().for_each_counter(f);
+    streamer_->lane(ssr::Streamer::kIssrLane)
+        .mutable_stats()
+        .for_each_counter(f);
+    for (auto& c : stalls_.counts) f(c);
+  }
+
+  /// Re-prime the stall accountant's counter snapshot from live values
+  /// after a bulk replay (the skipped cycles all carried identical
+  /// deltas, so the post-skip snapshot is exactly the live state).
+  void resync_account() { snap_ = sample(); }
+
   // --- Telemetry -----------------------------------------------------------
   /// Per-cycle stall attribution (always accounted; exactly one bucket per
   /// tick, so stall_buckets().total() equals the tick count).
@@ -63,17 +103,6 @@ class CoreComplex {
   void close_trace(cycle_t now);
 
  private:
-  /// Classify the cycle that just ticked and update buckets + timeline.
-  void account(cycle_t now);
-
-  ssr::PortHub shared_hub_;
-  ssr::PortHub issr_hub_;
-  std::unique_ptr<ssr::PortHub> issr_idx_hub_;
-
-  std::unique_ptr<ssr::Streamer> streamer_;
-  std::unique_ptr<Fpss> fpss_;
-  std::unique_ptr<SnitchCore> core_;
-
   /// Statistic counters sampled after the previous tick; the per-cycle
   /// deltas are what account() classifies.
   struct StatSnap {
@@ -87,6 +116,27 @@ class CoreComplex {
     std::uint64_t ssr_starved = 0;
     std::uint64_t issr_starved = 0;
   };
+
+  /// Sample the counters account() classifies (cached component/port
+  /// pointers: this runs every cycle).
+  StatSnap sample() const;
+
+  /// Classify the cycle that just ticked and update buckets + timeline.
+  void account(cycle_t now);
+
+  ssr::PortHub shared_hub_;
+  ssr::PortHub issr_hub_;
+  std::unique_ptr<ssr::PortHub> issr_idx_hub_;
+
+  std::unique_ptr<ssr::Streamer> streamer_;
+  std::unique_ptr<Fpss> fpss_;
+  std::unique_ptr<SnitchCore> core_;
+
+  // Cached lane pointers for the per-cycle accounting path (skips the
+  // bounds-checked lane() lookups).
+  ssr::Lane* ssr_lane_ = nullptr;
+  ssr::Lane* issr_lane_ = nullptr;
+
   StatSnap snap_;
   trace::StallBuckets stalls_;
   trace::Tracer stall_trace_;

@@ -1,0 +1,105 @@
+// Process-wide cycle-engine options.
+//
+// The simulation engines (CcSim::run, Cluster::run) fast-forward provably
+// idle stretches by default: after each tick every unit reports the
+// earliest future cycle at which its behavior can change (next_event), and
+// when that horizon is more than one cycle away the engine executes one
+// more real tick to measure the per-cycle counter bumps of the wait state,
+// then replays the remaining wait cycles arithmetically — bulk-crediting
+// cycle counts, stall counters, and the stall-attribution bucket without
+// ticking. The skip is exact by construction (every counter, stall bucket,
+// and result byte matches a cycle-by-cycle run; tests/test_engine_
+// equivalence.cpp sweeps the scenario matrix both ways), but it can be
+// disabled here (--no-fast-forward on issr_run and every bench) so any
+// suspected discrepancy can be bisected to the engine.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace issr::cli {
+class FlagParser;
+}
+
+namespace issr::core {
+
+/// Default for CcSimConfig::fast_forward / ClusterConfig::fast_forward.
+/// Read at config construction; set it before building simulators.
+bool engine_fast_forward_default();
+void set_engine_fast_forward_default(bool on);
+
+/// Register the shared engine flags (--no-fast-forward) on a binary's
+/// flag parser. Used by issr_run and, via bench_common, every bench.
+void register_engine_cli(cli::FlagParser& parser);
+
+/// The shared tick/fast-forward loop behind CcSim::run and Cluster::run.
+/// `Units` duck-types the simulated system:
+///   void    tick(cycle_t now);          // advance every unit one cycle
+///   bool    done(cycle_t now);          // run-termination predicate
+///   cycle_t next_event(cycle_t now);    // earliest cycle any unit's tick
+///                                       // can differ from the one just
+///                                       // performed (kCycleNever = only
+///                                       // counters repeat forever)
+///   void    visit_counters(const CounterVisitor&);  // every counter that
+///                                       // advances during a pure-wait
+///                                       // stretch (type-erased: it runs
+///                                       // only on the rare skip events)
+///   void    after_replay();             // e.g. stall-accountant resync
+/// Returns the final cycle count; `skipped_out` receives the cycles
+/// credited arithmetically instead of ticked. The skip is exact: when
+/// next_event reports a horizon more than one cycle away, one more real
+/// tick measures the wait state's per-cycle counter deltas and the
+/// remaining span replays as delta*span — identical cycle counts,
+/// counters, stall buckets, and result bytes either way
+/// (tests/test_engine_equivalence.cpp).
+using CounterVisitor = std::function<void(std::uint64_t&)>;
+
+template <typename Units>
+cycle_t run_engine(Units&& units, cycle_t max_cycles, bool fast_forward,
+                   cycle_t& skipped_out) {
+  std::vector<std::uint64_t> c0, c1;
+  const auto gather = [&units](std::vector<std::uint64_t>& out) {
+    out.clear();
+    units.visit_counters([&out](std::uint64_t& c) { out.push_back(c); });
+  };
+
+  cycle_t now = 0;
+  skipped_out = 0;
+  while (now < max_cycles) {
+    units.tick(now);
+    ++now;
+    if (units.done(now)) break;
+    if (!fast_forward) continue;
+
+    cycle_t horizon = units.next_event(now);
+    if (horizon > max_cycles) horizon = max_cycles;
+    if (horizon < now + 2) continue;
+
+    // Cycles [now, horizon) are pure repeats of the tick just performed.
+    // Run the first for real to measure the per-cycle counter bumps.
+    gather(c0);
+    units.tick(now);
+    ++now;
+    if (units.done(now)) break;  // horizon precludes this; stay exact
+    gather(c1);
+    const cycle_t span = horizon - now;
+    if (span > 0) {
+      std::size_t i = 0;
+      units.visit_counters([&](std::uint64_t& c) {
+        c += (c1[i] - c0[i]) * span;
+        ++i;
+      });
+      units.after_replay();
+      now = horizon;
+      skipped_out += span;
+      if (units.done(now)) break;
+    }
+  }
+  return now;
+}
+
+}  // namespace issr::core

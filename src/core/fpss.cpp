@@ -87,6 +87,7 @@ bool Fpss::try_issue(const Inst& inst, std::uint64_t int_operand,
         return false;
       }
     } else if (scoreboard_busy(r, now)) {
+      note_fp_wait(r, now);
       ++stats_.stall_raw;
       return false;
     }
@@ -103,6 +104,7 @@ bool Fpss::try_issue(const Inst& inst, std::uint64_t int_operand,
         return false;
       }
     } else if (scoreboard_busy(inst.rd, now)) {
+      note_fp_wait(inst.rd, now);
       ++stats_.stall_raw;  // WAW on an in-flight writeback
       return false;
     }
@@ -117,6 +119,7 @@ bool Fpss::try_issue(const Inst& inst, std::uint64_t int_operand,
   }
 
   if (fpu_is_iterative(inst.op) && iterative_busy_until_ > now) {
+    if (iterative_busy_until_ < self_wake_) self_wake_ = iterative_busy_until_;
     ++stats_.stall_raw;
     return false;
   }
@@ -221,14 +224,19 @@ bool Fpss::try_issue(const Inst& inst, std::uint64_t int_operand,
 }
 
 void Fpss::tick(cycle_t now) {
+  advanced_ = false;
+  self_wake_ = kCycleNever;
+
   // 1. FP load writebacks.
-  while (auto rsp = lsu_.pop_response()) {
-    const unsigned rd = rsp->id & 31;
+  mem::MemRsp rsp;
+  while (lsu_.pop_response(rsp)) {
+    const unsigned rd = rsp.id & 31;
     assert(load_pending_[rd]);
-    fregs_[rd] = std::bit_cast<double>(rsp->rdata);
+    fregs_[rd] = std::bit_cast<double>(rsp.rdata);
     load_pending_[rd] = false;
     assert(lsu_outstanding_ > 0);
     --lsu_outstanding_;
+    advanced_ = true;
   }
 
   // 2. Sequencer: pick and issue at most one instruction.
@@ -236,6 +244,7 @@ void Fpss::tick(cycle_t now) {
     // Replay from the loop buffer.
     const Inst inst = staggered(frep_.buffer[frep_.pos], frep_.iter);
     if (try_issue(inst, 0, now)) {
+      advanced_ = true;
       ++frep_.pos;
       if (frep_.pos == frep_.n_insts) {
         frep_.pos = 0;
@@ -258,6 +267,7 @@ void Fpss::tick(cycle_t now) {
   const OffloadEntry& front = queue_.front();
   if (front.inst.op == Op::kFrep) {
     assert(!frep_.active && "nested FREP is not supported");
+    advanced_ = true;
     frep_.active = true;
     frep_.capturing = true;
     frep_.buffer.clear();
@@ -279,6 +289,7 @@ void Fpss::tick(cycle_t now) {
     assert(front.inst.op != Op::kFld && front.inst.op != Op::kFsd &&
            "memory operations inside FREP are not supported");
     if (try_issue(front.inst, front.int_operand, now)) {
+      advanced_ = true;
       frep_.buffer.push_back(front.inst);
       queue_.pop_front();
       if (frep_.buffer.size() == frep_.n_insts) {
@@ -296,6 +307,7 @@ void Fpss::tick(cycle_t now) {
   }
 
   if (try_issue(front.inst, front.int_operand, now)) {
+    advanced_ = true;
     queue_.pop_front();
   }
 }

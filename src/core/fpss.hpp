@@ -17,10 +17,10 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <optional>
 #include <vector>
 
+#include "common/ring_queue.hpp"
 #include "core/fpu.hpp"
 #include "isa/inst.hpp"
 #include "ssr/port_hub.hpp"
@@ -47,6 +47,16 @@ struct FpssStats {
   std::uint64_t stall_raw = 0;     ///< cycles stalled on FP scoreboard
   std::uint64_t stall_mem = 0;     ///< cycles stalled on LSU/port
   std::uint64_t idle_cycles = 0;   ///< nothing to issue
+
+  bool operator==(const FpssStats&) const = default;
+
+  /// Apply `f` to every counter (fast-forward bulk replay; keep in sync
+  /// with the fields above).
+  template <typename F>
+  void for_each_counter(F&& f) {
+    f(issued), f(fp_compute), f(fmadd), f(fmul), f(flops), f(loads);
+    f(stores), f(stall_stream), f(stall_raw), f(stall_mem), f(idle_cycles);
+  }
 };
 
 /// One offloaded instruction plus the integer operand captured at the
@@ -80,11 +90,36 @@ class Fpss {
   // --- Simulation ----------------------------------------------------------
   void tick(cycle_t now);
 
+  /// Fast-forward hook: earliest future cycle at which this subsystem's
+  /// tick can differ from the one just performed, or at which idle(now)
+  /// / pop_int_writeback(now) change answers (both are sampled by the
+  /// core and the quiescence check every cycle). External wake-ups (lane
+  /// FIFO data, port grants, memory responses) are covered by the other
+  /// units' hooks.
+  cycle_t next_event(cycle_t now) const {
+    if (advanced_) return now;
+    cycle_t e = self_wake_;
+    if (!int_wb_.empty() && int_wb_.front().ready_at < e) {
+      e = int_wb_.front().ready_at;
+    }
+    // Pipeline-drain completion flips idle() (and with it the core's
+    // fpss-sync CSR stall and CC quiescence) at last_completion_. A drain
+    // finishing exactly at `now` is still a future event: the core
+    // samples idle(now) in the tick it has not performed yet.
+    if (queue_.empty() && !frep_.active && lsu_outstanding_ == 0 &&
+        int_wb_.empty() && last_completion_ >= now && last_completion_ < e) {
+      e = last_completion_;
+    }
+    return e;
+  }
+
   // --- State access (tests, result extraction) -----------------------------
   double freg(unsigned idx) const { return fregs_[idx]; }
   void set_freg(unsigned idx, double v) { fregs_[idx] = v; }
 
   const FpssStats& stats() const { return stats_; }
+  /// Fast-forward replay hook (bulk counter credit); not for general use.
+  FpssStats& mutable_stats() { return stats_; }
   void reset_stats() { stats_ = {}; }
 
   /// Timeline hook: FREP hardware-loop slices (trace/).
@@ -113,6 +148,14 @@ class Fpss {
     return load_pending_[reg] || busy_until_[reg] > now;
   }
 
+  /// A stall path blocked on FP register `reg` records when its pipeline
+  /// timer expires (pending loads are external wake-ups).
+  void note_fp_wait(unsigned reg, cycle_t now) {
+    if (busy_until_[reg] > now && busy_until_[reg] < self_wake_) {
+      self_wake_ = busy_until_[reg];
+    }
+  }
+
   /// Try to issue `inst` this cycle; returns true on success.
   bool try_issue(const isa::Inst& inst, std::uint64_t int_operand,
                  cycle_t now);
@@ -127,16 +170,18 @@ class Fpss {
   cycle_t iterative_busy_until_ = 0;
   cycle_t last_completion_ = 0;  ///< max over scheduled writebacks
 
-  std::deque<OffloadEntry> queue_;
+  RingQueue<OffloadEntry> queue_;
   FrepState frep_;
   unsigned lsu_outstanding_ = 0;
+  bool advanced_ = false;            ///< last tick issued or popped
+  cycle_t self_wake_ = kCycleNever;  ///< earliest internal stall expiry
 
   struct PendingIntWb {
     cycle_t ready_at;
     std::uint8_t rd;
     std::uint64_t value;
   };
-  std::deque<PendingIntWb> int_wb_;
+  RingQueue<PendingIntWb> int_wb_;
 
   FpssStats stats_;
   trace::Tracer trace_;

@@ -69,14 +69,33 @@ void CcSim::attach_trace(trace::TraceSink& sink) {
 
 CcSimResult CcSim::run(cycle_t max_cycles) {
   assert(cc_ && "set_program() must be called before run()");
-  cycle_t now = 0;
-  while (now < max_cycles) {
-    memory_->tick(now);
-    cc_->tick(now);
-    ++now;
-    if (cc_->quiescent(now)) break;
-  }
+  // Idle-cycle fast-forward (run_engine in core/engine.hpp): when every
+  // unit reports no event before a future horizon — memory response
+  // maturing, scoreboard/pipeline timer expiry, FPU-subsystem drain
+  // completing — the engine measures one real wait tick and replays the
+  // remaining span arithmetically. Exact by construction.
+  struct Units {
+    CcSim& s;
+    void tick(cycle_t now) {
+      s.memory_->tick(now);
+      s.cc_->tick(now);
+    }
+    bool done(cycle_t now) const { return s.cc_->quiescent(now); }
+    cycle_t next_event(cycle_t now) const {
+      const cycle_t ce = s.cc_->next_event(now);
+      const cycle_t me = s.memory_->next_event();
+      return me < ce ? me : ce;
+    }
+    void visit_counters(const CounterVisitor& f) {
+      s.cc_->visit_wait_counters(f);
+    }
+    void after_replay() { s.cc_->resync_account(); }
+  };
+  cycle_t skipped = 0;
+  const cycle_t now =
+      run_engine(Units{*this}, max_cycles, config_.fast_forward, skipped);
   CcSimResult result;
+  result.ff_skipped = skipped;
   if (now >= max_cycles && !cc_->quiescent(now)) {
     ISSR_ERROR("CcSim::run hit the cycle limit (%llu) at pc=0x%llx",
                static_cast<unsigned long long>(max_cycles),

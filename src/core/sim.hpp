@@ -11,6 +11,7 @@
 
 #include "common/types.hpp"
 #include "core/cc.hpp"
+#include "core/engine.hpp"
 #include "isa/program.hpp"
 #include "mem/ideal_mem.hpp"
 #include "sparse/dense.hpp"
@@ -23,11 +24,19 @@ struct CcSimConfig {
   cycle_t mem_latency = 1;  ///< ideal data memory response latency
   /// Base of the staged-data region (mirrors the cluster TCDM window).
   addr_t data_base = 0x1000'0000;
+  /// Skip provably idle cycle stretches in run() (exact: identical
+  /// cycles, counters, buckets, and results either way — see
+  /// core/engine.hpp). Defaults from the process-wide engine option so
+  /// --no-fast-forward reaches every construction site.
+  bool fast_forward = engine_fast_forward_default();
 };
 
 /// Result of a completed run.
 struct CcSimResult {
   cycle_t cycles = 0;
+  /// Simulated cycles the engine fast-forwarded instead of ticking
+  /// (diagnostic; 0 when fast_forward is off or never engaged).
+  cycle_t ff_skipped = 0;
   /// True iff the run hit max_cycles before the CC went quiescent; the
   /// counters then describe a truncated run. Callers that require
   /// completion must check this (the driver asserts on it).

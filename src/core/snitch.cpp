@@ -1,5 +1,6 @@
 #include "core/snitch.hpp"
 
+#include <algorithm>
 #include <cassert>
 
 #include "common/bitutil.hpp"
@@ -48,16 +49,20 @@ SnitchCore::SnitchCore(const SnitchParams& params,
 void SnitchCore::tick(cycle_t now) {
   if (halted_) return;
   ++stats_.cycles;
+  advanced_ = false;
+  self_wake_ = kCycleNever;
 
   // 1. Load writebacks.
-  while (auto rsp = lsu_.pop_response()) {
-    const unsigned rd = rsp->id & 31;
-    const auto ext = static_cast<ExtKind>(rsp->id >> 5);
+  mem::MemRsp rsp;
+  while (lsu_.pop_response(rsp)) {
+    const unsigned rd = rsp.id & 31;
+    const auto ext = static_cast<ExtKind>(rsp.id >> 5);
     assert(load_pending_[rd]);
     load_pending_[rd] = false;
-    if (rd != 0) xregs_[rd] = extend_load(rsp->rdata, ext);
+    if (rd != 0) xregs_[rd] = extend_load(rsp.rdata, ext);
     assert(loads_outstanding_ > 0);
     --loads_outstanding_;
+    advanced_ = true;
   }
 
   // 2. FPU-subsystem integer writebacks (fmv.x.d, comparisons, ...).
@@ -65,13 +70,18 @@ void SnitchCore::tick(cycle_t now) {
     assert(fpss_pending_[wb->rd]);
     fpss_pending_[wb->rd] = false;
     if (wb->rd != 0) xregs_[wb->rd] = wb->value;
+    advanced_ = true;
   }
 
   // 3. Issue.
-  if (stall_until_ > now) return;  // branch/jump redirect bubbles
+  if (stall_until_ > now) {  // branch/jump redirect bubbles
+    self_wake_ = std::min(self_wake_, stall_until_);
+    return;
+  }
   const Inst& inst = program_.fetch(pc_);
   if (issue(inst, now)) {
     ++stats_.issued;
+    advanced_ = true;
   }
 }
 
@@ -85,6 +95,7 @@ bool SnitchCore::issue(const Inst& inst, cycle_t now) {
     switch (op) {
       case Op::kFld: case Op::kFsd: {
         if (xreg_busy(inst.rs1, now)) {
+          note_reg_wait(inst.rs1, now);
           ++stats_.stall_raw;
           return false;
         }
@@ -94,6 +105,7 @@ bool SnitchCore::issue(const Inst& inst, cycle_t now) {
       }
       case Op::kFrep: case Op::kFcvtDW: case Op::kFcvtDWu: case Op::kFmvDX: {
         if (xreg_busy(inst.rs1, now)) {
+          note_reg_wait(inst.rs1, now);
           ++stats_.stall_raw;
           return false;
         }
@@ -105,6 +117,7 @@ bool SnitchCore::issue(const Inst& inst, cycle_t now) {
     }
     // FP->int results write an integer register; reserve it.
     if (op_fp_to_int(op) && xreg_busy(inst.rd, now)) {
+      note_reg_wait(inst.rd, now);
       ++stats_.stall_raw;
       return false;
     }
@@ -129,10 +142,12 @@ bool SnitchCore::issue(const Inst& inst, cycle_t now) {
       op_is_branch(op) || (op_is_store(op) && op != Op::kFsd) ||
       (op >= Op::kAdd && op <= Op::kAnd) || (op >= Op::kMul && op <= Op::kRemu);
   if (uses_rs1 && xreg_busy(inst.rs1, now)) {
+    note_reg_wait(inst.rs1, now);
     ++stats_.stall_raw;
     return false;
   }
   if (uses_rs2 && xreg_busy(inst.rs2, now)) {
+    note_reg_wait(inst.rs2, now);
     ++stats_.stall_raw;
     return false;
   }
@@ -198,6 +213,7 @@ bool SnitchCore::issue(const Inst& inst, cycle_t now) {
     case Op::kLbu: case Op::kLhu: case Op::kLwu: {
       if (loads_outstanding_ >= params_.max_outstanding_loads ||
           xreg_busy(inst.rd, now) || !lsu_.can_request()) {
+        note_reg_wait(inst.rd, now);
         ++stats_.stall_mem;
         return false;
       }
@@ -327,6 +343,7 @@ bool SnitchCore::exec_csr(const Inst& inst, cycle_t now) {
   const bool imm_form = inst.op == Op::kCsrrwi || inst.op == Op::kCsrrsi ||
                         inst.op == Op::kCsrrci;
   if (!imm_form && xreg_busy(inst.rs1, now)) {
+    note_reg_wait(inst.rs1, now);
     ++stats_.stall_raw;
     return false;
   }

@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <functional>
 
+#include "common/types.hpp"
 #include "core/fpss.hpp"
 #include "isa/csr_map.hpp"
 #include "isa/program.hpp"
@@ -46,6 +47,17 @@ struct SnitchStats {
   std::uint64_t stall_sync = 0;     ///< blocking FPU-subsystem sync CSR
   std::uint64_t stall_barrier = 0;  ///< blocking cluster barrier CSR
   std::uint64_t stall_cfg = 0;      ///< streamer shadow config full
+
+  bool operator==(const SnitchStats&) const = default;
+
+  /// Apply `f` to every counter (fast-forward bulk replay; keep in sync
+  /// with the fields above).
+  template <typename F>
+  void for_each_counter(F&& f) {
+    f(cycles), f(issued), f(loads), f(stores), f(branches);
+    f(taken_branches), f(offloads), f(stall_raw), f(stall_offload);
+    f(stall_mem), f(stall_sync), f(stall_barrier), f(stall_cfg);
+  }
 };
 
 class SnitchCore {
@@ -69,7 +81,21 @@ class SnitchCore {
 
   void tick(cycle_t now);
 
+  /// Fast-forward hook: earliest future cycle at which this core's tick
+  /// can differ from the tick it just performed, absent external stimulus
+  /// (memory responses, FPSS writebacks, barrier release — those are
+  /// covered by the other units' hooks). Returns `now` when the last tick
+  /// made progress (issued, popped a response) and kCycleNever when only
+  /// an external event can change anything.
+  cycle_t next_event(cycle_t now) const {
+    if (halted_) return kCycleNever;
+    if (advanced_) return now;
+    return self_wake_;
+  }
+
   const SnitchStats& stats() const { return stats_; }
+  /// Fast-forward replay hook (bulk counter credit); not for general use.
+  SnitchStats& mutable_stats() { return stats_; }
   void reset_stats() { stats_ = {}; }
 
   /// Timeline hook: barrier-wait slices and a halt marker (trace/).
@@ -79,6 +105,15 @@ class SnitchCore {
   bool xreg_busy(unsigned r, cycle_t now) const {
     return r != 0 && (load_pending_[r] || fpss_pending_[r] ||
                       busy_until_[r] > now);
+  }
+
+  /// A stall path blocked on register `r` records when its scoreboard
+  /// timer expires (pending load/FPSS writebacks are external wake-ups
+  /// and stay at kCycleNever).
+  void note_reg_wait(unsigned r, cycle_t now) {
+    if (busy_until_[r] > now && busy_until_[r] < self_wake_) {
+      self_wake_ = busy_until_[r];
+    }
   }
 
   /// Execute the instruction at pc_ if all hazards clear; returns true if
@@ -101,6 +136,8 @@ class SnitchCore {
   addr_t pc_;
   bool halted_ = false;
   cycle_t stall_until_ = 0;  ///< branch penalty bubbles
+  bool advanced_ = false;          ///< last tick issued or popped something
+  cycle_t self_wake_ = kCycleNever;  ///< earliest internal stall expiry
   unsigned loads_outstanding_ = 0;
   std::uint64_t ssr_enable_csr_ = 0;
 

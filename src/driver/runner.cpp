@@ -79,8 +79,7 @@ ScenarioResult run_scenario(const Scenario& s, const RunOptions& opts) {
     out.scenario.family = sparse::MatrixFamily::kUniform;
     const auto a = sparse::random_sparse_vector(rng, s.cols, s.row_nnz());
     const auto b = sparse::random_dense_vector(rng, s.cols);
-    const auto r = run_spvv_cc(s.variant, s.width, a, b, /*validate=*/true,
-                               sink.get());
+    const auto r = run_spvv_cc(s.variant, s.width, a, b, sink.get());
     out.ok = r.ok;
     out.rows = 1;
     out.cols = s.cols;

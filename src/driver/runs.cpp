@@ -11,8 +11,8 @@ namespace issr::driver {
 
 SpvvRun run_spvv_cc(kernels::Variant variant, sparse::IndexWidth width,
                     const sparse::SparseFiber& a,
-                    const sparse::DenseVector& b, bool validate,
-                    trace::TraceSink* trace) {
+                    const sparse::DenseVector& b, trace::TraceSink* trace,
+                    bool validate) {
   core::CcSim sim;
   kernels::SpvvArgs args;
   args.a_vals = sim.stage(a.vals());
@@ -37,7 +37,7 @@ SpvvRun run_spvv_cc(kernels::Variant variant, sparse::IndexWidth width,
 
 CcRun run_csrmv_cc(kernels::Variant variant, sparse::IndexWidth width,
                    const sparse::CsrMatrix& a, const sparse::DenseVector& x,
-                   trace::TraceSink* trace) {
+                   trace::TraceSink* trace, bool validate) {
   core::CcSim sim;
   kernels::CsrmvArgs args;
   args.ptr = sim.stage_u32(a.ptr());
@@ -55,13 +55,16 @@ CcRun run_csrmv_cc(kernels::Variant variant, sparse::IndexWidth width,
   out.sim = sim.run();
   assert(!out.sim.aborted && "CsrMV simulation aborted at the cycle limit");
   out.y = sparse::DenseVector(sim.read_f64s(args.y, a.rows()));
-  out.ok = sparse::allclose(out.y, sparse::ref_csrmv(a, x), 1e-9, 1e-9);
+  if (validate) {
+    out.ok = sparse::allclose(out.y, sparse::ref_csrmv(a, x), 1e-9, 1e-9);
+  }
   return out;
 }
 
 McRun run_csrmv_mc(kernels::Variant variant, sparse::IndexWidth width,
                    unsigned cores, const sparse::CsrMatrix& a,
-                   const sparse::DenseVector& x, trace::TraceSink* trace) {
+                   const sparse::DenseVector& x, trace::TraceSink* trace,
+                   bool validate) {
   cluster::McCsrmvConfig cfg;
   cfg.variant = variant;
   cfg.width = width;
@@ -71,7 +74,9 @@ McRun run_csrmv_mc(kernels::Variant variant, sparse::IndexWidth width,
   out.mc = cluster::run_csrmv_multicore(a, x, cfg);
   assert(!out.mc.cluster.aborted &&
          "cluster simulation aborted at the cycle limit");
-  out.ok = sparse::allclose(out.mc.y, sparse::ref_csrmv(a, x), 1e-9, 1e-9);
+  if (validate) {
+    out.ok = sparse::allclose(out.mc.y, sparse::ref_csrmv(a, x), 1e-9, 1e-9);
+  }
   return out;
 }
 

@@ -43,17 +43,17 @@ struct McRun {
 /// simulation ran to completion (did not abort at the cycle limit).
 SpvvRun run_spvv_cc(kernels::Variant variant, sparse::IndexWidth width,
                     const sparse::SparseFiber& a,
-                    const sparse::DenseVector& b, bool validate = true,
-                    trace::TraceSink* trace = nullptr);
+                    const sparse::DenseVector& b,
+                    trace::TraceSink* trace = nullptr, bool validate = true);
 
 CcRun run_csrmv_cc(kernels::Variant variant, sparse::IndexWidth width,
                    const sparse::CsrMatrix& a, const sparse::DenseVector& x,
-                   trace::TraceSink* trace = nullptr);
+                   trace::TraceSink* trace = nullptr, bool validate = true);
 
 /// `cores == 0` selects the library's ClusterConfig default worker count.
 McRun run_csrmv_mc(kernels::Variant variant, sparse::IndexWidth width,
                    unsigned cores, const sparse::CsrMatrix& a,
                    const sparse::DenseVector& x,
-                   trace::TraceSink* trace = nullptr);
+                   trace::TraceSink* trace = nullptr, bool validate = true);
 
 }  // namespace issr::driver

@@ -6,18 +6,39 @@
 namespace issr::mem {
 
 const std::uint8_t* BackingStore::page_for_read(addr_t addr) const {
-  const auto it = pages_.find(addr / kPageBytes);
-  return it == pages_.end() ? nullptr : it->second.data();
+  const addr_t idx = addr / kPageBytes;
+  if (idx == memo_page_) return memo_data_;
+  const auto it = pages_.find(idx);
+  if (it == pages_.end()) return nullptr;  // absent pages are not memoized
+  memo_page_ = idx;
+  memo_data_ = const_cast<std::uint8_t*>(it->second.data());
+  return it->second.data();
 }
 
 std::uint8_t* BackingStore::page_for_write(addr_t addr) {
-  auto& page = pages_[addr / kPageBytes];
+  const addr_t idx = addr / kPageBytes;
+  if (idx == memo_page_) return memo_data_;
+  auto& page = pages_[idx];
   if (page.empty()) page.assign(kPageBytes, 0);
+  memo_page_ = idx;
+  memo_data_ = page.data();
   return page.data();
 }
 
+// The fast paths memcpy whole accesses within one page, which (like the
+// raw-byte DMA/staging block copies below) assumes a little-endian host;
+// the byte loops handle the rare page-straddling access.
+
 std::uint64_t BackingStore::load(addr_t addr, unsigned bytes) const {
   assert(bytes == 1 || bytes == 2 || bytes == 4 || bytes == 8);
+  const std::size_t off = addr % kPageBytes;
+  if (off + bytes <= kPageBytes) {
+    const std::uint8_t* page = page_for_read(addr);
+    if (page == nullptr) return 0;
+    std::uint64_t v = 0;
+    std::memcpy(&v, page + off, bytes);
+    return v;
+  }
   std::uint64_t v = 0;
   for (unsigned i = 0; i < bytes; ++i) {
     const addr_t a = addr + i;
@@ -30,6 +51,11 @@ std::uint64_t BackingStore::load(addr_t addr, unsigned bytes) const {
 
 void BackingStore::store(addr_t addr, std::uint64_t v, unsigned bytes) {
   assert(bytes == 1 || bytes == 2 || bytes == 4 || bytes == 8);
+  const std::size_t off = addr % kPageBytes;
+  if (off + bytes <= kPageBytes) {
+    std::memcpy(page_for_write(addr) + off, &v, bytes);
+    return;
+  }
   for (unsigned i = 0; i < bytes; ++i) {
     const addr_t a = addr + i;
     page_for_write(a)[a % kPageBytes] =

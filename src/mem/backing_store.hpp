@@ -49,6 +49,15 @@ class BackingStore {
 
   // Page index -> page bytes. Unallocated reads return zero.
   std::unordered_map<addr_t, std::vector<std::uint8_t>> pages_;
+
+  // Last-touched-page memo: simulated accesses stream through the same
+  // page for long stretches, so this turns the per-access hash lookup
+  // into one compare. Safe because a page's byte buffer never moves (the
+  // map may rehash, but the vectors' heap storage is stable) and pages
+  // are never freed. Only allocated pages are memoized — a miss on an
+  // unallocated page must re-probe, since a later store materializes it.
+  mutable addr_t memo_page_ = ~addr_t{0};
+  mutable std::uint8_t* memo_data_ = nullptr;
 };
 
 }  // namespace issr::mem

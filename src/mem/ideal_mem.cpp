@@ -1,65 +1,28 @@
 #include "mem/ideal_mem.hpp"
 
+#include <algorithm>
 #include <cassert>
 
 namespace issr::mem {
 
-void IdealPort::push_request(const MemReq& req) {
-  assert(can_accept());
-  pending_ = req;
-}
-
-std::optional<MemRsp> IdealPort::pop_response() {
-  if (matured_.empty()) return std::nullopt;
-  const MemRsp rsp = matured_.front();
-  matured_.pop_front();
-  return rsp;
-}
-
-void IdealPort::tick(cycle_t now, BackingStore& store, cycle_t latency) {
-  // Mature in-flight loads whose delay elapsed.
-  while (!inflight_.empty() && inflight_.front().ready_at <= now) {
-    matured_.push_back(inflight_.front().rsp);
-    inflight_.pop_front();
-  }
-  // Grant the pending request (ideal memory: always granted).
-  if (pending_.has_value()) {
-    const MemReq& req = *pending_;
-    if (req.is_write) {
-      store.store(req.addr, req.wdata, req.bytes);
-      ++stats_.writes;
-    } else {
-      MemRsp rsp;
-      rsp.rdata = store.load(req.addr, req.bytes);
-      rsp.id = req.id;
-      // Accepted in this tick (cycle `now`); response available to the
-      // requester `latency - 1` ticks later: with latency 1 the response
-      // pops in the same cycle's requester phase -> observed next-cycle
-      // use, i.e. a 2-cycle load-use distance including writeback.
-      inflight_.push_back({now + latency - 1, rsp});
-      ++stats_.reads;
-      if (latency <= 1) {
-        while (!inflight_.empty() && inflight_.front().ready_at <= now) {
-          matured_.push_back(inflight_.front().rsp);
-          inflight_.pop_front();
-        }
-      }
-    }
-    pending_.reset();
-  }
-}
-
 IdealMemory::IdealMemory(unsigned num_ports, cycle_t latency)
-    : latency_(latency) {
+    : ports_(num_ports), latency_(latency) {
   assert(latency >= 1);
-  ports_.reserve(num_ports);
-  for (unsigned i = 0; i < num_ports; ++i) {
-    ports_.push_back(std::make_unique<IdealPort>());
-  }
 }
 
 void IdealMemory::tick(cycle_t now) {
-  for (auto& p : ports_) p->tick(now, store_, latency_);
+  for (auto& p : ports_) {
+    // Mature in-flight loads whose delay elapsed, then grant the pending
+    // request (ideal memory: always granted).
+    p.mature_until(now);
+    if (p.has_pending()) p.serve_pending(store_, now, latency_);
+  }
+}
+
+cycle_t IdealMemory::next_event() const {
+  cycle_t e = kCycleNever;
+  for (const auto& p : ports_) e = std::min(e, p.next_event());
+  return e;
 }
 
 }  // namespace issr::mem

@@ -1,11 +1,9 @@
 // Ideal pipelined memory: every port accepts one request per cycle and
 // answers loads with a fixed latency — the "ideal single-cycle instruction
 // and two-port data memories" of the paper's single-CC experiments
-// (§IV-A), which behave like the TCDM minus bank conflicts.
+// (§IV-A), which behave like the TCDM minus bank conflicts and misses.
 #pragma once
 
-#include <deque>
-#include <memory>
 #include <vector>
 
 #include "mem/backing_store.hpp"
@@ -13,42 +11,15 @@
 
 namespace issr::mem {
 
-class IdealMemory;
-
-/// One port of an IdealMemory. Accepts <=1 request/cycle; loads mature
-/// `latency` cycles after acceptance; throughput is one access per cycle.
-class IdealPort final : public MemPort {
- public:
-  bool can_accept() const override { return !pending_.has_value(); }
-  void push_request(const MemReq& req) override;
-  std::optional<MemRsp> pop_response() override;
-  unsigned inflight() const override {
-    return static_cast<unsigned>(matured_.size() + inflight_.size());
-  }
-
-  const PortStats& stats() const override { return stats_; }
-
- private:
-  friend class IdealMemory;
-  void tick(cycle_t now, BackingStore& store, cycle_t latency);
-
-  std::optional<MemReq> pending_;
-  struct Flight {
-    cycle_t ready_at;
-    MemRsp rsp;
-  };
-  std::deque<Flight> inflight_;
-  std::deque<MemRsp> matured_;
-  PortStats stats_;
-};
-
-/// A backing store with N independent ideal ports.
+/// A backing store with N independent ideal ports. Each port accepts <=1
+/// request/cycle; loads mature `latency` cycles after acceptance;
+/// throughput is one access per cycle per port.
 class IdealMemory {
  public:
   /// `latency`: cycles from acceptance to response availability (>= 1).
   explicit IdealMemory(unsigned num_ports, cycle_t latency = 1);
 
-  IdealPort& port(unsigned i) { return *ports_.at(i); }
+  MemPort& port(unsigned i) { return ports_.at(i); }
   unsigned num_ports() const { return static_cast<unsigned>(ports_.size()); }
   cycle_t latency() const { return latency_; }
 
@@ -59,9 +30,13 @@ class IdealMemory {
   /// responses. Must run before requesters tick.
   void tick(cycle_t now);
 
+  /// Fast-forward hook: earliest cycle any port changes state on its own
+  /// (kCycleNever when every port is drained and idle).
+  cycle_t next_event() const;
+
  private:
   BackingStore store_;
-  std::vector<std::unique_ptr<IdealPort>> ports_;
+  std::vector<MemPort> ports_;
   cycle_t latency_;
 };
 

@@ -1,29 +1,22 @@
 #include "mem/tcdm.hpp"
 
+#include <algorithm>
 #include <cassert>
+#include <string>
 
 namespace issr::mem {
 
-void TcdmPort::push_request(const MemReq& req) {
-  assert(can_accept());
-  pending_ = req;
-}
-
-std::optional<MemRsp> TcdmPort::pop_response() {
-  if (matured_.empty()) return std::nullopt;
-  const MemRsp rsp = matured_.front();
-  matured_.pop_front();
-  return rsp;
-}
-
 Tcdm::Tcdm(const TcdmConfig& cfg, unsigned num_masters)
     : cfg_(cfg),
+      bank_mask_((cfg.num_banks & (cfg.num_banks - 1)) == 0
+                     ? cfg.num_banks - 1
+                     : 0),
+      ports_(num_masters),
       dma_claimed_(cfg.num_banks, false),
-      rr_next_(cfg.num_banks, 0) {
-  ports_.reserve(num_masters);
-  for (unsigned i = 0; i < num_masters; ++i) {
-    ports_.push_back(std::make_unique<TcdmPort>());
-  }
+      rr_next_(cfg.num_banks, 0),
+      bank_head_(cfg.num_banks, -1),
+      cand_next_(num_masters, -1) {
+  assert(cfg.num_banks > 0);
 }
 
 void Tcdm::attach_trace(trace::TraceSink& sink) {
@@ -49,88 +42,86 @@ unsigned Tcdm::claim_for_dma(std::uint32_t first_bank, std::uint32_t count) {
 }
 
 void Tcdm::tick(cycle_t now) {
-  // Mature in-flight responses on every port.
-  for (auto& p : ports_) {
-    while (!p->inflight_.empty() && p->inflight_.front().ready_at <= now) {
-      p->matured_.push_back(p->inflight_.front().rsp);
-      p->inflight_.pop_front();
-    }
+  const unsigned n_ports = static_cast<unsigned>(ports_.size());
+
+  // Mature in-flight responses and bucket pending requests into per-bank
+  // candidate lists (ascending master order within each list): one pass
+  // over the masters instead of a banks x masters scan.
+  bool any_pending = false;
+  for (unsigned m = n_ports; m-- > 0;) {
+    MemPort& p = ports_[m];
+    p.mature_until(now);
+    if (!p.has_pending()) continue;
+    const addr_t addr = p.pending().addr;
+    // Requests outside the TCDM window are a wiring error in this model;
+    // they are never granted (and trip this assert in debug builds).
+    assert(contains(addr));
+    if (!contains(addr)) continue;
+    const std::uint32_t b = bank_of(addr);
+    cand_next_[m] = bank_head_[b];
+    bank_head_[b] = static_cast<std::int32_t>(m);
+    any_pending = true;
   }
 
-  // Per-bank arbitration: one grant per bank per cycle, selected by a
-  // per-bank round-robin pointer so no master is statically prioritized.
-  const unsigned n_ports = static_cast<unsigned>(ports_.size());
-  const std::vector<bool> bank_busy(dma_claimed_);
-  for (std::uint32_t b = 0; b < cfg_.num_banks; ++b) {
-    unsigned losers = 0;
-    if (bank_busy[b]) {
-      // Bank taken by DMA this cycle: all masters targeting it stall.
-      for (auto& p : ports_) {
-        if (p->pending_ && contains(p->pending_->addr) &&
-            bank_of(p->pending_->addr) == b) {
-          ++p->stats_.stall_cycles;
+  if (any_pending) {
+    // Ascending-bank sweep keeps grant/trace ordering identical to the
+    // previous dense scan.
+    for (std::uint32_t b = 0; b < cfg_.num_banks; ++b) {
+      std::int32_t head = bank_head_[b];
+      if (head < 0) continue;
+      bank_head_[b] = -1;
+      if (dma_claimed_[b]) {
+        // Bank taken by DMA this cycle: all masters targeting it stall.
+        unsigned losers = 0;
+        for (std::int32_t m = head; m >= 0; m = cand_next_[m]) {
+          ports_[m].note_stalled();
           ++stats_.conflicts;
           ++losers;
         }
+        if (trace_ && losers > 0) {
+          trace_->record({now, bank_tracks_[b], trace::Phase::kInstant,
+                          "dma-claim-conflict", losers});
+        }
+        continue;
+      }
+      // Pick the candidate closest after the round-robin pointer so no
+      // master is statically prioritized; the rest lose this cycle.
+      const unsigned rr = rr_next_[b];
+      unsigned granted = 0;
+      unsigned best_dist = n_ports;
+      for (std::int32_t m = head; m >= 0; m = cand_next_[m]) {
+        const unsigned mu = static_cast<unsigned>(m);
+        const unsigned dist = (mu + n_ports - rr) % n_ports;
+        if (dist < best_dist) {
+          best_dist = dist;
+          granted = mu;
+        }
+      }
+      unsigned losers = 0;
+      for (std::int32_t m = head; m >= 0; m = cand_next_[m]) {
+        if (static_cast<unsigned>(m) == granted) continue;
+        ports_[m].note_stalled();
+        ++stats_.conflicts;
+        ++losers;
       }
       if (trace_ && losers > 0) {
         trace_->record({now, bank_tracks_[b], trace::Phase::kInstant,
-                        "dma-claim-conflict", losers});
+                        "conflict", losers});
       }
-      continue;
-    }
-    // Find the first requesting master starting from the rr pointer.
-    int granted = -1;
-    for (unsigned k = 0; k < n_ports; ++k) {
-      const unsigned m = (rr_next_[b] + k) % n_ports;
-      auto& p = *ports_[m];
-      if (p.pending_ && contains(p.pending_->addr) &&
-          bank_of(p.pending_->addr) == b) {
-        if (granted < 0) {
-          granted = static_cast<int>(m);
-        } else {
-          ++p.stats_.stall_cycles;
-          ++stats_.conflicts;
-          ++losers;
-        }
-      }
-    }
-    if (trace_ && losers > 0) {
-      trace_->record({now, bank_tracks_[b], trace::Phase::kInstant,
-                      "conflict", losers});
-    }
-    if (granted >= 0) {
-      auto& p = *ports_[static_cast<unsigned>(granted)];
-      const MemReq req = *p.pending_;
-      p.pending_.reset();
-      rr_next_[b] = (static_cast<unsigned>(granted) + 1) % n_ports;
+      rr_next_[b] = (granted + 1) % n_ports;
       ++stats_.grants;
-      if (req.is_write) {
-        store_.store(req.addr, req.wdata, req.bytes);
-        ++p.stats_.writes;
-      } else {
-        MemRsp rsp;
-        rsp.rdata = store_.load(req.addr, req.bytes);
-        rsp.id = req.id;
-        ++p.stats_.reads;
-        if (cfg_.latency <= 1) {
-          p.matured_.push_back(rsp);
-        } else {
-          p.inflight_.push_back({now + cfg_.latency - 1, rsp});
-        }
-      }
+      ports_[granted].serve_pending(store_, now, cfg_.latency);
     }
   }
-
-#ifndef NDEBUG
-  // Requests outside the TCDM window are a wiring error in this model.
-  for (auto& p : ports_) {
-    assert(!p->pending_ || contains(p->pending_->addr));
-  }
-#endif
 
   // DMA claims are per-cycle.
   std::fill(dma_claimed_.begin(), dma_claimed_.end(), false);
+}
+
+cycle_t Tcdm::next_event() const {
+  cycle_t e = kCycleNever;
+  for (const auto& p : ports_) e = std::min(e, p.next_event());
+  return e;
 }
 
 }  // namespace issr::mem

@@ -8,12 +8,16 @@
 // The DMA engine accesses the TCDM through a separate wide path: it claims
 // whole banks for the current cycle (claim_for_dma) before core-side
 // arbitration runs, modelling its 512-bit port.
+//
+// Arbitration is O(masters + banks) per cycle: one pass buckets pending
+// requests into per-bank candidate lists (intrusive linked lists over
+// scratch arrays, no allocation), then one ascending-bank sweep grants at
+// most one candidate per bank via the per-bank round-robin pointer. The
+// previous banks x masters scan was the cluster simulation's largest
+// per-cycle cost.
 #pragma once
 
 #include <cstdint>
-#include <deque>
-#include <memory>
-#include <optional>
 #include <vector>
 
 #include "mem/backing_store.hpp"
@@ -33,33 +37,6 @@ struct TcdmConfig {
   }
 };
 
-class Tcdm;
-
-/// One master port into the TCDM interconnect.
-class TcdmPort final : public MemPort {
- public:
-  bool can_accept() const override { return !pending_.has_value(); }
-  void push_request(const MemReq& req) override;
-  std::optional<MemRsp> pop_response() override;
-  unsigned inflight() const override {
-    return static_cast<unsigned>(matured_.size() + inflight_.size());
-  }
-
-  const PortStats& stats() const override { return stats_; }
-
- private:
-  friend class Tcdm;
-
-  std::optional<MemReq> pending_;
-  struct Flight {
-    cycle_t ready_at;
-    MemRsp rsp;
-  };
-  std::deque<Flight> inflight_;
-  std::deque<MemRsp> matured_;
-  PortStats stats_;
-};
-
 struct TcdmStats {
   std::uint64_t grants = 0;
   std::uint64_t conflicts = 0;  ///< master-cycles spent losing arbitration
@@ -69,6 +46,7 @@ struct TcdmStats {
     const double total = static_cast<double>(grants + conflicts);
     return total > 0 ? static_cast<double>(conflicts) / total : 0.0;
   }
+  bool operator==(const TcdmStats&) const = default;
 };
 
 class Tcdm {
@@ -76,7 +54,7 @@ class Tcdm {
   Tcdm(const TcdmConfig& cfg, unsigned num_masters);
 
   const TcdmConfig& config() const { return cfg_; }
-  TcdmPort& port(unsigned i) { return *ports_.at(i); }
+  MemPort& port(unsigned i) { return ports_.at(i); }
   unsigned num_ports() const { return static_cast<unsigned>(ports_.size()); }
 
   BackingStore& store() { return store_; }
@@ -89,8 +67,9 @@ class Tcdm {
 
   /// Bank index of a byte address (word-interleaved at 8 B granularity).
   std::uint32_t bank_of(addr_t addr) const {
-    return static_cast<std::uint32_t>(((addr - cfg_.base) >> kWordBytesLog2) %
-                                      cfg_.num_banks);
+    const addr_t word = (addr - cfg_.base) >> kWordBytesLog2;
+    return bank_mask_ ? static_cast<std::uint32_t>(word & bank_mask_)
+                      : static_cast<std::uint32_t>(word % cfg_.num_banks);
   }
 
   /// Reserve banks [first, first+count) for the DMA this cycle; must be
@@ -105,16 +84,26 @@ class Tcdm {
   const TcdmStats& stats() const { return stats_; }
   void reset_stats() { stats_ = {}; }
 
+  /// Fast-forward hook: earliest cycle any port changes state on its own
+  /// (kCycleNever when every port is drained and idle).
+  cycle_t next_event() const;
+
   /// Register one timeline track per bank on `sink`; conflicted cycles
   /// then emit an instant per bank (value = masters that lost).
   void attach_trace(trace::TraceSink& sink);
 
  private:
   TcdmConfig cfg_;
+  std::uint32_t bank_mask_ = 0;  ///< num_banks - 1 when a power of two
   BackingStore store_;
-  std::vector<std::unique_ptr<TcdmPort>> ports_;
+  std::vector<MemPort> ports_;
   std::vector<bool> dma_claimed_;
   std::vector<unsigned> rr_next_;  ///< per-bank round-robin pointer
+  // Arbitration scratch (persistent to avoid per-cycle allocation):
+  // head of each bank's candidate list / next candidate per master, both
+  // -1-terminated and rebuilt each tick from the pending ports.
+  std::vector<std::int32_t> bank_head_;
+  std::vector<std::int32_t> cand_next_;
   TcdmStats stats_;
   trace::TraceSink* trace_ = nullptr;
   std::vector<std::uint32_t> bank_tracks_;

@@ -1,48 +1,59 @@
 // Fixed-capacity FIFO modeling the streamer's decoupling queues (the
 // paper's default configuration uses five data FIFO stages per lane).
+// Storage is one flat allocation sized at construction with wrap-by-
+// compare indexing — these queues are pushed/popped on every streaming
+// cycle, so they must not touch an allocator or chunked deque storage.
 #pragma once
 
 #include <cassert>
 #include <cstddef>
-#include <deque>
+#include <vector>
 
 namespace issr::ssr {
 
 template <typename T>
 class Fifo {
  public:
-  explicit Fifo(std::size_t capacity) : capacity_(capacity) {
+  explicit Fifo(std::size_t capacity) : buf_(capacity) {
     assert(capacity > 0);
   }
 
-  std::size_t capacity() const { return capacity_; }
-  std::size_t size() const { return q_.size(); }
-  std::size_t free_slots() const { return capacity_ - q_.size(); }
-  bool empty() const { return q_.empty(); }
-  bool full() const { return q_.size() >= capacity_; }
+  std::size_t capacity() const { return buf_.size(); }
+  std::size_t size() const { return size_; }
+  std::size_t free_slots() const { return buf_.size() - size_; }
+  bool empty() const { return size_ == 0; }
+  bool full() const { return size_ >= buf_.size(); }
 
   void push(const T& v) {
     assert(!full());
-    q_.push_back(v);
+    std::size_t tail = head_ + size_;
+    if (tail >= buf_.size()) tail -= buf_.size();
+    buf_[tail] = v;
+    ++size_;
   }
 
   const T& front() const {
     assert(!empty());
-    return q_.front();
+    return buf_[head_];
   }
 
   T pop() {
     assert(!empty());
-    T v = q_.front();
-    q_.pop_front();
+    T v = buf_[head_];
+    if (++head_ == buf_.size()) head_ = 0;
+    --size_;
     return v;
   }
 
-  void clear() { q_.clear(); }
+  void clear() {
+    head_ = 0;
+    size_ = 0;
+  }
 
  private:
-  std::size_t capacity_;
-  std::deque<T> q_;
+  std::vector<T> buf_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
 };
 
 }  // namespace issr::ssr

@@ -171,6 +171,7 @@ addr_t Lane::affine_next() {
 void Lane::serialize_one() {
   if (!active_ || !is_indirect(job_.mode)) return;
   if (idcs_left_ == 0 || addr_queue_.full() || idx_fifo_.empty()) return;
+  advanced_tick_ = true;
 
   const unsigned ib = mode_index_bytes(job_.mode);
   const unsigned per_word = 8 / ib;
@@ -209,6 +210,7 @@ bool Lane::data_wants_port() const {
 }
 
 void Lane::issue_idx_fetch() {
+  advanced_tick_ = true;
   mem::MemReq req;
   req.addr = idx_word_addr_;
   req.bytes = 8;
@@ -221,6 +223,7 @@ void Lane::issue_idx_fetch() {
 }
 
 void Lane::issue_data_access() {
+  advanced_tick_ = true;
   const addr_t addr =
       is_indirect(job_.mode) ? addr_queue_.pop() : affine_next();
   mem::MemReq req;
@@ -255,23 +258,27 @@ void Lane::finish_if_done() {
 
 void Lane::tick(cycle_t now) {
   now_ = now;
+  advanced_tick_ = false;
   // 1. Collect memory responses.
-  while (auto rsp = port_.pop_response()) {
-    if (rsp->id == kTagIdx) {
+  mem::MemRsp rsp;
+  while (port_.pop_response(rsp)) {
+    advanced_tick_ = true;
+    if (rsp.id == kTagIdx) {
       assert(idx_outstanding_ > 0);
       --idx_outstanding_;
-      idx_fifo_.push(rsp->rdata);
+      idx_fifo_.push(rsp.rdata);
     } else {
       assert(data_outstanding_ > 0);
       --data_outstanding_;
-      data_fifo_.push(std::bit_cast<double>(rsp->rdata));
+      data_fifo_.push(std::bit_cast<double>(rsp.rdata));
     }
   }
   if (params_.dedicated_idx_port) {
-    while (auto rsp = idx_port_.pop_response()) {
-      assert(rsp->id == kTagIdx && idx_outstanding_ > 0);
+    while (idx_port_.pop_response(rsp)) {
+      advanced_tick_ = true;
+      assert(rsp.id == kTagIdx && idx_outstanding_ > 0);
       --idx_outstanding_;
-      idx_fifo_.push(rsp->rdata);
+      idx_fifo_.push(rsp.rdata);
     }
   }
 

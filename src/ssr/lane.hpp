@@ -36,6 +36,16 @@ struct LaneStats {
   std::uint64_t elems_written = 0;  ///< register-file pushes absorbed
   std::uint64_t port_mux_conflicts = 0;  ///< idx & data wanted same cycle
   std::uint64_t reg_starved_cycles = 0;  ///< read attempted, FIFO empty
+
+  bool operator==(const LaneStats&) const = default;
+
+  /// Apply `f` to every counter (fast-forward bulk replay; keep in sync
+  /// with the fields above).
+  template <typename F>
+  void for_each_counter(F&& f) {
+    f(jobs_started), f(data_reqs), f(idx_word_reqs), f(elems_read);
+    f(elems_written), f(port_mux_conflicts), f(reg_starved_cycles);
+  }
 };
 
 struct LaneParams {
@@ -113,7 +123,18 @@ class Lane {
   /// issue at most one memory request through the port mux.
   void tick(cycle_t now);
 
+  /// Fast-forward hook: `now` when the last tick made progress (consumed
+  /// a response, serialized an index, issued a request), else kCycleNever
+  /// — every other lane wake-up is external (a memory response maturing,
+  /// the FPU subsystem popping/pushing the register file, a CSR job
+  /// submit) and covered by the other units' hooks.
+  cycle_t next_event(cycle_t now) const {
+    return advanced_tick_ ? now : kCycleNever;
+  }
+
   const LaneStats& stats() const { return stats_; }
+  /// Fast-forward replay hook (bulk counter credit); not for general use.
+  LaneStats& mutable_stats() { return stats_; }
   void reset_stats() { stats_ = {}; }
 
   /// Timeline hook: one slice per stream job (trace/).
@@ -191,6 +212,7 @@ class Lane {
   trace::Tracer trace_;
   cycle_t now_ = 0;  ///< current cycle, latched by tick() for job slices
   StarveCause last_starve_cause_ = StarveCause::kNone;
+  bool advanced_tick_ = false;  ///< last tick() changed lane state
 };
 
 }  // namespace issr::ssr

@@ -4,15 +4,15 @@
 // one TCDM port (clients are served in tick order, giving the core
 // priority for its sporadic requests), while the ISSR owns the second
 // port exclusively (its internal index/data round-robin lives in the
-// lane, §II-B).
+// lane, §II-B). Every method is non-virtual and inline: the hub is on the
+// per-cycle path of every requester.
 #pragma once
 
 #include <cassert>
 #include <cstdint>
-#include <deque>
-#include <optional>
 #include <vector>
 
+#include "common/ring_queue.hpp"
 #include "mem/port.hpp"
 
 namespace issr::ssr {
@@ -31,8 +31,9 @@ class PortClient {
   /// Issue a request; `tag` is private to this client and echoed back.
   void request(mem::MemReq req, std::uint32_t tag = 0);
 
-  /// Pop the next response destined for this client, if any.
-  std::optional<mem::MemRsp> pop_response();
+  /// Pop the next response destined for this client into `out`; returns
+  /// false when none is queued.
+  bool pop_response(mem::MemRsp& out);
 
   bool valid() const { return hub_ != nullptr; }
 
@@ -54,13 +55,19 @@ class PortHub {
   void tick();
 
   mem::MemPort& port() { return *port_; }
+  const mem::MemPort& port() const { return *port_; }
+
+  /// Routed responses not yet popped by their client (fast-forward hook:
+  /// nonzero means a client will act next tick).
+  bool has_queued() const { return queued_ != 0; }
 
  private:
   friend class PortClient;
   static constexpr unsigned kTagBits = 28;
 
   mem::MemPort* port_;
-  std::vector<std::deque<mem::MemRsp>> queues_;
+  std::vector<RingQueue<mem::MemRsp>> queues_;
+  std::size_t queued_ = 0;
 };
 
 inline PortClient PortHub::add_client() {
@@ -73,11 +80,13 @@ inline PortClient PortHub::add_client() {
 }
 
 inline void PortHub::tick() {
-  while (auto rsp = port_->pop_response()) {
-    const unsigned client = rsp->id >> kTagBits;
+  mem::MemRsp rsp;
+  while (port_->pop_response(rsp)) {
+    const unsigned client = rsp.id >> kTagBits;
     assert(client < queues_.size());
-    rsp->id &= (1u << kTagBits) - 1;
-    queues_[client].push_back(*rsp);
+    rsp.id &= (1u << kTagBits) - 1;
+    queues_[client].push_back(rsp);
+    ++queued_;
   }
 }
 
@@ -93,13 +102,13 @@ inline void PortClient::request(mem::MemReq req, std::uint32_t tag) {
   hub_->port_->push_request(req);
 }
 
-inline std::optional<mem::MemRsp> PortClient::pop_response() {
+inline bool PortClient::pop_response(mem::MemRsp& out) {
   assert(valid());
   auto& q = hub_->queues_[id_];
-  if (q.empty()) return std::nullopt;
-  const mem::MemRsp rsp = q.front();
-  q.pop_front();
-  return rsp;
+  if (q.empty()) return false;
+  out = q.take_front();
+  --hub_->queued_;
+  return true;
 }
 
 }  // namespace issr::ssr

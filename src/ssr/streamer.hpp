@@ -67,6 +67,16 @@ class Streamer {
 
   void tick(cycle_t now);
 
+  /// Fast-forward hook: min over the lanes' next_event.
+  cycle_t next_event(cycle_t now) const {
+    cycle_t e = kCycleNever;
+    for (const auto& l : lanes_) {
+      const cycle_t le = l->next_event(now);
+      if (le < e) e = le;
+    }
+    return e;
+  }
+
  private:
   /// Raw shadow register values as written by software, per lane.
   struct CfgRegs {

@@ -16,7 +16,7 @@ std::uint32_t RingBufferSink::add_track(const std::string& process,
 
 void RingBufferSink::record(const Event& event) {
   buf_[next_] = event;
-  next_ = (next_ + 1) % buf_.size();
+  if (++next_ == buf_.size()) next_ = 0;  // wrap by compare, not modulo
   if (count_ < buf_.size()) ++count_;
   ++recorded_;
 }

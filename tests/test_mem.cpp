@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <optional>
 
 #include "mem/backing_store.hpp"
 #include "mem/dma.hpp"
@@ -12,6 +13,13 @@
 
 namespace issr::mem {
 namespace {
+
+/// Optional-returning convenience over the in-place response slot.
+std::optional<MemRsp> pop(MemPort& port) {
+  MemRsp rsp;
+  if (!port.pop_response(rsp)) return std::nullopt;
+  return rsp;
+}
 
 TEST(BackingStore, TypedAccessRoundTrip) {
   BackingStore s;
@@ -69,12 +77,12 @@ TEST(IdealMemory, SingleRequestLatency) {
   ASSERT_TRUE(port.can_accept());
   port.push_request({0x40, false, 8, 0, 9});
   EXPECT_FALSE(port.can_accept());
-  EXPECT_FALSE(port.pop_response().has_value());
+  EXPECT_FALSE(pop(port).has_value());
   // Cycle 1: memory grants; response pops in the same cycle's
   // requester phase (latency 1).
   mem.tick(1);
   EXPECT_TRUE(port.can_accept());
-  const auto rsp = port.pop_response();
+  const auto rsp = pop(port);
   ASSERT_TRUE(rsp.has_value());
   EXPECT_EQ(rsp->rdata, 77u);
   EXPECT_EQ(rsp->id, 9u);
@@ -88,7 +96,7 @@ TEST(IdealMemory, PipelinedThroughputOnePerCycle) {
   addr_t next = 0;
   for (cycle_t t = 0; t < 32; ++t) {
     mem.tick(t);
-    while (auto rsp = port.pop_response()) {
+    while (auto rsp = pop(port)) {
       EXPECT_EQ(rsp->rdata, static_cast<std::uint64_t>(received * 8));
       ++received;
     }
@@ -99,6 +107,25 @@ TEST(IdealMemory, PipelinedThroughputOnePerCycle) {
   }
   EXPECT_EQ(received, 8u);
   // With latency 2 and full pipelining: 8 requests complete in ~10 cycles.
+}
+
+TEST(MemPortAdapter, VirtualSeamForwardsToConcretePort) {
+  // The hot path is devirtualized; code that needs runtime polymorphism
+  // over ports (mock memories, future backends) goes through the adapter.
+  IdealMemory mem(1, 1);
+  mem.store().store_u64(0x20, 123);
+  MemPortAdapter adapter(mem.port(0));
+  MemPortIface& iface = adapter;
+  ASSERT_TRUE(iface.can_accept());
+  iface.push_request({0x20, false, 8, 0, 3});
+  EXPECT_FALSE(iface.can_accept());
+  mem.tick(1);
+  MemRsp rsp;
+  ASSERT_TRUE(iface.pop_response(rsp));
+  EXPECT_EQ(rsp.rdata, 123u);
+  EXPECT_EQ(rsp.id, 3u);
+  EXPECT_FALSE(iface.pop_response(rsp));
+  EXPECT_EQ(iface.stats().reads, 1u);
 }
 
 TEST(IdealMemory, WritesCommitOnGrant) {
@@ -130,13 +157,13 @@ TEST(Tcdm, ConflictSerializesSameBank) {
   tcdm.port(1).push_request({cfg.base, false, 8, 0, 1});
   tcdm.tick(1);
   // Exactly one granted.
-  const bool p0 = tcdm.port(0).pop_response().has_value();
-  const bool p1 = tcdm.port(1).pop_response().has_value();
+  const bool p0 = pop(tcdm.port(0)).has_value();
+  const bool p1 = pop(tcdm.port(1)).has_value();
   EXPECT_NE(p0, p1);
   EXPECT_EQ(tcdm.stats().grants, 1u);
   EXPECT_EQ(tcdm.stats().conflicts, 1u);
   tcdm.tick(2);
-  EXPECT_TRUE(tcdm.port(p0 ? 1 : 0).pop_response().has_value());
+  EXPECT_TRUE(pop(tcdm.port(p0 ? 1 : 0)).has_value());
 }
 
 TEST(Tcdm, DifferentBanksProceedInParallel) {
@@ -145,8 +172,8 @@ TEST(Tcdm, DifferentBanksProceedInParallel) {
   tcdm.port(0).push_request({cfg.base, false, 8, 0, 0});
   tcdm.port(1).push_request({cfg.base + 8, false, 8, 0, 1});
   tcdm.tick(1);
-  EXPECT_TRUE(tcdm.port(0).pop_response().has_value());
-  EXPECT_TRUE(tcdm.port(1).pop_response().has_value());
+  EXPECT_TRUE(pop(tcdm.port(0)).has_value());
+  EXPECT_TRUE(pop(tcdm.port(1)).has_value());
   EXPECT_EQ(tcdm.stats().conflicts, 0u);
 }
 
@@ -162,7 +189,7 @@ TEST(Tcdm, RoundRobinIsFairUnderPersistentConflict) {
     }
     tcdm.tick(t);
     for (unsigned m = 0; m < 2; ++m) {
-      if (tcdm.port(m).pop_response()) ++grants[m];
+      if (pop(tcdm.port(m))) ++grants[m];
     }
   }
   EXPECT_NEAR(static_cast<double>(grants[0]), static_cast<double>(grants[1]),
@@ -175,10 +202,10 @@ TEST(Tcdm, DmaClaimBlocksBank) {
   tcdm.port(0).push_request({cfg.base, false, 8, 0, 0});
   tcdm.claim_for_dma(0, 1);
   tcdm.tick(1);
-  EXPECT_FALSE(tcdm.port(0).pop_response().has_value());
+  EXPECT_FALSE(pop(tcdm.port(0)).has_value());
   // Claim is per-cycle: next tick the core wins.
   tcdm.tick(2);
-  EXPECT_TRUE(tcdm.port(0).pop_response().has_value());
+  EXPECT_TRUE(pop(tcdm.port(0)).has_value());
 }
 
 class DmaTransfer : public ::testing::Test {

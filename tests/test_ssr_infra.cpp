@@ -50,16 +50,16 @@ TEST(PortHub, RoutesResponsesByClient) {
   mem.tick(2);
   hub.tick();
 
-  const auto ra = a.pop_response();
-  ASSERT_TRUE(ra.has_value());
-  EXPECT_EQ(ra->rdata, 11u);
-  EXPECT_EQ(ra->id, 7u);  // private tag restored
-  EXPECT_FALSE(a.pop_response().has_value());
+  mem::MemRsp ra;
+  ASSERT_TRUE(a.pop_response(ra));
+  EXPECT_EQ(ra.rdata, 11u);
+  EXPECT_EQ(ra.id, 7u);  // private tag restored
+  EXPECT_FALSE(a.pop_response(ra));
 
-  const auto rb = b.pop_response();
-  ASSERT_TRUE(rb.has_value());
-  EXPECT_EQ(rb->rdata, 22u);
-  EXPECT_EQ(rb->id, 9u);
+  mem::MemRsp rb;
+  ASSERT_TRUE(b.pop_response(rb));
+  EXPECT_EQ(rb.rdata, 22u);
+  EXPECT_EQ(rb.id, 9u);
 }
 
 TEST(PortHub, FirstClaimWinsTheCycle) {
