@@ -21,6 +21,7 @@
 #include "driver/report.hpp"
 #include "driver/runner.hpp"
 #include "driver/scenario.hpp"
+#include "driver/sweep.hpp"
 
 using namespace issr;
 
@@ -46,6 +47,13 @@ Workload shape:
 
 Execution and output:
   --jobs N           worker threads                       [1]
+  --reps N           times each scenario is simulated     [1]
+                     (throughput/determinism: reps must reproduce their
+                     scenario's results exactly; reports stay one row per
+                     scenario and are bytewise rep-invariant)
+  --no-asset-cache   rebuild every workload and kernel program per run
+                     instead of sharing them across the sweep (bisection
+                     aid; result files are bytewise identical either way)
   --out PREFIX       write PREFIX.json and PREFIX.csv     [issr_run_results]
   --trace DIR        write DIR/<scenario>.trace.json per scenario
                      (Chrome trace-event format; open in chrome://tracing
@@ -57,7 +65,9 @@ Execution and output:
   --no-fast-forward  tick every cycle instead of skipping provably idle
                      stretches (results are identical either way; use to
                      bisect a suspected engine discrepancy)
-  --list             print the expanded scenarios and exit
+  --list-scenarios   print the expanded scenario matrix (name, shape,
+                     seed, derived cost estimate) without simulating
+                     (aliases: --list, --dry-run)
   --help             this text
 
 Combinations with no implemented kernel (SpVV with cores > 1) are skipped
@@ -85,15 +95,20 @@ bool parse_axis(const std::string& list, std::vector<T>& out, Parse parse) {
 
 int main(int argc, char** argv) {
   driver::ScenarioMatrix matrix;
-  driver::RunOptions run_opts;
+  driver::SweepSpec spec;
   unsigned jobs = 1;
+  unsigned reps = 1;
   bool list_only = false;
   bool stall_report = false;
+  bool asset_cache = true;
   std::string out_prefix = "issr_run_results";
 
   cli::FlagParser parser("issr_run", kUsage);
   core::register_engine_cli(parser);
-  parser.add_switch("--list", [&] { list_only = true; });
+  parser.add_switch("--list-scenarios", [&] { list_only = true; });
+  parser.add_alias("--list", "--list-scenarios");
+  parser.add_alias("--dry-run", "--list-scenarios");
+  parser.add_switch("--no-asset-cache", [&] { asset_cache = false; });
   parser.add_switch("--stall-report", [&] { stall_report = true; });
   parser.add_value("--kernels", [&](const std::string& v) {
     return parse_axis(v, matrix.kernels,
@@ -156,12 +171,18 @@ int main(int argc, char** argv) {
     jobs = static_cast<unsigned>(n);
     return true;
   });
+  parser.add_value("--reps", [&](const std::string& v) {
+    std::uint64_t n = 0;
+    if (!cli::parse_u64(v, n, 1u << 20) || n == 0) return false;
+    reps = static_cast<unsigned>(n);
+    return true;
+  });
   parser.add_value("--out", [&](const std::string& v) {
     out_prefix = v;
     return !v.empty();
   });
   parser.add_value("--trace", [&](const std::string& v) {
-    run_opts.trace_dir = v;
+    spec.options.trace_dir = v;
     return !v.empty();
   });
   parser.add_value("--trace-events", [&](const std::string& v) {
@@ -170,7 +191,7 @@ int main(int argc, char** argv) {
     // unallocatable ring and crash with bad_alloc instead of this error.
     std::uint64_t n = 0;
     if (!cli::parse_u64(v, n, std::uint64_t{1} << 26) || n == 0) return false;
-    run_opts.trace_events = static_cast<std::size_t>(n);
+    spec.options.trace_events = static_cast<std::size_t>(n);
     return true;
   });
   parser.parse(argc, argv);
@@ -184,19 +205,26 @@ int main(int argc, char** argv) {
 
   if (list_only) {
     bool derived_shape = false;
+    double total_cost = 0.0;
     for (const auto& s : scenarios) {
       // Torus (fixed 5-point grid) and banded (square) derive their
       // actual shape from the request; results files record actual dims.
       const bool derived = s.family == sparse::MatrixFamily::kTorus ||
                            s.family == sparse::MatrixFamily::kBanded;
       derived_shape |= derived;
+      const double cost = driver::estimated_cost(s);
+      total_cost += cost;
       std::printf("%s  rows=%u cols=%u target_nnz/row=%u%s "
-                  "seed=0x%016llx\n",
+                  "seed=0x%016llx cost=%.0f\n",
                   s.name().c_str(), s.rows, s.cols, s.row_nnz(),
                   derived ? " (shape derived by family)" : "",
-                  static_cast<unsigned long long>(s.seed));
+                  static_cast<unsigned long long>(s.seed), cost);
     }
-    std::printf("%zu scenarios\n", scenarios.size());
+    std::printf("%zu scenarios, %u rep%s, total estimated cost %.0f "
+                "(relative units; the sweep scheduler dispatches "
+                "longest-expected-first)\n",
+                scenarios.size(), reps, reps == 1 ? "" : "s",
+                total_cost * reps);
     if (derived_shape) {
       std::printf("note: torus/banded families derive their (square) "
                   "shape from the request; the listed rows/cols are the "
@@ -205,20 +233,47 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  if (!run_opts.trace_dir.empty()) {
+  if (!spec.options.trace_dir.empty()) {
     std::error_code ec;
-    std::filesystem::create_directories(run_opts.trace_dir, ec);
+    std::filesystem::create_directories(spec.options.trace_dir, ec);
     if (ec) {
       std::fprintf(stderr, "issr_run: cannot create trace directory %s: %s\n",
-                   run_opts.trace_dir.c_str(), ec.message().c_str());
+                   spec.options.trace_dir.c_str(), ec.message().c_str());
       return 1;
     }
   }
 
-  std::printf("issr_run: %zu scenarios, %u worker thread%s%s\n",
+  std::printf("issr_run: %zu scenarios, %u worker thread%s%s%s\n",
               scenarios.size(), jobs, jobs == 1 ? "" : "s",
-              run_opts.trace_dir.empty() ? "" : ", tracing enabled");
-  const auto results = driver::run_scenarios(scenarios, jobs, run_opts);
+              spec.options.trace_dir.empty() ? "" : ", tracing enabled",
+              asset_cache ? "" : ", asset cache off");
+  spec.scenarios = scenarios;
+  spec.jobs = jobs;
+  spec.reps = reps;
+  spec.asset_cache = asset_cache;
+  auto outcome = driver::run_sweep(spec);
+  const auto& results = outcome.results;
+  const auto& st = outcome.stats;
+  char cache_note[160];
+  if (asset_cache) {
+    std::snprintf(cache_note, sizeof cache_note,
+                  "%zu workload builds + %zu shared hits, %zu program "
+                  "builds + %zu shared hits",
+                  st.cache.workload_builds, st.cache.workload_hits,
+                  st.cache.program_builds, st.cache.program_hits);
+  } else {
+    // Nothing was shared: every run rebuilt its own assets locally.
+    std::snprintf(cache_note, sizeof cache_note,
+                  "asset cache off (every run rebuilt its assets)");
+  }
+  std::printf(
+      "sweep: %zu runs in %.2f s (%.2f simulated MCPS aggregate), "
+      "%s, %zu steals\n",
+      st.runs, st.wall_seconds,
+      st.wall_seconds > 0.0
+          ? static_cast<double>(st.core_cycles) / st.wall_seconds / 1e6
+          : 0.0,
+      cache_note, st.steals);
 
   driver::results_table(results).print();
   if (stall_report) driver::stall_table(results).print();
@@ -236,7 +291,7 @@ int main(int argc, char** argv) {
   std::printf("wrote %s and %s\n", json_path.c_str(), csv_path.c_str());
 
   unsigned trace_failures = 0;
-  if (!run_opts.trace_dir.empty()) {
+  if (!spec.options.trace_dir.empty()) {
     for (const auto& r : results) {
       if (r.trace_write_failed) {
         std::fprintf(stderr, "issr_run: failed to write trace for %s\n",
@@ -246,7 +301,8 @@ int main(int argc, char** argv) {
     }
     std::printf("wrote %zu trace files under %s (open in chrome://tracing "
                 "or https://ui.perfetto.dev)\n",
-                results.size() - trace_failures, run_opts.trace_dir.c_str());
+                results.size() - trace_failures,
+                spec.options.trace_dir.c_str());
   }
 
   unsigned failures = 0;

@@ -35,6 +35,31 @@ inline bool full_run() {
   return v != nullptr && v[0] == '1';
 }
 
+/// Tree identity stamped into the throughput-trajectory JSON documents
+/// (BENCH_simspeed.json / BENCH_sweepspeed.json). ISSR_GIT_DESCRIBE
+/// overrides (CI and the committed artifacts use symbolic labels);
+/// otherwise `git describe`, falling back to "unknown" outside a repo.
+inline std::string git_describe() {
+  if (const char* env = std::getenv("ISSR_GIT_DESCRIBE")) return env;
+  std::string out;
+  if (std::FILE* p = popen("git describe --always --dirty 2>/dev/null", "r")) {
+    char buf[128];
+    if (std::fgets(buf, sizeof buf, p)) out = buf;
+    pclose(p);
+  }
+  while (!out.empty() && (out.back() == '\n' || out.back() == '\r')) {
+    out.pop_back();
+  }
+  return out.empty() ? "unknown" : out;
+}
+
+/// Fixed four-decimal rendering for the throughput JSON/table numbers.
+inline std::string fmt_fixed4(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.4f", v);
+  return buf;
+}
+
 /// Shared bench command line (the one flag dispatch for every figure/table
 /// binary): --full selects the complete paper sweep, --no-fast-forward
 /// disables the engine's idle-cycle skip, --help describes the bench.

@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "common/cli.hpp"
 #include "common/rng.hpp"
 #include "common/table.hpp"
@@ -81,29 +82,9 @@ Measurement measure(const std::string& name, double min_seconds, F&& run) {
   return m;
 }
 
-std::string git_describe() {
-  if (const char* env = std::getenv("ISSR_GIT_DESCRIBE")) return env;
-  std::string out;
-  if (FILE* p = popen("git describe --always --dirty 2>/dev/null", "r")) {
-    char buf[128];
-    if (std::fgets(buf, sizeof buf, p)) out = buf;
-    pclose(p);
-  }
-  while (!out.empty() && (out.back() == '\n' || out.back() == '\r')) {
-    out.pop_back();
-  }
-  return out.empty() ? "unknown" : out;
-}
-
-std::string fmt_double(double v) {
-  char buf[64];
-  std::snprintf(buf, sizeof buf, "%.4f", v);
-  return buf;
-}
-
 std::string to_json(const std::vector<Measurement>& ms) {
   std::string j = "{\n  \"schema\": \"issr-simspeed-v1\",\n  \"git\": \"" +
-                  git_describe() + "\",\n  \"fast_forward\": " +
+                  bench::git_describe() + "\",\n  \"fast_forward\": " +
                   (core::engine_fast_forward_default() ? "true" : "false") +
                   ",\n  \"scenarios\": [\n";
   for (std::size_t i = 0; i < ms.size(); ++i) {
@@ -111,8 +92,8 @@ std::string to_json(const std::vector<Measurement>& ms) {
     j += "    {\"scenario\": \"" + m.name +
          "\", \"cycles\": " + std::to_string(m.cycles) +
          ", \"reps\": " + std::to_string(m.reps) +
-         ", \"seconds\": " + fmt_double(m.seconds) +
-         ", \"mcps\": " + fmt_double(m.mcps) + "}";
+         ", \"seconds\": " + bench::fmt_fixed4(m.seconds) +
+         ", \"mcps\": " + bench::fmt_fixed4(m.mcps) + "}";
     j += i + 1 < ms.size() ? ",\n" : "\n";
   }
   j += "  ]\n}\n";
@@ -202,8 +183,8 @@ int main(int argc, char** argv) {
   Table t("Simulator throughput (million simulated cycles / second)");
   t.set_header({"scenario", "cycles/run", "reps", "seconds", "MCPS"});
   for (const auto& m : ms) {
-    t.add_row({m.name, fmt_u(m.cycles), fmt_u(m.reps), fmt_double(m.seconds),
-               fmt_double(m.mcps)});
+    t.add_row({m.name, fmt_u(m.cycles), fmt_u(m.reps), bench::fmt_fixed4(m.seconds),
+               bench::fmt_fixed4(m.mcps)});
   }
   t.print();
 
@@ -212,6 +193,6 @@ int main(int argc, char** argv) {
                  out_path.c_str());
     return 1;
   }
-  std::printf("wrote %s (git %s)\n", out_path.c_str(), git_describe().c_str());
+  std::printf("wrote %s (git %s)\n", out_path.c_str(), bench::git_describe().c_str());
   return 0;
 }

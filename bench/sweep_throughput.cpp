@@ -1,0 +1,264 @@
+// sweep_throughput — aggregate sweep wall-clock baseline: measures the
+// end-to-end throughput of a whole scenario sweep (the metric PR 3's
+// per-simulation MCPS left uncovered) and writes BENCH_sweepspeed.json.
+//
+// Two passes over the identical scenario list:
+//   before — the PR 3-era path: a shared-counter worker pool handing out
+//            scenarios in declaration order, every run regenerating its
+//            workload and reassembling its program from nothing;
+//   after  — the sweep engine (driver/sweep.hpp): shared scenario assets,
+//            arena-backed runs, cost-ordered work-stealing scheduling.
+//
+// The mix is deliberately cache-friendly and straggler-heavy, mirroring
+// the fig4a/4b/4c reproduction matrix: many variant/width points share a
+// few workloads (one generation serves the whole comparison group), and
+// one heavy fig4c cluster scenario is declared *last* so the legacy pool
+// starts it only after everything else — the classic straggler the
+// cost-ordered scheduler eliminates. Both passes must produce bytewise
+// identical result documents; the bench aborts if they do not.
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "core/engine.hpp"
+#include "driver/report.hpp"
+#include "driver/runner.hpp"
+#include "driver/scenario.hpp"
+#include "driver/sweep.hpp"
+
+using namespace issr;
+
+namespace {
+
+constexpr const char* kUsage = R"(sweep_throughput — aggregate sweep wall-clock baseline
+
+Usage: sweep_throughput [options]
+
+Options:
+  --out FILE         output JSON path            [BENCH_sweepspeed.json]
+  --jobs N           worker threads              [min(8, hw threads)]
+  --reps N           reps per scenario           [4]
+  --no-fast-forward  tick every cycle (cycle counts identical)
+  --help             this text
+
+Runs the fixed cache-friendly fig4a/4b/4c sweep mix twice — once on the
+legacy declaration-order pool that rebuilds every asset per run, once on
+the sweep engine (shared assets, arenas, cost-ordered work stealing) —
+and reports wall-clock seconds and aggregate simulated MCPS for both.
+Simulated results are asserted bytewise identical between the passes.
+)";
+
+/// The fixed cache-friendly sweep mix. Each comparison group (widths x
+/// families x densities at one shape) shares one generated workload per
+/// (family, density) key, and workload generation is O(rows x cols)
+/// (selection sampling visits every column candidate) while the ISSR
+/// kernels simulate in ~1.4 cycles/nnz — at the suite's low densities
+/// the legacy path spends as much wall clock regenerating operands as
+/// simulating, which is exactly what the asset cache deletes.
+/// Declaration order matters: the fig4c cluster scenario comes last, the
+/// legacy pool's worst case (stragglers start after everything else) and
+/// a no-op for the cost-ordered scheduler.
+std::vector<driver::Scenario> sweep_mix() {
+  std::vector<driver::Scenario> out;
+
+  // fig4b-style ISSR suite sweep: both index widths across the full
+  // structural-family axis at SuiteSparse-like low densities. 14
+  // scenarios sharing 7 generated workloads (torus pins its density, so
+  // the family x density grid yields 3x2 + 1 workload keys).
+  driver::ScenarioMatrix csrmv;
+  csrmv.kernels = {driver::Kernel::kCsrmv};
+  csrmv.variants = {kernels::Variant::kIssr};
+  csrmv.families = {
+      sparse::MatrixFamily::kUniform, sparse::MatrixFamily::kBanded,
+      sparse::MatrixFamily::kPowerLaw, sparse::MatrixFamily::kTorus};
+  csrmv.densities = {0.01, 0.02};
+  csrmv.cores = {1};
+  csrmv.rows = 512;
+  csrmv.cols = 1024;
+  csrmv.base_seed = 42;
+  for (const auto& s : csrmv.expand()) out.push_back(s);
+
+  // fig4a shape: single-CC SpVV, both widths on one shared sparse/dense
+  // vector pair.
+  driver::ScenarioMatrix spvv;
+  spvv.kernels = {driver::Kernel::kSpvv};
+  spvv.variants = {kernels::Variant::kIssr};
+  spvv.densities = {0.25};
+  spvv.cols = 16384;
+  spvv.base_seed = 42;
+  for (const auto& s : spvv.expand()) out.push_back(s);
+
+  // fig4c shape: one 8-worker cluster CsrMV — the straggler, declared
+  // last on purpose.
+  driver::ScenarioMatrix cluster;
+  cluster.kernels = {driver::Kernel::kCsrmv};
+  cluster.variants = {kernels::Variant::kIssr};
+  cluster.widths = {sparse::IndexWidth::kU16};
+  cluster.families = {sparse::MatrixFamily::kUniform};
+  cluster.densities = {0.02};
+  cluster.cores = {8};
+  cluster.rows = 256;
+  cluster.cols = 512;
+  cluster.base_seed = 42;
+  for (const auto& s : cluster.expand()) out.push_back(s);
+
+  return out;
+}
+
+/// The PR 3-era sweep loop, preserved verbatim as the measured "before":
+/// a shared atomic counter hands out scenarios in declaration order,
+/// workers write adjacent results[i] slots mid-run, and each rep of the
+/// whole list regenerates every workload and reassembles every program.
+std::vector<driver::ScenarioResult> run_legacy(
+    const std::vector<driver::Scenario>& scenarios, unsigned jobs,
+    unsigned reps) {
+  std::vector<driver::ScenarioResult> results(scenarios.size());
+  for (unsigned rep = 0; rep < reps; ++rep) {
+    const unsigned workers = std::min<unsigned>(
+        std::max(1u, jobs), static_cast<unsigned>(scenarios.size()));
+    if (workers == 1) {
+      for (std::size_t i = 0; i < scenarios.size(); ++i) {
+        results[i] = driver::run_scenario(scenarios[i]);
+      }
+      continue;
+    }
+    std::atomic<std::size_t> next{0};
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (unsigned w = 0; w < workers; ++w) {
+      pool.emplace_back([&] {
+        for (;;) {
+          const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+          if (i >= scenarios.size()) return;
+          results[i] = driver::run_scenario(scenarios[i]);
+        }
+      });
+    }
+    for (auto& t : pool) t.join();
+  }
+  return results;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_sweepspeed.json";
+  unsigned hw = std::thread::hardware_concurrency();
+  unsigned jobs = std::min(8u, hw == 0 ? 2u : hw);
+  unsigned reps = 4;
+
+  cli::FlagParser parser("sweep_throughput", kUsage);
+  core::register_engine_cli(parser);
+  parser.add_value("--out", [&](const std::string& v) {
+    out_path = v;
+    return !v.empty();
+  });
+  parser.add_value("--jobs", [&](const std::string& v) {
+    std::uint64_t n = 0;
+    if (!cli::parse_u64(v, n, 1024) || n == 0) return false;
+    jobs = static_cast<unsigned>(n);
+    return true;
+  });
+  parser.add_value("--reps", [&](const std::string& v) {
+    std::uint64_t n = 0;
+    if (!cli::parse_u64(v, n, 1u << 16) || n == 0) return false;
+    reps = static_cast<unsigned>(n);
+    return true;
+  });
+  parser.parse(argc, argv);
+
+  const auto scenarios = sweep_mix();
+  using Clock = std::chrono::steady_clock;
+
+  // Warm-up (untimed): absorbs first-touch page faults and lazy init so
+  // neither pass pays them.
+  (void)driver::run_scenario(scenarios.front());
+
+  const auto t0 = Clock::now();
+  const auto before_results = run_legacy(scenarios, jobs, reps);
+  const double before_s =
+      std::chrono::duration<double>(Clock::now() - t0).count();
+
+  driver::SweepSpec spec;
+  spec.scenarios = scenarios;
+  spec.jobs = jobs;
+  spec.reps = reps;
+  const auto outcome = driver::run_sweep(spec);
+  const double after_s = outcome.stats.wall_seconds;
+
+  // Both passes simulated the same scenario list; their result documents
+  // must agree to the byte or one of the engines is wrong. The verdict
+  // still goes into the JSON (and check_sweepspeed.py gates on it) so a
+  // divergence leaves an inspectable artifact alongside the exit code.
+  const bool outputs_identical = driver::results_to_json(before_results) ==
+                                 driver::results_to_json(outcome.results);
+  if (!outputs_identical) {
+    std::fprintf(stderr,
+                 "FATAL: legacy and sweep-engine results differ — the "
+                 "asset cache or scheduler changed a simulated result\n");
+  }
+  bool validation_failed = false;
+  for (const auto& r : outcome.results) {
+    if (!r.ok) {
+      std::fprintf(stderr, "FATAL: %s failed validation\n",
+                   r.scenario.name().c_str());
+      validation_failed = true;
+    }
+  }
+
+  // One pass simulates every scenario `reps` times; both passes cover
+  // the same simulated core-cycles, so MCPS compares directly.
+  const auto pass_cycles = outcome.stats.core_cycles;
+  const double before_mcps = static_cast<double>(pass_cycles) / before_s / 1e6;
+  const double after_mcps = static_cast<double>(pass_cycles) / after_s / 1e6;
+  const double speedup = before_s / after_s;
+
+  Table t("Sweep throughput (aggregate simulated core-cycles / second)");
+  t.set_header({"pass", "seconds", "MCPS", "speedup"});
+  t.add_row({"before (decl-order pool, rebuild per run)", bench::fmt_fixed4(before_s),
+             bench::fmt_fixed4(before_mcps), "1.00x"});
+  t.add_row({"after (asset cache + arena + work stealing)",
+             bench::fmt_fixed4(after_s), bench::fmt_fixed4(after_mcps),
+             bench::fmt_fixed4(speedup) + "x"});
+  t.print();
+  std::printf("mix: %zu scenarios x %u reps = %zu runs, jobs=%u; "
+              "assets: %zu workload builds + %zu hits, %zu program builds "
+              "+ %zu hits; %zu steals\n",
+              scenarios.size(), reps, outcome.stats.runs, jobs,
+              outcome.stats.cache.workload_builds,
+              outcome.stats.cache.workload_hits,
+              outcome.stats.cache.program_builds,
+              outcome.stats.cache.program_hits, outcome.stats.steals);
+
+  const std::string git = bench::git_describe();
+  std::string j = "{\n  \"schema\": \"issr-sweepspeed-v1\",\n  \"git\": \"" +
+                  git + "\",\n  \"fast_forward\": " +
+                  (core::engine_fast_forward_default() ? "true" : "false") +
+                  ",\n  \"jobs\": " + std::to_string(jobs) +
+                  ",\n  \"reps\": " + std::to_string(reps) +
+                  ",\n  \"scenarios\": " + std::to_string(scenarios.size()) +
+                  ",\n  \"runs\": " + std::to_string(outcome.stats.runs) +
+                  ",\n  \"core_cycles\": " + std::to_string(pass_cycles) +
+                  ",\n  \"outputs_identical\": " +
+                  (outputs_identical ? "true" : "false") +
+                  ",\n  \"before\": {\"seconds\": " + bench::fmt_fixed4(before_s) +
+                  ", \"mcps\": " + bench::fmt_fixed4(before_mcps) + "}" +
+                  ",\n  \"after\": {\"seconds\": " + bench::fmt_fixed4(after_s) +
+                  ", \"mcps\": " + bench::fmt_fixed4(after_mcps) + "}" +
+                  ",\n  \"speedup\": " + bench::fmt_fixed4(speedup) + "\n}\n";
+  if (!driver::write_text_file(out_path, j)) {
+    std::fprintf(stderr, "sweep_throughput: failed to write %s\n",
+                 out_path.c_str());
+    return 1;
+  }
+  std::printf("wrote %s (git %s)\n", out_path.c_str(), git.c_str());
+  return outputs_identical && !validation_failed ? 0 : 1;
+}

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Gate aggregate sweep throughput against the committed baseline.
+
+Usage: check_sweepspeed.py MEASURED.json BASELINE.json [--tolerance 0.25]
+
+Fails (exit 1) when:
+  * the measurement's sweep-engine pass fell more than --tolerance below
+    the baseline after.mcps floor,
+  * the measurement reports outputs_identical false (the legacy and
+    sweep-engine passes disagreed — the asset cache or scheduler changed
+    a simulated result),
+  * core_cycles or runs differ from the baseline. Both are deterministic
+    workload invariants of the fixed bench mix at its default --reps
+    (independent of host speed, --jobs, and --no-fast-forward), so a
+    mismatch means the simulated model or the mix changed: if
+    intentional, regenerate the baseline (see
+    bench/baseline_sweepspeed.json) in the same commit.
+
+The before-pass numbers and the speedup are reported but not gated:
+wall-clock ratios on shared CI runners are too noisy to fail on.
+"""
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("schema") != "issr-sweepspeed-v1":
+        sys.exit(f"{path}: unexpected schema {doc.get('schema')!r}")
+    return doc
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("measured")
+    ap.add_argument("baseline")
+    ap.add_argument("--tolerance", type=float, default=0.25,
+                    help="allowed fractional MCPS regression (default 0.25)")
+    args = ap.parse_args()
+
+    measured = load(args.measured)
+    baseline = load(args.baseline)
+
+    failures = []
+    if not measured.get("outputs_identical", False):
+        failures.append(
+            "legacy and sweep-engine passes produced different results")
+    for field in ("core_cycles", "runs"):
+        if measured.get(field) != baseline.get(field):
+            failures.append(
+                f"{field} changed ({measured.get(field)} vs baseline "
+                f"{baseline.get(field)}) — modelling or mix change; "
+                "regenerate the baseline if intentional")
+
+    after = measured["after"]["mcps"]
+    floor = baseline["after"]["mcps"] * (1.0 - args.tolerance)
+    status = "OK" if after >= floor else "REGRESSED"
+    print(f"sweep after-pass  mcps={after:9.3f} "
+          f"baseline={baseline['after']['mcps']:9.3f} floor={floor:9.3f} "
+          f"{status}")
+    print(f"sweep before-pass mcps={measured['before']['mcps']:9.3f} "
+          f"speedup={measured.get('speedup'):.2f}x (informational)")
+    if after < floor:
+        failures.append(
+            f"after-pass {after:.3f} MCPS is more than "
+            f"{args.tolerance:.0%} below the baseline "
+            f"{baseline['after']['mcps']:.3f}")
+
+    if failures:
+        print("\nFAIL:", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print("\nsweep throughput within tolerance of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -15,6 +15,10 @@ Cluster::Cluster(const ClusterConfig& config,
   assert(programs_.size() == config_.num_workers);
   // Two TCDM master ports per worker CC: shared (core+FPU+SSR) and ISSR.
   tcdm_ = std::make_unique<mem::Tcdm>(config_.tcdm, 2 * config_.num_workers);
+  if (config_.arena != nullptr) {
+    tcdm_->store().set_arena(config_.arena);
+    main_.store().set_arena(config_.arena);
+  }
   dma_ = std::make_unique<mem::Dma>(*tcdm_, main_);
 
   for (unsigned w = 0; w < config_.num_workers; ++w) {

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "cluster/barrier.hpp"
+#include "common/arena.hpp"
 #include "core/cc.hpp"
 #include "core/engine.hpp"
 #include "isa/program.hpp"
@@ -30,6 +31,10 @@ struct ClusterConfig {
   /// core/engine.hpp). Never engages while the DMA or a not-yet-done
   /// controller is active. Defaults from the process-wide engine option.
   bool fast_forward = core::engine_fast_forward_default();
+  /// When non-null, the TCDM and main-memory backing pages come from
+  /// this arena instead of the heap (observational only; see
+  /// common/arena.hpp). Must outlive the cluster, no reset while alive.
+  Arena* arena = nullptr;
 };
 
 /// Per-run cluster statistics.

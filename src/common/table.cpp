@@ -27,21 +27,34 @@ void Table::print(std::FILE* out) const {
       widths[c] = std::max(widths[c], row[c].size());
     }
   }
-  if (!title_.empty()) std::fprintf(out, "== %s ==\n", title_.c_str());
-  auto print_row = [&](const std::vector<std::string>& row) {
+  std::size_t line = header_.size() ? (header_.size() - 1) * 2 : 0;
+  for (const auto w : widths) line += w;
+
+  // Render into one buffer and emit it with a single stream write: a
+  // per-cell fprintf on a line-buffered console dominates the cost of
+  // printing a large sweep table.
+  std::string buf;
+  buf.reserve((rows_.size() + 3) * (line + 1) + title_.size() + 8);
+  if (!title_.empty()) {
+    buf += "== ";
+    buf += title_;
+    buf += " ==\n";
+  }
+  auto append_row = [&](const std::vector<std::string>& row) {
     for (std::size_t c = 0; c < row.size(); ++c) {
-      std::fprintf(out, "%s%-*s", c == 0 ? "" : "  ",
-                   static_cast<int>(widths[c]), row[c].c_str());
+      if (c != 0) buf += "  ";
+      buf += row[c];
+      // %-*s-style left padding, except after the final column.
+      if (c + 1 < row.size()) buf.append(widths[c] - row[c].size(), ' ');
     }
-    std::fputc('\n', out);
+    buf += '\n';
   };
-  print_row(header_);
-  std::size_t total = header_.size() ? (header_.size() - 1) * 2 : 0;
-  for (const auto w : widths) total += w;
-  for (std::size_t i = 0; i < total; ++i) std::fputc('-', out);
-  std::fputc('\n', out);
-  for (const auto& row : rows_) print_row(row);
-  std::fputc('\n', out);
+  append_row(header_);
+  buf.append(line, '-');
+  buf += '\n';
+  for (const auto& row : rows_) append_row(row);
+  buf += '\n';
+  std::fwrite(buf.data(), 1, buf.size(), out);
 }
 
 namespace {

@@ -13,14 +13,20 @@ CcSim::CcSim(const CcSimConfig& config)
       config_.cc.streamer.issr_lane.dedicated_idx_port ? 3 : 2;
   memory_ =
       std::make_unique<mem::IdealMemory>(num_ports, config_.mem_latency);
+  if (config_.arena != nullptr) memory_->store().set_arena(config_.arena);
 }
 
 void CcSim::set_program(isa::Program program) {
+  set_program(std::make_shared<const isa::Program>(std::move(program)));
+}
+
+void CcSim::set_program(std::shared_ptr<const isa::Program> program) {
+  assert(program && "set_program requires a program image");
   program_ = std::move(program);
   mem::MemPort* idx_port =
       config_.cc.streamer.issr_lane.dedicated_idx_port ? &memory_->port(2)
                                                        : nullptr;
-  cc_ = std::make_unique<CoreComplex>(config_.cc, program_, memory_->port(0),
+  cc_ = std::make_unique<CoreComplex>(config_.cc, *program_, memory_->port(0),
                                       memory_->port(1), idx_port);
 }
 

@@ -9,6 +9,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/arena.hpp"
 #include "common/types.hpp"
 #include "core/cc.hpp"
 #include "core/engine.hpp"
@@ -29,6 +30,11 @@ struct CcSimConfig {
   /// core/engine.hpp). Defaults from the process-wide engine option so
   /// --no-fast-forward reaches every construction site.
   bool fast_forward = engine_fast_forward_default();
+  /// When non-null, simulated-memory pages come from this arena instead
+  /// of the heap (see common/arena.hpp; purely observational — simulated
+  /// behaviour is identical). The arena must outlive the sim and must
+  /// not be reset while the sim is alive.
+  Arena* arena = nullptr;
 };
 
 /// Result of a completed run.
@@ -70,6 +76,9 @@ class CcSim {
 
   /// Load the program image (must be called before run()).
   void set_program(isa::Program program);
+  /// Share an already-assembled image (the driver's asset cache reuses
+  /// one decoded program across every rep/run with identical staging).
+  void set_program(std::shared_ptr<const isa::Program> program);
 
   mem::BackingStore& mem() { return memory_->store(); }
   const CcSimConfig& config() const { return config_; }
@@ -106,7 +115,7 @@ class CcSim {
  private:
   CcSimConfig config_;
   std::unique_ptr<mem::IdealMemory> memory_;
-  isa::Program program_;
+  std::shared_ptr<const isa::Program> program_;
   std::unique_ptr<CoreComplex> cc_;
   addr_t alloc_cursor_;
 };

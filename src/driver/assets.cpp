@@ -1,0 +1,101 @@
+#include "driver/assets.hpp"
+
+#include "common/rng.hpp"
+#include "sparse/generate.hpp"
+
+namespace issr::driver {
+
+WorkloadKey workload_key(const Scenario& s) {
+  WorkloadKey k;
+  k.kernel = s.kernel;
+  k.seed = s.seed;
+  k.cols = s.cols;
+  k.row_nnz = s.row_nnz();
+  if (s.kernel == Kernel::kSpvv) {
+    // SpVV has no matrix structure: family and rows do not enter the
+    // generator (run_scenario pins them the same way).
+    k.family = sparse::MatrixFamily::kUniform;
+    k.rows = 1;
+  } else {
+    // kDiagonal has no dedicated generator and materializes as uniform.
+    k.family = s.family == sparse::MatrixFamily::kDiagonal
+                   ? sparse::MatrixFamily::kUniform
+                   : s.family;
+    k.rows = s.rows;
+  }
+  return k;
+}
+
+Workload build_workload(const WorkloadKey& key) {
+  Workload w;
+  Rng rng(key.seed);
+  if (key.kernel == Kernel::kSpvv) {
+    w.spvv_a = std::make_shared<const sparse::SparseFiber>(
+        sparse::random_sparse_vector(rng, key.cols, key.row_nnz));
+    w.dense = std::make_shared<const sparse::DenseVector>(
+        sparse::random_dense_vector(rng, key.cols));
+  } else {
+    auto a = std::make_shared<const sparse::CsrMatrix>(sparse::generate_matrix(
+        rng, key.family, key.rows, key.cols, key.row_nnz));
+    // The dense operand sizes to the *generated* column count (torus
+    // derives its own square shape) and draws from the post-generation
+    // RNG state — the exact sequence the uncached path has always used.
+    w.dense = std::make_shared<const sparse::DenseVector>(
+        sparse::random_dense_vector(rng, a->cols()));
+    w.csrmv_a = std::move(a);
+  }
+  return w;
+}
+
+std::size_t AssetCache::KeyHash::operator()(const WorkloadKey& k) const {
+  std::uint64_t h = splitmix64(k.seed);
+  h = splitmix64(h ^ (static_cast<std::uint64_t>(k.kernel) |
+                      static_cast<std::uint64_t>(k.family) << 8));
+  h = splitmix64(h ^ (static_cast<std::uint64_t>(k.rows) << 32 | k.cols));
+  h = splitmix64(h ^ k.row_nnz);
+  return static_cast<std::size_t>(h);
+}
+
+std::shared_ptr<const Workload> AssetCache::workload(const Scenario& s) {
+  const WorkloadKey key = workload_key(s);
+  std::shared_ptr<Slot<Workload>> slot;
+  bool hit;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto& entry = workloads_[key];
+    hit = entry != nullptr;
+    if (!hit) entry = std::make_shared<Slot<Workload>>();
+    hit ? ++stats_.workload_hits : ++stats_.workload_builds;
+    slot = entry;
+  }
+  // Build outside the map lock: workers contending on *different* keys
+  // proceed in parallel; only same-key requesters wait, on the once-flag.
+  std::call_once(slot->once, [&] {
+    slot->value = std::make_shared<const Workload>(build_workload(key));
+  });
+  return slot->value;
+}
+
+std::shared_ptr<const isa::Program> AssetCache::program(
+    const std::string& key, const std::function<isa::Program()>& build) {
+  std::shared_ptr<Slot<isa::Program>> slot;
+  bool hit;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto& entry = programs_[key];
+    hit = entry != nullptr;
+    if (!hit) entry = std::make_shared<Slot<isa::Program>>();
+    hit ? ++stats_.program_hits : ++stats_.program_builds;
+    slot = entry;
+  }
+  std::call_once(slot->once,
+                 [&] { slot->value = std::make_shared<const isa::Program>(build()); });
+  return slot->value;
+}
+
+AssetCacheStats AssetCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace issr::driver

@@ -1,52 +1,17 @@
 #include "driver/runner.hpp"
 
 #include <algorithm>
-#include <atomic>
 #include <cassert>
-#include <cmath>
 #include <memory>
-#include <thread>
 
 #include "common/log.hpp"
-#include "common/rng.hpp"
+#include "driver/assets.hpp"
 #include "driver/runs.hpp"
-#include "sparse/generate.hpp"
+#include "driver/sweep.hpp"
 #include "trace/chrome.hpp"
 #include "trace/ring.hpp"
 
 namespace issr::driver {
-
-namespace {
-
-/// Materialize the CsrMV operand matrix for a scenario. The generators
-/// target the scenario's nnz/row through each family's natural parameter;
-/// the torus family has fixed structure (5-point stencil on a
-/// sqrt(rows)-sided grid), so it ignores the density axis by design.
-sparse::CsrMatrix make_matrix(const Scenario& s, Rng& rng) {
-  const std::uint32_t rn = s.row_nnz();
-  switch (s.family) {
-    case sparse::MatrixFamily::kBanded: {
-      const std::uint32_t n = std::min(s.rows, s.cols);
-      const std::uint32_t bw = std::max<std::uint32_t>(1, rn);
-      const double fill =
-          std::min(1.0, static_cast<double>(rn) / (2.0 * bw + 1.0));
-      return sparse::banded_matrix(rng, n, bw, fill);
-    }
-    case sparse::MatrixFamily::kPowerLaw:
-      return sparse::powerlaw_matrix(rng, s.rows, s.cols,
-                                     static_cast<double>(rn), 1.5);
-    case sparse::MatrixFamily::kTorus: {
-      const std::uint32_t side = torus_side(s.rows);
-      return sparse::torus2d_matrix(rng, side, side);
-    }
-    case sparse::MatrixFamily::kUniform:
-    case sparse::MatrixFamily::kDiagonal:
-    default:
-      return sparse::random_fixed_row_nnz_matrix(rng, s.rows, s.cols, rn);
-  }
-}
-
-}  // namespace
 
 std::string trace_file_path(const std::string& trace_dir, const Scenario& s) {
   std::string name = s.name();
@@ -56,7 +21,8 @@ std::string trace_file_path(const std::string& trace_dir, const Scenario& s) {
   return trace_dir + "/" + name + ".trace.json";
 }
 
-ScenarioResult run_scenario(const Scenario& s, const RunOptions& opts) {
+ScenarioResult run_scenario(const Scenario& s, const RunOptions& opts,
+                            const SweepContext& ctx) {
   // The sink is created only when a trace is requested; a null sink means
   // every instrumentation hook is a single skipped null check, so traced
   // and untraced sweeps produce identical simulation results.
@@ -67,7 +33,21 @@ ScenarioResult run_scenario(const Scenario& s, const RunOptions& opts) {
 
   ScenarioResult out;
   out.scenario = s;
-  Rng rng(s.seed);
+
+  // The workload is a pure function of its key, so the shared cached
+  // copy and a locally built one are identical objects; the cache just
+  // builds each distinct key once per sweep instead of once per run.
+  std::shared_ptr<const Workload> shared;
+  Workload local;
+  const Workload* wl;
+  if (ctx.assets != nullptr) {
+    shared = ctx.assets->workload(s);
+    wl = shared.get();
+  } else {
+    local = build_workload(workload_key(s));
+    wl = &local;
+  }
+  const RunAids aids{ctx.arena, ctx.assets};
 
   if (s.kernel == Kernel::kSpvv) {
     // expand() never emits these, but a hand-built Scenario could:
@@ -77,9 +57,9 @@ ScenarioResult run_scenario(const Scenario& s, const RunOptions& opts) {
     // meaningful (it sets the vector's nonzero count) and is kept.
     out.scenario.cores = 1;
     out.scenario.family = sparse::MatrixFamily::kUniform;
-    const auto a = sparse::random_sparse_vector(rng, s.cols, s.row_nnz());
-    const auto b = sparse::random_dense_vector(rng, s.cols);
-    const auto r = run_spvv_cc(s.variant, s.width, a, b, sink.get());
+    const auto& a = *wl->spvv_a;
+    const auto r = run_spvv_cc(s.variant, s.width, a, *wl->dense,
+                               sink.get(), /*validate=*/true, aids);
     out.ok = r.ok;
     out.rows = 1;
     out.cols = s.cols;
@@ -91,21 +71,22 @@ ScenarioResult run_scenario(const Scenario& s, const RunOptions& opts) {
     out.stalls = r.sim.stalls;
   } else {
     // Hand-built-scenario normalization (expand() never emits these):
-    // kDiagonal has no driver generator (make_matrix falls back to
-    // uniform) and cores = 0 would mean "cluster default" to
+    // kDiagonal has no driver generator (the workload builder falls back
+    // to uniform) and cores = 0 would mean "cluster default" to
     // run_csrmv_mc but runs single-CC here — record what executes.
     if (s.family == sparse::MatrixFamily::kDiagonal) {
       out.scenario.family = sparse::MatrixFamily::kUniform;
     }
     const unsigned cores = std::max(1u, s.cores);
     out.scenario.cores = cores;
-    const auto a = make_matrix(s, rng);
-    const auto x = sparse::random_dense_vector(rng, a.cols());
+    const auto& a = *wl->csrmv_a;
+    const auto& x = *wl->dense;
     out.rows = a.rows();
     out.cols = a.cols();
     out.nnz = a.nnz();
     if (cores == 1) {
-      const auto r = run_csrmv_cc(s.variant, s.width, a, x, sink.get());
+      const auto r = run_csrmv_cc(s.variant, s.width, a, x, sink.get(),
+                                  /*validate=*/true, aids);
       out.ok = r.ok;
       out.cycles = r.sim.cycles;
       out.fpu_util = r.sim.fpu_util();
@@ -113,7 +94,8 @@ ScenarioResult run_scenario(const Scenario& s, const RunOptions& opts) {
       out.core_cycles = r.sim.cycles;
       out.stalls = r.sim.stalls;
     } else {
-      const auto r = run_csrmv_mc(s.variant, s.width, cores, a, x, sink.get());
+      const auto r = run_csrmv_mc(s.variant, s.width, cores, a, x,
+                                  sink.get(), /*validate=*/true, aids);
       out.ok = r.ok;
       out.cycles = r.mc.cluster.cycles;
       out.fpu_util = r.mc.cluster.fpu_util();
@@ -146,36 +128,11 @@ ScenarioResult run_scenario(const Scenario& s, const RunOptions& opts) {
 std::vector<ScenarioResult> run_scenarios(
     const std::vector<Scenario>& scenarios, unsigned jobs,
     const RunOptions& opts) {
-  std::vector<ScenarioResult> results(scenarios.size());
-  if (scenarios.empty()) return results;
-
-  const unsigned workers = std::min<unsigned>(
-      std::max(1u, jobs), static_cast<unsigned>(scenarios.size()));
-  if (workers == 1) {
-    for (std::size_t i = 0; i < scenarios.size(); ++i) {
-      results[i] = run_scenario(scenarios[i], opts);
-    }
-    return results;
-  }
-
-  // Each simulation is self-contained (own CcSim / Cluster, own Rng seeded
-  // from the scenario, own trace sink and output file), so scenarios are
-  // embarrassingly parallel; workers pull the next index from a shared
-  // counter and write to their slot.
-  std::atomic<std::size_t> next{0};
-  std::vector<std::thread> pool;
-  pool.reserve(workers);
-  for (unsigned w = 0; w < workers; ++w) {
-    pool.emplace_back([&] {
-      for (;;) {
-        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-        if (i >= scenarios.size()) return;
-        results[i] = run_scenario(scenarios[i], opts);
-      }
-    });
-  }
-  for (auto& t : pool) t.join();
-  return results;
+  SweepSpec spec;
+  spec.scenarios = scenarios;
+  spec.jobs = jobs;
+  spec.options = opts;
+  return run_sweep(spec).results;
 }
 
 }  // namespace issr::driver

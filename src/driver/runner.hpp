@@ -1,9 +1,9 @@
-// Scenario execution and the parallel sweep engine: run_scenario()
-// materializes a scenario's workload from its derived seed, dispatches to
-// the right simulator (single CC or cluster), and collects a uniform
-// metrics record; run_scenarios() fans a scenario list across a
-// std::thread worker pool. Results land at their scenario's index, so the
-// output is identical for any job count.
+// Scenario execution: run_scenario() materializes a scenario's workload
+// from its derived seed (or picks it up from the sweep asset cache),
+// dispatches to the right simulator (single CC or cluster), and collects
+// a uniform metrics record; run_scenarios() fans a scenario list across
+// the work-stealing sweep engine (driver/sweep.hpp). Results land at
+// their scenario's index, so the output is identical for any job count.
 #pragma once
 
 #include <cstddef>
@@ -11,11 +11,14 @@
 #include <string>
 #include <vector>
 
+#include "common/arena.hpp"
 #include "common/types.hpp"
 #include "driver/scenario.hpp"
 #include "trace/stall.hpp"
 
 namespace issr::driver {
+
+class AssetCache;
 
 /// Uniform per-scenario metrics record (the JSON/CSV row).
 struct ScenarioResult {
@@ -57,15 +60,30 @@ struct RunOptions {
 /// shared with reporting/tests).
 std::string trace_file_path(const std::string& trace_dir, const Scenario& s);
 
-/// Generate the workload for `s` (from s.seed) and simulate it. The
-/// returned record describes what actually ran: a hand-built SpVV
-/// scenario with cores > 1 executes on one core complex (there is no
-/// multicore SpVV kernel) and is recorded with cores = 1.
-ScenarioResult run_scenario(const Scenario& s, const RunOptions& opts = {});
+/// Per-worker execution context the sweep engine threads into each run.
+/// Everything here is observational: results are bitwise identical with
+/// any combination of members set or null.
+struct SweepContext {
+  /// Shared immutable workloads + assembled programs (driver/assets.hpp);
+  /// null rebuilds everything per run.
+  AssetCache* assets = nullptr;
+  /// Worker-owned arena backing the simulated-memory pages; the sweep
+  /// engine resets it between runs. Null falls back to the heap.
+  Arena* arena = nullptr;
+};
+
+/// Generate the workload for `s` (from s.seed, or shared via
+/// `ctx.assets`) and simulate it. The returned record describes what
+/// actually ran: a hand-built SpVV scenario with cores > 1 executes on
+/// one core complex (there is no multicore SpVV kernel) and is recorded
+/// with cores = 1.
+ScenarioResult run_scenario(const Scenario& s, const RunOptions& opts = {},
+                            const SweepContext& ctx = {});
 
 /// Run every scenario, fanning across `jobs` worker threads (jobs <= 1
-/// runs inline on the calling thread). Results are positionally aligned
-/// with `scenarios` and bitwise independent of `jobs`.
+/// runs inline on the calling thread). Thin wrapper over run_sweep()
+/// (driver/sweep.hpp) with the asset cache on. Results are positionally
+/// aligned with `scenarios` and bitwise independent of `jobs`.
 std::vector<ScenarioResult> run_scenarios(
     const std::vector<Scenario>& scenarios, unsigned jobs,
     const RunOptions& opts = {});

@@ -2,6 +2,8 @@
 
 #include <cassert>
 #include <cmath>
+#include <cstdint>
+#include <string>
 
 #include "kernels/csrmv.hpp"
 #include "kernels/spvv.hpp"
@@ -9,11 +11,53 @@
 
 namespace issr::driver {
 
+namespace {
+
+/// Exact serialized program identity: tag + field-by-field argument
+/// bytes (never a raw struct memcpy — padding bytes are indeterminate).
+/// Equal keys imply equal builder output because the kernel builders are
+/// pure functions of (variant, args).
+class ProgramKey {
+ public:
+  ProgramKey(const char* kernel, kernels::Variant variant,
+             sparse::IndexWidth width) {
+    key_ = kernel;
+    key_ += '/';
+    add(static_cast<std::uint64_t>(variant));
+    add(static_cast<std::uint64_t>(width));
+  }
+  void add(std::uint64_t field) {
+    for (unsigned i = 0; i < 8; ++i) {
+      key_ += static_cast<char>((field >> (8 * i)) & 0xff);
+    }
+  }
+  const std::string& str() const { return key_; }
+
+ private:
+  std::string key_;
+};
+
+/// Assemble (or fetch the shared copy of) a single-CC program and load
+/// it into `sim`.
+template <typename Build>
+void load_program(core::CcSim& sim, const RunAids& aids,
+                  const ProgramKey& key, Build&& build) {
+  if (aids.programs != nullptr) {
+    sim.set_program(aids.programs->program(key.str(), build));
+  } else {
+    sim.set_program(build());
+  }
+}
+
+}  // namespace
+
 SpvvRun run_spvv_cc(kernels::Variant variant, sparse::IndexWidth width,
                     const sparse::SparseFiber& a,
                     const sparse::DenseVector& b, trace::TraceSink* trace,
-                    bool validate) {
-  core::CcSim sim;
+                    bool validate, const RunAids& aids) {
+  core::CcSimConfig cfg;
+  cfg.arena = aids.arena;
+  core::CcSim sim(cfg);
   kernels::SpvvArgs args;
   args.a_vals = sim.stage(a.vals());
   args.a_idcs = sim.stage_indices(a.idcs(), width);
@@ -21,7 +65,14 @@ SpvvRun run_spvv_cc(kernels::Variant variant, sparse::IndexWidth width,
   args.b = sim.stage(b);
   args.result = sim.alloc(8);
   args.width = width;
-  sim.set_program(kernels::build_spvv(variant, args));
+  ProgramKey key("spvv", variant, width);
+  key.add(args.a_vals);
+  key.add(args.a_idcs);
+  key.add(args.nnz);
+  key.add(args.b);
+  key.add(args.result);
+  load_program(sim, aids, key,
+               [&] { return kernels::build_spvv(variant, args); });
   if (trace) sim.attach_trace(*trace);
 
   SpvvRun out;
@@ -37,8 +88,11 @@ SpvvRun run_spvv_cc(kernels::Variant variant, sparse::IndexWidth width,
 
 CcRun run_csrmv_cc(kernels::Variant variant, sparse::IndexWidth width,
                    const sparse::CsrMatrix& a, const sparse::DenseVector& x,
-                   trace::TraceSink* trace, bool validate) {
-  core::CcSim sim;
+                   trace::TraceSink* trace, bool validate,
+                   const RunAids& aids) {
+  core::CcSimConfig cfg;
+  cfg.arena = aids.arena;
+  core::CcSim sim(cfg);
   kernels::CsrmvArgs args;
   args.ptr = sim.stage_u32(a.ptr());
   args.idcs = sim.stage_indices(a.idcs(), width);
@@ -48,7 +102,16 @@ CcRun run_csrmv_cc(kernels::Variant variant, sparse::IndexWidth width,
   args.x = sim.stage(x);
   args.y = sim.alloc(8ull * a.rows());
   args.width = width;
-  sim.set_program(kernels::build_csrmv(variant, args));
+  ProgramKey key("csrmv", variant, width);
+  key.add(args.ptr);
+  key.add(args.idcs);
+  key.add(args.vals);
+  key.add(args.nrows);
+  key.add(args.nnz);
+  key.add(args.x);
+  key.add(args.y);
+  load_program(sim, aids, key,
+               [&] { return kernels::build_csrmv(variant, args); });
   if (trace) sim.attach_trace(*trace);
 
   CcRun out;
@@ -64,11 +127,12 @@ CcRun run_csrmv_cc(kernels::Variant variant, sparse::IndexWidth width,
 McRun run_csrmv_mc(kernels::Variant variant, sparse::IndexWidth width,
                    unsigned cores, const sparse::CsrMatrix& a,
                    const sparse::DenseVector& x, trace::TraceSink* trace,
-                   bool validate) {
+                   bool validate, const RunAids& aids) {
   cluster::McCsrmvConfig cfg;
   cfg.variant = variant;
   cfg.width = width;
   cfg.trace_sink = trace;
+  cfg.cluster.arena = aids.arena;
   if (cores != 0) cfg.cluster.num_workers = cores;
   McRun out;
   out.mc = cluster::run_csrmv_multicore(a, x, cfg);

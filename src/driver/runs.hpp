@@ -7,7 +7,9 @@
 #pragma once
 
 #include "cluster/csrmv_mc.hpp"
+#include "common/arena.hpp"
 #include "core/sim.hpp"
+#include "driver/assets.hpp"
 #include "kernels/kargs.hpp"
 #include "sparse/csr.hpp"
 #include "sparse/dense.hpp"
@@ -15,6 +17,19 @@
 #include "trace/trace.hpp"
 
 namespace issr::driver {
+
+/// Optional sweep-engine aids threaded into a run. Both are purely
+/// observational: simulated cycles, stats, and results are bitwise
+/// identical with or without them.
+struct RunAids {
+  /// Backs the simulated-memory pages (CC ideal memory, cluster TCDM and
+  /// main memory) instead of the heap. Must not be reset mid-run.
+  Arena* arena = nullptr;
+  /// Shares assembled kernel Programs across runs with identical staged
+  /// arguments (single-CC kernels only; cluster programs embed per-run
+  /// tile plans and are rebuilt).
+  AssetCache* programs = nullptr;
+};
 
 /// Result of a single-CC SpVV (sparse-dense dot product) run.
 struct SpvvRun {
@@ -44,16 +59,19 @@ struct McRun {
 SpvvRun run_spvv_cc(kernels::Variant variant, sparse::IndexWidth width,
                     const sparse::SparseFiber& a,
                     const sparse::DenseVector& b,
-                    trace::TraceSink* trace = nullptr, bool validate = true);
+                    trace::TraceSink* trace = nullptr, bool validate = true,
+                    const RunAids& aids = {});
 
 CcRun run_csrmv_cc(kernels::Variant variant, sparse::IndexWidth width,
                    const sparse::CsrMatrix& a, const sparse::DenseVector& x,
-                   trace::TraceSink* trace = nullptr, bool validate = true);
+                   trace::TraceSink* trace = nullptr, bool validate = true,
+                   const RunAids& aids = {});
 
 /// `cores == 0` selects the library's ClusterConfig default worker count.
 McRun run_csrmv_mc(kernels::Variant variant, sparse::IndexWidth width,
                    unsigned cores, const sparse::CsrMatrix& a,
                    const sparse::DenseVector& x,
-                   trace::TraceSink* trace = nullptr, bool validate = true);
+                   trace::TraceSink* trace = nullptr, bool validate = true,
+                   const RunAids& aids = {});
 
 }  // namespace issr::driver

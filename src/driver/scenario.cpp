@@ -6,6 +6,7 @@
 #include <cstring>
 
 #include "common/rng.hpp"
+#include "sparse/generate.hpp"
 
 namespace issr::driver {
 
@@ -98,9 +99,7 @@ std::string Scenario::name() const {
 }
 
 std::uint32_t torus_side(std::uint32_t rows) {
-  const auto side = static_cast<std::uint32_t>(
-      std::floor(std::sqrt(static_cast<double>(rows))));
-  return std::max<std::uint32_t>(2, side);
+  return sparse::torus_side_for(rows);
 }
 
 std::uint64_t derive_seed(std::uint64_t base_seed, Kernel kernel,

@@ -1,0 +1,299 @@
+#include "driver/sweep.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <chrono>
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <numeric>
+#include <thread>
+
+#include "common/arena.hpp"
+#include "common/log.hpp"
+
+namespace issr::driver {
+
+namespace {
+
+/// Per-nonzero simulated-cycle weight of a kernel variant (from the
+/// paper's per-nnz instruction counts: BASE ~9, SSR ~7, ISSR ~1.3–1.5).
+double variant_weight(kernels::Variant v, sparse::IndexWidth w) {
+  switch (v) {
+    case kernels::Variant::kBase:
+      return 9.5;
+    case kernels::Variant::kSsr:
+      return 7.0;
+    case kernels::Variant::kIssr:
+      return w == sparse::IndexWidth::kU16 ? 1.4 : 1.6;
+  }
+  return 8.0;
+}
+
+/// Deterministic fingerprint of the fields a rep must reproduce; used to
+/// assert rep-over-rep determinism without keeping every rep's record.
+std::uint64_t result_fingerprint(const ScenarioResult& r) {
+  std::uint64_t h = 0xcbf29ce484222325ull;  // FNV-1a over selected fields
+  const auto mix = [&h](std::uint64_t v) {
+    for (unsigned i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xff;
+      h *= 0x100000001b3ull;
+    }
+  };
+  mix(r.cycles);
+  mix(r.core_cycles);
+  mix(r.macs);
+  mix(r.nnz);
+  mix(static_cast<std::uint64_t>(r.rows) << 32 | r.cols);
+  std::uint64_t util_bits = 0;
+  static_assert(sizeof util_bits == sizeof r.fpu_util);
+  std::memcpy(&util_bits, &r.fpu_util, sizeof util_bits);
+  mix(util_bits);
+  mix(r.ok ? 1 : 0);
+  mix(r.stalls.total());
+  return h;
+}
+
+/// One schedulable unit: a (scenario, rep) pair with its dispatch cost
+/// (estimated for rep 0, measured simulated core-cycles afterwards).
+struct Task {
+  std::uint32_t index = 0;
+  std::uint32_t rep = 0;
+  double cost = 0.0;
+};
+
+/// A worker's deque. The owner pops its costliest task from the front;
+/// idle workers steal from the back. The mutex is uncontended in the
+/// common case (tasks are whole simulations, milliseconds each), and the
+/// padding keeps adjacent workers' locks off one cache line.
+struct alignas(64) WorkerDeque {
+  std::mutex mu;
+  std::deque<Task> q;
+};
+
+}  // namespace
+
+double estimated_cost(const Scenario& s) {
+  // Expected simulated core-cycles, weighted by the relative host cost
+  // of a simulated cycle on each engine. Exactness is irrelevant — the
+  // scheduler only needs heavy cluster/BASE runs sorted ahead of light
+  // ISSR ones — but the terms mirror the real cycle structure: per-nnz
+  // streaming work plus per-row loop overhead.
+  const bool is_spvv = s.kernel == Kernel::kSpvv;
+  const double rows = is_spvv ? 1.0 : static_cast<double>(s.rows);
+  const double nnz = rows * static_cast<double>(s.row_nnz());
+  double cycles = nnz * variant_weight(s.variant, s.width) + rows * 8.0 + 200.0;
+  if (!is_spvv && s.cores > 1) {
+    // Cluster runs report core-cycles (cycles x workers): the row share
+    // per worker shrinks but every worker's cycle is simulated, DMA
+    // tiling adds traffic, and the TCDM arbitration makes a simulated
+    // cluster cycle ~1.5x the host cost of an ideal-memory CC cycle.
+    cycles += static_cast<double>(s.cols) * 2.0 +
+              static_cast<double>(s.cores) * 500.0;
+    cycles *= 1.5;
+  }
+  return cycles;
+}
+
+SweepOutcome run_sweep(const SweepSpec& spec) {
+  using Clock = std::chrono::steady_clock;
+  const auto t_start = Clock::now();
+
+  SweepOutcome out;
+  const std::size_t n = spec.scenarios.size();
+  out.results.resize(n);
+  const unsigned reps = std::max(1u, spec.reps);
+  if (n == 0) return out;
+
+  AssetCache cache;
+  AssetCache* assets = spec.asset_cache ? &cache : nullptr;
+
+  // Reps re-simulate; they must not re-write trace files (two reps of
+  // one scenario may run concurrently, and the rep-0 file is complete).
+  const RunOptions& opts = spec.options;
+  RunOptions rep_opts = opts;
+  rep_opts.trace_dir.clear();
+
+  const std::size_t total_tasks = n * reps;
+  const unsigned workers = static_cast<unsigned>(std::min<std::size_t>(
+      std::max(1u, spec.jobs), total_tasks));
+
+  // Shared run telemetry. rep0_print[i] is written exactly once (by the
+  // worker that runs rep 0 of scenario i) before any rep > 0 task for i
+  // is published; the deque mutex orders that write before the rep
+  // task's execution.
+  std::vector<std::uint64_t> rep0_print(n, 0);
+  std::atomic<std::size_t> remaining{total_tasks};
+  // Rep-0 tasks not yet finished: the only publishers of new tasks.
+  // Once this hits zero every remaining task is already in a deque (or
+  // running on its worker), so an idle worker can exit instead of
+  // spinning — exiting early never loses work, because a worker always
+  // drains its own deque before leaving and only forfeits the chance to
+  // steal from others.
+  std::atomic<std::size_t> rep0_left{n};
+  std::atomic<std::size_t> steals{0};
+  // Parks workers that are waiting for rep tasks to be published (jobs
+  // can exceed the scenario count when reps > 1, so some workers start
+  // with empty deques). Publishers notify after pushing; the bounded
+  // wait covers the notify-before-wait race.
+  std::mutex idle_mu;
+  std::condition_variable idle_cv;
+  std::atomic<std::uint64_t> core_cycles{0};
+  std::atomic<bool> rep_mismatch{false};
+
+  // Longest-expected-first dispatch: indices sorted by descending cost
+  // estimate, dealt round-robin so every deque is itself descending and
+  // the heaviest scenarios start immediately on distinct workers.
+  std::vector<double> cost(n);
+  for (std::size_t i = 0; i < n; ++i) cost[i] = estimated_cost(spec.scenarios[i]);
+  std::vector<std::uint32_t> order(n);
+  std::iota(order.begin(), order.end(), 0u);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::uint32_t a, std::uint32_t b) {
+                     return cost[a] > cost[b];
+                   });
+  std::vector<WorkerDeque> deques(workers);
+  for (std::size_t i = 0; i < n; ++i) {
+    deques[i % workers].q.push_back(Task{order[i], 0, cost[order[i]]});
+  }
+
+  // Per-worker result staging: workers never touch the shared results
+  // vector mid-run (adjacent ScenarioResult slots share cache lines), so
+  // there is no false sharing and no cross-worker write traffic until
+  // the single move pass after the join.
+  std::vector<std::vector<std::pair<std::uint32_t, ScenarioResult>>> staged(
+      workers);
+
+  const auto pop_own = [&](unsigned w, Task& t) {
+    WorkerDeque& d = deques[w];
+    std::lock_guard<std::mutex> lock(d.mu);
+    if (d.q.empty()) return false;
+    t = d.q.front();
+    d.q.pop_front();
+    return true;
+  };
+  // Longest-expected-first applies to stealing too: scan every victim's
+  // exposed (back) task and take the costliest. Initial tasks expose
+  // their estimate; re-queued reps expose their scenario's measured
+  // rep-0 core-cycles, so the refinement steers which straggler an idle
+  // worker picks up.
+  const auto steal = [&](unsigned w, Task& t) {
+    for (;;) {
+      int best = -1;
+      double best_cost = -1.0;
+      for (unsigned k = 1; k < workers; ++k) {
+        const unsigned v = (w + k) % workers;
+        std::lock_guard<std::mutex> lock(deques[v].mu);
+        if (deques[v].q.empty()) continue;
+        const double c = deques[v].q.back().cost;
+        if (c > best_cost) {
+          best_cost = c;
+          best = static_cast<int>(v);
+        }
+      }
+      if (best < 0) return false;
+      WorkerDeque& d = deques[best];
+      std::lock_guard<std::mutex> lock(d.mu);
+      if (d.q.empty()) continue;  // raced with its owner; rescan
+      t = d.q.back();
+      d.q.pop_back();
+      return true;
+    }
+  };
+
+  const auto worker_fn = [&](unsigned w) {
+    Arena arena;
+    const SweepContext ctx{assets, &arena};
+    auto& local = staged[w];
+    for (;;) {
+      Task t;
+      const bool own = pop_own(w, t);
+      if (!own) {
+        if (!steal(w, t)) {
+          // Nothing to pop or steal. Stay only while an unfinished
+          // rep-0 task could still publish reps to steal; otherwise
+          // exit (the old pool's behavior) rather than burn a core
+          // spinning against the last running simulations. Staying
+          // workers park on the condition variable instead of
+          // spin-scanning every deque mutex.
+          if (reps > 1 &&
+              rep0_left.load(std::memory_order_acquire) != 0 &&
+              remaining.load(std::memory_order_acquire) != 0) {
+            std::unique_lock<std::mutex> lock(idle_mu);
+            idle_cv.wait_for(lock, std::chrono::milliseconds(1));
+            continue;
+          }
+          return;
+        }
+        steals.fetch_add(1, std::memory_order_relaxed);
+      }
+
+      arena.reset();  // previous run's simulators are long destroyed
+      const Scenario& s = spec.scenarios[t.index];
+      ScenarioResult r =
+          run_scenario(s, t.rep == 0 ? opts : rep_opts, ctx);
+      core_cycles.fetch_add(r.core_cycles, std::memory_order_relaxed);
+
+      if (t.rep == 0) {
+        rep0_print[t.index] = result_fingerprint(r);
+        if (reps > 1) {
+          // Publish the remaining reps with their now-measured cost,
+          // onto our own front: the owner runs them next while the
+          // workload is hot, and idle workers can still steal them.
+          {
+            std::lock_guard<std::mutex> lock(deques[w].mu);
+            for (unsigned rep = reps - 1; rep >= 1; --rep) {
+              deques[w].q.push_front(
+                  Task{t.index, rep, static_cast<double>(r.core_cycles)});
+            }
+          }
+          idle_cv.notify_all();
+        }
+        local.emplace_back(t.index, std::move(r));
+        rep0_left.fetch_sub(1, std::memory_order_acq_rel);
+      } else {
+        // Rep determinism: every rep of a scenario must reproduce rep 0
+        // exactly (the engine guarantees it; a mismatch means a
+        // modelling bug and poisons the sweep).
+        if (result_fingerprint(r) != rep0_print[t.index]) {
+          ISSR_ERROR("rep %u of %s diverged from rep 0", t.rep,
+                     s.name().c_str());
+          rep_mismatch.store(true, std::memory_order_relaxed);
+        }
+      }
+      remaining.fetch_sub(1, std::memory_order_acq_rel);
+    }
+  };
+
+  if (workers == 1) {
+    worker_fn(0);
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (unsigned w = 0; w < workers; ++w) pool.emplace_back(worker_fn, w);
+    for (auto& t : pool) t.join();
+  }
+
+  for (auto& local : staged) {
+    for (auto& [index, result] : local) {
+      out.results[index] = std::move(result);
+    }
+  }
+  assert(!rep_mismatch.load() && "rep produced a different result");
+  if (rep_mismatch.load()) {
+    for (auto& r : out.results) r.ok = false;
+  }
+
+  out.stats.runs = total_tasks;
+  out.stats.steals = steals.load();
+  out.stats.core_cycles = core_cycles.load();
+  out.stats.wall_seconds =
+      std::chrono::duration<double>(Clock::now() - t_start).count();
+  if (assets != nullptr) out.stats.cache = assets->stats();
+  return out;
+}
+
+}  // namespace issr::driver

@@ -1,0 +1,69 @@
+// The batched in-process sweep engine: one call runs a whole scenario
+// suite with shared immutable assets, arena-backed per-run state, and a
+// cost-ordered work-stealing scheduler.
+//
+// Scheduling: scenarios are dispatched longest-expected-first (cost model
+// from shape/nnz/variant/cluster-ness, refined by measured cycles once a
+// scenario's first rep has run), dealt across per-worker deques; owners
+// pop their costliest task first, idle workers steal from other deques,
+// so one late heavy cluster run can no longer idle every other worker
+// (the classic straggler problem the shared-counter pool had).
+//
+// Determinism: every run is a pure function of its scenario, so results
+// land at their scenario's index and the output documents are bytewise
+// identical for any `jobs`, any `reps`, and with the asset cache on or
+// off.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "driver/assets.hpp"
+#include "driver/runner.hpp"
+#include "driver/scenario.hpp"
+
+namespace issr::driver {
+
+/// One batched sweep request.
+struct SweepSpec {
+  std::vector<Scenario> scenarios;
+  unsigned jobs = 1;  ///< worker threads (<=1 runs inline on the caller)
+  /// Times each scenario is simulated. Reps exercise throughput (and the
+  /// engine asserts their results are identical); the result list always
+  /// carries one entry per scenario, so reports are rep-invariant.
+  unsigned reps = 1;
+  /// Share generated workloads and assembled programs across runs
+  /// (`--no-asset-cache` clears this to force the rebuild-every-run path
+  /// for bisection; outputs are bytewise identical either way).
+  bool asset_cache = true;
+  RunOptions options;
+};
+
+/// Execution telemetry for one sweep (observational only — nothing here
+/// feeds the result files).
+struct SweepStats {
+  std::size_t runs = 0;    ///< simulations executed (scenarios x reps)
+  std::size_t steals = 0;  ///< tasks executed by a non-owner worker
+  /// Aggregate simulated core-cycles over every run including reps (the
+  /// sweep MCPS numerator).
+  std::uint64_t core_cycles = 0;
+  double wall_seconds = 0.0;
+  AssetCacheStats cache;  ///< zeros when the cache is off
+};
+
+struct SweepOutcome {
+  std::vector<ScenarioResult> results;  ///< positionally aligned, one per scenario
+  SweepStats stats;
+};
+
+/// Expected relative wall cost of simulating `s` (arbitrary units,
+/// roughly proportional to simulated core-cycles weighted by the
+/// per-cycle expense of the engine it runs on). Only the ordering
+/// matters: the scheduler dispatches descending.
+double estimated_cost(const Scenario& s);
+
+/// Run the sweep. Results are bitwise independent of jobs/reps/cache.
+SweepOutcome run_sweep(const SweepSpec& spec);
+
+}  // namespace issr::driver

@@ -41,6 +41,13 @@ class Program {
   const std::vector<insn_word_t>& words() const { return words_; }
   const std::vector<Inst>& insts() const { return insts_; }
 
+  /// Structural equality: identical encoded images (the decoded side is
+  /// a pure function of the words). The sweep asset cache's tests use
+  /// this to prove a shared program equals a freshly assembled one.
+  bool operator==(const Program& other) const {
+    return words_ == other.words_;
+  }
+
  private:
   std::vector<insn_word_t> words_;
   std::vector<Inst> insts_;

@@ -11,18 +11,30 @@ const std::uint8_t* BackingStore::page_for_read(addr_t addr) const {
   const auto it = pages_.find(idx);
   if (it == pages_.end()) return nullptr;  // absent pages are not memoized
   memo_page_ = idx;
-  memo_data_ = const_cast<std::uint8_t*>(it->second.data());
-  return it->second.data();
+  memo_data_ = it->second;
+  return it->second;
+}
+
+std::uint8_t* BackingStore::allocate_page() {
+  std::uint8_t* page;
+  if (arena_ != nullptr) {
+    page = arena_->allocate_array<std::uint8_t>(kPageBytes);
+  } else {
+    owned_.push_back(std::make_unique<std::uint8_t[]>(kPageBytes));
+    page = owned_.back().get();
+  }
+  std::memset(page, 0, kPageBytes);
+  return page;
 }
 
 std::uint8_t* BackingStore::page_for_write(addr_t addr) {
   const addr_t idx = addr / kPageBytes;
   if (idx == memo_page_) return memo_data_;
   auto& page = pages_[idx];
-  if (page.empty()) page.assign(kPageBytes, 0);
+  if (page == nullptr) page = allocate_page();
   memo_page_ = idx;
-  memo_data_ = page.data();
-  return page.data();
+  memo_data_ = page;
+  return page;
 }
 
 // The fast paths memcpy whole accesses within one page, which (like the

@@ -5,9 +5,11 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
+#include "common/arena.hpp"
 #include "common/types.hpp"
 
 namespace issr::mem {
@@ -15,6 +17,17 @@ namespace issr::mem {
 class BackingStore {
  public:
   static constexpr std::size_t kPageBytes = 4096;
+
+  /// Serve page storage from `arena` instead of the heap. Must be called
+  /// before the first access; the arena must outlive the store, and may
+  /// only be reset() once the store is destroyed (or never touched
+  /// again). A sweep worker points every simulation's stores at its own
+  /// arena and resets it between runs, so page allocation across a long
+  /// sweep is a pointer bump over recycled chunks instead of malloc.
+  void set_arena(Arena* arena) {
+    assert(pages_.empty() && "set_arena must precede the first access");
+    arena_ = arena;
+  }
 
   std::uint8_t load_u8(addr_t addr) const;
   std::uint16_t load_u16(addr_t addr) const;
@@ -46,16 +59,21 @@ class BackingStore {
  private:
   const std::uint8_t* page_for_read(addr_t addr) const;
   std::uint8_t* page_for_write(addr_t addr);
+  std::uint8_t* allocate_page();
 
-  // Page index -> page bytes. Unallocated reads return zero.
-  std::unordered_map<addr_t, std::vector<std::uint8_t>> pages_;
+  // Page index -> page bytes (zero-initialized on materialization).
+  // Unallocated reads return zero. Page storage comes from the arena
+  // when one is set, else from owned_ below.
+  std::unordered_map<addr_t, std::uint8_t*> pages_;
+  std::vector<std::unique_ptr<std::uint8_t[]>> owned_;
+  Arena* arena_ = nullptr;
 
   // Last-touched-page memo: simulated accesses stream through the same
   // page for long stretches, so this turns the per-access hash lookup
   // into one compare. Safe because a page's byte buffer never moves (the
-  // map may rehash, but the vectors' heap storage is stable) and pages
-  // are never freed. Only allocated pages are memoized — a miss on an
-  // unallocated page must re-probe, since a later store materializes it.
+  // map may rehash, but the page storage is stable) and pages are never
+  // freed. Only allocated pages are memoized — a miss on an unallocated
+  // page must re-probe, since a later store materializes it.
   mutable addr_t memo_page_ = ~addr_t{0};
   mutable std::uint8_t* memo_data_ = nullptr;
 };

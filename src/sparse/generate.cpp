@@ -191,4 +191,34 @@ CodebookVector random_codebook_vector(Rng& rng, std::size_t count,
   return out;
 }
 
+std::uint32_t torus_side_for(std::uint32_t rows) {
+  const auto side = static_cast<std::uint32_t>(
+      std::floor(std::sqrt(static_cast<double>(rows))));
+  return std::max<std::uint32_t>(2, side);
+}
+
+CsrMatrix generate_matrix(Rng& rng, MatrixFamily family, std::uint32_t rows,
+                          std::uint32_t cols, std::uint32_t row_nnz) {
+  switch (family) {
+    case MatrixFamily::kBanded: {
+      const std::uint32_t n = std::min(rows, cols);
+      const std::uint32_t bw = std::max<std::uint32_t>(1, row_nnz);
+      const double fill =
+          std::min(1.0, static_cast<double>(row_nnz) / (2.0 * bw + 1.0));
+      return banded_matrix(rng, n, bw, fill);
+    }
+    case MatrixFamily::kPowerLaw:
+      return powerlaw_matrix(rng, rows, cols,
+                             static_cast<double>(row_nnz), 1.5);
+    case MatrixFamily::kTorus: {
+      const std::uint32_t side = torus_side_for(rows);
+      return torus2d_matrix(rng, side, side);
+    }
+    case MatrixFamily::kUniform:
+    case MatrixFamily::kDiagonal:
+    default:
+      return random_fixed_row_nnz_matrix(rng, rows, cols, row_nnz);
+  }
+}
+
 }  // namespace issr::sparse

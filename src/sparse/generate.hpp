@@ -13,6 +13,7 @@
 #include "sparse/csr.hpp"
 #include "sparse/dense.hpp"
 #include "sparse/fiber.hpp"
+#include "sparse/suite.hpp"
 
 namespace issr::sparse {
 
@@ -53,6 +54,22 @@ CsrMatrix powerlaw_matrix(Rng& rng, std::uint32_t rows, std::uint32_t cols,
 /// used as the paper's power-analysis anchors.
 CsrMatrix torus2d_matrix(Rng& rng, std::uint32_t grid_x, std::uint32_t grid_y,
                          bool with_diagonal = true);
+
+/// Grid side length a torus-family request for `rows` rows maps to: the
+/// generated matrix is side^2 x side^2 (5-point stencil), side >= 2.
+std::uint32_t torus_side_for(std::uint32_t rows);
+
+/// Materialize a matrix of the given structural family targeting
+/// `row_nnz` nonzeros per row — the single family dispatch shared by the
+/// experiment driver and its asset cache, so the RNG consumption per
+/// (family, shape, row_nnz) is identical wherever the matrix is built.
+/// Banded matrices are min(rows, cols)-square with the bandwidth and
+/// fill chosen to hit row_nnz; the torus family has fixed structure (a
+/// 5-point stencil on a torus_side_for(rows)-sided grid) and ignores
+/// row_nnz; kDiagonal has no dedicated generator and falls back to
+/// uniform placement.
+CsrMatrix generate_matrix(Rng& rng, MatrixFamily family, std::uint32_t rows,
+                          std::uint32_t cols, std::uint32_t row_nnz);
 
 /// Random third-order tensor with `nnz` uniformly-placed nonzeros.
 CsfTensor random_csf_tensor(Rng& rng, std::uint32_t dim_i, std::uint32_t dim_j,

@@ -1,0 +1,90 @@
+// Arena allocator tests: alignment, chunk growth/recycling across
+// reset(), oversize allocations, and arena-backed BackingStore pages
+// behaving identically to heap-backed ones.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+
+#include "common/arena.hpp"
+#include "mem/backing_store.hpp"
+
+namespace issr {
+namespace {
+
+TEST(Arena, AllocationsAreAlignedAndDisjoint) {
+  Arena a(256);
+  auto* p1 = static_cast<std::uint8_t*>(a.allocate(10, 8));
+  auto* p2 = static_cast<std::uint8_t*>(a.allocate(10, 8));
+  ASSERT_NE(p1, nullptr);
+  ASSERT_NE(p2, nullptr);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p1) % 8, 0u);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p2) % 8, 0u);
+  EXPECT_GE(p2, p1 + 10);  // same chunk, bumped past the first block
+
+  std::memset(p1, 0xaa, 10);
+  std::memset(p2, 0x55, 10);
+  EXPECT_EQ(p1[9], 0xaa);
+  EXPECT_EQ(p2[0], 0x55);
+}
+
+TEST(Arena, GrowsByChunksAndTakesOversizeBlocks) {
+  Arena a(128);
+  EXPECT_EQ(a.chunk_count(), 0u);
+  a.allocate(100);
+  EXPECT_EQ(a.chunk_count(), 1u);
+  a.allocate(100);  // does not fit the 128-byte chunk remainder
+  EXPECT_EQ(a.chunk_count(), 2u);
+  auto* big = a.allocate(1000);  // oversize: dedicated chunk of 1000
+  ASSERT_NE(big, nullptr);
+  EXPECT_EQ(a.chunk_count(), 3u);
+  EXPECT_GE(a.reserved_bytes(), 128u + 128u + 1000u);
+}
+
+TEST(Arena, ResetRecyclesChunksInsteadOfGrowing) {
+  Arena a(256);
+  a.allocate(200);
+  a.allocate(200);
+  const std::size_t reserved = a.reserved_bytes();
+  const std::size_t chunks = a.chunk_count();
+  for (int i = 0; i < 10; ++i) {
+    a.reset();
+    a.allocate(200);
+    a.allocate(200);
+  }
+  EXPECT_EQ(a.reserved_bytes(), reserved);
+  EXPECT_EQ(a.chunk_count(), chunks);
+  EXPECT_EQ(a.generation(), 10u);
+}
+
+TEST(Arena, ResetReusesTheSameStorage) {
+  Arena a(256);
+  auto* p1 = a.allocate(64, 8);
+  a.reset();
+  auto* p2 = a.allocate(64, 8);
+  EXPECT_EQ(p1, p2);
+}
+
+TEST(ArenaBackedStore, MatchesHeapBackedStore) {
+  Arena arena;
+  mem::BackingStore heap_store;
+  mem::BackingStore arena_store;
+  arena_store.set_arena(&arena);
+
+  // Writes spanning several pages, including a page-straddling access.
+  for (addr_t a = 0; a < 4 * mem::BackingStore::kPageBytes; a += 1000) {
+    heap_store.store_u64(a, a * 0x9e3779b97f4a7c15ull);
+    arena_store.store_u64(a, a * 0x9e3779b97f4a7c15ull);
+  }
+  for (addr_t a = 0; a < 4 * mem::BackingStore::kPageBytes; a += 1000) {
+    EXPECT_EQ(arena_store.load_u64(a), heap_store.load_u64(a));
+  }
+  // Unallocated reads still return zero.
+  EXPECT_EQ(arena_store.load_u64(1u << 30), 0u);
+  EXPECT_EQ(arena_store.allocated_pages(), heap_store.allocated_pages());
+  EXPECT_GE(arena.reserved_bytes(),
+            arena_store.allocated_pages() * mem::BackingStore::kPageBytes);
+}
+
+}  // namespace
+}  // namespace issr
