@@ -1,14 +1,15 @@
 // issr_run — parallel experiment driver for the ISSR simulator.
 //
 // Expands a scenario matrix (kernel × variant × index width × matrix
-// family × density × core count), fans the simulations across a worker
-// pool, and writes machine-readable JSON + CSV results with exact
-// per-cycle stall attribution. Results are a pure function of the
-// scenario matrix: any --jobs value — traced or untraced — produces
-// bytewise identical output files.
+// family × density × core count × cluster count), fans the simulations
+// across a worker pool, and writes machine-readable JSON + CSV results
+// with exact per-cycle stall attribution. Results are a pure function of
+// the scenario matrix: any --jobs value — traced or untraced — produces
+// bytewise identical output files. The complete flag reference lives in
+// docs/CLI.md (CTest-checked against this binary's --help output).
 //
 //   $ issr_run --kernel csrmv --densities 0.01,0.1 --cores 1,8 --jobs 4
-//   $ issr_run --kernel csrmv --cores 8 --trace traces/ --stall-report
+//   $ issr_run --kernel csrmv --cores 8 --clusters 1,4 --stall-report
 //
 #include <cstdint>
 #include <cstdio>
@@ -39,6 +40,10 @@ Scenario matrix axes (comma-separated lists):
   --families LIST    uniform, banded, powerlaw, torus     [uniform]
   --densities LIST   nonzero fraction per row             [0.05]
   --cores LIST       1 = single CC, >1 = cluster workers  [1]
+  --clusters LIST    1 = single cluster; >1 = hierarchical
+                     multi-cluster system (N clusters of --cores
+                     workers each around a shared bandwidth-limited
+                     main memory)                         [1]
 
 Workload shape:
   --rows N           matrix rows (csrmv; ignored by spvv) [192]
@@ -70,11 +75,11 @@ Execution and output:
                      (aliases: --list, --dry-run)
   --help             this text
 
-Combinations with no implemented kernel (SpVV with cores > 1) are skipped
-during expansion. Every record carries stall-attribution columns whose
-buckets sum exactly to cycles x cores. Exit status is nonzero if any
-scenario's simulated result fails validation against the golden host
-reference.
+Combinations with no implemented kernel (SpVV with cores > 1 or
+clusters > 1) are skipped during expansion. Every record carries
+stall-attribution columns whose buckets sum exactly to
+cycles x cores x clusters. Exit status is nonzero if any scenario's
+simulated result fails validation against the golden host reference.
 )";
 
 /// Parse each comma-separated element of `list` with `parse` into `out`.
@@ -150,6 +155,15 @@ int main(int argc, char** argv) {
                         return true;
                       });
   });
+  parser.add_value("--clusters", [&](const std::string& v) {
+    return parse_axis(v, matrix.clusters,
+                      [](const std::string& s, unsigned& c) {
+                        std::uint64_t n = 0;
+                        if (!cli::parse_u64(s, n, 64) || n == 0) return false;
+                        c = static_cast<unsigned>(n);
+                        return true;
+                      });
+  });
   parser.add_value("--rows", [&](const std::string& v) {
     std::uint64_t n = 0;
     if (!cli::parse_u64(v, n, 1u << 20)) return false;
@@ -204,32 +218,10 @@ int main(int argc, char** argv) {
   if (scenarios.empty()) parser.fail("scenario matrix expanded to zero scenarios");
 
   if (list_only) {
-    bool derived_shape = false;
-    double total_cost = 0.0;
-    for (const auto& s : scenarios) {
-      // Torus (fixed 5-point grid) and banded (square) derive their
-      // actual shape from the request; results files record actual dims.
-      const bool derived = s.family == sparse::MatrixFamily::kTorus ||
-                           s.family == sparse::MatrixFamily::kBanded;
-      derived_shape |= derived;
-      const double cost = driver::estimated_cost(s);
-      total_cost += cost;
-      std::printf("%s  rows=%u cols=%u target_nnz/row=%u%s "
-                  "seed=0x%016llx cost=%.0f\n",
-                  s.name().c_str(), s.rows, s.cols, s.row_nnz(),
-                  derived ? " (shape derived by family)" : "",
-                  static_cast<unsigned long long>(s.seed), cost);
-    }
-    std::printf("%zu scenarios, %u rep%s, total estimated cost %.0f "
-                "(relative units; the sweep scheduler dispatches "
-                "longest-expected-first)\n",
-                scenarios.size(), reps, reps == 1 ? "" : "s",
-                total_cost * reps);
-    if (derived_shape) {
-      std::printf("note: torus/banded families derive their (square) "
-                  "shape from the request; the listed rows/cols are the "
-                  "generated dimensions\n");
-    }
+    // One rendering shared with the tests (driver/report.hpp): the cost
+    // column is the scheduler's estimated_cost and the total covers
+    // every rep, so the dry run predicts exactly what a sweep dispatches.
+    std::fputs(driver::list_scenarios_text(scenarios, reps).c_str(), stdout);
     return 0;
   }
 

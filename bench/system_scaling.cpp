@@ -1,0 +1,165 @@
+// system_scaling — multi-cluster scale-out datapoint: runs a fixed CsrMV
+// workload mix on the hierarchical system model at 1/2/4/8 clusters and
+// reports, per cluster count, the simulated time-to-solution (system
+// cycles), the aggregate simulated core-cycles, and the host-side
+// aggregate MCPS (million simulated core-cycles per second). The
+// committed BENCH_systemscale.json at the repo root records the scaling
+// trajectory the ISSUE acceptance criteria reference: simulated
+// time-to-solution must drop with cluster count while aggregate MCPS
+// holds up, i.e. simulating more hardware buys proportional work.
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "common/cli.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "core/engine.hpp"
+#include "driver/report.hpp"
+#include "driver/runs.hpp"
+#include "sparse/generate.hpp"
+
+using namespace issr;
+
+namespace {
+
+constexpr const char* kUsage = R"(system_scaling — multi-cluster scale-out datapoint
+
+Usage: system_scaling [options]
+
+Options:
+  --out FILE         output JSON path            [BENCH_systemscale.json]
+  --min-seconds S    per-point wall budget       [0.3]
+  --no-fast-forward  tick every cycle instead of skipping provably idle
+                     stretches (simulated cycle counts are identical)
+  --help             this text
+
+Runs a fixed two-matrix CsrMV mix (uniform + power-law, ISSR u16) on the
+hierarchical system model at 1/2/4/8 clusters of 8 workers and writes one
+record per cluster count: {clusters, sim_cycles, core_cycles, reps,
+seconds, mcps, t2s_speedup}. sim_cycles is the mix's simulated
+time-to-solution; mcps is aggregate simulated core-cycles per wall
+second; t2s_speedup is sim_cycles(1 cluster) / sim_cycles(N).
+)";
+
+struct Point {
+  unsigned clusters = 0;
+  std::uint64_t sim_cycles = 0;   ///< summed system cycles of the mix
+  std::uint64_t core_cycles = 0;  ///< summed cycles x clusters x workers
+  unsigned reps = 0;
+  double seconds = 0.0;
+  double mcps = 0.0;
+  double t2s_speedup = 1.0;
+};
+
+using Clock = std::chrono::steady_clock;
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_systemscale.json";
+  double min_seconds = 0.3;
+
+  cli::FlagParser parser("system_scaling", kUsage);
+  core::register_engine_cli(parser);
+  parser.add_value("--out", [&](const std::string& v) {
+    out_path = v;
+    return !v.empty();
+  });
+  parser.add_value("--min-seconds", [&](const std::string& v) {
+    return cli::parse_double(v, min_seconds) && min_seconds > 0.0;
+  });
+  parser.parse(argc, argv);
+
+  // The fixed mix: one bandwidth-hungry uniform matrix (fig4c-shaped)
+  // and one skew-structured power-law matrix (exercises the
+  // cost-balanced shard partition).
+  Rng rng(4);
+  const auto a0 = sparse::random_fixed_row_nnz_matrix(rng, 512, 1024, 51);
+  const auto x0 = sparse::random_dense_vector(rng, 1024);
+  const auto a1 = sparse::powerlaw_matrix(rng, 512, 512, 24.0, 1.2);
+  const auto x1 = sparse::random_dense_vector(rng, 512);
+
+  std::vector<Point> points;
+  for (const unsigned clusters : {1u, 2u, 4u, 8u}) {
+    const unsigned workers = 8;
+    const sparse::CsrMatrix* as[] = {&a0, &a1};
+    const sparse::DenseVector* xs[] = {&x0, &x1};
+    const auto run_mix = [&](std::uint64_t& core_cycles) {
+      std::uint64_t cycles = 0;
+      core_cycles = 0;
+      for (int i = 0; i < 2; ++i) {
+        const auto r = driver::run_csrmv_sys(
+            kernels::Variant::kIssr, sparse::IndexWidth::kU16, clusters,
+            workers, *as[i], *xs[i],
+            /*trace=*/nullptr, /*validate=*/false);
+        cycles += r.sys.system.cycles;
+        core_cycles += r.sys.system.cycles *
+                       static_cast<std::uint64_t>(clusters) * workers;
+      }
+      return cycles;
+    };
+
+    Point p;
+    p.clusters = clusters;
+    p.sim_cycles = run_mix(p.core_cycles);  // warm-up, pins determinism
+    const std::uint64_t want_core = p.core_cycles;
+    const auto t0 = Clock::now();
+    do {
+      std::uint64_t core = 0;
+      const std::uint64_t c = run_mix(core);
+      if (c != p.sim_cycles || core != want_core) {
+        std::fprintf(stderr, "FATAL: nondeterministic system run at %u clusters\n",
+                     clusters);
+        return 1;
+      }
+      ++p.reps;
+      p.seconds = std::chrono::duration<double>(Clock::now() - t0).count();
+    } while (p.seconds < min_seconds);
+    p.mcps = static_cast<double>(p.core_cycles) * p.reps / p.seconds / 1e6;
+    p.t2s_speedup = static_cast<double>(points.empty()
+                                            ? p.sim_cycles
+                                            : points.front().sim_cycles) /
+                    static_cast<double>(p.sim_cycles);
+    points.push_back(p);
+  }
+
+  Table t("Multi-cluster scale-out (fixed CsrMV mix, 8 workers/cluster)");
+  t.set_header({"clusters", "sim cycles", "core-cycles", "t2s speedup",
+                "reps", "seconds", "agg MCPS"});
+  for (const auto& p : points) {
+    t.add_row({fmt_u(p.clusters), fmt_u(p.sim_cycles), fmt_u(p.core_cycles),
+               bench::fmt_fixed4(p.t2s_speedup), fmt_u(p.reps),
+               bench::fmt_fixed4(p.seconds), bench::fmt_fixed4(p.mcps)});
+  }
+  t.print();
+
+  std::string j = "{\n  \"schema\": \"issr-systemscale-v1\",\n  \"git\": \"" +
+                  bench::git_describe() + "\",\n  \"fast_forward\": " +
+                  (core::engine_fast_forward_default() ? "true" : "false") +
+                  ",\n  \"points\": [\n";
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const Point& p = points[i];
+    j += "    {\"clusters\": " + std::to_string(p.clusters) +
+         ", \"sim_cycles\": " + std::to_string(p.sim_cycles) +
+         ", \"core_cycles\": " + std::to_string(p.core_cycles) +
+         ", \"t2s_speedup\": " + bench::fmt_fixed4(p.t2s_speedup) +
+         ", \"reps\": " + std::to_string(p.reps) +
+         ", \"seconds\": " + bench::fmt_fixed4(p.seconds) +
+         ", \"mcps\": " + bench::fmt_fixed4(p.mcps) + "}";
+    j += i + 1 < points.size() ? ",\n" : "\n";
+  }
+  j += "  ]\n}\n";
+
+  if (!driver::write_text_file(out_path, j)) {
+    std::fprintf(stderr, "system_scaling: failed to write %s\n",
+                 out_path.c_str());
+    return 1;
+  }
+  std::printf("wrote %s (git %s)\n", out_path.c_str(),
+              bench::git_describe().c_str());
+  return 0;
+}

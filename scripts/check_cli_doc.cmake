@@ -1,0 +1,48 @@
+# Checks that docs/CLI.md's embedded flag reference matches the built
+# binary's --help output, byte for byte. Run by CTest as the
+# `docs_cli_reference` test:
+#
+#   cmake -DISSR_RUN=<path-to-issr_run> -DDOC=<path-to-docs/CLI.md> \
+#         -P scripts/check_cli_doc.cmake
+#
+# The doc embeds the help text between the markers
+#   <!-- BEGIN issr_run --help -->   /   <!-- END issr_run --help -->
+# inside a ```text fence; update it by pasting the new --help output.
+
+if(NOT DEFINED ISSR_RUN OR NOT DEFINED DOC)
+  message(FATAL_ERROR "usage: cmake -DISSR_RUN=<bin> -DDOC=<CLI.md> -P check_cli_doc.cmake")
+endif()
+
+execute_process(
+  COMMAND "${ISSR_RUN}" --help
+  OUTPUT_VARIABLE help_out
+  RESULT_VARIABLE help_rc)
+if(NOT help_rc EQUAL 0)
+  message(FATAL_ERROR "${ISSR_RUN} --help exited with ${help_rc}")
+endif()
+string(STRIP "${help_out}" help_out)
+
+file(READ "${DOC}" doc)
+set(begin_marker "<!-- BEGIN issr_run --help -->\n```text\n")
+set(end_marker "```\n<!-- END issr_run --help -->")
+string(FIND "${doc}" "${begin_marker}" begin_at)
+string(FIND "${doc}" "${end_marker}" end_at)
+if(begin_at EQUAL -1 OR end_at EQUAL -1)
+  message(FATAL_ERROR "${DOC}: BEGIN/END issr_run --help markers not found")
+endif()
+string(LENGTH "${begin_marker}" begin_len)
+math(EXPR content_at "${begin_at} + ${begin_len}")
+math(EXPR content_len "${end_at} - ${content_at}")
+if(content_len LESS 1)
+  message(FATAL_ERROR "${DOC}: empty help block")
+endif()
+string(SUBSTRING "${doc}" ${content_at} ${content_len} doc_help)
+string(STRIP "${doc_help}" doc_help)
+
+if(NOT doc_help STREQUAL help_out)
+  message(FATAL_ERROR
+    "docs/CLI.md has drifted from `issr_run --help`.\n"
+    "Regenerate the embedded block: run `${ISSR_RUN} --help` and paste "
+    "the output between the BEGIN/END markers in ${DOC}.")
+endif()
+message(STATUS "docs/CLI.md matches issr_run --help")

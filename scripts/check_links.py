@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Fail on broken relative links in the repo's Markdown docs.
+
+Scans README.md and every .md file under docs/ for Markdown links and
+images, and verifies that each relative target exists on disk, resolved
+against the linking file's directory — and, when the target carries a
+#fragment, that the fragment matches a heading anchor of the target
+Markdown file (GitHub slug rules), so renaming a section breaks the
+build instead of silently landing readers at the top of the page.
+External links (http/https/mailto) and pure in-page fragments are
+checked for anchors within the linking file itself. Used by the CI
+`docs` job; run locally as:
+
+    python3 scripts/check_links.py
+"""
+import re
+import sys
+from pathlib import Path
+
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.+?)\s*$", re.MULTILINE)
+EXTERNAL_PREFIXES = ("http://", "https://", "mailto:")
+
+
+def strip_fences(text: str) -> str:
+    # Links inside ``` fences are examples, not navigation.
+    return re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's heading-anchor slug: strip markup, lowercase, drop
+    punctuation, spaces to hyphens."""
+    s = re.sub(r"`([^`]*)`", r"\1", heading)  # inline code markers
+    s = re.sub(r"[*_]", "", s)  # emphasis markers
+    s = s.strip().lower()
+    s = re.sub(r"[^\w\- ]", "", s)  # punctuation (keeps word chars, -, space)
+    return s.replace(" ", "-")
+
+
+def anchors_of(md: Path, cache: dict) -> set:
+    if md not in cache:
+        text = strip_fences(md.read_text(encoding="utf-8"))
+        slugs = set()
+        for m in HEADING_RE.finditer(text):
+            slug = github_slug(m.group(1))
+            # GitHub disambiguates duplicates as slug-1, slug-2, ...;
+            # accept the base form for each (good enough for this tree).
+            slugs.add(slug)
+        cache[md] = slugs
+    return cache[md]
+
+
+def check_file(md: Path, repo: Path, anchor_cache: dict) -> list:
+    errors = []
+    text = strip_fences(md.read_text(encoding="utf-8"))
+    for m in LINK_RE.finditer(text):
+        target = m.group(1)
+        if target.startswith(EXTERNAL_PREFIXES):
+            continue
+        path, _, fragment = target.partition("#")
+        resolved = (md.parent / path).resolve() if path else md.resolve()
+        if not resolved.exists():
+            errors.append(f"{md.relative_to(repo)}: broken link -> {target}")
+            continue
+        if fragment and resolved.suffix == ".md":
+            if fragment not in anchors_of(resolved, anchor_cache):
+                errors.append(
+                    f"{md.relative_to(repo)}: broken anchor -> {target}"
+                )
+    return errors
+
+
+def main() -> int:
+    repo = Path(__file__).resolve().parent.parent
+    files = [repo / "README.md"]
+    files += sorted((repo / "docs").glob("**/*.md"))
+    anchor_cache = {}
+    errors = []
+    for md in files:
+        if md.exists():
+            errors.extend(check_file(md, repo, anchor_cache))
+    for e in errors:
+        print(e, file=sys.stderr)
+    print(f"checked {len(files)} markdown files, {len(errors)} broken links")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

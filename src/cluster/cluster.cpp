@@ -11,15 +11,19 @@ Cluster::Cluster(const ClusterConfig& config,
                  std::vector<isa::Program> worker_programs)
     : config_(config),
       programs_(std::move(worker_programs)),
+      main_(config.shared_main != nullptr ? config.shared_main : &own_main_),
       barrier_(config.num_workers) {
   assert(programs_.size() == config_.num_workers);
   // Two TCDM master ports per worker CC: shared (core+FPU+SSR) and ISSR.
   tcdm_ = std::make_unique<mem::Tcdm>(config_.tcdm, 2 * config_.num_workers);
   if (config_.arena != nullptr) {
     tcdm_->store().set_arena(config_.arena);
-    main_.store().set_arena(config_.arena);
+    // A shared main memory's pages belong to its owner (the System wires
+    // the arena there before any cluster exists); only the private one
+    // is this cluster's to back.
+    if (config_.shared_main == nullptr) own_main_.store().set_arena(config_.arena);
   }
-  dma_ = std::make_unique<mem::Dma>(*tcdm_, main_);
+  dma_ = std::make_unique<mem::Dma>(*tcdm_, *main_);
 
   for (unsigned w = 0; w < config_.num_workers; ++w) {
     core::CcParams cc = config_.cc;
@@ -41,64 +45,58 @@ bool Cluster::done(cycle_t now) const {
   return !dma_->busy();
 }
 
-void Cluster::attach_trace(trace::TraceSink& sink) {
+void Cluster::attach_trace(trace::TraceSink& sink, const std::string& prefix) {
   for (unsigned w = 0; w < num_workers(); ++w) {
-    workers_[w]->attach_trace(sink, "cc" + std::to_string(w));
+    workers_[w]->attach_trace(sink, prefix + "cc" + std::to_string(w));
   }
-  tcdm_->attach_trace(sink);
-  dma_->attach_trace(sink);
-  barrier_.tracer().attach(sink, sink.add_track("cluster", "barrier"));
+  tcdm_->attach_trace(sink, prefix);
+  dma_->attach_trace(sink, prefix);
+  barrier_.tracer().attach(sink, sink.add_track(prefix + "cluster", "barrier"));
 }
 
-ClusterResult Cluster::run(cycle_t max_cycles) {
-  // Idle-cycle fast-forward (run_engine in core/engine.hpp): only
-  // engages when the DMA is drained and the controller is done, i.e.
-  // every remaining per-cycle effect lives in the worker CCs.
-  struct Units {
-    Cluster& c;
-    void tick(cycle_t now) {
-      // Order: DMA claims banks for this cycle, TCDM arbitrates (skipping
-      // claimed banks), then the controller and workers issue new traffic.
-      c.barrier_.begin_cycle(now);
-      c.dma_->tick(now);
-      c.tcdm_->tick(now);
-      if (c.controller_) c.controller_(c, now);
-      for (auto& w : c.workers_) w->tick(now);
-    }
-    bool done(cycle_t now) const { return c.done(now); }
-    cycle_t next_event(cycle_t now) const {
-      if (c.dma_->busy() || (c.controller_ && !c.controller_done_)) {
-        return now;
-      }
-      cycle_t horizon = c.tcdm_->next_event();
-      for (const auto& w : c.workers_) {
-        const cycle_t we = w->next_event(now);
-        if (we < horizon) horizon = we;
-        if (horizon <= now) break;
-      }
-      return horizon;
-    }
-    void visit_counters(const core::CounterVisitor& f) {
-      for (auto& w : c.workers_) w->visit_wait_counters(f);
-    }
-    void after_replay() {
-      for (auto& w : c.workers_) w->resync_account();
-    }
-  };
-  cycle_t skipped = 0;
-  const cycle_t now = core::run_engine(Units{*this}, max_cycles,
-                                       config_.fast_forward, skipped);
+void Cluster::tick(cycle_t now) {
+  // Order: DMA claims banks for this cycle, TCDM arbitrates (skipping
+  // claimed banks), then the controller and workers issue new traffic.
+  barrier_.begin_cycle(now);
+  dma_->tick(now);
+  tcdm_->tick(now);
+  if (controller_) controller_(*this, now);
+  for (auto& w : workers_) w->tick(now);
+}
+
+cycle_t Cluster::next_event(cycle_t now) const {
+  if (dma_->busy() || (controller_ && !controller_done_)) {
+    return now;
+  }
+  cycle_t horizon = tcdm_->next_event();
+  for (const auto& w : workers_) {
+    const cycle_t we = w->next_event(now);
+    if (we < horizon) horizon = we;
+    if (horizon <= now) break;
+  }
+  return horizon;
+}
+
+void Cluster::visit_wait_counters(const core::CounterVisitor& f) {
+  for (auto& w : workers_) w->visit_wait_counters(f);
+}
+
+void Cluster::resync_account() {
+  for (auto& w : workers_) w->resync_account();
+}
+
+ClusterResult Cluster::harvest(cycle_t now, cycle_t ff_skipped, bool aborted) {
   ClusterResult result;
-  result.ff_skipped = skipped;
-  if (now >= max_cycles && !done(now)) {
+  result.ff_skipped = ff_skipped;
+  result.aborted = aborted;
+  if (aborted) {
     ISSR_ERROR("Cluster::run hit the cycle limit (%llu)",
-               static_cast<unsigned long long>(max_cycles));
+               static_cast<unsigned long long>(now));
     for (unsigned w = 0; w < num_workers(); ++w) {
       ISSR_ERROR("  worker %u: pc=0x%llx halted=%d", w,
                  static_cast<unsigned long long>(workers_[w]->core().pc()),
                  workers_[w]->halted() ? 1 : 0);
     }
-    result.aborted = true;
   }
   for (auto& w : workers_) w->close_trace(now);
 
@@ -118,9 +116,29 @@ ClusterResult Cluster::run(cycle_t max_cycles) {
   }
   result.tcdm = tcdm_->stats();
   result.dma = dma_->stats();
-  result.main_mem_read = main_.bytes_read();
-  result.main_mem_written = main_.bytes_written();
+  result.main_mem_read = main_->bytes_read();
+  result.main_mem_written = main_->bytes_written();
   return result;
+}
+
+ClusterResult Cluster::run(cycle_t max_cycles) {
+  // Idle-cycle fast-forward (run_engine in core/engine.hpp): only
+  // engages when the DMA is drained and the controller is done, i.e.
+  // every remaining per-cycle effect lives in the worker CCs.
+  struct Units {
+    Cluster& c;
+    void tick(cycle_t now) { c.tick(now); }
+    bool done(cycle_t now) const { return c.done(now); }
+    cycle_t next_event(cycle_t now) const { return c.next_event(now); }
+    void visit_counters(const core::CounterVisitor& f) {
+      c.visit_wait_counters(f);
+    }
+    void after_replay() { c.resync_account(); }
+  };
+  cycle_t skipped = 0;
+  const cycle_t now = core::run_engine(Units{*this}, max_cycles,
+                                       config_.fast_forward, skipped);
+  return harvest(now, skipped, now >= max_cycles && !done(now));
 }
 
 }  // namespace issr::cluster

@@ -35,6 +35,12 @@ struct ClusterConfig {
   /// this arena instead of the heap (observational only; see
   /// common/arena.hpp). Must outlive the cluster, no reset while alive.
   Arena* arena = nullptr;
+  /// When non-null, the cluster's DMA targets this externally-owned main
+  /// memory instead of a private one — how a multi-cluster System shares
+  /// one bandwidth-limited memory among all clusters (system/system.hpp).
+  /// Must outlive the cluster; the owner manages its arena and per-cycle
+  /// beat budget. Null (the default) keeps the private ideal memory.
+  mem::MainMemory* shared_main = nullptr;
 };
 
 /// Per-run cluster statistics.
@@ -102,7 +108,7 @@ class Cluster {
   core::CoreComplex& worker(unsigned i) { return *workers_.at(i); }
 
   mem::Tcdm& tcdm() { return *tcdm_; }
-  mem::MainMemory& main_mem() { return main_; }
+  mem::MainMemory& main_mem() { return *main_; }
   mem::Dma& dma() { return *dma_; }
   HwBarrier& barrier() { return barrier_; }
 
@@ -120,8 +126,36 @@ class Cluster {
 
   /// Attach cycle-resolved tracing: per-worker tracks ("cc<N>"), one TCDM
   /// track per bank, DMA channel tracks, and the barrier release track.
-  /// Zero overhead when never called.
-  void attach_trace(trace::TraceSink& sink);
+  /// `prefix` namespaces the track processes (a System passes "c<k>." so
+  /// every cluster gets its own track group). Zero overhead when never
+  /// called.
+  void attach_trace(trace::TraceSink& sink, const std::string& prefix = "");
+
+  // --- Lockstep per-cycle interface ----------------------------------------
+  // run() drives these through the shared engine; a multi-cluster System
+  // drives every cluster's in one system cycle (system/system.hpp).
+
+  /// Advance one cycle. Order: DMA claims banks for this cycle, TCDM
+  /// arbitrates (skipping claimed banks), then the controller and workers
+  /// issue new traffic.
+  void tick(cycle_t now);
+
+  /// Fast-forward hook: earliest future cycle this cluster's tick can
+  /// differ from the one just performed. Returns `now` while the DMA or a
+  /// not-yet-done controller is active (their per-cycle effects must not
+  /// be skipped).
+  cycle_t next_event(cycle_t now) const;
+
+  /// Apply `f` to every counter that advances during a pure-wait stretch
+  /// (see core/engine.hpp), and re-prime accounting after a bulk replay.
+  void visit_wait_counters(const core::CounterVisitor& f);
+  void resync_account();
+
+  /// Post-run collection: close worker stall timelines, drain pending
+  /// TCDM-port stores and final DMA beats, and gather every statistic
+  /// into a result (asserting each worker's stall buckets decompose
+  /// `now`). Shared by run() and System::run().
+  ClusterResult harvest(cycle_t now, cycle_t ff_skipped, bool aborted);
 
   /// Run to completion. If `max_cycles` elapse first, the result comes
   /// back with `aborted` set instead of looking like a normal finish.
@@ -131,7 +165,8 @@ class Cluster {
   ClusterConfig config_;
   std::vector<isa::Program> programs_;
   std::unique_ptr<mem::Tcdm> tcdm_;
-  mem::MainMemory main_;
+  mem::MainMemory own_main_;
+  mem::MainMemory* main_;  ///< &own_main_ or config.shared_main
   std::unique_ptr<mem::Dma> dma_;
   HwBarrier barrier_;
   std::vector<std::unique_ptr<core::CoreComplex>> workers_;

@@ -1,0 +1,272 @@
+#include "cluster/csrmv_shard.hpp"
+
+#include <cassert>
+
+#include "common/bitutil.hpp"
+#include "isa/assembler.hpp"
+#include "kernels/csrmv.hpp"
+#include "kernels/kargs.hpp"
+
+namespace issr::cluster {
+
+using namespace issr::isa;
+using kernels::CsrmvRange;
+using kernels::Variant;
+
+namespace {
+
+addr_t tile_flag_addr(const McTilePlan& plan, unsigned buf) {
+  return plan.flags_addr + 8ull * buf;
+}
+addr_t done_flag_addr(const McTilePlan& plan, unsigned worker) {
+  return plan.flags_addr + 8ull * (2 + worker);
+}
+
+}  // namespace
+
+CsrmvMainLayout stage_csrmv_main(mem::BackingStore& store,
+                                 const sparse::CsrMatrix& a,
+                                 const sparse::DenseVector& x,
+                                 sparse::IndexWidth width) {
+  const unsigned iw = sparse::index_bytes(width);
+  CsrmvMainLayout main;
+  addr_t cursor = mem::MainMemory::kBase;
+  auto take = [&](std::uint64_t bytes) {
+    const addr_t at = align_up(cursor, 64);
+    cursor = at + bytes;
+    return at;
+  };
+  main.ptr = take(4ull * (a.rows() + 1));
+  main.idcs = take(static_cast<std::uint64_t>(iw) * a.nnz());
+  main.vals = take(8ull * a.nnz());
+  main.x = take(8ull * a.cols());
+  main.y = take(8ull * a.rows());
+
+  store.write_u32s(main.ptr, a.ptr().data(), a.ptr().size());
+  const auto packed = sparse::pack_indices(a.idcs(), width);
+  if (!packed.empty()) store.write_block(main.idcs, packed.data(), packed.size());
+  if (!a.vals().empty()) {
+    store.write_doubles(main.vals, a.vals().data(), a.vals().size());
+  }
+  store.write_doubles(main.x, x.data(), a.cols());
+  return main;
+}
+
+McTilePlan plan_tiles_range(const sparse::CsrMatrix& a,
+                            const McCsrmvConfig& cfg,
+                            std::uint32_t row_begin, std::uint32_t row_end) {
+  assert(row_begin <= row_end && row_end <= a.rows());
+  const unsigned iw = sparse::index_bytes(cfg.width);
+  const auto& tcdm = cfg.cluster.tcdm;
+
+  McTilePlan plan;
+  addr_t cursor = tcdm.base;
+  auto take = [&](std::uint64_t bytes) {
+    const addr_t at = align_up(cursor, 8);
+    cursor = at + bytes;
+    return at;
+  };
+
+  plan.x_addr = take(8ull * a.cols());
+  plan.flags_addr = take(8ull * (2 + cfg.cluster.num_workers));
+
+  const std::uint64_t ptr_region = align_up(4ull * (cfg.max_tile_rows + 1), 8);
+  const std::uint64_t y_region = 8ull * cfg.max_tile_rows;
+  const std::uint64_t used =
+      (cursor - tcdm.base) + 2 * (ptr_region + y_region) + 64;
+  assert(used < tcdm.size_bytes() && "TCDM too small for this matrix");
+  const std::uint64_t stream_budget = (tcdm.size_bytes() - used) / 2;
+  plan.tile_nnz_capacity = stream_budget / (8 + iw);
+  assert(plan.tile_nnz_capacity >= a.max_row_nnz() &&
+         "a single row exceeds the tile buffer capacity");
+
+  for (auto& buf : plan.buf) {
+    buf.ptr_addr = take(ptr_region);
+    buf.y_addr = take(y_region);
+    buf.vals_addr = take(8ull * plan.tile_nnz_capacity);
+    buf.idcs_addr =
+        take(static_cast<std::uint64_t>(iw) * plan.tile_nnz_capacity);
+  }
+  assert(cursor <= tcdm.base + tcdm.size_bytes());
+
+  // Greedy row tiling under the nnz and row caps.
+  std::uint32_t r = row_begin;
+  while (r < row_end) {
+    std::uint32_t end = r;
+    while (end < row_end && end - r < cfg.max_tile_rows &&
+           a.ptr()[end + 1] - a.ptr()[r] <= plan.tile_nnz_capacity) {
+      ++end;
+    }
+    assert(end > r);
+    plan.tiles.push_back({r, end, a.ptr()[r], a.ptr()[end]});
+    r = end;
+  }
+  return plan;
+}
+
+isa::Program build_shard_worker_program(const sparse::CsrMatrix& a,
+                                        const McTilePlan& plan,
+                                        const McCsrmvConfig& cfg,
+                                        unsigned worker) {
+  const unsigned iw = sparse::index_bytes(cfg.width);
+  const unsigned W = cfg.cluster.num_workers;
+  Assembler as;
+
+  for (std::size_t t = 0; t < plan.tiles.size(); ++t) {
+    const auto& tile = plan.tiles[t];
+    const unsigned b = t % 2;
+    const std::uint32_t tile_rows = tile.row_end - tile.row_begin;
+
+    // Static row distribution among cores: contiguous, equal-sized shares
+    // (the paper notes residual computation imbalance from this scheme).
+    const std::uint32_t r0 =
+        tile.row_begin + static_cast<std::uint32_t>(
+                             (static_cast<std::uint64_t>(tile_rows) * worker) / W);
+    const std::uint32_t r1 =
+        tile.row_begin +
+        static_cast<std::uint32_t>(
+            (static_cast<std::uint64_t>(tile_rows) * (worker + 1)) / W);
+
+    // Wait until the controller publishes generation t+1 for buffer b.
+    // The poll loop backs off with nops so eight spinning cores do not
+    // saturate the flag word's bank while others compute.
+    as.li(kT2, static_cast<std::int64_t>(t + 1));
+    as.li(kT3, static_cast<std::int64_t>(tile_flag_addr(plan, b)));
+    Label poll = as.here();
+    as.ld(kT0, kT3, 0);
+    for (int i = 0; i < 6; ++i) as.nop();
+    as.blt(kT0, kT2, poll);
+
+    if (r1 > r0) {
+      const std::uint64_t local_nnz_off = a.ptr()[r0] - tile.nnz_begin;
+      CsrmvRange range;
+      range.ptr_addr = plan.buf[b].ptr_addr + 4ull * (r0 - tile.row_begin);
+      range.row_count = r1 - r0;
+      range.range_nnz = a.ptr()[r1] - a.ptr()[r0];
+      range.vals_addr = plan.buf[b].vals_addr + 8ull * local_nnz_off;
+      range.idcs_addr =
+          plan.buf[b].idcs_addr + static_cast<std::uint64_t>(iw) * local_nnz_off;
+      range.x_addr = plan.x_addr;
+      range.y_addr = plan.buf[b].y_addr + 8ull * (r0 - tile.row_begin);
+      range.y_stride = 8;
+      range.width = cfg.width;
+      kernels::emit_csrmv_range(as, cfg.variant, range);
+
+      // Store fence: FP-side result stores share the FP LSU port; a load
+      // on that port cannot complete before earlier stores were granted,
+      // so fld + sync orders them before the done-flag write below.
+      as.li(kT4, static_cast<std::int64_t>(
+                     range.y_addr + 8ull * (range.row_count - 1)));
+      as.fld(kFt3, kT4, 0);
+      kernels::emit_fpss_sync(as);
+    }
+
+    // Publish completion of tile t for this worker.
+    as.li(kT0, static_cast<std::int64_t>(t + 1));
+    as.li(kT1, static_cast<std::int64_t>(done_flag_addr(plan, worker)));
+    as.sd(kT0, kT1, 0);
+  }
+
+  if (cfg.variant != Variant::kBase) {
+    kernels::emit_sync_and_disable(as);
+  }
+  kernels::emit_halt(as);
+  return as.assemble();
+}
+
+ShardController::ShardController(const McTilePlan& plan,
+                                 const CsrmvMainLayout& main,
+                                 const sparse::CsrMatrix& a,
+                                 unsigned num_workers, unsigned index_bytes,
+                                 Completion on_finished)
+    : plan_(plan),
+      main_(main),
+      a_(a),
+      num_workers_(num_workers),
+      iw_(index_bytes),
+      on_finished_(std::move(on_finished)) {}
+
+void ShardController::start_tile_load(Cluster& cl, unsigned b,
+                                      std::size_t tile) {
+  const auto& t = plan_.tiles[tile];
+  auto& dma = cl.dma();
+  const std::uint32_t rows = t.row_end - t.row_begin;
+  const std::uint64_t nnz = t.nnz_end - t.nnz_begin;
+  dma.start_1d(plan_.buf[b].ptr_addr, main_.ptr + 4ull * t.row_begin,
+               4ull * (rows + 1));
+  dma.start_1d(plan_.buf[b].vals_addr, main_.vals + 8ull * t.nnz_begin,
+               8ull * nnz);
+  dma.start_1d(plan_.buf[b].idcs_addr,
+               main_.idcs + static_cast<std::uint64_t>(iw_) * t.nnz_begin,
+               static_cast<std::uint64_t>(iw_) * nnz);
+  load_marker_[b] = queued_in_ += 3;
+  state_[b] = BufState::kLoading;
+  buf_tile_[b] = tile;
+}
+
+void ShardController::operator()(Cluster& cl, cycle_t now) {
+  if (finished_) return;
+  auto& dma = cl.dma();
+  auto& store = cl.tcdm().store();
+
+  if (!started_) {
+    started_ = true;
+    cl.set_controller_done(false);
+    // x first (not overlapped with compute: the first tile's flag cannot
+    // publish before the x transfer, queued ahead on the same channel,
+    // has drained). Then prime both buffers.
+    dma.start_1d(plan_.x_addr, main_.x, 8ull * a_.cols());
+    queued_in_ += 1;
+    if (next_tile_ < plan_.tiles.size()) start_tile_load(cl, 0, next_tile_++);
+    if (next_tile_ < plan_.tiles.size()) start_tile_load(cl, 1, next_tile_++);
+  }
+
+  for (unsigned b = 0; b < 2; ++b) {
+    switch (state_[b]) {
+      case BufState::kLoading:
+        if (dma.completed_in() >= load_marker_[b]) {
+          // Publish the tile generation: workers poll for tile index + 1.
+          store.store_u64(tile_flag_addr(plan_, b), buf_tile_[b] + 1);
+          state_[b] = BufState::kReady;
+        }
+        break;
+      case BufState::kReady: {
+        // All workers done with this tile?
+        bool all_done = true;
+        for (unsigned w = 0; w < num_workers_; ++w) {
+          if (store.load_u64(done_flag_addr(plan_, w)) < buf_tile_[b] + 1) {
+            all_done = false;
+            break;
+          }
+        }
+        if (all_done) {
+          const auto& t = plan_.tiles[buf_tile_[b]];
+          dma.start_1d(main_.y + 8ull * t.row_begin, plan_.buf[b].y_addr,
+                       8ull * (t.row_end - t.row_begin));
+          wb_marker_[b] = ++queued_out_;
+          state_[b] = BufState::kWritingBack;
+        }
+        break;
+      }
+      case BufState::kWritingBack:
+        if (dma.completed_out() >= wb_marker_[b]) {
+          ++tiles_done_;
+          if (next_tile_ < plan_.tiles.size()) {
+            start_tile_load(cl, b, next_tile_++);
+          } else {
+            state_[b] = BufState::kIdle;
+          }
+        }
+        break;
+      case BufState::kIdle:
+        break;
+    }
+  }
+
+  if (tiles_done_ == plan_.tiles.size()) {
+    finished_ = true;
+    if (on_finished_) on_finished_(cl, now);
+  }
+}
+
+}  // namespace issr::cluster

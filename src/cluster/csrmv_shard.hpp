@@ -1,0 +1,95 @@
+// The per-cluster building blocks of the double-buffered CsrMV scheme,
+// shared between the single-cluster kernel (csrmv_mc.hpp) and the
+// multi-cluster system kernel (system/csrmv_sys.hpp): main-memory operand
+// staging, row-range tile planning, worker program construction, and the
+// DMCC controller state machine. Everything here operates on an absolute
+// row range [row_begin, row_end) of the matrix — the single-cluster kernel
+// passes the whole matrix, the system kernel one cost-balanced shard per
+// cluster — so the cycle-level behaviour of a one-cluster run is the same
+// code path either way.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "cluster/cluster.hpp"
+#include "cluster/csrmv_mc.hpp"
+#include "sparse/csr.hpp"
+#include "sparse/dense.hpp"
+
+namespace issr::cluster {
+
+/// Main-memory staging layout for the CsrMV operands (absolute rows:
+/// every cluster addresses the same staged arrays).
+struct CsrmvMainLayout {
+  addr_t ptr = 0, idcs = 0, vals = 0, x = 0, y = 0;
+};
+
+/// Lay out and write ptr/idcs/vals/x into `store` starting at
+/// MainMemory::kBase (64-byte aligned regions, y reserved but unwritten).
+CsrmvMainLayout stage_csrmv_main(mem::BackingStore& store,
+                                 const sparse::CsrMatrix& a,
+                                 const sparse::DenseVector& x,
+                                 sparse::IndexWidth width);
+
+/// Plan the TCDM layout and greedy row tiling for rows
+/// [row_begin, row_end) under `cfg` (pure function; asserts if a single
+/// row exceeds the tile nnz capacity). Tile row/nnz coordinates are
+/// absolute, so worker programs and DMA transfers address the shared
+/// staged operands directly.
+McTilePlan plan_tiles_range(const sparse::CsrMatrix& a,
+                            const McCsrmvConfig& cfg,
+                            std::uint32_t row_begin, std::uint32_t row_end);
+
+/// Build one worker's program over the plan's tiles: for each tile, poll
+/// the buffer's tile generation flag, run the CsrMV body over the
+/// worker's row share, fence the FP-side stores, and publish the worker's
+/// generation. Ends with streamer sync/disable (non-BASE) and a halt.
+isa::Program build_shard_worker_program(const sparse::CsrMatrix& a,
+                                        const McTilePlan& plan,
+                                        const McCsrmvConfig& cfg,
+                                        unsigned worker);
+
+/// DMCC model for one cluster's shard: drives the x load, double-buffered
+/// tile loads, result write-back, and the TCDM flag protocol. Invoked
+/// once per cycle as the cluster's controller. `on_finished` runs exactly
+/// once, the cycle all tiles have written back — the single-cluster
+/// kernel marks the controller done there; the system kernel arrives at
+/// the inter-cluster barrier instead.
+class ShardController {
+ public:
+  using Completion = std::function<void(Cluster&, cycle_t)>;
+
+  ShardController(const McTilePlan& plan, const CsrmvMainLayout& main,
+                  const sparse::CsrMatrix& a, unsigned num_workers,
+                  unsigned index_bytes, Completion on_finished);
+
+  void operator()(Cluster& cl, cycle_t now);
+
+  bool finished() const { return finished_; }
+
+ private:
+  enum class BufState { kIdle, kLoading, kReady, kWritingBack };
+
+  void start_tile_load(Cluster& cl, unsigned b, std::size_t tile);
+
+  const McTilePlan& plan_;
+  CsrmvMainLayout main_;
+  const sparse::CsrMatrix& a_;
+  unsigned num_workers_;
+  unsigned iw_;
+  Completion on_finished_;
+
+  bool started_ = false;
+  std::uint64_t queued_in_ = 0;   ///< inbound jobs queued so far
+  std::uint64_t queued_out_ = 0;  ///< outbound jobs queued so far
+  BufState state_[2] = {BufState::kIdle, BufState::kIdle};
+  std::size_t buf_tile_[2] = {0, 0};
+  std::uint64_t load_marker_[2] = {0, 0};
+  std::uint64_t wb_marker_[2] = {0, 0};
+  std::size_t next_tile_ = 0;
+  std::size_t tiles_done_ = 0;
+  bool finished_ = false;
+};
+
+}  // namespace issr::cluster

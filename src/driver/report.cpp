@@ -5,6 +5,7 @@
 #include <cstdlib>
 
 #include "common/textfile.hpp"
+#include "driver/sweep.hpp"
 
 namespace issr::driver {
 
@@ -59,6 +60,7 @@ void append_fields(std::string& out, const ScenarioResult& r,
   field("rows", fmt_u(r.rows), false);
   field("cols", fmt_u(r.cols), false);
   field("cores", fmt_u(s.cores), false);
+  field("clusters", fmt_u(s.clusters), false);
   field("seed", fmt_seed(s.seed), true);
   field("nnz", fmt_u(r.nnz), false);
   field("ok", r.ok ? "true" : "false", false);
@@ -93,7 +95,7 @@ std::string results_to_json(const std::vector<ScenarioResult>& results) {
   // a single stream write). ~620 bytes covers a keyed row with every
   // stall column; the reserve makes growth a no-op for typical sweeps.
   out.reserve(128 + 640 * results.size());
-  out += "{\n  \"schema\": \"issr_run.results.v2\",\n  \"results\": [";
+  out += "{\n  \"schema\": \"issr_run.results.v3\",\n  \"results\": [";
   for (std::size_t i = 0; i < results.size(); ++i) {
     out += i ? ",\n    {" : "\n    {";
     append_fields(out, results[i], ", ", "\"", ": ", /*keyed=*/true);
@@ -105,8 +107,8 @@ std::string results_to_json(const std::vector<ScenarioResult>& results) {
 
 std::string results_to_csv(const std::vector<ScenarioResult>& results) {
   std::string out =
-      "kernel,variant,index_bits,family,density,rows,cols,cores,seed,nnz,"
-      "ok,cycles,fpu_util,macs,macs_per_cycle," +
+      "kernel,variant,index_bits,family,density,rows,cols,cores,clusters,"
+      "seed,nnz,ok,cycles,fpu_util,macs,macs_per_cycle," +
       stall_csv_columns() + "\n";
   out.reserve(out.size() + 256 * results.size());
   for (const auto& r : results) {
@@ -145,6 +147,50 @@ Table stall_table(const std::vector<ScenarioResult>& results) {
     t.add_row(row);
   }
   return t;
+}
+
+std::string list_scenarios_text(const std::vector<Scenario>& scenarios,
+                                unsigned reps) {
+  reps = reps == 0 ? 1 : reps;
+  std::string out;
+  char buf[256];
+  bool derived_shape = false;
+  double total_cost = 0.0;
+  for (const auto& s : scenarios) {
+    // Torus (fixed 5-point grid) and banded (square) derive their
+    // actual shape from the request; results files record actual dims.
+    const bool derived = s.family == sparse::MatrixFamily::kTorus ||
+                         s.family == sparse::MatrixFamily::kBanded;
+    derived_shape |= derived;
+    // The cost column IS the scheduler's dispatch key: estimated_cost()
+    // covers the cluster-ness multiplicity (x load replication,
+    // barrier/bandwidth overhead per cluster), so a multi-cluster row
+    // can never print a single-cluster cost.
+    const double cost = estimated_cost(s);
+    total_cost += cost;
+    std::snprintf(buf, sizeof buf,
+                  "%s  rows=%u cols=%u target_nnz/row=%u%s "
+                  "seed=0x%016llx cost=%.0f\n",
+                  s.name().c_str(), s.rows, s.cols, s.row_nnz(),
+                  derived ? " (shape derived by family)" : "",
+                  static_cast<unsigned long long>(s.seed), cost);
+    out += buf;
+  }
+  // Reps multiply every scenario's cost — the total must predict the
+  // scheduler's whole task set, not just the first rep of each scenario.
+  std::snprintf(buf, sizeof buf,
+                "%zu scenarios, %u rep%s, total estimated cost %.0f "
+                "(relative units; the sweep scheduler dispatches "
+                "longest-expected-first)\n",
+                scenarios.size(), reps, reps == 1 ? "" : "s",
+                total_cost * reps);
+  out += buf;
+  if (derived_shape) {
+    out +=
+        "note: torus/banded families derive their (square) shape from "
+        "the request; the listed rows/cols are the generated dimensions\n";
+  }
+  return out;
 }
 
 bool write_text_file(const std::string& path, const std::string& content) {

@@ -1,12 +1,14 @@
 // Machine-readable result emission for experiment sweeps: a stable JSON
-// document (schema `issr_run.results.v2`), an RFC-4180-style CSV with the
+// document (schema `issr_run.results.v3`), an RFC-4180-style CSV with the
 // same columns, and console summary tables. All numeric formatting is
 // deterministic (doubles render via %.17g round-trip notation), so two
 // runs of the same scenario list — at any worker count, traced or not —
-// emit bytewise identical documents. v2 adds the stall-attribution
-// columns: `core_cycles` (cycles x cores, the attribution denominator)
-// and one `stall_<bucket>` count per trace/stall.hpp bucket; the bucket
-// columns sum to core_cycles for every row.
+// emit bytewise identical documents. v2 added the stall-attribution
+// columns: `core_cycles` (cycles x cores x clusters, the attribution
+// denominator) and one `stall_<bucket>` count per trace/stall.hpp bucket
+// (the bucket columns sum to core_cycles for every row); v3 adds the
+// `clusters` column for the multi-cluster system axis. The full schema is
+// documented in docs/RESULTS_SCHEMA.md.
 #pragma once
 
 #include <string>
@@ -29,6 +31,16 @@ Table results_table(const std::vector<ScenarioResult>& results);
 /// Build the stall-attribution table (--stall-report): one row per
 /// scenario, one column per bucket, as fractions of core_cycles.
 Table stall_table(const std::vector<ScenarioResult>& results);
+
+/// Render the --list-scenarios/--dry-run listing: one line per scenario
+/// (name, actual shape, seed) with its cost — exactly the
+/// estimated_cost() the sweep scheduler dispatches by, including the
+/// cluster-ness multiplicity — and a summary line whose total multiplies
+/// the per-scenario sum by `reps` (every rep is a full simulation).
+/// Returned with a trailing newline; tests diff this against the
+/// scheduler's own numbers so the printout can never drift from them.
+std::string list_scenarios_text(const std::vector<Scenario>& scenarios,
+                                unsigned reps);
 
 /// Write `content` to `path`; returns false on I/O failure.
 bool write_text_file(const std::string& path, const std::string& content);

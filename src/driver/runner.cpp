@@ -56,6 +56,7 @@ ScenarioResult run_scenario(const Scenario& s, const RunOptions& opts,
     // the results row must describe the executed workload. Density is
     // meaningful (it sets the vector's nonzero count) and is kept.
     out.scenario.cores = 1;
+    out.scenario.clusters = 1;
     out.scenario.family = sparse::MatrixFamily::kUniform;
     const auto& a = *wl->spvv_a;
     const auto r = run_spvv_cc(s.variant, s.width, a, *wl->dense,
@@ -78,13 +79,26 @@ ScenarioResult run_scenario(const Scenario& s, const RunOptions& opts,
       out.scenario.family = sparse::MatrixFamily::kUniform;
     }
     const unsigned cores = std::max(1u, s.cores);
+    const unsigned clusters = std::max(1u, s.clusters);
     out.scenario.cores = cores;
+    out.scenario.clusters = clusters;
     const auto& a = *wl->csrmv_a;
     const auto& x = *wl->dense;
     out.rows = a.rows();
     out.cols = a.cols();
     out.nnz = a.nnz();
-    if (cores == 1) {
+    if (clusters > 1) {
+      // Hierarchical system: `clusters` clusters of `cores` workers
+      // around the shared bandwidth-limited main memory.
+      const auto r = run_csrmv_sys(s.variant, s.width, clusters, cores, a,
+                                   x, sink.get(), /*validate=*/true, aids);
+      out.ok = r.ok;
+      out.cycles = r.sys.system.cycles;
+      out.fpu_util = r.sys.system.fpu_util();
+      out.macs = r.sys.system.total_macs();
+      out.core_cycles = r.sys.system.core_cycles();
+      out.stalls = r.sys.system.total_stalls();
+    } else if (cores == 1) {
       const auto r = run_csrmv_cc(s.variant, s.width, a, x, sink.get(),
                                   /*validate=*/true, aids);
       out.ok = r.ok;

@@ -1,5 +1,6 @@
 #include "driver/runs.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 #include <cstdint>
@@ -120,6 +121,28 @@ CcRun run_csrmv_cc(kernels::Variant variant, sparse::IndexWidth width,
   out.y = sparse::DenseVector(sim.read_f64s(args.y, a.rows()));
   if (validate) {
     out.ok = sparse::allclose(out.y, sparse::ref_csrmv(a, x), 1e-9, 1e-9);
+  }
+  return out;
+}
+
+SysRun run_csrmv_sys(kernels::Variant variant, sparse::IndexWidth width,
+                     unsigned clusters, unsigned cores,
+                     const sparse::CsrMatrix& a, const sparse::DenseVector& x,
+                     trace::TraceSink* trace, bool validate,
+                     const RunAids& aids) {
+  system::SysCsrmvConfig cfg;
+  cfg.variant = variant;
+  cfg.width = width;
+  cfg.trace_sink = trace;
+  cfg.system.arena = aids.arena;
+  cfg.system.num_clusters = std::max(1u, clusters);
+  if (cores != 0) cfg.system.cluster.num_workers = cores;
+  SysRun out;
+  out.sys = system::run_csrmv_system(a, x, cfg);
+  assert(!out.sys.system.aborted &&
+         "system simulation aborted at the cycle limit");
+  if (validate) {
+    out.ok = sparse::allclose(out.sys.y, sparse::ref_csrmv(a, x), 1e-9, 1e-9);
   }
   return out;
 }

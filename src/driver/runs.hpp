@@ -14,6 +14,7 @@
 #include "sparse/csr.hpp"
 #include "sparse/dense.hpp"
 #include "sparse/fiber.hpp"
+#include "system/csrmv_sys.hpp"
 #include "trace/trace.hpp"
 
 namespace issr::driver {
@@ -51,6 +52,12 @@ struct McRun {
   bool ok = false;  ///< y matched ref_csrmv within tolerance
 };
 
+/// Result of a multi-cluster (system) CsrMV run.
+struct SysRun {
+  system::SysCsrmvResult sys;
+  bool ok = false;  ///< y matched ref_csrmv within tolerance
+};
+
 /// `validate = false` skips the host-reference comparison (and leaves
 /// `ok` false) — for throughput measurements of the simulator itself.
 /// A non-null `trace` records cycle-resolved telemetry for the run
@@ -73,5 +80,15 @@ McRun run_csrmv_mc(kernels::Variant variant, sparse::IndexWidth width,
                    const sparse::DenseVector& x,
                    trace::TraceSink* trace = nullptr, bool validate = true,
                    const RunAids& aids = {});
+
+/// Multi-cluster CsrMV on the hierarchical system model
+/// (system/csrmv_sys.hpp): `clusters` clusters of `cores` workers each
+/// around the shared bandwidth-limited main memory. `cores == 0` selects
+/// the library's default worker count; `clusters == 0` means 1.
+SysRun run_csrmv_sys(kernels::Variant variant, sparse::IndexWidth width,
+                     unsigned clusters, unsigned cores,
+                     const sparse::CsrMatrix& a, const sparse::DenseVector& x,
+                     trace::TraceSink* trace = nullptr, bool validate = true,
+                     const RunAids& aids = {});
 
 }  // namespace issr::driver

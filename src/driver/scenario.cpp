@@ -95,7 +95,14 @@ std::string Scenario::name() const {
                 to_token(variant),
                 width == sparse::IndexWidth::kU16 ? "u16" : "u32",
                 sparse::to_string(family), density, cores);
-  return buf;
+  std::string out = buf;
+  // Single-cluster names stay exactly as they always were; the
+  // multi-cluster axis appends its own token.
+  if (clusters > 1) {
+    std::snprintf(buf, sizeof buf, "/x%u", clusters);
+    out += buf;
+  }
+  return out;
 }
 
 std::uint32_t torus_side(std::uint32_t rows) {
@@ -155,19 +162,25 @@ std::vector<Scenario> ScenarioMatrix::expand() const {
         const double d = is_torus ? torus_density : dens;
         for (const unsigned c : cores) {
           if (is_spvv && c > 1) continue;  // no multicore SpVV
-          for (const sparse::IndexWidth w : widths) {
-            for (const kernels::Variant v : variants) {
-              Scenario s;
-              s.kernel = k;
-              s.variant = v;
-              s.width = w;
-              s.family = family;
-              s.density = d;
-              s.rows = frows;
-              s.cols = fcols;
-              s.cores = c;
-              s.seed = derive_seed(base_seed, k, family, d, frows, fcols);
-              out.push_back(s);
+          for (const unsigned cl : clusters) {
+            // No multi-cluster SpVV either: pin the axis (one pass at 1)
+            // rather than emitting mislabeled duplicates.
+            if (is_spvv && cl != clusters.front()) continue;
+            for (const sparse::IndexWidth w : widths) {
+              for (const kernels::Variant v : variants) {
+                Scenario s;
+                s.kernel = k;
+                s.variant = v;
+                s.width = w;
+                s.family = family;
+                s.density = d;
+                s.rows = frows;
+                s.cols = fcols;
+                s.cores = c;
+                s.clusters = is_spvv ? 1 : cl;
+                s.seed = derive_seed(base_seed, k, family, d, frows, fcols);
+                out.push_back(s);
+              }
             }
           }
         }

@@ -1,9 +1,9 @@
 // Experiment scenario matrix: the cartesian product of kernel × variant
 // (ISSR on/off) × index width × matrix structure family × density × core
-// count, expanded into a deterministic, self-describing list of scenarios.
-// Each scenario carries its own derived RNG seed, so a run's results are a
-// pure function of the scenario — independent of expansion order, worker
-// count, and scheduling.
+// count × cluster count, expanded into a deterministic, self-describing
+// list of scenarios. Each scenario carries its own derived RNG seed, so a
+// run's results are a pure function of the scenario — independent of
+// expansion order, worker count, and scheduling.
 #pragma once
 
 #include <cstdint>
@@ -45,11 +45,17 @@ struct Scenario {
   std::uint32_t rows = 0;
   std::uint32_t cols = 0;
   unsigned cores = 1;  ///< 1 = single CC; >1 = cluster worker count
+  /// 1 = single cluster (the cores axis alone decides CC vs cluster);
+  /// >1 = hierarchical multi-cluster system with `cores` workers per
+  /// cluster (system/csrmv_sys.hpp). The workload seed ignores this axis
+  /// — every cluster count sees identical operands, like variant/width.
+  unsigned clusters = 1;
   std::uint64_t seed = 0;  ///< derived workload seed (see derive_seed)
 
   /// Nonzeros per generated matrix row (>= 1, <= cols).
   std::uint32_t row_nnz() const;
-  /// Compact human-readable tag, e.g. "csrmv/issr/u16/uniform/d0.05/c8".
+  /// Compact human-readable tag, e.g. "csrmv/issr/u16/uniform/d0.05/c8";
+  /// multi-cluster scenarios append "/x<clusters>".
   std::string name() const;
 
   bool operator==(const Scenario&) const = default;
@@ -78,16 +84,18 @@ struct ScenarioMatrix {
       sparse::MatrixFamily::kUniform};
   std::vector<double> densities = {0.05};
   std::vector<unsigned> cores = {1};
+  std::vector<unsigned> clusters = {1};
   std::uint32_t rows = 192;
   std::uint32_t cols = 256;
   std::uint64_t base_seed = 42;
 
   /// Expand to the ordered scenario list. Combinations that do not map to
-  /// an implemented kernel are skipped (SpVV with cores > 1 — there is no
-  /// multicore SpVV kernel), and axes a kernel ignores are pinned instead
-  /// of crossed (SpVV: family -> uniform, rows -> 1) so every emitted
-  /// scenario describes its actual workload. Duplicate axis values are
-  /// kept; callers control the axes.
+  /// an implemented kernel are skipped (SpVV with cores > 1 or
+  /// clusters > 1 — there is no multicore/multi-cluster SpVV kernel), and
+  /// axes a kernel ignores are pinned instead of crossed (SpVV:
+  /// family -> uniform, rows -> 1) so every emitted scenario describes
+  /// its actual workload. Duplicate axis values are kept; callers control
+  /// the axes.
   std::vector<Scenario> expand() const;
 };
 

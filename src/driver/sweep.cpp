@@ -85,15 +85,21 @@ double estimated_cost(const Scenario& s) {
   const bool is_spvv = s.kernel == Kernel::kSpvv;
   const double rows = is_spvv ? 1.0 : static_cast<double>(s.rows);
   const double nnz = rows * static_cast<double>(s.row_nnz());
+  const double clusters = is_spvv ? 1.0 : std::max(1u, s.clusters);
   double cycles = nnz * variant_weight(s.variant, s.width) + rows * 8.0 + 200.0;
-  if (!is_spvv && s.cores > 1) {
-    // Cluster runs report core-cycles (cycles x workers): the row share
-    // per worker shrinks but every worker's cycle is simulated, DMA
-    // tiling adds traffic, and the TCDM arbitration makes a simulated
-    // cluster cycle ~1.5x the host cost of an ideal-memory CC cycle.
-    cycles += static_cast<double>(s.cols) * 2.0 +
-              static_cast<double>(s.cores) * 500.0;
+  if (!is_spvv && (s.cores > 1 || clusters > 1.0)) {
+    // Cluster/system runs report core-cycles (cycles x total workers):
+    // the row share per worker shrinks but every worker's cycle is
+    // simulated, DMA tiling adds traffic, and the TCDM arbitration makes
+    // a simulated cluster cycle ~1.5x the host cost of an ideal-memory
+    // CC cycle. Cluster-ness multiplicity: every cluster replicates the
+    // x load and the per-tile handshakes, and shared-bandwidth stalls
+    // plus the inter-cluster barrier stretch lockstep cycles that all
+    // clusters' workers then spend — both grow with the cluster count.
+    cycles += static_cast<double>(s.cols) * 2.0 * clusters +
+              static_cast<double>(s.cores) * 500.0 + clusters * 800.0;
     cycles *= 1.5;
+    if (clusters > 1.0) cycles *= 1.0 + 0.15 * clusters;
   }
   return cycles;
 }

@@ -82,13 +82,19 @@ bool Dma::tick_channel(Channel& ch, std::uint64_t& completed_counter) {
     ++completed_counter;
   }
   if (ch.jobs.empty()) return false;
+  // A beat touching main memory needs a slot of its per-cycle beat
+  // budget (finite only when the memory is shared across clusters; a
+  // failed claim stalls the channel for this cycle).
+  const DmaJob& job = ch.jobs.front();
+  if (main_.contains(job.src) && !main_.try_read_beat()) return false;
+  if (main_.contains(job.dst) && !main_.try_write_beat()) return false;
   stats_.bytes += move_beat(ch, completed_counter);
   return true;
 }
 
-void Dma::attach_trace(trace::TraceSink& sink) {
-  in_.trace.attach(sink, sink.add_track("dma", "inbound"));
-  out_.trace.attach(sink, sink.add_track("dma", "outbound"));
+void Dma::attach_trace(trace::TraceSink& sink, const std::string& prefix) {
+  in_.trace.attach(sink, sink.add_track(prefix + "dma", "inbound"));
+  out_.trace.attach(sink, sink.add_track(prefix + "dma", "outbound"));
 }
 
 void Dma::tick(cycle_t now) {

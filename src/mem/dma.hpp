@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <string>
 
 #include "common/types.hpp"
 #include "mem/main_mem.hpp"
@@ -72,9 +73,10 @@ class Dma {
 
   const DmaStats& stats() const { return stats_; }
 
-  /// Register "inbound"/"outbound" timeline tracks; each channel then
-  /// traces one slice per busy interval (back-to-back jobs merge).
-  void attach_trace(trace::TraceSink& sink);
+  /// Register "inbound"/"outbound" timeline tracks (track process
+  /// `<prefix>dma`); each channel then traces one slice per busy interval
+  /// (back-to-back jobs merge).
+  void attach_trace(trace::TraceSink& sink, const std::string& prefix = "");
 
  private:
   struct Channel {

@@ -19,12 +19,13 @@ Tcdm::Tcdm(const TcdmConfig& cfg, unsigned num_masters)
   assert(cfg.num_banks > 0);
 }
 
-void Tcdm::attach_trace(trace::TraceSink& sink) {
+void Tcdm::attach_trace(trace::TraceSink& sink, const std::string& prefix) {
   trace_ = &sink;
   bank_tracks_.clear();
   bank_tracks_.reserve(cfg_.num_banks);
   for (std::uint32_t b = 0; b < cfg_.num_banks; ++b) {
-    bank_tracks_.push_back(sink.add_track("tcdm", "bank" + std::to_string(b)));
+    bank_tracks_.push_back(
+        sink.add_track(prefix + "tcdm", "bank" + std::to_string(b)));
   }
 }
 

@@ -88,9 +88,10 @@ class Tcdm {
   /// (kCycleNever when every port is drained and idle).
   cycle_t next_event() const;
 
-  /// Register one timeline track per bank on `sink`; conflicted cycles
-  /// then emit an instant per bank (value = masters that lost).
-  void attach_trace(trace::TraceSink& sink);
+  /// Register one timeline track per bank on `sink` (track process
+  /// `<prefix>tcdm`); conflicted cycles then emit an instant per bank
+  /// (value = masters that lost).
+  void attach_trace(trace::TraceSink& sink, const std::string& prefix = "");
 
  private:
   TcdmConfig cfg_;

@@ -1,0 +1,72 @@
+// Inter-cluster barrier: the upper level of the hierarchical
+// synchronization scheme (workers sync on their cluster's zero-latency HW
+// barrier, clusters sync on this one). Modeled after an atomic
+// fetch-and-increment in shared memory that each cluster's DMCC polls: a
+// release is observed only `latency` cycles after the last arrival, which
+// stands in for the round trip through the cluster-interconnect and the
+// polling interval of the paper's software barriers. Sense-reversing via
+// generation counters, so it is reusable any number of times.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace issr::system {
+
+class SysBarrier {
+ public:
+  SysBarrier(unsigned n, cycle_t latency)
+      : n_(n), latency_(latency), target_(n, 0) {}
+
+  /// Timeline hook: one "release" instant per completed generation,
+  /// stamped at the cycle the release becomes observable.
+  trace::Tracer& tracer() { return trace_; }
+
+  cycle_t latency() const { return latency_; }
+
+  /// Register cluster `c`'s arrival at its current generation. Idempotent
+  /// while the cluster is waiting; must not be called again until
+  /// released() has returned true for `c`.
+  void arrive(unsigned c, cycle_t now) {
+    if (target_[c] != 0) return;  // already arrived, still waiting
+    target_[c] = gen_ + 1;
+    if (++arrived_ == n_) {
+      arrived_ = 0;
+      ++gen_;
+      release_at_ = now + latency_;
+      trace_.instant(release_at_, "release", gen_);
+    }
+  }
+
+  /// True once the generation `c` arrived in has completed AND its
+  /// release has propagated (now >= last arrival + latency). The first
+  /// true consumes the arrival: the next arrive() starts a new
+  /// generation for this cluster.
+  bool released(unsigned c, cycle_t now) {
+    assert(target_[c] != 0 && "released() polled without a prior arrive()");
+    if (gen_ >= target_[c] && now >= release_at_) {
+      target_[c] = 0;
+      return true;
+    }
+    return false;
+  }
+
+  std::uint64_t generation() const { return gen_; }
+
+ private:
+  unsigned n_;
+  cycle_t latency_;
+  std::vector<std::uint64_t> target_;  ///< 0 = not arrived; else gen awaited
+  unsigned arrived_ = 0;
+  std::uint64_t gen_ = 0;
+  // Only the latest completed generation's release time is needed: a new
+  // generation cannot complete before every cluster has passed the
+  // previous release (each must observe it before re-arriving).
+  cycle_t release_at_ = 0;
+  trace::Tracer trace_;
+};
+
+}  // namespace issr::system

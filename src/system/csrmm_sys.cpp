@@ -1,0 +1,448 @@
+#include "system/csrmm_sys.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <memory>
+
+#include "common/bitutil.hpp"
+#include "isa/assembler.hpp"
+#include "kernels/csrmv.hpp"
+#include "kernels/kargs.hpp"
+#include "system/csrmv_sys.hpp"
+
+namespace issr::system {
+
+using namespace issr::isa;
+using kernels::CsrmvRange;
+using kernels::Variant;
+using sparse::IndexWidth;
+
+// NOTE: the planner, worker-program scaffolding (poll/backoff, store
+// fence, done-flag publish), and controller buffer state machine below
+// deliberately mirror cluster/csrmv_shard.cpp with the column-phase
+// dimension added (B-block region and loads, y tiles widened by cb, 2-D
+// writebacks, a barrier generation per phase). The shapes diverge enough
+// that a shared parameterization was judged worse than the fork — but a
+// fix to the flag protocol, the fence, or the TCDM budget math almost
+// certainly applies to BOTH files; change them together.
+
+namespace {
+
+/// Main-memory staging layout for the CsrMM operands.
+struct CsrmmMainLayout {
+  addr_t ptr = 0, idcs = 0, vals = 0, b = 0, y = 0;
+};
+
+CsrmmMainLayout stage_csrmm_main(mem::BackingStore& store,
+                                 const sparse::CsrMatrix& a,
+                                 const sparse::DenseMatrix& b,
+                                 IndexWidth width) {
+  const unsigned iw = sparse::index_bytes(width);
+  CsrmmMainLayout main;
+  addr_t cursor = mem::MainMemory::kBase;
+  auto take = [&](std::uint64_t bytes) {
+    const addr_t at = align_up(cursor, 64);
+    cursor = at + bytes;
+    return at;
+  };
+  main.ptr = take(4ull * (a.rows() + 1));
+  main.idcs = take(static_cast<std::uint64_t>(iw) * a.nnz());
+  main.vals = take(8ull * a.nnz());
+  main.b = take(8ull * b.storage_elems());
+  main.y = take(8ull * a.rows() * b.cols());
+
+  store.write_u32s(main.ptr, a.ptr().data(), a.ptr().size());
+  const auto packed = sparse::pack_indices(a.idcs(), width);
+  if (!packed.empty()) store.write_block(main.idcs, packed.data(), packed.size());
+  if (!a.vals().empty()) {
+    store.write_doubles(main.vals, a.vals().data(), a.vals().size());
+  }
+  if (b.storage_elems() > 0) {
+    store.write_doubles(main.b, b.data(), b.storage_elems());
+  }
+  return main;
+}
+
+addr_t tile_flag_addr(const SysCsrmmPlan& plan, unsigned buf) {
+  return plan.flags_addr + 8ull * buf;
+}
+addr_t done_flag_addr(const SysCsrmmPlan& plan, unsigned worker) {
+  return plan.flags_addr + 8ull * (2 + worker);
+}
+
+unsigned log2_exact(std::uint32_t v) {
+  assert(v != 0 && (v & (v - 1)) == 0);
+  unsigned s = 0;
+  while ((1u << s) < v) ++s;
+  return s;
+}
+
+/// One worker's program: per phase, per tile — poll the tile generation,
+/// run one CsrMV body per valid block column over the worker's row share
+/// (ISSR data base at &Bblk[0][k], index shift log2(cb)), fence, publish.
+isa::Program build_csrmm_worker(const sparse::CsrMatrix& a,
+                                const SysCsrmmPlan& plan,
+                                const SysCsrmmConfig& cfg,
+                                std::uint32_t b_cols, unsigned worker) {
+  const unsigned iw = sparse::index_bytes(cfg.width);
+  const unsigned W = cfg.system.cluster.num_workers;
+  const std::uint32_t cb = plan.col_block;
+  const unsigned shift = log2_exact(cb);
+  const std::size_t T = plan.tiles.size();
+  Assembler as;
+
+  for (std::uint32_t p = 0; p < plan.num_phases; ++p) {
+    const std::uint32_t valid = std::min<std::uint32_t>(cb, b_cols - p * cb);
+    for (std::size_t t = 0; t < T; ++t) {
+      const auto& tile = plan.tiles[t];
+      const std::uint64_t g = static_cast<std::uint64_t>(p) * T + t;
+      const unsigned b = static_cast<unsigned>(g % 2);
+      const std::uint32_t tile_rows = tile.row_end - tile.row_begin;
+
+      const std::uint32_t r0 =
+          tile.row_begin +
+          static_cast<std::uint32_t>(
+              (static_cast<std::uint64_t>(tile_rows) * worker) / W);
+      const std::uint32_t r1 =
+          tile.row_begin +
+          static_cast<std::uint32_t>(
+              (static_cast<std::uint64_t>(tile_rows) * (worker + 1)) / W);
+
+      // Wait for generation g+1 of buffer b (backed-off poll as in the
+      // CsrMV shard program).
+      as.li(kT2, static_cast<std::int64_t>(g + 1));
+      as.li(kT3, static_cast<std::int64_t>(tile_flag_addr(plan, b)));
+      Label poll = as.here();
+      as.ld(kT0, kT3, 0);
+      for (int i = 0; i < 6; ++i) as.nop();
+      as.blt(kT0, kT2, poll);
+
+      if (r1 > r0) {
+        const std::uint64_t local_nnz_off = a.ptr()[r0] - tile.nnz_begin;
+        for (std::uint32_t k = 0; k < valid; ++k) {
+          CsrmvRange range;
+          range.ptr_addr =
+              plan.buf[b].ptr_addr + 4ull * (r0 - tile.row_begin);
+          range.row_count = r1 - r0;
+          range.range_nnz = a.ptr()[r1] - a.ptr()[r0];
+          range.vals_addr = plan.buf[b].vals_addr + 8ull * local_nnz_off;
+          range.idcs_addr = plan.buf[b].idcs_addr +
+                            static_cast<std::uint64_t>(iw) * local_nnz_off;
+          range.x_addr = plan.b_addr + 8ull * k;
+          range.x_shift = shift;
+          range.y_addr =
+              plan.buf[b].y_addr +
+              8ull * (static_cast<std::uint64_t>(r0 - tile.row_begin) * cb + k);
+          range.y_stride = 8ll * cb;
+          range.width = cfg.width;
+          kernels::emit_csrmv_range(as, cfg.variant, range);
+        }
+        // Store fence (see csrmv_shard.cpp): order the FP-side result
+        // stores before the done-flag publish.
+        const addr_t last_y =
+            plan.buf[b].y_addr +
+            8ull * (static_cast<std::uint64_t>(r1 - 1 - tile.row_begin) * cb +
+                    (valid - 1));
+        as.li(kT4, static_cast<std::int64_t>(last_y));
+        as.fld(kFt3, kT4, 0);
+        kernels::emit_fpss_sync(as);
+      }
+
+      as.li(kT0, static_cast<std::int64_t>(g + 1));
+      as.li(kT1, static_cast<std::int64_t>(done_flag_addr(plan, worker)));
+      as.sd(kT0, kT1, 0);
+    }
+  }
+
+  if (cfg.variant != Variant::kBase) {
+    kernels::emit_sync_and_disable(as);
+  }
+  kernels::emit_halt(as);
+  return as.assemble();
+}
+
+/// DMCC model for one cluster's 2-D tiled CsrMM shard: per phase, load
+/// the B block, stream the shard's A tiles double-buffered, write the Y
+/// tile slices back, then hold at the inter-cluster barrier. The final
+/// phase's barrier doubles as run completion.
+class CsrmmShardController {
+ public:
+  CsrmmShardController(const SysCsrmmPlan& plan, const CsrmmMainLayout& main,
+                       const sparse::CsrMatrix& a, std::uint32_t b_cols,
+                       std::uint32_t ldb, unsigned num_workers, unsigned iw,
+                       SysBarrier& bar, unsigned idx)
+      : plan_(plan),
+        main_(main),
+        a_(a),
+        b_cols_(b_cols),
+        ldb_(ldb),
+        num_workers_(num_workers),
+        iw_(iw),
+        bar_(&bar),
+        idx_(idx) {}
+
+  void operator()(Cluster& cl, cycle_t now);
+
+ private:
+  enum class BufState { kIdle, kLoading, kReady, kWritingBack };
+
+  std::uint64_t gen_of(std::size_t tile) const {
+    return static_cast<std::uint64_t>(phase_) * plan_.tiles.size() + tile;
+  }
+
+  void start_phase(Cluster& cl) {
+    auto& dma = cl.dma();
+    const std::uint32_t valid =
+        std::min<std::uint32_t>(plan_.col_block, b_cols_ - phase_ * plan_.col_block);
+    // The B block rides the inbound channel ahead of the tile loads, so
+    // the first tile flag cannot publish before the block has landed.
+    dma.start_2d(plan_.b_addr, main_.b + 8ull * phase_ * plan_.col_block,
+                 8ull * valid, a_.cols(), 8ll * plan_.col_block, 8ll * ldb_);
+    queued_in_ += 1;
+    next_tile_ = 0;
+    tiles_done_ = 0;
+    if (next_tile_ < plan_.tiles.size()) start_tile_load(cl, next_tile_++);
+    if (next_tile_ < plan_.tiles.size()) start_tile_load(cl, next_tile_++);
+  }
+
+  void start_tile_load(Cluster& cl, std::size_t tile) {
+    const auto& t = plan_.tiles[tile];
+    const unsigned b = static_cast<unsigned>(gen_of(tile) % 2);
+    auto& dma = cl.dma();
+    const std::uint32_t rows = t.row_end - t.row_begin;
+    const std::uint64_t nnz = t.nnz_end - t.nnz_begin;
+    dma.start_1d(plan_.buf[b].ptr_addr, main_.ptr + 4ull * t.row_begin,
+                 4ull * (rows + 1));
+    dma.start_1d(plan_.buf[b].vals_addr, main_.vals + 8ull * t.nnz_begin,
+                 8ull * nnz);
+    dma.start_1d(plan_.buf[b].idcs_addr,
+                 main_.idcs + static_cast<std::uint64_t>(iw_) * t.nnz_begin,
+                 static_cast<std::uint64_t>(iw_) * nnz);
+    load_marker_[b] = queued_in_ += 3;
+    state_[b] = BufState::kLoading;
+    buf_tile_[b] = tile;
+  }
+
+  const SysCsrmmPlan& plan_;
+  CsrmmMainLayout main_;
+  const sparse::CsrMatrix& a_;
+  std::uint32_t b_cols_;
+  std::uint32_t ldb_;
+  unsigned num_workers_;
+  unsigned iw_;
+  SysBarrier* bar_;
+  unsigned idx_;
+
+  bool started_ = false;
+  std::uint32_t phase_ = 0;
+  bool arrived_ = false;
+  std::uint64_t queued_in_ = 0;
+  std::uint64_t queued_out_ = 0;
+  BufState state_[2] = {BufState::kIdle, BufState::kIdle};
+  std::size_t buf_tile_[2] = {0, 0};
+  std::uint64_t load_marker_[2] = {0, 0};
+  std::uint64_t wb_marker_[2] = {0, 0};
+  std::size_t next_tile_ = 0;
+  std::size_t tiles_done_ = 0;
+  bool finished_ = false;
+};
+
+void CsrmmShardController::operator()(Cluster& cl, cycle_t now) {
+  if (finished_) return;
+  auto& dma = cl.dma();
+  auto& store = cl.tcdm().store();
+  const std::size_t T = plan_.tiles.size();
+
+  if (!started_) {
+    started_ = true;
+    cl.set_controller_done(false);
+    if (T > 0) {
+      start_phase(cl);
+    } else {
+      // Empty shard: participate in every phase barrier and nothing else.
+      arrived_ = true;
+      bar_->arrive(idx_, now);
+    }
+  }
+
+  if (arrived_) {
+    if (bar_->released(idx_, now)) {
+      arrived_ = false;
+      ++phase_;
+      if (phase_ >= plan_.num_phases) {
+        finished_ = true;
+        cl.set_controller_done(true);
+        return;
+      }
+      if (T > 0) {
+        start_phase(cl);
+      } else {
+        arrived_ = true;
+        bar_->arrive(idx_, now);
+      }
+    }
+    return;
+  }
+
+  for (unsigned b = 0; b < 2; ++b) {
+    switch (state_[b]) {
+      case BufState::kLoading:
+        if (dma.completed_in() >= load_marker_[b]) {
+          store.store_u64(tile_flag_addr(plan_, b), gen_of(buf_tile_[b]) + 1);
+          state_[b] = BufState::kReady;
+        }
+        break;
+      case BufState::kReady: {
+        bool all_done = true;
+        for (unsigned w = 0; w < num_workers_; ++w) {
+          if (store.load_u64(done_flag_addr(plan_, w)) <
+              gen_of(buf_tile_[b]) + 1) {
+            all_done = false;
+            break;
+          }
+        }
+        if (all_done) {
+          const auto& t = plan_.tiles[buf_tile_[b]];
+          const std::uint32_t valid = std::min<std::uint32_t>(
+              plan_.col_block, b_cols_ - phase_ * plan_.col_block);
+          dma.start_2d(
+              main_.y +
+                  8ull * (static_cast<std::uint64_t>(t.row_begin) * b_cols_ +
+                          static_cast<std::uint64_t>(phase_) * plan_.col_block),
+              plan_.buf[b].y_addr, 8ull * valid, t.row_end - t.row_begin,
+              8ll * b_cols_, 8ll * plan_.col_block);
+          wb_marker_[b] = ++queued_out_;
+          state_[b] = BufState::kWritingBack;
+        }
+        break;
+      }
+      case BufState::kWritingBack:
+        if (dma.completed_out() >= wb_marker_[b]) {
+          ++tiles_done_;
+          state_[b] = BufState::kIdle;
+          if (next_tile_ < T) start_tile_load(cl, next_tile_++);
+        }
+        break;
+      case BufState::kIdle:
+        break;
+    }
+  }
+
+  if (tiles_done_ == T) {
+    arrived_ = true;
+    bar_->arrive(idx_, now);
+  }
+}
+
+}  // namespace
+
+SysCsrmmPlan plan_csrmm_shard(const sparse::CsrMatrix& a,
+                              std::uint32_t b_cols, const SysCsrmmConfig& cfg,
+                              std::uint32_t row_begin, std::uint32_t row_end) {
+  assert(row_begin <= row_end && row_end <= a.rows());
+  assert(b_cols >= 1);
+  const unsigned iw = sparse::index_bytes(cfg.width);
+  const auto& tcdm = cfg.system.cluster.tcdm;
+  const unsigned W = cfg.system.cluster.num_workers;
+
+  SysCsrmmPlan plan;
+  std::uint32_t cb = cfg.col_block;
+  if (cb == 0) {
+    cb = 1;
+    while (cb * 2 <= std::min<std::uint32_t>(b_cols, 8)) cb *= 2;
+  }
+  assert((cb & (cb - 1)) == 0 && "col_block must be a power of two");
+  plan.col_block = cb;
+  plan.num_phases = (b_cols + cb - 1) / cb;
+
+  addr_t cursor = tcdm.base;
+  auto take = [&](std::uint64_t bytes) {
+    const addr_t at = align_up(cursor, 8);
+    cursor = at + bytes;
+    return at;
+  };
+  plan.b_addr = take(8ull * a.cols() * cb);
+  plan.flags_addr = take(8ull * (2 + W));
+
+  const std::uint64_t ptr_region = align_up(4ull * (cfg.max_tile_rows + 1), 8);
+  const std::uint64_t y_region = 8ull * cfg.max_tile_rows * cb;
+  const std::uint64_t used =
+      (cursor - tcdm.base) + 2 * (ptr_region + y_region) + 64;
+  assert(used < tcdm.size_bytes() && "TCDM too small for this B block size");
+  const std::uint64_t stream_budget = (tcdm.size_bytes() - used) / 2;
+  plan.tile_nnz_capacity = stream_budget / (8 + iw);
+  assert(plan.tile_nnz_capacity >= a.max_row_nnz() &&
+         "a single row exceeds the tile buffer capacity");
+
+  for (auto& buf : plan.buf) {
+    buf.ptr_addr = take(ptr_region);
+    buf.y_addr = take(y_region);
+    buf.vals_addr = take(8ull * plan.tile_nnz_capacity);
+    buf.idcs_addr =
+        take(static_cast<std::uint64_t>(iw) * plan.tile_nnz_capacity);
+  }
+  assert(cursor <= tcdm.base + tcdm.size_bytes());
+
+  std::uint32_t r = row_begin;
+  while (r < row_end) {
+    std::uint32_t end = r;
+    while (end < row_end && end - r < cfg.max_tile_rows &&
+           a.ptr()[end + 1] - a.ptr()[r] <= plan.tile_nnz_capacity) {
+      ++end;
+    }
+    assert(end > r);
+    plan.tiles.push_back({r, end, a.ptr()[r], a.ptr()[end]});
+    r = end;
+  }
+  return plan;
+}
+
+SysCsrmmResult run_csrmm_system(const sparse::CsrMatrix& a,
+                                const sparse::DenseMatrix& b,
+                                const SysCsrmmConfig& cfg) {
+  assert(a.cols() <= b.rows());
+  assert(cfg.width == IndexWidth::kU32 || a.fits_u16());
+  const unsigned iw = sparse::index_bytes(cfg.width);
+  const unsigned n = cfg.system.num_clusters;
+  const unsigned workers = cfg.system.cluster.num_workers;
+  const auto b_cols = static_cast<std::uint32_t>(b.cols());
+
+  SysCsrmmResult result;
+  result.shard_begin = partition_rows_balanced(a, n);
+
+  std::vector<std::vector<isa::Program>> programs(n);
+  for (unsigned c = 0; c < n; ++c) {
+    result.plans.push_back(plan_csrmm_shard(
+        a, b_cols, cfg, result.shard_begin[c], result.shard_begin[c + 1]));
+    for (unsigned w = 0; w < workers; ++w) {
+      programs[c].push_back(
+          build_csrmm_worker(a, result.plans[c], cfg, b_cols, w));
+    }
+  }
+
+  System sys(cfg.system, std::move(programs));
+  const CsrmmMainLayout main =
+      stage_csrmm_main(sys.main_mem().store(), a, b, cfg.width);
+
+  std::vector<std::shared_ptr<CsrmmShardController>> controllers;
+  for (unsigned c = 0; c < n; ++c) {
+    auto ctl = std::make_shared<CsrmmShardController>(
+        result.plans[c], main, a, b_cols, static_cast<std::uint32_t>(b.ld()),
+        workers, iw, sys.barrier(), c);
+    controllers.push_back(ctl);
+    sys.set_controller(
+        c, [ctl](Cluster& cl, cycle_t now) { (*ctl)(cl, now); });
+  }
+
+  if (cfg.trace_sink) sys.attach_trace(*cfg.trace_sink);
+
+  result.system = sys.run();
+  result.y = sparse::DenseMatrix(a.rows(), b_cols);
+  if (a.rows() > 0 && b_cols > 0) {
+    sys.main_mem().store().read_doubles(
+        main.y, result.y.data(), static_cast<std::size_t>(a.rows()) * b_cols);
+  }
+  return result;
+}
+
+}  // namespace issr::system

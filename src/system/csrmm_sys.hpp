@@ -1,0 +1,75 @@
+// Cross-cluster CsrMM (Y = A*B, B dense row-major) on the hierarchical
+// system model, tiled in two dimensions (§III-B's third-order loop taken
+// cluster-scale):
+//  - dimension 1 (rows, across clusters): A's rows are sharded by the
+//    same static cost-balanced partition as csrmv_sys.hpp;
+//  - dimension 2 (columns of B, in time): B is processed in power-of-two
+//    column blocks. Per phase, each cluster 2-D-DMAs the block's C x cb
+//    slice of B into its TCDM, streams its shard's A tiles through the
+//    double-buffered scheme, and runs one CsrMV body per block column
+//    (ISSR index shift log2(cb) addresses the TCDM-resident block), then
+//    2-D-DMAs its Y tile slice back to shared main memory.
+// Clusters synchronize on the inter-cluster barrier between column
+// phases, so no cluster's phase-p+1 B-block load can race ahead while
+// another still streams phase p — which also bounds the burstiness the
+// shared memory sees. The final phase's barrier doubles as completion.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/csrmv_mc.hpp"
+#include "sparse/csr.hpp"
+#include "sparse/dense.hpp"
+#include "system/system.hpp"
+
+namespace issr::system {
+
+struct SysCsrmmConfig {
+  kernels::Variant variant = kernels::Variant::kIssr;
+  sparse::IndexWidth width = sparse::IndexWidth::kU16;
+  SystemConfig system;
+  /// Upper bound on rows per tile within each cluster's shard.
+  std::uint32_t max_tile_rows = 512;
+  /// Columns of B per phase (power of two; 0 = auto: the largest power
+  /// of two <= min(b.cols, 8)).
+  std::uint32_t col_block = 0;
+  trace::TraceSink* trace_sink = nullptr;
+};
+
+/// One cluster's plan: the TCDM layout (B-block region, flag words, two
+/// tile buffers) and the greedy row tiling of its shard.
+struct SysCsrmmPlan {
+  std::vector<cluster::McTilePlan::Tile> tiles;
+  std::uint64_t tile_nnz_capacity = 0;
+  std::uint32_t col_block = 0;   ///< cb: columns of B resident per phase
+  std::uint32_t num_phases = 0;  ///< ceil(b_cols / cb)
+  addr_t b_addr = 0;             ///< C x cb block, row-major, ld = cb
+  addr_t flags_addr = 0;         ///< tile_ready[2] then done[num_workers]
+  struct Buffer {
+    addr_t ptr_addr;
+    addr_t idcs_addr;
+    addr_t vals_addr;
+    addr_t y_addr;  ///< tile_rows x cb, row-major, ld = cb
+  };
+  Buffer buf[2];
+};
+
+struct SysCsrmmResult {
+  SystemResult system;
+  sparse::DenseMatrix y;  ///< rows x b_cols, ld = b_cols
+  std::vector<std::uint32_t> shard_begin;
+  std::vector<SysCsrmmPlan> plans;
+};
+
+/// Plan one cluster's shard (pure function; exposed for tests).
+SysCsrmmPlan plan_csrmm_shard(const sparse::CsrMatrix& a,
+                              std::uint32_t b_cols, const SysCsrmmConfig& cfg,
+                              std::uint32_t row_begin, std::uint32_t row_end);
+
+/// Run Y = A*B on the simulated multi-cluster system.
+SysCsrmmResult run_csrmm_system(const sparse::CsrMatrix& a,
+                                const sparse::DenseMatrix& b,
+                                const SysCsrmmConfig& cfg);
+
+}  // namespace issr::system

@@ -1,0 +1,149 @@
+#include "system/csrmv_sys.hpp"
+
+#include <cassert>
+#include <memory>
+
+#include "cluster/csrmv_shard.hpp"
+
+namespace issr::system {
+
+using cluster::CsrmvMainLayout;
+using cluster::McCsrmvConfig;
+using cluster::McTilePlan;
+using cluster::ShardController;
+using sparse::IndexWidth;
+
+namespace {
+
+/// Per-row cost beyond its nonzeros: loop overhead, pointer fetch, and
+/// the result store (mirrors the rows*8 term of the sweep cost model).
+constexpr std::uint64_t kRowCostOverhead = 8;
+
+/// Wraps a cluster's ShardController with the inter-cluster protocol:
+/// once the shard's tiles have all written back, arrive at the system
+/// barrier and mark the controller done only when the release has
+/// propagated. Clusters with an empty shard skip straight to the
+/// arrival (no x load, no tiles). Fast-forward contract: after `passed_`
+/// every invocation is an inert no-op.
+class SysCsrmvController {
+ public:
+  SysCsrmvController(std::shared_ptr<ShardController> shard, SysBarrier& bar,
+                     unsigned idx)
+      : shard_(std::move(shard)), bar_(&bar), idx_(idx) {}
+
+  void operator()(Cluster& cl, cycle_t now) {
+    if (passed_) return;
+    if (shard_) {
+      (*shard_)(cl, now);
+      if (!shard_->finished()) return;
+    } else if (!started_) {
+      started_ = true;
+      cl.set_controller_done(false);
+    }
+    if (!arrived_) {
+      arrived_ = true;
+      bar_->arrive(idx_, now);
+      return;
+    }
+    if (bar_->released(idx_, now)) {
+      passed_ = true;
+      cl.set_controller_done(true);
+    }
+  }
+
+ private:
+  std::shared_ptr<ShardController> shard_;
+  SysBarrier* bar_;
+  unsigned idx_;
+  bool started_ = false;
+  bool arrived_ = false;
+  bool passed_ = false;
+};
+
+}  // namespace
+
+std::vector<std::uint32_t> partition_rows_balanced(const sparse::CsrMatrix& a,
+                                                   unsigned n) {
+  assert(n >= 1);
+  const std::uint32_t rows = a.rows();
+  // Total cost and the greedy sweep share one accumulator type; the
+  // boundaries land where each shard's cost first reaches its target
+  // (total * (c+1) / n), which equalizes cost to within one row.
+  std::uint64_t total = 0;
+  for (std::uint32_t r = 0; r < rows; ++r) {
+    total += (a.ptr()[r + 1] - a.ptr()[r]) + kRowCostOverhead;
+  }
+  std::vector<std::uint32_t> out(n + 1, rows);
+  out[0] = 0;
+  std::uint64_t acc = 0;
+  std::uint32_t r = 0;
+  for (unsigned c = 0; c + 1 < n; ++c) {
+    const std::uint64_t target = total * (c + 1) / n;
+    while (r < rows && acc < target) {
+      acc += (a.ptr()[r + 1] - a.ptr()[r]) + kRowCostOverhead;
+      ++r;
+    }
+    out[c + 1] = r;
+  }
+  return out;
+}
+
+SysCsrmvResult run_csrmv_system(const sparse::CsrMatrix& a,
+                                const sparse::DenseVector& x,
+                                const SysCsrmvConfig& cfg) {
+  assert(a.cols() <= x.size());
+  assert(cfg.width == IndexWidth::kU32 || a.fits_u16());
+  const unsigned iw = sparse::index_bytes(cfg.width);
+  const unsigned n = cfg.system.num_clusters;
+  const unsigned workers = cfg.system.cluster.num_workers;
+
+  SysCsrmvResult result;
+  result.shard_begin = partition_rows_balanced(a, n);
+
+  // Per-cluster plans and worker programs over each shard. The planning
+  // view reuses the single-cluster configuration carrier.
+  McCsrmvConfig mc;
+  mc.variant = cfg.variant;
+  mc.width = cfg.width;
+  mc.cluster = cfg.system.cluster;
+  mc.max_tile_rows = cfg.max_tile_rows;
+
+  std::vector<std::vector<isa::Program>> programs(n);
+  for (unsigned c = 0; c < n; ++c) {
+    result.plans.push_back(plan_tiles_range(
+        a, mc, result.shard_begin[c], result.shard_begin[c + 1]));
+    for (unsigned w = 0; w < workers; ++w) {
+      programs[c].push_back(
+          cluster::build_shard_worker_program(a, result.plans[c], mc, w));
+    }
+  }
+
+  System sys(cfg.system, std::move(programs));
+
+  // Stage the operands once in the shared main memory; every cluster's
+  // DMA addresses the same arrays (tiles by absolute row/nnz offsets).
+  const CsrmvMainLayout main =
+      cluster::stage_csrmv_main(sys.main_mem().store(), a, x, cfg.width);
+
+  for (unsigned c = 0; c < n; ++c) {
+    std::shared_ptr<ShardController> shard;
+    if (!result.plans[c].tiles.empty()) {
+      shard = std::make_shared<ShardController>(
+          result.plans[c], main, a, workers, iw,
+          ShardController::Completion{});  // the wrapper owns completion
+    }
+    auto ctl = std::make_shared<SysCsrmvController>(std::move(shard),
+                                                    sys.barrier(), c);
+    sys.set_controller(
+        c, [ctl](Cluster& cl, cycle_t now) { (*ctl)(cl, now); });
+  }
+
+  if (cfg.trace_sink) sys.attach_trace(*cfg.trace_sink);
+
+  result.system = sys.run();
+  result.y = sparse::DenseVector(a.rows());
+  sys.main_mem().store().read_doubles(main.y, result.y.data(), a.rows());
+  return result;
+}
+
+}  // namespace issr::system

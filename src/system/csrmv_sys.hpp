@@ -1,0 +1,57 @@
+// Cross-cluster CsrMV (y = A*x) on the hierarchical system model: rows
+// are sharded across clusters by a static cost-balanced partition (each
+// shard gets an equal slice of nnz-plus-row-overhead work, the same
+// balance heuristic the sweep scheduler uses), and every cluster runs the
+// paper's double-buffered tile scheme (cluster/csrmv_shard.hpp) over its
+// shard against the shared, bandwidth-limited main memory. Each cluster
+// loads the full dense vector x into its TCDM — the row-sharded
+// distribution replicates x, trading main-memory read amplification for
+// zero inter-cluster communication during compute. Completion
+// synchronizes on the inter-cluster barrier (system/barrier.hpp), so the
+// reported cycle count includes the release latency a real system would
+// pay before the result could be consumed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/csrmv_mc.hpp"
+#include "sparse/csr.hpp"
+#include "sparse/dense.hpp"
+#include "system/system.hpp"
+
+namespace issr::system {
+
+struct SysCsrmvConfig {
+  kernels::Variant variant = kernels::Variant::kIssr;
+  sparse::IndexWidth width = sparse::IndexWidth::kU16;
+  SystemConfig system;
+  /// Upper bound on rows per tile within each cluster's shard.
+  std::uint32_t max_tile_rows = 2048;
+  /// When non-null, the run records cycle-resolved telemetry here
+  /// (System::attach_trace); simulated behaviour is unaffected.
+  trace::TraceSink* trace_sink = nullptr;
+};
+
+/// Static cost-balanced row partition: `n + 1` monotonic boundaries with
+/// shard c = [out[c], out[c+1]). The per-row cost model is
+/// nnz + kRowCostOverhead (streaming work plus per-row loop overhead);
+/// shards of a matrix with fewer rows than clusters come back empty.
+std::vector<std::uint32_t> partition_rows_balanced(const sparse::CsrMatrix& a,
+                                                   unsigned n);
+
+struct SysCsrmvResult {
+  SystemResult system;
+  sparse::DenseVector y;
+  /// Shard boundaries (partition_rows_balanced output).
+  std::vector<std::uint32_t> shard_begin;
+  /// Per-cluster tile plans (tiles empty for an empty shard).
+  std::vector<cluster::McTilePlan> plans;
+};
+
+/// Run y = A*x on the simulated multi-cluster system.
+SysCsrmvResult run_csrmv_system(const sparse::CsrMatrix& a,
+                                const sparse::DenseVector& x,
+                                const SysCsrmvConfig& cfg);
+
+}  // namespace issr::system

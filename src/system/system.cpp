@@ -1,0 +1,95 @@
+#include "system/system.hpp"
+
+#include <cassert>
+
+#include "core/engine.hpp"
+
+namespace issr::system {
+
+System::System(const SystemConfig& config,
+               std::vector<std::vector<isa::Program>> programs_per_cluster)
+    : config_(config),
+      barrier_(config.num_clusters, config.barrier_latency) {
+  assert(config_.num_clusters >= 1);
+  assert(programs_per_cluster.size() == config_.num_clusters);
+  main_.set_beats_per_cycle(config_.mem_beats_per_cycle);
+  if (config_.arena != nullptr) main_.store().set_arena(config_.arena);
+  for (unsigned c = 0; c < config_.num_clusters; ++c) {
+    ClusterConfig cc = config_.cluster;
+    cc.shared_main = &main_;
+    cc.arena = config_.arena;
+    // The System's engine owns fast-forward; a cluster's own run() is
+    // never invoked, so its flag is irrelevant, but keep them coherent.
+    cc.fast_forward = config_.fast_forward;
+    clusters_.push_back(
+        std::make_unique<Cluster>(cc, std::move(programs_per_cluster[c])));
+  }
+}
+
+void System::attach_trace(trace::TraceSink& sink) {
+  for (unsigned c = 0; c < num_clusters(); ++c) {
+    clusters_[c]->attach_trace(sink, "c" + std::to_string(c) + ".");
+  }
+  barrier_.tracer().attach(sink, sink.add_track("system", "barrier"));
+}
+
+SystemResult System::run(cycle_t max_cycles) {
+  // Lockstep engine over every cluster. The rotating tick order decides
+  // which cluster's DMA claims the shared memory's beat budget first in
+  // a contended cycle — a deterministic function of the cycle number, so
+  // no cluster is statically favored and runs stay reproducible.
+  struct Units {
+    System& s;
+    void tick(cycle_t now) {
+      s.main_.begin_cycle();
+      const unsigned n = s.num_clusters();
+      const unsigned start = static_cast<unsigned>(now % n);
+      for (unsigned k = 0; k < n; ++k) {
+        s.clusters_[(start + k) % n]->tick(now);
+      }
+    }
+    bool done(cycle_t now) const {
+      for (const auto& c : s.clusters_) {
+        if (!c->done(now)) return false;
+      }
+      return true;
+    }
+    cycle_t next_event(cycle_t now) const {
+      cycle_t horizon = kCycleNever;
+      for (const auto& c : s.clusters_) {
+        const cycle_t ce = c->next_event(now);
+        if (ce < horizon) horizon = ce;
+        if (horizon <= now) break;
+      }
+      return horizon;
+    }
+    void visit_counters(const core::CounterVisitor& f) {
+      for (auto& c : s.clusters_) c->visit_wait_counters(f);
+    }
+    void after_replay() {
+      for (auto& c : s.clusters_) c->resync_account();
+    }
+  };
+  cycle_t skipped = 0;
+  const cycle_t now = core::run_engine(Units{*this}, max_cycles,
+                                       config_.fast_forward, skipped);
+  const bool aborted = now >= max_cycles && !Units{*this}.done(now);
+
+  SystemResult result;
+  result.cycles = now;
+  result.ff_skipped = skipped;
+  result.aborted = aborted;
+  // The run is over (or truncated): lift the beat budget so each
+  // cluster's harvest drain can flush pending stores unthrottled, then
+  // restore it — a System must stay configured as built.
+  main_.set_beats_per_cycle(0);
+  for (auto& c : clusters_) {
+    result.clusters.push_back(c->harvest(now, skipped, aborted));
+  }
+  main_.set_beats_per_cycle(config_.mem_beats_per_cycle);
+  result.main_mem_read = main_.bytes_read();
+  result.main_mem_written = main_.bytes_written();
+  return result;
+}
+
+}  // namespace issr::system

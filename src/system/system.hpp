@@ -1,0 +1,132 @@
+// Hierarchical multi-cluster system model: N Snitch clusters — each with
+// its own TCDM, DMA engine, workers, and HW barrier — around one shared,
+// bandwidth-limited main memory, plus an inter-cluster barrier with a
+// configurable release-latency model. This is the scale-out axis above
+// cluster/cluster.hpp: the paper evaluates ISSR inside a single eight-core
+// cluster; the System model asks what its kernels do when several such
+// clusters contend for one memory system.
+//
+// Simulation runs all clusters in lockstep system cycles through the same
+// fast-forward engine as the single-cluster path: a cycle ticks the shared
+// memory's beat budget, then every cluster (in a rotating order, so no
+// cluster is statically prioritized at the bandwidth arbiter), and idle
+// stretches are skipped only when every cluster is provably idle — so an
+// N-cluster run of per-cluster-idle workloads stays fast.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "common/arena.hpp"
+#include "mem/main_mem.hpp"
+#include "system/barrier.hpp"
+
+namespace issr::system {
+
+using cluster::Cluster;
+using cluster::ClusterConfig;
+using cluster::ClusterResult;
+
+struct SystemConfig {
+  unsigned num_clusters = 1;
+  /// Per-cluster template (worker count, TCDM, CC parameters). Its
+  /// arena/shared_main members are overridden per cluster by the System.
+  ClusterConfig cluster;
+  /// Aggregate main-memory beats (64 B) per direction per cycle across
+  /// all clusters' DMA engines; 0 = unlimited. The default of 2 makes a
+  /// 1- or 2-cluster system contention-free (each duplex DMA moves at
+  /// most one beat per direction) and main-memory bandwidth the shared
+  /// bottleneck beyond that — the scaling knee the model exists to show.
+  unsigned mem_beats_per_cycle = 2;
+  /// Inter-cluster barrier release latency in cycles (see barrier.hpp).
+  cycle_t barrier_latency = 32;
+  /// Skip provably idle cycle stretches (exact; see core/engine.hpp).
+  bool fast_forward = core::engine_fast_forward_default();
+  /// When non-null, backs the shared main memory and every cluster's
+  /// TCDM pages (observational only; common/arena.hpp).
+  Arena* arena = nullptr;
+};
+
+/// Per-run system statistics: the per-cluster results (each covering the
+/// full system cycle count — clusters run in lockstep) plus aggregates.
+/// Note main_mem_read/_written in each ClusterResult alias the *shared*
+/// memory's totals; use the SystemResult fields for system-wide traffic.
+struct SystemResult {
+  cycle_t cycles = 0;
+  cycle_t ff_skipped = 0;
+  bool aborted = false;
+  std::vector<ClusterResult> clusters;
+  std::uint64_t main_mem_read = 0;
+  std::uint64_t main_mem_written = 0;
+
+  /// Attribution denominator: cycles x total worker count.
+  std::uint64_t core_cycles() const {
+    std::uint64_t workers = 0;
+    for (const auto& c : clusters) workers += c.stalls.size();
+    return cycles * workers;
+  }
+
+  /// System-wide attribution: sums to core_cycles().
+  trace::StallBuckets total_stalls() const {
+    trace::StallBuckets t;
+    for (const auto& c : clusters) t += c.total_stalls();
+    return t;
+  }
+
+  /// Aggregate FPU utilization over every worker FPU in the system.
+  double fpu_util() const {
+    if (cycles == 0) return 0.0;
+    std::uint64_t compute = 0, fpus = 0;
+    for (const auto& c : clusters) {
+      for (const auto& f : c.fpss) compute += f.fp_compute;
+      fpus += c.fpss.size();
+    }
+    if (fpus == 0) return 0.0;
+    return static_cast<double>(compute) /
+           (static_cast<double>(cycles) * static_cast<double>(fpus));
+  }
+
+  std::uint64_t total_macs() const {
+    std::uint64_t n = 0;
+    for (const auto& c : clusters) n += c.total_macs();
+    return n;
+  }
+};
+
+class System {
+ public:
+  /// `programs_per_cluster` must hold `num_clusters` entries of
+  /// `cluster.num_workers` worker programs each.
+  System(const SystemConfig& config,
+         std::vector<std::vector<isa::Program>> programs_per_cluster);
+
+  unsigned num_clusters() const {
+    return static_cast<unsigned>(clusters_.size());
+  }
+  Cluster& cluster(unsigned i) { return *clusters_.at(i); }
+  mem::MainMemory& main_mem() { return main_; }
+  SysBarrier& barrier() { return barrier_; }
+
+  /// Install cluster `i`'s DMCC controller (cluster/cluster.hpp).
+  void set_controller(unsigned i, Cluster::Controller c) {
+    clusters_.at(i)->set_controller(std::move(c));
+  }
+
+  /// Attach cycle-resolved tracing: every cluster's tracks under a
+  /// "c<k>." prefix plus the inter-cluster barrier's release track.
+  void attach_trace(trace::TraceSink& sink);
+
+  /// Run to completion (all clusters done). If `max_cycles` elapse
+  /// first, the result comes back with `aborted` set.
+  SystemResult run(cycle_t max_cycles = 2'000'000'000);
+
+ private:
+  SystemConfig config_;
+  mem::MainMemory main_;
+  SysBarrier barrier_;
+  std::vector<std::unique_ptr<Cluster>> clusters_;
+};
+
+}  // namespace issr::system

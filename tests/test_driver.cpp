@@ -323,13 +323,15 @@ std::vector<ScenarioResult> fake_results() {
 
 TEST(Report, JsonContainsSchemaAndFields) {
   const auto json = results_to_json(fake_results());
-  EXPECT_NE(json.find("\"schema\": \"issr_run.results.v2\""),
+  EXPECT_NE(json.find("\"schema\": \"issr_run.results.v3\""),
             std::string::npos);
   EXPECT_NE(json.find("\"kernel\": \"csrmv\""), std::string::npos);
   EXPECT_NE(json.find("\"variant\": \"issr\""), std::string::npos);
   EXPECT_NE(json.find("\"index_bits\": 16"), std::string::npos);
   EXPECT_NE(json.find("\"density\": 0.125"), std::string::npos);
   EXPECT_NE(json.find("\"cores\": 8"), std::string::npos);
+  // v3 multi-cluster axis column.
+  EXPECT_NE(json.find("\"clusters\": 1"), std::string::npos);
   // Seeds exceed 2^53 in general, so both emitters carry them as hex
   // strings that no double parser or CSV type inference can round.
   EXPECT_NE(json.find("\"seed\": \"0x0000000000003039\""), std::string::npos);
@@ -358,7 +360,7 @@ TEST(Report, CsvHasHeaderAndOneRowPerResult) {
   const auto csv = results_to_csv(fake_results());
   EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 2);
   EXPECT_EQ(csv.find("kernel,variant,index_bits,family,"), 0u);
-  EXPECT_NE(csv.find("csrmv,issr,16,uniform,0.125,10,20,8,"
+  EXPECT_NE(csv.find("csrmv,issr,16,uniform,0.125,10,20,8,1,"
                      "0x0000000000003039,30,true,400"),
             std::string::npos);
   // Header and row have equal column counts.

@@ -1,0 +1,496 @@
+// Multi-cluster system tests: the inter-cluster barrier's release
+// ordering and latency, the cost-balanced row partition, golden-reference
+// equality of the cross-cluster CsrMV/CsrMM kernels for every generator
+// family at 1/2/4/8 clusters, fast-forward on/off identity, shared-memory
+// bandwidth contention, and the driver integration (clusters axis: result
+// files bytewise identical across --jobs, dry-run cost column matching
+// the scheduler's estimate).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.hpp"
+#include "driver/report.hpp"
+#include "driver/runner.hpp"
+#include "driver/scenario.hpp"
+#include "driver/sweep.hpp"
+#include "sparse/generate.hpp"
+#include "sparse/reference.hpp"
+#include "system/barrier.hpp"
+#include "system/csrmm_sys.hpp"
+#include "system/csrmv_sys.hpp"
+
+namespace issr::system {
+namespace {
+
+using kernels::Variant;
+using sparse::IndexWidth;
+
+// --- Inter-cluster barrier -------------------------------------------------
+
+TEST(SysBarrier, ReleasesOnlyAfterAllArriveAndLatencyElapses) {
+  SysBarrier b(3, 10);
+  b.arrive(0, 100);
+  b.arrive(1, 104);
+  EXPECT_FALSE(b.released(0, 105));  // cluster 2 still missing
+  EXPECT_FALSE(b.released(1, 1000));
+  b.arrive(2, 108);  // completes the generation; release at 118
+  EXPECT_EQ(b.generation(), 1u);
+  EXPECT_FALSE(b.released(0, 117));
+  EXPECT_TRUE(b.released(0, 118));
+  EXPECT_TRUE(b.released(1, 118));
+  EXPECT_TRUE(b.released(2, 200));
+}
+
+TEST(SysBarrier, ZeroLatencyReleasesAtLastArrival) {
+  SysBarrier b(2, 0);
+  b.arrive(0, 5);
+  b.arrive(1, 9);
+  EXPECT_TRUE(b.released(0, 9));
+  EXPECT_TRUE(b.released(1, 9));
+}
+
+TEST(SysBarrier, ReusableAcrossGenerations) {
+  SysBarrier b(2, 4);
+  cycle_t t = 0;
+  for (int gen = 1; gen <= 5; ++gen) {
+    b.arrive(0, t);
+    b.arrive(1, t + 1);
+    EXPECT_FALSE(b.released(0, t + 4));
+    EXPECT_TRUE(b.released(0, t + 5));
+    EXPECT_TRUE(b.released(1, t + 5));
+    EXPECT_EQ(b.generation(), static_cast<std::uint64_t>(gen));
+    t += 10;
+  }
+}
+
+TEST(SysBarrier, ArriveIsIdempotentWhileWaiting) {
+  SysBarrier b(2, 0);
+  b.arrive(0, 1);
+  b.arrive(0, 2);  // re-arrival of the same waiter must not release
+  EXPECT_EQ(b.generation(), 0u);
+  b.arrive(1, 3);
+  EXPECT_EQ(b.generation(), 1u);
+}
+
+// --- Cost-balanced row partition -------------------------------------------
+
+TEST(Partition, CoversAllRowsMonotonically) {
+  Rng rng(2000);
+  const auto a = sparse::random_fixed_row_nnz_matrix(rng, 500, 256, 20);
+  for (const unsigned n : {1u, 2u, 4u, 8u, 13u}) {
+    const auto cut = partition_rows_balanced(a, n);
+    ASSERT_EQ(cut.size(), n + 1);
+    EXPECT_EQ(cut.front(), 0u);
+    EXPECT_EQ(cut.back(), a.rows());
+    for (unsigned c = 0; c < n; ++c) EXPECT_LE(cut[c], cut[c + 1]);
+  }
+}
+
+TEST(Partition, BalancesNnzAcrossShards) {
+  // Skewed row lengths: the nnz-aware partition must still produce
+  // shards within ~2x of the mean cost (a row-count split would not).
+  Rng rng(2001);
+  const auto a = sparse::powerlaw_matrix(rng, 512, 512, 24.0, 1.2);
+  const unsigned n = 4;
+  const auto cut = partition_rows_balanced(a, n);
+  const double mean = static_cast<double>(a.nnz()) / n;
+  for (unsigned c = 0; c < n; ++c) {
+    const std::uint64_t shard_nnz = a.ptr()[cut[c + 1]] - a.ptr()[cut[c]];
+    EXPECT_LT(static_cast<double>(shard_nnz), 2.0 * mean + 64.0) << "shard " << c;
+  }
+}
+
+TEST(Partition, MoreClustersThanRowsLeavesTrailingShardsEmpty) {
+  Rng rng(2002);
+  const auto a = sparse::random_fixed_row_nnz_matrix(rng, 3, 64, 8);
+  const auto cut = partition_rows_balanced(a, 8);
+  EXPECT_EQ(cut.front(), 0u);
+  EXPECT_EQ(cut.back(), 3u);
+}
+
+// --- Cross-cluster CsrMV ---------------------------------------------------
+
+struct SysCase {
+  sparse::MatrixFamily family;
+  unsigned clusters;
+};
+
+class SystemCsrmv : public ::testing::TestWithParam<SysCase> {};
+
+TEST_P(SystemCsrmv, MatchesReferenceAllFamiliesAllClusterCounts) {
+  const auto [family, clusters] = GetParam();
+  Rng rng(2100);
+  const auto a = sparse::generate_matrix(rng, family, 256, 192, 14);
+  const auto x = sparse::random_dense_vector(rng, a.cols());
+  SysCsrmvConfig cfg;
+  cfg.variant = Variant::kIssr;
+  cfg.width = IndexWidth::kU16;
+  cfg.system.num_clusters = clusters;
+  const auto r = run_csrmv_system(a, x, cfg);
+  ASSERT_FALSE(r.system.aborted);
+  EXPECT_EQ(r.system.clusters.size(), clusters);
+  EXPECT_TRUE(sparse::allclose(r.y, sparse::ref_csrmv(a, x), 1e-9, 1e-9));
+  // Exactly one completion barrier generation.
+  EXPECT_GT(r.system.cycles, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FamiliesByClusters, SystemCsrmv,
+    ::testing::Values(SysCase{sparse::MatrixFamily::kUniform, 1},
+                      SysCase{sparse::MatrixFamily::kUniform, 2},
+                      SysCase{sparse::MatrixFamily::kUniform, 4},
+                      SysCase{sparse::MatrixFamily::kUniform, 8},
+                      SysCase{sparse::MatrixFamily::kBanded, 1},
+                      SysCase{sparse::MatrixFamily::kBanded, 2},
+                      SysCase{sparse::MatrixFamily::kBanded, 4},
+                      SysCase{sparse::MatrixFamily::kBanded, 8},
+                      SysCase{sparse::MatrixFamily::kPowerLaw, 1},
+                      SysCase{sparse::MatrixFamily::kPowerLaw, 2},
+                      SysCase{sparse::MatrixFamily::kPowerLaw, 4},
+                      SysCase{sparse::MatrixFamily::kPowerLaw, 8},
+                      SysCase{sparse::MatrixFamily::kTorus, 1},
+                      SysCase{sparse::MatrixFamily::kTorus, 2},
+                      SysCase{sparse::MatrixFamily::kTorus, 4},
+                      SysCase{sparse::MatrixFamily::kTorus, 8}),
+    [](const auto& info) {
+      std::string name = sparse::to_string(info.param.family);
+      name += "_x" + std::to_string(info.param.clusters);
+      return name;
+    });
+
+TEST(SystemCsrmv, AllVariantsAndWidthsMatchReference) {
+  Rng rng(2101);
+  const auto a = sparse::random_fixed_row_nnz_matrix(rng, 128, 160, 12);
+  const auto x = sparse::random_dense_vector(rng, a.cols());
+  const auto want = sparse::ref_csrmv(a, x);
+  for (const Variant v : {Variant::kBase, Variant::kSsr, Variant::kIssr}) {
+    for (const IndexWidth w : {IndexWidth::kU16, IndexWidth::kU32}) {
+      SysCsrmvConfig cfg;
+      cfg.variant = v;
+      cfg.width = w;
+      cfg.system.num_clusters = 2;
+      const auto r = run_csrmv_system(a, x, cfg);
+      EXPECT_TRUE(sparse::allclose(r.y, want, 1e-9, 1e-9))
+          << kernels::to_string(v);
+    }
+  }
+}
+
+TEST(SystemCsrmv, OneClusterMatchesNClusterResults) {
+  // N-cluster vs 1-cluster equality: the simulated y vectors must agree
+  // exactly (identical FP operation order within each row).
+  Rng rng(2102);
+  const auto a = sparse::random_fixed_row_nnz_matrix(rng, 200, 128, 16);
+  const auto x = sparse::random_dense_vector(rng, a.cols());
+  SysCsrmvConfig cfg;
+  cfg.system.num_clusters = 1;
+  const auto r1 = run_csrmv_system(a, x, cfg);
+  for (const unsigned n : {2u, 4u, 8u}) {
+    cfg.system.num_clusters = n;
+    const auto rn = run_csrmv_system(a, x, cfg);
+    ASSERT_EQ(rn.y.size(), r1.y.size());
+    for (std::size_t i = 0; i < r1.y.size(); ++i) {
+      EXPECT_EQ(rn.y[i], r1.y[i]) << "row " << i << " at " << n << " clusters";
+    }
+  }
+}
+
+TEST(SystemCsrmv, FewerRowsThanClustersStillCorrect) {
+  Rng rng(2103);
+  const auto a = sparse::random_fixed_row_nnz_matrix(rng, 3, 64, 8);
+  const auto x = sparse::random_dense_vector(rng, a.cols());
+  SysCsrmvConfig cfg;
+  cfg.system.num_clusters = 8;
+  const auto r = run_csrmv_system(a, x, cfg);
+  EXPECT_TRUE(sparse::allclose(r.y, sparse::ref_csrmv(a, x), 1e-9, 1e-9));
+}
+
+TEST(SystemCsrmv, FastForwardIdentity) {
+  Rng rng(2104);
+  const auto a = sparse::random_fixed_row_nnz_matrix(rng, 192, 160, 10);
+  const auto x = sparse::random_dense_vector(rng, a.cols());
+  SysCsrmvConfig cfg;
+  cfg.system.num_clusters = 4;
+  cfg.system.fast_forward = true;
+  const auto ff = run_csrmv_system(a, x, cfg);
+  cfg.system.fast_forward = false;
+  const auto ref = run_csrmv_system(a, x, cfg);
+  EXPECT_EQ(ff.system.cycles, ref.system.cycles);
+  EXPECT_EQ(ref.system.ff_skipped, 0u);
+  for (std::size_t i = 0; i < ref.y.size(); ++i) EXPECT_EQ(ff.y[i], ref.y[i]);
+  for (unsigned c = 0; c < 4; ++c) {
+    EXPECT_EQ(ff.system.clusters[c].total_stalls(),
+              ref.system.clusters[c].total_stalls());
+  }
+}
+
+TEST(SystemCsrmv, CyclesScaleDownWithClusterCount) {
+  Rng rng(2105);
+  const auto a = sparse::random_fixed_row_nnz_matrix(rng, 512, 256, 48);
+  const auto x = sparse::random_dense_vector(rng, a.cols());
+  cycle_t prev = 0;
+  for (const unsigned n : {1u, 2u, 4u}) {
+    SysCsrmvConfig cfg;
+    cfg.system.num_clusters = n;
+    const auto r = run_csrmv_system(a, x, cfg);
+    EXPECT_TRUE(sparse::allclose(r.y, sparse::ref_csrmv(a, x), 1e-9, 1e-9));
+    if (prev != 0) {
+      EXPECT_LT(r.system.cycles, prev) << n << " clusters";
+    }
+    prev = r.system.cycles;
+  }
+}
+
+TEST(SystemCsrmv, SharedBandwidthThrottlesEightClusters) {
+  // With the aggregate budget pinned to one beat per direction per
+  // cycle, eight clusters' DMA engines contend hard; unlimited bandwidth
+  // must be strictly faster. (Both still validate.)
+  Rng rng(2106);
+  const auto a = sparse::random_fixed_row_nnz_matrix(rng, 512, 192, 24);
+  const auto x = sparse::random_dense_vector(rng, a.cols());
+  SysCsrmvConfig cfg;
+  cfg.system.num_clusters = 8;
+  cfg.system.mem_beats_per_cycle = 1;
+  const auto throttled = run_csrmv_system(a, x, cfg);
+  cfg.system.mem_beats_per_cycle = 0;  // unlimited
+  const auto open = run_csrmv_system(a, x, cfg);
+  EXPECT_TRUE(sparse::allclose(throttled.y, sparse::ref_csrmv(a, x), 1e-9, 1e-9));
+  EXPECT_TRUE(sparse::allclose(open.y, sparse::ref_csrmv(a, x), 1e-9, 1e-9));
+  EXPECT_GT(throttled.system.cycles, open.system.cycles);
+}
+
+TEST(SystemCsrmv, StallBucketsDecomposeSystemCoreCycles) {
+  Rng rng(2107);
+  const auto a = sparse::random_fixed_row_nnz_matrix(rng, 128, 128, 12);
+  const auto x = sparse::random_dense_vector(rng, a.cols());
+  SysCsrmvConfig cfg;
+  cfg.system.num_clusters = 2;
+  const auto r = run_csrmv_system(a, x, cfg);
+  EXPECT_EQ(r.system.total_stalls().total(), r.system.core_cycles());
+  const unsigned workers = cfg.system.cluster.num_workers;
+  EXPECT_EQ(r.system.core_cycles(),
+            r.system.cycles * 2ull * workers);
+}
+
+TEST(SystemCsrmv, BarrierLatencyExtendsTheRun) {
+  Rng rng(2108);
+  const auto a = sparse::random_fixed_row_nnz_matrix(rng, 96, 96, 8);
+  const auto x = sparse::random_dense_vector(rng, a.cols());
+  SysCsrmvConfig fast;
+  fast.system.num_clusters = 2;
+  fast.system.barrier_latency = 0;
+  SysCsrmvConfig slow = fast;
+  slow.system.barrier_latency = 500;
+  const auto rf = run_csrmv_system(a, x, fast);
+  const auto rs = run_csrmv_system(a, x, slow);
+  // The zero-latency release is still observed one poll cycle after the
+  // last arrival, so the extra latency shows up as latency - 1 cycles.
+  EXPECT_GE(rs.system.cycles, rf.system.cycles + 499);
+}
+
+// --- Cross-cluster CsrMM ---------------------------------------------------
+
+class SystemCsrmm : public ::testing::TestWithParam<SysCase> {};
+
+TEST_P(SystemCsrmm, MatchesReferenceAllFamiliesAllClusterCounts) {
+  const auto [family, clusters] = GetParam();
+  Rng rng(2200);
+  const auto a = sparse::generate_matrix(rng, family, 96, 128, 10);
+  const auto b = sparse::random_dense_matrix(rng, a.cols(), 10);
+  SysCsrmmConfig cfg;
+  cfg.system.num_clusters = clusters;
+  cfg.col_block = 4;  // 10 columns -> 3 phases, last one partial
+  const auto r = run_csrmm_system(a, b, cfg);
+  ASSERT_FALSE(r.system.aborted);
+  EXPECT_TRUE(sparse::allclose(r.y, sparse::ref_csrmm(a, b), 1e-9, 1e-9));
+  EXPECT_EQ(r.plans.front().num_phases, 3u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FamiliesByClusters, SystemCsrmm,
+    ::testing::Values(SysCase{sparse::MatrixFamily::kUniform, 1},
+                      SysCase{sparse::MatrixFamily::kUniform, 2},
+                      SysCase{sparse::MatrixFamily::kUniform, 4},
+                      SysCase{sparse::MatrixFamily::kUniform, 8},
+                      SysCase{sparse::MatrixFamily::kBanded, 2},
+                      SysCase{sparse::MatrixFamily::kPowerLaw, 4},
+                      SysCase{sparse::MatrixFamily::kTorus, 2}),
+    [](const auto& info) {
+      std::string name = sparse::to_string(info.param.family);
+      name += "_x" + std::to_string(info.param.clusters);
+      return name;
+    });
+
+TEST(SystemCsrmm, AllVariantsMatchReference) {
+  Rng rng(2201);
+  const auto a = sparse::random_fixed_row_nnz_matrix(rng, 64, 96, 9);
+  const auto b = sparse::random_dense_matrix(rng, a.cols(), 6);
+  const auto want = sparse::ref_csrmm(a, b);
+  for (const Variant v : {Variant::kBase, Variant::kSsr, Variant::kIssr}) {
+    for (const IndexWidth w : {IndexWidth::kU16, IndexWidth::kU32}) {
+      SysCsrmmConfig cfg;
+      cfg.variant = v;
+      cfg.width = w;
+      cfg.system.num_clusters = 2;
+      const auto r = run_csrmm_system(a, b, cfg);
+      EXPECT_TRUE(sparse::allclose(r.y, want, 1e-9, 1e-9))
+          << kernels::to_string(v);
+    }
+  }
+}
+
+TEST(SystemCsrmm, PhaseBarrierGenerationsMatchPlan) {
+  // One inter-cluster barrier generation per column phase: the release
+  // count is the direct observable of the phase synchronization.
+  Rng rng(2202);
+  const auto a = sparse::random_fixed_row_nnz_matrix(rng, 80, 64, 8);
+  const auto b = sparse::random_dense_matrix(rng, a.cols(), 16);
+  SysCsrmmConfig cfg;
+  cfg.system.num_clusters = 4;
+  cfg.col_block = 4;  // 4 phases
+  const auto r = run_csrmm_system(a, b, cfg);
+  EXPECT_EQ(r.plans.front().num_phases, 4u);
+  EXPECT_TRUE(sparse::allclose(r.y, sparse::ref_csrmm(a, b), 1e-9, 1e-9));
+}
+
+TEST(SystemCsrmm, NonPow2LeadingDimensionAndSingleColumn) {
+  Rng rng(2203);
+  const auto a = sparse::random_fixed_row_nnz_matrix(rng, 40, 48, 6);
+  const auto b = sparse::random_dense_matrix(rng, a.cols(), 3, /*ld=*/5);
+  SysCsrmmConfig cfg;
+  cfg.system.num_clusters = 2;  // auto col_block = 2 -> 2 phases
+  const auto r = run_csrmm_system(a, b, cfg);
+  EXPECT_TRUE(sparse::allclose(r.y, sparse::ref_csrmm(a, b), 1e-9, 1e-9));
+
+  const auto b1 = sparse::random_dense_matrix(rng, a.cols(), 1);
+  const auto r1 = run_csrmm_system(a, b1, cfg);
+  EXPECT_TRUE(sparse::allclose(r1.y, sparse::ref_csrmm(a, b1), 1e-9, 1e-9));
+}
+
+TEST(SystemCsrmm, FastForwardIdentity) {
+  Rng rng(2204);
+  const auto a = sparse::random_fixed_row_nnz_matrix(rng, 72, 64, 8);
+  const auto b = sparse::random_dense_matrix(rng, a.cols(), 8);
+  SysCsrmmConfig cfg;
+  cfg.system.num_clusters = 2;
+  cfg.system.fast_forward = true;
+  const auto ff = run_csrmm_system(a, b, cfg);
+  cfg.system.fast_forward = false;
+  const auto ref = run_csrmm_system(a, b, cfg);
+  EXPECT_EQ(ff.system.cycles, ref.system.cycles);
+  EXPECT_TRUE(sparse::allclose(ff.y, ref.y, 0.0, 0.0));
+}
+
+// --- Driver integration: the clusters axis ---------------------------------
+
+TEST(DriverClusters, ExpansionCrossesClustersAndPinsSpvv) {
+  driver::ScenarioMatrix m;
+  m.kernels = {driver::Kernel::kSpvv, driver::Kernel::kCsrmv};
+  m.variants = {Variant::kIssr};
+  m.widths = {IndexWidth::kU16};
+  m.cores = {8};
+  m.clusters = {1, 4};
+  const auto scenarios = m.expand();
+  // SpVV: cores>1 skipped entirely. CsrMV: one scenario per cluster count.
+  ASSERT_EQ(scenarios.size(), 2u);
+  EXPECT_EQ(scenarios[0].clusters, 1u);
+  EXPECT_EQ(scenarios[1].clusters, 4u);
+  // The workload seed ignores the clusters axis (same operands for the
+  // whole comparison group).
+  EXPECT_EQ(scenarios[0].seed, scenarios[1].seed);
+  // The name carries the axis only when it is not the default.
+  EXPECT_EQ(scenarios[0].name().find("/x"), std::string::npos);
+  EXPECT_NE(scenarios[1].name().find("/x4"), std::string::npos);
+}
+
+TEST(DriverClusters, RunScenarioValidatesMultiClusterAgainstReference) {
+  driver::Scenario s;
+  s.kernel = driver::Kernel::kCsrmv;
+  s.variant = Variant::kIssr;
+  s.width = IndexWidth::kU16;
+  s.rows = 96;
+  s.cols = 96;
+  s.density = 0.1;
+  s.cores = 4;
+  s.clusters = 2;
+  s.seed = driver::derive_seed(7, s.kernel, s.family, s.density, s.rows,
+                               s.cols);
+  const auto r = driver::run_scenario(s);
+  EXPECT_TRUE(r.ok);
+  EXPECT_EQ(r.scenario.clusters, 2u);
+  // core_cycles spans every worker in every cluster, and the stall
+  // buckets decompose it exactly.
+  EXPECT_EQ(r.core_cycles, r.cycles * 8ull);
+  EXPECT_EQ(r.stalls.total(), r.core_cycles);
+}
+
+TEST(DriverClusters, MultiClusterSweepBytewiseIdenticalAcrossJobs) {
+  driver::ScenarioMatrix m;
+  m.variants = {Variant::kBase, Variant::kIssr};
+  m.widths = {IndexWidth::kU16};
+  m.cores = {2};
+  m.clusters = {1, 2, 4};
+  m.rows = 64;
+  m.cols = 64;
+  const auto scenarios = m.expand();
+  ASSERT_EQ(scenarios.size(), 6u);
+  const auto serial = driver::run_scenarios(scenarios, 1);
+  const auto parallel = driver::run_scenarios(scenarios, 3);
+  for (const auto& r : serial) EXPECT_TRUE(r.ok) << r.scenario.name();
+  EXPECT_EQ(driver::results_to_json(serial), driver::results_to_json(parallel));
+  EXPECT_EQ(driver::results_to_csv(serial), driver::results_to_csv(parallel));
+}
+
+TEST(DriverClusters, EstimatedCostGrowsWithClusterCount) {
+  driver::Scenario s;
+  s.kernel = driver::Kernel::kCsrmv;
+  s.rows = 192;
+  s.cols = 256;
+  s.cores = 8;
+  s.clusters = 1;
+  const double c1 = driver::estimated_cost(s);
+  s.clusters = 4;
+  const double c4 = driver::estimated_cost(s);
+  s.clusters = 8;
+  const double c8 = driver::estimated_cost(s);
+  EXPECT_GT(c4, c1);
+  EXPECT_GT(c8, c4);
+}
+
+TEST(DriverClusters, DryRunCostColumnMatchesSchedulerEstimate) {
+  // Regression: the --dry-run listing must print, for every scenario —
+  // multi-cluster ones included — exactly the cost the sweep scheduler
+  // dispatches by, and its total must cover cluster-ness multiplicity
+  // at any rep count (it once did not when reps > 1).
+  driver::ScenarioMatrix m;
+  m.variants = {Variant::kIssr};
+  m.widths = {IndexWidth::kU16};
+  m.cores = {8};
+  m.clusters = {1, 4, 8};
+  const auto scenarios = m.expand();
+  ASSERT_EQ(scenarios.size(), 3u);
+  const unsigned reps = 3;
+  const std::string text = driver::list_scenarios_text(scenarios, reps);
+
+  double total = 0.0;
+  for (const auto& s : scenarios) {
+    const double cost = driver::estimated_cost(s);
+    total += cost;
+    char want[256];
+    std::snprintf(want, sizeof want,
+                  "%s  rows=%u cols=%u target_nnz/row=%u "
+                  "seed=0x%016llx cost=%.0f\n",
+                  s.name().c_str(), s.rows, s.cols, s.row_nnz(),
+                  static_cast<unsigned long long>(s.seed), cost);
+    EXPECT_NE(text.find(want), std::string::npos)
+        << s.name() << " must list the scheduler's cost:\n" << want;
+  }
+  char want[160];
+  std::snprintf(want, sizeof want, "total estimated cost %.0f", total * reps);
+  EXPECT_NE(text.find(want), std::string::npos)
+      << "total must be sum(cost) x reps: " << want;
+}
+
+}  // namespace
+}  // namespace issr::system
