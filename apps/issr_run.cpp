@@ -45,6 +45,16 @@ Scenario matrix axes (comma-separated lists):
                      workers each around a shared bandwidth-limited
                      main memory)                         [1]
 
+Multi-cluster system settings (timing-only; stamped on every scenario,
+only clusters > 1 runs consult them):
+  --noc-links N      per-cluster interconnect link budget in
+                     beats/cycle, 0 = unlimited           [1]
+  --noc-latency N    one-way interconnect link latency    [4]
+  --sys-steal MODE   dynamic inter-cluster work stealing over a
+                     fine-grained global tile plan: on, off [on]
+                     (simulated y is bitwise identical either way;
+                     only cycle counts move)
+
 Workload shape:
   --rows N           matrix rows (csrmv; ignored by spvv) [192]
   --cols N           matrix cols / spvv vector length     [256]
@@ -163,6 +173,28 @@ int main(int argc, char** argv) {
                         c = static_cast<unsigned>(n);
                         return true;
                       });
+  });
+  parser.add_value("--noc-links", [&](const std::string& v) {
+    std::uint64_t n = 0;
+    if (!cli::parse_u64(v, n, 1024)) return false;  // 0 = unlimited
+    matrix.noc_links = static_cast<unsigned>(n);
+    return true;
+  });
+  parser.add_value("--noc-latency", [&](const std::string& v) {
+    std::uint64_t n = 0;
+    if (!cli::parse_u64(v, n, 1u << 20)) return false;
+    matrix.noc_latency = static_cast<unsigned>(n);
+    return true;
+  });
+  parser.add_value("--sys-steal", [&](const std::string& v) {
+    if (v == "on") {
+      matrix.steal = true;
+    } else if (v == "off") {
+      matrix.steal = false;
+    } else {
+      return false;
+    }
+    return true;
   });
   parser.add_value("--rows", [&](const std::string& v) {
     std::uint64_t n = 0;

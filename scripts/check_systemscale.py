@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Gate multi-cluster scaling against the committed baseline.
+
+Usage: check_systemscale.py MEASURED.json BASELINE.json [--tolerance 0.10]
+
+Fails (exit 1) when:
+  * a baseline cluster count is missing from the measurement,
+  * a point's time-to-solution speedup fell more than --tolerance below
+    its baseline speedup (the scaling knee coming back),
+  * a point's simulated cycle count differs from the baseline. Cycle
+    counts are deterministic workload invariants (independent of host
+    speed, --jobs, tracing, and --no-fast-forward), so a mismatch means
+    the simulated model changed: if intentional, regenerate the baseline
+    (see bench/baseline_systemscale.json) in the same commit.
+
+Unlike MCPS floors, speedups are host-independent ratios of simulated
+cycle counts, so the default tolerance is tight: a >10% drop in the
+8-cluster speedup is a modelling or scheduling regression, not noise.
+"""
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("schema") != "issr-systemscale-v2":
+        sys.exit(f"{path}: unexpected schema {doc.get('schema')!r}")
+    return {p["clusters"]: p for p in doc["points"]}
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("measured")
+    ap.add_argument("baseline")
+    ap.add_argument("--tolerance", type=float, default=0.10,
+                    help="allowed fractional speedup regression "
+                         "(default 0.10)")
+    args = ap.parse_args()
+
+    measured = load(args.measured)
+    baseline = load(args.baseline)
+
+    failures = []
+    for clusters, base in sorted(baseline.items()):
+        got = measured.get(clusters)
+        if got is None:
+            failures.append(f"x{clusters}: missing from measurement")
+            continue
+        if got["sim_cycles"] != base["sim_cycles"]:
+            failures.append(
+                f"x{clusters}: simulated cycles changed "
+                f"({got['sim_cycles']} vs baseline {base['sim_cycles']}) — "
+                "modelling change; regenerate the baseline if intentional")
+        floor = base["t2s_speedup"] * (1.0 - args.tolerance)
+        status = "OK" if got["t2s_speedup"] >= floor else "REGRESSED"
+        print(f"x{clusters}  speedup={got['t2s_speedup']:7.4f} "
+              f"baseline={base['t2s_speedup']:7.4f} floor={floor:7.4f} "
+              f"efficiency={got['scaling_efficiency']:6.4f} {status}")
+        if got["t2s_speedup"] < floor:
+            failures.append(
+                f"x{clusters}: speedup {got['t2s_speedup']:.4f} is more "
+                f"than {args.tolerance:.0%} below the baseline "
+                f"{base['t2s_speedup']:.4f}")
+
+    if failures:
+        print("\nFAIL:", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print("\nscaling within tolerance of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -60,15 +60,36 @@ void Cluster::tick(cycle_t now) {
   barrier_.begin_cycle(now);
   dma_->tick(now);
   tcdm_->tick(now);
+  // Default: an active controller keeps the cluster hot every cycle. A
+  // controller parked on an external event (inter-cluster barrier) may
+  // overwrite this with the cycle it next needs to run.
+  controller_idle_until_ = now;
   if (controller_) controller_(*this, now);
-  for (auto& w : workers_) w->tick(now);
+  // Feed this cycle's NoC arbitration outcome into each worker's stall
+  // accountant before it classifies the cycle (observational only).
+  const bool noc_denied = dma_->noc_denied_this_cycle();
+  for (auto& w : workers_) {
+    w->set_noc_stalled(noc_denied);
+    w->tick(now);
+  }
 }
 
 cycle_t Cluster::next_event(cycle_t now) const {
-  if (dma_->busy() || (controller_ && !controller_done_)) {
-    return now;
+  // A transferring DMA moves (or is denied) beats every cycle: never
+  // skippable. A DMA that is merely waiting out a completion's NoC
+  // latency is inert until the maturity cycle, which bounds the horizon
+  // below — skipping *past* it would make the controller observe the
+  // completion late (the bug this hook's contract exists to prevent).
+  if (dma_->transferring()) return now;
+  cycle_t horizon = kCycleNever;
+  if (controller_ && !controller_done_) {
+    if (controller_idle_until_ <= now) return now;
+    horizon = controller_idle_until_;
   }
-  cycle_t horizon = tcdm_->next_event();
+  const cycle_t de = dma_->next_completion();
+  if (de < horizon) horizon = de;
+  const cycle_t te = tcdm_->next_event();
+  if (te < horizon) horizon = te;
   for (const auto& w : workers_) {
     const cycle_t we = w->next_event(now);
     if (we < horizon) horizon = we;

@@ -37,9 +37,10 @@ struct ClusterConfig {
   Arena* arena = nullptr;
   /// When non-null, the cluster's DMA targets this externally-owned main
   /// memory instead of a private one — how a multi-cluster System shares
-  /// one bandwidth-limited memory among all clusters (system/system.hpp).
-  /// Must outlive the cluster; the owner manages its arena and per-cycle
-  /// beat budget. Null (the default) keeps the private ideal memory.
+  /// one memory among all clusters (system/system.hpp). Must outlive the
+  /// cluster; the owner manages its arena and wires each cluster's DMA to
+  /// the Interconnect that enforces bandwidth in front of it. Null (the
+  /// default) keeps the private ideal memory.
   mem::MainMemory* shared_main = nullptr;
 };
 
@@ -120,6 +121,15 @@ class Cluster {
   void set_controller_done(bool done) { controller_done_ = done; }
   bool controller_done() const { return controller_done_; }
 
+  /// Topology-aware lookahead hint: a controller that is provably inert
+  /// until cycle `c` (e.g. parked on the inter-cluster barrier with no
+  /// DMA in flight) declares it from inside its tick, letting the
+  /// fast-forward engine skip the wait. Reset to "hot" (now) before every
+  /// controller invocation, so a stale hint can never outlive one tick;
+  /// kCycleNever means "inert until another cluster acts on me" (the
+  /// System's horizon then comes from the acting cluster).
+  void set_controller_idle_until(cycle_t c) { controller_idle_until_ = c; }
+
   /// True iff all workers are quiescent, the DMA is drained, and the
   /// controller has finished.
   bool done(cycle_t now) const;
@@ -141,9 +151,10 @@ class Cluster {
   void tick(cycle_t now);
 
   /// Fast-forward hook: earliest future cycle this cluster's tick can
-  /// differ from the one just performed. Returns `now` while the DMA or a
-  /// not-yet-done controller is active (their per-cycle effects must not
-  /// be skipped).
+  /// differ from the one just performed. Returns `now` while the DMA is
+  /// transferring or an active controller has not declared itself idle
+  /// (set_controller_idle_until); a pending NoC-delayed DMA completion
+  /// bounds the horizon by its maturity cycle so it can never be skipped.
   cycle_t next_event(cycle_t now) const;
 
   /// Apply `f` to every counter that advances during a pure-wait stretch
@@ -172,6 +183,7 @@ class Cluster {
   std::vector<std::unique_ptr<core::CoreComplex>> workers_;
   Controller controller_;
   bool controller_done_ = true;
+  cycle_t controller_idle_until_ = 0;
 };
 
 }  // namespace issr::cluster

@@ -52,7 +52,10 @@ struct McTilePlan {
     addr_t vals_addr;
     addr_t y_addr;
   };
-  Buffer buf[2];
+  /// Tile staging buffers: the static scheme always plans two (classic
+  /// double buffering, tile t lands in buf[t % 2]); the stealing system
+  /// kernel may plan more to deepen worker run-ahead.
+  std::vector<Buffer> buf;
 };
 
 struct McCsrmvResult {

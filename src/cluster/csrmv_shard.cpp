@@ -54,8 +54,12 @@ CsrmvMainLayout stage_csrmv_main(mem::BackingStore& store,
 
 McTilePlan plan_tiles_range(const sparse::CsrMatrix& a,
                             const McCsrmvConfig& cfg,
-                            std::uint32_t row_begin, std::uint32_t row_end) {
+                            std::uint32_t row_begin, std::uint32_t row_end,
+                            unsigned extra_flag_words,
+                            std::uint64_t tile_cost_target,
+                            unsigned num_buffers) {
   assert(row_begin <= row_end && row_end <= a.rows());
+  assert(num_buffers >= 2);
   const unsigned iw = sparse::index_bytes(cfg.width);
   const auto& tcdm = cfg.cluster.tcdm;
 
@@ -68,18 +72,20 @@ McTilePlan plan_tiles_range(const sparse::CsrMatrix& a,
   };
 
   plan.x_addr = take(8ull * a.cols());
-  plan.flags_addr = take(8ull * (2 + cfg.cluster.num_workers));
+  plan.flags_addr =
+      take(8ull * (2 + extra_flag_words + cfg.cluster.num_workers));
 
   const std::uint64_t ptr_region = align_up(4ull * (cfg.max_tile_rows + 1), 8);
   const std::uint64_t y_region = 8ull * cfg.max_tile_rows;
   const std::uint64_t used =
-      (cursor - tcdm.base) + 2 * (ptr_region + y_region) + 64;
+      (cursor - tcdm.base) + num_buffers * (ptr_region + y_region) + 64;
   assert(used < tcdm.size_bytes() && "TCDM too small for this matrix");
-  const std::uint64_t stream_budget = (tcdm.size_bytes() - used) / 2;
+  const std::uint64_t stream_budget = (tcdm.size_bytes() - used) / num_buffers;
   plan.tile_nnz_capacity = stream_budget / (8 + iw);
   assert(plan.tile_nnz_capacity >= a.max_row_nnz() &&
          "a single row exceeds the tile buffer capacity");
 
+  plan.buf.resize(num_buffers);
   for (auto& buf : plan.buf) {
     buf.ptr_addr = take(ptr_region);
     buf.y_addr = take(y_region);
@@ -89,12 +95,17 @@ McTilePlan plan_tiles_range(const sparse::CsrMatrix& a,
   }
   assert(cursor <= tcdm.base + tcdm.size_bytes());
 
-  // Greedy row tiling under the nnz and row caps.
+  // Greedy row tiling under the nnz and row caps (and, for steal plans,
+  // the cost target — which a tile of a single expensive row may exceed).
   std::uint32_t r = row_begin;
   while (r < row_end) {
     std::uint32_t end = r;
     while (end < row_end && end - r < cfg.max_tile_rows &&
-           a.ptr()[end + 1] - a.ptr()[r] <= plan.tile_nnz_capacity) {
+           a.ptr()[end + 1] - a.ptr()[r] <= plan.tile_nnz_capacity &&
+           (tile_cost_target == 0 || end == r ||
+            (a.ptr()[end + 1] - a.ptr()[r]) +
+                    kRowCostOverhead * (end + 1 - r) <=
+                tile_cost_target)) {
       ++end;
     }
     assert(end > r);
@@ -102,6 +113,30 @@ McTilePlan plan_tiles_range(const sparse::CsrMatrix& a,
     r = end;
   }
   return plan;
+}
+
+std::vector<std::uint32_t> split_rows_by_cost(const sparse::CsrMatrix& a,
+                                              std::uint32_t row_begin,
+                                              std::uint32_t row_end,
+                                              unsigned workers) {
+  assert(workers >= 1 && row_begin <= row_end);
+  std::uint64_t total = 0;
+  for (std::uint32_t r = row_begin; r < row_end; ++r) {
+    total += (a.ptr()[r + 1] - a.ptr()[r]) + kRowCostOverhead;
+  }
+  std::vector<std::uint32_t> out(workers + 1, row_end);
+  out[0] = row_begin;
+  std::uint64_t acc = 0;
+  std::uint32_t r = row_begin;
+  for (unsigned w = 0; w + 1 < workers; ++w) {
+    const std::uint64_t target = total * (w + 1) / workers;
+    while (r < row_end && acc < target) {
+      acc += (a.ptr()[r + 1] - a.ptr()[r]) + kRowCostOverhead;
+      ++r;
+    }
+    out[w + 1] = r;
+  }
+  return out;
 }
 
 isa::Program build_shard_worker_program(const sparse::CsrMatrix& a,
@@ -115,17 +150,14 @@ isa::Program build_shard_worker_program(const sparse::CsrMatrix& a,
   for (std::size_t t = 0; t < plan.tiles.size(); ++t) {
     const auto& tile = plan.tiles[t];
     const unsigned b = t % 2;
-    const std::uint32_t tile_rows = tile.row_end - tile.row_begin;
 
-    // Static row distribution among cores: contiguous, equal-sized shares
-    // (the paper notes residual computation imbalance from this scheme).
-    const std::uint32_t r0 =
-        tile.row_begin + static_cast<std::uint32_t>(
-                             (static_cast<std::uint64_t>(tile_rows) * worker) / W);
-    const std::uint32_t r1 =
-        tile.row_begin +
-        static_cast<std::uint32_t>(
-            (static_cast<std::uint64_t>(tile_rows) * (worker + 1)) / W);
+    // Static row distribution among cores: contiguous cost-balanced
+    // shares (the paper notes residual computation imbalance from its
+    // equal-rows scheme; balancing by the tile planner's cost model
+    // keeps heavy rows from piling onto one core).
+    const auto share = split_rows_by_cost(a, tile.row_begin, tile.row_end, W);
+    const std::uint32_t r0 = share[worker];
+    const std::uint32_t r1 = share[worker + 1];
 
     // Wait until the controller publishes generation t+1 for buffer b.
     // The poll loop backs off with nops so eight spinning cores do not

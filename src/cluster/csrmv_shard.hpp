@@ -32,14 +32,47 @@ CsrmvMainLayout stage_csrmv_main(mem::BackingStore& store,
                                  const sparse::DenseVector& x,
                                  sparse::IndexWidth width);
 
+/// Per-row cost beyond its nonzeros: loop overhead, pointer fetch, and
+/// the result store (mirrors the rows*8 term of the sweep cost model;
+/// also the unit of the steal planner's tile_cost_target below).
+inline constexpr std::uint64_t kRowCostOverhead = 8;
+
 /// Plan the TCDM layout and greedy row tiling for rows
 /// [row_begin, row_end) under `cfg` (pure function; asserts if a single
 /// row exceeds the tile nnz capacity). Tile row/nnz coordinates are
 /// absolute, so worker programs and DMA transfers address the shared
 /// staged operands directly.
+///
+/// The trailing parameters serve the work-stealing system kernel
+/// (system/steal.hpp) and are inert at their defaults:
+/// `extra_flag_words` reserves that many additional 8-byte words between
+/// the tile-generation pair and the per-worker done flags (the steal
+/// protocol's ownership words), a nonzero `tile_cost_target` caps each
+/// tile's cost (nnz + kRowCostOverhead per row) to carve the range into
+/// fine-grained steal shards — a single row may still exceed it — and
+/// `num_buffers` picks how many tile staging buffers share the TCDM
+/// stream budget (>= 2; more buffers shrink tile_nnz_capacity but let a
+/// steal controller queue deeper worker run-ahead).
 McTilePlan plan_tiles_range(const sparse::CsrMatrix& a,
                             const McCsrmvConfig& cfg,
-                            std::uint32_t row_begin, std::uint32_t row_end);
+                            std::uint32_t row_begin, std::uint32_t row_end,
+                            unsigned extra_flag_words = 0,
+                            std::uint64_t tile_cost_target = 0,
+                            unsigned num_buffers = 2);
+
+/// Contiguous cost-balanced split of rows [row_begin, row_end) among
+/// `workers` cores: `workers + 1` monotonic boundaries, worker w owning
+/// [out[w], out[w+1]). Same cost model as the tile planner
+/// (nnz + kRowCostOverhead); each boundary lands where the running cost
+/// first reaches the worker's proportional target, so a power-law tile's
+/// heavy rows do not pile onto whichever core owns the most rows. Every
+/// row stays whole on one core, so the FP reduction order — and thus y —
+/// is independent of this split. A pure function of (a, range, workers):
+/// every cluster compiles the same shares at any cluster count.
+std::vector<std::uint32_t> split_rows_by_cost(const sparse::CsrMatrix& a,
+                                              std::uint32_t row_begin,
+                                              std::uint32_t row_end,
+                                              unsigned workers);
 
 /// Build one worker's program over the plan's tiles: for each tile, poll
 /// the buffer's tile generation flag, run the CsrMV body over the

@@ -73,6 +73,7 @@ void CoreComplex::account(cycle_t now) {
   o.issued = s.fpss_issued != snap_.fpss_issued ||
              s.core_issued != snap_.core_issued;
   o.barrier_stall = s.stall_barrier != snap_.stall_barrier;
+  o.noc_stalled = noc_stalled_;
   o.stream_stall = s.stall_stream != snap_.stall_stream;
   o.port_conflict = s.port_stalls != snap_.port_stalls;
   o.sync_stall = s.stall_sync != snap_.stall_sync;

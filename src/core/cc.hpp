@@ -50,6 +50,12 @@ class CoreComplex {
 
   void tick(cycle_t now);
 
+  /// Cluster-environment input to stall attribution: set before tick()
+  /// when this CC's cluster DMA was denied an interconnect beat this
+  /// cycle. Purely observational (classification only); never set on the
+  /// single-CC / single-cluster paths.
+  void set_noc_stalled(bool v) { noc_stalled_ = v; }
+
   // --- Fast-forward hooks --------------------------------------------------
   /// Earliest future cycle at which any unit of this CC can behave
   /// differently than it did in the tick just performed (core, FPU
@@ -138,6 +144,7 @@ class CoreComplex {
   ssr::Lane* issr_lane_ = nullptr;
 
   StatSnap snap_;
+  bool noc_stalled_ = false;
   trace::StallBuckets stalls_;
   trace::Tracer stall_trace_;
   trace::Bucket cur_bucket_ = trace::Bucket::kOther;

@@ -33,9 +33,42 @@ std::string fmt_seed(std::uint64_t v) {
   return buf;
 }
 
+/// scaling_efficiency per row: speedup over the row's single-cluster
+/// twin — same scenario except the clusters axis and the interconnect/
+/// steal settings a single-cluster run ignores — divided by the cluster
+/// count. Single-cluster rows report 1; a multi-cluster row without a
+/// twin in this result set reports 0 ("unknown": the sweep did not
+/// include its baseline). Pure function of the result list, so reports
+/// stay bytewise identical for any jobs/trace settings.
+std::vector<double> scaling_efficiencies(
+    const std::vector<ScenarioResult>& results) {
+  const auto is_twin = [](const Scenario& base, const Scenario& s) {
+    return base.clusters == 1 && base.kernel == s.kernel &&
+           base.variant == s.variant && base.width == s.width &&
+           base.family == s.family && base.density == s.density &&
+           base.cores == s.cores && base.seed == s.seed;
+  };
+  std::vector<double> out(results.size(), 0.0);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const Scenario& s = results[i].scenario;
+    if (s.clusters <= 1) {
+      out[i] = 1.0;
+      continue;
+    }
+    for (const auto& base : results) {
+      if (!is_twin(base.scenario, s)) continue;
+      if (base.cycles == 0 || results[i].cycles == 0) break;
+      out[i] = static_cast<double>(base.cycles) /
+               (static_cast<double>(results[i].cycles) * s.clusters);
+      break;
+    }
+  }
+  return out;
+}
+
 void append_fields(std::string& out, const ScenarioResult& r,
-                   const char* sep, const char* quote, const char* kv,
-                   bool keyed) {
+                   double scaling_eff, const char* sep, const char* quote,
+                   const char* kv, bool keyed) {
   const Scenario& s = r.scenario;
   const auto field = [&](const char* key, const std::string& value,
                          bool is_string, bool first = false) {
@@ -61,6 +94,9 @@ void append_fields(std::string& out, const ScenarioResult& r,
   field("cols", fmt_u(r.cols), false);
   field("cores", fmt_u(s.cores), false);
   field("clusters", fmt_u(s.clusters), false);
+  field("noc_links", fmt_u(s.noc_links), false);
+  field("noc_latency", fmt_u(s.noc_latency), false);
+  field("steal", s.steal ? "true" : "false", false);
   field("seed", fmt_seed(s.seed), true);
   field("nnz", fmt_u(r.nnz), false);
   field("ok", r.ok ? "true" : "false", false);
@@ -68,6 +104,7 @@ void append_fields(std::string& out, const ScenarioResult& r,
   field("fpu_util", fmt_double(r.fpu_util), false);
   field("macs", fmt_u(r.macs), false);
   field("macs_per_cycle", fmt_double(r.macs_per_cycle), false);
+  field("scaling_efficiency", fmt_double(scaling_eff), false);
   // Stall attribution: the bucket columns sum to core_cycles exactly.
   field("core_cycles", fmt_u(r.core_cycles), false);
   for (unsigned b = 0; b < trace::kNumBuckets; ++b) {
@@ -95,10 +132,11 @@ std::string results_to_json(const std::vector<ScenarioResult>& results) {
   // a single stream write). ~620 bytes covers a keyed row with every
   // stall column; the reserve makes growth a no-op for typical sweeps.
   out.reserve(128 + 640 * results.size());
-  out += "{\n  \"schema\": \"issr_run.results.v3\",\n  \"results\": [";
+  out += "{\n  \"schema\": \"issr_run.results.v4\",\n  \"results\": [";
+  const auto eff = scaling_efficiencies(results);
   for (std::size_t i = 0; i < results.size(); ++i) {
     out += i ? ",\n    {" : "\n    {";
-    append_fields(out, results[i], ", ", "\"", ": ", /*keyed=*/true);
+    append_fields(out, results[i], eff[i], ", ", "\"", ": ", /*keyed=*/true);
     out += "}";
   }
   out += results.empty() ? "]\n}\n" : "\n  ]\n}\n";
@@ -108,11 +146,13 @@ std::string results_to_json(const std::vector<ScenarioResult>& results) {
 std::string results_to_csv(const std::vector<ScenarioResult>& results) {
   std::string out =
       "kernel,variant,index_bits,family,density,rows,cols,cores,clusters,"
-      "seed,nnz,ok,cycles,fpu_util,macs,macs_per_cycle," +
+      "noc_links,noc_latency,steal,seed,nnz,ok,cycles,fpu_util,macs,"
+      "macs_per_cycle,scaling_efficiency," +
       stall_csv_columns() + "\n";
   out.reserve(out.size() + 256 * results.size());
-  for (const auto& r : results) {
-    append_fields(out, r, ",", "", "", /*keyed=*/false);
+  const auto eff = scaling_efficiencies(results);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    append_fields(out, results[i], eff[i], ",", "", "", /*keyed=*/false);
     out += "\n";
   }
   return out;

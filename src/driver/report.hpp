@@ -1,14 +1,18 @@
 // Machine-readable result emission for experiment sweeps: a stable JSON
-// document (schema `issr_run.results.v3`), an RFC-4180-style CSV with the
+// document (schema `issr_run.results.v4`), an RFC-4180-style CSV with the
 // same columns, and console summary tables. All numeric formatting is
 // deterministic (doubles render via %.17g round-trip notation), so two
 // runs of the same scenario list — at any worker count, traced or not —
 // emit bytewise identical documents. v2 added the stall-attribution
 // columns: `core_cycles` (cycles x cores x clusters, the attribution
 // denominator) and one `stall_<bucket>` count per trace/stall.hpp bucket
-// (the bucket columns sum to core_cycles for every row); v3 adds the
-// `clusters` column for the multi-cluster system axis. The full schema is
-// documented in docs/RESULTS_SCHEMA.md.
+// (the bucket columns sum to core_cycles for every row); v3 added the
+// `clusters` column for the multi-cluster system axis; v4 adds the
+// interconnect/steal settings (`noc_links`, `noc_latency`, `steal`), the
+// `stall_noc_contention` bucket, and `scaling_efficiency` — the row's
+// speedup over its single-cluster twin in the same result set divided by
+// its cluster count (1 for single-cluster rows, 0 when the twin is
+// absent). The full schema is documented in docs/RESULTS_SCHEMA.md.
 #pragma once
 
 #include <string>

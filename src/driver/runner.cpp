@@ -90,8 +90,10 @@ ScenarioResult run_scenario(const Scenario& s, const RunOptions& opts,
     if (clusters > 1) {
       // Hierarchical system: `clusters` clusters of `cores` workers
       // around the shared bandwidth-limited main memory.
-      const auto r = run_csrmv_sys(s.variant, s.width, clusters, cores, a,
-                                   x, sink.get(), /*validate=*/true, aids);
+      const SysTuning tuning{s.noc_links, s.noc_latency, s.steal};
+      const auto r = run_csrmv_sys(s.variant, s.width, clusters, cores, a, x,
+                                   sink.get(), /*validate=*/true, aids,
+                                   tuning);
       out.ok = r.ok;
       out.cycles = r.sys.system.cycles;
       out.fpu_util = r.sys.system.fpu_util();

@@ -129,7 +129,7 @@ SysRun run_csrmv_sys(kernels::Variant variant, sparse::IndexWidth width,
                      unsigned clusters, unsigned cores,
                      const sparse::CsrMatrix& a, const sparse::DenseVector& x,
                      trace::TraceSink* trace, bool validate,
-                     const RunAids& aids) {
+                     const RunAids& aids, const SysTuning& tuning) {
   system::SysCsrmvConfig cfg;
   cfg.variant = variant;
   cfg.width = width;
@@ -137,6 +137,9 @@ SysRun run_csrmv_sys(kernels::Variant variant, sparse::IndexWidth width,
   cfg.system.arena = aids.arena;
   cfg.system.num_clusters = std::max(1u, clusters);
   if (cores != 0) cfg.system.cluster.num_workers = cores;
+  cfg.system.noc.link_beats_per_cycle = tuning.noc_links;
+  cfg.system.noc.link_latency = tuning.noc_latency;
+  cfg.steal = tuning.steal;
   SysRun out;
   out.sys = system::run_csrmv_system(a, x, cfg);
   assert(!out.sys.system.aborted &&

@@ -58,6 +58,16 @@ struct SysRun {
   bool ok = false;  ///< y matched ref_csrmv within tolerance
 };
 
+/// Timing-only system knobs threaded from the CLI/scenario layer into
+/// the hierarchical model. Simulated results (y) are bitwise identical
+/// for every combination; only cycle counts move. Defaults mirror
+/// InterconnectConfig / SysCsrmvConfig.
+struct SysTuning {
+  unsigned noc_links = 1;    ///< link beats/cycle per cluster, 0 = unlimited
+  unsigned noc_latency = 4;  ///< one-way NoC link latency in cycles
+  bool steal = true;         ///< dynamic inter-cluster work stealing
+};
+
 /// `validate = false` skips the host-reference comparison (and leaves
 /// `ok` false) — for throughput measurements of the simulator itself.
 /// A non-null `trace` records cycle-resolved telemetry for the run
@@ -89,6 +99,6 @@ SysRun run_csrmv_sys(kernels::Variant variant, sparse::IndexWidth width,
                      unsigned clusters, unsigned cores,
                      const sparse::CsrMatrix& a, const sparse::DenseVector& x,
                      trace::TraceSink* trace = nullptr, bool validate = true,
-                     const RunAids& aids = {});
+                     const RunAids& aids = {}, const SysTuning& tuning = {});
 
 }  // namespace issr::driver

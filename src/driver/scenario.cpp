@@ -6,9 +6,15 @@
 #include <cstring>
 
 #include "common/rng.hpp"
+#include "mem/interconnect.hpp"
 #include "sparse/generate.hpp"
 
 namespace issr::driver {
+
+// The Scenario defaults promise "mirrors InterconnectConfig"; hold them
+// to it so a library default change cannot silently relabel scenarios.
+static_assert(mem::InterconnectConfig{}.link_beats_per_cycle == 1);
+static_assert(mem::InterconnectConfig{}.link_latency == 4);
 
 const char* to_string(Kernel k) {
   switch (k) {
@@ -97,10 +103,24 @@ std::string Scenario::name() const {
                 sparse::to_string(family), density, cores);
   std::string out = buf;
   // Single-cluster names stay exactly as they always were; the
-  // multi-cluster axis appends its own token.
+  // multi-cluster axis appends its own token, and non-default
+  // interconnect/steal settings append theirs (default runs keep their
+  // historical names bytewise).
   if (clusters > 1) {
     std::snprintf(buf, sizeof buf, "/x%u", clusters);
     out += buf;
+    // The interconnect/steal settings only shape multi-cluster runs
+    // (single-cluster scenarios execute on the cluster/CC simulators,
+    // which have no NoC), so only those names carry the tokens.
+    if (noc_links != 1) {
+      std::snprintf(buf, sizeof buf, "/nl%u", noc_links);
+      out += buf;
+    }
+    if (noc_latency != 4) {
+      std::snprintf(buf, sizeof buf, "/lt%u", noc_latency);
+      out += buf;
+    }
+    if (!steal) out += "/nosteal";
   }
   return out;
 }
@@ -178,6 +198,9 @@ std::vector<Scenario> ScenarioMatrix::expand() const {
                 s.cols = fcols;
                 s.cores = c;
                 s.clusters = is_spvv ? 1 : cl;
+                s.noc_links = noc_links;
+                s.noc_latency = noc_latency;
+                s.steal = steal;
                 s.seed = derive_seed(base_seed, k, family, d, frows, fcols);
                 out.push_back(s);
               }

@@ -50,12 +50,26 @@ struct Scenario {
   /// cluster (system/csrmv_sys.hpp). The workload seed ignores this axis
   /// — every cluster count sees identical operands, like variant/width.
   unsigned clusters = 1;
+  /// Interconnect shaping (mem/interconnect.hpp), timing-only: the
+  /// per-cluster link budget in beats/cycle (0 = unlimited) and the
+  /// one-way link latency in cycles. Like the cluster axis these never
+  /// enter the workload seed — every setting sees identical operands.
+  /// Defaults mirror InterconnectConfig (asserted in scenario.cpp).
+  unsigned noc_links = 1;
+  unsigned noc_latency = 4;
+  /// Dynamic inter-cluster work stealing (system/steal.hpp). Only
+  /// multi-cluster CsrMV runs consult it; simulated results (y) are
+  /// bitwise identical either way, only cycle counts move.
+  bool steal = true;
   std::uint64_t seed = 0;  ///< derived workload seed (see derive_seed)
 
   /// Nonzeros per generated matrix row (>= 1, <= cols).
   std::uint32_t row_nnz() const;
   /// Compact human-readable tag, e.g. "csrmv/issr/u16/uniform/d0.05/c8";
-  /// multi-cluster scenarios append "/x<clusters>".
+  /// multi-cluster scenarios append "/x<clusters>" plus, when
+  /// non-default, "/nl<links>", "/lt<latency>", and "/nosteal".
+  /// Single-cluster names never carry the interconnect tokens — those
+  /// runs execute on the cluster/CC simulators, which have no NoC.
   std::string name() const;
 
   bool operator==(const Scenario&) const = default;
@@ -88,6 +102,11 @@ struct ScenarioMatrix {
   std::uint32_t rows = 192;
   std::uint32_t cols = 256;
   std::uint64_t base_seed = 42;
+  /// Global (non-crossed) interconnect/steal settings, stamped onto
+  /// every expanded scenario (see the Scenario fields).
+  unsigned noc_links = 1;
+  unsigned noc_latency = 4;
+  bool steal = true;
 
   /// Expand to the ordered scenario list. Combinations that do not map to
   /// an implemented kernel are skipped (SpVV with cores > 1 or

@@ -100,6 +100,17 @@ double estimated_cost(const Scenario& s) {
               static_cast<double>(s.cores) * 500.0 + clusters * 800.0;
     cycles *= 1.5;
     if (clusters > 1.0) cycles *= 1.0 + 0.15 * clusters;
+    // nnz skew across cluster shards: the system's wall time tracks its
+    // most loaded cluster, and core-cycles are wall x clusters x cores —
+    // every cluster's workers spend the cycles the heaviest shard
+    // stretches. For heavy-tailed families the heaviest share runs ~2x
+    // the mean (work stealing amortizes whole tiles, but a power-law
+    // hub row is an unsplittable serial chain), so without this term a
+    // multi-cluster power-law run cost exactly its uniform twin and
+    // dispatched far too late for its real wall time.
+    if (clusters > 1.0 && s.family == sparse::MatrixFamily::kPowerLaw) {
+      cycles *= 2.0;
+    }
   }
   return cycles;
 }

@@ -24,16 +24,23 @@ void Dma::start_2d(addr_t dst, addr_t src, std::uint64_t row_bytes,
   ++stats_.jobs;
 }
 
-unsigned Dma::move_beat(Channel& ch, std::uint64_t& completed_counter) {
-  DmaJob& job = ch.jobs.front();
+Dma::BeatAddrs Dma::beat_addrs(const Channel& ch) const {
+  const DmaJob& job = ch.jobs.front();
   const addr_t src_row =
       job.src + static_cast<addr_t>(
                     static_cast<std::int64_t>(ch.rows_done) * job.src_stride);
   const addr_t dst_row =
       job.dst + static_cast<addr_t>(
                     static_cast<std::int64_t>(ch.rows_done) * job.dst_stride);
-  const addr_t src = src_row + ch.row_done;
-  const addr_t dst = dst_row + ch.row_done;
+  return {src_row + ch.row_done, dst_row + ch.row_done};
+}
+
+unsigned Dma::move_beat(Channel& ch, std::uint64_t& completed_counter,
+                        cycle_t now) {
+  DmaJob& job = ch.jobs.front();
+  const BeatAddrs at = beat_addrs(ch);
+  const addr_t src = at.src;
+  const addr_t dst = at.dst;
   const std::uint64_t left = job.row_bytes - ch.row_done;
   const auto chunk = static_cast<unsigned>(
       std::min<std::uint64_t>(left, MainMemory::kBeatBytes));
@@ -60,6 +67,8 @@ unsigned Dma::move_beat(Channel& ch, std::uint64_t& completed_counter) {
   if (main_.contains(src)) main_.note_read(chunk);
   if (main_.contains(dst)) main_.note_written(chunk);
 
+  const bool touches_main = main_.contains(job.src) || main_.contains(job.dst);
+
   ch.row_done += chunk;
   if (ch.row_done == job.row_bytes) {
     ch.row_done = 0;
@@ -67,14 +76,29 @@ unsigned Dma::move_beat(Channel& ch, std::uint64_t& completed_counter) {
     if (ch.rows_done == job.rows) {
       ch.rows_done = 0;
       ch.jobs.pop_front();
-      ++completed_;
-      ++completed_counter;
+      // A transfer that crossed the NoC reports completion only after the
+      // notification's link traversal; TCDM-local copies complete at once.
+      const cycle_t lat =
+          (noc_ != nullptr && touches_main) ? noc_->link_latency() : 0;
+      if (lat > 0) {
+        ch.pending.push_back(now + lat);
+      } else {
+        ++completed_;
+        ++completed_counter;
+      }
     }
   }
   return chunk;
 }
 
-bool Dma::tick_channel(Channel& ch, std::uint64_t& completed_counter) {
+bool Dma::tick_channel(Channel& ch, std::uint64_t& completed_counter,
+                       cycle_t now) {
+  // Mature completions whose notification has crossed the NoC.
+  while (!ch.pending.empty() && ch.pending.front() <= now) {
+    ch.pending.pop_front();
+    ++completed_;
+    ++completed_counter;
+  }
   // Retire degenerate zero-byte jobs without consuming bandwidth.
   while (!ch.jobs.empty() && ch.jobs.front().total_bytes() == 0) {
     ch.jobs.pop_front();
@@ -82,13 +106,25 @@ bool Dma::tick_channel(Channel& ch, std::uint64_t& completed_counter) {
     ++completed_counter;
   }
   if (ch.jobs.empty()) return false;
-  // A beat touching main memory needs a slot of its per-cycle beat
-  // budget (finite only when the memory is shared across clusters; a
-  // failed claim stalls the channel for this cycle).
+  // A beat touching main memory must win a slot on this cluster's NoC
+  // link (and the target bank group) this cycle; a failed claim stalls
+  // the channel for the cycle. With no interconnect attached the private
+  // link is ideal and every beat proceeds.
   const DmaJob& job = ch.jobs.front();
-  if (main_.contains(job.src) && !main_.try_read_beat()) return false;
-  if (main_.contains(job.dst) && !main_.try_write_beat()) return false;
-  stats_.bytes += move_beat(ch, completed_counter);
+  if (noc_ != nullptr) {
+    const BeatAddrs at = beat_addrs(ch);
+    if (main_.contains(job.src) &&
+        !noc_->try_beat(cluster_, Interconnect::Dir::kIngress, at.src, now)) {
+      noc_denied_ = true;
+      return false;
+    }
+    if (main_.contains(job.dst) &&
+        !noc_->try_beat(cluster_, Interconnect::Dir::kEgress, at.dst, now)) {
+      noc_denied_ = true;
+      return false;
+    }
+  }
+  stats_.bytes += move_beat(ch, completed_counter, now);
   return true;
 }
 
@@ -98,9 +134,11 @@ void Dma::attach_trace(trace::TraceSink& sink, const std::string& prefix) {
 }
 
 void Dma::tick(cycle_t now) {
-  const bool in_active = tick_channel(in_, completed_in_);
-  const bool out_active = tick_channel(out_, completed_out_);
+  noc_denied_ = false;
+  const bool in_active = tick_channel(in_, completed_in_, now);
+  const bool out_active = tick_channel(out_, completed_out_, now);
   if (in_active || out_active) ++stats_.busy_cycles;
+  if (noc_denied_) ++stats_.noc_denied_cycles;
 
   for (auto* ch : {&in_, &out_}) {
     const bool busy = ch == &in_ ? in_active : out_active;

@@ -7,6 +7,15 @@
 // result write-back overlaps with the next tile's load. While a beat
 // touches the TCDM it claims the covered banks, contending with core
 // traffic exactly like the real wide port.
+//
+// In a multi-cluster System the engine additionally arbitrates every
+// main-memory beat against its cluster's Interconnect link (set_noc):
+// a denied beat stalls the channel for the cycle (and raises the
+// noc-denied flag the stall accountant attributes), and a job touching
+// main memory only reports completion `link_latency` cycles after its
+// final beat — the completion notification has to cross the NoC. Pending
+// delayed completions count as busy() and are exposed through
+// next_completion() so the idle fast-forward can never skip over one.
 #pragma once
 
 #include <cstdint>
@@ -14,6 +23,7 @@
 #include <string>
 
 #include "common/types.hpp"
+#include "mem/interconnect.hpp"
 #include "mem/main_mem.hpp"
 #include "mem/tcdm.hpp"
 #include "trace/trace.hpp"
@@ -36,11 +46,20 @@ struct DmaStats {
   std::uint64_t jobs = 0;
   std::uint64_t bytes = 0;
   std::uint64_t busy_cycles = 0;  ///< cycles with >= 1 channel transferring
+  std::uint64_t noc_denied_cycles = 0;  ///< cycles >= 1 channel lost the NoC
 };
 
 class Dma {
  public:
   Dma(Tcdm& tcdm, MainMemory& main) : tcdm_(tcdm), main_(main) {}
+
+  /// Route every main-memory beat through `noc` as cluster `cluster`.
+  /// Null (the default) keeps the private ideal link: no arbitration, no
+  /// completion latency — the single-cluster model is unchanged.
+  void set_noc(Interconnect* noc, unsigned cluster) {
+    noc_ = noc;
+    cluster_ = cluster;
+  }
 
   /// Queue a 1-D copy. Transfers with a main-memory destination use the
   /// outbound channel; everything else (including TCDM->TCDM) inbound.
@@ -51,7 +70,32 @@ class Dma {
                 std::uint64_t rows, std::int64_t dst_stride,
                 std::int64_t src_stride);
 
-  bool busy() const { return !in_.jobs.empty() || !out_.jobs.empty(); }
+  /// True while any work is outstanding: queued jobs *or* completions
+  /// still in flight across the NoC. Controllers and the fast-forward
+  /// engine must treat a latency-delayed completion as activity.
+  bool busy() const {
+    return transferring() || !in_.pending.empty() || !out_.pending.empty();
+  }
+  /// True while a channel has queued jobs (beats still to move).
+  bool transferring() const {
+    return !in_.jobs.empty() || !out_.jobs.empty();
+  }
+  /// Earliest cycle a delayed completion matures, or kCycleNever. The
+  /// cluster's next_event() must bound its skip quantum by this so the
+  /// engine cannot fast-forward past a completion the controller is
+  /// polling for.
+  cycle_t next_completion() const {
+    cycle_t e = kCycleNever;
+    if (!in_.pending.empty()) e = in_.pending.front();
+    if (!out_.pending.empty() && out_.pending.front() < e) {
+      e = out_.pending.front();
+    }
+    return e;
+  }
+  /// True iff a channel was denied a NoC beat in the tick just performed
+  /// (feeds the noc_contention stall bucket).
+  bool noc_denied_this_cycle() const { return noc_denied_; }
+
   std::size_t queued_jobs() const {
     return in_.jobs.size() + out_.jobs.size();
   }
@@ -83,22 +127,37 @@ class Dma {
     std::deque<DmaJob> jobs;
     std::uint64_t row_done = 0;   ///< bytes moved in the current row
     std::uint64_t rows_done = 0;  ///< completed rows of the current job
+    /// Maturity cycles of completions still crossing the NoC (FIFO,
+    /// monotone: completion order matches job order per channel).
+    std::deque<cycle_t> pending;
     trace::Tracer trace;
     bool was_busy = false;  ///< an open "xfer" trace slice
   };
 
+  /// Main-memory-side addresses of the channel's current beat.
+  struct BeatAddrs {
+    addr_t src = 0;
+    addr_t dst = 0;
+  };
+  BeatAddrs beat_addrs(const Channel& ch) const;
+
   /// Move up to kBeatBytes of the channel's current job; returns bytes.
-  unsigned move_beat(Channel& ch, std::uint64_t& completed_counter);
+  unsigned move_beat(Channel& ch, std::uint64_t& completed_counter,
+                     cycle_t now);
   /// Returns true if the channel transferred this cycle.
-  bool tick_channel(Channel& ch, std::uint64_t& completed_counter);
+  bool tick_channel(Channel& ch, std::uint64_t& completed_counter,
+                    cycle_t now);
 
   Tcdm& tcdm_;
   MainMemory& main_;
+  Interconnect* noc_ = nullptr;
+  unsigned cluster_ = 0;
   Channel in_;   ///< destination inside the TCDM
   Channel out_;  ///< destination in main memory
   std::uint64_t completed_ = 0;
   std::uint64_t completed_in_ = 0;
   std::uint64_t completed_out_ = 0;
+  bool noc_denied_ = false;  ///< any channel denied in the current tick
   DmaStats stats_;
 };
 

@@ -1,0 +1,143 @@
+// Cluster-to-memory interconnect: the topology-aware bandwidth model
+// between N clusters and the shared main memory. It replaces the flat
+// "one aggregate beat budget for everyone" model (PR 5's scaling knee)
+// with the two stages a real scale-out memory system has:
+//
+//   - per-cluster duplex *links*: each cluster owns an ingress (memory ->
+//     TCDM) and egress (TCDM -> memory) link with an independent
+//     beats-per-cycle budget, so one cluster's traffic never consumes
+//     another cluster's link;
+//   - a *crossbar* over main-memory bank groups: beats are interleaved
+//     across `bank_groups` by beat address, and each group serves a
+//     bounded number of beats per direction per cycle. Clusters streaming
+//     from different regions proceed in parallel; clusters hammering the
+//     same region (e.g. all replicating the dense x vector at t = 0)
+//     serialize on its group and naturally de-synchronize into a
+//     conflict-free rotation within a few cycles.
+//
+// A transfer additionally pays `link_latency` cycles once per queued DMA
+// job between its last beat and the completion its controller observes —
+// the pipelined per-beat latency hides inside the burst, but the
+// completion notification must cross the NoC. The same one-way latency
+// prices the work-queue claims of the stealing kernels
+// (system/steal.hpp).
+//
+// Arbitration is implicit in tick order (the System rotates cluster tick
+// order per cycle), so grants are deterministic and no cluster is
+// statically favored. Denied beats are counted per link and surfaced
+// three ways: LinkStats, per-link "contention" trace tracks, and the
+// exclusive `noc_contention` stall bucket (trace/stall.hpp) on every
+// worker cycle that stalls while its cluster's DMA is being denied.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "trace/trace.hpp"
+
+namespace issr::mem {
+
+struct InterconnectConfig {
+  unsigned num_clusters = 1;
+  /// Beats (64 B) per direction per cycle each cluster's link carries;
+  /// 0 = unlimited. 1 saturates a duplex DMA engine, so the link only
+  /// throttles when DMA beats and work-queue grants collide.
+  unsigned link_beats_per_cycle = 1;
+  /// Main-memory bank groups the crossbar interleaves beats across
+  /// (by beat address); 0 = no crossbar contention stage.
+  unsigned bank_groups = 8;
+  /// Beats per direction per cycle each bank group serves; 0 = unlimited.
+  unsigned group_beats_per_cycle = 1;
+  /// One-way NoC traversal latency in cycles: charged once per DMA job
+  /// between its final beat and the observable completion, and per hop
+  /// of a work-queue claim round trip.
+  cycle_t link_latency = 4;
+};
+
+/// Per-link traffic/contention counters (one entry per cluster).
+struct LinkStats {
+  std::uint64_t beats_in = 0;    ///< ingress beats granted (mem -> TCDM)
+  std::uint64_t beats_out = 0;   ///< egress beats granted (TCDM -> mem)
+  std::uint64_t denied_in = 0;   ///< ingress requests denied this run
+  std::uint64_t denied_out = 0;  ///< egress requests denied
+};
+
+class Interconnect {
+ public:
+  enum class Dir { kIngress, kEgress };
+
+  explicit Interconnect(const InterconnectConfig& config)
+      : config_(config), links_(config.num_clusters), stats_(config.num_clusters) {
+    const unsigned groups = config_.bank_groups;
+    groups_.resize(groups == 0 ? 1 : groups);
+  }
+
+  const InterconnectConfig& config() const { return config_; }
+  cycle_t link_latency() const { return config_.link_latency; }
+
+  /// Reset every per-cycle budget. The owner must call this once per
+  /// simulated cycle before any cluster's DMA or controller ticks.
+  void begin_cycle(cycle_t now);
+
+  /// Claim one beat for `cluster` in direction `dir` touching main-memory
+  /// address `addr`. Atomic: either both the link slot and the bank-group
+  /// slot are consumed, or neither is and the denial is attributed to the
+  /// link. False means the requester stalls this cycle.
+  bool try_beat(unsigned cluster, Dir dir, addr_t addr, cycle_t now);
+
+  /// Claim one link beat for a control message (work-queue claims and
+  /// grants, system/steal.hpp): consumes only the cluster's link budget,
+  /// never a bank-group slot — the queue is not behind the data crossbar,
+  /// and its own serving rate already serializes concurrent claimants.
+  bool try_link_beat(unsigned cluster, Dir dir, cycle_t now);
+
+  unsigned group_of(addr_t addr) const {
+    const auto groups = static_cast<addr_t>(groups_.size());
+    return static_cast<unsigned>((addr / 64) % groups);
+  }
+
+  /// Temporarily bypass every budget (post-run harvest drain, where the
+  /// per-cycle begin_cycle cadence no longer runs). Bypassed beats are
+  /// not counted in the stats.
+  void set_unlimited(bool on) { unlimited_ = on; }
+
+  const std::vector<LinkStats>& link_stats() const { return stats_; }
+  /// Denials caused by a saturated bank group (the link had budget).
+  std::uint64_t group_conflicts() const { return group_conflicts_; }
+
+  /// Register one "contention" timeline track per cluster link (track
+  /// process "<prefix>noc"); a slice spans each maximal run of cycles
+  /// with at least one denied beat on that link.
+  void attach_trace(trace::TraceSink& sink, const std::string& prefix = "");
+
+  /// Close any open contention slices (call once after the last cycle).
+  void close_trace();
+
+ private:
+  struct Link {
+    unsigned in_left = 0;
+    unsigned out_left = 0;
+    trace::Tracer trace;
+    bool slice_open = false;
+    cycle_t last_denied = 0;
+  };
+  struct Group {
+    unsigned in_left = 0;
+    unsigned out_left = 0;
+  };
+
+  void deny(Link& link, LinkStats& st, Dir dir, cycle_t now);
+  /// A contention slice ends after the first full cycle with no denial.
+  void close_quiet_slices(Link& link, cycle_t now);
+
+  InterconnectConfig config_;
+  std::vector<Link> links_;
+  std::vector<LinkStats> stats_;
+  std::vector<Group> groups_;
+  std::uint64_t group_conflicts_ = 0;
+  bool unlimited_ = false;
+};
+
+}  // namespace issr::mem

@@ -2,10 +2,11 @@
 // engine, matching the paper's evaluation setup ("our cluster is served by
 // a 512-bit duplex main memory modeled as ideal", §IV-B). For a single
 // cluster, bandwidth is enforced by the DMA model alone; a multi-cluster
-// System shares one MainMemory among every cluster's DMA engine and caps
-// the aggregate beats per direction per cycle (set_beats_per_cycle), which
-// is what makes main-memory bandwidth a contended resource at scale.
-// The class also tracks the bytes moved per direction for reporting.
+// System shares one MainMemory among every cluster's DMA engine and
+// enforces bandwidth through the Interconnect (mem/interconnect.hpp),
+// which models per-cluster links and bank-group crossbar contention in
+// front of this store. The class itself stays an ideal backing store and
+// tracks the bytes moved per direction for reporting.
 #pragma once
 
 #include <cstdint>
@@ -31,42 +32,10 @@ class MainMemory {
   std::uint64_t bytes_read() const { return bytes_read_; }
   std::uint64_t bytes_written() const { return bytes_written_; }
 
-  /// Cap the aggregate DMA beats this memory serves per direction per
-  /// cycle (0 = unlimited, the single-cluster default — a lone duplex DMA
-  /// can never exceed one beat per direction anyway). The owner of a
-  /// shared memory must call begin_cycle() once per simulated cycle
-  /// before any DMA engine ticks.
-  void set_beats_per_cycle(unsigned n) { beats_per_cycle_ = n; }
-  unsigned beats_per_cycle() const { return beats_per_cycle_; }
-  void begin_cycle() {
-    read_beats_left_ = beats_per_cycle_;
-    write_beats_left_ = beats_per_cycle_;
-  }
-
-  /// Claim one beat reading from (resp. writing to) this memory in the
-  /// current cycle; false means the requester must stall this cycle.
-  /// DMA engines arbitrate implicitly in tick order (the System rotates
-  /// that order for fairness).
-  bool try_read_beat() {
-    if (beats_per_cycle_ == 0) return true;
-    if (read_beats_left_ == 0) return false;
-    --read_beats_left_;
-    return true;
-  }
-  bool try_write_beat() {
-    if (beats_per_cycle_ == 0) return true;
-    if (write_beats_left_ == 0) return false;
-    --write_beats_left_;
-    return true;
-  }
-
  private:
   BackingStore store_;
   std::uint64_t bytes_read_ = 0;
   std::uint64_t bytes_written_ = 0;
-  unsigned beats_per_cycle_ = 0;  ///< 0 = unlimited
-  unsigned read_beats_left_ = 0;
-  unsigned write_beats_left_ = 0;
 };
 
 }  // namespace issr::mem

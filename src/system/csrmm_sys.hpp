@@ -34,6 +34,13 @@ struct SysCsrmmConfig {
   /// Columns of B per phase (power of two; 0 = auto: the largest power
   /// of two <= min(b.cols, 8)).
   std::uint32_t col_block = 0;
+  /// Dynamic inter-cluster work stealing per column phase
+  /// (system/steal.hpp): tiles of a fine-grained global plan are
+  /// claimed from a per-phase shared queue instead of the static row
+  /// partition. Only engages for num_clusters > 1.
+  bool steal = true;
+  /// Steal granularity: target tiles per cluster (see csrmv_sys.hpp).
+  std::uint32_t steal_tiles_per_cluster = 4;
   trace::TraceSink* trace_sink = nullptr;
 };
 
@@ -58,14 +65,27 @@ struct SysCsrmmPlan {
 struct SysCsrmmResult {
   SystemResult system;
   sparse::DenseMatrix y;  ///< rows x b_cols, ld = b_cols
+  /// Static partition (with stealing: reported for comparison only).
   std::vector<std::uint32_t> shard_begin;
+  /// Per-cluster plans; with stealing every entry is the same global
+  /// fine-grained plan.
   std::vector<SysCsrmmPlan> plans;
+  /// True when the run used the dynamic stealing path.
+  bool steal = false;
+  /// Steal mode only: tile ownership per phase, flattened as
+  /// [phase * num_tiles + tile] -> claiming cluster.
+  std::vector<unsigned> tile_owner;
 };
 
-/// Plan one cluster's shard (pure function; exposed for tests).
+/// Plan one cluster's shard (pure function; exposed for tests). The
+/// trailing parameters mirror cluster/csrmv_shard.hpp's
+/// plan_tiles_range: extra flag words and a per-tile cost cap for the
+/// work-stealing path's fine-grained global plan; inert at the defaults.
 SysCsrmmPlan plan_csrmm_shard(const sparse::CsrMatrix& a,
                               std::uint32_t b_cols, const SysCsrmmConfig& cfg,
-                              std::uint32_t row_begin, std::uint32_t row_end);
+                              std::uint32_t row_begin, std::uint32_t row_end,
+                              unsigned extra_flag_words = 0,
+                              std::uint64_t tile_cost_target = 0);
 
 /// Run Y = A*B on the simulated multi-cluster system.
 SysCsrmmResult run_csrmm_system(const sparse::CsrMatrix& a,

@@ -28,6 +28,24 @@ struct SysCsrmvConfig {
   SystemConfig system;
   /// Upper bound on rows per tile within each cluster's shard.
   std::uint32_t max_tile_rows = 2048;
+  /// Dynamic inter-cluster work stealing (system/steal.hpp) over a
+  /// fine-grained global tile plan instead of the static row partition.
+  /// Only engages for num_clusters > 1: a single cluster would win
+  /// every tile anyway, so it always runs the static path.
+  bool steal = true;
+  /// Steal granularity: target tiles per cluster. The global plan caps
+  /// each tile's cost at total/(clusters * this); finer shards balance
+  /// the tail better but pay more claim round trips.
+  std::uint32_t steal_tiles_per_cluster = 4;
+  /// Tile staging buffers per cluster in steal mode (>= 2). Extra
+  /// buffers deepen per-worker run-ahead: a fast worker can start its
+  /// share of tile t+k while a straggler still grinds tile t, which
+  /// absorbs residual within-tile share skew on large regular matrices.
+  /// Each buffer costs TCDM (the stream budget divides by this, which
+  /// can force a finer tiling than steal_tiles_per_cluster asked for),
+  /// so the practical range is 2-4 and the default stays at classic
+  /// double buffering. The static path always uses 2.
+  std::uint32_t steal_buffers = 2;
   /// When non-null, the run records cycle-resolved telemetry here
   /// (System::attach_trace); simulated behaviour is unaffected.
   trace::TraceSink* trace_sink = nullptr;
@@ -43,10 +61,17 @@ std::vector<std::uint32_t> partition_rows_balanced(const sparse::CsrMatrix& a,
 struct SysCsrmvResult {
   SystemResult system;
   sparse::DenseVector y;
-  /// Shard boundaries (partition_rows_balanced output).
+  /// Shard boundaries (partition_rows_balanced output). With stealing
+  /// this is the static partition the dynamic schedule replaced —
+  /// reported for comparison, not used by the run.
   std::vector<std::uint32_t> shard_begin;
-  /// Per-cluster tile plans (tiles empty for an empty shard).
+  /// Per-cluster tile plans (tiles empty for an empty shard). With
+  /// stealing every entry is the same global fine-grained plan.
   std::vector<cluster::McTilePlan> plans;
+  /// True when the run used the dynamic stealing path.
+  bool steal = false;
+  /// Steal mode only: global tile index -> the cluster that claimed it.
+  std::vector<unsigned> tile_owner;
 };
 
 /// Run y = A*x on the simulated multi-cluster system.

@@ -1,0 +1,62 @@
+#include "system/steal.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "cluster/csrmv_shard.hpp"
+
+namespace issr::system {
+
+void steal_order_tiles(std::vector<cluster::McTilePlan::Tile>& tiles) {
+  const auto cost = [](const cluster::McTilePlan::Tile& t) {
+    return (t.nnz_end - t.nnz_begin) +
+           cluster::kRowCostOverhead * (t.row_end - t.row_begin);
+  };
+  std::stable_sort(tiles.begin(), tiles.end(),
+                   [&](const auto& lhs, const auto& rhs) {
+                     return cost(lhs) > cost(rhs);
+                   });
+}
+
+SysWorkQueue::SysWorkQueue(std::uint32_t num_items, unsigned num_clusters,
+                           cycle_t hop_latency)
+    : total_(num_items),
+      hop_(hop_latency),
+      pending_(num_clusters),
+      owners_(num_items, num_clusters) {}
+
+bool SysWorkQueue::try_request(unsigned c, cycle_t now,
+                               mem::Interconnect& noc) {
+  assert(!pending_[c].active && "one claim outstanding per cluster");
+  if (!noc.try_link_beat(c, mem::Interconnect::Dir::kEgress, now)) {
+    return false;
+  }
+  const cycle_t arrive = now + hop_;
+  const cycle_t serve = arrive > serve_free_ ? arrive : serve_free_;
+  serve_free_ = serve + 1;
+  Pending& p = pending_[c];
+  p.active = true;
+  p.ready = serve + hop_;
+  if (cursor_ < total_) {
+    p.item = cursor_;
+    owners_[cursor_] = c;
+    ++cursor_;
+  } else {
+    p.item = total_;  // exhausted
+  }
+  return true;
+}
+
+bool SysWorkQueue::poll(unsigned c, cycle_t now, mem::Interconnect& noc,
+                        std::uint32_t& item) {
+  Pending& p = pending_[c];
+  if (!p.active || now < p.ready) return false;
+  if (!noc.try_link_beat(c, mem::Interconnect::Dir::kIngress, now)) {
+    return false;
+  }
+  item = p.item;
+  p.active = false;
+  return true;
+}
+
+}  // namespace issr::system

@@ -6,13 +6,24 @@
 
 namespace issr::system {
 
+namespace {
+
+mem::InterconnectConfig noc_config(const SystemConfig& config) {
+  mem::InterconnectConfig nc = config.noc;
+  nc.num_clusters = config.num_clusters;
+  return nc;
+}
+
+}  // namespace
+
 System::System(const SystemConfig& config,
                std::vector<std::vector<isa::Program>> programs_per_cluster)
     : config_(config),
-      barrier_(config.num_clusters, config.barrier_latency) {
+      noc_(noc_config(config)),
+      barrier_(config.num_clusters, config.barrier_hop_latency,
+               config.barrier_fan_in) {
   assert(config_.num_clusters >= 1);
   assert(programs_per_cluster.size() == config_.num_clusters);
-  main_.set_beats_per_cycle(config_.mem_beats_per_cycle);
   if (config_.arena != nullptr) main_.store().set_arena(config_.arena);
   for (unsigned c = 0; c < config_.num_clusters; ++c) {
     ClusterConfig cc = config_.cluster;
@@ -23,6 +34,7 @@ System::System(const SystemConfig& config,
     cc.fast_forward = config_.fast_forward;
     clusters_.push_back(
         std::make_unique<Cluster>(cc, std::move(programs_per_cluster[c])));
+    clusters_.back()->dma().set_noc(&noc_, c);
   }
 }
 
@@ -30,18 +42,20 @@ void System::attach_trace(trace::TraceSink& sink) {
   for (unsigned c = 0; c < num_clusters(); ++c) {
     clusters_[c]->attach_trace(sink, "c" + std::to_string(c) + ".");
   }
+  noc_.attach_trace(sink);
   barrier_.tracer().attach(sink, sink.add_track("system", "barrier"));
 }
 
 SystemResult System::run(cycle_t max_cycles) {
   // Lockstep engine over every cluster. The rotating tick order decides
-  // which cluster's DMA claims the shared memory's beat budget first in
-  // a contended cycle — a deterministic function of the cycle number, so
-  // no cluster is statically favored and runs stay reproducible.
+  // which cluster's DMA claims a contended bank group (and which steal
+  // request reaches the work queue) first in a cycle — a deterministic
+  // function of the cycle number, so no cluster is statically favored
+  // and runs stay reproducible regardless of host parallelism.
   struct Units {
     System& s;
     void tick(cycle_t now) {
-      s.main_.begin_cycle();
+      s.noc_.begin_cycle(now);
       const unsigned n = s.num_clusters();
       const unsigned start = static_cast<unsigned>(now % n);
       for (unsigned k = 0; k < n; ++k) {
@@ -79,16 +93,19 @@ SystemResult System::run(cycle_t max_cycles) {
   result.cycles = now;
   result.ff_skipped = skipped;
   result.aborted = aborted;
-  // The run is over (or truncated): lift the beat budget so each
-  // cluster's harvest drain can flush pending stores unthrottled, then
-  // restore it — a System must stay configured as built.
-  main_.set_beats_per_cycle(0);
+  // The run is over (or truncated): lift the interconnect budgets so
+  // each cluster's harvest drain can flush pending stores unthrottled,
+  // then restore them — a System must stay configured as built.
+  noc_.set_unlimited(true);
   for (auto& c : clusters_) {
     result.clusters.push_back(c->harvest(now, skipped, aborted));
   }
-  main_.set_beats_per_cycle(config_.mem_beats_per_cycle);
+  noc_.set_unlimited(false);
+  noc_.close_trace();
   result.main_mem_read = main_.bytes_read();
   result.main_mem_written = main_.bytes_written();
+  result.noc_links = noc_.link_stats();
+  result.noc_group_conflicts = noc_.group_conflicts();
   return result;
 }
 

@@ -1,17 +1,22 @@
 // Hierarchical multi-cluster system model: N Snitch clusters — each with
-// its own TCDM, DMA engine, workers, and HW barrier — around one shared,
-// bandwidth-limited main memory, plus an inter-cluster barrier with a
-// configurable release-latency model. This is the scale-out axis above
+// its own TCDM, DMA engine, workers, and HW barrier — behind a
+// topology-aware Interconnect (per-cluster links + bank-group crossbar,
+// mem/interconnect.hpp) to one shared main memory, plus a hierarchical
+// tree barrier with configurable fan-in and per-hop latency
+// (system/barrier.hpp). This is the scale-out axis above
 // cluster/cluster.hpp: the paper evaluates ISSR inside a single eight-core
 // cluster; the System model asks what its kernels do when several such
 // clusters contend for one memory system.
 //
 // Simulation runs all clusters in lockstep system cycles through the same
-// fast-forward engine as the single-cluster path: a cycle ticks the shared
-// memory's beat budget, then every cluster (in a rotating order, so no
-// cluster is statically prioritized at the bandwidth arbiter), and idle
-// stretches are skipped only when every cluster is provably idle — so an
-// N-cluster run of per-cluster-idle workloads stays fast.
+// fast-forward engine as the single-cluster path: a cycle resets the
+// interconnect's per-cycle budgets, then ticks every cluster in a
+// rotating order — the rotation is the NoC's arbiter, so no cluster is
+// statically favored at a contended link or bank group and runs stay
+// reproducible. Idle stretches are skipped only when every cluster is
+// provably idle; a controller parked on the inter-cluster barrier
+// declares its wake-up cycle (set_controller_idle_until), so barrier
+// waits fast-forward without ever skipping a NoC-delayed DMA completion.
 #pragma once
 
 #include <memory>
@@ -20,6 +25,7 @@
 
 #include "cluster/cluster.hpp"
 #include "common/arena.hpp"
+#include "mem/interconnect.hpp"
 #include "mem/main_mem.hpp"
 #include "system/barrier.hpp"
 
@@ -34,14 +40,15 @@ struct SystemConfig {
   /// Per-cluster template (worker count, TCDM, CC parameters). Its
   /// arena/shared_main members are overridden per cluster by the System.
   ClusterConfig cluster;
-  /// Aggregate main-memory beats (64 B) per direction per cycle across
-  /// all clusters' DMA engines; 0 = unlimited. The default of 2 makes a
-  /// 1- or 2-cluster system contention-free (each duplex DMA moves at
-  /// most one beat per direction) and main-memory bandwidth the shared
-  /// bottleneck beyond that — the scaling knee the model exists to show.
-  unsigned mem_beats_per_cycle = 2;
-  /// Inter-cluster barrier release latency in cycles (see barrier.hpp).
-  cycle_t barrier_latency = 32;
+  /// Interconnect topology between the clusters and the shared memory:
+  /// per-cluster link budgets, bank-group crossbar, link latency
+  /// (mem/interconnect.hpp). num_clusters is overridden by the System.
+  mem::InterconnectConfig noc;
+  /// Inter-cluster tree barrier: per-hop latency and fan-in (see
+  /// system/barrier.hpp; release = 2 * levels * hop after last arrival —
+  /// the defaults give 8 clusters the flat model's 32-cycle release).
+  cycle_t barrier_hop_latency = 8;
+  unsigned barrier_fan_in = 4;
   /// Skip provably idle cycle stretches (exact; see core/engine.hpp).
   bool fast_forward = core::engine_fast_forward_default();
   /// When non-null, backs the shared main memory and every cluster's
@@ -60,6 +67,10 @@ struct SystemResult {
   std::vector<ClusterResult> clusters;
   std::uint64_t main_mem_read = 0;
   std::uint64_t main_mem_written = 0;
+  /// Per-cluster link traffic/denial counters and the number of denials
+  /// attributable to a saturated bank group (mem/interconnect.hpp).
+  std::vector<mem::LinkStats> noc_links;
+  std::uint64_t noc_group_conflicts = 0;
 
   /// Attribution denominator: cycles x total worker count.
   std::uint64_t core_cycles() const {
@@ -107,6 +118,7 @@ class System {
   }
   Cluster& cluster(unsigned i) { return *clusters_.at(i); }
   mem::MainMemory& main_mem() { return main_; }
+  mem::Interconnect& noc() { return noc_; }
   SysBarrier& barrier() { return barrier_; }
 
   /// Install cluster `i`'s DMCC controller (cluster/cluster.hpp).
@@ -125,6 +137,7 @@ class System {
  private:
   SystemConfig config_;
   mem::MainMemory main_;
+  mem::Interconnect noc_;
   SysBarrier barrier_;
   std::vector<std::unique_ptr<Cluster>> clusters_;
 };

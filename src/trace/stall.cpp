@@ -7,6 +7,7 @@ const char* to_string(Bucket b) {
     case Bucket::kFpCompute: return "fp_compute";
     case Bucket::kIssue: return "issue";
     case Bucket::kBarrier: return "barrier";
+    case Bucket::kNocContention: return "noc_contention";
     case Bucket::kIdxSerializer: return "idx_serializer";
     case Bucket::kTcdmConflict: return "tcdm_conflict";
     case Bucket::kStreamStarved: return "stream_starved";
@@ -23,6 +24,12 @@ Bucket classify(const CycleObservation& o) {
   if (o.fp_compute) return Bucket::kFpCompute;
   if (o.issued) return Bucket::kIssue;
   if (o.barrier_stall) return Bucket::kBarrier;
+  // A worker wait cycle coincident with a denied NoC beat on its cluster
+  // is the interconnect's fault: had the beat been granted, the stream /
+  // drain condition downstream of the DMA would resolve sooner. Takes
+  // priority over the finer stream buckets so cross-cluster contention is
+  // visible as its own column rather than smeared into stream_starved.
+  if (o.noc_stalled) return Bucket::kNocContention;
   if (o.stream_stall) {
     if (o.idx_serializer) return Bucket::kIdxSerializer;
     if (o.port_conflict) return Bucket::kTcdmConflict;

@@ -22,6 +22,7 @@ enum class Bucket : unsigned {
   kFpCompute = 0,   ///< the FPU issued an arithmetic op (useful work)
   kIssue,           ///< a non-FP-compute instruction issued (core or FPSS)
   kBarrier,         ///< core blocked at the cluster barrier CSR
+  kNocContention,   ///< waiting while the cluster's DMA lost NoC arbitration
   kIdxSerializer,   ///< stream starved behind the index fetch/serializer
   kTcdmConflict,    ///< blocked on TCDM bank-conflict / port arbitration
   kStreamStarved,   ///< stream FIFO empty/full for any other reason
@@ -75,6 +76,7 @@ struct CycleObservation {
   bool fp_compute = false;      ///< FPU arithmetic issue this cycle
   bool issued = false;          ///< any core/FPSS instruction issued
   bool barrier_stall = false;   ///< core polled the barrier and blocked
+  bool noc_stalled = false;     ///< cluster DMA denied a NoC beat this cycle
   bool stream_stall = false;    ///< FPSS blocked on a stream FIFO
   bool idx_serializer = false;  ///< starving lane gated by its index path
   bool port_conflict = false;   ///< a CC memory port lost arbitration

@@ -3,8 +3,11 @@
 // with the golden reference across variants and forced multi-tile runs.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "cluster/barrier.hpp"
 #include "cluster/csrmv_mc.hpp"
+#include "cluster/csrmv_shard.hpp"
 #include "common/rng.hpp"
 #include "isa/assembler.hpp"
 #include "kernels/kargs.hpp"
@@ -112,6 +115,36 @@ TEST(TilePlan, BuffersFitTcdm) {
         buf.idcs_addr + plan.tile_nnz_capacity * iw;
     EXPECT_LE(idcs_end, tcdm.base + tcdm.size_bytes());
   }
+}
+
+TEST(TilePlan, SplitRowsByCostBalancesSkewedRows) {
+  Rng rng(1002);
+  const auto a = sparse::powerlaw_matrix(rng, 256, 256, 12.0, 1.0);
+  const unsigned workers = 8;
+  const auto cut = cluster::split_rows_by_cost(a, 0, a.rows(), workers);
+  // Contiguous cover of the range: monotone boundaries, first/last pinned.
+  ASSERT_EQ(cut.size(), workers + 1);
+  EXPECT_EQ(cut.front(), 0u);
+  EXPECT_EQ(cut.back(), a.rows());
+  for (unsigned w = 0; w < workers; ++w) EXPECT_LE(cut[w], cut[w + 1]);
+  // Cost balance: no worker's share exceeds the ideal mean by more than
+  // one row's cost (a boundary only moves in whole rows). An equal-rows
+  // split of this power-law matrix would hand the hub-row worker several
+  // times the mean.
+  const auto cost = [&](std::uint32_t r0, std::uint32_t r1) {
+    return (a.ptr()[r1] - a.ptr()[r0]) +
+           cluster::kRowCostOverhead * (r1 - r0);
+  };
+  const std::uint64_t total = cost(0, a.rows());
+  std::uint64_t max_row = 0;
+  for (std::uint32_t r = 0; r < a.rows(); ++r) {
+    max_row = std::max(max_row, cost(r, r + 1));
+  }
+  for (unsigned w = 0; w < workers; ++w) {
+    EXPECT_LE(cost(cut[w], cut[w + 1]), total / workers + max_row) << w;
+  }
+  // Pure function: same inputs, same boundaries.
+  EXPECT_EQ(cluster::split_rows_by_cost(a, 0, a.rows(), workers), cut);
 }
 
 struct McCase {

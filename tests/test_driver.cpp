@@ -9,6 +9,7 @@
 #include "driver/runner.hpp"
 #include "driver/runs.hpp"
 #include "driver/scenario.hpp"
+#include "driver/sweep.hpp"
 #include "sparse/generate.hpp"
 
 namespace issr::driver {
@@ -189,6 +190,53 @@ TEST(Scenario, ParseHelpersRoundTrip) {
   EXPECT_FALSE(parse_family("dense", f));
 }
 
+TEST(Scenario, NameCarriesSystemTokensOnlyForMultiCluster) {
+  Scenario s;
+  s.noc_links = 2;
+  s.noc_latency = 9;
+  s.steal = false;
+  // Single-cluster scenarios execute on the cluster/CC simulators, which
+  // have no NoC: whatever the system settings say, their names stay
+  // exactly the historical single-cluster names.
+  EXPECT_EQ(s.name().find("/nl"), std::string::npos);
+  EXPECT_EQ(s.name().find("/lt"), std::string::npos);
+  EXPECT_EQ(s.name().find("/nosteal"), std::string::npos);
+  s.clusters = 8;
+  EXPECT_NE(s.name().find("/x8/nl2/lt9/nosteal"), std::string::npos);
+  // Default settings keep the historical multi-cluster name bytewise.
+  s.noc_links = 1;
+  s.noc_latency = 4;
+  s.steal = true;
+  const auto name = s.name();
+  EXPECT_NE(name.find("/x8"), std::string::npos);
+  EXPECT_EQ(name.find("/nl"), std::string::npos);
+  EXPECT_EQ(name.find("/lt"), std::string::npos);
+  EXPECT_EQ(name.find("/nosteal"), std::string::npos);
+}
+
+// --- Sweep-scheduler cost model ----------------------------------------------
+
+TEST(Sweep, EstimatedCostModelsPowerLawShardSkew) {
+  Scenario uniform;
+  uniform.kernel = Kernel::kCsrmv;
+  uniform.rows = 2048;
+  uniform.cols = 1024;
+  uniform.density = 0.02;
+  uniform.cores = 8;
+  Scenario powerlaw = uniform;
+  powerlaw.family = sparse::MatrixFamily::kPowerLaw;
+  // One cluster has no shard skew: the two families cost the same.
+  EXPECT_DOUBLE_EQ(estimated_cost(powerlaw), estimated_cost(uniform));
+  // Across clusters the heaviest power-law shard runs ~2x the mean (a
+  // hub row is an unsplittable serial chain), and every cluster's
+  // workers spend the cycles the heaviest shard stretches — the
+  // dispatch key must rank the power-law run well ahead of its uniform
+  // twin or the sweep tail-latches on it.
+  uniform.clusters = 8;
+  powerlaw.clusters = 8;
+  EXPECT_DOUBLE_EQ(estimated_cost(powerlaw), 2.0 * estimated_cost(uniform));
+}
+
 // --- Single-scenario execution ----------------------------------------------
 
 ScenarioMatrix tiny_matrix() {
@@ -323,7 +371,7 @@ std::vector<ScenarioResult> fake_results() {
 
 TEST(Report, JsonContainsSchemaAndFields) {
   const auto json = results_to_json(fake_results());
-  EXPECT_NE(json.find("\"schema\": \"issr_run.results.v3\""),
+  EXPECT_NE(json.find("\"schema\": \"issr_run.results.v4\""),
             std::string::npos);
   EXPECT_NE(json.find("\"kernel\": \"csrmv\""), std::string::npos);
   EXPECT_NE(json.find("\"variant\": \"issr\""), std::string::npos);
@@ -332,6 +380,12 @@ TEST(Report, JsonContainsSchemaAndFields) {
   EXPECT_NE(json.find("\"cores\": 8"), std::string::npos);
   // v3 multi-cluster axis column.
   EXPECT_NE(json.find("\"clusters\": 1"), std::string::npos);
+  // v4 interconnect/steal settings and scaling efficiency (1 for a
+  // single-cluster row).
+  EXPECT_NE(json.find("\"noc_links\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"noc_latency\": 4"), std::string::npos);
+  EXPECT_NE(json.find("\"steal\": true"), std::string::npos);
+  EXPECT_NE(json.find("\"scaling_efficiency\": 1"), std::string::npos);
   // Seeds exceed 2^53 in general, so both emitters carry them as hex
   // strings that no double parser or CSV type inference can round.
   EXPECT_NE(json.find("\"seed\": \"0x0000000000003039\""), std::string::npos);
@@ -360,7 +414,7 @@ TEST(Report, CsvHasHeaderAndOneRowPerResult) {
   const auto csv = results_to_csv(fake_results());
   EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 2);
   EXPECT_EQ(csv.find("kernel,variant,index_bits,family,"), 0u);
-  EXPECT_NE(csv.find("csrmv,issr,16,uniform,0.125,10,20,8,1,"
+  EXPECT_NE(csv.find("csrmv,issr,16,uniform,0.125,10,20,8,1,1,4,true,"
                      "0x0000000000003039,30,true,400"),
             std::string::npos);
   // Header and row have equal column counts.
@@ -368,6 +422,29 @@ TEST(Report, CsvHasHeaderAndOneRowPerResult) {
   const auto row = csv.substr(csv.find('\n') + 1);
   EXPECT_EQ(std::count(header.begin(), header.end(), ','),
             std::count(row.begin(), row.end(), ','));
+}
+
+TEST(Report, ScalingEfficiencyPairsRowsWithSingleClusterTwin) {
+  auto rs = fake_results();
+  // An 8-cluster twin of the fake single-cluster row (same kernel,
+  // variant, width, family, density, cores, seed) at 2x its cycles:
+  // speedup 400/200 = 2 on 8 clusters -> efficiency 0.25.
+  ScenarioResult multi = rs[0];
+  multi.scenario.clusters = 8;
+  multi.cycles = 200;
+  rs.push_back(multi);
+  // A multi-cluster row whose baseline is not in the sweep: efficiency
+  // is unknowable from this result set and reports 0.
+  ScenarioResult orphan = multi;
+  orphan.scenario.seed = 99;
+  rs.push_back(orphan);
+  const auto json = results_to_json(rs);
+  EXPECT_NE(json.find("\"scaling_efficiency\": 1,"), std::string::npos);
+  EXPECT_NE(json.find("\"scaling_efficiency\": 0.25,"), std::string::npos);
+  EXPECT_NE(json.find("\"scaling_efficiency\": 0,"), std::string::npos);
+  // CSV emits the same efficiency column for the same rows.
+  const auto csv = results_to_csv(rs);
+  EXPECT_NE(csv.find(",0.25,"), std::string::npos);
 }
 
 TEST(Report, TableHasOneRowPerResult) {
@@ -396,6 +473,35 @@ TEST(Runs, CsrmvHelperValidates) {
                               sparse::IndexWidth::kU32, a, x);
   EXPECT_TRUE(r.ok);
   EXPECT_EQ(r.y.size(), 16u);
+}
+
+TEST(Runs, SysTuningShapesTimingOnly) {
+  Rng rng(14);
+  const auto a = sparse::random_fixed_row_nnz_matrix(rng, 96, 128, 9);
+  const auto x = sparse::random_dense_vector(rng, 128);
+  const auto run = [&](const SysTuning& tuning) {
+    return run_csrmv_sys(kernels::Variant::kIssr, sparse::IndexWidth::kU16,
+                         2, 4, a, x, nullptr, true, {}, tuning);
+  };
+  const auto steal_on = run(SysTuning{});
+  const auto steal_off = run(SysTuning{1, 4, false});
+  const auto slow_noc = run(SysTuning{1, 64, true});
+  EXPECT_TRUE(steal_on.ok);
+  EXPECT_TRUE(steal_off.ok);
+  EXPECT_TRUE(slow_noc.ok);
+  EXPECT_TRUE(steal_on.sys.steal);
+  EXPECT_FALSE(steal_off.sys.steal);
+  // Every tuning combination is timing-only: y is bitwise identical
+  // whether tiles move via the dynamic steal protocol or the static
+  // shards, and whatever the link latency is.
+  ASSERT_EQ(steal_on.sys.y.size(), a.rows());
+  for (std::size_t i = 0; i < steal_on.sys.y.size(); ++i) {
+    EXPECT_EQ(steal_on.sys.y[i], steal_off.sys.y[i]) << i;
+    EXPECT_EQ(steal_on.sys.y[i], slow_noc.sys.y[i]) << i;
+  }
+  // ...but the timing does consult the knobs: a 64-cycle link latency
+  // must cost cycles over the 4-cycle default.
+  EXPECT_GT(slow_noc.sys.system.cycles, steal_on.sys.system.cycles);
 }
 
 }  // namespace

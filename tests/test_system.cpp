@@ -19,6 +19,7 @@
 #include "system/barrier.hpp"
 #include "system/csrmm_sys.hpp"
 #include "system/csrmv_sys.hpp"
+#include "system/steal.hpp"
 
 namespace issr::system {
 namespace {
@@ -29,16 +30,16 @@ using sparse::IndexWidth;
 // --- Inter-cluster barrier -------------------------------------------------
 
 TEST(SysBarrier, ReleasesOnlyAfterAllArriveAndLatencyElapses) {
-  SysBarrier b(3, 10);
+  SysBarrier b(3, 10);  // one tree level (fan-in 4): release = last + 20
   b.arrive(0, 100);
   b.arrive(1, 104);
   EXPECT_FALSE(b.released(0, 105));  // cluster 2 still missing
   EXPECT_FALSE(b.released(1, 1000));
-  b.arrive(2, 108);  // completes the generation; release at 118
+  b.arrive(2, 108);  // completes the generation; release at 128
   EXPECT_EQ(b.generation(), 1u);
-  EXPECT_FALSE(b.released(0, 117));
-  EXPECT_TRUE(b.released(0, 118));
-  EXPECT_TRUE(b.released(1, 118));
+  EXPECT_FALSE(b.released(0, 127));
+  EXPECT_TRUE(b.released(0, 128));
+  EXPECT_TRUE(b.released(1, 128));
   EXPECT_TRUE(b.released(2, 200));
 }
 
@@ -51,17 +52,93 @@ TEST(SysBarrier, ZeroLatencyReleasesAtLastArrival) {
 }
 
 TEST(SysBarrier, ReusableAcrossGenerations) {
-  SysBarrier b(2, 4);
+  SysBarrier b(2, 4);  // one level: release = last arrival + 8
   cycle_t t = 0;
   for (int gen = 1; gen <= 5; ++gen) {
     b.arrive(0, t);
     b.arrive(1, t + 1);
-    EXPECT_FALSE(b.released(0, t + 4));
-    EXPECT_TRUE(b.released(0, t + 5));
-    EXPECT_TRUE(b.released(1, t + 5));
+    EXPECT_FALSE(b.released(0, t + 8));
+    EXPECT_TRUE(b.released(0, t + 9));
+    EXPECT_TRUE(b.released(1, t + 9));
     EXPECT_EQ(b.generation(), static_cast<std::uint64_t>(gen));
-    t += 10;
+    t += 20;
   }
+}
+
+TEST(SysBarrier, TreeLevelsFollowFanIn) {
+  // levels = ceil(log_fan_in(n)); release latency = 2 * levels * hop.
+  EXPECT_EQ(SysBarrier(1, 8).levels(), 0u);
+  EXPECT_EQ(SysBarrier(2, 8).levels(), 1u);
+  EXPECT_EQ(SysBarrier(4, 8).levels(), 1u);
+  EXPECT_EQ(SysBarrier(5, 8).levels(), 2u);
+  EXPECT_EQ(SysBarrier(8, 8).levels(), 2u);   // default fan-in 4
+  EXPECT_EQ(SysBarrier(8, 8, 2).levels(), 3u);
+  EXPECT_EQ(SysBarrier(8, 8, 8).levels(), 1u);
+  EXPECT_EQ(SysBarrier(8, 8).release_latency(), 32u);
+  EXPECT_EQ(SysBarrier(8, 8, 2).release_latency(), 48u);
+  EXPECT_EQ(SysBarrier(16, 3, 2).release_latency(), 24u);
+}
+
+TEST(SysBarrier, ReleaseLatencyPropagatesPerLevel) {
+  // Deeper trees at the same hop latency release strictly later; the
+  // delta is exactly 2 * hop per extra level.
+  SysBarrier wide(8, 8, 8);    // 1 level  -> release = last + 16
+  SysBarrier deep(8, 8, 2);    // 3 levels -> release = last + 48
+  for (unsigned c = 0; c < 8; ++c) {
+    wide.arrive(c, 100 + c);
+    deep.arrive(c, 100 + c);
+  }
+  EXPECT_FALSE(wide.released(0, 122));
+  EXPECT_TRUE(wide.released(0, 123));
+  EXPECT_FALSE(deep.released(0, 154));
+  EXPECT_TRUE(deep.released(0, 155));
+}
+
+TEST(SysBarrier, ArbitraryFanInArriveReleaseOrdering) {
+  // Any arrival order completes the generation; no cluster observes the
+  // release before the last arrival's root round trip, regardless of how
+  // early it arrived or how lopsided the tree is.
+  for (const unsigned fan_in : {2u, 3u, 4u, 7u}) {
+    SysBarrier b(7, 5, fan_in);
+    const unsigned order[] = {3, 0, 6, 1, 5, 2, 4};
+    cycle_t t = 10;
+    cycle_t last = 0;
+    for (const unsigned c : order) {
+      b.arrive(c, t);
+      last = t;
+      t += 7;
+    }
+    const cycle_t release = last + b.release_latency();
+    for (unsigned c = 0; c < 7; ++c) {
+      EXPECT_FALSE(b.released(c, release - 1)) << "fan_in " << fan_in;
+      EXPECT_TRUE(b.released(c, release)) << "fan_in " << fan_in;
+    }
+  }
+}
+
+TEST(SysBarrier, ReductionSumsOperandsPerGeneration) {
+  SysBarrier b(3, 2);
+  b.arrive(0, 0, 10);
+  b.arrive(1, 0, 20);
+  b.arrive(2, 1, 12);
+  EXPECT_EQ(b.reduced(), 42u);
+  for (unsigned c = 0; c < 3; ++c) EXPECT_TRUE(b.released(c, 100));
+  b.arrive(0, 200, 1);
+  b.arrive(1, 200, 2);
+  b.arrive(2, 200, 3);
+  EXPECT_EQ(b.reduced(), 6u);  // fresh accumulation, not 48
+}
+
+TEST(SysBarrier, ReleaseHintExposesOnlyCompletedGenerations) {
+  SysBarrier b(2, 4);
+  EXPECT_EQ(b.release_hint(0), kCycleNever);  // not arrived
+  b.arrive(0, 50);
+  EXPECT_EQ(b.release_hint(0), kCycleNever);  // generation still open
+  b.arrive(1, 60);
+  EXPECT_EQ(b.release_hint(0), 68u);  // 60 + 2 * 1 * 4
+  EXPECT_EQ(b.release_hint(1), 68u);
+  EXPECT_TRUE(b.released(0, 68));
+  EXPECT_EQ(b.release_hint(0), kCycleNever);  // arrival consumed
 }
 
 TEST(SysBarrier, ArriveIsIdempotentWhileWaiting) {
@@ -107,6 +184,90 @@ TEST(Partition, MoreClustersThanRowsLeavesTrailingShardsEmpty) {
   const auto cut = partition_rows_balanced(a, 8);
   EXPECT_EQ(cut.front(), 0u);
   EXPECT_EQ(cut.back(), 3u);
+}
+
+// --- Work-stealing claim queue ---------------------------------------------
+
+TEST(Steal, WorkQueueServesInSendOrderWithRoundTripLatency) {
+  mem::InterconnectConfig nc;
+  nc.num_clusters = 2;
+  nc.link_latency = 4;
+  mem::Interconnect noc(nc);
+  SysWorkQueue q(3, 2, nc.link_latency);
+  noc.begin_cycle(0);
+  ASSERT_TRUE(q.try_request(0, 0, noc));
+  ASSERT_TRUE(q.try_request(1, 0, noc));  // its own link: no collision
+  EXPECT_TRUE(q.outstanding(0));
+  EXPECT_TRUE(q.outstanding(1));
+  // Round trip = request hop (4) + serve slot + reply hop (4). Both
+  // requests arrive at cycle 4; the atomic unit serves one claim per
+  // cycle in arrival (= send) order, so cluster 0's grant is deliverable
+  // at cycle 8 and cluster 1's a cycle later.
+  std::uint32_t item = 99;
+  for (cycle_t t = 1; t < 8; ++t) {
+    noc.begin_cycle(t);
+    EXPECT_FALSE(q.poll(0, t, noc, item)) << t;
+    EXPECT_FALSE(q.poll(1, t, noc, item)) << t;
+  }
+  noc.begin_cycle(8);
+  ASSERT_TRUE(q.poll(0, 8, noc, item));
+  EXPECT_EQ(item, 0u);
+  EXPECT_FALSE(q.poll(1, 8, noc, item));
+  EXPECT_FALSE(q.outstanding(0));
+  noc.begin_cycle(9);
+  ASSERT_TRUE(q.poll(1, 9, noc, item));
+  EXPECT_EQ(item, 1u);
+  EXPECT_EQ(q.owners().at(0), 0u);
+  EXPECT_EQ(q.owners().at(1), 1u);
+}
+
+TEST(Steal, WorkQueueClaimPaysLinkBandwidthAndExhaustsToNumItems) {
+  mem::InterconnectConfig nc;
+  nc.num_clusters = 1;
+  nc.link_latency = 1;
+  mem::Interconnect noc(nc);
+  SysWorkQueue q(1, 1, nc.link_latency);
+  // A data beat already holds the egress link this cycle: the claim is
+  // denied and retried, costing real bandwidth like any other message.
+  noc.begin_cycle(0);
+  ASSERT_TRUE(noc.try_beat(0, mem::Interconnect::Dir::kEgress, 0, 0));
+  EXPECT_FALSE(q.try_request(0, 0, noc));
+  EXPECT_FALSE(q.outstanding(0));
+  noc.begin_cycle(1);
+  ASSERT_TRUE(q.try_request(0, 1, noc));
+  std::uint32_t item = 99;
+  for (cycle_t t = 2;; ++t) {
+    noc.begin_cycle(t);
+    if (q.poll(0, t, noc, item)) break;
+    ASSERT_LT(t, 100u);
+  }
+  EXPECT_EQ(item, 0u);
+  // The queue is now empty: a further claim round-trips the same way
+  // and grants the out-of-work sentinel num_items().
+  noc.begin_cycle(10);
+  ASSERT_TRUE(q.try_request(0, 10, noc));
+  for (cycle_t t = 11;; ++t) {
+    noc.begin_cycle(t);
+    if (q.poll(0, t, noc, item)) break;
+    ASSERT_LT(t, 100u);
+  }
+  EXPECT_EQ(item, q.num_items());
+  ASSERT_EQ(q.owners().size(), 1u);
+  EXPECT_EQ(q.owners()[0], 0u);
+}
+
+TEST(Steal, OrderTilesIsLongestProcessingTimeFirstAndStable) {
+  using Tile = cluster::McTilePlan::Tile;
+  // Costs (nnz + 8/row): a=18, b=38, c=18, d=108 — LPT order is d, b,
+  // then a before c (stable: equal-cost tiles keep row order).
+  std::vector<Tile> tiles = {Tile{0, 1, 0, 10}, Tile{1, 2, 10, 40},
+                             Tile{2, 3, 40, 50}, Tile{3, 8, 50, 118}};
+  steal_order_tiles(tiles);
+  ASSERT_EQ(tiles.size(), 4u);
+  EXPECT_EQ(tiles[0].row_begin, 3u);
+  EXPECT_EQ(tiles[1].row_begin, 1u);
+  EXPECT_EQ(tiles[2].row_begin, 0u);
+  EXPECT_EQ(tiles[3].row_begin, 2u);
 }
 
 // --- Cross-cluster CsrMV ---------------------------------------------------
@@ -243,21 +404,44 @@ TEST(SystemCsrmv, CyclesScaleDownWithClusterCount) {
 }
 
 TEST(SystemCsrmv, SharedBandwidthThrottlesEightClusters) {
-  // With the aggregate budget pinned to one beat per direction per
-  // cycle, eight clusters' DMA engines contend hard; unlimited bandwidth
-  // must be strictly faster. (Both still validate.)
+  // With a single bank group serving one beat per direction per cycle,
+  // eight clusters' DMA engines contend hard at the crossbar; an
+  // unthrottled interconnect must be strictly faster. (Both validate.)
   Rng rng(2106);
   const auto a = sparse::random_fixed_row_nnz_matrix(rng, 512, 192, 24);
   const auto x = sparse::random_dense_vector(rng, a.cols());
   SysCsrmvConfig cfg;
   cfg.system.num_clusters = 8;
-  cfg.system.mem_beats_per_cycle = 1;
+  cfg.system.noc.bank_groups = 1;
+  cfg.system.noc.group_beats_per_cycle = 1;
   const auto throttled = run_csrmv_system(a, x, cfg);
-  cfg.system.mem_beats_per_cycle = 0;  // unlimited
+  cfg.system.noc.link_beats_per_cycle = 0;  // unlimited links...
+  cfg.system.noc.bank_groups = 0;           // ...and no crossbar stage
   const auto open = run_csrmv_system(a, x, cfg);
   EXPECT_TRUE(sparse::allclose(throttled.y, sparse::ref_csrmv(a, x), 1e-9, 1e-9));
   EXPECT_TRUE(sparse::allclose(open.y, sparse::ref_csrmv(a, x), 1e-9, 1e-9));
   EXPECT_GT(throttled.system.cycles, open.system.cycles);
+}
+
+TEST(SystemCsrmv, ContentionFillsNocStallBucketAndOwnershipIsComplete) {
+  Rng rng(2109);
+  const auto a = sparse::random_fixed_row_nnz_matrix(rng, 512, 192, 24);
+  const auto x = sparse::random_dense_vector(rng, a.cols());
+  SysCsrmvConfig cfg;
+  cfg.system.num_clusters = 8;
+  cfg.system.noc.bank_groups = 1;  // one group: everyone serializes
+  cfg.system.noc.group_beats_per_cycle = 1;
+  const auto r = run_csrmv_system(a, x, cfg);
+  EXPECT_TRUE(sparse::allclose(r.y, sparse::ref_csrmv(a, x), 1e-9, 1e-9));
+  // Worker cycles spent while the cluster's DMA loses NoC arbitration
+  // land in the exclusive noc_contention bucket.
+  EXPECT_GT(r.system.total_stalls()[trace::Bucket::kNocContention], 0u);
+  // The steal run records a complete tile -> cluster ownership map over
+  // the shared global plan.
+  ASSERT_TRUE(r.steal);
+  ASSERT_FALSE(r.plans.empty());
+  ASSERT_EQ(r.tile_owner.size(), r.plans[0].tiles.size());
+  for (const unsigned owner : r.tile_owner) EXPECT_LT(owner, 8u);
 }
 
 TEST(SystemCsrmv, StallBucketsDecomposeSystemCoreCycles) {
@@ -279,14 +463,16 @@ TEST(SystemCsrmv, BarrierLatencyExtendsTheRun) {
   const auto x = sparse::random_dense_vector(rng, a.cols());
   SysCsrmvConfig fast;
   fast.system.num_clusters = 2;
-  fast.system.barrier_latency = 0;
+  fast.system.barrier_hop_latency = 0;
   SysCsrmvConfig slow = fast;
-  slow.system.barrier_latency = 500;
+  slow.system.barrier_hop_latency = 250;
   const auto rf = run_csrmv_system(a, x, fast);
   const auto rs = run_csrmv_system(a, x, slow);
-  // The zero-latency release is still observed one poll cycle after the
-  // last arrival, so the extra latency shows up as latency - 1 cycles.
-  EXPECT_GE(rs.system.cycles, rf.system.cycles + 499);
+  // Two clusters form one tree level, so release = 2 * hop after the
+  // last arrival. The DMCC arrives as soon as it has dispatched the halt
+  // epilogue, so the workers' mailbox-drain tail (a few dozen cycles)
+  // overlaps the release latency instead of extending the slow run.
+  EXPECT_GE(rs.system.cycles, rf.system.cycles + 450);
 }
 
 // --- Cross-cluster CsrMM ---------------------------------------------------
