@@ -14,15 +14,18 @@
 #include <cstdint>
 #include <cstdio>
 #include <filesystem>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/cli.hpp"
 #include "core/engine.hpp"
+#include "driver/hostprof.hpp"
 #include "driver/report.hpp"
 #include "driver/runner.hpp"
 #include "driver/scenario.hpp"
 #include "driver/sweep.hpp"
+#include "metrics/prometheus.hpp"
 
 using namespace issr;
 
@@ -77,6 +80,23 @@ Execution and output:
                      (32 B/event per running scenario; max 67108864)
   --stall-report     print per-scenario stall attribution (fractions of
                      core-cycles; buckets sum to 1 exactly)
+  --perf-report      print the per-scenario bottleneck table: FPU
+                     utilization next to the paper's Fig. 4a reference,
+                     the dominant stall bucket with its cycle fraction,
+                     and the NoC-link/TCDM pressure gauges
+  --metrics FILE     write the sweep's utilization counters as one
+                     Prometheus text-exposition document (a labeled
+                     series per scenario plus the host engine's series);
+                     result files are bytewise unaffected
+  --profile-host FILE
+                     write a Chrome trace of the host sweep engine
+                     itself (per-worker run slices, steal markers,
+                     dispatch/run/collect phases, wall-clock microsecond
+                     timestamps); result files are bytewise unaffected
+  --progress         stderr-only heartbeat while the sweep runs
+                     (done/total runs, percent by estimated cost,
+                     aggregate MCPS, ETA); stdout and result files are
+                     bytewise unaffected
   --no-fast-forward  tick every cycle instead of skipping provably idle
                      stretches (results are identical either way; use to
                      bisect a suspected engine discrepancy)
@@ -115,8 +135,12 @@ int main(int argc, char** argv) {
   unsigned reps = 1;
   bool list_only = false;
   bool stall_report = false;
+  bool perf_report = false;
+  bool progress = false;
   bool asset_cache = true;
   std::string out_prefix = "issr_run_results";
+  std::string metrics_path;
+  std::string profile_host_path;
 
   cli::FlagParser parser("issr_run", kUsage);
   core::register_engine_cli(parser);
@@ -125,6 +149,16 @@ int main(int argc, char** argv) {
   parser.add_alias("--dry-run", "--list-scenarios");
   parser.add_switch("--no-asset-cache", [&] { asset_cache = false; });
   parser.add_switch("--stall-report", [&] { stall_report = true; });
+  parser.add_switch("--perf-report", [&] { perf_report = true; });
+  parser.add_switch("--progress", [&] { progress = true; });
+  parser.add_value("--metrics", [&](const std::string& v) {
+    metrics_path = v;
+    return !v.empty();
+  });
+  parser.add_value("--profile-host", [&](const std::string& v) {
+    profile_host_path = v;
+    return !v.empty();
+  });
   parser.add_value("--kernels", [&](const std::string& v) {
     return parse_axis(v, matrix.kernels,
                       [](const std::string& s, driver::Kernel& k) {
@@ -275,6 +309,12 @@ int main(int argc, char** argv) {
   spec.jobs = jobs;
   spec.reps = reps;
   spec.asset_cache = asset_cache;
+  spec.progress = progress;
+  std::unique_ptr<driver::HostProfiler> profiler;
+  if (!profile_host_path.empty()) {
+    profiler = std::make_unique<driver::HostProfiler>();
+    spec.profiler = profiler.get();
+  }
   auto outcome = driver::run_sweep(spec);
   const auto& results = outcome.results;
   const auto& st = outcome.stats;
@@ -301,6 +341,7 @@ int main(int argc, char** argv) {
 
   driver::results_table(results).print();
   if (stall_report) driver::stall_table(results).print();
+  if (perf_report) driver::perf_report_table(results).print();
 
   const std::string json_path = out_prefix + ".json";
   const std::string csv_path = out_prefix + ".csv";
@@ -313,6 +354,50 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::printf("wrote %s and %s\n", json_path.c_str(), csv_path.c_str());
+
+  if (!metrics_path.empty()) {
+    // One Prometheus document for the whole sweep: each scenario's
+    // simulated-hardware snapshot as a labeled series — with the host's
+    // per-scenario wall time and throughput folded in as host_* gauges —
+    // plus the sweep engine's own unlabeled series.
+    std::vector<metrics::Snapshot> per_scenario(results.size());
+    std::vector<metrics::LabeledSnapshot> series;
+    series.reserve(results.size() + 1);
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      per_scenario[i] = results[i].metrics;
+      metrics::Registry host;
+      const double secs = outcome.run_seconds[i];
+      host.observe_max("host_run_seconds", secs);
+      if (secs > 0.0) {
+        host.observe_max(
+            "host_mcps",
+            static_cast<double>(results[i].core_cycles) / secs / 1e6);
+      }
+      per_scenario[i].merge(host.snapshot());
+      series.push_back(
+          {{{"scenario", results[i].scenario.name()}}, &per_scenario[i]});
+    }
+    series.push_back({{}, &outcome.host_metrics});
+    if (!driver::write_text_file(metrics_path,
+                                 metrics::to_prometheus(series))) {
+      std::fprintf(stderr, "issr_run: failed to write %s\n",
+                   metrics_path.c_str());
+      return 1;
+    }
+    std::printf("wrote %s (Prometheus text exposition)\n",
+                metrics_path.c_str());
+  }
+
+  if (profiler != nullptr) {
+    if (!profiler->write(profile_host_path)) {
+      std::fprintf(stderr, "issr_run: failed to write %s\n",
+                   profile_host_path.c_str());
+      return 1;
+    }
+    std::printf("wrote %s (host sweep-engine profile; open in "
+                "chrome://tracing or https://ui.perfetto.dev)\n",
+                profile_host_path.c_str());
+  }
 
   unsigned trace_failures = 0;
   if (!spec.options.trace_dir.empty()) {

@@ -11,6 +11,7 @@
 
 #include "common/cli.hpp"
 #include "common/rng.hpp"
+#include "common/version.hpp"
 #include "core/engine.hpp"
 #include "core/sim.hpp"
 #include "driver/runs.hpp"
@@ -36,22 +37,10 @@ inline bool full_run() {
 }
 
 /// Tree identity stamped into the throughput-trajectory JSON documents
-/// (BENCH_simspeed.json / BENCH_sweepspeed.json). ISSR_GIT_DESCRIBE
-/// overrides (CI and the committed artifacts use symbolic labels);
-/// otherwise `git describe`, falling back to "unknown" outside a repo.
-inline std::string git_describe() {
-  if (const char* env = std::getenv("ISSR_GIT_DESCRIBE")) return env;
-  std::string out;
-  if (std::FILE* p = popen("git describe --always --dirty 2>/dev/null", "r")) {
-    char buf[128];
-    if (std::fgets(buf, sizeof buf, p)) out = buf;
-    pclose(p);
-  }
-  while (!out.empty() && (out.back() == '\n' || out.back() == '\r')) {
-    out.pop_back();
-  }
-  return out.empty() ? "unknown" : out;
-}
+/// (BENCH_simspeed.json / BENCH_sweepspeed.json). One implementation
+/// with the results-JSON provenance header (common/version.hpp):
+/// ISSR_GIT_DESCRIBE overrides, then `git describe`, then "unknown".
+inline std::string git_describe() { return issr::engine_version(); }
 
 /// Fixed four-decimal rendering for the throughput JSON/table numbers.
 inline std::string fmt_fixed4(double v) {

@@ -12,6 +12,8 @@
 
 #include "bench_common.hpp"
 #include "common/table.hpp"
+#include "driver/report.hpp"
+#include "metrics/harvest.hpp"
 
 using namespace issr;
 
@@ -50,14 +52,34 @@ int main(int argc, char** argv) {
         bench::run_spvv_cc(kernels::Variant::kIssr, sparse::IndexWidth::kU32,
                            a, b);
 
-    t.add_row({fmt_u(nnz), fmt_f(base.fpu_util()), fmt_f(ssr.fpu_util()),
-               fmt_f(i16.fpu_util()), fmt_f(i16.fpu_util_fmadd_only()),
-               fmt_f(i32.fpu_util()), fmt_f(i32.fpu_util_fmadd_only())});
+    // Utilizations come from the metrics registry (util_fpu /
+    // util_fpu_fmadd are defined as the results' own fpu_util members),
+    // so this table and `issr_run --perf-report` read the same numbers
+    // and cannot diverge.
+    const auto mb = metrics::harvest_cc(base);
+    const auto ms = metrics::harvest_cc(ssr);
+    const auto m16 = metrics::harvest_cc(i16);
+    const auto m32 = metrics::harvest_cc(i32);
+    t.add_row({fmt_u(nnz), fmt_f(mb.value("util_fpu")),
+               fmt_f(ms.value("util_fpu")), fmt_f(m16.value("util_fpu")),
+               fmt_f(m16.value("util_fpu_fmadd")),
+               fmt_f(m32.value("util_fpu")),
+               fmt_f(m32.value("util_fpu_fmadd"))});
   }
   t.print();
   t.write_csv("fig4a_spvv_util.csv");
 
-  std::printf("paper anchors: BASE->0.11, SSR->0.14, ISSR16->0.80, "
-              "ISSR32->0.67; ISSR16 overtakes ISSR32 only at higher nnz\n");
+  // The anchors are the same constants --perf-report's reference column
+  // prints (driver::paper_util_reference).
+  std::printf("paper anchors: BASE->%.2f, SSR->%.2f, ISSR16->%.2f, "
+              "ISSR32->%.2f; ISSR16 overtakes ISSR32 only at higher nnz\n",
+              driver::paper_util_reference(kernels::Variant::kBase,
+                                           sparse::IndexWidth::kU32),
+              driver::paper_util_reference(kernels::Variant::kSsr,
+                                           sparse::IndexWidth::kU32),
+              driver::paper_util_reference(kernels::Variant::kIssr,
+                                           sparse::IndexWidth::kU16),
+              driver::paper_util_reference(kernels::Variant::kIssr,
+                                           sparse::IndexWidth::kU32));
   return 0;
 }

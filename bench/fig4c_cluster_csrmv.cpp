@@ -13,6 +13,7 @@
 #include "bench_common.hpp"
 #include "cluster/csrmv_mc.hpp"
 #include "common/table.hpp"
+#include "metrics/harvest.hpp"
 
 using namespace issr;
 
@@ -49,12 +50,16 @@ int main(int argc, char** argv) {
                              sparse::IndexWidth::kU16, a, x);
     const auto issr = run_mc(kernels::Variant::kIssr,
                              sparse::IndexWidth::kU16, a, x);
+    // util/conflict cells come from the metrics registry (defined as the
+    // cluster's own fpu_util()/conflict_rate()), so this table and
+    // `issr_run --perf-report` can never disagree.
+    const auto m = metrics::harvest_cluster(issr.cluster);
     t.add_row({fmt_u(rn), fmt_u(base.cluster.cycles),
                fmt_u(issr.cluster.cycles),
                fmt_speedup(static_cast<double>(base.cluster.cycles) /
                            static_cast<double>(issr.cluster.cycles)),
-               fmt_f(issr.cluster.fpu_util()),
-               fmt_f(issr.cluster.tcdm.conflict_rate())});
+               fmt_f(m.value("util_fpu")),
+               fmt_f(m.value("tcdm_conflict_rate"))});
   }
   t.print();
   t.write_csv("fig4c_cluster_sweep.csv");
@@ -84,7 +89,8 @@ int main(int argc, char** argv) {
     ts.add_row({name, fmt_u(a.nnz()), fmt_f(a.avg_row_nnz(), 1),
                 fmt_speedup(static_cast<double>(base.cluster.cycles) /
                             static_cast<double>(issr.cluster.cycles)),
-                fmt_f(issr.cluster.fpu_util()),
+                fmt_f(metrics::harvest_cluster(issr.cluster)
+                          .value("util_fpu")),
                 fmt_u(issr.plan.tiles.size())});
   }
   ts.print();

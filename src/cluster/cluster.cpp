@@ -131,6 +131,10 @@ ClusterResult Cluster::harvest(cycle_t now, cycle_t ff_skipped, bool aborted) {
   for (const auto& w : workers_) {
     result.core.push_back(w->core().stats());
     result.fpss.push_back(w->fpss().stats());
+    result.ssr_lanes.push_back(
+        w->streamer().lane(ssr::Streamer::kSsrLane).stats());
+    result.issr_lanes.push_back(
+        w->streamer().lane(ssr::Streamer::kIssrLane).stats());
     result.stalls.push_back(w->stall_buckets());
     assert(result.stalls.back().total() == result.cycles &&
            "each worker's stall buckets must decompose the cycle count");

@@ -55,6 +55,11 @@ struct ClusterResult {
   bool aborted = false;
   std::vector<core::SnitchStats> core;
   std::vector<core::FpssStats> fpss;
+  /// Per-worker streamer lane statistics (ssr::Streamer lanes 0/1):
+  /// element throughput, index-word fetches, port-mux conflicts. Feeds
+  /// the lane-occupancy metrics (metrics/harvest.hpp).
+  std::vector<ssr::LaneStats> ssr_lanes;
+  std::vector<ssr::LaneStats> issr_lanes;
   /// Per-worker stall attribution; each worker's buckets sum to `cycles`.
   std::vector<trace::StallBuckets> stalls;
   mem::TcdmStats tcdm;

@@ -1,0 +1,34 @@
+// Engine build provenance, stamped into every results JSON header and
+// every bench artifact so a committed number can always be traced to the
+// code and build that produced it (and so ROADMAP item 5's result cache
+// can key on engine identity).
+//
+// Everything here is a *static build fact*: the source revision, the
+// CMake build type, whether LTO was on, and the compiled-in fast-forward
+// default. Runtime state — in particular the process-wide fast-forward
+// toggle `--no-fast-forward` flips — is deliberately excluded: CI
+// byte-diffs result files across runs with fast-forward on and off, and
+// a provenance header that tracked runtime knobs would break the
+// "results are a pure function of the scenario matrix" bar.
+#pragma once
+
+#include <string>
+
+namespace issr {
+
+/// Source revision: `$ISSR_GIT_DESCRIBE` when set (CI and committed
+/// artifacts pin symbolic labels), else `git describe --always --dirty`,
+/// else "unknown" outside a repository. Computed once per process.
+const std::string& engine_version();
+
+/// CMake build type the library was compiled as ("Release", "Debug", ...).
+const char* engine_build_type();
+
+/// True when the library was compiled with interprocedural optimization.
+bool engine_build_lto();
+
+/// The compiled-in default of the idle-cycle fast-forward engine (the
+/// value engine_fast_forward_default() starts at before any CLI flag).
+bool engine_build_fast_forward_default();
+
+}  // namespace issr

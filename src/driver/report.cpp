@@ -5,11 +5,24 @@
 #include <cstdlib>
 
 #include "common/textfile.hpp"
+#include "common/version.hpp"
 #include "driver/sweep.hpp"
+#include "trace/chrome.hpp"
 
 namespace issr::driver {
 
 namespace {
+
+/// The flat utilization columns (schema v5): fixed projections of the
+/// per-run metrics snapshot, one column each in the JSON rows and the
+/// CSV. Runs that lack a subsystem (a single-CC run has no TCDM, a
+/// single-cluster run no NoC) read deterministic zeros. Order is the
+/// emission order.
+constexpr const char* kUtilColumns[] = {
+    "util_fpu_fmadd",     "util_ssr_lane",     "util_issr_lane",
+    "util_dma",           "util_noc_link",     "tcdm_conflict_rate",
+    "barrier_wait_frac",
+};
 
 /// Shortest round-trip decimal rendering of a double (JSON number):
 /// the fewest significant digits whose strtod recovers the exact value,
@@ -112,6 +125,34 @@ void append_fields(std::string& out, const ScenarioResult& r,
     const std::string key = std::string("stall_") + trace::to_string(bucket);
     field(key.c_str(), fmt_u(r.stalls[bucket]), false);
   }
+  // v5 flat utilization columns: projections of the metrics snapshot
+  // (absent entries read 0 — see kUtilColumns).
+  for (const char* name : kUtilColumns) {
+    field(name, fmt_double(r.metrics.value(name)), false);
+  }
+}
+
+/// The nested per-row `"metrics"` object (JSON only): the full harvest
+/// catalog, counters as integers and gauges as round-trip doubles. The
+/// flat columns above are projections of these same entries, so the two
+/// views can never disagree.
+void append_metrics_object(std::string& out, const metrics::Snapshot& m) {
+  out += ", \"metrics\": {";
+  bool first = true;
+  for (const auto& e : m.entries()) {
+    // Harvest snapshots carry no histograms; guard anyway so a future
+    // histogram degrades to its scalar view instead of corrupting JSON.
+    if (!first) out += ", ";
+    first = false;
+    out += "\"";
+    out += e.name;
+    out += "\": ";
+    out += e.kind == metrics::Kind::kCounter
+               ? fmt_u(e.count)
+               : fmt_double(e.kind == metrics::Kind::kHistogram ? e.sum
+                                                                : e.value);
+  }
+  out += "}";
 }
 
 /// The stall column names, joined for the CSV header.
@@ -129,14 +170,28 @@ std::string stall_csv_columns() {
 std::string results_to_json(const std::vector<ScenarioResult>& results) {
   std::string out;
   // Build the whole document in one buffer (write_text_file then issues
-  // a single stream write). ~620 bytes covers a keyed row with every
-  // stall column; the reserve makes growth a no-op for typical sweeps.
-  out.reserve(128 + 640 * results.size());
-  out += "{\n  \"schema\": \"issr_run.results.v4\",\n  \"results\": [";
+  // a single stream write). ~1.3 KiB covers a keyed row with every stall
+  // and metrics field; the reserve makes growth a no-op for typical
+  // sweeps.
+  out.reserve(512 + 1400 * results.size());
+  out += "{\n  \"schema\": \"issr_run.results.v5\",\n";
+  // Engine provenance (v5): static build facts only — the revision, the
+  // build type, LTO, and the compiled-in fast-forward default. Runtime
+  // knobs (--no-fast-forward, --jobs, caching) are deliberately absent:
+  // result documents stay a pure function of the scenario matrix, and CI
+  // byte-diffs them across every runtime configuration.
+  out += "  \"engine\": {\"version\": \"" +
+         trace::json_escape(engine_version()) + "\", \"build_type\": \"" +
+         trace::json_escape(engine_build_type()) + "\", \"lto\": " +
+         (engine_build_lto() ? "true" : "false") +
+         ", \"fast_forward_default\": " +
+         (engine_build_fast_forward_default() ? "true" : "false") + "},\n";
+  out += "  \"results\": [";
   const auto eff = scaling_efficiencies(results);
   for (std::size_t i = 0; i < results.size(); ++i) {
     out += i ? ",\n    {" : "\n    {";
     append_fields(out, results[i], eff[i], ", ", "\"", ": ", /*keyed=*/true);
+    append_metrics_object(out, results[i].metrics);
     out += "}";
   }
   out += results.empty() ? "]\n}\n" : "\n  ]\n}\n";
@@ -144,11 +199,16 @@ std::string results_to_json(const std::vector<ScenarioResult>& results) {
 }
 
 std::string results_to_csv(const std::vector<ScenarioResult>& results) {
+  std::string util_columns;
+  for (const char* name : kUtilColumns) {
+    util_columns += ",";
+    util_columns += name;
+  }
   std::string out =
       "kernel,variant,index_bits,family,density,rows,cols,cores,clusters,"
       "noc_links,noc_latency,steal,seed,nnz,ok,cycles,fpu_util,macs,"
       "macs_per_cycle,scaling_efficiency," +
-      stall_csv_columns() + "\n";
+      stall_csv_columns() + util_columns + "\n";
   out.reserve(out.size() + 256 * results.size());
   const auto eff = scaling_efficiencies(results);
   for (std::size_t i = 0; i < results.size(); ++i) {
@@ -167,6 +227,52 @@ Table results_table(const std::vector<ScenarioResult>& results) {
                fmt_u(r.cols), fmt_u(r.nnz), fmt_u(r.cycles),
                fmt_f(r.fpu_util), fmt_f(r.macs_per_cycle),
                r.ok ? "yes" : "NO"});
+  }
+  return t;
+}
+
+double paper_util_reference(kernels::Variant v, sparse::IndexWidth w) {
+  // The paper's Fig. 4a single-cluster SpVV FPU-utilization anchors —
+  // the same constants bench/fig4a_spvv_util.cpp validates against.
+  switch (v) {
+    case kernels::Variant::kBase:
+      return 0.11;
+    case kernels::Variant::kSsr:
+      return 0.14;
+    case kernels::Variant::kIssr:
+      return w == sparse::IndexWidth::kU16 ? 0.80 : 0.67;
+  }
+  return 0.0;
+}
+
+Table perf_report_table(const std::vector<ScenarioResult>& results) {
+  Table t("perf report (bottleneck diagnosis per scenario)");
+  t.set_header({"scenario", "FPU util", "paper ref", "vs ref", "bottleneck",
+                "frac", "NoC link", "TCDM confl"});
+  for (const auto& r : results) {
+    // Dominant stall bucket: the largest non-useful-work bucket — where
+    // this scenario's cycles actually went.
+    trace::Bucket worst = trace::Bucket::kIssue;
+    std::uint64_t worst_count = 0;
+    for (unsigned b = 0; b < trace::kNumBuckets; ++b) {
+      const auto bucket = static_cast<trace::Bucket>(b);
+      if (bucket == trace::Bucket::kFpCompute) continue;
+      if (r.stalls[bucket] > worst_count) {
+        worst_count = r.stalls[bucket];
+        worst = bucket;
+      }
+    }
+    // The FPU-utilization cell reads the metrics registry — the same
+    // entry the benches report — so the report and the benches can never
+    // disagree about the headline number.
+    const double util = r.metrics.value("util_fpu");
+    const double ref =
+        paper_util_reference(r.scenario.variant, r.scenario.width);
+    t.add_row({r.scenario.name(), fmt_f(util), fmt_f(ref, 2),
+               fmt_f(ref > 0.0 ? util / ref : 0.0, 2),
+               trace::to_string(worst), fmt_f(r.stalls.fraction(worst)),
+               fmt_f(r.metrics.value("util_noc_link")),
+               fmt_f(r.metrics.value("tcdm_conflict_rate"))});
   }
   return t;
 }

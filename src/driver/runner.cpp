@@ -8,6 +8,7 @@
 #include "driver/assets.hpp"
 #include "driver/runs.hpp"
 #include "driver/sweep.hpp"
+#include "metrics/harvest.hpp"
 #include "trace/chrome.hpp"
 #include "trace/ring.hpp"
 
@@ -70,6 +71,7 @@ ScenarioResult run_scenario(const Scenario& s, const RunOptions& opts,
     out.macs = r.sim.fpss.fmadd + r.sim.fpss.fmul;
     out.core_cycles = r.sim.cycles;
     out.stalls = r.sim.stalls;
+    out.metrics = metrics::harvest_cc(r.sim);
   } else {
     // Hand-built-scenario normalization (expand() never emits these):
     // kDiagonal has no driver generator (the workload builder falls back
@@ -100,6 +102,8 @@ ScenarioResult run_scenario(const Scenario& s, const RunOptions& opts,
       out.macs = r.sys.system.total_macs();
       out.core_cycles = r.sys.system.core_cycles();
       out.stalls = r.sys.system.total_stalls();
+      out.metrics = metrics::harvest_system(
+          r.sys.system, r.sys.steal ? &r.sys.queue : nullptr);
     } else if (cores == 1) {
       const auto r = run_csrmv_cc(s.variant, s.width, a, x, sink.get(),
                                   /*validate=*/true, aids);
@@ -109,6 +113,7 @@ ScenarioResult run_scenario(const Scenario& s, const RunOptions& opts,
       out.macs = r.sim.fpss.fmadd + r.sim.fpss.fmul;
       out.core_cycles = r.sim.cycles;
       out.stalls = r.sim.stalls;
+      out.metrics = metrics::harvest_cc(r.sim);
     } else {
       const auto r = run_csrmv_mc(s.variant, s.width, cores, a, x,
                                   sink.get(), /*validate=*/true, aids);
@@ -119,6 +124,7 @@ ScenarioResult run_scenario(const Scenario& s, const RunOptions& opts,
       out.core_cycles =
           r.mc.cluster.cycles * static_cast<std::uint64_t>(cores);
       out.stalls = r.mc.cluster.total_stalls();
+      out.metrics = metrics::harvest_cluster(r.mc.cluster);
     }
   }
   out.macs_per_cycle = out.cycles ? static_cast<double>(out.macs) /
@@ -130,6 +136,11 @@ ScenarioResult run_scenario(const Scenario& s, const RunOptions& opts,
   assert(out.stalls.total() == out.core_cycles &&
          "stall buckets must sum to the simulated core-cycles");
   if (out.stalls.total() != out.core_cycles) out.ok = false;
+
+  // The utilization invariant the metrics layer promises: every
+  // util_*/_frac/_rate gauge lies in [0, 1]. Same poisoning policy as
+  // the stall-sum invariant above.
+  if (!metrics::utilization_in_bounds(out.metrics)) out.ok = false;
 
   if (sink) {
     const std::string path = trace_file_path(opts.trace_dir, out.scenario);

@@ -14,6 +14,7 @@
 #include "common/arena.hpp"
 #include "common/types.hpp"
 #include "driver/scenario.hpp"
+#include "metrics/metrics.hpp"
 #include "trace/stall.hpp"
 
 namespace issr::driver {
@@ -39,6 +40,13 @@ struct ScenarioResult {
   /// cycles x cores. stalls.total() == core_cycles is asserted per run.
   std::uint64_t core_cycles = 0;
   trace::StallBuckets stalls;  ///< exact per-cycle stall attribution
+  /// Utilization/occupancy/traffic series for the run, derived at
+  /// harvest from the simulator's own statistics (metrics/harvest.hpp) —
+  /// never recorded mid-simulation, so timing is untouched. `util_fpu`
+  /// equals `fpu_util` exactly (same member function computes both);
+  /// every `util_*`/`*_frac`/`*_rate` entry is asserted within [0, 1]
+  /// (a violation poisons `ok`, like a stall-sum mismatch).
+  metrics::Snapshot metrics;
   /// The scenario's trace file could not be written (I/O failure only —
   /// independent of `ok`, which reports simulation validity). Not a
   /// report column: it describes this invocation, not the simulation.

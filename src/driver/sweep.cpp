@@ -5,6 +5,7 @@
 #include <cassert>
 #include <chrono>
 #include <condition_variable>
+#include <cstdio>
 #include <cstring>
 #include <deque>
 #include <memory>
@@ -14,6 +15,7 @@
 
 #include "common/arena.hpp"
 #include "common/log.hpp"
+#include "driver/hostprof.hpp"
 
 namespace issr::driver {
 
@@ -122,6 +124,7 @@ SweepOutcome run_sweep(const SweepSpec& spec) {
   SweepOutcome out;
   const std::size_t n = spec.scenarios.size();
   out.results.resize(n);
+  out.run_seconds.assign(n, 0.0);
   const unsigned reps = std::max(1u, spec.reps);
   if (n == 0) return out;
 
@@ -137,6 +140,20 @@ SweepOutcome run_sweep(const SweepSpec& spec) {
   const std::size_t total_tasks = n * reps;
   const unsigned workers = static_cast<unsigned>(std::min<std::size_t>(
       std::max(1u, spec.jobs), total_tasks));
+
+  // Host profiling tracks (one per worker + one for the engine phases).
+  // The profiler only ever *records* what happened — nothing below reads
+  // it back — so attaching one cannot change scheduling or results.
+  HostProfiler* prof = spec.profiler;
+  std::uint32_t phase_track = 0;
+  std::vector<std::uint32_t> worker_tracks(workers, 0);
+  if (prof != nullptr) {
+    phase_track = prof->add_track("sweep", "phases");
+    for (unsigned w = 0; w < workers; ++w) {
+      worker_tracks[w] = prof->add_track("sweep", "worker " + std::to_string(w));
+    }
+    prof->begin(phase_track, "dispatch");
+  }
 
   // Shared run telemetry. rep0_print[i] is written exactly once (by the
   // worker that runs rep 0 of scenario i) before any rep > 0 task for i
@@ -176,6 +193,49 @@ SweepOutcome run_sweep(const SweepSpec& spec) {
   for (std::size_t i = 0; i < n; ++i) {
     deques[i % workers].q.push_back(Task{order[i], 0, cost[order[i]]});
   }
+
+  // --progress heartbeat state. Percent/ETA come from estimated_cost
+  // fractions (the same model the scheduler dispatches by), MCPS from
+  // the shared core-cycle counter. Everything goes to stderr only, so
+  // stdout and the result documents are provably untouched by it.
+  const double total_cost =
+      reps * std::accumulate(cost.begin(), cost.end(), 0.0);
+  std::atomic<std::uint64_t> done_cost{0};
+  std::mutex prog_mu;
+  Clock::time_point last_print = t_start;
+  const auto progress_tick = [&](bool final) {
+    if (!spec.progress) return;
+    std::lock_guard<std::mutex> lock(prog_mu);
+    const auto now = Clock::now();
+    if (!final && now - last_print < std::chrono::milliseconds(100)) return;
+    last_print = now;
+    const double elapsed =
+        std::chrono::duration<double>(now - t_start).count();
+    const std::size_t done =
+        total_tasks - remaining.load(std::memory_order_relaxed);
+    const double frac =
+        total_cost > 0.0
+            ? std::min(1.0, static_cast<double>(done_cost.load(
+                                std::memory_order_relaxed)) /
+                                total_cost)
+            : 1.0;
+    const double mcps =
+        elapsed > 0.0
+            ? static_cast<double>(
+                  core_cycles.load(std::memory_order_relaxed)) /
+                  elapsed / 1e6
+            : 0.0;
+    const double eta = frac > 0.0 ? elapsed * (1.0 - frac) / frac : 0.0;
+    std::fprintf(stderr,
+                 "\r[sweep] %zu/%zu runs  %5.1f%%  %7.1f MCPS  ETA %6.1fs%s",
+                 done, total_tasks, frac * 100.0, mcps, eta,
+                 final ? "\n" : "");
+    std::fflush(stderr);
+  };
+
+  // Per-worker metric registries: share-nothing while the sweep runs
+  // (like the staged results), merged into one host snapshot afterwards.
+  std::vector<metrics::Registry> regs(workers);
 
   // Per-worker result staging: workers never touch the shared results
   // vector mid-run (adjacent ScenarioResult slots share cache lines), so
@@ -225,6 +285,10 @@ SweepOutcome run_sweep(const SweepSpec& spec) {
     Arena arena;
     const SweepContext ctx{assets, &arena};
     auto& local = staged[w];
+    metrics::Registry& reg = regs[w];
+    reg.histogram("host_run_us", 0.0, 1e6, 20);
+    const std::uint32_t track = prof != nullptr ? worker_tracks[w] : 0;
+    std::uint64_t busy_us = 0;
     for (;;) {
       Task t;
       const bool own = pop_own(w, t);
@@ -243,15 +307,29 @@ SweepOutcome run_sweep(const SweepSpec& spec) {
             idle_cv.wait_for(lock, std::chrono::milliseconds(1));
             continue;
           }
-          return;
+          break;
         }
         steals.fetch_add(1, std::memory_order_relaxed);
+        if (prof != nullptr) prof->instant(track, "steal", t.index);
       }
 
       arena.reset();  // previous run's simulators are long destroyed
       const Scenario& s = spec.scenarios[t.index];
+      if (prof != nullptr) prof->begin(track, s.name());
+      const auto run_t0 = Clock::now();
       ScenarioResult r =
           run_scenario(s, t.rep == 0 ? opts : rep_opts, ctx);
+      const double run_us =
+          std::chrono::duration<double, std::micro>(Clock::now() - run_t0)
+              .count();
+      if (prof != nullptr) prof->end(track, s.name());
+      busy_us += static_cast<std::uint64_t>(run_us);
+      reg.add("host_runs", 1);
+      reg.record("host_run_us", run_us);
+      // Rep-0 wall time lands at the scenario's index: exactly one task
+      // writes each slot, so no lock is needed (same argument as
+      // rep0_print above).
+      if (t.rep == 0) out.run_seconds[t.index] = run_us * 1e-6;
       core_cycles.fetch_add(r.core_cycles, std::memory_order_relaxed);
 
       if (t.rep == 0) {
@@ -282,9 +360,19 @@ SweepOutcome run_sweep(const SweepSpec& spec) {
         }
       }
       remaining.fetch_sub(1, std::memory_order_acq_rel);
+      done_cost.fetch_add(static_cast<std::uint64_t>(cost[t.index]),
+                          std::memory_order_relaxed);
+      progress_tick(false);
     }
+    reg.add("host_busy_us", busy_us);
+    reg.observe_max("host_arena_reserved_bytes",
+                    static_cast<double>(arena.reserved_bytes()));
   };
 
+  if (prof != nullptr) {
+    prof->end(phase_track, "dispatch");
+    prof->begin(phase_track, "run");
+  }
   if (workers == 1) {
     worker_fn(0);
   } else {
@@ -292,6 +380,10 @@ SweepOutcome run_sweep(const SweepSpec& spec) {
     pool.reserve(workers);
     for (unsigned w = 0; w < workers; ++w) pool.emplace_back(worker_fn, w);
     for (auto& t : pool) t.join();
+  }
+  if (prof != nullptr) {
+    prof->end(phase_track, "run");
+    prof->begin(phase_track, "collect");
   }
 
   for (auto& local : staged) {
@@ -310,6 +402,29 @@ SweepOutcome run_sweep(const SweepSpec& spec) {
   out.stats.wall_seconds =
       std::chrono::duration<double>(Clock::now() - t_start).count();
   if (assets != nullptr) out.stats.cache = assets->stats();
+
+  // Host metrics: merge the per-worker registries (any merge order gives
+  // the same snapshot — the contract tests/test_metrics.cpp asserts),
+  // then fold in the sweep-global aggregates.
+  for (const auto& reg : regs) out.host_metrics.merge(reg.snapshot());
+  {
+    metrics::Registry g;
+    g.add("host_steals", out.stats.steals);
+    g.add("host_workload_builds", out.stats.cache.workload_builds);
+    g.add("host_workload_hits", out.stats.cache.workload_hits);
+    g.add("host_program_builds", out.stats.cache.program_builds);
+    g.add("host_program_hits", out.stats.cache.program_hits);
+    g.observe_max("host_workers", static_cast<double>(workers));
+    g.observe_max("host_wall_seconds", out.stats.wall_seconds);
+    if (out.stats.wall_seconds > 0.0) {
+      g.observe_max("host_mcps",
+                    static_cast<double>(out.stats.core_cycles) /
+                        out.stats.wall_seconds / 1e6);
+    }
+    out.host_metrics.merge(g.snapshot());
+  }
+  if (prof != nullptr) prof->end(phase_track, "collect");
+  progress_tick(true);
   return out;
 }
 

@@ -22,8 +22,11 @@
 #include "driver/assets.hpp"
 #include "driver/runner.hpp"
 #include "driver/scenario.hpp"
+#include "metrics/metrics.hpp"
 
 namespace issr::driver {
+
+class HostProfiler;
 
 /// One batched sweep request.
 struct SweepSpec {
@@ -37,6 +40,16 @@ struct SweepSpec {
   /// (`--no-asset-cache` clears this to force the rebuild-every-run path
   /// for bisection; outputs are bytewise identical either way).
   bool asset_cache = true;
+  /// When non-null, the engine records a wall-clock timeline into it:
+  /// one track per worker (run slices named by scenario, steal
+  /// instants) plus a phases track (--profile-host). Observational
+  /// only — never read by the simulation, never reflected in results.
+  HostProfiler* profiler = nullptr;
+  /// Emit a throttled stderr heartbeat (done/total, percent by
+  /// estimated cost, current MCPS, ETA) while the sweep runs
+  /// (--progress). Writes only to stderr, so stdout and every result
+  /// file stay bytewise identical with it on or off.
+  bool progress = false;
   RunOptions options;
 };
 
@@ -55,6 +68,14 @@ struct SweepStats {
 struct SweepOutcome {
   std::vector<ScenarioResult> results;  ///< positionally aligned, one per scenario
   SweepStats stats;
+  /// Host-engine metrics (host_* namespace): per-worker run/busy
+  /// counters and run-time histogram merged across workers, plus
+  /// steal/cache/arena/wall aggregates. Observational: feeds --metrics,
+  /// never the result documents.
+  metrics::Snapshot host_metrics;
+  /// Rep-0 wall seconds per scenario, positionally aligned with
+  /// `results` (host-side timing; zeros only if a scenario never ran).
+  std::vector<double> run_seconds;
 };
 
 /// Expected relative wall cost of simulating `s` (arbitrary units,

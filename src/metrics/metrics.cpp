@@ -1,0 +1,200 @@
+#include "metrics/metrics.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+
+namespace issr::metrics {
+
+const char* to_string(Kind k) {
+  switch (k) {
+    case Kind::kCounter:
+      return "counter";
+    case Kind::kGaugeMax:
+      return "gauge_max";
+    case Kind::kGaugeMin:
+      return "gauge_min";
+    case Kind::kHistogram:
+      return "histogram";
+  }
+  return "unknown";
+}
+
+std::string fmt_compact(double v) {
+  char buf[64];
+  for (const int prec : {15, 16, 17}) {
+    std::snprintf(buf, sizeof buf, "%.*g", prec, v);
+    if (std::strtod(buf, nullptr) == v) break;
+  }
+  return buf;
+}
+
+void observe(Entry& gauge, double v) {
+  assert(gauge.kind == Kind::kGaugeMax || gauge.kind == Kind::kGaugeMin);
+  if (gauge.samples == 0) {
+    gauge.value = v;
+  } else if (gauge.kind == Kind::kGaugeMax) {
+    gauge.value = std::max(gauge.value, v);
+  } else {
+    gauge.value = std::min(gauge.value, v);
+  }
+  ++gauge.samples;
+}
+
+void record_sample(Entry& histogram, double x) {
+  assert(histogram.kind == Kind::kHistogram && !histogram.buckets.empty());
+  const std::size_t bins = histogram.buckets.size();
+  std::size_t b = 0;
+  if (histogram.hi > histogram.lo) {
+    const double t = (x - histogram.lo) / (histogram.hi - histogram.lo);
+    const double scaled = t * static_cast<double>(bins);
+    if (scaled >= static_cast<double>(bins)) {
+      b = bins - 1;
+    } else if (scaled > 0.0) {
+      b = static_cast<std::size_t>(scaled);
+    }
+  }
+  ++histogram.buckets[b];
+  ++histogram.count;
+  histogram.sum += x;
+}
+
+const Entry* Snapshot::find(std::string_view name) const {
+  const auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), name,
+      [](const Entry& e, std::string_view n) { return e.name < n; });
+  if (it == entries_.end() || it->name != name) return nullptr;
+  return &*it;
+}
+
+double Snapshot::value(std::string_view name) const {
+  const Entry* e = find(name);
+  if (e == nullptr) return 0.0;
+  switch (e->kind) {
+    case Kind::kCounter:
+      return static_cast<double>(e->count);
+    case Kind::kGaugeMax:
+    case Kind::kGaugeMin:
+      return e->value;
+    case Kind::kHistogram:
+      return e->sum;
+  }
+  return 0.0;
+}
+
+void Snapshot::merge(const Snapshot& other) {
+  // Merge-join over two sorted lists; the result stays sorted/unique.
+  std::vector<Entry> merged;
+  merged.reserve(entries_.size() + other.entries_.size());
+  std::size_t i = 0, j = 0;
+  while (i < entries_.size() || j < other.entries_.size()) {
+    if (j == other.entries_.size() ||
+        (i < entries_.size() && entries_[i].name < other.entries_[j].name)) {
+      merged.push_back(std::move(entries_[i++]));
+      continue;
+    }
+    if (i == entries_.size() || other.entries_[j].name < entries_[i].name) {
+      merged.push_back(other.entries_[j++]);
+      continue;
+    }
+    Entry e = std::move(entries_[i++]);
+    const Entry& o = other.entries_[j++];
+    assert(e.kind == o.kind && "merging metrics of different kinds");
+    switch (e.kind) {
+      case Kind::kCounter:
+        e.count += o.count;
+        break;
+      case Kind::kGaugeMax:
+      case Kind::kGaugeMin:
+        // samples == 0 is the identity element, so merging is associative
+        // even when one side never observed the gauge.
+        if (e.samples == 0) {
+          e.value = o.value;
+        } else if (o.samples != 0) {
+          e.value = e.kind == Kind::kGaugeMax ? std::max(e.value, o.value)
+                                              : std::min(e.value, o.value);
+        }
+        e.samples += o.samples;
+        break;
+      case Kind::kHistogram:
+        assert(e.lo == o.lo && e.hi == o.hi &&
+               e.buckets.size() == o.buckets.size() &&
+               "merging histograms of different shapes");
+        for (std::size_t b = 0; b < e.buckets.size(); ++b) {
+          e.buckets[b] += o.buckets[b];
+        }
+        e.count += o.count;
+        e.sum += o.sum;
+        break;
+    }
+    merged.push_back(std::move(e));
+  }
+  entries_ = std::move(merged);
+}
+
+Entry& Registry::get(std::string_view name, Kind kind) {
+  const auto it = entries_.find(name);
+  if (it != entries_.end()) {
+    assert(it->second.kind == kind && "metric re-registered as another kind");
+    return it->second;
+  }
+  Entry e;
+  e.name = std::string(name);
+  e.kind = kind;
+  return entries_.emplace(e.name, std::move(e)).first->second;
+}
+
+Entry& Registry::counter(std::string_view name) {
+  return get(name, Kind::kCounter);
+}
+
+Entry& Registry::gauge_max(std::string_view name) {
+  return get(name, Kind::kGaugeMax);
+}
+
+Entry& Registry::gauge_min(std::string_view name) {
+  return get(name, Kind::kGaugeMin);
+}
+
+Entry& Registry::histogram(std::string_view name, double lo, double hi,
+                           std::uint32_t bins) {
+  assert(bins > 0 && hi > lo);
+  Entry& e = get(name, Kind::kHistogram);
+  if (e.buckets.empty()) {
+    e.lo = lo;
+    e.hi = hi;
+    e.buckets.assign(bins, 0);
+  }
+  assert(e.lo == lo && e.hi == hi && e.buckets.size() == bins &&
+         "histogram re-registered with another shape");
+  return e;
+}
+
+void Registry::add(std::string_view counter_name, std::uint64_t n) {
+  counter(counter_name).count += n;
+}
+
+void Registry::observe_max(std::string_view gauge_name, double v) {
+  observe(gauge_max(gauge_name), v);
+}
+
+void Registry::observe_min(std::string_view gauge_name, double v) {
+  observe(gauge_min(gauge_name), v);
+}
+
+void Registry::record(std::string_view histogram_name, double x) {
+  const auto it = entries_.find(histogram_name);
+  assert(it != entries_.end() &&
+         "record() requires a histogram registered via histogram()");
+  record_sample(it->second, x);
+}
+
+Snapshot Registry::snapshot() const {
+  Snapshot s;
+  s.entries_.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) s.entries_.push_back(entry);
+  return s;
+}
+
+}  // namespace issr::metrics

@@ -1,0 +1,136 @@
+#include "metrics/prometheus.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <set>
+
+namespace issr::metrics {
+
+namespace {
+
+std::string fmt_count(std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%" PRIu64, v);
+  return buf;
+}
+
+std::string render_labels(
+    const std::vector<std::pair<std::string, std::string>>& labels,
+    const char* extra_key = nullptr, const std::string& extra_value = {}) {
+  if (labels.empty() && extra_key == nullptr) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ",";
+    first = false;
+    out += k;
+    out += "=\"";
+    out += escape_label_value(v);
+    out += "\"";
+  }
+  if (extra_key != nullptr) {
+    if (!first) out += ",";
+    out += extra_key;
+    out += "=\"";
+    out += escape_label_value(extra_value);
+    out += "\"";
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace
+
+std::string escape_label_value(std::string_view v) {
+  std::string out;
+  out.reserve(v.size());
+  for (const char c : v) {
+    if (c == '\\' || c == '"') {
+      out += '\\';
+      out += c;
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::string prometheus_name(std::string_view name, std::string_view prefix) {
+  std::string out(prefix);
+  out.reserve(prefix.size() + name.size());
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+std::string to_prometheus(const std::vector<LabeledSnapshot>& series,
+                          std::string_view prefix) {
+  // Union of metric names (std::set gives the sorted emission order).
+  std::set<std::string> names;
+  for (const auto& s : series) {
+    if (s.snapshot == nullptr) continue;
+    for (const auto& e : s.snapshot->entries()) names.insert(e.name);
+  }
+
+  std::string out;
+  for (const auto& name : names) {
+    const std::string pname = prometheus_name(name, prefix);
+    // The declared type comes from the first series carrying the metric;
+    // merge() already enforces cross-series kind agreement.
+    Kind kind = Kind::kCounter;
+    for (const auto& s : series) {
+      if (const Entry* e = s.snapshot ? s.snapshot->find(name) : nullptr) {
+        kind = e->kind;
+        break;
+      }
+    }
+    const char* type = kind == Kind::kCounter     ? "counter"
+                       : kind == Kind::kHistogram ? "histogram"
+                                                  : "gauge";
+    out += "# TYPE " + pname + " " + type + "\n";
+    for (const auto& s : series) {
+      const Entry* e = s.snapshot ? s.snapshot->find(name) : nullptr;
+      if (e == nullptr) continue;
+      switch (e->kind) {
+        case Kind::kCounter:
+          out += pname + render_labels(s.labels) + " " + fmt_count(e->count) +
+                 "\n";
+          break;
+        case Kind::kGaugeMax:
+        case Kind::kGaugeMin:
+          out += pname + render_labels(s.labels) + " " +
+                 fmt_compact(e->value) + "\n";
+          break;
+        case Kind::kHistogram: {
+          // Cumulative le buckets over the linear bins, then +Inf.
+          std::uint64_t cum = 0;
+          const std::size_t bins = e->buckets.size();
+          const double step = (e->hi - e->lo) / static_cast<double>(bins);
+          for (std::size_t b = 0; b + 1 < bins; ++b) {
+            cum += e->buckets[b];
+            const double le = e->lo + step * static_cast<double>(b + 1);
+            out += pname + "_bucket" +
+                   render_labels(s.labels, "le", fmt_compact(le)) + " " +
+                   fmt_count(cum) + "\n";
+          }
+          out += pname + "_bucket" + render_labels(s.labels, "le", "+Inf") +
+                 " " + fmt_count(e->count) + "\n";
+          out += pname + "_sum" + render_labels(s.labels) + " " +
+                 fmt_compact(e->sum) + "\n";
+          out += pname + "_count" + render_labels(s.labels) + " " +
+                 fmt_count(e->count) + "\n";
+          break;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace issr::metrics

@@ -1,0 +1,42 @@
+// Prometheus text-exposition rendering of metric snapshots
+// (`issr_run --metrics FILE`). One document aggregates a whole sweep:
+// each scenario's simulated-hardware snapshot becomes a labeled series
+// (`issr_util_fpu{scenario="csrmv/issr/w16/..."}`), and the host engine's
+// snapshot emits unlabeled. The format is the stable subset of
+// https://prometheus.io/docs/instrumenting/exposition_formats/ — `# TYPE`
+// comments, `name{labels} value` samples, and the `_bucket`/`_sum`/
+// `_count` triple for histograms (with cumulative `le` buckets).
+//
+// Rendering is deterministic: metric names emit in sorted order, series
+// in the order given, numbers through fmt_compact().
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "metrics/metrics.hpp"
+
+namespace issr::metrics {
+
+/// One series: a snapshot plus the label set its samples carry.
+struct LabeledSnapshot {
+  /// Label pairs rendered inside {...}; empty = unlabeled samples.
+  /// Values are escaped by the renderer; keys must be valid label names.
+  std::vector<std::pair<std::string, std::string>> labels;
+  const Snapshot* snapshot = nullptr;
+};
+
+/// Escape a label value (backslash, double quote, newline).
+std::string escape_label_value(std::string_view v);
+
+/// Sanitize a metric name for Prometheus ([a-zA-Z0-9_:] only; every
+/// other byte becomes '_') and prepend `prefix`.
+std::string prometheus_name(std::string_view name, std::string_view prefix);
+
+/// Render every series as one Prometheus text document (trailing newline
+/// included). Gauge kinds both render as `gauge`; the max/min merge rule
+/// is a snapshot-side concern the exposition format doesn't carry.
+std::string to_prometheus(const std::vector<LabeledSnapshot>& series,
+                          std::string_view prefix = "issr_");
+
+}  // namespace issr::metrics

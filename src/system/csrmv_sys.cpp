@@ -522,7 +522,10 @@ SysCsrmvResult run_csrmv_system(const sparse::CsrMatrix& a,
   result.system = sys.run();
   result.y = sparse::DenseVector(a.rows());
   sys.main_mem().store().read_doubles(main.y, result.y.data(), a.rows());
-  if (queue) result.tile_owner = queue->owners();
+  if (queue) {
+    result.tile_owner = queue->owners();
+    result.queue = queue->stats();
+  }
   return result;
 }
 

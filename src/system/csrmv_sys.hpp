@@ -18,6 +18,7 @@
 #include "cluster/csrmv_mc.hpp"
 #include "sparse/csr.hpp"
 #include "sparse/dense.hpp"
+#include "system/steal.hpp"
 #include "system/system.hpp"
 
 namespace issr::system {
@@ -72,6 +73,9 @@ struct SysCsrmvResult {
   bool steal = false;
   /// Steal mode only: global tile index -> the cluster that claimed it.
   std::vector<unsigned> tile_owner;
+  /// Steal mode only: claim round-trip latency / NoC-denial counters of
+  /// the shared work queue (zeros on the static path).
+  SysQueueStats queue;
 };
 
 /// Run y = A*x on the simulated multi-cluster system.

@@ -29,6 +29,7 @@ bool SysWorkQueue::try_request(unsigned c, cycle_t now,
                                mem::Interconnect& noc) {
   assert(!pending_[c].active && "one claim outstanding per cluster");
   if (!noc.try_link_beat(c, mem::Interconnect::Dir::kEgress, now)) {
+    ++stats_.send_denied;
     return false;
   }
   const cycle_t arrive = now + hop_;
@@ -36,6 +37,7 @@ bool SysWorkQueue::try_request(unsigned c, cycle_t now,
   serve_free_ = serve + 1;
   Pending& p = pending_[c];
   p.active = true;
+  p.sent = now;
   p.ready = serve + hop_;
   if (cursor_ < total_) {
     p.item = cursor_;
@@ -52,10 +54,15 @@ bool SysWorkQueue::poll(unsigned c, cycle_t now, mem::Interconnect& noc,
   Pending& p = pending_[c];
   if (!p.active || now < p.ready) return false;
   if (!noc.try_link_beat(c, mem::Interconnect::Dir::kIngress, now)) {
+    ++stats_.deliver_denied;
     return false;
   }
   item = p.item;
   p.active = false;
+  const std::uint64_t wait = now - p.sent;
+  ++stats_.claims;
+  stats_.claim_wait_cycles += wait;
+  if (wait > stats_.claim_wait_max) stats_.claim_wait_max = wait;
   return true;
 }
 

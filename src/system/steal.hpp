@@ -92,6 +92,20 @@ inline addr_t steal_done_flag(addr_t flags_addr, unsigned workers,
   return flags_addr + 8ull * (2 + 3u * workers + worker);
 }
 
+/// Observational claim-queue counters (metrics/harvest.hpp). Purely
+/// derived from the simulated schedule — recording them never changes a
+/// timing decision — and deterministic like everything else here.
+struct SysQueueStats {
+  std::uint64_t claims = 0;  ///< grants delivered (exhausted replies too)
+  /// Sum over delivered claims of (delivery cycle - request send cycle):
+  /// the full round trip including both hops, the serve slot, and any
+  /// ingress-beat redelivery stalls. claims == 0 means no steal traffic.
+  std::uint64_t claim_wait_cycles = 0;
+  std::uint64_t claim_wait_max = 0;   ///< slowest single round trip
+  std::uint64_t send_denied = 0;      ///< requests denied an egress beat
+  std::uint64_t deliver_denied = 0;   ///< grants denied an ingress beat
+};
+
 /// The shared claim queue over `num_items` work items. One instance is
 /// shared by every cluster's controller; ownership is recorded for
 /// post-run reporting.
@@ -124,9 +138,12 @@ class SysWorkQueue {
   /// and determinism tests).
   const std::vector<unsigned>& owners() const { return owners_; }
 
+  const SysQueueStats& stats() const { return stats_; }
+
  private:
   struct Pending {
     bool active = false;
+    cycle_t sent = 0;  ///< request send cycle (claim-latency accounting)
     cycle_t ready = 0;
     std::uint32_t item = 0;
   };
@@ -137,6 +154,7 @@ class SysWorkQueue {
   cycle_t serve_free_ = 0;      ///< first cycle the atomic unit is free
   std::vector<Pending> pending_;
   std::vector<unsigned> owners_;
+  SysQueueStats stats_;
 };
 
 }  // namespace issr::system

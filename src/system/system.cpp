@@ -106,6 +106,7 @@ SystemResult System::run(cycle_t max_cycles) {
   result.main_mem_written = main_.bytes_written();
   result.noc_links = noc_.link_stats();
   result.noc_group_conflicts = noc_.group_conflicts();
+  result.noc_config = noc_.config();
   return result;
 }
 

@@ -71,6 +71,11 @@ struct SystemResult {
   /// attributable to a saturated bank group (mem/interconnect.hpp).
   std::vector<mem::LinkStats> noc_links;
   std::uint64_t noc_group_conflicts = 0;
+  /// The interconnect topology the run used (as the System normalized
+  /// it) — carried so post-run consumers can turn the raw link counters
+  /// into busy fractions (beats granted / offered link capacity) without
+  /// re-deriving the configuration.
+  mem::InterconnectConfig noc_config;
 
   /// Attribution denominator: cycles x total worker count.
   std::uint64_t core_cycles() const {

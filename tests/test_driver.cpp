@@ -371,8 +371,12 @@ std::vector<ScenarioResult> fake_results() {
 
 TEST(Report, JsonContainsSchemaAndFields) {
   const auto json = results_to_json(fake_results());
-  EXPECT_NE(json.find("\"schema\": \"issr_run.results.v4\""),
+  EXPECT_NE(json.find("\"schema\": \"issr_run.results.v5\""),
             std::string::npos);
+  // v5 engine-provenance header and per-row metrics block.
+  EXPECT_NE(json.find("\"engine\": {"), std::string::npos);
+  EXPECT_NE(json.find("\"build_type\": "), std::string::npos);
+  EXPECT_NE(json.find("\"metrics\": {"), std::string::npos);
   EXPECT_NE(json.find("\"kernel\": \"csrmv\""), std::string::npos);
   EXPECT_NE(json.find("\"variant\": \"issr\""), std::string::npos);
   EXPECT_NE(json.find("\"index_bits\": 16"), std::string::npos);
