@@ -11,6 +11,8 @@
 //   $ issr_run --kernel csrmv --densities 0.01,0.1 --cores 1,8 --jobs 4
 //   $ issr_run --kernel csrmv --cores 8 --clusters 1,4 --stall-report
 //
+#include <unistd.h>
+
 #include <cstdint>
 #include <cstdio>
 #include <filesystem>
@@ -26,6 +28,7 @@
 #include "driver/scenario.hpp"
 #include "driver/sweep.hpp"
 #include "metrics/prometheus.hpp"
+#include "sim/fault.hpp"
 
 using namespace issr;
 
@@ -105,12 +108,61 @@ Execution and output:
                      (aliases: --list, --dry-run)
   --help             this text
 
+Robustness (fault-isolated sweeps; docs/ROBUSTNESS.md):
+  --max-cycles N     per-run simulated-cycle budget; a run that
+                     exhausts it ends as a cycle_limit fault row
+                     instead of simulating forever  [engine default]
+  --inject SPEC      deterministic fault injection: comma-separated
+                     KIND[@TARGET] entries, each applied to scenarios
+                     whose name contains TARGET (every scenario when
+                     omitted). KIND: corrupt, barrier-drop, dma-stall,
+                     throw, flaky, fault. Injected sweeps are still
+                     bytewise identical for any --jobs
+  --retries N        re-run a scenario whose worker threw a host
+                     exception, same seed, up to N times; simulated
+                     faults are deterministic and never retried  [0]
+  --fail-fast        stop dispatching new runs at the first faulted
+                     row; rows that never ran report as skipped
+  --keep-going       isolate each fault to its own result row and
+                     finish the sweep (default; the only mode whose
+                     output is independent of --jobs)
+
 Combinations with no implemented kernel (SpVV with cores > 1 or
 clusters > 1) are skipped during expansion. Every record carries
 stall-attribution columns whose buckets sum exactly to
-cycles x cores x clusters. Exit status is nonzero if any scenario's
-simulated result fails validation against the golden host reference.
+cycles x cores x clusters. Exit status: 0 all scenarios completed and
+validated; 1 a completed scenario mismatched the golden host reference
+(or a trace file could not be written); 2 the sweep finished with
+faulted rows isolated (--keep-going); 3 the sweep stopped early on a
+fault (--fail-fast).
 )";
+
+/// Up-front writability probe for one output file path: the parent
+/// directory must exist and be writable, and a file already at the path
+/// must itself be writable — so a long sweep cannot run to completion
+/// and then lose its results to a typoed --out/--metrics/--profile-host.
+/// Probes only (access(2)); never creates or truncates anything.
+bool writable_file_path(const std::string& path, std::string& why) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  const fs::path p(path);
+  const fs::path parent =
+      p.has_parent_path() ? p.parent_path() : fs::path(".");
+  if (!fs::is_directory(parent, ec)) {
+    why = "directory " + parent.string() + " does not exist";
+    return false;
+  }
+  if (fs::is_directory(p, ec)) {
+    why = "path is a directory";
+    return false;
+  }
+  const fs::path probe = fs::exists(p, ec) ? p : parent;
+  if (::access(probe.c_str(), W_OK) != 0) {
+    why = "no write permission for " + probe.string();
+    return false;
+  }
+  return true;
+}
 
 /// Parse each comma-separated element of `list` with `parse` into `out`.
 /// Returns false (leaving the error report to FlagParser, which names the
@@ -141,6 +193,8 @@ int main(int argc, char** argv) {
   std::string out_prefix = "issr_run_results";
   std::string metrics_path;
   std::string profile_host_path;
+  // Lives in main so it outlives the sweep (RunOptions::inject borrows).
+  sim::FaultPlan inject_plan;
 
   cli::FlagParser parser("issr_run", kUsage);
   core::register_engine_cli(parser);
@@ -148,6 +202,8 @@ int main(int argc, char** argv) {
   parser.add_alias("--list", "--list-scenarios");
   parser.add_alias("--dry-run", "--list-scenarios");
   parser.add_switch("--no-asset-cache", [&] { asset_cache = false; });
+  parser.add_switch("--fail-fast", [&] { spec.fail_fast = true; });
+  parser.add_switch("--keep-going", [&] { spec.fail_fast = false; });
   parser.add_switch("--stall-report", [&] { stall_report = true; });
   parser.add_switch("--perf-report", [&] { perf_report = true; });
   parser.add_switch("--progress", [&] { progress = true; });
@@ -265,6 +321,25 @@ int main(int argc, char** argv) {
     spec.options.trace_dir = v;
     return !v.empty();
   });
+  parser.add_value("--max-cycles", [&](const std::string& v) {
+    std::uint64_t n = 0;
+    if (!cli::parse_u64(v, n) || n == 0) return false;
+    spec.options.max_cycles = n;
+    return true;
+  });
+  parser.add_value("--inject", [&](const std::string& v) {
+    std::string error;
+    if (!sim::FaultPlan::parse(v, inject_plan, error)) {
+      parser.fail("--inject: " + error);
+    }
+    return true;
+  });
+  parser.add_value("--retries", [&](const std::string& v) {
+    std::uint64_t n = 0;
+    if (!cli::parse_u64(v, n, 100)) return false;
+    spec.retries = static_cast<unsigned>(n);
+    return true;
+  });
   parser.add_value("--trace-events", [&](const std::string& v) {
     // Each retained event costs 32 B per concurrently-running scenario;
     // cap the window at 64 Mi events (2 GiB) so a typo cannot request an
@@ -299,6 +374,35 @@ int main(int argc, char** argv) {
                    spec.options.trace_dir.c_str(), ec.message().c_str());
       return 1;
     }
+    if (::access(spec.options.trace_dir.c_str(), W_OK) != 0) {
+      std::fprintf(stderr, "issr_run: trace directory %s is not writable\n",
+                   spec.options.trace_dir.c_str());
+      return 1;
+    }
+  }
+
+  // Probe every requested output destination before simulating anything:
+  // an unwritable path fails here, in milliseconds, with the offending
+  // flag named — not after the sweep has burned its wall-clock budget.
+  {
+    struct OutputPath {
+      const char* flag;
+      std::string path;
+    };
+    std::vector<OutputPath> outputs = {{"--out", out_prefix + ".json"},
+                                       {"--out", out_prefix + ".csv"}};
+    if (!metrics_path.empty()) outputs.push_back({"--metrics", metrics_path});
+    if (!profile_host_path.empty()) {
+      outputs.push_back({"--profile-host", profile_host_path});
+    }
+    for (const auto& o : outputs) {
+      std::string why;
+      if (!writable_file_path(o.path, why)) {
+        std::fprintf(stderr, "issr_run: %s %s is not writable: %s\n", o.flag,
+                     o.path.c_str(), why.c_str());
+        return 1;
+      }
+    }
   }
 
   std::printf("issr_run: %zu scenarios, %u worker thread%s%s%s\n",
@@ -310,6 +414,7 @@ int main(int argc, char** argv) {
   spec.reps = reps;
   spec.asset_cache = asset_cache;
   spec.progress = progress;
+  if (!inject_plan.empty()) spec.options.inject = &inject_plan;
   std::unique_ptr<driver::HostProfiler> profiler;
   if (!profile_host_path.empty()) {
     profiler = std::make_unique<driver::HostProfiler>();
@@ -414,17 +519,38 @@ int main(int argc, char** argv) {
                 spec.options.trace_dir.c_str());
   }
 
-  unsigned failures = 0;
+  // Row disposition → exit status. Faulted/skipped rows dominate
+  // (partial sweep: 2 keep-going, 3 fail-fast), then validation
+  // mismatches (1, the historical failure code), then trace-write
+  // failures (1), then clean (0).
+  unsigned mismatches = 0;
+  unsigned faults = 0;
+  unsigned skipped = 0;
   for (const auto& r : results) {
-    if (!r.ok) {
+    if (r.skipped) {
+      std::fprintf(stderr, "SKIP: %s never ran (--fail-fast stop)\n",
+                   r.scenario.name().c_str());
+      ++skipped;
+    } else if (r.fault) {
+      std::fprintf(stderr, "FAULT: %s: %s\n", r.scenario.name().c_str(),
+                   r.fault.describe().c_str());
+      ++faults;
+    } else if (!r.ok) {
       std::fprintf(stderr, "FAIL: %s did not match the host reference\n",
                    r.scenario.name().c_str());
-      ++failures;
+      ++mismatches;
     }
   }
-  if (failures) {
+  if (faults || skipped) {
+    std::fprintf(stderr,
+                 "issr_run: %u faulted, %u skipped, %u mismatched of %zu "
+                 "scenarios\n",
+                 faults, skipped, mismatches, results.size());
+    return spec.fail_fast ? 3 : 2;
+  }
+  if (mismatches) {
     std::fprintf(stderr, "issr_run: %u/%zu scenarios failed validation\n",
-                 failures, results.size());
+                 mismatches, results.size());
     return 1;
   }
   return trace_failures ? 1 : 0;

@@ -1,11 +1,11 @@
 #!/usr/bin/env python3
-"""Sanity-gate the v5 metrics surface of a results JSON (and optionally
+"""Sanity-gate the v6 metrics surface of a results JSON (and optionally
 a --metrics Prometheus dump).
 
 Usage: check_metrics.py RESULTS.json [--prometheus METRICS.prom]
 
 Fails (exit 1) when:
-  * the document is not schema issr_run.results.v5 or lacks the engine
+  * the document is not schema issr_run.results.v6 or lacks the engine
     provenance header,
   * any utilization gauge — a flat util_* column, or any metrics entry
     named util_* / *_frac / *_rate — falls outside [0, 1],
@@ -47,13 +47,26 @@ def check_results(path):
     failures = []
     with open(path) as f:
         doc = json.load(f)
-    if doc.get("schema") != "issr_run.results.v5":
+    if doc.get("schema") != "issr_run.results.v6":
         failures.append(f"unexpected schema {doc.get('schema')!r}")
     engine = doc.get("engine")
     if not isinstance(engine, dict) or "version" not in engine:
         failures.append("missing engine provenance header")
     for row in doc.get("results", []):
         name = "/".join(str(row.get(k)) for k in ("kernel", "variant"))
+        # v6 row disposition: faulted rows carry a fault code (and a
+        # nested fault object) and need not satisfy the completed-run
+        # invariants below; skipped rows never ran at all.
+        status = row.get("status")
+        if status not in ("ok", "mismatch", "fault", "skipped"):
+            failures.append(f"{name}: bad status {status!r}")
+            continue
+        if (status == "fault") != bool(row.get("fault")):
+            failures.append(
+                f"{name}: status {status!r} inconsistent with "
+                f"fault={row.get('fault')!r}")
+        if status in ("fault", "skipped"):
+            continue
         metrics = row.get("metrics")
         if not isinstance(metrics, dict):
             failures.append(f"{name}: missing metrics object")

@@ -28,6 +28,14 @@ class HwBarrier {
       // Arrival: wait for the generation counter to reach gen_ + 1.
       target_[hart] = gen_ + 1;
       if (++arrived_ == n_) {
+        if (drop_next_release_) {
+          // Injected fault (sim::InjectKind::kBarrierDrop): the release
+          // is swallowed — arrived_ stays saturated, gen_ never bumps,
+          // so every poller waits forever and the engine's no-progress
+          // watchdog classifies the run as a barrier deadlock.
+          trace_.instant(now_, "dropped_release", gen_ + 1);
+          return false;
+        }
         arrived_ = 0;
         ++gen_;
         target_[hart] = 0;  // the releasing core passes immediately
@@ -45,11 +53,19 @@ class HwBarrier {
 
   std::uint64_t generation() const { return gen_; }
 
+  /// Cores currently parked in the open generation (fault diagnostics).
+  unsigned waiting() const { return arrived_; }
+
+  /// Deterministic fault injection: swallow the next release so the
+  /// barrier deadlocks (see sim/fault.hpp). Irreversible for the run.
+  void inject_drop_next_release() { drop_next_release_ = true; }
+
  private:
   unsigned n_;
   std::vector<std::uint64_t> target_;  ///< 0 = not arrived; else gen awaited
   unsigned arrived_;
   std::uint64_t gen_;
+  bool drop_next_release_ = false;  ///< injected deadlock (fault testing)
   trace::Tracer trace_;
   cycle_t now_ = 0;
 };

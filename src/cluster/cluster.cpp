@@ -1,6 +1,7 @@
 #include "cluster/cluster.hpp"
 
 #include <cassert>
+#include <cstdio>
 #include <string>
 
 #include "common/log.hpp"
@@ -52,6 +53,8 @@ void Cluster::attach_trace(trace::TraceSink& sink, const std::string& prefix) {
   tcdm_->attach_trace(sink, prefix);
   dma_->attach_trace(sink, prefix);
   barrier_.tracer().attach(sink, sink.add_track(prefix + "cluster", "barrier"));
+  trace_sink_ = &sink;
+  trace_prefix_ = prefix;
 }
 
 void Cluster::tick(cycle_t now) {
@@ -111,7 +114,7 @@ ClusterResult Cluster::harvest(cycle_t now, cycle_t ff_skipped, bool aborted) {
   result.ff_skipped = ff_skipped;
   result.aborted = aborted;
   if (aborted) {
-    ISSR_ERROR("Cluster::run hit the cycle limit (%llu)",
+    ISSR_ERROR("Cluster::run aborted at cycle %llu",
                static_cast<unsigned long long>(now));
     for (unsigned w = 0; w < num_workers(); ++w) {
       ISSR_ERROR("  worker %u: pc=0x%llx halted=%d", w,
@@ -160,10 +163,61 @@ ClusterResult Cluster::run(cycle_t max_cycles) {
     }
     void after_replay() { c.resync_account(); }
   };
-  cycle_t skipped = 0;
-  const cycle_t now = core::run_engine(Units{*this}, max_cycles,
-                                       config_.fast_forward, skipped);
-  return harvest(now, skipped, now >= max_cycles && !done(now));
+  const core::EngineRun er =
+      core::run_engine(Units{*this}, max_cycles, config_.fast_forward);
+  ClusterResult result =
+      harvest(er.cycles, er.skipped, er.stop != core::EngineStop::kDone);
+  if (er.stop != core::EngineStop::kDone) {
+    result.fault = classify_stop(er.stop, er.cycles, er.last_horizon);
+  }
+  return result;
+}
+
+sim::Fault Cluster::classify_stop(core::EngineStop stop, cycle_t now,
+                                  cycle_t last_horizon,
+                                  std::uint32_t cluster_id) {
+  sim::Fault f;
+  if (stop == core::EngineStop::kDone) return f;
+  const unsigned parked = barrier_.waiting();
+  unsigned at_csr = 0;
+  for (const auto& w : workers_) {
+    if (w->core().in_barrier_wait()) ++at_csr;
+  }
+  if (stop == core::EngineStop::kCycleLimit) {
+    f.code = sim::FaultCode::kCycleLimit;
+    f.message = "cycle budget exhausted before the cluster was done";
+  } else if (parked > 0 || at_csr > 0) {
+    f.code = sim::FaultCode::kBarrierDeadlock;
+    f.message = "workers parked at a barrier that can never release";
+  } else {
+    f.code = sim::FaultCode::kWatchdogNoProgress;
+    f.message = "no unit can make progress without an external event";
+  }
+  f.cycle = now;
+  f.last_next_event = last_horizon;
+  for (unsigned w = 0; w < num_workers(); ++w) {
+    f.harts.push_back(sim::HartState{cluster_id, w, workers_[w]->core().pc(),
+                                     workers_[w]->halted()});
+  }
+  {
+    char buf[160];
+    std::snprintf(buf, sizeof buf,
+                  "hw_barrier: %u/%u arrived (%u at CSR), gen %llu; "
+                  "dma: %s, controller %s",
+                  parked, num_workers(), at_csr,
+                  static_cast<unsigned long long>(barrier_.generation()),
+                  dma_->busy() ? "busy" : "idle",
+                  controller_done_ ? "done" : "active");
+    f.barrier = buf;
+  }
+  for (const auto& w : workers_) f.stalls += w->stall_buckets();
+  if (trace_sink_ != nullptr) {
+    trace::Tracer watchdog;
+    watchdog.attach(*trace_sink_, trace_sink_->add_track(
+                                      trace_prefix_ + "cluster", "watchdog"));
+    watchdog.instant(now, sim::to_string(f.code), parked);
+  }
+  return f;
 }
 
 }  // namespace issr::cluster

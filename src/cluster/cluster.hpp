@@ -18,6 +18,7 @@
 #include "mem/dma.hpp"
 #include "mem/main_mem.hpp"
 #include "mem/tcdm.hpp"
+#include "sim/fault.hpp"
 #include "trace/stall.hpp"
 #include "trace/trace.hpp"
 
@@ -50,9 +51,14 @@ struct ClusterResult {
   /// Simulated cycles the engine fast-forwarded instead of ticking
   /// (diagnostic; 0 when fast_forward is off or never engaged).
   cycle_t ff_skipped = 0;
-  /// True iff the run hit max_cycles before the cluster was done; the
-  /// statistics then describe a truncated run (the driver asserts on it).
+  /// True iff the run ended before the cluster was done (cycle budget or
+  /// no-progress watchdog); the statistics then describe a truncated run.
+  /// `fault` classifies the reason — the driver turns it into a failed
+  /// sweep row instead of crashing.
   bool aborted = false;
+  /// Why the run did not complete (code kNone when it did), with per-
+  /// worker PCs, barrier state, and the stall snapshot at detection.
+  sim::Fault fault;
   std::vector<core::SnitchStats> core;
   std::vector<core::FpssStats> fpss;
   /// Per-worker streamer lane statistics (ssr::Streamer lanes 0/1):
@@ -173,6 +179,14 @@ class Cluster {
   /// `now`). Shared by run() and System::run().
   ClusterResult harvest(cycle_t now, cycle_t ff_skipped, bool aborted);
 
+  /// Classify a stopped run into a Fault with the cluster's diagnostic
+  /// snapshot (per-worker PCs, barrier occupancy, DMA state). `cluster_id`
+  /// labels the HartStates when a System owns several clusters. Also
+  /// emits one instant on the cluster's "watchdog" trace track when
+  /// tracing is attached. Shared by run() and System::run().
+  sim::Fault classify_stop(core::EngineStop stop, cycle_t now,
+                           cycle_t last_horizon, std::uint32_t cluster_id = 0);
+
   /// Run to completion. If `max_cycles` elapse first, the result comes
   /// back with `aborted` set instead of looking like a normal finish.
   ClusterResult run(cycle_t max_cycles = 2'000'000'000);
@@ -189,6 +203,10 @@ class Cluster {
   Controller controller_;
   bool controller_done_ = true;
   cycle_t controller_idle_until_ = 0;
+  /// Sink/prefix from attach_trace (null when untraced): classify_stop
+  /// emits a "watchdog" track instant when a run ends in a Fault.
+  trace::TraceSink* trace_sink_ = nullptr;
+  std::string trace_prefix_;
 };
 
 }  // namespace issr::cluster

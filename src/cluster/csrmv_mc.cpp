@@ -41,10 +41,15 @@ McCsrmvResult run_csrmv_multicore(const sparse::CsrMatrix& a,
       [controller](Cluster& cl, cycle_t now) { (*controller)(cl, now); });
 
   if (cfg.trace_sink) cluster.attach_trace(*cfg.trace_sink);
+  if (cfg.inject.drop_cluster_barrier) {
+    cluster.barrier().inject_drop_next_release();
+  }
+  if (cfg.inject.stall_dma) cluster.dma().inject_stall();
 
   McCsrmvResult result;
   result.plan = plan;
-  result.cluster = cluster.run();
+  result.cluster =
+      cfg.max_cycles != 0 ? cluster.run(cfg.max_cycles) : cluster.run();
   result.y = sparse::DenseVector(a.rows());
   cluster.main_mem().store().read_doubles(main.y, result.y.data(), a.rows());
   return result;

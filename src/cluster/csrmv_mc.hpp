@@ -28,6 +28,12 @@ struct McCsrmvConfig {
   ClusterConfig cluster;
   /// Upper bound on rows per tile (bounds the ptr/y buffer regions).
   std::uint32_t max_tile_rows = 2048;
+  /// Cycle budget for the run; 0 selects Cluster::run's default. A run
+  /// that exhausts it comes back with a kCycleLimit Fault.
+  cycle_t max_cycles = 0;
+  /// Deterministic fault-injection switches (sim/fault.hpp); all false =
+  /// no injection, the zero-cost path.
+  sim::InjectSet inject;
   /// When non-null, the run records cycle-resolved telemetry here
   /// (Cluster::attach_trace); simulated behaviour is unaffected.
   trace::TraceSink* trace_sink = nullptr;

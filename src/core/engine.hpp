@@ -36,6 +36,29 @@ void set_engine_fast_forward_default(bool on);
 /// flag parser. Used by issr_run and, via bench_common, every bench.
 void register_engine_cli(cli::FlagParser& parser);
 
+/// Why run_engine stopped ticking.
+enum class EngineStop : std::uint8_t {
+  kDone,        ///< the done() predicate fired: a normal finish
+  kCycleLimit,  ///< max_cycles elapsed first: the run is truncated
+  /// The exact no-forward-progress watchdog fired: every unit reported
+  /// next_event == kCycleNever ("only an external event can change
+  /// anything") while done() was false. By the fast-forward contract
+  /// that state repeats forever — the run is provably wedged (a
+  /// deadlocked barrier, a never-satisfied wait), so the engine stops
+  /// at the detection cycle instead of burning the budget.
+  kNoProgress,
+};
+
+/// One completed run_engine invocation.
+struct EngineRun {
+  cycle_t cycles = 0;   ///< final cycle count
+  cycle_t skipped = 0;  ///< cycles credited arithmetically, not ticked
+  EngineStop stop = EngineStop::kDone;
+  /// The units' next_event horizon at the stop cycle (kCycleNever when
+  /// the no-progress watchdog fired) — fault diagnostics.
+  cycle_t last_horizon = 0;
+};
+
 /// The shared tick/fast-forward loop behind CcSim::run and Cluster::run.
 /// `Units` duck-types the simulated system:
 ///   void    tick(cycle_t now);          // advance every unit one cycle
@@ -43,39 +66,50 @@ void register_engine_cli(cli::FlagParser& parser);
 ///   cycle_t next_event(cycle_t now);    // earliest cycle any unit's tick
 ///                                       // can differ from the one just
 ///                                       // performed (kCycleNever = only
-///                                       // counters repeat forever)
+///                                       // an external event could)
 ///   void    visit_counters(const CounterVisitor&);  // every counter that
 ///                                       // advances during a pure-wait
 ///                                       // stretch (type-erased: it runs
 ///                                       // only on the rare skip events)
 ///   void    after_replay();             // e.g. stall-accountant resync
-/// Returns the final cycle count; `skipped_out` receives the cycles
-/// credited arithmetically instead of ticked. The skip is exact: when
-/// next_event reports a horizon more than one cycle away, one more real
-/// tick measures the wait state's per-cycle counter deltas and the
-/// remaining span replays as delta*span — identical cycle counts,
-/// counters, stall buckets, and result bytes either way
-/// (tests/test_engine_equivalence.cpp).
+/// The skip is exact: when next_event reports a horizon more than one
+/// cycle away, one more real tick measures the wait state's per-cycle
+/// counter deltas and the remaining span replays as delta*span —
+/// identical cycle counts, counters, stall buckets, and result bytes
+/// either way (tests/test_engine_equivalence.cpp).
+///
+/// The no-progress watchdog checks the horizon every cycle in both modes
+/// (with fast-forward off, next_event is consulted for the watchdog only,
+/// never to skip), so a wedged run stops at the same simulated cycle —
+/// and reports the same Fault — with fast-forward on or off.
 using CounterVisitor = std::function<void(std::uint64_t&)>;
 
 template <typename Units>
-cycle_t run_engine(Units&& units, cycle_t max_cycles, bool fast_forward,
-                   cycle_t& skipped_out) {
+EngineRun run_engine(Units&& units, cycle_t max_cycles, bool fast_forward) {
   std::vector<std::uint64_t> c0, c1;
   const auto gather = [&units](std::vector<std::uint64_t>& out) {
     out.clear();
     units.visit_counters([&out](std::uint64_t& c) { out.push_back(c); });
   };
 
+  EngineRun run;
+  run.stop = EngineStop::kCycleLimit;  // reached only by exhausting the loop
   cycle_t now = 0;
-  skipped_out = 0;
   while (now < max_cycles) {
     units.tick(now);
     ++now;
-    if (units.done(now)) break;
+    if (units.done(now)) {
+      run.stop = EngineStop::kDone;
+      break;
+    }
+    cycle_t horizon = units.next_event(now);
+    if (horizon == kCycleNever) {
+      run.stop = EngineStop::kNoProgress;
+      run.last_horizon = kCycleNever;
+      break;
+    }
     if (!fast_forward) continue;
 
-    cycle_t horizon = units.next_event(now);
     if (horizon > max_cycles) horizon = max_cycles;
     if (horizon < now + 2) continue;
 
@@ -84,7 +118,10 @@ cycle_t run_engine(Units&& units, cycle_t max_cycles, bool fast_forward,
     gather(c0);
     units.tick(now);
     ++now;
-    if (units.done(now)) break;  // horizon precludes this; stay exact
+    if (units.done(now)) {  // horizon precludes this; stay exact
+      run.stop = EngineStop::kDone;
+      break;
+    }
     gather(c1);
     const cycle_t span = horizon - now;
     if (span > 0) {
@@ -95,11 +132,19 @@ cycle_t run_engine(Units&& units, cycle_t max_cycles, bool fast_forward,
       });
       units.after_replay();
       now = horizon;
-      skipped_out += span;
-      if (units.done(now)) break;
+      run.skipped += span;
+      if (units.done(now)) {
+        run.stop = EngineStop::kDone;
+        break;
+      }
     }
   }
-  return now;
+  run.cycles = now;
+  if (run.stop != EngineStop::kNoProgress) {
+    run.last_horizon = run.stop == EngineStop::kDone ? now
+                                                     : units.next_event(now);
+  }
+  return run;
 }
 
 }  // namespace issr::core

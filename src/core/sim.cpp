@@ -71,6 +71,7 @@ std::vector<double> CcSim::read_f64s(addr_t addr, std::size_t count) const {
 void CcSim::attach_trace(trace::TraceSink& sink) {
   assert(cc_ && "set_program() must be called before attach_trace()");
   cc_->attach_trace(sink, "cc0");
+  trace_sink_ = &sink;
 }
 
 CcSimResult CcSim::run(cycle_t max_cycles) {
@@ -97,16 +98,44 @@ CcSimResult CcSim::run(cycle_t max_cycles) {
     }
     void after_replay() { s.cc_->resync_account(); }
   };
-  cycle_t skipped = 0;
-  const cycle_t now =
-      run_engine(Units{*this}, max_cycles, config_.fast_forward, skipped);
+  const EngineRun er =
+      run_engine(Units{*this}, max_cycles, config_.fast_forward);
+  const cycle_t now = er.cycles;
   CcSimResult result;
-  result.ff_skipped = skipped;
-  if (now >= max_cycles && !cc_->quiescent(now)) {
-    ISSR_ERROR("CcSim::run hit the cycle limit (%llu) at pc=0x%llx",
-               static_cast<unsigned long long>(max_cycles),
-               static_cast<unsigned long long>(cc_->core().pc()));
+  result.ff_skipped = er.skipped;
+  if (er.stop != EngineStop::kDone) {
     result.aborted = true;
+    sim::Fault& f = result.fault;
+    if (er.stop == EngineStop::kCycleLimit) {
+      f.code = sim::FaultCode::kCycleLimit;
+      f.message = "cycle budget exhausted before the CC went quiescent";
+      ISSR_ERROR("CcSim::run hit the cycle limit (%llu) at pc=0x%llx",
+                 static_cast<unsigned long long>(max_cycles),
+                 static_cast<unsigned long long>(cc_->core().pc()));
+    } else {  // kNoProgress: provably wedged (see core/engine.hpp)
+      const bool at_barrier = cc_->core().in_barrier_wait();
+      f.code = at_barrier ? sim::FaultCode::kBarrierDeadlock
+                          : sim::FaultCode::kWatchdogNoProgress;
+      f.message = at_barrier
+                      ? "core parked at a barrier that can never release"
+                      : "no unit can make progress without an external event";
+      if (at_barrier) f.barrier = "hart waiting at barrier CSR";
+      ISSR_ERROR("CcSim::run watchdog: no forward progress at cycle %llu "
+                 "(pc=0x%llx%s)",
+                 static_cast<unsigned long long>(now),
+                 static_cast<unsigned long long>(cc_->core().pc()),
+                 at_barrier ? ", in barrier wait" : "");
+    }
+    f.cycle = now;
+    f.last_next_event = er.last_horizon;
+    f.harts.push_back(sim::HartState{0, config_.cc.core.hartid,
+                                     cc_->core().pc(), cc_->halted()});
+    f.stalls = cc_->stall_buckets();
+    if (trace_sink_ != nullptr) {
+      trace::Tracer watchdog;
+      watchdog.attach(*trace_sink_, trace_sink_->add_track("cc0", "watchdog"));
+      watchdog.instant(now, sim::to_string(f.code), f.harts[0].pc);
+    }
   }
   cc_->close_trace(now);
 

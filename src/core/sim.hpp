@@ -15,6 +15,7 @@
 #include "core/engine.hpp"
 #include "isa/program.hpp"
 #include "mem/ideal_mem.hpp"
+#include "sim/fault.hpp"
 #include "sparse/dense.hpp"
 #include "sparse/fiber.hpp"
 
@@ -43,10 +44,15 @@ struct CcSimResult {
   /// Simulated cycles the engine fast-forwarded instead of ticking
   /// (diagnostic; 0 when fast_forward is off or never engaged).
   cycle_t ff_skipped = 0;
-  /// True iff the run hit max_cycles before the CC went quiescent; the
-  /// counters then describe a truncated run. Callers that require
-  /// completion must check this (the driver asserts on it).
+  /// True iff the run ended before the CC went quiescent (cycle budget
+  /// exhausted or the no-progress watchdog fired); the counters then
+  /// describe a truncated run. `fault` carries the classified reason —
+  /// callers that require completion must check one of the two (the
+  /// driver turns it into a failed sweep row instead of crashing).
   bool aborted = false;
+  /// Why the run did not complete (code kNone when it did), with the
+  /// diagnostic snapshot: stuck PC, last engine horizon, stall buckets.
+  sim::Fault fault;
   addr_t last_pc = 0;  ///< core PC when the run ended (abort diagnosis)
   SnitchStats core;
   FpssStats fpss;
@@ -118,6 +124,9 @@ class CcSim {
   std::shared_ptr<const isa::Program> program_;
   std::unique_ptr<CoreComplex> cc_;
   addr_t alloc_cursor_;
+  /// Sink from attach_trace (null when untraced): run() emits one
+  /// instant on a "watchdog" track when a run ends in a Fault.
+  trace::TraceSink* trace_sink_ = nullptr;
 };
 
 }  // namespace issr::core

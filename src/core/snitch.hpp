@@ -73,6 +73,9 @@ class SnitchCore {
 
   bool halted() const { return halted_; }
   addr_t pc() const { return pc_; }
+  /// True while the core is parked at a blocking barrier CSR read —
+  /// the watchdog's barrier-deadlock classifier reads it at detection.
+  bool in_barrier_wait() const { return in_barrier_wait_; }
 
   std::uint64_t xreg(unsigned idx) const { return xregs_[idx]; }
   void set_xreg(unsigned idx, std::uint64_t v) {

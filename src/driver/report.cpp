@@ -113,6 +113,12 @@ void append_fields(std::string& out, const ScenarioResult& r,
   field("seed", fmt_seed(s.seed), true);
   field("nnz", fmt_u(r.nnz), false);
   field("ok", r.ok ? "true" : "false", false);
+  // v6 row disposition: status tokens "ok" | "mismatch" | "fault" |
+  // "skipped", and the machine-readable fault code ("" when the row ran
+  // to completion). The full diagnostic payload is the nested "fault"
+  // object (JSON only, faulted rows only).
+  field("status", row_status(r), true);
+  field("fault", r.fault ? sim::to_string(r.fault.code) : "", true);
   field("cycles", fmt_u(r.cycles), false);
   field("fpu_util", fmt_double(r.fpu_util), false);
   field("macs", fmt_u(r.macs), false);
@@ -155,6 +161,48 @@ void append_metrics_object(std::string& out, const metrics::Snapshot& m) {
   out += "}";
 }
 
+/// The nested per-row `"fault_detail"` object (JSON only, faulted rows
+/// only — a distinct key from the flat `fault` code column, so the row
+/// object never carries duplicate keys): the diagnostic payload a
+/// postmortem needs — code, message, detection cycle, the engine's last
+/// next_event horizon, per-hart PCs, and the barrier/work-queue summary.
+/// kCycleNever renders as the string "never" (the raw value exceeds
+/// JSON's exactly-representable integer range). Hart lists are capped;
+/// the row's own counters already carry the aggregate picture.
+void append_fault_object(std::string& out, const sim::Fault& f) {
+  out += ", \"fault_detail\": {\"code\": \"";
+  out += sim::to_string(f.code);
+  out += "\", \"message\": \"";
+  out += trace::json_escape(f.message);
+  out += "\", \"cycle\": " + fmt_u(f.cycle);
+  out += ", \"last_next_event\": ";
+  if (f.last_next_event == kCycleNever) {
+    out += "\"never\"";
+  } else {
+    out += fmt_u(f.last_next_event);
+  }
+  if (!f.barrier.empty()) {
+    out += ", \"barrier\": \"" + trace::json_escape(f.barrier) + "\"";
+  }
+  if (!f.harts.empty()) {
+    constexpr std::size_t kMaxHarts = 64;
+    out += ", \"harts\": [";
+    for (std::size_t i = 0; i < f.harts.size() && i < kMaxHarts; ++i) {
+      const auto& h = f.harts[i];
+      char buf[96];
+      std::snprintf(buf, sizeof buf,
+                    "%s{\"cluster\": %u, \"hart\": %u, \"pc\": \"0x%llx\", "
+                    "\"halted\": %s}",
+                    i ? ", " : "", h.cluster, h.hart,
+                    static_cast<unsigned long long>(h.pc),
+                    h.halted ? "true" : "false");
+      out += buf;
+    }
+    out += "]";
+  }
+  out += "}";
+}
+
 /// The stall column names, joined for the CSV header.
 std::string stall_csv_columns() {
   std::string out = "core_cycles";
@@ -174,8 +222,8 @@ std::string results_to_json(const std::vector<ScenarioResult>& results) {
   // and metrics field; the reserve makes growth a no-op for typical
   // sweeps.
   out.reserve(512 + 1400 * results.size());
-  out += "{\n  \"schema\": \"issr_run.results.v5\",\n";
-  // Engine provenance (v5): static build facts only — the revision, the
+  out += "{\n  \"schema\": \"issr_run.results.v6\",\n";
+  // Engine provenance: static build facts only — the revision, the
   // build type, LTO, and the compiled-in fast-forward default. Runtime
   // knobs (--no-fast-forward, --jobs, caching) are deliberately absent:
   // result documents stay a pure function of the scenario matrix, and CI
@@ -192,6 +240,7 @@ std::string results_to_json(const std::vector<ScenarioResult>& results) {
     out += i ? ",\n    {" : "\n    {";
     append_fields(out, results[i], eff[i], ", ", "\"", ": ", /*keyed=*/true);
     append_metrics_object(out, results[i].metrics);
+    if (results[i].fault) append_fault_object(out, results[i].fault);
     out += "}";
   }
   out += results.empty() ? "]\n}\n" : "\n  ]\n}\n";
@@ -206,8 +255,8 @@ std::string results_to_csv(const std::vector<ScenarioResult>& results) {
   }
   std::string out =
       "kernel,variant,index_bits,family,density,rows,cols,cores,clusters,"
-      "noc_links,noc_latency,steal,seed,nnz,ok,cycles,fpu_util,macs,"
-      "macs_per_cycle,scaling_efficiency," +
+      "noc_links,noc_latency,steal,seed,nnz,ok,status,fault,cycles,fpu_util,"
+      "macs,macs_per_cycle,scaling_efficiency," +
       stall_csv_columns() + util_columns + "\n";
   out.reserve(out.size() + 256 * results.size());
   const auto eff = scaling_efficiencies(results);
@@ -221,12 +270,12 @@ std::string results_to_csv(const std::vector<ScenarioResult>& results) {
 Table results_table(const std::vector<ScenarioResult>& results) {
   Table t("issr_run sweep results");
   t.set_header({"scenario", "rows", "cols", "nnz", "cycles", "FPU util",
-                "MACs/cycle", "ok"});
+                "MACs/cycle", "ok", "status"});
   for (const auto& r : results) {
     t.add_row({r.scenario.name(), fmt_u(r.rows),
                fmt_u(r.cols), fmt_u(r.nnz), fmt_u(r.cycles),
                fmt_f(r.fpu_util), fmt_f(r.macs_per_cycle),
-               r.ok ? "yes" : "NO"});
+               r.ok ? "yes" : "NO", row_status(r)});
   }
   return t;
 }

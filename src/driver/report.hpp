@@ -1,5 +1,5 @@
 // Machine-readable result emission for experiment sweeps: a stable JSON
-// document (schema `issr_run.results.v5`), an RFC-4180-style CSV with the
+// document (schema `issr_run.results.v6`), an RFC-4180-style CSV with the
 // same columns, and console summary tables. All numeric formatting is
 // deterministic (doubles render via %.17g round-trip notation), so two
 // runs of the same scenario list — at any worker count, traced or not,
@@ -19,8 +19,13 @@
 // (metrics/harvest.hpp gauges: util_fpu_fmadd, util_ssr_lane,
 // util_issr_lane, util_dma, util_noc_link, tcdm_conflict_rate,
 // barrier_wait_frac — the v4 column prefix is unchanged), and a nested
-// per-row `metrics` object carrying the full harvested snapshot. The
-// full schema is documented in docs/RESULTS_SCHEMA.md.
+// per-row `metrics` object carrying the full harvested snapshot; v6 adds
+// the row-disposition columns `status` ("ok" | "mismatch" | "fault" |
+// "skipped") and `fault` (the machine-readable fault code, empty when
+// the run completed) after `ok`, plus — JSON only, faulted rows only — a
+// nested `fault_detail` object with the diagnostic payload (message,
+// detection cycle, last next_event horizon, per-hart PCs, barrier
+// state). The full schema is documented in docs/RESULTS_SCHEMA.md.
 #pragma once
 
 #include <string>

@@ -22,6 +22,51 @@ std::string trace_file_path(const std::string& trace_dir, const Scenario& s) {
   return trace_dir + "/" + name + ".trace.json";
 }
 
+const char* row_status(const ScenarioResult& r) {
+  if (r.skipped) return "skipped";
+  if (r.fault) return "fault";
+  return r.ok ? "ok" : "mismatch";
+}
+
+namespace {
+
+/// Mark the row failed with `fault` and record the machine-readable
+/// fault_<code> counter metric (only faulted rows carry it, so clean
+/// sweeps' metric files are byte-identical to pre-fault output).
+void apply_fault(ScenarioResult& out, sim::Fault fault) {
+  if (!fault) return;
+  out.ok = false;
+  metrics::Registry reg;
+  reg.add(std::string("fault_") + sim::to_string(fault.code), 1);
+  out.metrics.merge(reg.snapshot());
+  out.fault = std::move(fault);
+}
+
+/// Derive the simulator-level injection switches for this scenario from
+/// the plan. barrier-drop wedges the inter-cluster barrier on system
+/// runs and the cluster HW barrier otherwise; dma-stall only bites
+/// shapes that use a DMA (cluster/system runs).
+sim::InjectSet derive_inject(const sim::FaultPlan* plan,
+                             const std::string& name, unsigned clusters,
+                             unsigned cores) {
+  sim::InjectSet set;
+  if (plan == nullptr) return set;
+  if (plan->applies(sim::InjectKind::kBarrierDrop, name)) {
+    if (clusters > 1) {
+      set.drop_sys_barrier = true;
+    } else {
+      set.drop_cluster_barrier = true;
+    }
+  }
+  if (plan->applies(sim::InjectKind::kDmaStall, name) &&
+      (clusters > 1 || cores > 1)) {
+    set.stall_dma = true;
+  }
+  return set;
+}
+
+}  // namespace
+
 ScenarioResult run_scenario(const Scenario& s, const RunOptions& opts,
                             const SweepContext& ctx) {
   // The sink is created only when a trace is requested; a null sink means
@@ -34,6 +79,17 @@ ScenarioResult run_scenario(const Scenario& s, const RunOptions& opts,
 
   ScenarioResult out;
   out.scenario = s;
+
+  const std::string name = s.name();
+  // `fault` injections mark the row failed without running anything —
+  // the cheapest way for tests/CI to exercise the failed-row reporting
+  // and exit-code paths.
+  if (opts.inject != nullptr &&
+      opts.inject->applies(sim::InjectKind::kFault, name)) {
+    apply_fault(out, sim::make_fault(sim::FaultCode::kInjected,
+                                     "injected fault marker (--inject)"));
+    return out;
+  }
 
   // The workload is a pure function of its key, so the shared cached
   // copy and a locally built one are identical objects; the cache just
@@ -48,7 +104,8 @@ ScenarioResult run_scenario(const Scenario& s, const RunOptions& opts,
     local = build_workload(workload_key(s));
     wl = &local;
   }
-  const RunAids aids{ctx.arena, ctx.assets};
+  RunAids aids{ctx.arena, ctx.assets};
+  aids.max_cycles = opts.max_cycles;
 
   if (s.kernel == Kernel::kSpvv) {
     // expand() never emits these, but a hand-built Scenario could:
@@ -72,6 +129,7 @@ ScenarioResult run_scenario(const Scenario& s, const RunOptions& opts,
     out.core_cycles = r.sim.cycles;
     out.stalls = r.sim.stalls;
     out.metrics = metrics::harvest_cc(r.sim);
+    apply_fault(out, r.sim.fault);
   } else {
     // Hand-built-scenario normalization (expand() never emits these):
     // kDiagonal has no driver generator (the workload builder falls back
@@ -89,6 +147,40 @@ ScenarioResult run_scenario(const Scenario& s, const RunOptions& opts,
     out.rows = a.rows();
     out.cols = a.cols();
     out.nnz = a.nnz();
+
+    // Structural input validation: malformed CSR arrays become an
+    // invalid_input fault row instead of tripping kernel-builder asserts
+    // deep in the stack. A `corrupt` injection damages *copies* of the
+    // raw arrays (the shared cached workload is immutable) and runs them
+    // through the same checker, proving the rejection path end to end.
+    {
+      std::string err;
+      if (opts.inject != nullptr &&
+          opts.inject->applies(sim::InjectKind::kCorrupt, name)) {
+        std::vector<std::uint32_t> bad_ptr = a.ptr();
+        std::vector<std::uint32_t> bad_idcs = a.idcs();
+        if (!bad_idcs.empty()) {
+          bad_idcs.front() = a.cols();  // column index out of bounds
+        } else {
+          bad_ptr.back() += 1;  // ptr[rows] disagrees with the value count
+        }
+        if (!sparse::validate_csr(a.rows(), a.cols(), bad_ptr, bad_idcs,
+                                  a.vals(), err)) {
+          apply_fault(out, sim::make_fault(
+                               sim::FaultCode::kInvalidInput,
+                               "corrupted workload rejected: " + err));
+          return out;
+        }
+      }
+      if (!sparse::validate_csr(a.rows(), a.cols(), a.ptr(), a.idcs(),
+                                a.vals(), err)) {
+        apply_fault(out, sim::make_fault(sim::FaultCode::kInvalidInput,
+                                         "malformed CSR workload: " + err));
+        return out;
+      }
+    }
+    aids.inject = derive_inject(opts.inject, name, clusters, cores);
+
     if (clusters > 1) {
       // Hierarchical system: `clusters` clusters of `cores` workers
       // around the shared bandwidth-limited main memory.
@@ -104,6 +196,7 @@ ScenarioResult run_scenario(const Scenario& s, const RunOptions& opts,
       out.stalls = r.sys.system.total_stalls();
       out.metrics = metrics::harvest_system(
           r.sys.system, r.sys.steal ? &r.sys.queue : nullptr);
+      apply_fault(out, r.sys.system.fault);
     } else if (cores == 1) {
       const auto r = run_csrmv_cc(s.variant, s.width, a, x, sink.get(),
                                   /*validate=*/true, aids);
@@ -114,6 +207,7 @@ ScenarioResult run_scenario(const Scenario& s, const RunOptions& opts,
       out.core_cycles = r.sim.cycles;
       out.stalls = r.sim.stalls;
       out.metrics = metrics::harvest_cc(r.sim);
+      apply_fault(out, r.sim.fault);
     } else {
       const auto r = run_csrmv_mc(s.variant, s.width, cores, a, x,
                                   sink.get(), /*validate=*/true, aids);
@@ -125,6 +219,7 @@ ScenarioResult run_scenario(const Scenario& s, const RunOptions& opts,
           r.mc.cluster.cycles * static_cast<std::uint64_t>(cores);
       out.stalls = r.mc.cluster.total_stalls();
       out.metrics = metrics::harvest_cluster(r.mc.cluster);
+      apply_fault(out, r.mc.cluster.fault);
     }
   }
   out.macs_per_cycle = out.cycles ? static_cast<double>(out.macs) /

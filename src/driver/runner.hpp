@@ -15,6 +15,7 @@
 #include "common/types.hpp"
 #include "driver/scenario.hpp"
 #include "metrics/metrics.hpp"
+#include "sim/fault.hpp"
 #include "trace/stall.hpp"
 
 namespace issr::driver {
@@ -25,6 +26,15 @@ class AssetCache;
 struct ScenarioResult {
   Scenario scenario;
   bool ok = false;          ///< simulated result matched the host reference
+  /// Why this row failed structurally (code kNone when it ran to
+  /// completion): watchdog/cycle-limit faults from the simulator,
+  /// invalid-input rejections, injected faults, or a host exception the
+  /// sweep engine caught. A faulted row always has ok == false; an
+  /// ok == false row *without* a fault is a validation mismatch.
+  sim::Fault fault;
+  /// The sweep stopped (--fail-fast) before this scenario ran; every
+  /// other field is default-initialized.
+  bool skipped = false;
   /// Actual generated workload dimensions. These can differ from the
   /// scenario's requested rows/cols (the torus family is a fixed 5-point
   /// grid; banded matrices are square), and they are what density/per-row
@@ -53,8 +63,13 @@ struct ScenarioResult {
   bool trace_write_failed = false;
 };
 
-/// Per-sweep execution options (everything here is observational: the
-/// simulated results are identical for any combination of options).
+/// Row status token for the results files ("ok" | "mismatch" | "fault" |
+/// "skipped") — the v6 `status` column.
+const char* row_status(const ScenarioResult& r);
+
+/// Per-sweep execution options. trace_dir/trace_events are observational
+/// (simulated results identical either way); max_cycles and inject change
+/// only whether/how runs fail, never the results of runs that complete.
 struct RunOptions {
   /// When non-empty, each scenario writes a Chrome trace-event file
   /// `<trace_dir>/<scenario>.trace.json` (the directory must exist;
@@ -62,6 +77,12 @@ struct RunOptions {
   std::string trace_dir;
   /// Retained-event window per scenario trace (ring buffer capacity).
   std::size_t trace_events = std::size_t{1} << 20;
+  /// Per-run cycle budget; 0 selects each simulator's default. A run
+  /// that exhausts it yields a fault row (cycle_limit), not a crash.
+  cycle_t max_cycles = 0;
+  /// Deterministic fault-injection plan (sim/fault.hpp); null = none.
+  /// Must outlive the sweep.
+  const sim::FaultPlan* inject = nullptr;
 };
 
 /// The trace file a scenario writes under `trace_dir` (filename logic

@@ -19,9 +19,11 @@
 
 namespace issr::driver {
 
-/// Optional sweep-engine aids threaded into a run. Both are purely
-/// observational: simulated cycles, stats, and results are bitwise
-/// identical with or without them.
+/// Optional sweep-engine aids threaded into a run. The arena and program
+/// cache are purely observational: simulated cycles, stats, and results
+/// are bitwise identical with or without them. max_cycles and inject are
+/// robustness knobs — they change only whether/how a run *fails*, never
+/// the results of a run that completes.
 struct RunAids {
   /// Backs the simulated-memory pages (CC ideal memory, cluster TCDM and
   /// main memory) instead of the heap. Must not be reset mid-run.
@@ -30,6 +32,12 @@ struct RunAids {
   /// arguments (single-CC kernels only; cluster programs embed per-run
   /// tile plans and are rebuilt).
   AssetCache* programs = nullptr;
+  /// Cycle budget; 0 selects each simulator's default. Exhausting it
+  /// faults the run (kCycleLimit) instead of crashing the process.
+  cycle_t max_cycles = 0;
+  /// Deterministic fault-injection switches (sim/fault.hpp); all false =
+  /// no injection.
+  sim::InjectSet inject;
 };
 
 /// Result of a single-CC SpVV (sparse-dense dot product) run.
@@ -71,8 +79,10 @@ struct SysTuning {
 /// `validate = false` skips the host-reference comparison (and leaves
 /// `ok` false) — for throughput measurements of the simulator itself.
 /// A non-null `trace` records cycle-resolved telemetry for the run
-/// without affecting any simulated result. All helpers assert that the
-/// simulation ran to completion (did not abort at the cycle limit).
+/// without affecting any simulated result. A run that does not complete
+/// (cycle budget, watchdog, injected deadlock) comes back with its
+/// simulator result's `fault` set and validation skipped — callers must
+/// check it instead of trusting `ok` alone.
 SpvvRun run_spvv_cc(kernels::Variant variant, sparse::IndexWidth width,
                     const sparse::SparseFiber& a,
                     const sparse::DenseVector& b,

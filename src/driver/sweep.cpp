@@ -11,6 +11,7 @@
 #include <memory>
 #include <mutex>
 #include <numeric>
+#include <stdexcept>
 #include <thread>
 
 #include "common/arena.hpp"
@@ -55,8 +56,24 @@ std::uint64_t result_fingerprint(const ScenarioResult& r) {
   std::memcpy(&util_bits, &r.fpu_util, sizeof util_bits);
   mix(util_bits);
   mix(r.ok ? 1 : 0);
+  mix(static_cast<std::uint64_t>(r.fault.code));
   mix(r.stalls.total());
   return h;
+}
+
+/// The row a task yields when a host exception escapes every retry: the
+/// scenario's slot is preserved, the fault records what was thrown. A
+/// pure function of (scenario, message), so injected-exception sweeps
+/// stay bytewise deterministic at any job count.
+ScenarioResult host_exception_row(const Scenario& s, const char* what) {
+  ScenarioResult out;
+  out.scenario = s;
+  out.ok = false;
+  out.fault = sim::make_fault(sim::FaultCode::kHostException, what);
+  metrics::Registry reg;
+  reg.add(std::string("fault_") + sim::to_string(out.fault.code), 1);
+  out.metrics.merge(reg.snapshot());
+  return out;
 }
 
 /// One schedulable unit: a (scenario, rep) pair with its dispatch cost
@@ -169,6 +186,14 @@ SweepOutcome run_sweep(const SweepSpec& spec) {
   // steal from others.
   std::atomic<std::size_t> rep0_left{n};
   std::atomic<std::size_t> steals{0};
+  std::atomic<std::size_t> retries_total{0};
+  // --fail-fast: raised by the worker that hits the first faulted row;
+  // every worker checks it before popping another task. Rows never run
+  // are marked `skipped` after the join.
+  std::atomic<bool> stop{false};
+  // ran[i] is written exactly once, by the worker that executes rep 0 of
+  // scenario i (single-writer per index — same argument as rep0_print).
+  std::vector<char> ran(n, 0);
   // Parks workers that are waiting for rep tasks to be published (jobs
   // can exceed the scenario count when reps > 1, so some workers start
   // with empty deques). Publishers notify after pushing; the bounded
@@ -290,6 +315,7 @@ SweepOutcome run_sweep(const SweepSpec& spec) {
     const std::uint32_t track = prof != nullptr ? worker_tracks[w] : 0;
     std::uint64_t busy_us = 0;
     for (;;) {
+      if (stop.load(std::memory_order_acquire)) break;
       Task t;
       const bool own = pop_own(w, t);
       if (!own) {
@@ -300,7 +326,7 @@ SweepOutcome run_sweep(const SweepSpec& spec) {
           // spinning against the last running simulations. Staying
           // workers park on the condition variable instead of
           // spin-scanning every deque mutex.
-          if (reps > 1 &&
+          if (reps > 1 && !stop.load(std::memory_order_acquire) &&
               rep0_left.load(std::memory_order_acquire) != 0 &&
               remaining.load(std::memory_order_acquire) != 0) {
             std::unique_lock<std::mutex> lock(idle_mu);
@@ -313,12 +339,46 @@ SweepOutcome run_sweep(const SweepSpec& spec) {
         if (prof != nullptr) prof->instant(track, "steal", t.index);
       }
 
-      arena.reset();  // previous run's simulators are long destroyed
       const Scenario& s = spec.scenarios[t.index];
+      const RunOptions& ro = t.rep == 0 ? opts : rep_opts;
       if (prof != nullptr) prof->begin(track, s.name());
       const auto run_t0 = Clock::now();
-      ScenarioResult r =
-          run_scenario(s, t.rep == 0 ? opts : rep_opts, ctx);
+      // Fault isolation: a C++ exception escaping a run (host-side OOM,
+      // I/O failure, an injected `throw`/`flaky`) fails this *row*, not
+      // the sweep. Host exceptions are retried up to spec.retries times
+      // with identical inputs (a run is a pure function of its
+      // scenario); simulated faults come back as values inside `r` and
+      // are never retried — they are deterministic.
+      ScenarioResult r;
+      for (unsigned attempt = 0;; ++attempt) {
+        try {
+          arena.reset();  // fresh pages for every attempt
+          if (ro.inject != nullptr &&
+              (ro.inject->applies(sim::InjectKind::kThrow, s.name()) ||
+               (attempt == 0 &&
+                ro.inject->applies(sim::InjectKind::kFlaky, s.name())))) {
+            throw std::runtime_error("injected host exception (--inject)");
+          }
+          r = run_scenario(s, ro, ctx);
+          break;
+        } catch (const std::exception& e) {
+          if (attempt < spec.retries) {
+            retries_total.fetch_add(1, std::memory_order_relaxed);
+            reg.add("host_retries", 1);
+            continue;
+          }
+          r = host_exception_row(s, e.what());
+          break;
+        } catch (...) {
+          if (attempt < spec.retries) {
+            retries_total.fetch_add(1, std::memory_order_relaxed);
+            reg.add("host_retries", 1);
+            continue;
+          }
+          r = host_exception_row(s, "unknown host exception");
+          break;
+        }
+      }
       const double run_us =
           std::chrono::duration<double, std::micro>(Clock::now() - run_t0)
               .count();
@@ -332,7 +392,9 @@ SweepOutcome run_sweep(const SweepSpec& spec) {
       if (t.rep == 0) out.run_seconds[t.index] = run_us * 1e-6;
       core_cycles.fetch_add(r.core_cycles, std::memory_order_relaxed);
 
+      const bool faulted = static_cast<bool>(r.fault);
       if (t.rep == 0) {
+        ran[t.index] = 1;
         rep0_print[t.index] = result_fingerprint(r);
         if (reps > 1) {
           // Publish the remaining reps with their now-measured cost,
@@ -362,6 +424,10 @@ SweepOutcome run_sweep(const SweepSpec& spec) {
       remaining.fetch_sub(1, std::memory_order_acq_rel);
       done_cost.fetch_add(static_cast<std::uint64_t>(cost[t.index]),
                           std::memory_order_relaxed);
+      if (spec.fail_fast && faulted) {
+        stop.store(true, std::memory_order_release);
+        idle_cv.notify_all();
+      }
       progress_tick(false);
     }
     reg.add("host_busy_us", busy_us);
@@ -391,6 +457,14 @@ SweepOutcome run_sweep(const SweepSpec& spec) {
       out.results[index] = std::move(result);
     }
   }
+  // Rows the --fail-fast stop preempted: keep their scenario identity so
+  // the report still has one row per requested scenario, marked skipped.
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!ran[i]) {
+      out.results[i].scenario = spec.scenarios[i];
+      out.results[i].skipped = true;
+    }
+  }
   assert(!rep_mismatch.load() && "rep produced a different result");
   if (rep_mismatch.load()) {
     for (auto& r : out.results) r.ok = false;
@@ -398,6 +472,14 @@ SweepOutcome run_sweep(const SweepSpec& spec) {
 
   out.stats.runs = total_tasks;
   out.stats.steals = steals.load();
+  out.stats.host_retries = retries_total.load();
+  for (const auto& r : out.results) {
+    if (r.skipped) {
+      ++out.stats.skipped_rows;
+    } else if (r.fault) {
+      ++out.stats.fault_rows;
+    }
+  }
   out.stats.core_cycles = core_cycles.load();
   out.stats.wall_seconds =
       std::chrono::duration<double>(Clock::now() - t_start).count();
@@ -410,6 +492,8 @@ SweepOutcome run_sweep(const SweepSpec& spec) {
   {
     metrics::Registry g;
     g.add("host_steals", out.stats.steals);
+    g.add("host_fault_rows", out.stats.fault_rows);
+    g.add("host_skipped_rows", out.stats.skipped_rows);
     g.add("host_workload_builds", out.stats.cache.workload_builds);
     g.add("host_workload_hits", out.stats.cache.workload_hits);
     g.add("host_program_builds", out.stats.cache.program_builds);

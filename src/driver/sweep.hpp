@@ -50,6 +50,18 @@ struct SweepSpec {
   /// (--progress). Writes only to stderr, so stdout and every result
   /// file stay bytewise identical with it on or off.
   bool progress = false;
+  /// Host-side transient-failure retries per task (--retries). Only a
+  /// C++ exception escaping a worker is retried — with the same seed,
+  /// since every run is a pure function of its scenario; a *simulated*
+  /// fault (watchdog, deadlock, cycle limit, invalid input) is
+  /// deterministic and never retried. Attempt counts land in the host
+  /// metrics only, so a healed row is byte-identical to a clean one.
+  unsigned retries = 0;
+  /// Stop dispatching at the first faulted row (--fail-fast); rows that
+  /// never ran come back with `skipped` set. The default keep-going mode
+  /// isolates each fault to its own row and is the only mode whose
+  /// output is jobs-invariant (which rows get skipped depends on timing).
+  bool fail_fast = false;
   RunOptions options;
 };
 
@@ -58,6 +70,9 @@ struct SweepSpec {
 struct SweepStats {
   std::size_t runs = 0;    ///< simulations executed (scenarios x reps)
   std::size_t steals = 0;  ///< tasks executed by a non-owner worker
+  std::size_t fault_rows = 0;    ///< result rows carrying a Fault
+  std::size_t skipped_rows = 0;  ///< rows never run (--fail-fast stop)
+  std::size_t host_retries = 0;  ///< re-attempts after host exceptions
   /// Aggregate simulated core-cycles over every run including reps (the
   /// sweep MCPS numerator).
   std::uint64_t core_cycles = 0;

@@ -135,6 +135,7 @@ void Dma::attach_trace(trace::TraceSink& sink, const std::string& prefix) {
 
 void Dma::tick(cycle_t now) {
   noc_denied_ = false;
+  if (stalled_) return;  // injected freeze: queued jobs never move again
   const bool in_active = tick_channel(in_, completed_in_, now);
   const bool out_active = tick_channel(out_, completed_out_, now);
   if (in_active || out_active) ++stats_.busy_cycles;

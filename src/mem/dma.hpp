@@ -115,6 +115,14 @@ class Dma {
   /// the upcoming arbitration cycle).
   void tick(cycle_t now);
 
+  /// Deterministic fault injection (sim::InjectKind::kDmaStall): freeze
+  /// both channels — every subsequent tick moves no beats while queued
+  /// jobs keep the engine hot (next_event == now), so the run burns to
+  /// its --max-cycles budget and faults with kCycleLimit. Irreversible
+  /// for the run.
+  void inject_stall() { stalled_ = true; }
+  bool stalled() const { return stalled_; }
+
   const DmaStats& stats() const { return stats_; }
 
   /// Register "inbound"/"outbound" timeline tracks (track process
@@ -158,6 +166,7 @@ class Dma {
   std::uint64_t completed_in_ = 0;
   std::uint64_t completed_out_ = 0;
   bool noc_denied_ = false;  ///< any channel denied in the current tick
+  bool stalled_ = false;     ///< injected freeze (fault testing)
   DmaStats stats_;
 };
 

@@ -1,0 +1,126 @@
+#include "sim/fault.hpp"
+
+#include <cstdio>
+#include <utility>
+
+namespace issr::sim {
+
+const char* to_string(FaultCode code) {
+  switch (code) {
+    case FaultCode::kNone:
+      return "none";
+    case FaultCode::kAborted:
+      return "aborted";
+    case FaultCode::kWatchdogNoProgress:
+      return "watchdog_no_progress";
+    case FaultCode::kBarrierDeadlock:
+      return "barrier_deadlock";
+    case FaultCode::kCycleLimit:
+      return "cycle_limit";
+    case FaultCode::kInvalidInput:
+      return "invalid_input";
+    case FaultCode::kInjected:
+      return "injected";
+    case FaultCode::kHostException:
+      return "host_exception";
+  }
+  return "unknown";
+}
+
+std::string Fault::describe() const {
+  std::string out = to_string(code);
+  if (!message.empty()) {
+    out += ": ";
+    out += message;
+  }
+  char buf[48];
+  std::snprintf(buf, sizeof buf, " (cycle %llu)",
+                static_cast<unsigned long long>(cycle));
+  out += buf;
+  return out;
+}
+
+Fault make_fault(FaultCode code, std::string message, cycle_t cycle) {
+  Fault f;
+  f.code = code;
+  f.message = std::move(message);
+  f.cycle = cycle;
+  return f;
+}
+
+const char* to_string(InjectKind kind) {
+  switch (kind) {
+    case InjectKind::kCorrupt:
+      return "corrupt";
+    case InjectKind::kBarrierDrop:
+      return "barrier-drop";
+    case InjectKind::kDmaStall:
+      return "dma-stall";
+    case InjectKind::kThrow:
+      return "throw";
+    case InjectKind::kFlaky:
+      return "flaky";
+    case InjectKind::kFault:
+      return "fault";
+  }
+  return "unknown";
+}
+
+namespace {
+
+bool parse_kind(const std::string& s, InjectKind& out) {
+  for (const InjectKind k :
+       {InjectKind::kCorrupt, InjectKind::kBarrierDrop, InjectKind::kDmaStall,
+        InjectKind::kThrow, InjectKind::kFlaky, InjectKind::kFault}) {
+    if (s == to_string(k)) {
+      out = k;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+bool FaultPlan::parse(const std::string& text, FaultPlan& out,
+                      std::string& error) {
+  out.injections_.clear();
+  std::size_t begin = 0;
+  while (begin <= text.size()) {
+    std::size_t end = text.find(',', begin);
+    if (end == std::string::npos) end = text.size();
+    const std::string spec = text.substr(begin, end - begin);
+    begin = end + 1;
+    if (spec.empty()) continue;
+    Injection inj;
+    const std::size_t at = spec.find('@');
+    const std::string kind = spec.substr(0, at);
+    if (at != std::string::npos) inj.target = spec.substr(at + 1);
+    if (!parse_kind(kind, inj.kind)) {
+      error = "unknown injection kind '" + kind +
+              "' (expected corrupt, barrier-drop, dma-stall, throw, flaky, "
+              "or fault)";
+      return false;
+    }
+    out.injections_.push_back(std::move(inj));
+  }
+  if (out.injections_.empty()) {
+    error = "empty injection spec";
+    return false;
+  }
+  return true;
+}
+
+bool FaultPlan::applies(InjectKind kind,
+                        const std::string& scenario_name) const {
+  for (const auto& inj : injections_) {
+    if (inj.kind != kind) continue;
+    if (inj.target.empty() ||
+        scenario_name.find(inj.target) != std::string::npos) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace issr::sim

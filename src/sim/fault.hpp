@@ -1,0 +1,142 @@
+// Structured error taxonomy for the simulation and driver layers: a
+// simulation that cannot complete — wedged barrier, exhausted cycle
+// budget, malformed workload, injected failure, host exception — ends in
+// a sim::Fault value instead of an assert/abort. The Fault carries the
+// machine-readable code plus the diagnostic snapshot (per-hart PCs,
+// barrier state, the engine's last next_event horizon, the stall-bucket
+// attribution at detection) that a postmortem needs, and is threaded
+// through CcSimResult/ClusterResult/SystemResult into the sweep rows
+// (results schema v6, docs/ROBUSTNESS.md).
+//
+// Hot-loop invariant asserts stay asserts: a Fault describes an input- or
+// state-dependent failure of the *simulated run*, never a broken internal
+// invariant of the simulator.
+//
+// Deterministic fault injection (FaultPlan, issr_run --inject) drives the
+// detection and isolation paths on demand so tests/CI can prove each one
+// fires; with no plan installed every hook is a single branch on a false
+// flag and result files are bytewise identical to a build without it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "trace/stall.hpp"
+
+namespace issr::sim {
+
+/// Why a run (or sweep row) did not complete normally.
+enum class FaultCode : std::uint8_t {
+  kNone = 0,            ///< no fault: the run completed
+  kAborted,             ///< generic abort (caller-requested termination)
+  kWatchdogNoProgress,  ///< every unit inert (next_event == never) with
+                        ///< harts unhalted — exact no-forward-progress
+  kBarrierDeadlock,     ///< no progress with harts/clusters parked on a
+                        ///< barrier that can never release
+  kCycleLimit,          ///< the configured --max-cycles budget elapsed
+  kInvalidInput,        ///< malformed workload/asset (structural check)
+  kInjected,            ///< a FaultPlan injection marked this run failed
+  kHostException,       ///< a C++ exception escaped the sweep worker
+};
+
+/// Stable machine-readable token ("watchdog_no_progress", ...): the
+/// results-file `fault` column value and the fault_* metric suffix.
+const char* to_string(FaultCode code);
+
+/// One hart's snapshot at fault detection (abort diagnosis).
+struct HartState {
+  std::uint32_t cluster = 0;
+  std::uint32_t hart = 0;
+  addr_t pc = 0;
+  bool halted = false;
+};
+
+/// A structured run failure: code + human-readable message + diagnostic
+/// payload. Default-constructed (code kNone) means "no fault"; results
+/// carry one by value so the no-fault case costs a byte compare.
+struct Fault {
+  FaultCode code = FaultCode::kNone;
+  std::string message;
+  cycle_t cycle = 0;  ///< simulated cycle the run ended at
+  /// The engine's last next_event horizon when detection fired
+  /// (kCycleNever for the exact no-progress watchdog).
+  cycle_t last_next_event = 0;
+  std::vector<HartState> harts;  ///< per-hart PCs at detection
+  std::string barrier;           ///< barrier / work-queue state summary
+  trace::StallBuckets stalls;    ///< attribution snapshot at detection
+
+  explicit operator bool() const { return code != FaultCode::kNone; }
+
+  /// One-line rendering: "<code>: <message> (cycle N)".
+  std::string describe() const;
+};
+
+Fault make_fault(FaultCode code, std::string message, cycle_t cycle = 0);
+
+// --- Deterministic fault injection -----------------------------------------
+
+/// What an injection does. Applicability varies by scenario shape (see
+/// docs/ROBUSTNESS.md): barrier-drop wedges the inter-cluster SysBarrier
+/// (clusters > 1; the single-cluster CsrMV kernels synchronize on TCDM
+/// flag words, so there the drop targets the HW barrier and only bites
+/// programs that actually read the barrier CSR), dma-stall freezes the
+/// cluster DMA channels so the run burns to its --max-cycles budget.
+enum class InjectKind : std::uint8_t {
+  kCorrupt,      ///< structurally corrupt the scenario's CSR workload
+  kBarrierDrop,  ///< swallow the next barrier release (deadlock)
+  kDmaStall,     ///< freeze the DMA channels (hang past the budget)
+  kThrow,        ///< throw inside the sweep worker on every attempt
+  kFlaky,        ///< throw on the first attempt only (retry must heal)
+  kFault,        ///< mark the row with an injected Fault, skip the run
+};
+
+/// CLI spelling of an injection kind ("corrupt", "barrier-drop", ...).
+const char* to_string(InjectKind kind);
+
+/// One parsed injection: a kind plus the scenario-name substring it
+/// applies to (empty matches every scenario).
+struct Injection {
+  InjectKind kind = InjectKind::kFault;
+  std::string target;
+};
+
+/// A deterministic, seed-free fault-injection plan (issr_run --inject).
+/// Grammar: comma-separated `KIND[@TARGET]` specs, where KIND is one of
+/// corrupt | barrier-drop | dma-stall | throw | flaky | fault and TARGET
+/// is a substring of the scenario name (e.g. "csrmv/issr/u16"); no
+/// TARGET applies the injection to every scenario. The plan is pure data:
+/// whether an injection applies is a function of (kind, scenario name)
+/// only, so injected sweeps stay bytewise deterministic at any --jobs.
+class FaultPlan {
+ public:
+  /// Parse `text` into `out`. Returns false (and sets `error`) on an
+  /// unknown kind or empty spec; `out` is unspecified on failure.
+  static bool parse(const std::string& text, FaultPlan& out,
+                    std::string& error);
+
+  bool empty() const { return injections_.empty(); }
+  const std::vector<Injection>& injections() const { return injections_; }
+
+  /// True iff the plan holds a `kind` injection matching `scenario_name`.
+  bool applies(InjectKind kind, const std::string& scenario_name) const;
+
+ private:
+  std::vector<Injection> injections_;
+};
+
+/// Simulator-level injection switches for one run, derived from the
+/// FaultPlan by the scenario runner and threaded into the cluster/system
+/// builders. All default false = no injection (the zero-cost path).
+struct InjectSet {
+  bool drop_sys_barrier = false;      ///< wedge the inter-cluster barrier
+  bool drop_cluster_barrier = false;  ///< wedge the cluster HW barrier
+  bool stall_dma = false;             ///< freeze the cluster DMA channels
+
+  bool any() const {
+    return drop_sys_barrier || drop_cluster_barrier || stall_dma;
+  }
+};
+
+}  // namespace issr::sim

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cassert>
+#include <string>
+#include <utility>
 
 namespace issr::sparse {
 
@@ -97,6 +99,55 @@ CsrMatrix CsrMatrix::transposed() const {
   }
   assert(out.valid());
   return out;
+}
+
+bool validate_csr(std::uint32_t rows, std::uint32_t cols,
+                  const std::vector<std::uint32_t>& ptr,
+                  const std::vector<std::uint32_t>& idcs,
+                  const std::vector<double>& vals, std::string& error) {
+  const auto fail = [&error](std::string msg) {
+    error = std::move(msg);
+    return false;
+  };
+  if (ptr.size() != static_cast<std::size_t>(rows) + 1) {
+    return fail("row-pointer array has " + std::to_string(ptr.size()) +
+                " entries, want rows+1 = " + std::to_string(rows + 1ull));
+  }
+  if (ptr.front() != 0) {
+    return fail("ptr[0] = " + std::to_string(ptr.front()) + ", want 0");
+  }
+  if (ptr.back() != vals.size()) {
+    return fail("ptr[rows] = " + std::to_string(ptr.back()) +
+                " does not match the value count " +
+                std::to_string(vals.size()));
+  }
+  if (idcs.size() != vals.size()) {
+    return fail("index count " + std::to_string(idcs.size()) +
+                " does not match the value count " +
+                std::to_string(vals.size()));
+  }
+  for (std::uint32_t r = 0; r < rows; ++r) {
+    if (ptr[r] > ptr[r + 1]) {
+      return fail("row " + std::to_string(r) + ": ptr decreases (" +
+                  std::to_string(ptr[r]) + " > " +
+                  std::to_string(ptr[r + 1]) + ")");
+    }
+    for (std::uint32_t k = ptr[r]; k < ptr[r + 1]; ++k) {
+      if (idcs[k] >= cols) {
+        return fail("row " + std::to_string(r) + ", entry " +
+                    std::to_string(k) + ": column index " +
+                    std::to_string(idcs[k]) + " out of bounds (cols = " +
+                    std::to_string(cols) + ")");
+      }
+      if (k > ptr[r] && idcs[k] <= idcs[k - 1]) {
+        return fail("row " + std::to_string(r) + ", entry " +
+                    std::to_string(k) + ": column indices not strictly " +
+                    "increasing (" + std::to_string(idcs[k - 1]) + " then " +
+                    std::to_string(idcs[k]) + ")");
+      }
+    }
+  }
+  return true;
 }
 
 bool CsrMatrix::valid() const {

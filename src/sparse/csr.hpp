@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "sparse/coo.hpp"
@@ -14,6 +15,17 @@
 namespace issr::sparse {
 
 class CscMatrix;  // forward; defined in csc.hpp
+
+/// Structural check over *raw* CSR arrays — usable on data that may be
+/// corrupt, unlike CsrMatrix whose constructor asserts validity. Returns
+/// true when the arrays form a well-formed rows x cols CSR matrix;
+/// otherwise fills `error` with the first defect found (which row/entry
+/// and why). The driver validates workloads (and deliberately corrupted
+/// copies, --inject corrupt) through this before any simulator sees them.
+bool validate_csr(std::uint32_t rows, std::uint32_t cols,
+                  const std::vector<std::uint32_t>& ptr,
+                  const std::vector<std::uint32_t>& idcs,
+                  const std::vector<double>& vals, std::string& error);
 
 class CsrMatrix {
  public:

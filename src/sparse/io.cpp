@@ -17,58 +17,87 @@ std::string lower(std::string s) {
 enum class Field { kReal, kInteger, kPattern };
 enum class Symmetry { kGeneral, kSymmetric, kSkewSymmetric };
 
+/// Every parse error names the offending 1-based line so a bad
+/// SuiteSparse download is diagnosable without a hex dump.
+[[noreturn]] void fail(std::uint64_t lineno, const std::string& msg) {
+  throw MtxFormatError("line " + std::to_string(lineno) + ": " + msg);
+}
+
 }  // namespace
 
 CooMatrix read_mtx(std::istream& in) {
   std::string line;
+  std::uint64_t lineno = 0;
   if (!std::getline(in, line)) throw MtxFormatError("empty stream");
+  ++lineno;
   std::istringstream banner(line);
   std::string tag, object, format, field_s, symmetry_s;
   banner >> tag >> object >> format >> field_s >> symmetry_s;
-  if (tag != "%%MatrixMarket") throw MtxFormatError("missing banner");
+  if (tag != "%%MatrixMarket")
+    fail(lineno, "missing %%MatrixMarket banner");
   if (lower(object) != "matrix" || lower(format) != "coordinate")
-    throw MtxFormatError("only coordinate matrices are supported");
+    fail(lineno, "only coordinate matrices are supported");
 
   Field field;
   const std::string f = lower(field_s);
   if (f == "real") field = Field::kReal;
   else if (f == "integer") field = Field::kInteger;
   else if (f == "pattern") field = Field::kPattern;
-  else throw MtxFormatError("unsupported field: " + field_s);
+  else fail(lineno, "unsupported field: " + field_s);
 
   Symmetry sym;
   const std::string s = lower(symmetry_s);
   if (s == "general") sym = Symmetry::kGeneral;
   else if (s == "symmetric") sym = Symmetry::kSymmetric;
   else if (s == "skew-symmetric") sym = Symmetry::kSkewSymmetric;
-  else throw MtxFormatError("unsupported symmetry: " + symmetry_s);
+  else fail(lineno, "unsupported symmetry: " + symmetry_s);
 
   // Skip comments and blank lines to the size line.
   std::uint64_t rows = 0, cols = 0, entries = 0;
+  bool have_size = false;
   while (std::getline(in, line)) {
+    ++lineno;
     if (line.empty() || line[0] == '%') continue;
     std::istringstream sz(line);
     if (!(sz >> rows >> cols >> entries))
-      throw MtxFormatError("malformed size line: " + line);
+      fail(lineno, "malformed size line: " + line);
+    have_size = true;
     break;
   }
-  if (rows == 0 || cols == 0)
-    throw MtxFormatError("missing or zero-dimension size line");
+  if (!have_size) throw MtxFormatError("missing size line");
+  if (rows == 0 || cols == 0) fail(lineno, "zero-dimension size line");
+  // The in-memory index types are 32-bit; a dimension beyond that is a
+  // corrupt (or hostile) header, not a matrix this simulator can hold.
+  constexpr std::uint64_t kMaxDim = UINT32_MAX;
+  if (rows > kMaxDim || cols > kMaxDim)
+    fail(lineno, "dimensions exceed 32-bit index range: " +
+                     std::to_string(rows) + " x " + std::to_string(cols));
+  // Symmetric mirroring at most doubles the stored entries; cap the
+  // declared count so a corrupt size line cannot demand a bad_alloc.
+  if (entries > (std::uint64_t{1} << 33))
+    fail(lineno, "entry count " + std::to_string(entries) +
+                     " exceeds the supported maximum");
 
   CooMatrix coo(static_cast<std::uint32_t>(rows),
                 static_cast<std::uint32_t>(cols));
   std::uint64_t seen = 0;
   while (seen < entries && std::getline(in, line)) {
+    ++lineno;
     if (line.empty() || line[0] == '%') continue;
     std::istringstream ls(line);
     std::uint64_t r1 = 0, c1 = 0;
     double v = 1.0;
-    if (!(ls >> r1 >> c1)) throw MtxFormatError("malformed entry: " + line);
+    if (!(ls >> r1 >> c1)) fail(lineno, "malformed entry: " + line);
     if (field != Field::kPattern) {
-      if (!(ls >> v)) throw MtxFormatError("missing value: " + line);
+      if (!(ls >> v)) fail(lineno, "missing value: " + line);
     }
-    if (r1 == 0 || c1 == 0 || r1 > rows || c1 > cols)
-      throw MtxFormatError("entry out of bounds: " + line);
+    std::string extra;
+    if (ls >> extra) fail(lineno, "trailing garbage: " + line);
+    if (r1 == 0 || c1 == 0)
+      fail(lineno, "coordinates are 1-based: " + line);
+    if (r1 > rows || c1 > cols)
+      fail(lineno, "entry out of bounds (matrix is " + std::to_string(rows) +
+                       " x " + std::to_string(cols) + "): " + line);
     const auto r = static_cast<std::uint32_t>(r1 - 1);
     const auto c = static_cast<std::uint32_t>(c1 - 1);
     coo.add(r, c, v);
@@ -78,16 +107,17 @@ CooMatrix read_mtx(std::istream& in) {
     ++seen;
   }
   if (seen != entries)
-    throw MtxFormatError("truncated file: expected " +
-                         std::to_string(entries) + " entries, got " +
-                         std::to_string(seen));
+    fail(lineno, "truncated file: expected " + std::to_string(entries) +
+                     " entries, got " + std::to_string(seen));
   coo.canonicalize();
   return coo;
 }
 
 CooMatrix read_mtx_file(const std::string& path) {
   std::ifstream f(path);
-  if (!f) throw std::runtime_error("cannot open " + path);
+  // MtxFormatError (not bare runtime_error) so callers hardening a load
+  // path can catch one exception type for "this input is unusable".
+  if (!f) throw MtxFormatError("cannot open " + path);
   return read_mtx(f);
 }
 

@@ -17,7 +17,9 @@
 
 namespace issr::sparse {
 
-/// Error thrown on malformed MatrixMarket input.
+/// Error thrown on malformed or unreadable MatrixMarket input. Parse
+/// errors name the offending 1-based line ("line 7: malformed entry: ...")
+/// so a bad collection file is diagnosable from the message alone.
 class MtxFormatError : public std::runtime_error {
  public:
   explicit MtxFormatError(const std::string& what)
@@ -27,7 +29,8 @@ class MtxFormatError : public std::runtime_error {
 /// Parse a MatrixMarket coordinate stream into COO (1-based -> 0-based).
 CooMatrix read_mtx(std::istream& in);
 
-/// Read a .mtx file from disk. Throws MtxFormatError / std::runtime_error.
+/// Read a .mtx file from disk. Throws MtxFormatError on open failure or
+/// malformed content (one catchable type for "this input is unusable").
 CooMatrix read_mtx_file(const std::string& path);
 
 /// Convenience: straight to CSR.

@@ -65,6 +65,14 @@ class SysBarrier {
     target_[c] = gen_ + 1;
     accum_ += operand;
     if (++arrived_ == n_) {
+      if (drop_next_release_) {
+        // Injected fault (sim::InjectKind::kBarrierDrop): the release
+        // broadcast is swallowed — arrived_ stays saturated, gen_ never
+        // bumps, release_hint() stays kCycleNever for every cluster, so
+        // the engine's no-progress watchdog fires exactly.
+        trace_.instant(now, "dropped_release", gen_ + 1);
+        return;
+      }
       arrived_ = 0;
       ++gen_;
       release_at_ = now + release_latency();
@@ -101,6 +109,13 @@ class SysBarrier {
 
   std::uint64_t generation() const { return gen_; }
 
+  /// Clusters currently parked in the open generation (fault diagnostics).
+  unsigned waiting() const { return arrived_; }
+
+  /// Deterministic fault injection: swallow the next release broadcast so
+  /// the barrier deadlocks (see sim/fault.hpp). Irreversible for the run.
+  void inject_drop_next_release() { drop_next_release_ = true; }
+
  private:
   unsigned n_;
   cycle_t hop_latency_;
@@ -113,6 +128,7 @@ class SysBarrier {
   // generation cannot complete before every cluster has passed the
   // previous release (each must observe it before re-arriving).
   cycle_t release_at_ = 0;
+  bool drop_next_release_ = false;  ///< injected deadlock (fault testing)
   std::uint64_t accum_ = 0;    ///< running reduction of the open generation
   std::uint64_t reduced_ = 0;  ///< reduction of the last completed generation
   trace::Tracer trace_;

@@ -518,8 +518,13 @@ SysCsrmvResult run_csrmv_system(const sparse::CsrMatrix& a,
   }
 
   if (cfg.trace_sink) sys.attach_trace(*cfg.trace_sink);
+  if (cfg.inject.drop_sys_barrier) sys.barrier().inject_drop_next_release();
+  if (cfg.inject.drop_cluster_barrier) {
+    sys.cluster(0).barrier().inject_drop_next_release();
+  }
+  if (cfg.inject.stall_dma) sys.cluster(0).dma().inject_stall();
 
-  result.system = sys.run();
+  result.system = cfg.max_cycles != 0 ? sys.run(cfg.max_cycles) : sys.run();
   result.y = sparse::DenseVector(a.rows());
   sys.main_mem().store().read_doubles(main.y, result.y.data(), a.rows());
   if (queue) {

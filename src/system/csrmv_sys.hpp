@@ -47,6 +47,12 @@ struct SysCsrmvConfig {
   /// so the practical range is 2-4 and the default stays at classic
   /// double buffering. The static path always uses 2.
   std::uint32_t steal_buffers = 2;
+  /// Cycle budget for the run; 0 selects System::run's default. A run
+  /// that exhausts it comes back with a kCycleLimit Fault.
+  cycle_t max_cycles = 0;
+  /// Deterministic fault-injection switches (sim/fault.hpp); all false =
+  /// no injection, the zero-cost path.
+  sim::InjectSet inject;
   /// When non-null, the run records cycle-resolved telemetry here
   /// (System::attach_trace); simulated behaviour is unaffected.
   trace::TraceSink* trace_sink = nullptr;

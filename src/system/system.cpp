@@ -1,6 +1,7 @@
 #include "system/system.hpp"
 
 #include <cassert>
+#include <cstdio>
 
 #include "core/engine.hpp"
 
@@ -44,6 +45,7 @@ void System::attach_trace(trace::TraceSink& sink) {
   }
   noc_.attach_trace(sink);
   barrier_.tracer().attach(sink, sink.add_track("system", "barrier"));
+  trace_sink_ = &sink;
 }
 
 SystemResult System::run(cycle_t max_cycles) {
@@ -84,24 +86,70 @@ SystemResult System::run(cycle_t max_cycles) {
       for (auto& c : s.clusters_) c->resync_account();
     }
   };
-  cycle_t skipped = 0;
-  const cycle_t now = core::run_engine(Units{*this}, max_cycles,
-                                       config_.fast_forward, skipped);
-  const bool aborted = now >= max_cycles && !Units{*this}.done(now);
+  const core::EngineRun er =
+      core::run_engine(Units{*this}, max_cycles, config_.fast_forward);
+  const cycle_t now = er.cycles;
+  const bool aborted = er.stop != core::EngineStop::kDone;
 
   SystemResult result;
   result.cycles = now;
-  result.ff_skipped = skipped;
+  result.ff_skipped = er.skipped;
   result.aborted = aborted;
   // The run is over (or truncated): lift the interconnect budgets so
   // each cluster's harvest drain can flush pending stores unthrottled,
   // then restore them — a System must stay configured as built.
   noc_.set_unlimited(true);
-  for (auto& c : clusters_) {
-    result.clusters.push_back(c->harvest(now, skipped, aborted));
+  for (unsigned c = 0; c < num_clusters(); ++c) {
+    result.clusters.push_back(clusters_[c]->harvest(now, er.skipped, aborted));
+    if (aborted) {
+      result.clusters.back().fault =
+          clusters_[c]->classify_stop(er.stop, now, er.last_horizon, c);
+    }
   }
   noc_.set_unlimited(false);
   noc_.close_trace();
+  if (aborted) {
+    // System-level classification subsumes the per-cluster ones: a run
+    // wedged with clusters parked on the inter-cluster barrier (or any
+    // worker at its HW barrier) is a barrier deadlock; otherwise the
+    // cycle budget / generic no-progress code stands.
+    sim::Fault& f = result.fault;
+    const unsigned parked = barrier_.waiting();
+    bool any_barrier = parked > 0;
+    for (const auto& cr : result.clusters) {
+      if (cr.fault.code == sim::FaultCode::kBarrierDeadlock) {
+        any_barrier = true;
+      }
+      for (const auto& h : cr.fault.harts) f.harts.push_back(h);
+      f.stalls += cr.fault.stalls;
+    }
+    if (er.stop == core::EngineStop::kCycleLimit) {
+      f.code = sim::FaultCode::kCycleLimit;
+      f.message = "cycle budget exhausted before every cluster was done";
+    } else if (any_barrier) {
+      f.code = sim::FaultCode::kBarrierDeadlock;
+      f.message =
+          "clusters parked on a barrier release that can never arrive";
+    } else {
+      f.code = sim::FaultCode::kWatchdogNoProgress;
+      f.message = "no cluster can make progress without an external event";
+    }
+    f.cycle = now;
+    f.last_next_event = er.last_horizon;
+    {
+      char buf[96];
+      std::snprintf(buf, sizeof buf, "sys_barrier: %u/%u arrived, gen %llu",
+                    parked, num_clusters(),
+                    static_cast<unsigned long long>(barrier_.generation()));
+      f.barrier = buf;
+    }
+    if (trace_sink_ != nullptr) {
+      trace::Tracer watchdog;
+      watchdog.attach(*trace_sink_,
+                      trace_sink_->add_track("system", "watchdog"));
+      watchdog.instant(now, sim::to_string(f.code), parked);
+    }
+  }
   result.main_mem_read = main_.bytes_read();
   result.main_mem_written = main_.bytes_written();
   result.noc_links = noc_.link_stats();

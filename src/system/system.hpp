@@ -63,7 +63,12 @@ struct SystemConfig {
 struct SystemResult {
   cycle_t cycles = 0;
   cycle_t ff_skipped = 0;
+  /// True iff the run ended before every cluster was done (cycle budget
+  /// or no-progress watchdog); `fault` classifies the reason with the
+  /// system-wide diagnostic snapshot (every hart's PC, SysBarrier
+  /// occupancy, per-cluster barrier/DMA state).
   bool aborted = false;
+  sim::Fault fault;
   std::vector<ClusterResult> clusters;
   std::uint64_t main_mem_read = 0;
   std::uint64_t main_mem_written = 0;
@@ -145,6 +150,9 @@ class System {
   mem::Interconnect noc_;
   SysBarrier barrier_;
   std::vector<std::unique_ptr<Cluster>> clusters_;
+  /// Sink from attach_trace (null when untraced): run() emits one
+  /// instant on a "system"/"watchdog" track when a run ends in a Fault.
+  trace::TraceSink* trace_sink_ = nullptr;
 };
 
 }  // namespace issr::system

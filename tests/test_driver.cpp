@@ -371,9 +371,12 @@ std::vector<ScenarioResult> fake_results() {
 
 TEST(Report, JsonContainsSchemaAndFields) {
   const auto json = results_to_json(fake_results());
-  EXPECT_NE(json.find("\"schema\": \"issr_run.results.v5\""),
+  EXPECT_NE(json.find("\"schema\": \"issr_run.results.v6\""),
             std::string::npos);
-  // v5 engine-provenance header and per-row metrics block.
+  // v6 row-disposition columns ride on every row.
+  EXPECT_NE(json.find("\"status\": \"ok\""), std::string::npos);
+  EXPECT_NE(json.find("\"fault\": \"\""), std::string::npos);
+  // Engine-provenance header and per-row metrics block.
   EXPECT_NE(json.find("\"engine\": {"), std::string::npos);
   EXPECT_NE(json.find("\"build_type\": "), std::string::npos);
   EXPECT_NE(json.find("\"metrics\": {"), std::string::npos);
@@ -419,7 +422,7 @@ TEST(Report, CsvHasHeaderAndOneRowPerResult) {
   EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 2);
   EXPECT_EQ(csv.find("kernel,variant,index_bits,family,"), 0u);
   EXPECT_NE(csv.find("csrmv,issr,16,uniform,0.125,10,20,8,1,1,4,true,"
-                     "0x0000000000003039,30,true,400"),
+                     "0x0000000000003039,30,true,ok,,400"),
             std::string::npos);
   // Header and row have equal column counts.
   const auto header = csv.substr(0, csv.find('\n'));
@@ -454,7 +457,7 @@ TEST(Report, ScalingEfficiencyPairsRowsWithSingleClusterTwin) {
 TEST(Report, TableHasOneRowPerResult) {
   const auto t = results_table(fake_results());
   EXPECT_EQ(t.rows(), 1u);
-  EXPECT_EQ(t.cols(), 8u);
+  EXPECT_EQ(t.cols(), 9u);
 }
 
 // --- Composable run helpers (driver/runs.hpp) --------------------------------

@@ -1,7 +1,7 @@
 // Metrics & observability tests: snapshot merge algebra (associative,
 // commutative, gauge identity), harvest-time utilization invariants
 // (every util_*/_frac/_rate gauge in [0,1]; util_fpu is bitwise the
-// result's own fpu_util()), the results-v5 hard bar (result documents
+// result's own fpu_util()), the results-v6 hard bar (result documents
 // bytewise identical with host profiling and progress on or off, at any
 // worker count), host-engine metrics accounting, Prometheus rendering,
 // and the build-provenance pairing with the engine's runtime default.
@@ -274,14 +274,14 @@ TEST(Prometheus, RendersTypedLabeledSeries) {
   EXPECT_EQ(text.back(), '\n');
 }
 
-// --- Results schema v5 -------------------------------------------------------
+// --- Results schema v6 -------------------------------------------------------
 
-TEST(ResultsV5, CarriesEngineProvenanceAndMetrics) {
+TEST(ResultsV6, CarriesEngineProvenanceAndMetrics) {
   auto scenarios = mixed_scenarios();
   scenarios.resize(2);
   const auto outcome = sweep(scenarios, 1);
   const std::string json = driver::results_to_json(outcome.results);
-  EXPECT_NE(json.find("\"schema\": \"issr_run.results.v5\""),
+  EXPECT_NE(json.find("\"schema\": \"issr_run.results.v6\""),
             std::string::npos);
   EXPECT_NE(json.find("\"engine\""), std::string::npos);
   EXPECT_NE(json.find("\"build_type\""), std::string::npos);
@@ -308,7 +308,7 @@ TEST(Provenance, BuildFastForwardDefaultMatchesEngine) {
   EXPECT_STRNE(engine_build_type(), "");
 }
 
-TEST(ResultsV5, PaperReferenceAnchors) {
+TEST(ResultsV6, PaperReferenceAnchors) {
   EXPECT_EQ(driver::paper_util_reference(kernels::Variant::kBase,
                                          sparse::IndexWidth::kU32),
             0.11);

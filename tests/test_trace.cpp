@@ -381,6 +381,12 @@ TEST(AbortedRun, HitsCycleLimitWithStatusAndPc) {
   EXPECT_TRUE(r.aborted);
   EXPECT_EQ(r.cycles, 200u);
   EXPECT_EQ(r.last_pc, isa::Program::kBaseAddr);
+  // The abort is classified: a spinning core makes forward progress
+  // every cycle, so this is the budget fault, not the no-progress one.
+  EXPECT_EQ(r.fault.code, sim::FaultCode::kCycleLimit);
+  EXPECT_EQ(r.fault.cycle, 200u);
+  ASSERT_EQ(r.fault.harts.size(), 1u);
+  EXPECT_EQ(r.fault.harts[0].pc, isa::Program::kBaseAddr);
   // The truncated run still satisfies the attribution invariant.
   EXPECT_EQ(r.stalls.total(), r.cycles);
 }
@@ -392,6 +398,7 @@ TEST(AbortedRun, NormalFinishIsNotAborted) {
   sim.set_program(a.assemble());
   const auto r = sim.run(200);
   EXPECT_FALSE(r.aborted);
+  EXPECT_FALSE(r.fault);
   EXPECT_LT(r.cycles, 200u);
 }
 
