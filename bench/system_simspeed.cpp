@@ -1,0 +1,251 @@
+// system_simspeed — parallel-System-engine wall-clock datapoint: runs the
+// four-family CsrMV mix (the system_scaling workload, scaled down to CI
+// budgets) on the hierarchical system model at 1/2/4/8 clusters, serial
+// engine vs `--sys-threads clusters`, and reports MCPS (million simulated
+// core-cycles per second) for both plus their ratio. The committed
+// BENCH_syssimspeed.json records the trajectory; scripts/
+// check_syssimspeed.py gates CI on bench/baseline_syssimspeed.json.
+//
+// Honesty contract: the parallel engine's speedup is bounded by the host
+// (`host_threads` in the JSON records what the machine offers — a 1-CPU
+// CI container measures the engine's overhead floor, not its speedup)
+// and by the workload's lockstep fraction (NoC-heavy mixes collapse to
+// coordinated cycles). Simulated cycle counts must be identical between
+// the serial and parallel engine at every cluster count — this bench
+// aborts on a mismatch, and the check script fails on any drift from the
+// committed baseline.
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "common/cli.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "core/engine.hpp"
+#include "driver/report.hpp"
+#include "driver/runs.hpp"
+#include "sparse/generate.hpp"
+
+using namespace issr;
+
+namespace {
+
+constexpr const char* kUsage = R"(system_simspeed — parallel System engine wall-clock datapoint
+
+Usage: system_simspeed [options]
+
+Options:
+  --out FILE         output JSON path            [BENCH_syssimspeed.json]
+  --min-seconds S    per-point wall budget       [0.3]
+  --sys-threads N    parallel-point thread count; 0 = one per cluster
+                     (clamped to the cluster count either way)  [0]
+  --no-steal        static row partition instead of dynamic inter-cluster
+                     work stealing (y is bitwise identical either way)
+  --no-fast-forward  tick every cycle instead of skipping provably idle
+                     stretches (simulated cycle counts are identical)
+  --help             this text
+
+Runs the four-family CsrMV mix (uniform, banded, torus, power-law; ISSR
+u16, 8 workers per cluster) at 1/2/4/8 clusters, once on the serial
+System engine and once on the parallel engine with one host thread per
+cluster, and writes one record per point: {scenario, clusters,
+sys_threads, sim_cycles, core_cycles, reps, seconds, mcps, speedup}.
+sim_cycles must be bitwise identical between the two engines (the bench
+aborts otherwise); speedup is parallel MCPS / serial MCPS at the same
+cluster count, honestly reflecting whatever host parallelism the machine
+actually offers (the host_threads field records it).
+)";
+
+struct Point {
+  std::string name;
+  unsigned clusters = 0;
+  unsigned sys_threads = 1;
+  std::uint64_t sim_cycles = 0;   ///< summed system cycles of the mix
+  std::uint64_t core_cycles = 0;  ///< summed cycles x clusters x workers
+  unsigned reps = 0;
+  double seconds = 0.0;
+  double mcps = 0.0;
+  double speedup = 1.0;  ///< mcps / same-cluster serial mcps
+};
+
+using Clock = std::chrono::steady_clock;
+
+std::string to_json(const std::vector<Point>& ps) {
+  unsigned hw = std::thread::hardware_concurrency();
+  if (hw == 0) hw = 1;
+  std::string j = "{\n  \"schema\": \"issr-syssimspeed-v1\",\n  \"git\": \"" +
+                  bench::git_describe() + "\",\n  \"fast_forward\": " +
+                  (core::engine_fast_forward_default() ? "true" : "false") +
+                  ",\n  \"host_threads\": " + std::to_string(hw) +
+                  ",\n  \"scenarios\": [\n";
+  for (std::size_t i = 0; i < ps.size(); ++i) {
+    const Point& p = ps[i];
+    j += "    {\"scenario\": \"" + p.name +
+         "\", \"clusters\": " + std::to_string(p.clusters) +
+         ", \"sys_threads\": " + std::to_string(p.sys_threads) +
+         ", \"cycles\": " + std::to_string(p.sim_cycles) +
+         ", \"core_cycles\": " + std::to_string(p.core_cycles) +
+         ", \"reps\": " + std::to_string(p.reps) +
+         ", \"seconds\": " + bench::fmt_fixed4(p.seconds) +
+         ", \"mcps\": " + bench::fmt_fixed4(p.mcps) +
+         ", \"speedup\": " + bench::fmt_fixed4(p.speedup) + "}";
+    j += i + 1 < ps.size() ? ",\n" : "\n";
+  }
+  j += "  ]\n}\n";
+  return j;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_syssimspeed.json";
+  double min_seconds = 0.3;
+  unsigned par_threads = 0;
+  bool steal = true;
+
+  cli::FlagParser parser("system_simspeed", kUsage);
+  core::register_engine_cli(parser);
+  parser.add_value("--out", [&](const std::string& v) {
+    out_path = v;
+    return !v.empty();
+  });
+  parser.add_value("--min-seconds", [&](const std::string& v) {
+    return cli::parse_double(v, min_seconds) && min_seconds > 0.0;
+  });
+  parser.add_value("--sys-threads", [&](const std::string& v) {
+    std::uint64_t n = 0;
+    if (!cli::parse_u64(v, n, 1024)) return false;  // 0 = one per cluster
+    par_threads = static_cast<unsigned>(n);
+    return true;
+  });
+  parser.add_switch("--no-steal", [&] { steal = false; });
+  parser.parse(argc, argv);
+
+  // The system_scaling four-family mix at half scale: long DMA-fed
+  // compute phases per tile (the shape the parallel engine's Phase P
+  // exists for) with the power-law member keeping a skewed, steal-heavy
+  // component in the blend. Operands are a fixed function of the seed.
+  Rng rng(4);
+  struct Member {
+    const char* name;
+    sparse::CsrMatrix a;
+    sparse::DenseVector x;
+  };
+  std::vector<Member> mix;
+  const auto add = [&](const char* name, sparse::CsrMatrix a) {
+    auto x = sparse::random_dense_vector(rng, a.cols());
+    mix.push_back(Member{name, std::move(a), std::move(x)});
+  };
+  add("uniform2048x51",
+      sparse::random_fixed_row_nnz_matrix(rng, 2048, 2048, 51));
+  add("banded1024bw24", sparse::banded_matrix(rng, 1024, 24));
+  add("torus48x48", sparse::torus2d_matrix(rng, 48, 48));
+  add("powerlaw1024m24", sparse::powerlaw_matrix(rng, 1024, 512, 24.0, 0.5));
+
+  const unsigned workers = 8;
+  std::vector<Point> points;
+  for (const unsigned clusters : {1u, 2u, 4u, 8u}) {
+    // One full pass over the mix on `threads` host threads; returns the
+    // summed system cycles (the determinism invariant) and accumulates
+    // core-cycles (the MCPS numerator).
+    const auto run_mix = [&](unsigned threads, std::uint64_t& core_cycles) {
+      driver::SysTuning tuning;
+      tuning.steal = steal;
+      tuning.sys_threads = threads;
+      std::uint64_t cycles = 0;
+      core_cycles = 0;
+      for (const auto& m : mix) {
+        const auto r = driver::run_csrmv_sys(
+            kernels::Variant::kIssr, sparse::IndexWidth::kU16, clusters,
+            workers, m.a, m.x,
+            /*trace=*/nullptr, /*validate=*/false, {}, tuning);
+        cycles += r.sys.system.cycles;
+        core_cycles += r.sys.system.cycles *
+                       static_cast<std::uint64_t>(clusters) * workers;
+      }
+      return cycles;
+    };
+
+    const unsigned par =
+        par_threads == 0 ? clusters
+                         : (par_threads > clusters ? clusters : par_threads);
+    double serial_mcps = 0.0;
+    for (const unsigned threads :
+         clusters == 1 || par <= 1 ? std::vector<unsigned>{1}
+                                   : std::vector<unsigned>{1, par}) {
+      Point p;
+      p.clusters = clusters;
+      p.sys_threads = threads;
+      p.name = "sys_x" + std::to_string(clusters) +
+               (threads == 1 ? "_serial" : "_par" + std::to_string(threads));
+      p.sim_cycles = run_mix(threads, p.core_cycles);  // warm-up + invariant
+      const auto t0 = Clock::now();
+      do {
+        std::uint64_t cc = 0;
+        const std::uint64_t c = run_mix(threads, cc);
+        if (c != p.sim_cycles || cc != p.core_cycles) {
+          std::fprintf(stderr,
+                       "FATAL: %s: nondeterministic cycle count "
+                       "(%llu vs %llu)\n",
+                       p.name.c_str(), static_cast<unsigned long long>(c),
+                       static_cast<unsigned long long>(p.sim_cycles));
+          std::abort();
+        }
+        ++p.reps;
+        p.seconds = std::chrono::duration<double>(Clock::now() - t0).count();
+      } while (p.seconds < min_seconds);
+      p.mcps = static_cast<double>(p.core_cycles) * p.reps / p.seconds / 1e6;
+      if (threads == 1) {
+        serial_mcps = p.mcps;
+      } else {
+        // The engine-equivalence bar, enforced at bench time: the
+        // parallel engine must reproduce the serial cycle count exactly.
+        if (p.sim_cycles != points.back().sim_cycles) {
+          std::fprintf(stderr,
+                       "FATAL: sys_x%u: parallel engine diverged from "
+                       "serial (%llu vs %llu cycles)\n",
+                       clusters,
+                       static_cast<unsigned long long>(p.sim_cycles),
+                       static_cast<unsigned long long>(
+                           points.back().sim_cycles));
+          std::abort();
+        }
+      }
+      p.speedup = serial_mcps > 0.0 ? p.mcps / serial_mcps : 1.0;
+      points.push_back(p);
+    }
+  }
+
+  Table t("Parallel System engine throughput (million core-cycles / second)");
+  t.set_header({"scenario", "clusters", "threads", "sim cycles", "reps",
+                "seconds", "MCPS", "speedup"});
+  for (const auto& p : points) {
+    t.add_row({p.name, fmt_u(p.clusters), fmt_u(p.sys_threads),
+               fmt_u(p.sim_cycles), fmt_u(p.reps),
+               bench::fmt_fixed4(p.seconds), bench::fmt_fixed4(p.mcps),
+               bench::fmt_fixed4(p.speedup)});
+  }
+  t.print();
+
+  unsigned hw = std::thread::hardware_concurrency();
+  if (hw == 0) hw = 1;
+  if (hw == 1) {
+    std::printf(
+        "note: host offers 1 hardware thread — parallel points measure "
+        "the engine's overhead floor, not its speedup\n");
+  }
+
+  if (!driver::write_text_file(out_path, to_json(points))) {
+    std::fprintf(stderr, "system_simspeed: failed to write %s\n",
+                 out_path.c_str());
+    return 1;
+  }
+  std::printf("wrote %s (git %s)\n", out_path.c_str(),
+              bench::git_describe().c_str());
+  return 0;
+}

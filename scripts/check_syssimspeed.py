@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Gate the parallel System engine's throughput against the baseline.
+
+Usage: check_syssimspeed.py MEASURED.json BASELINE.json [--tolerance 0.25]
+
+Fails (exit 1) when:
+  * a baseline scenario is missing from the measurement,
+  * a scenario's MCPS fell more than --tolerance below its baseline MCPS,
+  * a scenario's simulated cycle count differs from the baseline. Cycle
+    counts are deterministic workload invariants (independent of host
+    speed, --sys-threads, --jobs, tracing, and --no-fast-forward), so a
+    mismatch means the simulated model changed: if intentional,
+    regenerate the baseline (see bench/baseline_syssimspeed.json) in the
+    same commit,
+  * the serial and parallel engine disagree on cycles at any cluster
+    count — the bitwise-equivalence contract of the parallel engine.
+
+The committed baseline MCPS values are a conservative floor for the CI
+runner class (which may offer a single hardware thread — there the
+parallel points gate the engine's overhead, not its speedup); ratchet
+them upward as CI history accumulates.
+"""
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("schema") != "issr-syssimspeed-v1":
+        sys.exit(f"{path}: unexpected schema {doc.get('schema')!r}")
+    return {s["scenario"]: s for s in doc["scenarios"]}
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("measured")
+    ap.add_argument("baseline")
+    ap.add_argument("--tolerance", type=float, default=0.25,
+                    help="allowed fractional MCPS regression (default 0.25)")
+    args = ap.parse_args()
+
+    measured = load(args.measured)
+    baseline = load(args.baseline)
+
+    failures = []
+    for name, base in sorted(baseline.items()):
+        got = measured.get(name)
+        if got is None:
+            failures.append(f"{name}: missing from measurement")
+            continue
+        if got["cycles"] != base["cycles"]:
+            failures.append(
+                f"{name}: simulated cycles changed "
+                f"({got['cycles']} vs baseline {base['cycles']}) — "
+                "modelling change; regenerate the baseline if intentional")
+        floor = base["mcps"] * (1.0 - args.tolerance)
+        status = "OK" if got["mcps"] >= floor else "REGRESSED"
+        print(f"{name:24s} mcps={got['mcps']:9.3f} "
+              f"baseline={base['mcps']:9.3f} floor={floor:9.3f} {status}")
+        if got["mcps"] < floor:
+            failures.append(
+                f"{name}: {got['mcps']:.3f} MCPS is more than "
+                f"{args.tolerance:.0%} below the baseline {base['mcps']:.3f}")
+
+    # Serial/parallel engine equivalence: every cluster count measured
+    # with both engines must report identical simulated cycles.
+    by_clusters = {}
+    for name, s in measured.items():
+        by_clusters.setdefault(s["clusters"], set()).add(s["cycles"])
+    for clusters, cycle_set in sorted(by_clusters.items()):
+        if len(cycle_set) > 1:
+            failures.append(
+                f"clusters={clusters}: serial and parallel engine disagree "
+                f"on simulated cycles ({sorted(cycle_set)})")
+
+    if failures:
+        print("\nFAIL:", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print("\nparallel System engine throughput within tolerance of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

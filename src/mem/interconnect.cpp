@@ -1,12 +1,20 @@
 #include "mem/interconnect.hpp"
 
+#include <cassert>
+
 namespace issr::mem {
 
 void Interconnect::begin_cycle(cycle_t now) {
+  // Budgets are per-cycle; begin_cycle must never be observable beyond
+  // that, because the host-parallel engine (system/par_engine.hpp) only
+  // calls it for coordinated cycles: a cycle in which no cluster requests
+  // a beat must behave identically whether or not it was begun. The
+  // monotonicity assert is the cheap canary for an ordering bug there.
+  assert(now >= last_begin_ && "interconnect cycles must begin in order");
+  last_begin_ = now;
   for (auto& link : links_) {
     link.in_left = config_.link_beats_per_cycle;
     link.out_left = config_.link_beats_per_cycle;
-    close_quiet_slices(link, now);
   }
   for (auto& g : groups_) {
     g.in_left = config_.group_beats_per_cycle;
@@ -68,18 +76,20 @@ void Interconnect::deny(Link& link, LinkStats& st, Dir dir, cycle_t now) {
   } else {
     ++st.denied_out;
   }
+  // Slice closing is driven by the event stream itself (the next denial
+  // after a quiet gap, or close_trace), never by the begin_cycle cadence:
+  // the serial engine begins every non-skipped cycle while the parallel
+  // engine begins only coordinated ones, and trace bytes must not depend
+  // on which engine ran. The emitted end timestamp is the same either way.
+  if (link.slice_open && link.last_denied + 1 < now) {
+    link.trace.end(link.last_denied + 1, "contention");
+    link.slice_open = false;
+  }
   if (!link.slice_open) {
     link.trace.begin(now, "contention");
     link.slice_open = true;
   }
   link.last_denied = now;
-}
-
-void Interconnect::close_quiet_slices(Link& link, cycle_t now) {
-  if (link.slice_open && link.last_denied + 1 < now) {
-    link.trace.end(link.last_denied + 1, "contention");
-    link.slice_open = false;
-  }
 }
 
 void Interconnect::attach_trace(trace::TraceSink& sink,

@@ -128,15 +128,18 @@ class Interconnect {
     unsigned out_left = 0;
   };
 
+  /// Count a denial and maintain the link's contention slice: a slice
+  /// ends after the first full cycle with no denial, with the end event
+  /// emitted lazily at the next denial (or from close_trace) so emission
+  /// order never depends on the begin_cycle cadence.
   void deny(Link& link, LinkStats& st, Dir dir, cycle_t now);
-  /// A contention slice ends after the first full cycle with no denial.
-  void close_quiet_slices(Link& link, cycle_t now);
 
   InterconnectConfig config_;
   std::vector<Link> links_;
   std::vector<LinkStats> stats_;
   std::vector<Group> groups_;
   std::uint64_t group_conflicts_ = 0;
+  cycle_t last_begin_ = 0;  ///< begin_cycle monotonicity canary (assert)
   bool unlimited_ = false;
 };
 

@@ -1,0 +1,613 @@
+#include "system/par_engine.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+
+#include "cluster/cluster.hpp"
+#include "mem/interconnect.hpp"
+#include "system/barrier.hpp"
+
+namespace issr::system {
+
+thread_local OrderedSink::Ctx* OrderedSink::tls_ctx_ = nullptr;
+
+void OrderedSink::record(const trace::Event& event) {
+  if (!buffering_) {
+    under_.record(event);
+    return;
+  }
+  Ctx* ctx = tls_ctx_;
+  assert(ctx != nullptr && "buffered trace emission outside any tick context");
+  ctx->buf.push_back(Keyed{ctx->cycle, ctx->order, ctx->seq++, event});
+}
+
+void OrderedSink::end_buffered(const std::vector<Ctx*>& ctxs) {
+  std::size_t total = 0;
+  for (const Ctx* c : ctxs) total += c->buf.size();
+  std::vector<Keyed> all;
+  all.reserve(total);
+  for (Ctx* c : ctxs) {
+    all.insert(all.end(), c->buf.begin(), c->buf.end());
+    c->buf.clear();
+  }
+  // The key totally orders emissions the way the serial engine would have
+  // produced them: by system cycle, then begin_cycle before the clusters
+  // in rotation order, then emission order within the tick. stable_sort
+  // for determinism in the (impossible) event of equal keys.
+  std::stable_sort(all.begin(), all.end(), [](const Keyed& a, const Keyed& b) {
+    if (a.cycle != b.cycle) return a.cycle < b.cycle;
+    if (a.order != b.order) return a.order < b.order;
+    return a.seq < b.seq;
+  });
+  for (const Keyed& k : all) under_.record(k.event);
+  buffering_ = false;
+}
+
+unsigned resolve_host_threads(unsigned requested, unsigned num_clusters) {
+  unsigned t = requested;
+  if (t == 0) {
+    t = std::thread::hardware_concurrency();
+    if (t == 0) t = 1;
+  }
+  if (t > num_clusters) t = num_clusters;
+  return t < 1 ? 1 : t;
+}
+
+namespace {
+
+using cluster::Cluster;
+
+enum class LaneState : std::uint8_t {
+  kRun,   ///< eligible to advance in the next Phase P round
+  kSeam,  ///< paused: the next tick (at pos) may touch a shared seam
+  kDone,  ///< paused: done() first held at inert_from
+  kNever, ///< paused: (next_event, next_seam) == kCycleNever at inert_from
+  kHold,  ///< paused: seam probe returned kCycleHold (release undecided)
+  kLimit, ///< paused: pos reached max_cycles
+};
+
+/// One cluster's execution lane. Cycles [0, pos) have been ticked or
+/// replay-credited; all mutable state is owned by exactly one thread at
+/// a time (a Phase-P worker or the coordinator), handed off through the
+/// pool's round synchronization.
+struct Lane {
+  Cluster* cl = nullptr;
+  unsigned idx = 0;
+  cycle_t pos = 0;
+  cycle_t skipped = 0;
+  LaneState st = LaneState::kRun;
+  cycle_t inert_from = 0;
+  std::uint64_t park_epoch = 0;
+  OrderedSink::Ctx ctx;
+  std::vector<std::uint64_t> c0, c1;  ///< replay measurement scratch
+};
+
+/// Round-based worker pool: workers block between rounds, the coordinator
+/// blocks during them — at no point do a worker and the coordinator run
+/// concurrently on lane state (the round mutex is the hand-off).
+class Pool {
+ public:
+  Pool(unsigned workers, std::function<void(unsigned)> job)
+      : job_(std::move(job)) {
+    threads_.reserve(workers);
+    for (unsigned i = 0; i < workers; ++i) {
+      threads_.emplace_back([this, i] { worker(i); });
+    }
+  }
+  ~Pool() {
+    {
+      std::lock_guard<std::mutex> lock(m_);
+      quit_ = true;
+    }
+    cv_go_.notify_all();
+    for (auto& t : threads_) t.join();
+  }
+
+  /// Run job(worker) once on every worker; returns the host microseconds
+  /// this (coordinator) thread spent blocked waiting for them.
+  std::uint64_t round() {
+    {
+      std::lock_guard<std::mutex> lock(m_);
+      pending_ = static_cast<unsigned>(threads_.size());
+      ++round_;
+    }
+    cv_go_.notify_all();
+    const auto t0 = std::chrono::steady_clock::now();
+    std::unique_lock<std::mutex> lock(m_);
+    cv_done_.wait(lock, [this] { return pending_ == 0; });
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
+  }
+
+ private:
+  void worker(unsigned i) {
+    std::uint64_t seen = 0;
+    for (;;) {
+      {
+        std::unique_lock<std::mutex> lock(m_);
+        cv_go_.wait(lock, [&] { return quit_ || round_ != seen; });
+        if (quit_) return;
+        seen = round_;
+      }
+      job_(i);
+      {
+        std::lock_guard<std::mutex> lock(m_);
+        if (--pending_ == 0) cv_done_.notify_one();
+      }
+    }
+  }
+
+  std::function<void(unsigned)> job_;
+  std::mutex m_;
+  std::condition_variable cv_go_, cv_done_;
+  std::uint64_t round_ = 0;
+  unsigned pending_ = 0;
+  bool quit_ = false;
+  std::vector<std::thread> threads_;
+};
+
+class ParEngine {
+ public:
+  ParEngine(const std::vector<Cluster*>& clusters, mem::Interconnect& noc,
+            SysBarrier& barrier, cycle_t max_cycles, bool fast_forward,
+            unsigned host_threads, OrderedSink* sink)
+      : noc_(noc),
+        barrier_(barrier),
+        max_cycles_(max_cycles),
+        ff_(fast_forward),
+        sink_(sink) {
+    const unsigned n = static_cast<unsigned>(clusters.size());
+    assert(n >= 2);
+    lanes_.resize(n);
+    for (unsigned i = 0; i < n; ++i) {
+      lanes_[i].cl = clusters[i];
+      lanes_[i].idx = i;
+    }
+    workers_ = host_threads < n ? host_threads : n;
+    assert(workers_ >= 2);
+    wstats_.resize(workers_);
+    seen_epoch_ = barrier_.epoch();
+  }
+
+  ParOutcome run() {
+    if (sink_ != nullptr) sink_->begin_buffered();
+    {
+      Pool pool(workers_, [this](unsigned w) { phase_job(w); });
+      for (;;) {
+        if (any_state(LaneState::kRun)) {
+          ++coord_.rounds;
+          coord_.barrier_wait_us += pool.round();
+        }
+        if (any_state(LaneState::kSeam)) {
+          coordinate();
+          continue;
+        }
+        // No seams and no runnable lanes: either terminal, or a barrier
+        // mutation from the last window re-arms a parked lane (handled
+        // in-window; this is a belt-and-braces recheck).
+        wake_parked(/*advance_inline=*/false);
+        if (any_state(LaneState::kRun) || any_state(LaneState::kSeam)) continue;
+        if (any_state(LaneState::kHold)) {
+          // Wedged barrier: every lane is parked or finished, so no future
+          // arrival can ever decide the releases the held lanes wait on —
+          // their released() polls return false forever, exactly as in the
+          // serial engine. Run them freely (probe holds ignored) so they
+          // burn to the cycle budget / park inert just as serial would.
+          free_run_ = true;
+          for (Lane& l : lanes_) {
+            if (l.st == LaneState::kHold) l.st = LaneState::kRun;
+          }
+          continue;
+        }
+        break;
+      }
+      finalize_extension();
+    }
+    if (sink_ != nullptr) {
+      std::vector<OrderedSink::Ctx*> ctxs;
+      ctxs.reserve(lanes_.size() + 1);
+      for (Lane& l : lanes_) ctxs.push_back(&l.ctx);
+      ctxs.push_back(&coord_ctx_);
+      sink_->end_buffered(ctxs);
+      OrderedSink::set_context(nullptr);
+    }
+    return outcome();
+  }
+
+ private:
+  unsigned num_lanes() const { return static_cast<unsigned>(lanes_.size()); }
+
+  bool any_state(LaneState s) const {
+    for (const Lane& l : lanes_) {
+      if (l.st == s) return true;
+    }
+    return false;
+  }
+
+  /// Rotation position of cluster `idx` in the serial tick order of
+  /// cycle `t` (start = t % n).
+  unsigned rotation(unsigned idx, cycle_t t) const {
+    const unsigned n = num_lanes();
+    const unsigned start = static_cast<unsigned>(t % n);
+    return (idx + n - start) % n;
+  }
+
+  void tick_lane(Lane& l) {
+    if (sink_ != nullptr) {
+      l.ctx.cycle = l.pos;
+      l.ctx.order = 1 + rotation(l.idx, l.pos);
+      OrderedSink::set_context(&l.ctx);
+    }
+    l.cl->tick(l.pos);
+    ++l.pos;
+  }
+
+  static void gather(Cluster& c, std::vector<std::uint64_t>& out) {
+    out.clear();
+    c.visit_wait_counters([&out](std::uint64_t& v) { out.push_back(v); });
+  }
+
+  static void record_quantum(ParStats& s, cycle_t adv) {
+    if (adv == 0) return;
+    unsigned b = 0;
+    cycle_t v = adv;
+    while (v > 1 && b + 1 < ParStats::kQuantumBuckets) {
+      v >>= 1;
+      ++b;
+    }
+    ++s.quantum_hist[b];
+    ++s.quantum_count;
+    s.quantum_cycles += adv;
+  }
+
+  /// Advance one lane through provably cluster-local cycles until it must
+  /// pause. Mirrors one core::run_engine iteration per tick, with the
+  /// horizon additionally bounded by the interaction seam.
+  void advance(Lane& l, ParStats& ws) {
+    Cluster& c = *l.cl;
+    for (;;) {
+      if (l.pos >= max_cycles_) {
+        l.st = LaneState::kLimit;
+        return;
+      }
+      {
+        cycle_t seam = c.next_seam(l.pos);
+        if (seam == kCycleHold && free_run_) seam = kCycleNever;
+        if (seam == kCycleHold) {
+          l.st = LaneState::kHold;
+          l.park_epoch = barrier_.epoch();
+          return;
+        }
+        if (seam <= l.pos) {
+          l.st = LaneState::kSeam;
+          return;
+        }
+      }
+      tick_lane(l);
+      ++ws.parallel_ticks;
+      if (c.done(l.pos)) {
+        l.st = LaneState::kDone;
+        l.inert_from = l.pos;
+        return;
+      }
+      const cycle_t h = c.next_event(l.pos);
+      cycle_t s = c.next_seam(l.pos);
+      if (s == kCycleHold && free_run_) s = kCycleNever;
+      if (s == kCycleHold) {
+        l.st = LaneState::kHold;
+        l.park_epoch = barrier_.epoch();
+        return;
+      }
+      if (s < l.pos) s = l.pos;
+      if (h == kCycleNever && s == kCycleNever) {
+        l.st = LaneState::kNever;
+        l.inert_from = l.pos;
+        l.park_epoch = barrier_.epoch();
+        return;
+      }
+      if (!ff_) continue;
+      // Bound the replay by both horizons; with h == kCycleNever the lane
+      // is inert but owes real (creditable) cycles up to its seam.
+      cycle_t target = h < s ? h : s;
+      if (target > max_cycles_) target = max_cycles_;
+      if (target < l.pos + 2) continue;
+      // Cycles [pos, target) are pure repeats of the tick just performed
+      // and provably free of seam interactions. Measure one for real,
+      // then credit the rest arithmetically (exact; core/engine.hpp).
+      gather(c, l.c0);
+      tick_lane(l);
+      ++ws.parallel_ticks;
+      if (c.done(l.pos)) {
+        l.st = LaneState::kDone;
+        l.inert_from = l.pos;
+        return;
+      }
+      gather(c, l.c1);
+      const cycle_t span = target - l.pos;
+      if (span > 0) {
+        std::size_t i = 0;
+        c.visit_wait_counters([&](std::uint64_t& v) {
+          v += (l.c1[i] - l.c0[i]) * span;
+          ++i;
+        });
+        c.resync_account();
+        l.pos = target;
+        l.skipped += span;
+        ws.ff_credited += span;
+        if (c.done(l.pos)) {
+          l.st = LaneState::kDone;
+          l.inert_from = l.pos;
+          return;
+        }
+      }
+    }
+  }
+
+  void phase_job(unsigned w) {
+    ParStats& ws = wstats_[w];
+    for (unsigned i = w; i < num_lanes(); i += workers_) {
+      Lane& l = lanes_[i];
+      if (l.st != LaneState::kRun) continue;
+      const cycle_t start = l.pos;
+      advance(l, ws);
+      record_quantum(ws, l.pos - start);
+    }
+    OrderedSink::set_context(nullptr);
+  }
+
+  /// Re-probe barrier-parked lanes after a mutation epoch change. A
+  /// woken lane either resumes in the next Phase P round or — when
+  /// `advance_inline` (called mid-window, where a Phase P round is not
+  /// coming before the frontier could pass its seam) — advances here on
+  /// the coordinator, through purely local cycles, to its seam.
+  void wake_parked(bool advance_inline) {
+    const std::uint64_t ep = barrier_.epoch();
+    for (Lane& l : lanes_) {
+      if (l.st != LaneState::kNever && l.st != LaneState::kHold) continue;
+      if (l.park_epoch == ep) continue;
+      l.park_epoch = ep;
+      const cycle_t h = l.cl->next_event(l.pos);
+      cycle_t s = l.cl->next_seam(l.pos);
+      if (s == kCycleHold) continue;  // release still undecided: stay parked
+      if (s < l.pos) s = l.pos;
+      if (h == kCycleNever && s == kCycleNever) {
+        if (l.st == LaneState::kHold) l.inert_from = l.pos;
+        l.st = LaneState::kNever;
+        continue;
+      }
+      if (s <= l.pos) {
+        l.st = LaneState::kSeam;
+        continue;
+      }
+      l.st = LaneState::kRun;
+      if (advance_inline) {
+        const cycle_t start = l.pos;
+        advance(l, coord_);
+        record_quantum(coord_, l.pos - start);
+      }
+    }
+  }
+
+  /// Execute coordinated cycles from the minimum paused seam upward:
+  /// begin_cycle on the interconnect, then every lane standing at the
+  /// cycle, in serial rotation order. A lane that joined the window keeps
+  /// ticking every cycle (local ticks included) until the window closes —
+  /// releasing it early could let the frontier pass a seam it still owes.
+  /// The window closes (all attached lanes released at once, which keeps
+  /// coordinated cycles globally monotone) as soon as no paused lane can
+  /// interact within one cycle of the frontier.
+  void coordinate() {
+    const unsigned n = num_lanes();
+    cycle_t t = kCycleNever;
+    for (const Lane& l : lanes_) {
+      if (l.st == LaneState::kSeam && l.pos < t) t = l.pos;
+    }
+    assert(t != kCycleNever);
+    for (;;) {
+      if (t >= max_cycles_) {
+        for (Lane& l : lanes_) {
+          if (l.st == LaneState::kSeam && l.pos >= max_cycles_) {
+            l.st = LaneState::kLimit;
+          }
+        }
+        break;
+      }
+      // Earliest cycle any paused lane can interact: an attached lane's
+      // current seam, or a pending lane's pause position (== its seam).
+      cycle_t nearest = kCycleNever;
+      for (Lane& l : lanes_) {
+        if (l.st != LaneState::kSeam) continue;
+        cycle_t s = l.cl->next_seam(l.pos);
+        if (s < l.pos) s = l.pos;
+        if (s < nearest) nearest = s;
+      }
+      if (nearest > t + 1) break;  // everyone is local for a while
+      bool any = false;
+      for (const Lane& l : lanes_) {
+        if (l.st == LaneState::kSeam && l.pos == t) {
+          any = true;
+          break;
+        }
+      }
+      if (any) {
+        if (sink_ != nullptr) {
+          coord_ctx_.cycle = t;
+          coord_ctx_.order = 0;
+          OrderedSink::set_context(&coord_ctx_);
+        }
+        noc_.begin_cycle(t);
+        ++coord_.lockstep_cycles;
+        const unsigned start = static_cast<unsigned>(t % n);
+        for (unsigned k = 0; k < n; ++k) {
+          Lane& l = lanes_[(start + k) % n];
+          if (l.st != LaneState::kSeam || l.pos != t) continue;
+          tick_lane(l);
+          Cluster& c = *l.cl;
+          if (c.done(l.pos)) {
+            l.st = LaneState::kDone;
+            l.inert_from = l.pos;
+            continue;
+          }
+          const cycle_t h = c.next_event(l.pos);
+          const cycle_t s = c.next_seam(l.pos);
+          if (s == kCycleHold) {
+            l.st = LaneState::kHold;
+            l.park_epoch = barrier_.epoch();
+            continue;
+          }
+          if (h == kCycleNever && s == kCycleNever) {
+            l.st = LaneState::kNever;
+            l.inert_from = l.pos;
+            l.park_epoch = barrier_.epoch();
+            continue;
+          }
+          if (l.pos >= max_cycles_) l.st = LaneState::kLimit;
+          // else: stays kSeam — attached until the window closes.
+        }
+        if (sink_ != nullptr) OrderedSink::set_context(nullptr);
+        // A barrier arrival in this cycle may have decided the release a
+        // parked lane is waiting on; it must rejoin before the frontier
+        // can reach its (strictly future: release_latency > 0) seam.
+        if (barrier_.epoch() != seen_epoch_) {
+          seen_epoch_ = barrier_.epoch();
+          wake_parked(/*advance_inline=*/true);
+        }
+      }
+      ++t;
+    }
+    // Window closed: release every surviving attached/pending lane whose
+    // next interaction is ahead of it. All at once — the next window
+    // starts at the new minimum seam, which this rule keeps monotone.
+    for (Lane& l : lanes_) {
+      if (l.st != LaneState::kSeam) continue;
+      const cycle_t s = l.cl->next_seam(l.pos);
+      if (s == kCycleHold) {
+        l.st = LaneState::kHold;
+        l.park_epoch = barrier_.epoch();
+      } else if (s > l.pos) {
+        l.st = LaneState::kRun;
+      }
+    }
+  }
+
+  /// Extend every lane to the common stop cycle T through the same
+  /// pure-wait replay the serial engine would have applied: lanes pause
+  /// inert (done or never-progress), so every remaining tick repeats.
+  void finalize_extension() {
+    bool any_limit = false;
+    cycle_t T = 0;
+    for (const Lane& l : lanes_) {
+      if (l.st == LaneState::kLimit) any_limit = true;
+      const cycle_t at =
+          (l.st == LaneState::kDone || l.st == LaneState::kNever)
+              ? l.inert_from
+              : l.pos;
+      if (at > T) T = at;
+    }
+    if (any_limit) T = max_cycles_;
+    stop_cycle_ = T;
+    for (Lane& l : lanes_) {
+      assert(l.st != LaneState::kRun && l.st != LaneState::kSeam &&
+             l.st != LaneState::kHold);
+      Cluster& c = *l.cl;
+      while (l.pos < T) {
+        tick_lane(l);
+        ++coord_.parallel_ticks;
+        if (!ff_ || T < l.pos + 2) continue;
+        gather(c, l.c0);
+        tick_lane(l);
+        ++coord_.parallel_ticks;
+        gather(c, l.c1);
+        const cycle_t span = T - l.pos;
+        std::size_t i = 0;
+        c.visit_wait_counters([&](std::uint64_t& v) {
+          v += (l.c1[i] - l.c0[i]) * span;
+          ++i;
+        });
+        c.resync_account();
+        l.pos = T;
+        l.skipped += span;
+        coord_.ff_credited += span;
+      }
+    }
+  }
+
+  /// Classify the stop exactly as core::run_engine would at now == T.
+  ParOutcome outcome() {
+    ParOutcome out;
+    out.run.cycles = stop_cycle_;
+    out.lane_skipped.reserve(lanes_.size());
+    for (const Lane& l : lanes_) {
+      out.run.skipped += l.skipped;
+      out.lane_skipped.push_back(l.skipped);
+    }
+    bool done_now = true;
+    for (const Lane& l : lanes_) {
+      if (!l.cl->done(stop_cycle_)) {
+        done_now = false;
+        break;
+      }
+    }
+    if (done_now) {
+      out.run.stop = core::EngineStop::kDone;
+      out.run.last_horizon = stop_cycle_;
+    } else {
+      cycle_t h = kCycleNever;
+      for (const Lane& l : lanes_) {
+        const cycle_t ce = l.cl->next_event(stop_cycle_);
+        if (ce < h) h = ce;
+      }
+      if (h == kCycleNever) {
+        out.run.stop = core::EngineStop::kNoProgress;
+        out.run.last_horizon = kCycleNever;
+      } else {
+        assert(stop_cycle_ == max_cycles_ &&
+               "a finite system horizon with no seam can only stop at the "
+               "cycle budget");
+        out.run.stop = core::EngineStop::kCycleLimit;
+        out.run.last_horizon = h;
+      }
+    }
+    out.stats = coord_;
+    for (const ParStats& w : wstats_) out.stats.merge(w);
+    out.stats.host_threads = workers_;
+    return out;
+  }
+
+  mem::Interconnect& noc_;
+  SysBarrier& barrier_;
+  const cycle_t max_cycles_;
+  const bool ff_;
+  OrderedSink* sink_;
+  std::vector<Lane> lanes_;
+  unsigned workers_ = 1;
+  /// Set once the run is provably wedged (only parked/finished lanes
+  /// remain): seam-probe kCycleHold results are treated as kCycleNever so
+  /// held lanes can run out their (now frozen) barrier waits.
+  bool free_run_ = false;
+  std::uint64_t seen_epoch_ = 0;
+  cycle_t stop_cycle_ = 0;
+  ParStats coord_;
+  std::vector<ParStats> wstats_;
+  OrderedSink::Ctx coord_ctx_;
+};
+
+}  // namespace
+
+ParOutcome run_parallel(const std::vector<cluster::Cluster*>& clusters,
+                        mem::Interconnect& noc, SysBarrier& barrier,
+                        cycle_t max_cycles, bool fast_forward,
+                        unsigned host_threads, OrderedSink* sink) {
+  ParEngine engine(clusters, noc, barrier, max_cycles, fast_forward,
+                   host_threads, sink);
+  return engine.run();
+}
+
+}  // namespace issr::system

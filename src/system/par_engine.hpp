@@ -1,0 +1,173 @@
+// Host-parallel System engine: one host thread per cluster under
+// conservative lookahead quanta.
+//
+// A multi-cluster System interacts only through three narrow seams — the
+// NoC link/bank-group budgets in front of the shared main memory, the
+// fan-in SysBarrier, and the steal work queue. Everything else a cluster
+// does in a tick is confined to its own TCDM, DMA engine, workers, and HW
+// barrier. This engine exploits that: each cluster advances on its own
+// host thread through cycles that are *provably* cluster-local, and only
+// the cycles in which some cluster can touch a seam are executed in the
+// serial engine's rotating-order lockstep. The interleaving of seam
+// accesses — NoC arbitration, barrier arrival order, steal-grant order —
+// is therefore exactly the serial schedule, a pure function of the cycle
+// number, and every result byte (cycles, stats, stall buckets, result
+// files, traces, tile_owner maps) matches the serial engine at any
+// thread count.
+//
+// Phase alternation:
+//   Phase P (parallel): worker threads advance each cluster lane while
+//     Cluster::next_seam(pos) > pos — by real ticks, or by the same
+//     exact measure-one-tick-and-replay fast-forward as core::run_engine,
+//     additionally bounded by the seam. No shared state is written, and
+//     the only shared reads are release-polling fields that are frozen
+//     while the reader is parked (docs/ARCHITECTURE.md).
+//   Phase C (coordinate): with every lane paused, the coordinator
+//     executes cycles from the minimum seam upward: begin_cycle on the
+//     interconnect, then every lane standing at that cycle in the serial
+//     rotation order (start = cycle % n). The window ends when no lane's
+//     seam equals the current cycle; lanes freed with a future seam
+//     resume in the next Phase P.
+//
+// Termination mirrors core::run_engine bit for bit: a lane pauses at its
+// first done() cycle or at a (next_event, next_seam) == kCycleNever
+// point; the global stop cycle is the maximum such pause (max_cycles for
+// a truncated run), stragglers are extended to it through the same
+// pure-wait replay, and the stop classifies as kDone / kNoProgress /
+// kCycleLimit exactly as the serial engine would — including the
+// watchdog's exact no-progress detection cycle.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "core/engine.hpp"
+#include "trace/trace.hpp"
+
+namespace issr::cluster {
+class Cluster;
+}
+namespace issr::mem {
+class Interconnect;
+}
+
+namespace issr::system {
+
+class SysBarrier;
+
+/// Effective Phase-P worker count: `requested` clamped to the cluster
+/// count, with 0 = auto (min(clusters, hardware_concurrency)).
+unsigned resolve_host_threads(unsigned requested, unsigned num_clusters);
+
+/// Host-side statistics of one parallel run. Purely observational and
+/// host-dependent (wall-clock, scheduling): surfaced through --metrics /
+/// --perf-report but never serialized into result files, which must stay
+/// bytewise identical at every thread count.
+struct ParStats {
+  /// Phase-P worker threads the run used (1 = the serial engine ran).
+  unsigned host_threads = 1;
+  /// Phase P/C alternations.
+  std::uint64_t rounds = 0;
+  /// Distinct system cycles executed under rotating-order coordination.
+  std::uint64_t lockstep_cycles = 0;
+  /// Lane ticks executed outside coordination (Phase P + extension).
+  std::uint64_t parallel_ticks = 0;
+  /// Lane cycles bulk-credited by the pure-wait replay.
+  std::uint64_t ff_credited = 0;
+  /// Quantum-length histogram: one sample per lane per Phase P round,
+  /// counting the cycles the lane advanced; bucket i holds quanta of
+  /// length in [2^i, 2^(i+1)) with the last bucket open-ended.
+  static constexpr unsigned kQuantumBuckets = 16;
+  std::uint64_t quantum_hist[kQuantumBuckets] = {};
+  std::uint64_t quantum_count = 0;
+  std::uint64_t quantum_cycles = 0;
+  /// Host microseconds the coordinator spent blocked waiting for Phase-P
+  /// workers to pause (the parallel engine's synchronization overhead).
+  std::uint64_t barrier_wait_us = 0;
+
+  void merge(const ParStats& o) {
+    rounds += o.rounds;
+    lockstep_cycles += o.lockstep_cycles;
+    parallel_ticks += o.parallel_ticks;
+    ff_credited += o.ff_credited;
+    for (unsigned i = 0; i < kQuantumBuckets; ++i) {
+      quantum_hist[i] += o.quantum_hist[i];
+    }
+    quantum_count += o.quantum_count;
+    quantum_cycles += o.quantum_cycles;
+    barrier_wait_us += o.barrier_wait_us;
+  }
+};
+
+/// Trace interposer that makes parallel emission order deterministic.
+/// Serial runs (and every pre/post-run phase) pass events through to the
+/// underlying sink untouched. During a parallel run each event is tagged
+/// with its emission context — (cycle, rotation order, per-context
+/// sequence) — buffered per lane, and flushed at run end in a stable
+/// sort of that key, which reproduces the serial engine's emission order
+/// exactly (keys never use Event::ts: the SysBarrier stamps release
+/// instants with future timestamps at arrival time).
+class OrderedSink final : public trace::TraceSink {
+ public:
+  struct Keyed {
+    cycle_t cycle = 0;       ///< system cycle of the emitting tick
+    std::uint32_t order = 0; ///< 0 = begin_cycle, 1 + rotation position
+    std::uint64_t seq = 0;   ///< emission index within the context
+    trace::Event event;
+  };
+  /// One emission context: a lane, or the coordinator. The engine points
+  /// the current thread at a context before every tick it executes.
+  struct Ctx {
+    cycle_t cycle = 0;
+    std::uint32_t order = 0;
+    std::uint64_t seq = 0;
+    std::vector<Keyed> buf;
+  };
+
+  explicit OrderedSink(trace::TraceSink& under) : under_(under) {}
+
+  std::uint32_t add_track(const std::string& process,
+                          const std::string& track) override {
+    return under_.add_track(process, track);
+  }
+  void record(const trace::Event& event) override;
+
+  /// Buffer-and-tag mode on/off (off = transparent passthrough).
+  void begin_buffered() { buffering_ = true; }
+  /// Merge every context's buffer in (cycle, order, seq) order into the
+  /// underlying sink and return to passthrough mode.
+  void end_buffered(const std::vector<Ctx*>& ctxs);
+
+  /// Bind the calling thread's emissions to `ctx` (nullptr to unbind).
+  static void set_context(Ctx* ctx) { tls_ctx_ = ctx; }
+
+ private:
+  trace::TraceSink& under_;
+  bool buffering_ = false;
+  static thread_local Ctx* tls_ctx_;
+};
+
+/// One completed parallel run, shaped like core::EngineRun plus the
+/// per-lane fast-forward split (EngineRun::skipped is their sum; the
+/// per-cluster decomposition differs from the serial engine's global
+/// skip count — both are diagnostics, never part of result files).
+struct ParOutcome {
+  core::EngineRun run;
+  std::vector<cycle_t> lane_skipped;
+  ParStats stats;
+};
+
+/// Run `clusters` to completion (or `max_cycles`) on `host_threads`
+/// Phase-P workers. Preconditions: host_threads >= 2, clusters.size() >=
+/// 2, and barrier.release_latency() > 0 (a zero-latency release is
+/// observable in its arrival cycle, which only the serial engine orders
+/// correctly — System::run falls back to it). `sink` is the System's
+/// trace interposer, or nullptr when untraced.
+ParOutcome run_parallel(const std::vector<cluster::Cluster*>& clusters,
+                        mem::Interconnect& noc, SysBarrier& barrier,
+                        cycle_t max_cycles, bool fast_forward,
+                        unsigned host_threads, OrderedSink* sink);
+
+}  // namespace issr::system
