@@ -41,49 +41,90 @@ Options:
                      stretches (simulated cycle counts are identical)
   --help             this text
 
-Writes one record per scenario: {scenario, cycles, reps, seconds, mcps}
-plus the git describe of the measured tree. Cluster scenarios report
-core-cycles (cycles x workers), the denominator the stall accountant and
-the fig4c utilization metric use.
+Writes one record per scenario: {scenario, cycles, reps, seconds, mcps,
+mcps_interpreted, speedup} — every scenario is timed under the compiled
+execution tier (the default engine) and again under the pure interpreter,
+and the simulated cycle counts of the two tiers must match exactly (the
+compiled tier's hard bar). Cluster scenarios report core-cycles (cycles x
+workers), the denominator the stall accountant and the fig4c utilization
+metric use.
 )";
 
-struct Measurement {
-  std::string name;
-  std::uint64_t cycles = 0;  ///< simulated (core-)cycles of one run
+struct TierTiming {
   unsigned reps = 0;
   double seconds = 0.0;
   double mcps = 0.0;
 };
 
+struct Measurement {
+  std::string name;
+  std::uint64_t cycles = 0;  ///< simulated (core-)cycles of one run
+  TierTiming compiled;       ///< the default engine: compiled tier on
+  TierTiming interp;         ///< --no-compiled: pure interpreter
+  double speedup = 0.0;      ///< compiled.mcps / interp.mcps
+};
+
 using Clock = std::chrono::steady_clock;
+
+/// Toggle the process-wide compiled-tier default for one scope.
+class ScopedCompiled {
+ public:
+  explicit ScopedCompiled(bool on) : prev_(core::engine_compiled_default()) {
+    core::set_engine_compiled_default(on);
+  }
+  ~ScopedCompiled() { core::set_engine_compiled_default(prev_); }
+
+ private:
+  bool prev_;
+};
 
 /// Repeat `run` (returning simulated cycles) until `min_seconds` of wall
 /// clock elapsed; one untimed warm-up run absorbs cold caches and page
-/// allocation.
+/// allocation. Aborts if any rep's cycle count strays from `cycles`.
+template <typename F>
+TierTiming time_tier(const std::string& name, double min_seconds,
+                     std::uint64_t cycles, F&& run) {
+  TierTiming t;
+  run();  // warm-up
+  const auto t0 = Clock::now();
+  do {
+    const std::uint64_t c = run();
+    if (c != cycles) {
+      std::fprintf(stderr,
+                   "FATAL: %s: cycle count diverged (%llu vs %llu)\n",
+                   name.c_str(), static_cast<unsigned long long>(c),
+                   static_cast<unsigned long long>(cycles));
+      std::abort();
+    }
+    ++t.reps;
+    t.seconds = std::chrono::duration<double>(Clock::now() - t0).count();
+  } while (t.seconds < min_seconds);
+  t.mcps = static_cast<double>(cycles) * t.reps / t.seconds / 1e6;
+  return t;
+}
+
+/// Measure one scenario under both execution tiers. The simulated cycle
+/// count is a single shared invariant: any compiled/interpreted mismatch
+/// aborts the bench (the differential fuzzer owns the detailed diff).
 template <typename F>
 Measurement measure(const std::string& name, double min_seconds, F&& run) {
   Measurement m;
   m.name = name;
-  m.cycles = run();
-  const auto t0 = Clock::now();
-  do {
-    const std::uint64_t c = run();
-    if (c != m.cycles) {
-      std::fprintf(stderr,
-                   "FATAL: %s: nondeterministic cycle count (%llu vs %llu)\n",
-                   name.c_str(), static_cast<unsigned long long>(c),
-                   static_cast<unsigned long long>(m.cycles));
-      std::abort();
-    }
-    ++m.reps;
-    m.seconds = std::chrono::duration<double>(Clock::now() - t0).count();
-  } while (m.seconds < min_seconds);
-  m.mcps = static_cast<double>(m.cycles) * m.reps / m.seconds / 1e6;
+  {
+    ScopedCompiled tier(true);
+    m.cycles = run();
+    m.compiled = time_tier(name + " [compiled]", min_seconds, m.cycles, run);
+  }
+  {
+    ScopedCompiled tier(false);
+    m.interp = time_tier(name + " [interpreted]", min_seconds, m.cycles, run);
+  }
+  m.speedup = m.interp.mcps > 0.0 ? m.compiled.mcps / m.interp.mcps : 0.0;
   return m;
 }
 
 std::string to_json(const std::vector<Measurement>& ms) {
-  std::string j = "{\n  \"schema\": \"issr-simspeed-v1\",\n  \"git\": \"" +
+  std::string j = "{\n  \"schema\": \"issr-simspeed-v2\",\n  \"git\": \"" +
                   bench::git_describe() + "\",\n  \"fast_forward\": " +
                   (core::engine_fast_forward_default() ? "true" : "false") +
                   ",\n  \"scenarios\": [\n";
@@ -91,9 +132,11 @@ std::string to_json(const std::vector<Measurement>& ms) {
     const Measurement& m = ms[i];
     j += "    {\"scenario\": \"" + m.name +
          "\", \"cycles\": " + std::to_string(m.cycles) +
-         ", \"reps\": " + std::to_string(m.reps) +
-         ", \"seconds\": " + bench::fmt_fixed4(m.seconds) +
-         ", \"mcps\": " + bench::fmt_fixed4(m.mcps) + "}";
+         ", \"reps\": " + std::to_string(m.compiled.reps) +
+         ", \"seconds\": " + bench::fmt_fixed4(m.compiled.seconds) +
+         ", \"mcps\": " + bench::fmt_fixed4(m.compiled.mcps) +
+         ", \"mcps_interpreted\": " + bench::fmt_fixed4(m.interp.mcps) +
+         ", \"speedup\": " + bench::fmt_fixed4(m.speedup) + "}";
     j += i + 1 < ms.size() ? ",\n" : "\n";
   }
   j += "  ]\n}\n";
@@ -181,10 +224,13 @@ int main(int argc, char** argv) {
   }
 
   Table t("Simulator throughput (million simulated cycles / second)");
-  t.set_header({"scenario", "cycles/run", "reps", "seconds", "MCPS"});
+  t.set_header({"scenario", "cycles/run", "reps", "MCPS compiled",
+                "MCPS interp", "speedup"});
   for (const auto& m : ms) {
-    t.add_row({m.name, fmt_u(m.cycles), fmt_u(m.reps), bench::fmt_fixed4(m.seconds),
-               bench::fmt_fixed4(m.mcps)});
+    t.add_row({m.name, fmt_u(m.cycles), fmt_u(m.compiled.reps),
+               bench::fmt_fixed4(m.compiled.mcps),
+               bench::fmt_fixed4(m.interp.mcps),
+               bench::fmt_fixed4(m.speedup)});
   }
   t.print();
 

@@ -5,7 +5,9 @@ Usage: check_simspeed.py MEASURED.json BASELINE.json [--tolerance 0.25]
 
 Fails (exit 1) when:
   * a baseline scenario is missing from the measurement,
-  * a scenario's MCPS fell more than --tolerance below its baseline MCPS,
+  * a scenario's compiled-tier MCPS fell more than --tolerance below its
+    baseline MCPS (and likewise mcps_interpreted, when the baseline
+    carries an interpreted floor),
   * a scenario's simulated cycle count differs from the baseline. Cycle
     counts are deterministic workload invariants (independent of host
     speed, --jobs, tracing, and --no-fast-forward), so a mismatch means
@@ -24,7 +26,7 @@ import sys
 def load(path):
     with open(path) as f:
         doc = json.load(f)
-    if doc.get("schema") != "issr-simspeed-v1":
+    if doc.get("schema") != "issr-simspeed-v2":
         sys.exit(f"{path}: unexpected schema {doc.get('schema')!r}")
     return {s["scenario"]: s for s in doc["scenarios"]}
 
@@ -51,14 +53,22 @@ def main():
                 f"{name}: simulated cycles changed "
                 f"({got['cycles']} vs baseline {base['cycles']}) — "
                 "modelling change; regenerate the baseline if intentional")
-        floor = base["mcps"] * (1.0 - args.tolerance)
-        status = "OK" if got["mcps"] >= floor else "REGRESSED"
-        print(f"{name:24s} mcps={got['mcps']:9.3f} "
-              f"baseline={base['mcps']:9.3f} floor={floor:9.3f} {status}")
-        if got["mcps"] < floor:
-            failures.append(
-                f"{name}: {got['mcps']:.3f} MCPS is more than "
-                f"{args.tolerance:.0%} below the baseline {base['mcps']:.3f}")
+        for field, label in (("mcps", "compiled"),
+                             ("mcps_interpreted", "interp")):
+            if field not in base:
+                continue
+            if field not in got:
+                failures.append(f"{name}: missing {field} in measurement")
+                continue
+            floor = base[field] * (1.0 - args.tolerance)
+            status = "OK" if got[field] >= floor else "REGRESSED"
+            print(f"{name:24s} {label:8s} mcps={got[field]:9.3f} "
+                  f"baseline={base[field]:9.3f} floor={floor:9.3f} {status}")
+            if got[field] < floor:
+                failures.append(
+                    f"{name} [{label}]: {got[field]:.3f} MCPS is more than "
+                    f"{args.tolerance:.0%} below the baseline "
+                    f"{base[field]:.3f}")
 
     if failures:
         print("\nFAIL:", file=sys.stderr)

@@ -5,6 +5,7 @@
 #include <string>
 
 #include "common/log.hpp"
+#include "core/compile.hpp"
 
 namespace issr::cluster {
 
@@ -35,6 +36,15 @@ Cluster::Cluster(const ClusterConfig& config,
         cc, programs_[w], tcdm_->port(2 * w), tcdm_->port(2 * w + 1)));
     workers_.back()->core().set_barrier_hook(
         [this](std::uint32_t hart) { return barrier_.poll(hart); });
+    if (config_.compiled) {
+      // Compiled dispatch + FREP replay only; the fused steady-state tick
+      // needs the ideal two-port memory (TCDM responses interleave with
+      // other workers' traffic).
+      compiled_.push_back(
+          std::make_shared<const core::CompiledProgram>(programs_[w]));
+      workers_.back()->core().set_compiled(compiled_.back().get());
+      workers_.back()->fpss().set_compiled(compiled_.back().get());
+    }
   }
 }
 

@@ -22,6 +22,10 @@
 #include "trace/stall.hpp"
 #include "trace/trace.hpp"
 
+namespace issr::core {
+class CompiledProgram;
+}  // namespace issr::core
+
 namespace issr::cluster {
 
 struct ClusterConfig {
@@ -32,6 +36,12 @@ struct ClusterConfig {
   /// core/engine.hpp). Never engages while the DMA or a not-yet-done
   /// controller is active. Defaults from the process-wide engine option.
   bool fast_forward = core::engine_fast_forward_default();
+  /// Compiled-execution tier (core/compile.hpp): pre-decoded core
+  /// dispatch and precompiled FREP replay per worker. The fused
+  /// steady-state tick stays off under the TCDM (bank conflicts need the
+  /// full arbitration path); exact either way. Defaults from the
+  /// process-wide engine option.
+  bool compiled = core::engine_compiled_default();
   /// When non-null, the TCDM and main-memory backing pages come from
   /// this arena instead of the heap (observational only; see
   /// common/arena.hpp). Must outlive the cluster, no reset while alive.
@@ -227,6 +237,9 @@ class Cluster {
  private:
   ClusterConfig config_;
   std::vector<isa::Program> programs_;
+  /// One compiled translation per worker program (empty when the
+  /// compiled tier is off).
+  std::vector<std::shared_ptr<const core::CompiledProgram>> compiled_;
   std::unique_ptr<mem::Tcdm> tcdm_;
   mem::MainMemory own_main_;
   mem::MainMemory* main_;  ///< &own_main_ or config.shared_main

@@ -32,9 +32,7 @@ CoreComplex::CoreComplex(const CcParams& params, const isa::Program& program,
 }
 
 void CoreComplex::tick(cycle_t now) {
-  shared_hub_.tick();
-  issr_hub_.tick();
-  if (issr_idx_hub_) issr_idx_hub_->tick();
+  tick_hubs();
   streamer_->begin_cycle(now);
   // Tick order realizes the shared-port arbitration priority: the core's
   // sporadic, latency-critical requests win over the FP LSU, which wins

@@ -50,6 +50,23 @@ class CoreComplex {
 
   void tick(cycle_t now);
 
+  /// The hub phase of tick(), exposed for the compiled tier: fused cycles
+  /// run it too (right after the memory tick), so core/FP-LSU load
+  /// responses and seam-materialized lane requests route at the
+  /// interpreter's exact cycle.
+  void tick_hubs() {
+    shared_hub_.tick();
+    issr_hub_.tick();
+    if (issr_idx_hub_) issr_idx_hub_->tick();
+  }
+
+  /// Routed-but-unpopped responses on any hub (compiled-tier parked-span
+  /// entry check; mirrors the next_event() hub term).
+  bool hubs_queued() const {
+    return shared_hub_.has_queued() || issr_hub_.has_queued() ||
+           (issr_idx_hub_ && issr_idx_hub_->has_queued());
+  }
+
   /// Cluster-environment input to stall attribution: set before tick()
   /// when this CC's cluster DMA was denied an interconnect beat this
   /// cycle. Purely observational (classification only); never set on the
@@ -95,6 +112,15 @@ class CoreComplex {
   /// after a bulk replay (the skipped cycles all carried identical
   /// deltas, so the post-skip snapshot is exactly the live state).
   void resync_account() { snap_ = sample(); }
+
+  // --- Compiled-tier hook --------------------------------------------------
+  /// Credit one fused cycle's stall bucket. The fused executor classifies
+  /// from its own pre/post counter deltas (a strict subset of the
+  /// observations account() folds — the others are statically impossible
+  /// in the fused steady state) and leaves snap_ stale; it must call
+  /// resync_account() before the next interpreted tick. Fused cycles
+  /// require no attached trace sink, so no stall slice bookkeeping.
+  void credit_fused_cycle(trace::Bucket b) { ++stalls_[b]; }
 
   // --- Telemetry -----------------------------------------------------------
   /// Per-cycle stall attribution (always accounted; exactly one bucket per

@@ -32,8 +32,16 @@ namespace issr::core {
 bool engine_fast_forward_default();
 void set_engine_fast_forward_default(bool on);
 
-/// Register the shared engine flags (--no-fast-forward) on a binary's
-/// flag parser. Used by issr_run and, via bench_common, every bench.
+/// Default for CcSimConfig::compiled / ClusterConfig::compiled — the
+/// compiled-execution tier (core/compile.hpp). On by default; exact
+/// either way, so --no-compiled exists only to bisect a suspected
+/// discrepancy to the compiled tier (and for the differential harness).
+bool engine_compiled_default();
+void set_engine_compiled_default(bool on);
+
+/// Register the shared engine flags (--no-fast-forward,
+/// --compiled/--no-compiled) on a binary's flag parser. Used by issr_run
+/// and, via bench_common, every bench.
 void register_engine_cli(cli::FlagParser& parser);
 
 /// Why run_engine stopped ticking.
@@ -72,6 +80,17 @@ struct EngineRun {
 ///                                       // stretch (type-erased: it runs
 ///                                       // only on the rare skip events)
 ///   void    after_replay();             // e.g. stall-accountant resync
+/// Units may additionally provide
+///   cycle_t tick_span(cycle_t now, cycle_t limit);  // advance >= 1 cycles,
+///                                       // return the new cycle count
+/// which the loop top then calls instead of tick(); the compiled tier
+/// uses it to burst through consecutive fused cycles without paying the
+/// per-cycle done()/next_event() scans. A burst must stop (and return to
+/// the engine) no later than `limit`, at the first cycle that makes no
+/// forward progress — the horizon checks it skips are exactly those an
+/// interpreted run would answer "progressing, horizon == now" — and
+/// whenever its fast path does not apply, in which case it performs one
+/// ordinary tick so the engine's per-cycle contract resumes.
 /// The skip is exact: when next_event reports a horizon more than one
 /// cycle away, one more real tick measures the wait state's per-cycle
 /// counter deltas and the remaining span replays as delta*span —
@@ -96,8 +115,12 @@ EngineRun run_engine(Units&& units, cycle_t max_cycles, bool fast_forward) {
   run.stop = EngineStop::kCycleLimit;  // reached only by exhausting the loop
   cycle_t now = 0;
   while (now < max_cycles) {
-    units.tick(now);
-    ++now;
+    if constexpr (requires { units.tick_span(now, max_cycles); }) {
+      now = units.tick_span(now, max_cycles);
+    } else {
+      units.tick(now);
+      ++now;
+    }
     if (units.done(now)) {
       run.stop = EngineStop::kDone;
       break;

@@ -3,6 +3,8 @@
 #include <bit>
 #include <cassert>
 
+#include "core/compile.hpp"
+
 namespace issr::core {
 
 using isa::Inst;
@@ -223,6 +225,80 @@ bool Fpss::try_issue(const Inst& inst, std::uint64_t int_operand,
   return true;
 }
 
+bool Fpss::issue_mop(const FpssMicroOp& m, cycle_t now) {
+  if (!(m.mflags & kMNativeFp)) return try_issue(m.inst, 0, now);
+
+  // FP->FP datapath op: the pre-gathered operands and flags replace
+  // fp_src_regs and the op_* classification calls of try_issue; every
+  // check and state effect below mirrors that function line for line.
+  for (unsigned s = 0; s < m.n_src; ++s) {
+    const unsigned r = m.srcs[s];
+    if (streamer_.is_stream_reg(r)) {
+      if (!streamer_.lane(r).can_pop()) {
+        streamer_.lane(r).note_starved();
+        ++stats_.stall_stream;
+        return false;
+      }
+    } else if (scoreboard_busy(r, now)) {
+      note_fp_wait(r, now);
+      ++stats_.stall_raw;
+      return false;
+    }
+  }
+  const unsigned rd = m.inst.rd;
+  if (streamer_.is_stream_reg(rd)) {
+    if (!streamer_.lane(rd).can_push()) {
+      ++stats_.stall_stream;
+      return false;
+    }
+  } else if (scoreboard_busy(rd, now)) {
+    note_fp_wait(rd, now);
+    ++stats_.stall_raw;
+    return false;
+  }
+  if ((m.mflags & kMIterative) && iterative_busy_until_ > now) {
+    if (iterative_busy_until_ < self_wake_) self_wake_ = iterative_busy_until_;
+    ++stats_.stall_raw;
+    return false;
+  }
+
+  double stream_val[ssr::Streamer::kNumLanes] = {};
+  bool stream_popped[ssr::Streamer::kNumLanes] = {};
+  auto read_src = [&](unsigned r) -> double {
+    if (streamer_.is_stream_reg(r)) {
+      if (!stream_popped[r]) {
+        stream_val[r] = streamer_.lane(r).pop();
+        stream_popped[r] = true;
+      }
+      return stream_val[r];
+    }
+    return fregs_[r];
+  };
+
+  const unsigned lat = fpu_latency(params_.fpu, m.inst.op);
+  double a = 0.0, b = 0.0, c = 0.0;
+  if (m.n_src >= 1) a = read_src(m.srcs[0]);
+  if (m.n_src >= 2) b = read_src(m.srcs[1]);
+  if (m.n_src >= 3) c = read_src(m.srcs[2]);
+  const double result = fpu_compute(m.inst.op, a, b, c);
+  if (streamer_.is_stream_reg(rd)) {
+    streamer_.lane(rd).push(result);
+  } else {
+    fregs_[rd] = result;
+    busy_until_[rd] = now + lat;
+    last_completion_ = std::max(last_completion_, now + lat);
+  }
+  if (m.mflags & kMIterative) iterative_busy_until_ = now + lat;
+  if (m.mflags & kMFpCompute) {
+    ++stats_.fp_compute;
+    stats_.flops += m.flops;
+    if (m.mflags & kMFmadd) ++stats_.fmadd;
+    if (m.mflags & kMFmul) ++stats_.fmul;
+  }
+  ++stats_.issued;
+  return true;
+}
+
 void Fpss::tick(cycle_t now) {
   advanced_ = false;
   self_wake_ = kCycleNever;
@@ -241,9 +317,17 @@ void Fpss::tick(cycle_t now) {
 
   // 2. Sequencer: pick and issue at most one instruction.
   if (frep_.active && !frep_.capturing) {
-    // Replay from the loop buffer.
-    const Inst inst = staggered(frep_.buffer[frep_.pos], frep_.iter);
-    if (try_issue(inst, 0, now)) {
+    // Replay: from the compiled micro-op table when the captured body
+    // validated against it, else from the loop buffer with staggering
+    // applied per issue (identical semantics either way).
+    bool ok;
+    if (frep_mops_ != nullptr) {
+      ok = issue_mop(frep_row_[frep_.pos], now);
+    } else {
+      const Inst inst = staggered(frep_.buffer[frep_.pos], frep_.iter);
+      ok = try_issue(inst, 0, now);
+    }
+    if (ok) {
       advanced_ = true;
       ++frep_.pos;
       if (frep_.pos == frep_.n_insts) {
@@ -252,7 +336,13 @@ void Fpss::tick(cycle_t now) {
         if (frep_.iter == frep_.total_iters) {
           frep_.active = false;
           frep_.buffer.clear();
+          frep_mops_ = nullptr;
+          frep_row_ = frep_row_end_ = nullptr;
+          frep_src_ = nullptr;
           trace_.end(now, "frep");
+        } else if (frep_mops_ != nullptr) {
+          frep_row_ += frep_.n_insts;
+          if (frep_row_ == frep_row_end_) frep_row_ = frep_mops_;
         }
       }
     }
@@ -277,9 +367,25 @@ void Fpss::tick(cycle_t now) {
     frep_.pos = 0;
     frep_.stagger_max = front.inst.frep_stagger_max;
     frep_.stagger_mask = front.inst.frep_stagger_mask;
+    frep_mops_ = nullptr;
+    frep_row_ = frep_row_end_ = nullptr;
+    frep_period_ = 1;
+    frep_src_ = compiled_ != nullptr ? compiled_->frep_at(front.pc) : nullptr;
+    const cycle_t setup_iters = frep_.total_iters;
     queue_.pop_front();
     ++stats_.issued;
-    trace_.begin(now, "frep", frep_.total_iters);
+    trace_.begin(now, "frep", setup_iters);
+    if (frep_.n_insts == 0) {
+      // A zero-length FREP body is a complete no-op loop. (It previously
+      // wedged the sequencer: the capture-complete check only ran after a
+      // successful push, which a zero-length capture never performs, so
+      // every later FP offload was swallowed into the buffer and the sync
+      // CSR hung until the watchdog.)
+      frep_.active = false;
+      frep_.capturing = false;
+      frep_src_ = nullptr;
+      trace_.end(now, "frep");
+    }
     return;  // FREP setup occupies the issue slot this cycle
   }
 
@@ -296,9 +402,25 @@ void Fpss::tick(cycle_t now) {
         frep_.capturing = false;
         frep_.pos = 0;
         frep_.iter = 1;
+        // Arm the compiled micro-op table only when the captured buffer is
+        // exactly the statically lowered body — a branch between the FREP
+        // head and its body instructions can make the core offload a
+        // different sequence, and replay must follow what was captured.
+        if (frep_src_ != nullptr && frep_src_->valid &&
+            frep_src_->body == frep_.buffer) {
+          frep_mops_ = frep_src_->mops.data();
+          frep_period_ = frep_src_->period;
+          // Replay resumes at iter == 1.
+          frep_row_end_ = frep_mops_ + frep_period_ * frep_.n_insts;
+          frep_row_ =
+              frep_period_ == 1 ? frep_mops_ : frep_mops_ + frep_.n_insts;
+        }
         if (frep_.total_iters == 1) {
           frep_.active = false;
           frep_.buffer.clear();
+          frep_mops_ = nullptr;
+          frep_row_ = frep_row_end_ = nullptr;
+          frep_src_ = nullptr;
           trace_.end(now, "frep");
         }
       }
@@ -306,6 +428,23 @@ void Fpss::tick(cycle_t now) {
     return;
   }
 
+  // Straight-line dispatch: native FP->FP datapath ops issue from the
+  // pre-lowered per-instruction micro-op (source registers and
+  // classification flags precomputed at translation; front.inst is by
+  // construction the instruction at front.pc). Everything consuming the
+  // captured integer operand — fld/fsd addresses, fp-from-int moves —
+  // keeps the interpreted try_issue, which issue_mop would route to with
+  // the operand lost.
+  if (compiled_ != nullptr) {
+    const FpssMicroOp& m = compiled_->imop(front.pc);
+    if (m.mflags & kMNativeFp) {
+      if (issue_mop(m, now)) {
+        advanced_ = true;
+        queue_.pop_front();
+      }
+      return;
+    }
+  }
   if (try_issue(front.inst, front.int_operand, now)) {
     advanced_ = true;
     queue_.pop_front();

@@ -65,7 +65,14 @@ struct FpssStats {
 struct OffloadEntry {
   isa::Inst inst;
   std::uint64_t int_operand = 0;
+  /// pc of the instruction at offload — the compiled tier's key for
+  /// looking up a pre-lowered FREP body (compile.hpp).
+  addr_t pc = 0;
 };
+
+class CompiledProgram;
+struct CompiledFrep;
+struct FpssMicroOp;
 
 class Fpss {
  public:
@@ -125,6 +132,31 @@ class Fpss {
   /// Timeline hook: FREP hardware-loop slices (trace/).
   trace::Tracer& tracer() { return trace_; }
 
+  // --- Compiled-tier seams (core/compile.hpp) ------------------------------
+  /// Attach the pre-lowered program. FREP setups then look up their
+  /// compiled body by offload pc and replay from the micro-op table once
+  /// the captured buffer validates against the static body; a lookup or
+  /// validation miss silently keeps the interpreted replay path.
+  void set_compiled(const CompiledProgram* cp) { compiled_ = cp; }
+
+  /// True iff the sequencer is in steady-state compiled FREP replay with
+  /// no outstanding FP memory traffic or integer writebacks — the fused
+  /// executor's precondition (its tick must see this subsystem change
+  /// only through the replay branch).
+  bool fused_replay_ready() const {
+    return frep_.active && !frep_.capturing && frep_mops_ != nullptr &&
+           lsu_outstanding_ == 0 && int_wb_.empty();
+  }
+
+  /// Whether the last tick made progress (the fused executor's next_event
+  /// shortcut; identical to next_event(now) == now under its
+  /// preconditions).
+  bool advanced_last_tick() const { return advanced_; }
+
+  /// Gather the FP source register fields of an instruction (shared with
+  /// the compiled tier's micro-op lowering).
+  static unsigned fp_src_regs(const isa::Inst& inst, std::uint8_t out[3]);
+
  private:
   struct FrepState {
     bool active = false;
@@ -140,9 +172,6 @@ class Fpss {
 
   /// Apply FREP register staggering for the given iteration.
   isa::Inst staggered(const isa::Inst& inst, std::uint64_t iter) const;
-
-  /// Gather the FP source register fields of an instruction.
-  static unsigned fp_src_regs(const isa::Inst& inst, std::uint8_t out[3]);
 
   bool scoreboard_busy(unsigned reg, cycle_t now) const {
     return load_pending_[reg] || busy_until_[reg] > now;
@@ -160,6 +189,11 @@ class Fpss {
   bool try_issue(const isa::Inst& inst, std::uint64_t int_operand,
                  cycle_t now);
 
+  /// Compiled FREP replay: issue one pre-lowered micro-op. Reproduces
+  /// try_issue(m.inst, 0, now) exactly — natively for the FP->FP datapath
+  /// class, by delegation otherwise.
+  bool issue_mop(const FpssMicroOp& m, cycle_t now);
+
   FpssParams params_;
   ssr::Streamer& streamer_;
   ssr::PortClient lsu_;
@@ -172,6 +206,16 @@ class Fpss {
 
   RingQueue<OffloadEntry> queue_;
   FrepState frep_;
+  // Compiled-tier replay state for the active FREP: candidate body looked
+  // up at setup, micro-op table armed once the capture validates.
+  const CompiledProgram* compiled_ = nullptr;
+  const CompiledFrep* frep_src_ = nullptr;
+  const FpssMicroOp* frep_mops_ = nullptr;
+  unsigned frep_period_ = 1;
+  // Current stagger row: frep_mops_ + (iter % period) * n_insts, advanced
+  // incrementally at each iteration wrap (replay indexes it per issue).
+  const FpssMicroOp* frep_row_ = nullptr;
+  const FpssMicroOp* frep_row_end_ = nullptr;  ///< mops + period * n_insts
   unsigned lsu_outstanding_ = 0;
   bool advanced_ = false;            ///< last tick issued or popped
   cycle_t self_wake_ = kCycleNever;  ///< earliest internal stall expiry

@@ -1,9 +1,11 @@
 #include "core/sim.hpp"
 
 #include <cassert>
+#include <optional>
 
 #include "common/bitutil.hpp"
 #include "common/log.hpp"
+#include "core/compile.hpp"
 
 namespace issr::core {
 
@@ -23,6 +25,7 @@ void CcSim::set_program(isa::Program program) {
 void CcSim::set_program(std::shared_ptr<const isa::Program> program) {
   assert(program && "set_program requires a program image");
   program_ = std::move(program);
+  compiled_.reset();  // a cached translation belongs to the old program
   mem::MemPort* idx_port =
       config_.cc.streamer.issr_lane.dedicated_idx_port ? &memory_->port(2)
                                                        : nullptr;
@@ -76,6 +79,19 @@ void CcSim::attach_trace(trace::TraceSink& sink) {
 
 CcSimResult CcSim::run(cycle_t max_cycles) {
   assert(cc_ && "set_program() must be called before run()");
+  // Compiled tier (core/compile.hpp): pre-decoded dispatch in the core,
+  // precompiled FREP replay in the FPU subsystem, and — when untraced on
+  // the two-port topology — the fused steady-state tick. All exact.
+  std::optional<CompiledExec> exec;
+  if (config_.compiled) {
+    if (!compiled_) {
+      compiled_ = std::make_shared<const CompiledProgram>(*program_);
+    }
+    cc_->core().set_compiled(compiled_.get());
+    cc_->fpss().set_compiled(compiled_.get());
+    if (trace_sink_ == nullptr) exec.emplace(*cc_, *memory_, *compiled_);
+  }
+  CompiledExec* const cx = exec ? &*exec : nullptr;
   // Idle-cycle fast-forward (run_engine in core/engine.hpp): when every
   // unit reports no event before a future horizon — memory response
   // maturing, scoreboard/pipeline timer expiry, FPU-subsystem drain
@@ -83,12 +99,44 @@ CcSimResult CcSim::run(cycle_t max_cycles) {
   // remaining span arithmetically. Exact by construction.
   struct Units {
     CcSim& s;
+    CompiledExec* cx;
     void tick(cycle_t now) {
+      if (cx != nullptr) {
+        if (cx->try_tick(now)) return;
+        cx->before_interpreted_tick();
+      }
       s.memory_->tick(now);
       s.cc_->tick(now);
     }
+    /// Engine loop-top hook: burst through consecutive fused cycles
+    /// without returning for the per-cycle done()/next_event() scans.
+    /// The skipped checks are exactly those an interpreted run answers
+    /// trivially: the core cannot halt inside a fused cycle (so done()
+    /// stays false) and every burst-internal cycle made progress (so the
+    /// horizon would have been `now`). The burst hands back to the
+    /// engine at the first no-progress cycle — with every per-unit
+    /// next_event hook exact and the bypass slots empty, the ordinary
+    /// fast-forward and watchdog logic proceed unchanged — and at the
+    /// cycle budget, and falls through to one interpreted tick when the
+    /// fused preconditions fail.
+    cycle_t tick_span(cycle_t now, cycle_t limit) {
+      if (cx != nullptr) {
+        const cycle_t n = cx->fused_span(now, limit);
+        if (n == limit) return n;  // cycle budget exhausted mid-burst
+        if (n != now && !cx->fused_advanced()) {
+          return n;  // no-progress cycle ran: engine scans
+        }
+        // Seam (possibly after fused progress): one interpreted tick.
+        cx->before_interpreted_tick();
+        now = n;
+      }
+      s.memory_->tick(now);
+      s.cc_->tick(now);
+      return now + 1;
+    }
     bool done(cycle_t now) const { return s.cc_->quiescent(now); }
     cycle_t next_event(cycle_t now) const {
+      if (cx != nullptr && cx->fused_advanced()) return now;
       const cycle_t ce = s.cc_->next_event(now);
       const cycle_t me = s.memory_->next_event();
       return me < ce ? me : ce;
@@ -96,11 +144,18 @@ CcSimResult CcSim::run(cycle_t max_cycles) {
     void visit_counters(const CounterVisitor& f) {
       s.cc_->visit_wait_counters(f);
     }
-    void after_replay() { s.cc_->resync_account(); }
+    void after_replay() {
+      if (cx != nullptr) cx->after_replay();
+      s.cc_->resync_account();
+    }
   };
   const EngineRun er =
-      run_engine(Units{*this}, max_cycles, config_.fast_forward);
+      run_engine(Units{*this, cx}, max_cycles, config_.fast_forward);
   const cycle_t now = er.cycles;
+  // A run can stop with a lane's final bypassed store still undelivered;
+  // materialize it so the port drain below serves it (the interpreted
+  // path has the same final-cycle store pending at the port).
+  if (cx != nullptr) cx->flush();
   CcSimResult result;
   result.ff_skipped = er.skipped;
   if (er.stop != EngineStop::kDone) {

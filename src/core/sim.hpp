@@ -21,6 +21,8 @@
 
 namespace issr::core {
 
+class CompiledProgram;
+
 struct CcSimConfig {
   CcParams cc;
   cycle_t mem_latency = 1;  ///< ideal data memory response latency
@@ -31,6 +33,13 @@ struct CcSimConfig {
   /// core/engine.hpp). Defaults from the process-wide engine option so
   /// --no-fast-forward reaches every construction site.
   bool fast_forward = engine_fast_forward_default();
+  /// Use the compiled-execution tier (core/compile.hpp): pre-decoded
+  /// dispatch, precompiled FREP replay, and the fused steady-state tick.
+  /// Exact: identical cycles, counters, buckets, traces, and results
+  /// either way (tests/test_compiled_diff.cpp fuzzes the equivalence).
+  /// Defaults from the process-wide engine option so --no-compiled
+  /// reaches every construction site.
+  bool compiled = engine_compiled_default();
   /// When non-null, simulated-memory pages come from this arena instead
   /// of the heap (see common/arena.hpp; purely observational — simulated
   /// behaviour is identical). The arena must outlive the sim and must
@@ -86,6 +95,13 @@ class CcSim {
   /// one decoded program across every rep/run with identical staging).
   void set_program(std::shared_ptr<const isa::Program> program);
 
+  /// Share an already-built compiled translation of the program (the
+  /// driver's asset cache stores one per program alongside the image).
+  /// Optional: run() builds one on demand when the compiled tier is on.
+  void set_compiled_program(std::shared_ptr<const CompiledProgram> cp) {
+    compiled_ = std::move(cp);
+  }
+
   mem::BackingStore& mem() { return memory_->store(); }
   const CcSimConfig& config() const { return config_; }
 
@@ -122,6 +138,7 @@ class CcSim {
   CcSimConfig config_;
   std::unique_ptr<mem::IdealMemory> memory_;
   std::shared_ptr<const isa::Program> program_;
+  std::shared_ptr<const CompiledProgram> compiled_;
   std::unique_ptr<CoreComplex> cc_;
   addr_t alloc_cursor_;
   /// Sink from attach_trace (null when untraced): run() emits one

@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "common/bitutil.hpp"
+#include "core/compile.hpp"
 
 namespace issr::core {
 
@@ -78,6 +79,13 @@ void SnitchCore::tick(cycle_t now) {
     self_wake_ = std::min(self_wake_, stall_until_);
     return;
   }
+  if (compiled_ != nullptr) {
+    if (issue_compiled(compiled_->decoded(pc_), now)) {
+      ++stats_.issued;
+      advanced_ = true;
+    }
+    return;
+  }
   const Inst& inst = program_.fetch(pc_);
   if (issue(inst, now)) {
     ++stats_.issued;
@@ -126,7 +134,7 @@ bool SnitchCore::issue(const Inst& inst, cycle_t now) {
       return false;
     }
     if (op_fp_to_int(op) && inst.rd != 0) fpss_pending_[inst.rd] = true;
-    fpss_.offload({inst, int_operand});
+    fpss_.offload({inst, int_operand, pc_});
     ++stats_.offloads;
     pc_ += 4;
     return true;
@@ -337,6 +345,220 @@ bool SnitchCore::issue(const Inst& inst, cycle_t now) {
   }
   pc_ += 4;
   return true;
+}
+
+bool SnitchCore::issue_compiled(const DecodedInst& d, cycle_t now) {
+  const Inst& inst = d.inst;
+  switch (d.cls) {
+    case ExecClass::kFpss: {
+      std::uint64_t int_operand = 0;
+      if (d.flags & kDFpssRs1) {
+        if (xreg_busy(inst.rs1, now)) {
+          note_reg_wait(inst.rs1, now);
+          ++stats_.stall_raw;
+          return false;
+        }
+        int_operand = xregs_[inst.rs1];
+        if (d.flags & kDFpssAddr) {
+          int_operand +=
+              static_cast<std::uint64_t>(static_cast<std::int64_t>(inst.imm));
+        }
+      }
+      if ((d.flags & kDFpToInt) && xreg_busy(inst.rd, now)) {
+        note_reg_wait(inst.rd, now);
+        ++stats_.stall_raw;
+        return false;
+      }
+      if (!fpss_.can_offload()) {
+        ++stats_.stall_offload;
+        return false;
+      }
+      if ((d.flags & kDFpToInt) && inst.rd != 0) fpss_pending_[inst.rd] = true;
+      fpss_.offload({inst, int_operand, pc_});
+      ++stats_.offloads;
+      pc_ += 4;
+      return true;
+    }
+    case ExecClass::kAlu: {
+      if ((d.flags & kDUsesRs1) && xreg_busy(inst.rs1, now)) {
+        note_reg_wait(inst.rs1, now);
+        ++stats_.stall_raw;
+        return false;
+      }
+      if ((d.flags & kDUsesRs2) && xreg_busy(inst.rs2, now)) {
+        note_reg_wait(inst.rs2, now);
+        ++stats_.stall_raw;
+        return false;
+      }
+      set_xreg(inst.rd,
+               compiled_alu_eval(inst.op, xregs_[inst.rs1], xregs_[inst.rs2],
+                                 static_cast<std::int64_t>(inst.imm), pc_));
+      if (d.wb_latency_kind != 0 && inst.rd != 0) {
+        busy_until_[inst.rd] =
+            now + (d.wb_latency_kind == 1 ? params_.mul_latency
+                                          : params_.div_latency);
+      }
+      pc_ += 4;
+      return true;
+    }
+    case ExecClass::kBranch: {
+      if (xreg_busy(inst.rs1, now)) {
+        note_reg_wait(inst.rs1, now);
+        ++stats_.stall_raw;
+        return false;
+      }
+      if (xreg_busy(inst.rs2, now)) {
+        note_reg_wait(inst.rs2, now);
+        ++stats_.stall_raw;
+        return false;
+      }
+      ++stats_.branches;
+      if (compiled_branch_taken(inst.op, xregs_[inst.rs1], xregs_[inst.rs2])) {
+        ++stats_.taken_branches;
+        pc_ += static_cast<std::uint64_t>(static_cast<std::int64_t>(inst.imm));
+        if (params_.branch_penalty > 0) {
+          stall_until_ = now + 1 + params_.branch_penalty;
+        }
+      } else {
+        pc_ += 4;
+      }
+      return true;
+    }
+    case ExecClass::kJal: {
+      set_xreg(inst.rd, pc_ + 4);
+      pc_ += static_cast<std::uint64_t>(static_cast<std::int64_t>(inst.imm));
+      stall_until_ = now + 1 + params_.branch_penalty;
+      ++stats_.branches;
+      ++stats_.taken_branches;
+      return true;
+    }
+    case ExecClass::kJalr: {
+      if (xreg_busy(inst.rs1, now)) {
+        note_reg_wait(inst.rs1, now);
+        ++stats_.stall_raw;
+        return false;
+      }
+      const addr_t target =
+          (xregs_[inst.rs1] +
+           static_cast<std::uint64_t>(static_cast<std::int64_t>(inst.imm))) &
+          ~1ull;
+      set_xreg(inst.rd, pc_ + 4);
+      pc_ = target;
+      stall_until_ = now + 1 + params_.branch_penalty;
+      ++stats_.branches;
+      ++stats_.taken_branches;
+      return true;
+    }
+    case ExecClass::kLoad: {
+      if (xreg_busy(inst.rs1, now)) {
+        note_reg_wait(inst.rs1, now);
+        ++stats_.stall_raw;
+        return false;
+      }
+      if (loads_outstanding_ >= params_.max_outstanding_loads ||
+          xreg_busy(inst.rd, now) || !lsu_.can_request()) {
+        note_reg_wait(inst.rd, now);
+        ++stats_.stall_mem;
+        return false;
+      }
+      mem::MemReq req;
+      req.addr = xregs_[inst.rs1] +
+                 static_cast<std::uint64_t>(static_cast<std::int64_t>(inst.imm));
+      req.bytes = d.load_bytes;
+      lsu_.request(req,
+                   load_tag(inst.rd, static_cast<ExtKind>(d.load_ext)));
+      if (inst.rd != 0) load_pending_[inst.rd] = true;
+      ++loads_outstanding_;
+      ++stats_.loads;
+      pc_ += 4;
+      return true;
+    }
+    case ExecClass::kStore: {
+      if (xreg_busy(inst.rs1, now)) {
+        note_reg_wait(inst.rs1, now);
+        ++stats_.stall_raw;
+        return false;
+      }
+      if (xreg_busy(inst.rs2, now)) {
+        note_reg_wait(inst.rs2, now);
+        ++stats_.stall_raw;
+        return false;
+      }
+      if (!lsu_.can_request()) {
+        ++stats_.stall_mem;
+        return false;
+      }
+      mem::MemReq req;
+      req.addr = xregs_[inst.rs1] +
+                 static_cast<std::uint64_t>(static_cast<std::int64_t>(inst.imm));
+      req.is_write = true;
+      req.wdata = xregs_[inst.rs2];
+      req.bytes = d.load_bytes;
+      lsu_.request(req, 0);
+      ++stats_.stores;
+      pc_ += 4;
+      return true;
+    }
+    case ExecClass::kCsr: {
+      if ((d.flags & kDUsesRs1) && xreg_busy(inst.rs1, now)) {
+        note_reg_wait(inst.rs1, now);
+        ++stats_.stall_raw;
+        return false;
+      }
+      return exec_csr(inst, now);
+    }
+    case ExecClass::kHalt:
+      halted_ = true;
+      trace_.instant(now, "halt", pc_);
+      pc_ += 4;
+      return true;
+    case ExecClass::kFence:
+      pc_ += 4;
+      return true;
+    case ExecClass::kFallback:
+      return issue(inst, now);
+  }
+  assert(false && "unhandled compiled dispatch class");
+  return false;
+}
+
+FusedGate SnitchCore::fused_gate(const CompiledProgram& cp, cycle_t now) const {
+  // Outstanding loads do not force a seam: fused cycles tick the hubs at
+  // the interpreted point, so the response routes and writes back through
+  // the real tick() exactly as interpreted. Only halt (the engine must
+  // see the halting tick interpreted so the burst stops at done()), the
+  // barrier CSR (its callback and stall_barrier accounting live outside
+  // the fused observation), and cold opcodes fall back.
+  if (halted_) return FusedGate::kSeam;
+  if (stall_until_ > now) return FusedGate::kTick;  // redirect bubble
+  const std::size_t idx = (pc_ - isa::Program::kBaseAddr) / 4;
+  if (idx >= cp.size()) return FusedGate::kSeam;  // oob fetch: issue() traps
+  const DecodedInst& d = cp.decoded(pc_);
+  switch (d.cls) {
+    case ExecClass::kAlu:
+    case ExecClass::kBranch:
+    case ExecClass::kJal:
+    case ExecClass::kJalr:
+    case ExecClass::kLoad:
+    case ExecClass::kStore:
+    case ExecClass::kFence:
+    case ExecClass::kFpss:
+      return FusedGate::kTick;
+    case ExecClass::kCsr:
+      if (d.flags & kDBarrierCsr) return FusedGate::kSeam;
+      // Parked: blocked at the fpss-sync CSR with every core-side hazard
+      // clear — the tick cannot issue, pop, or observe anything until the
+      // FPU subsystem drains.
+      if ((d.flags & kDSyncCsr) && loads_outstanding_ == 0 &&
+          ((d.flags & kDCsrImm) || !xreg_busy(d.inst.rs1, now))) {
+        return FusedGate::kParked;
+      }
+      return FusedGate::kTick;
+    case ExecClass::kHalt:
+    case ExecClass::kFallback:
+      return FusedGate::kSeam;
+  }
+  return FusedGate::kSeam;
 }
 
 bool SnitchCore::exec_csr(const Inst& inst, cycle_t now) {

@@ -25,6 +25,16 @@
 
 namespace issr::core {
 
+class CompiledProgram;
+struct DecodedInst;
+
+/// What the fused executor may do with the core this cycle
+/// (SnitchCore::fused_gate): run the real tick inside a fused cycle,
+/// run the specialized parked tick (core blocked at the fpss-sync CSR
+/// with every hazard clear — pending only the FPSS-side check the
+/// caller owns), or fall back to an interpreted tick (seam).
+enum class FusedGate : std::uint8_t { kSeam, kTick, kParked };
+
 struct SnitchParams {
   std::uint32_t hartid = 0;
   unsigned branch_penalty = 0;
@@ -104,6 +114,49 @@ class SnitchCore {
   /// Timeline hook: barrier-wait slices and a halt marker (trace/).
   trace::Tracer& tracer() { return trace_; }
 
+  // --- Compiled-tier seams (core/compile.hpp) ------------------------------
+  /// Dispatch through pre-decoded instructions instead of re-classifying
+  /// each fetch. The interpreter's issue() is untouched and remains the
+  /// fallback for cold instruction classes; nullptr restores it fully.
+  void set_compiled(const CompiledProgram* cp) { compiled_ = cp; }
+
+  /// Fused-executor gate, evaluated once per fused cycle. kSeam when the
+  /// core is halted (the burst loop defers quiescence checks; the engine
+  /// must see the halting tick interpreted), fetching out of program
+  /// bounds, or at a barrier CSR / cold fallback opcode. kParked when
+  /// the core is blocked at the fpss-sync CSR with every core-side
+  /// hazard clear, so its whole tick is exactly {++cycles, ++stall_sync}
+  /// while the FPU subsystem drains (the caller still owns the FPSS-side
+  /// replay check). kTick otherwise: loads (issue and response writeback
+  /// — fused cycles tick the hubs), stores, branches, ALU ops, offloads,
+  /// every non-barrier CSR, and redirect bubbles all tick natively.
+  FusedGate fused_gate(const CompiledProgram& cp, cycle_t now) const;
+
+  /// Whether the last tick made progress (the fused executor's
+  /// next_event shortcut; identical to next_event(now) == now).
+  bool advanced_last_tick() const { return advanced_; }
+
+  /// One fused parked cycle (caller established the kParked gate and
+  /// that the FPSS is mid-FREP, i.e. not idle).
+  void tick_parked_sync(cycle_t /*now*/) {
+    ++stats_.cycles;
+    advanced_ = false;
+    self_wake_ = kCycleNever;
+    ++stats_.stall_sync;
+  }
+
+  /// Batch credit for `count` consecutive parked cycles: the fused
+  /// executor's parked span performs the core's per-cycle work — nothing
+  /// but these counter increments — once at span exit. No other unit
+  /// reads core state mid-span, so the seam-visible state is identical
+  /// to `count` tick_parked_sync calls.
+  void finish_parked_span(cycle_t count) {
+    stats_.cycles += count;
+    stats_.stall_sync += count;
+    advanced_ = false;
+    self_wake_ = kCycleNever;
+  }
+
  private:
   bool xreg_busy(unsigned r, cycle_t now) const {
     return r != 0 && (load_pending_[r] || fpss_pending_[r] ||
@@ -123,10 +176,15 @@ class SnitchCore {
   /// it issued (pc advanced).
   bool issue(const isa::Inst& inst, cycle_t now);
 
+  /// Compiled dispatch: same contract as issue(), driven by the
+  /// pre-decoded record (falls back to issue()/exec_csr for cold classes).
+  bool issue_compiled(const DecodedInst& d, cycle_t now);
+
   bool exec_csr(const isa::Inst& inst, cycle_t now);
 
   SnitchParams params_;
   const isa::Program& program_;
+  const CompiledProgram* compiled_ = nullptr;
   Fpss& fpss_;
   ssr::Streamer& streamer_;
   ssr::PortClient lsu_;

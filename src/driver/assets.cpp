@@ -1,6 +1,8 @@
 #include "driver/assets.hpp"
 
 #include "common/rng.hpp"
+#include "common/version.hpp"
+#include "core/compile.hpp"
 #include "sparse/generate.hpp"
 
 namespace issr::driver {
@@ -90,6 +92,35 @@ std::shared_ptr<const isa::Program> AssetCache::program(
   }
   std::call_once(slot->once,
                  [&] { slot->value = std::make_shared<const isa::Program>(build()); });
+  return slot->value;
+}
+
+std::string compiled_program_key(const std::string& program_key) {
+  std::string key = "compiled.v5/";
+  key += engine_version();
+  key += '/';
+  key += engine_build_type();
+  key += engine_build_lto() ? "/lto=1/" : "/lto=0/";
+  key += program_key;
+  return key;
+}
+
+std::shared_ptr<const core::CompiledProgram> AssetCache::compiled(
+    const std::string& key,
+    const std::function<core::CompiledProgram()>& build) {
+  std::shared_ptr<Slot<core::CompiledProgram>> slot;
+  bool hit;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto& entry = compiled_[key];
+    hit = entry != nullptr;
+    if (!hit) entry = std::make_shared<Slot<core::CompiledProgram>>();
+    hit ? ++stats_.compiled_hits : ++stats_.compiled_builds;
+    slot = entry;
+  }
+  std::call_once(slot->once, [&] {
+    slot->value = std::make_shared<const core::CompiledProgram>(build());
+  });
   return slot->value;
 }
 

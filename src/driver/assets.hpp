@@ -28,6 +28,10 @@
 #include "sparse/dense.hpp"
 #include "sparse/fiber.hpp"
 
+namespace issr::core {
+class CompiledProgram;
+}
+
 namespace issr::driver {
 
 /// Workload identity: exactly the inputs the generators consume. Two
@@ -73,7 +77,19 @@ struct AssetCacheStats {
   std::size_t workload_hits = 0;
   std::size_t program_builds = 0;
   std::size_t program_hits = 0;
+  std::size_t compiled_builds = 0;
+  std::size_t compiled_hits = 0;
 };
+
+/// Qualify a Program cache key for the compiled-translation cache
+/// (schema "compiled.v5"). A CompiledProgram is a pure function of the
+/// Program *and* of the translator build that produced it, so the key
+/// prepends the engine provenance fields (source revision, build type,
+/// LTO): a result cache that outlives a binary can never serve a
+/// translation from a different translator. Runtime knobs stay out for
+/// the same reason they stay out of the results header — byte-diff CI
+/// runs the same matrix under every flag combination.
+std::string compiled_program_key(const std::string& program_key);
 
 class AssetCache {
  public:
@@ -86,6 +102,14 @@ class AssetCache {
   /// driver/runs.cpp; `build` runs at most once per key.
   std::shared_ptr<const isa::Program> program(
       const std::string& key, const std::function<isa::Program()>& build);
+
+  /// Get-or-build a compiled translation (core/compile.hpp). `key` must
+  /// come from compiled_program_key() so translations are shared exactly
+  /// as widely as the Programs they decode — and never across engine
+  /// builds.
+  std::shared_ptr<const core::CompiledProgram> compiled(
+      const std::string& key,
+      const std::function<core::CompiledProgram()>& build);
 
   AssetCacheStats stats() const;
 
@@ -105,6 +129,9 @@ class AssetCache {
       workloads_;
   std::unordered_map<std::string, std::shared_ptr<Slot<isa::Program>>>
       programs_;
+  std::unordered_map<std::string,
+                     std::shared_ptr<Slot<core::CompiledProgram>>>
+      compiled_;
   AssetCacheStats stats_;
 };
 

@@ -104,7 +104,9 @@ ScenarioResult run_scenario(const Scenario& s, const RunOptions& opts,
     local = build_workload(workload_key(s));
     wl = &local;
   }
-  RunAids aids{ctx.arena, ctx.assets};
+  RunAids aids;
+  aids.arena = ctx.arena;
+  aids.programs = ctx.assets;
   aids.max_cycles = opts.max_cycles;
 
   if (s.kernel == Kernel::kSpvv) {

@@ -547,6 +547,8 @@ SweepOutcome run_sweep(const SweepSpec& spec) {
     g.add("host_workload_hits", out.stats.cache.workload_hits);
     g.add("host_program_builds", out.stats.cache.program_builds);
     g.add("host_program_hits", out.stats.cache.program_hits);
+    g.add("host_compiled_builds", out.stats.cache.compiled_builds);
+    g.add("host_compiled_hits", out.stats.cache.compiled_hits);
     g.observe_max("host_workers", static_cast<double>(workers));
     g.observe_max("host_wall_seconds", out.stats.wall_seconds);
     if (out.stats.wall_seconds > 0.0) {

@@ -445,7 +445,10 @@ std::optional<Inst> decode(insn_word_t w) {
       inst.frep_insts = static_cast<std::uint8_t>(bits(w, 23, 20));
       inst.frep_stagger_max = static_cast<std::uint8_t>(bits(w, 27, 24));
       inst.frep_stagger_mask = static_cast<std::uint8_t>(bits(w, 31, 28));
-      if (inst.frep_insts == 0) return std::nullopt;
+      // frep_insts == 0 decodes to a complete no-op loop (the sequencer
+      // handles it explicitly); the assembler never emits it, but a
+      // hand-built image may, and rejecting it here would turn a defined
+      // encoding into a fetch fault.
       return inst;
     }
     default:

@@ -27,6 +27,32 @@ std::uint8_t* BackingStore::allocate_page() {
   return page;
 }
 
+std::uint64_t BackingStore::load_u64_memo_miss(addr_t addr,
+                                               PageMemo& memo) const {
+  const std::size_t off = addr % kPageBytes;
+  if (off + 8 > kPageBytes) return load(addr, 8);  // page-straddling
+  const auto it = pages_.find(addr / kPageBytes);
+  if (it == pages_.end()) return 0;  // absent pages are not memoized
+  memo.page = addr / kPageBytes;
+  memo.data = it->second;
+  std::uint64_t v;
+  std::memcpy(&v, it->second + off, 8);
+  return v;
+}
+
+void BackingStore::store_u64_memo_miss(addr_t addr, std::uint64_t v,
+                                       PageMemo& memo) {
+  const std::size_t off = addr % kPageBytes;
+  if (off + 8 > kPageBytes) {
+    store(addr, v, 8);
+    return;
+  }
+  std::uint8_t* page = page_for_write(addr);
+  memo.page = addr / kPageBytes;
+  memo.data = page;
+  std::memcpy(page + off, &v, 8);
+}
+
 std::uint8_t* BackingStore::page_for_write(addr_t addr) {
   const addr_t idx = addr / kPageBytes;
   if (idx == memo_page_) return memo_data_;

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdint>
+#include <cstring>
 #include <memory>
 #include <unordered_map>
 #include <vector>
@@ -45,6 +46,35 @@ class BackingStore {
   std::uint64_t load(addr_t addr, unsigned bytes) const;
   void store(addr_t addr, std::uint64_t v, unsigned bytes);
 
+  /// Caller-owned page memo for hot per-stream access paths (the fused
+  /// tier's lane bypass): each stream walks its own pages, so a private
+  /// memo avoids thrashing the shared internal one below. Safe for the
+  /// same reasons: page storage never moves and pages are never freed;
+  /// absent pages are not memoized (a later store materializes them).
+  struct PageMemo {
+    addr_t page = ~addr_t{0};
+    std::uint8_t* data = nullptr;
+  };
+
+  std::uint64_t load_u64(addr_t addr, PageMemo& memo) const {
+    const std::size_t off = addr % kPageBytes;
+    if (addr / kPageBytes == memo.page && off + 8 <= kPageBytes) {
+      std::uint64_t v;
+      std::memcpy(&v, memo.data + off, 8);
+      return v;
+    }
+    return load_u64_memo_miss(addr, memo);
+  }
+
+  void store_u64(addr_t addr, std::uint64_t v, PageMemo& memo) {
+    const std::size_t off = addr % kPageBytes;
+    if (addr / kPageBytes == memo.page && off + 8 <= kPageBytes) {
+      std::memcpy(memo.data + off, &v, 8);
+      return;
+    }
+    store_u64_memo_miss(addr, v, memo);
+  }
+
   void write_block(addr_t addr, const void* src, std::size_t bytes);
   void read_block(addr_t addr, void* dst, std::size_t bytes) const;
 
@@ -60,6 +90,8 @@ class BackingStore {
   const std::uint8_t* page_for_read(addr_t addr) const;
   std::uint8_t* page_for_write(addr_t addr);
   std::uint8_t* allocate_page();
+  std::uint64_t load_u64_memo_miss(addr_t addr, PageMemo& memo) const;
+  void store_u64_memo_miss(addr_t addr, std::uint64_t v, PageMemo& memo);
 
   // Page index -> page bytes (zero-initialized on materialization).
   // Unallocated reads return zero. Page storage comes from the arena

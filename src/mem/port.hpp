@@ -87,6 +87,10 @@ class MemPort final {
   /// Traffic statistics, observable through the requester-side interface
   /// so the stall accountant can attribute arbitration losses per port.
   const PortStats& stats() const { return stats_; }
+  /// Compiled-tier hook: the fused executor's lane bypass serves stream
+  /// requests without occupying the port slot and credits the traffic
+  /// counters here, at delivery time — exactly when serve_pending would.
+  PortStats& mutable_stats() { return stats_; }
 
   // --- Memory side (driven by the owning IdealMemory / Tcdm) --------------
   bool has_pending() const { return has_pending_; }

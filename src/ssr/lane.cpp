@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "common/bitutil.hpp"
+#include "mem/backing_store.hpp"
 
 namespace issr::ssr {
 
@@ -240,6 +241,70 @@ void Lane::issue_data_access() {
   ++stats_.data_reqs;
 }
 
+void Lane::issue_idx_fetch_fused() {
+  advanced_tick_ = true;
+  bypass_.valid = true;
+  bypass_.is_idx = true;
+  bypass_.is_write = false;
+  bypass_.addr = idx_word_addr_;
+  idx_word_addr_ += 8;
+  --idx_words_left_;
+  ++idx_outstanding_;
+  ++stats_.idx_word_reqs;
+}
+
+void Lane::issue_data_access_fused() {
+  advanced_tick_ = true;
+  addr_t addr;
+  if (is_indirect(job_.mode)) {
+    addr = addr_queue_.pop();
+  } else if ((job_.bound[1] | job_.bound[2] | job_.bound[3]) == 0) {
+    // 1-D affine fast path: the generic affine_next() recomputes the
+    // address from all four iterators; with the outer bounds at zero the
+    // recurrence is a single add (identical values by construction).
+    assert(affine_left_ > 0);
+    addr = affine_addr_;
+    --affine_left_;
+    if (affine_idx_[0] < job_.bound[0]) {
+      ++affine_idx_[0];
+      affine_addr_ += static_cast<addr_t>(job_.stride[0]);
+    } else {
+      affine_idx_[0] = 0;
+      affine_addr_ = job_.data_base;
+    }
+  } else {
+    addr = affine_next();
+  }
+  bypass_.valid = true;
+  bypass_.is_idx = false;
+  bypass_.addr = addr;
+  if (job_.write) {
+    bypass_.is_write = true;
+    bypass_.wdata = std::bit_cast<std::uint64_t>(data_fifo_.pop());
+    assert(stores_left_ > 0);
+    --stores_left_;
+  } else {
+    bypass_.is_write = false;
+    ++data_outstanding_;
+  }
+  ++stats_.data_reqs;
+}
+
+void Lane::materialize_bypass() {
+  if (!bypass_.valid) return;
+  // The slot and a pending request on this lane's port never coexist
+  // (the mux gate saw the port free when the slot filled, and nothing
+  // else pushes to the ISSR port at all), so the request assertion in
+  // PortClient::request holds.
+  mem::MemReq req;
+  req.addr = bypass_.addr;
+  req.bytes = 8;
+  req.is_write = bypass_.is_write;
+  req.wdata = bypass_.wdata;
+  port_.request(req, bypass_.is_idx ? kTagIdx : kTagData);
+  bypass_.valid = false;
+}
+
 void Lane::finish_if_done() {
   if (!active_) return;
   const bool done = job_.write
@@ -311,6 +376,114 @@ void Lane::tick(cycle_t now) {
     }
   }
 
+  finish_if_done();
+}
+
+// Phase 1a of the fused ticks: deliver the bypassed request issued in
+// the previous fused cycle — the moment the interpreted path would have
+// served it (this cycle's memory tick, which the caller has just run;
+// latency <= 1, so a read's response matures and routes in the same
+// cycle). Stores commit silently, exactly like MemPort::serve_pending,
+// and do not count as lane progress; port traffic counters are credited
+// here, at serve time.
+void Lane::deliver_bypass(mem::MemPort& port, mem::BackingStore& store) {
+  if (bypass_.valid) {
+    bypass_.valid = false;
+    if (bypass_.is_write) {
+      store.store_u64(bypass_.addr, bypass_.wdata, data_memo_);
+      ++port.mutable_stats().writes;
+    } else {
+      const std::uint64_t rdata = store.load_u64(
+          bypass_.addr, bypass_.is_idx ? idx_memo_ : data_memo_);
+      ++port.mutable_stats().reads;
+      advanced_tick_ = true;
+      if (bypass_.is_idx) {
+        assert(idx_outstanding_ > 0);
+        --idx_outstanding_;
+        idx_fifo_.push(rdata);
+      } else {
+        assert(data_outstanding_ > 0);
+        --data_outstanding_;
+        data_fifo_.push(std::bit_cast<double>(rdata));
+      }
+    }
+  }
+}
+
+// Phase 3 of the fused ticks: the round-robin index/data mux, identical
+// to tick() with the shared-port topology but issuing into the bypass
+// slot. The caller has checked the port gate.
+void Lane::fused_mux() {
+  assert(!bypass_.valid);
+  const bool want_idx = idx_wants_port();
+  const bool want_data = data_wants_port();
+  if (want_idx && want_data) {
+    ++stats_.port_mux_conflicts;
+    if (rr_idx_turn_) {
+      issue_idx_fetch_fused();
+    } else {
+      issue_data_access_fused();
+    }
+    rr_idx_turn_ = !rr_idx_turn_;
+  } else if (want_idx) {
+    issue_idx_fetch_fused();
+  } else if (want_data) {
+    issue_data_access_fused();
+  }
+}
+
+void Lane::tick_fused(cycle_t now, mem::MemPort& port,
+                      mem::BackingStore& store) {
+  now_ = now;
+  advanced_tick_ = false;
+  assert(!params_.dedicated_idx_port);
+  deliver_bypass(port, store);
+
+  // 1b. Seam crossing: drain responses to requests this lane issued
+  //     through the real port (a preceding interpreted cycle, or a
+  //     materialized slot). The hubs tick in fused cycles too, so these
+  //     arrive through the client queue exactly as in tick(). Mutually
+  //     exclusive with a full bypass slot: the slot only fills when the
+  //     lane has no real request in flight.
+  mem::MemRsp rsp;
+  while (port_.pop_response(rsp)) {
+    advanced_tick_ = true;
+    if (rsp.id == kTagIdx) {
+      assert(idx_outstanding_ > 0);
+      --idx_outstanding_;
+      idx_fifo_.push(rsp.rdata);
+    } else {
+      assert(data_outstanding_ > 0);
+      --data_outstanding_;
+      data_fifo_.push(std::bit_cast<double>(rsp.rdata));
+    }
+  }
+
+  // 2. Serializer: one index per cycle.
+  serialize_one();
+
+  // 3. Port mux. The gate stays on the real port, so a core/FP-LSU
+  //    request that claimed the shared port this cycle defers the lane
+  //    exactly as in the interpreted path.
+  if (active_ && port_.can_request()) fused_mux();
+
+  finish_if_done();
+}
+
+void Lane::tick_parked(cycle_t now, mem::MemPort& port,
+                       mem::BackingStore& store) {
+  now_ = now;
+  advanced_tick_ = false;
+  // Parked-span invariants (core parked on the sync CSR, FPSS in pure
+  // FREP replay, ports fully drained on entry, nobody requests): the
+  // response-drain phase would find nothing, and the mux gate is
+  // trivially open — the only possible occupant of this port is the
+  // lane's own traffic, which sits in the bypass slot instead.
+  assert(!params_.dedicated_idx_port);
+  assert(port.next_event() == kCycleNever && "parked span: port not quiet");
+  deliver_bypass(port, store);
+  serialize_one();
+  if (active_) fused_mux();
   finish_if_done();
 }
 

@@ -21,6 +21,7 @@
 #include <optional>
 
 #include "common/types.hpp"
+#include "mem/backing_store.hpp"
 #include "ssr/config.hpp"
 #include "ssr/fifo.hpp"
 #include "ssr/port_hub.hpp"
@@ -123,6 +124,37 @@ class Lane {
   /// issue at most one memory request through the port mux.
   void tick(cycle_t now);
 
+  /// Compiled-tier fused tick: identical state transitions to tick(), but
+  /// the lane's own memory traffic bypasses the port protocol entirely —
+  /// a request issues into a one-slot bypass register and is delivered
+  /// against `store` at the next fused tick, right after the memory tick
+  /// that would have served it (exact for latency <= 1, which the fused
+  /// executor gates on). The port mux still gates on the real port, so
+  /// contention with core/FP-LSU traffic is modeled exactly; responses to
+  /// requests the lane issued through the real port arrive through the
+  /// hub client queue as usual (the hubs run in fused cycles too). See
+  /// core/compile.cpp for the cycle-order exactness argument.
+  void tick_fused(cycle_t now, mem::MemPort& port, mem::BackingStore& store);
+
+  /// Parked-span tick: tick_fused() under the fused executor's parked
+  /// steady-state invariants — the lane's port carries no real traffic
+  /// (no pending request, nothing in flight or routed: all lane traffic
+  /// is in the bypass slot, and no other unit requests at all), so the
+  /// response-drain phase and the port-free mux gate are skipped
+  /// (asserted). State transitions are identical to tick_fused().
+  void tick_parked(cycle_t now, mem::MemPort& port, mem::BackingStore& store);
+
+  /// Replay a still-undelivered bypassed request through the real port —
+  /// the fused executor calls this at every fused-to-interpreted seam
+  /// (and once after the run), so the request is served by the next
+  /// memory tick and routed by the hub exactly as if it had been issued
+  /// through the port in the first place.
+  void materialize_bypass();
+
+  /// Whether the last tick made progress (the fused executor's next_event
+  /// shortcut; identical to next_event(now) == now).
+  bool advanced_last_tick() const { return advanced_tick_; }
+
   /// Fast-forward hook: `now` when the last tick made progress (consumed
   /// a response, serialized an index, issued a request), else kCycleNever
   /// — every other lane wake-up is external (a memory response maturing,
@@ -175,6 +207,20 @@ class Lane {
 
   void issue_idx_fetch();
   void issue_data_access();
+  /// Fused-tick issue paths: same address generation, credit accounting,
+  /// and statistics as the interpreted versions, but the request lands in
+  /// the bypass slot instead of the port (the data mover additionally
+  /// specializes the affine generator for the dominant 1-D streams —
+  /// identical addresses and iterator state by construction).
+  void issue_idx_fetch_fused();
+  void issue_data_access_fused();
+
+  /// Deliver the bypassed request issued in the previous fused cycle
+  /// against the backing store (phase 1a of tick_fused/tick_parked).
+  void deliver_bypass(mem::MemPort& port, mem::BackingStore& store);
+  /// The round-robin index/data mux issuing into the bypass slot
+  /// (phase 3 of tick_fused/tick_parked; caller checked the port gate).
+  void fused_mux();
 
   LaneParams params_;
   PortClient port_;
@@ -199,6 +245,25 @@ class Lane {
   std::uint64_t idcs_left_ = 0;        ///< indices not yet serialized
   Fifo<addr_t> addr_queue_;            ///< serialized data addresses
   bool rr_idx_turn_ = false;           ///< round-robin pointer of the mux
+
+  // Fused-tick bypass slot: at most one lane request per cycle (the mux
+  // admits one), issued here instead of into the port and delivered at
+  // the next fused tick or materialized at the next interpreted seam.
+  // Invariant: the slot never coexists with a pending request on the
+  // lane's port (the mux gate saw the port free) and is empty whenever
+  // the lane did not advance in the current cycle.
+  struct Bypass {
+    bool valid = false;
+    bool is_idx = false;    ///< index word fetch (else data access)
+    bool is_write = false;  ///< data store (write streams)
+    addr_t addr = 0;
+    std::uint64_t wdata = 0;
+  };
+  Bypass bypass_;
+  // Per-stream page memos for bypass delivery: the index walk and the
+  // data stream each run through their own pages.
+  mem::BackingStore::PageMemo idx_memo_;
+  mem::BackingStore::PageMemo data_memo_;
 
   // Data stream state.
   unsigned data_outstanding_ = 0;  ///< in-flight data reads

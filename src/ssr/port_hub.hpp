@@ -61,9 +61,12 @@ class PortHub {
   /// nonzero means a client will act next tick).
   bool has_queued() const { return queued_ != 0; }
 
+  /// Response-id split: the top bits carry the client route, the low
+  /// kTagBits the client-private tag.
+  static constexpr unsigned kTagBits = 28;
+
  private:
   friend class PortClient;
-  static constexpr unsigned kTagBits = 28;
 
   mem::MemPort* port_;
   std::vector<RingQueue<mem::MemRsp>> queues_;

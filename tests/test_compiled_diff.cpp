@@ -1,0 +1,454 @@
+// Differential fuzz harness for the compiled-execution tier
+// (core/compile.hpp): seeded random programs — RV32I ALU/branch/memory
+// mixes, FP blocks, FREP loops with stagger, SSR/ISSR stream jobs,
+// boundary-adjacent branches — run once compiled and once interpreted,
+// asserting bitwise-equal cycle counts, statistic counters, stall
+// buckets, register files, and memory images. Every divergence prints
+// the seed so the exact program replays under a debugger.
+//
+// The generator is a pure function of the seed (common/rng.hpp xoshiro,
+// deterministic across platforms), so a CI failure line like
+// "seed 137" reproduces locally with no corpus files.
+//
+// Constraints the generator honors (model-defined limits, each pinned
+// by its own targeted test elsewhere):
+//  - FREP does not nest (fpss.cpp asserts); back-to-back FREPs are fine.
+//  - fld into a stream register (ft0/ft1) is unsupported.
+//  - Stream jobs are consumed exactly: pops == configured count, so
+//    every program terminates and the final sync cannot wedge.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <bit>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/sim.hpp"
+#include "isa/assembler.hpp"
+#include "kernels/kargs.hpp"
+#include "sparse/fiber.hpp"
+
+namespace issr::core {
+namespace {
+
+using namespace issr::isa;
+
+constexpr std::size_t kDataElems = 64;    ///< streamable doubles
+constexpr std::size_t kIdxElems = 48;     ///< indirection indices
+constexpr std::size_t kScratchSlots = 64; ///< load/store u64 slots
+
+// Clobberable integer registers. Excludes t5/t6 (scratch of the
+// kernels::emit_* helpers), s10/s11 (pinned base pointers below), and
+// the counter set (next).
+constexpr Xreg kXPool[] = {kT1, kT2, kS0, kS1, kA0, kA1, kA2, kA3,
+                           kA4, kA5, kA6, kA7, kS2, kS3, kS4, kS5,
+                           kS6, kS7};
+// Loop/FREP trip counters. Loads and FPSS integer writebacks land in
+// their destination register cycles after issue and the model lets the
+// late writeback win a WAW race — so a counter clobbered mid-loop by a
+// stale load never reaches zero. Counters therefore come from a set the
+// generator never uses as a load or FPSS-comparison destination.
+constexpr Xreg kXCounters[] = {kT0, kT3, kT4, kS8};
+constexpr Xreg kScratchBase = kS10;  ///< holds the scratch block address
+constexpr Xreg kDataBase = kS11;     ///< holds the staged-data address
+
+// Clobberable FP registers. Excludes ft0/ft1 (stream registers),
+// ft2..ft5 (stream-FREP stagger accumulators), and f24..f31 (plain-FREP
+// stagger window) so staggered operand fields never wrap onto a stream
+// register.
+constexpr Freg kFPool[] = {kFt6, kFt7, kFs0, kFs1, kFa0, kFa1, kFa2, kFa3,
+                           kFa4, kFa5, kFa6, kFa7, kFs2, kFs3, kFs4, kFs5};
+constexpr unsigned kFrepWindowBase = 24;  ///< f24..f31: staggered bodies
+
+/// Segment-mix profiles: every profile can draw every segment kind, the
+/// weights just concentrate coverage (stream-heavy seeds spend their
+/// cycles in the fused steady-state loop, branch-heavy seeds in the
+/// block-boundary seams).
+enum class Profile { kMixed, kStreamHeavy, kFrepHeavy, kBranchHeavy };
+
+template <typename T, std::size_t N>
+T pick(Rng& rng, const T (&pool)[N]) {
+  return pool[rng.uniform_int(0, N - 1)];
+}
+
+Xreg pick_x(Rng& rng) { return pick(rng, kXPool); }
+Xreg pick_counter(Rng& rng) { return pick(rng, kXCounters); }
+Freg pick_f(Rng& rng) { return pick(rng, kFPool); }
+
+/// One random register-to-register ALU op, rd constrained to differ
+/// from `avoid` (loop counters must survive their loop body).
+void emit_alu_op(Rng& rng, Assembler& a, Xreg avoid) {
+  Xreg rd = pick_x(rng);
+  while (rd == avoid) rd = pick_x(rng);
+  const Xreg rs1 = pick_x(rng);
+  const Xreg rs2 = pick_x(rng);
+  const auto imm = static_cast<std::int32_t>(rng.uniform_int(0, 4095)) - 2048;
+  switch (rng.uniform_int(0, 15)) {
+    case 0: a.add(rd, rs1, rs2); break;
+    case 1: a.sub(rd, rs1, rs2); break;
+    case 2: a.xor_(rd, rs1, rs2); break;
+    case 3: a.or_(rd, rs1, rs2); break;
+    case 4: a.and_(rd, rs1, rs2); break;
+    case 5: a.sll(rd, rs1, rs2); break;
+    case 6: a.srl(rd, rs1, rs2); break;
+    case 7: a.sra(rd, rs1, rs2); break;
+    case 8: a.slt(rd, rs1, rs2); break;
+    case 9: a.sltu(rd, rs1, rs2); break;
+    case 10: a.addi(rd, rs1, imm); break;
+    case 11: a.xori(rd, rs1, imm); break;
+    case 12: a.slli(rd, rs1, static_cast<unsigned>(rng.uniform_int(0, 63))); break;
+    case 13: a.mul(rd, rs1, rs2); break;
+    case 14: a.div(rd, rs1, rs2); break;  // div-by-zero is defined (-1)
+    default: a.remu(rd, rs1, rs2); break;
+  }
+}
+
+/// One random FP compute op on the pool registers (no loads/stores).
+void emit_fp_op(Rng& rng, Assembler& a) {
+  const Freg rd = pick_f(rng);
+  const Freg rs1 = pick_f(rng);
+  const Freg rs2 = pick_f(rng);
+  const Freg rs3 = pick_f(rng);
+  switch (rng.uniform_int(0, 9)) {
+    case 0: a.fadd_d(rd, rs1, rs2); break;
+    case 1: a.fsub_d(rd, rs1, rs2); break;
+    case 2: a.fmul_d(rd, rs1, rs2); break;
+    case 3: a.fmadd_d(rd, rs1, rs2, rs3); break;
+    case 4: a.fnmsub_d(rd, rs1, rs2, rs3); break;
+    case 5: a.fsgnjx_d(rd, rs1, rs2); break;
+    case 6: a.fmin_d(rd, rs1, rs2); break;
+    case 7: a.fmax_d(rd, rs1, rs2); break;
+    case 8: a.fdiv_d(rd, rs1, rs2); break;  // iterative unit
+    default: a.fmsub_d(rd, rs1, rs2, rs3); break;
+  }
+}
+
+/// Ops crossing the core/FPSS boundary with an integer operand or an
+/// integer result — the compiled tier's straight-line micro-op dispatch
+/// must fall back to the generic path for these.
+void emit_fp_cross_op(Rng& rng, Assembler& a) {
+  const Freg f = pick_f(rng);
+  const Xreg x = pick_x(rng);
+  switch (rng.uniform_int(0, 5)) {
+    case 0: a.fcvt_d_w(f, x); break;
+    case 1: a.fmv_d_x(f, x); break;
+    case 2: a.fmv_x_d(x, f); break;
+    case 3: a.fcvt_w_d(x, f); break;
+    case 4: a.feq_d(x, f, pick_f(rng)); break;
+    default: a.fle_d(x, f, pick_f(rng)); break;
+  }
+}
+
+/// Aligned load/store pair against the scratch block.
+void emit_mem_op(Rng& rng, Assembler& a) {
+  const auto slot = static_cast<std::int32_t>(
+      rng.uniform_int(0, kScratchSlots - 1) * 8);
+  const Xreg r = pick_x(rng);
+  switch (rng.uniform_int(0, 7)) {
+    case 0: a.sd(r, kScratchBase, slot); break;
+    case 1: a.sw(r, kScratchBase, slot + 4); break;
+    case 2: a.sh(r, kScratchBase, slot + 2); break;
+    case 3: a.sb(r, kScratchBase, slot + static_cast<std::int32_t>(
+                                             rng.uniform_int(0, 7))); break;
+    case 4: a.ld(r, kScratchBase, slot); break;
+    case 5: a.lwu(r, kScratchBase, slot + 4); break;
+    case 6: a.lhu(r, kScratchBase, slot + 2); break;
+    default: a.fld(pick_f(rng), kScratchBase, slot); break;
+  }
+  if (rng.uniform_int(0, 1) == 0) {
+    a.fsd(pick_f(rng), kScratchBase,
+          static_cast<std::int32_t>(rng.uniform_int(0, kScratchSlots - 1) * 8));
+  }
+}
+
+/// Bounded counted loop: the taken-backward-branch seam, with the body
+/// constrained to never clobber the counter.
+void emit_loop(Rng& rng, Assembler& a) {
+  const Xreg c = pick_counter(rng);
+  a.li(c, static_cast<std::int64_t>(rng.uniform_int(1, 5)));
+  const Label top = a.here();
+  const unsigned body = static_cast<unsigned>(rng.uniform_int(1, 3));
+  for (unsigned i = 0; i < body; ++i) emit_alu_op(rng, a, c);
+  a.addi(c, c, -1);
+  a.bne(c, kZero, top);
+}
+
+/// Forward conditional branch over 1..3 instructions — lands the
+/// not-taken/taken paths directly adjacent to whatever the next segment
+/// emits (FREP setup, stream CSR writes, or the final halt).
+void emit_skip(Rng& rng, Assembler& a) {
+  const Xreg r1 = pick_x(rng);
+  const Xreg r2 = pick_x(rng);
+  const Label skip = a.make_label();
+  switch (rng.uniform_int(0, 3)) {
+    case 0: a.beq(r1, r2, skip); break;
+    case 1: a.bne(r1, r2, skip); break;
+    case 2: a.blt(r1, r2, skip); break;
+    default: a.bgeu(r1, r2, skip); break;
+  }
+  const unsigned skipped = static_cast<unsigned>(rng.uniform_int(1, 3));
+  for (unsigned i = 0; i < skipped; ++i) {
+    if (rng.uniform_int(0, 2) == 0) {
+      emit_fp_op(rng, a);
+    } else {
+      emit_alu_op(rng, a, kZero);
+    }
+  }
+  a.bind(skip);
+}
+
+/// FREP over a plain (non-streaming) FP body confined to the f24..f31
+/// stagger window so staggered operand fields stay off the stream
+/// registers. Memory operations inside FREP bodies are model-rejected
+/// (fpss.cpp asserts), so bodies are pure FP compute.
+void emit_frep(Rng& rng, Assembler& a) {
+  const unsigned reps = static_cast<unsigned>(rng.uniform_int(1, 6));
+  const unsigned insts = static_cast<unsigned>(rng.uniform_int(1, 4));
+  const bool stagger = rng.uniform_int(0, 1) == 1;
+  const unsigned max = stagger ? static_cast<unsigned>(rng.uniform_int(1, 3)) : 0;
+  const unsigned mask = stagger ? static_cast<unsigned>(rng.uniform_int(1, 15)) : 0;
+  const Xreg c = pick_counter(rng);
+  a.li(c, reps - 1);
+  a.frep(c, insts, max, mask);
+  auto wreg = [&](void) -> Freg {
+    return static_cast<Freg>(
+        rng.uniform_int(kFrepWindowBase, 31 - max));
+  };
+  for (unsigned i = 0; i < insts; ++i) {
+    switch (rng.uniform_int(0, 3)) {
+      case 0: a.fmadd_d(wreg(), wreg(), wreg(), wreg()); break;
+      case 1: a.fadd_d(wreg(), wreg(), wreg()); break;
+      case 2: a.fmul_d(wreg(), wreg(), wreg()); break;
+      default: a.fsgnjx_d(wreg(), wreg(), wreg()); break;
+    }
+  }
+}
+
+/// SSR/ISSR stream segment mirroring the paper kernels: an affine job on
+/// lane 0 and optionally an indirection job on lane 1, consumed exactly
+/// by a staggered FREP accumulation into ft2..ft5, then sync+disable.
+void emit_stream(Rng& rng, Assembler& a, addr_t data, addr_t idcs,
+                 sparse::IndexWidth width, addr_t scratch) {
+  const auto n = rng.uniform_int(1, kIdxElems);
+  const bool indirect = rng.uniform_int(0, 1) == 1;
+  const bool write_back = !indirect && rng.uniform_int(0, 2) == 0;
+  const unsigned n_acc = static_cast<unsigned>(rng.uniform_int(1, 4));
+
+  if (write_back) {
+    // Write stream: each architectural write to ft0 stores one element.
+    kernels::emit_affine_job(a, 0, scratch, n, 8, /*write=*/true);
+    kernels::emit_ssr_enable(a);
+    a.li(kT0, static_cast<std::int64_t>(n - 1));
+    a.frep(kT0, 1);
+    a.fsgnj_d(kFt0, pick_f(rng), pick_f(rng));
+    kernels::emit_sync_and_disable(a);
+    return;
+  }
+
+  kernels::emit_affine_job(a, 0, data, n);
+  if (indirect) {
+    kernels::emit_indirect_job(a, 1, data, idcs, n, width);
+  }
+  kernels::emit_ssr_enable(a);
+  a.li(kT0, static_cast<std::int64_t>(n - 1));
+  a.frep(kT0, 1, n_acc - 1, kernels::kStaggerRdRs3);
+  if (indirect) {
+    a.fmadd_d(kFt2, kFt0, kFt1, kFt2);
+  } else {
+    a.fmadd_d(kFt2, kFt0, pick_f(rng), kFt2);
+  }
+  kernels::emit_sync_and_disable(a);
+}
+
+/// Everything one tier's run produced, down to register bit patterns.
+struct TierRun {
+  CcSimResult r;
+  addr_t data = 0, idcs = 0, scratch = 0;
+  std::array<std::uint64_t, 32> x{};
+  std::array<std::uint64_t, 32> f{};
+  std::vector<std::uint64_t> mem;
+};
+
+/// Build and run the seed's program under one tier. The generator's rng
+/// stream never depends on `compiled`, so both tiers see the identical
+/// program, staging layout, and configuration.
+TierRun run_tier(std::uint64_t seed, Profile profile, bool compiled,
+                 std::string* listing = nullptr) {
+  Rng rng(seed);
+
+  CcSimConfig cfg;
+  cfg.compiled = compiled;
+  cfg.fast_forward = rng.uniform_int(0, 3) > 0;
+  const cycle_t lat[] = {1, 1, 1, 2, 4, 16};
+  cfg.mem_latency = lat[rng.uniform_int(0, 5)];
+  CcSim sim(cfg);
+
+  TierRun t;
+  std::vector<double> data(kDataElems);
+  for (auto& d : data) d = rng.uniform(-4.0, 4.0);
+  std::vector<std::uint32_t> idcs(kIdxElems);
+  for (auto& i : idcs)
+    i = static_cast<std::uint32_t>(rng.uniform_int(0, kDataElems - 1));
+  const auto width = rng.uniform_int(0, 1) == 0 ? sparse::IndexWidth::kU16
+                                                : sparse::IndexWidth::kU32;
+  // The index base must be element-aligned (the serializer computes its
+  // initial word offset as (idx_base - aligned_word) / elem_bytes); an
+  // element-sized misalignment inside the 8-byte fetch word still
+  // exercises the partial-first-word path.
+  const unsigned elem_bytes = width == sparse::IndexWidth::kU16 ? 2u : 4u;
+  const unsigned misalign =
+      rng.uniform_int(0, 3) == 0 ? elem_bytes : 0;
+  t.data = sim.stage(data);
+  t.idcs = sim.stage_indices(idcs, width, misalign);
+  t.scratch = sim.alloc(8 * kScratchSlots);
+
+  Assembler a;
+  a.li(kScratchBase, static_cast<std::int64_t>(t.scratch));
+  a.li(kDataBase, static_cast<std::int64_t>(t.data));
+  for (int i = 0; i < 6; ++i) {
+    a.li(pick_x(rng), static_cast<std::int64_t>(rng.uniform_int(0, ~0ull)));
+  }
+  for (int i = 0; i < 4; ++i) {
+    const Xreg x = pick_x(rng);
+    a.li(x, static_cast<std::int64_t>(rng.uniform_int(0, 255)) - 128);
+    a.fcvt_d_w(pick_f(rng), x);
+  }
+  a.fld(pick_f(rng), kDataBase, 0);
+  for (unsigned f = 2; f <= 5; ++f) a.fzero(static_cast<Freg>(f));
+
+  // Per-profile segment weights (indices into the switch below).
+  const unsigned mixed[] = {0, 1, 2, 3, 4, 5, 6, 7};
+  const unsigned stream[] = {6, 6, 6, 5, 2, 7, 0, 3};
+  const unsigned frep[] = {5, 5, 5, 5, 2, 3, 1, 7};
+  const unsigned branch[] = {1, 4, 4, 0, 2, 5, 1, 6};
+  const unsigned* weights = profile == Profile::kStreamHeavy ? stream
+                            : profile == Profile::kFrepHeavy ? frep
+                            : profile == Profile::kBranchHeavy ? branch
+                                                               : mixed;
+  const unsigned nseg = static_cast<unsigned>(rng.uniform_int(4, 10));
+  for (unsigned s = 0; s < nseg; ++s) {
+    switch (weights[rng.uniform_int(0, 7)]) {
+      case 0:
+        for (int i = 0, n = static_cast<int>(rng.uniform_int(3, 8)); i < n; ++i)
+          emit_alu_op(rng, a, kZero);
+        break;
+      case 1: emit_loop(rng, a); break;
+      case 2: emit_mem_op(rng, a); break;
+      case 3:
+        for (int i = 0, n = static_cast<int>(rng.uniform_int(2, 6)); i < n; ++i) {
+          if (rng.uniform_int(0, 2) == 0) {
+            emit_fp_cross_op(rng, a);
+          } else {
+            emit_fp_op(rng, a);
+          }
+        }
+        break;
+      case 4: emit_skip(rng, a); break;
+      case 5:
+        emit_frep(rng, a);
+        // Back-to-back FREPs: the second setup queues behind the
+        // first replay and must not be skipped past by a block.
+        if (rng.uniform_int(0, 2) == 0) emit_frep(rng, a);
+        break;
+      case 6: emit_stream(rng, a, t.data, t.idcs, width, t.scratch); break;
+      default: kernels::emit_fpss_sync(a); break;
+    }
+  }
+  // A boundary-adjacent branch over the final pre-halt instruction, then
+  // the kernel epilogue idiom: sync, result store, sync, halt. The first
+  // sync drains in-flight integer writebacks (fle/fcvt.w.d results) — a
+  // halted core never pops them, so halting with one pending wedges the
+  // CC (model-defined; real kernels always consume or sync).
+  emit_skip(rng, a);
+  kernels::emit_fpss_sync(a);
+  a.fsd(pick_f(rng), kScratchBase, 8 * (kScratchSlots - 1));
+  kernels::emit_fpss_sync(a);
+  kernels::emit_halt(a);
+
+  if (listing != nullptr) *listing = a.listing();
+  sim.set_program(a.assemble());
+  t.r = sim.run(2'000'000);
+
+  for (unsigned i = 0; i < 32; ++i) {
+    t.x[i] = sim.cc().core().xreg(i);
+    t.f[i] = std::bit_cast<std::uint64_t>(sim.cc().fpss().freg(i));
+  }
+  t.mem.reserve(kDataElems + kScratchSlots);
+  for (std::size_t i = 0; i < kDataElems; ++i)
+    t.mem.push_back(sim.mem().load_u64(t.data + 8 * i));
+  for (std::size_t i = 0; i < kScratchSlots; ++i)
+    t.mem.push_back(sim.mem().load_u64(t.scratch + 8 * i));
+  return t;
+}
+
+/// Run one seed under both tiers and demand bitwise identity of every
+/// observable. The seed is in every failure message for replay.
+void run_seed(std::uint64_t seed, Profile profile) {
+  const TierRun c = run_tier(seed, profile, /*compiled=*/true);
+  const TierRun i = run_tier(seed, profile, /*compiled=*/false);
+  const std::string what = "seed " + std::to_string(seed);
+
+  ASSERT_EQ(c.data, i.data) << what << " (staging nondeterminism)";
+  ASSERT_EQ(c.scratch, i.scratch) << what << " (staging nondeterminism)";
+  EXPECT_EQ(c.r.cycles, i.r.cycles) << what;
+  EXPECT_EQ(c.r.aborted, i.r.aborted) << what;
+  EXPECT_EQ(c.r.last_pc, i.r.last_pc) << what;
+  EXPECT_EQ(c.r.fault.code, i.r.fault.code) << what;
+  EXPECT_EQ(c.r.fault.cycle, i.r.fault.cycle) << what;
+  EXPECT_EQ(c.r.core, i.r.core) << what << " (core stats)";
+  EXPECT_EQ(c.r.fpss, i.r.fpss) << what << " (fpss stats)";
+  EXPECT_EQ(c.r.ssr_lane, i.r.ssr_lane) << what << " (ssr lane stats)";
+  EXPECT_EQ(c.r.issr_lane, i.r.issr_lane) << what << " (issr lane stats)";
+  EXPECT_EQ(c.r.stalls, i.r.stalls) << what << " (stall buckets)";
+  EXPECT_EQ(c.r.stalls.total(), c.r.cycles) << what << " (bucket sum)";
+  std::string buckets;
+  for (unsigned b = 0; b < trace::kNumBuckets; ++b) {
+    buckets += std::string(" ") + trace::to_string(static_cast<trace::Bucket>(b)) +
+               "=" + std::to_string(c.r.stalls.counts[b]);
+  }
+  EXPECT_FALSE(c.r.aborted) << what << " (generator emitted a wedged program)\n"
+                            << c.r.fault.describe() << "\nlast_next_event="
+                            << c.r.fault.last_next_event << "\nbuckets:" << buckets;
+  for (unsigned r = 0; r < 32; ++r) {
+    EXPECT_EQ(c.x[r], i.x[r]) << what << " " << xreg_name(r);
+    EXPECT_EQ(c.f[r], i.f[r]) << what << " " << freg_name(r);
+  }
+  ASSERT_EQ(c.mem.size(), i.mem.size()) << what;
+  for (std::size_t w = 0; w < c.mem.size(); ++w) {
+    EXPECT_EQ(c.mem[w], i.mem[w]) << what << " mem word " << w;
+  }
+}
+
+/// Seeds are partitioned across profiles so the suite covers both the
+/// steady-state fused loop and the seam-dense shapes; ~200 total.
+void run_range(std::uint64_t first, std::uint64_t last, Profile profile) {
+  for (std::uint64_t seed = first; seed <= last; ++seed) {
+    run_seed(seed, profile);
+    if (::testing::Test::HasFailure()) {
+      std::string listing;
+      run_tier(seed, profile, /*compiled=*/false, &listing);
+      FAIL() << "first failing seed: " << seed
+             << " — replay by running this seed alone; program:\n"
+             << listing;
+    }
+  }
+}
+
+TEST(CompiledDiff, MixedPrograms) { run_range(1, 80, Profile::kMixed); }
+
+TEST(CompiledDiff, StreamHeavyPrograms) {
+  run_range(1000, 1039, Profile::kStreamHeavy);
+}
+
+TEST(CompiledDiff, FrepHeavyPrograms) {
+  run_range(2000, 2039, Profile::kFrepHeavy);
+}
+
+TEST(CompiledDiff, BranchHeavyPrograms) {
+  run_range(3000, 3039, Profile::kBranchHeavy);
+}
+
+}  // namespace
+}  // namespace issr::core

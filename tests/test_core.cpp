@@ -4,7 +4,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <functional>
 
+#include "core/engine.hpp"
 #include "core/fpu.hpp"
 #include "core/sim.hpp"
 #include "isa/assembler.hpp"
@@ -302,6 +304,159 @@ TEST(Fpss, FrepSingleIteration) {
   kernels::emit_halt(a);
   run_program(sim, a);
   EXPECT_EQ(sim.read_f64(out), 2.0);
+}
+
+// --- FREP edge cases (pinned cycle counts, both execution tiers) -------------
+//
+// Each shape runs under the compiled tier and the interpreter; the cycle
+// counts must match each other bitwise and stay pinned to the committed
+// constant, so any timing drift in either tier (or in FREP sequencing
+// itself) fails loudly here before the differential fuzzer has to find it.
+
+/// Toggle the process-wide compiled-tier default for one scope.
+class ScopedCompiled {
+ public:
+  explicit ScopedCompiled(bool on) : prev_(engine_compiled_default()) {
+    set_engine_compiled_default(on);
+  }
+  ~ScopedCompiled() { set_engine_compiled_default(prev_); }
+
+ private:
+  bool prev_;
+};
+
+/// Run `build`'s program under both tiers; expect identical runs at the
+/// pinned cycle count and return the compiled-tier sim for value checks.
+template <typename Build>
+void run_both_tiers_pinned(Build&& build, cycle_t pinned_cycles,
+                           const std::function<void(CcSim&)>& check) {
+  for (const bool compiled : {true, false}) {
+    ScopedCompiled tier(compiled);
+    CcSim sim;
+    Assembler a;
+    build(sim, a);
+    const CcSimResult r = run_program(sim, a);
+    ASSERT_FALSE(r.aborted) << r.fault.describe();
+    EXPECT_EQ(r.cycles, pinned_cycles)
+        << (compiled ? "compiled tier" : "interpreter");
+    check(sim);
+  }
+}
+
+TEST(FrepEdge, ZeroInstsIsNoOpLoop) {
+  // frep_insts == 0 is unreachable through the assembler (it asserts) but
+  // representable in the encoding; the sequencer must treat it as an
+  // empty loop and leave the following FP op as a plain one-shot issue.
+  for (const bool compiled : {true, false}) {
+    ScopedCompiled tier(compiled);
+    CcSim sim;
+    const addr_t out = sim.alloc(8);
+    Assembler a;
+    a.li(kT0, 1);
+    a.fcvt_d_w(kFa1, kT0);  // fa1 = 1.0
+    a.fzero(kFa0);
+    a.li(kT1, 9);   // ten iterations of an empty body
+    a.frep(kT1, 1); // insts field patched to 0 below
+    a.fadd_d(kFa0, kFa0, kFa1);  // NOT the loop body: runs exactly once
+    a.li(kS2, static_cast<std::int64_t>(out));
+    kernels::emit_fpss_sync(a);
+    a.fsd(kFa0, kS2, 0);
+    kernels::emit_fpss_sync(a);
+    kernels::emit_halt(a);
+    const isa::Program assembled = a.assemble();
+    std::vector<insn_word_t> words = assembled.words();
+    for (std::size_t i = 0; i < assembled.insts().size(); ++i) {
+      if (assembled.insts()[i].op == Op::kFrep) words[i] &= ~(0xFu << 20);
+    }
+    sim.set_program(isa::Program(std::move(words)));
+    const CcSimResult r = sim.run(1'000'000);
+    ASSERT_FALSE(r.aborted) << r.fault.describe();
+    EXPECT_EQ(r.cycles, 13u)
+        << (compiled ? "compiled tier" : "interpreter");
+    EXPECT_EQ(sim.read_f64(out), 1.0);
+  }
+}
+
+TEST(FrepEdge, StaggerWrapsAtMaxPlusOne) {
+  // stagger_max = 2 staggers rd over ft2..ft4; iteration max+1 must wrap
+  // back to ft2. The body reads unstaggered ft2, so the wrap is visible
+  // in the values: without it ft2 would stay at 1.0.
+  addr_t out = 0;
+  run_both_tiers_pinned(
+      [&](CcSim& sim, Assembler& a) {
+        out = sim.alloc(24);
+        a.li(kT0, 1);
+        a.fcvt_d_w(kFa1, kT0);  // fa1 = 1.0
+        kernels::emit_zero_accs(a, kFt2, 3);
+        a.li(kT1, 3);  // four iterations: offsets 0,1,2 then wrap to 0
+        a.frep(kT1, 1, /*stagger_max=*/2, /*stagger_mask=*/0b0001);
+        a.fadd_d(kFt2, kFt2, kFa1);
+        a.li(kS2, static_cast<std::int64_t>(out));
+        kernels::emit_fpss_sync(a);
+        a.fsd(kFt2, kS2, 0);
+        a.fsd(kFt3, kS2, 8);
+        a.fsd(kFt4, kS2, 16);
+        kernels::emit_fpss_sync(a);
+        kernels::emit_halt(a);
+      },
+      /*pinned_cycles=*/23u,
+      [&](CcSim& sim) {
+        EXPECT_EQ(sim.read_f64(out), 2.0);      // iter 0 and the wrap
+        EXPECT_EQ(sim.read_f64(out + 8), 2.0);  // read ft2 after iter 0
+        EXPECT_EQ(sim.read_f64(out + 16), 2.0);
+      });
+}
+
+TEST(FrepEdge, ReplayOutlivesProgramEnd) {
+  // The FREP body is the final FP instruction and the core halts right
+  // behind it: replay keeps draining past the halt, and quiescence must
+  // wait for the sequencer rather than truncate the loop.
+  run_both_tiers_pinned(
+      [&](CcSim& sim, Assembler& a) {
+        a.li(kT0, 1);
+        a.fcvt_d_w(kFa1, kT0);  // fa1 = 1.0
+        a.fzero(kFa0);
+        a.li(kT1, 49);  // 50 iterations outlive the immediate halt
+        a.frep(kT1, 1);
+        a.fadd_d(kFa0, kFa0, kFa1);
+        kernels::emit_halt(a);
+      },
+      /*pinned_cycles=*/205u,
+      [&](CcSim& sim) {
+        EXPECT_EQ(sim.cc().fpss().freg(static_cast<unsigned>(kFa0)), 50.0);
+      });
+}
+
+TEST(FrepEdge, BackToBackFrepsReplayInOrder) {
+  // A second FREP offloaded while the first is still replaying queues
+  // behind it; the value pins the ordering (the second loop's read of
+  // fa0 must observe the first loop's final sum).
+  addr_t out = 0;
+  run_both_tiers_pinned(
+      [&](CcSim& sim, Assembler& a) {
+        out = sim.alloc(16);
+        a.li(kT0, 1);
+        a.fcvt_d_w(kFa1, kT0);  // fa1 = 1.0
+        a.fzero(kFa0);
+        a.fzero(kFa2);
+        a.li(kT1, 9);
+        a.frep(kT1, 1);
+        a.fadd_d(kFa0, kFa0, kFa1);  // fa0 = 10 after loop 1
+        a.li(kT2, 4);
+        a.frep(kT2, 1);
+        a.fadd_d(kFa2, kFa2, kFa0);  // fa2 = 5 * 10 after loop 2
+        a.li(kS2, static_cast<std::int64_t>(out));
+        kernels::emit_fpss_sync(a);
+        a.fsd(kFa0, kS2, 0);
+        a.fsd(kFa2, kS2, 8);
+        kernels::emit_fpss_sync(a);
+        kernels::emit_halt(a);
+      },
+      /*pinned_cycles=*/71u,
+      [&](CcSim& sim) {
+        EXPECT_EQ(sim.read_f64(out), 10.0);
+        EXPECT_EQ(sim.read_f64(out + 8), 50.0);
+      });
 }
 
 TEST(Streamer, CsrConfigurationArmsJobs) {

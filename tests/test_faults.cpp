@@ -13,6 +13,7 @@
 
 #include "cluster/cluster.hpp"
 #include "common/types.hpp"
+#include "core/engine.hpp"
 #include "core/sim.hpp"
 #include "driver/report.hpp"
 #include "driver/runner.hpp"
@@ -274,6 +275,178 @@ TEST(Inject, DmaStallBurnsToTheBudget) {
   ASSERT_TRUE(r.fault);
   EXPECT_EQ(r.fault.code, FaultCode::kCycleLimit) << r.fault.describe();
   EXPECT_EQ(r.fault.cycle, 20'000u);
+}
+
+// --- Compiled-tier fault parity ----------------------------------------------
+//
+// The compiled tier must not change *how runs fail*: the watchdog, the
+// cycle budget, and every injection kind detect at the identical cycle
+// with identical fault detail. Each test runs the same failure under
+// both tiers and compares the full fault record (and, through the
+// result-row JSON, the v6 fault_detail columns byte for byte).
+
+/// Toggle the process-wide compiled-tier default for one scope.
+class ScopedCompiled {
+ public:
+  explicit ScopedCompiled(bool on) : prev_(core::engine_compiled_default()) {
+    core::set_engine_compiled_default(on);
+  }
+  ~ScopedCompiled() { core::set_engine_compiled_default(prev_); }
+
+ private:
+  bool prev_;
+};
+
+void expect_faults_equal(const sim::Fault& compiled, const sim::Fault& interp,
+                         const std::string& what) {
+  EXPECT_EQ(compiled.code, interp.code) << what;
+  EXPECT_EQ(compiled.cycle, interp.cycle) << what;
+  EXPECT_EQ(compiled.last_next_event, interp.last_next_event) << what;
+  EXPECT_EQ(compiled.message, interp.message) << what;
+  EXPECT_EQ(compiled.barrier, interp.barrier) << what;
+  EXPECT_EQ(compiled.stalls, interp.stalls) << what << " (stall buckets)";
+  ASSERT_EQ(compiled.harts.size(), interp.harts.size()) << what;
+  for (std::size_t h = 0; h < compiled.harts.size(); ++h) {
+    EXPECT_EQ(compiled.harts[h].pc, interp.harts[h].pc) << what << " hart "
+                                                        << h;
+    EXPECT_EQ(compiled.harts[h].halted, interp.harts[h].halted) << what;
+  }
+  EXPECT_EQ(compiled.describe(), interp.describe()) << what;
+}
+
+/// A single-CC run that wedges with an empty event horizon: the FREP
+/// consumes one more stream element than the affine job supplies, so the
+/// FPU subsystem waits forever on a lane that can never produce.
+core::CcSimResult run_starved_stream_cc() {
+  core::CcSim sim;
+  const addr_t data = sim.alloc(64);
+  isa::Assembler a;
+  kernels::emit_affine_job(a, 0, data, /*n=*/1, /*stride=*/8);
+  kernels::emit_ssr_enable(a);
+  a.li(isa::kT0, 1);  // two iterations; the job supplies one element
+  a.frep(isa::kT0, 1);
+  a.fadd_d(isa::kFt2, isa::kFt0, isa::kFt2);
+  kernels::emit_sync_and_disable(a);
+  kernels::emit_halt(a);
+  sim.set_program(a.assemble());
+  return sim.run(1'000'000);
+}
+
+TEST(CompiledParity, WatchdogNoProgressDetectsAtIdenticalCycle) {
+  core::CcSimResult compiled, interp;
+  {
+    ScopedCompiled tier(true);
+    compiled = run_starved_stream_cc();
+  }
+  {
+    ScopedCompiled tier(false);
+    interp = run_starved_stream_cc();
+  }
+  ASSERT_TRUE(interp.fault);
+  EXPECT_EQ(interp.fault.code, FaultCode::kWatchdogNoProgress)
+      << interp.fault.describe();
+  EXPECT_EQ(interp.fault.last_next_event, kCycleNever);
+  EXPECT_LT(interp.fault.cycle, 1'000'000u) << "detection must be exact";
+  EXPECT_EQ(compiled.cycles, interp.cycles);
+  expect_faults_equal(compiled.fault, interp.fault, "starved stream");
+}
+
+TEST(CompiledParity, CycleLimitFaultsAtIdenticalCycle) {
+  const auto spin = [] {
+    core::CcSim sim;
+    isa::Assembler a;
+    const isa::Label loop = a.here();
+    a.j(loop);
+    sim.set_program(a.assemble());
+    return sim.run(100);
+  };
+  core::CcSimResult compiled, interp;
+  {
+    ScopedCompiled tier(true);
+    compiled = spin();
+  }
+  {
+    ScopedCompiled tier(false);
+    interp = spin();
+  }
+  ASSERT_TRUE(interp.fault);
+  EXPECT_EQ(interp.fault.code, FaultCode::kCycleLimit);
+  EXPECT_EQ(interp.fault.cycle, 100u);
+  EXPECT_EQ(compiled.cycles, interp.cycles);
+  expect_faults_equal(compiled.fault, interp.fault, "cycle limit");
+}
+
+TEST(CompiledParity, ClusterBarrierDropDeadlocksAtIdenticalCycle) {
+  const auto wedge = [] {
+    cluster::ClusterConfig cfg;
+    std::vector<isa::Program> programs;
+    for (unsigned w = 0; w < cfg.num_workers; ++w) {
+      isa::Assembler a;
+      kernels::emit_barrier(a);
+      kernels::emit_halt(a);
+      programs.push_back(a.assemble());
+    }
+    cluster::Cluster cl(cfg, std::move(programs));
+    cl.barrier().inject_drop_next_release();
+    return cl.run(1'000'000);
+  };
+  cluster::ClusterResult compiled, interp;
+  {
+    ScopedCompiled tier(true);
+    compiled = wedge();
+  }
+  {
+    ScopedCompiled tier(false);
+    interp = wedge();
+  }
+  ASSERT_TRUE(interp.fault);
+  EXPECT_EQ(interp.fault.code, FaultCode::kBarrierDeadlock);
+  EXPECT_EQ(compiled.cycles, interp.cycles);
+  expect_faults_equal(compiled.fault, interp.fault, "barrier drop");
+}
+
+TEST(CompiledParity, EveryInjectKindMatchesInterpreterByteForByte) {
+  // Each kind rides its canonical scenario/budget (the ones the Inject
+  // tests above pin); the whole result row — status, cycles, metrics,
+  // and the v6 fault_detail object — must serialize identically.
+  struct Case {
+    const char* kind;
+    unsigned cores, clusters;
+    cycle_t max_cycles;
+  };
+  const Case cases[] = {
+      {"corrupt", 1, 1, 0},           {"barrier-drop", 2, 2, 400'000},
+      {"dma-stall", 4, 1, 20'000},    {"throw", 1, 1, 0},
+      {"flaky", 1, 1, 0},             {"fault", 1, 1, 0},
+  };
+  for (const auto& c : cases) {
+    const FaultPlan p = plan(c.kind);
+    const auto row = [&] {
+      std::vector<Scenario> list = {single(c.cores, c.clusters)};
+      SweepSpec spec;
+      spec.scenarios = list;
+      spec.jobs = 1;
+      spec.options.inject = &p;
+      spec.options.max_cycles = c.max_cycles;
+      return driver::run_sweep(spec).results;
+    };
+    std::vector<ScenarioResult> compiled, interp;
+    {
+      ScopedCompiled tier(true);
+      compiled = row();
+    }
+    {
+      ScopedCompiled tier(false);
+      interp = row();
+    }
+    ASSERT_EQ(compiled.size(), 1u) << c.kind;
+    ASSERT_EQ(interp.size(), 1u) << c.kind;
+    EXPECT_EQ(driver::results_to_json(compiled),
+              driver::results_to_json(interp))
+        << "inject kind " << c.kind;
+    EXPECT_EQ(driver::results_to_csv(compiled), driver::results_to_csv(interp))
+        << "inject kind " << c.kind;
+  }
 }
 
 // --- Sweep isolation, retry, fail-fast ---------------------------------------

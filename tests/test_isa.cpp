@@ -72,6 +72,37 @@ TEST(Encoding, FrepFieldsRoundTrip) {
   EXPECT_EQ(*back, f);
 }
 
+TEST(Encoding, FrepBoundaryFields) {
+  // Every field at its 4-bit ceiling survives the round trip.
+  Inst f;
+  f.op = Op::kFrep;
+  f.rs1 = 31;
+  f.frep_insts = 15;
+  f.frep_stagger_max = 15;
+  f.frep_stagger_mask = 15;
+  const auto back = decode(encode(f));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, f);
+}
+
+TEST(Encoding, FrepZeroInstsDecodesAsNoOpLoop) {
+  // The assembler and encoder never produce frep_insts == 0, but the
+  // encoding can hold it and the sequencer defines it as an empty loop
+  // (tests/test_core.cpp FrepEdge.ZeroInstsIsNoOpLoop) — decode must not
+  // turn it into a fetch fault. Build the word by clearing the insts
+  // field of a legal FREP.
+  Inst f;
+  f.op = Op::kFrep;
+  f.rs1 = 5;
+  f.frep_insts = 1;
+  const insn_word_t word = encode(f) & ~(0xFu << 20);
+  const auto back = decode(word);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->op, Op::kFrep);
+  EXPECT_EQ(back->frep_insts, 0);
+  EXPECT_EQ(back->rs1, 5);
+}
+
 TEST(Encoding, CsrImmediateForms) {
   Inst i;
   i.op = Op::kCsrrsi;

@@ -12,6 +12,8 @@
 #include <string>
 #include <vector>
 
+#include "common/version.hpp"
+#include "core/compile.hpp"
 #include "driver/assets.hpp"
 #include "driver/report.hpp"
 #include "driver/runner.hpp"
@@ -86,6 +88,13 @@ TEST(SweepEngine, OutputsAreRepInvariant) {
   EXPECT_EQ(thrice.stats.cache.workload_builds,
             once.stats.cache.workload_builds);
   EXPECT_GT(thrice.stats.cache.workload_hits, once.stats.cache.workload_hits);
+  // Reps replay identical staged arguments, so the single-CC rows hit
+  // both the Program cache and the compiled-translation cache: one
+  // decode per distinct program, shared across every rep.
+  EXPECT_EQ(thrice.stats.cache.compiled_builds,
+            thrice.stats.cache.program_builds);
+  EXPECT_EQ(thrice.stats.cache.compiled_hits, thrice.stats.cache.program_hits);
+  EXPECT_GT(thrice.stats.cache.compiled_hits, 0u);
 }
 
 TEST(SweepEngine, TraceFilesIdenticalWithAndWithoutCache) {
@@ -220,6 +229,48 @@ TEST(AssetCache, SharedProgramEqualsFreshAssembly) {
   EXPECT_EQ(stats.program_hits, 1u);
 }
 
+TEST(AssetCache, CompiledKeyCarriesSchemaAndEngineProvenance) {
+  const std::string key = compiled_program_key("csrmv-test-key");
+  // Schema tag first, then every engine provenance field: a cache entry
+  // can never be served to a different translator build.
+  EXPECT_EQ(key.rfind("compiled.v5/", 0), 0u);
+  EXPECT_NE(key.find(engine_version()), std::string::npos);
+  EXPECT_NE(key.find(engine_build_type()), std::string::npos);
+  EXPECT_NE(key.find("/lto="), std::string::npos);
+  // The program identity survives qualification verbatim.
+  EXPECT_NE(key.find("csrmv-test-key"), std::string::npos);
+  EXPECT_NE(key, compiled_program_key("other-key"));
+}
+
+TEST(AssetCache, SharedCompiledTranslationBuiltOnce) {
+  kernels::CsrmvArgs args;
+  args.ptr = 0x1000'0000;
+  args.idcs = 0x1000'0100;
+  args.vals = 0x1000'0200;
+  args.nrows = 8;
+  args.nnz = 40;
+  args.x = 0x1000'0400;
+  args.y = 0x1000'0800;
+  args.width = sparse::IndexWidth::kU16;
+  const auto program = kernels::build_csrmv(kernels::Variant::kIssr, args);
+  const auto build = [&] { return core::CompiledProgram(program); };
+
+  AssetCache cache;
+  const std::string key = compiled_program_key("csrmv-test-key");
+  const auto c1 = cache.compiled(key, build);
+  const auto c2 = cache.compiled(key, build);
+  EXPECT_EQ(c1.get(), c2.get());  // translated once, shared
+  // Identical structure to a fresh translation of the same program.
+  const core::CompiledProgram fresh(program);
+  EXPECT_EQ(c1->size(), fresh.size());
+  EXPECT_EQ(c1->blocks().size(), fresh.blocks().size());
+  EXPECT_EQ(c1->freps().size(), fresh.freps().size());
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.compiled_builds, 1u);
+  EXPECT_EQ(stats.compiled_hits, 1u);
+  EXPECT_EQ(stats.program_builds, 0u);  // separate namespace from Programs
+}
+
 // --- Scheduler telemetry and cost model --------------------------------------
 
 TEST(SweepEngine, CacheCountsUniqueWorkloadsOnce) {
@@ -245,10 +296,19 @@ TEST(SweepEngine, CacheCountsUniqueWorkloadsOnce) {
   EXPECT_EQ(outcome.stats.runs, scenarios.size());
   EXPECT_GT(outcome.stats.core_cycles, 0u);
   EXPECT_GT(outcome.stats.wall_seconds, 0.0);
+  // With the compiled tier on by default, every cached Program fetch is
+  // paired with a compiled-translation fetch under the qualified key, so
+  // the counters mirror exactly: one translation per distinct program.
+  EXPECT_EQ(outcome.stats.cache.compiled_builds,
+            outcome.stats.cache.program_builds);
+  EXPECT_EQ(outcome.stats.cache.compiled_hits,
+            outcome.stats.cache.program_hits);
 
   const auto uncached = sweep(scenarios, 4, /*cache=*/false);
   EXPECT_EQ(uncached.stats.cache.workload_builds, 0u);
   EXPECT_EQ(uncached.stats.cache.workload_hits, 0u);
+  EXPECT_EQ(uncached.stats.cache.compiled_builds, 0u);
+  EXPECT_EQ(uncached.stats.cache.compiled_hits, 0u);
 }
 
 TEST(SweepEngine, CostModelOrdersByWorkAndEngine) {
